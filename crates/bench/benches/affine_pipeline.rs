@@ -1,0 +1,42 @@
+//! P1: affine pipeline throughput — one VGA frame through the
+//! five-stage fixed-point rotation pipeline, plus the functional
+//! (per-pixel) transform for comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpga::pipeline::AffinePipeline;
+use std::hint::black_box;
+
+fn bench_pipeline(c: &mut Criterion) {
+    c.bench_function("pipeline/vga_frame_pipelined", |bench| {
+        bench.iter(|| {
+            let mut pipe = AffinePipeline::new(0.05, (320, 240), (2, -1));
+            let total = 640u64 * 480;
+            let mut checksum = 0i64;
+            for i in 0..total + AffinePipeline::LATENCY {
+                let input = if i < total {
+                    Some(((i % 640) as i32, (i / 640) as i32))
+                } else {
+                    None
+                };
+                if let Some((x, y)) = pipe.clock(input) {
+                    checksum += (x + y) as i64;
+                }
+            }
+            black_box(checksum)
+        })
+    });
+    c.bench_function("pipeline/per_pixel_functional", |bench| {
+        let pipe = AffinePipeline::new(0.05, (320, 240), (2, -1));
+        bench.iter(|| {
+            let mut checksum = 0i64;
+            for i in 0..640 * 480i32 {
+                let (x, y) = pipe.transform((i % 640, i / 640));
+                checksum += (x + y) as i64;
+            }
+            black_box(checksum)
+        })
+    });
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

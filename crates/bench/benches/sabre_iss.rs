@@ -1,0 +1,35 @@
+//! P3: Sabre instruction-set-simulator throughput on a busy loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpga::sabre::{assemble, Sabre, StopReason};
+use std::hint::black_box;
+
+fn bench_iss(c: &mut Criterion) {
+    let program = assemble(
+        "
+                addi r1, r0, 0
+                lui  r2, 0x0001      ; 65536 iterations
+        loop:   addi r1, r1, 3
+                mul  r3, r1, r1
+                sra  r3, r3, r4
+                sw   r3, 0(r0)
+                lw   r5, 0(r0)
+                addi r2, r2, -1
+                bne  r2, r0, loop
+                halt
+    ",
+    )
+    .expect("assembles");
+    c.bench_function("sabre/busy_loop_65536_iters", |bench| {
+        bench.iter(|| {
+            let mut cpu = Sabre::with_standard_bus();
+            cpu.load_program(&program.words);
+            let stop = cpu.run(u64::MAX);
+            assert_eq!(stop, StopReason::Halted);
+            black_box(cpu.instructions())
+        })
+    });
+}
+
+criterion_group!(benches, bench_iss);
+criterion_main!(benches);

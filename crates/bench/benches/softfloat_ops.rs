@@ -1,0 +1,39 @@
+//! P2: softfloat operation benchmarks (host throughput of the
+//! emulation layer itself; cycle costs on Sabre come from the cost
+//! model, not wall time).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fpga::softfloat::{f32impl, f64impl, Sf32, Sf64};
+use std::hint::black_box;
+
+fn bench_softfloat(c: &mut Criterion) {
+    let a64 = Sf64::from_f64(std::f64::consts::PI);
+    let b64 = Sf64::from_f64(2.718281828);
+    let a32 = Sf32::from_f32(std::f32::consts::PI);
+    let b32 = Sf32::from_f32(2.7182818);
+
+    c.bench_function("softfloat/add_f64", |bench| {
+        bench.iter(|| f64impl::add(black_box(a64), black_box(b64)))
+    });
+    c.bench_function("softfloat/mul_f64", |bench| {
+        bench.iter(|| f64impl::mul(black_box(a64), black_box(b64)))
+    });
+    c.bench_function("softfloat/div_f64", |bench| {
+        bench.iter(|| f64impl::div(black_box(a64), black_box(b64)))
+    });
+    c.bench_function("softfloat/sqrt_f64", |bench| {
+        bench.iter(|| f64impl::sqrt(black_box(a64)))
+    });
+    c.bench_function("softfloat/add_f32", |bench| {
+        bench.iter(|| f32impl::add(black_box(a32), black_box(b32)))
+    });
+    c.bench_function("softfloat/mul_f32", |bench| {
+        bench.iter(|| f32impl::mul(black_box(a32), black_box(b32)))
+    });
+    c.bench_function("softfloat/div_f32", |bench| {
+        bench.iter(|| f32impl::div(black_box(a32), black_box(b32)))
+    });
+}
+
+criterion_group!(benches, bench_softfloat);
+criterion_main!(benches);

@@ -1,0 +1,109 @@
+//! Ablation **A1**: the fusion filter in native f64, Softfloat-emulated
+//! f64 (the paper's configuration on the Sabre core) and Q16.16 fixed
+//! point (the paper's proposed "obvious enhancement").
+//!
+//! Reports estimation accuracy and the Sabre cycle cost per filter
+//! update for each arithmetic, answering the trade the paper raises in
+//! its conclusion.
+//!
+//! Run with `cargo run --release -p bench-suite --bin ablation_arith`.
+
+use bench_suite::print_table;
+use boresight::arith::{Arith, F64Arith, FixedArith, Kf3, SoftArith};
+use fpga::softfloat::CycleCosts;
+use mathx::{rad_to_deg, rng::seeded_rng, EulerAngles, GaussianSampler, Vec2, Vec3, STANDARD_GRAVITY};
+
+const ACC_RATE_HZ: f64 = 200.0;
+const SABRE_CLOCK_HZ: f64 = 25e6;
+
+/// Runs the 3-state filter over a standard excitation and returns the
+/// final worst-axis error in degrees.
+fn run_filter<A: Arith>(arith: A, n: usize, seed: u64) -> (Kf3<A>, f64) {
+    let truth = EulerAngles::from_degrees(2.0, -1.5, 2.5);
+    let e = truth.as_vec3();
+    let mut kf = Kf3::new(arith, 0.1, 0.007);
+    let mut rng = seeded_rng(seed);
+    let mut gauss = GaussianSampler::new();
+    let g = STANDARD_GRAVITY;
+    for i in 0..n {
+        let t = i as f64 / ACC_RATE_HZ;
+        let f = Vec3::new([2.0 * (0.5 * t).sin(), 1.5 * (0.33 * t).cos(), g]);
+        let f_s = f - e.cross(&f);
+        let z = Vec2::new([
+            f_s[0] + gauss.sample_scaled(&mut rng, 0.0, 0.007),
+            f_s[1] + gauss.sample_scaled(&mut rng, 0.0, 0.007),
+        ]);
+        kf.step(z, f, 1e-10);
+    }
+    let err = rad_to_deg(kf.angles().error_to(&truth).max_abs());
+    (kf, err)
+}
+
+fn main() {
+    let n = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(20_000usize);
+
+    let (_, err_f64) = run_filter(F64Arith, n, 7);
+    let (kf_soft, err_soft) = run_filter(SoftArith::default(), n, 7);
+    let (_, err_fixed) = run_filter(FixedArith, n, 7);
+
+    let stats = kf_soft.arith().fpu.stats();
+    let cycles_per_update = stats.cycles as f64 / n as f64;
+    let ops_per_update = stats.total_ops() as f64 / n as f64;
+    let soft_util = cycles_per_update * ACC_RATE_HZ / SABRE_CLOCK_HZ;
+
+    // Fixed-point cost estimate: every float op becomes ~1-3 integer
+    // instructions (add=1, mul via 32x32->64 = 3, div ~ 35 iterative).
+    let fixed_cycles_per_update = (stats.add_f64 as f64 * 1.0
+        + stats.mul_f64 as f64 * 3.0
+        + stats.div_f64 as f64 * 35.0
+        + stats.convert as f64 * 1.0)
+        / n as f64;
+    let fixed_util = fixed_cycles_per_update * ACC_RATE_HZ / SABRE_CLOCK_HZ;
+
+    let costs = CycleCosts::sabre_default();
+    print_table(
+        &format!("Ablation A1: filter arithmetic ({n} updates at {ACC_RATE_HZ} Hz)"),
+        &[
+            "arithmetic",
+            "worst-axis error (deg)",
+            "cycles/update",
+            "Sabre CPU @25 MHz",
+        ],
+        &[
+            vec![
+                "native f64 (reference)".into(),
+                format!("{err_f64:.4}"),
+                "n/a (host FPU)".into(),
+                "n/a".into(),
+            ],
+            vec![
+                "Softfloat f64 (paper)".into(),
+                format!("{err_soft:.4}"),
+                format!("{cycles_per_update:.0}"),
+                format!("{:.1}%", soft_util * 100.0),
+            ],
+            vec![
+                "Q16.16 fixed point".into(),
+                format!("{err_fixed:.4}"),
+                format!("{fixed_cycles_per_update:.0}"),
+                format!("{:.2}%", fixed_util * 100.0),
+            ],
+        ],
+    );
+    println!("\nsoftfloat ops/update: {ops_per_update:.1} (add {}, mul {}, div {})",
+        stats.add_f64 / n as u64, stats.mul_f64 / n as u64, stats.div_f64 / n as u64);
+    println!(
+        "cost model: add={} mul={} div={} cycles (CycleCosts::sabre_default)",
+        costs.add_f64, costs.mul_f64, costs.div_f64
+    );
+    println!("expected shape: softfloat == f64 bit-for-bit; fixed point converges with");
+    println!("degraded accuracy but ~{:.0}x lower cycle cost.", cycles_per_update / fixed_cycles_per_update);
+    assert_eq!(
+        err_f64.to_bits(),
+        err_soft.to_bits(),
+        "softfloat must match native bit-for-bit"
+    );
+}

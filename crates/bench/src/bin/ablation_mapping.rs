@@ -1,0 +1,83 @@
+//! Ablation **A2**: forward (scatter) vs inverse (gather) affine
+//! mapping in the fixed-point video path.
+//!
+//! The paper's pipeline "computes the rotated output location of each
+//! input pixel" — a forward mapping, which leaves holes where no input
+//! pixel lands. The inverse mapping gathers a source pixel for every
+//! output location and leaves none. This ablation sweeps the rotation
+//! angle and quantifies the difference.
+//!
+//! Run with `cargo run --release -p bench-suite --bin ablation_mapping`.
+
+use bench_suite::{print_table, write_csv};
+use video::affine::{transform, AffineParams, MappingKind};
+use video::metrics::psnr;
+use video::scene;
+
+fn main() {
+    let width = 320;
+    let height = 240;
+    let src = scene::checkerboard(width, height, 16);
+    let float_ref = |p: &AffineParams| transform(&src, p, MappingKind::FloatInverse).0;
+
+    let mut rows = Vec::new();
+    let mut angle_col = Vec::new();
+    let mut holes_col = Vec::new();
+    let mut psnr_fwd_col = Vec::new();
+    let mut psnr_inv_col = Vec::new();
+
+    for deg in [0.0, 0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 10.0] {
+        let params = AffineParams {
+            theta: (deg as f64).to_radians(),
+            tx: 0.0,
+            ty: 0.0,
+            centre: (width as f64 / 2.0, height as f64 / 2.0),
+        };
+        let reference = float_ref(&params);
+        let (fwd, fwd_stats) = transform(&src, &params, MappingKind::FixedForward);
+        let (inv, inv_stats) = transform(&src, &params, MappingKind::FixedInverse);
+        let total_px = (width * height) as f64;
+        let hole_pct = fwd_stats.holes as f64 / total_px * 100.0;
+        let p_fwd = psnr(&reference, &fwd);
+        let p_inv = psnr(&reference, &inv);
+        rows.push(vec![
+            format!("{deg:.1}"),
+            format!("{}", fwd_stats.holes),
+            format!("{hole_pct:.2}%"),
+            format!("{}", inv_stats.holes),
+            format!("{p_fwd:.1}"),
+            format!("{p_inv:.1}"),
+        ]);
+        angle_col.push(deg);
+        holes_col.push(fwd_stats.holes as f64);
+        psnr_fwd_col.push(p_fwd);
+        psnr_inv_col.push(p_inv);
+    }
+
+    let path = write_csv(
+        "ablation_mapping.csv",
+        &[
+            ("angle_deg", &angle_col),
+            ("forward_holes", &holes_col),
+            ("psnr_forward_db", &psnr_fwd_col),
+            ("psnr_inverse_db", &psnr_inv_col),
+        ],
+    );
+    println!("wrote {}", path.display());
+
+    print_table(
+        "Ablation A2: forward (scatter) vs inverse (gather) fixed-point mapping, 320x240",
+        &[
+            "angle (deg)",
+            "fwd holes",
+            "fwd holes %",
+            "inv holes",
+            "fwd PSNR (dB)",
+            "inv PSNR (dB)",
+        ],
+        &rows,
+    );
+    println!("\nexpected shape: forward mapping develops holes as soon as the");
+    println!("rotation is non-trivial; inverse mapping never does and tracks the");
+    println!("float reference more closely at every angle.");
+}

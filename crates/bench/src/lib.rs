@@ -1,0 +1,92 @@
+//! Shared helpers for the benchmark harness binaries.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the
+//! paper (see DESIGN.md section 5 and EXPERIMENTS.md for the index);
+//! this library provides the small common pieces: CSV output and
+//! aligned-table printing.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+/// Output directory for generated CSV series (`bench_out/` at the
+/// workspace root).
+pub fn out_dir() -> PathBuf {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("bench_out");
+    fs::create_dir_all(&dir).expect("create bench_out");
+    dir
+}
+
+/// Writes a CSV file of named columns into `bench_out/`.
+///
+/// # Panics
+///
+/// Panics if the columns have unequal lengths or the file cannot be
+/// written.
+pub fn write_csv(name: &str, columns: &[(&str, &[f64])]) -> PathBuf {
+    assert!(!columns.is_empty(), "need at least one column");
+    let rows = columns[0].1.len();
+    for (label, data) in columns {
+        assert_eq!(data.len(), rows, "column `{label}` length mismatch");
+    }
+    let path = out_dir().join(name);
+    let mut file = fs::File::create(&path).expect("create csv");
+    let header: Vec<&str> = columns.iter().map(|(label, _)| *label).collect();
+    writeln!(file, "{}", header.join(",")).expect("write header");
+    for r in 0..rows {
+        let row: Vec<String> = columns.iter().map(|(_, d)| format!("{}", d[r])).collect();
+        writeln!(file, "{}", row.join(",")).expect("write row");
+    }
+    path
+}
+
+/// Prints an aligned text table: a header row then data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    println!("{}", "-".repeat(widths.iter().sum::<usize>() + 2 * widths.len()));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_roundtrip() {
+        let path = write_csv(
+            "test_helper.csv",
+            &[("t", &[0.0, 1.0][..]), ("v", &[2.0, 3.0][..])],
+        );
+        let text = std::fs::read_to_string(path).unwrap();
+        assert!(text.starts_with("t,v\n"));
+        assert!(text.contains("1,3"));
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn csv_mismatched_columns_panic() {
+        let _ = write_csv("bad.csv", &[("a", &[0.0][..]), ("b", &[1.0, 2.0][..])]);
+    }
+}

@@ -1,0 +1,266 @@
+//! ADXL202 evaluation-board serial packet.
+//!
+//! The `-232A` eval board times the two duty-cycle outputs with a
+//! counter and streams fixed-length binary packets over RS-232:
+//!
+//! ```text
+//! byte 0      : sync (0xA5)
+//! byte 1      : sequence counter (wraps at 256)
+//! bytes 2-3   : T1 high-time of the X axis, counter ticks, LE
+//! bytes 4-5   : T1 high-time of the Y axis, counter ticks, LE
+//! bytes 6-7   : T2 PWM period, counter ticks, LE
+//! byte 8      : checksum — XOR of bytes 0..=7
+//! ```
+//!
+//! One counter tick is [`TICK_US`] microseconds.
+
+use sensors::DutyCycleSample;
+
+/// Packet sync byte.
+pub const ADXL_SYNC: u8 = 0xA5;
+/// Packet length in bytes.
+pub const ADXL_PACKET_LEN: usize = 9;
+/// Counter tick, microseconds (2 MHz timer).
+pub const TICK_US: f64 = 0.5;
+
+/// A decoded eval-board packet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdxlPacket {
+    /// Sequence counter.
+    pub seq: u8,
+    /// X-axis high time, ticks.
+    pub t1_x: u16,
+    /// Y-axis high time, ticks.
+    pub t1_y: u16,
+    /// PWM period, ticks.
+    pub t2: u16,
+}
+
+impl AdxlPacket {
+    /// Builds a packet from a sensor duty-cycle sample.
+    pub fn from_sample(sample: &DutyCycleSample) -> Self {
+        let to_ticks = |us: f64| ((us / TICK_US).round().clamp(0.0, 65535.0)) as u16;
+        Self {
+            seq: (sample.seq & 0xFF) as u8,
+            t1_x: to_ticks(sample.t1_x_us),
+            t1_y: to_ticks(sample.t1_y_us),
+            t2: to_ticks(sample.t2_us),
+        }
+    }
+
+    /// Reconstructs a duty-cycle sample; the caller supplies the sample
+    /// time (recovered from the unwrapped sequence counter).
+    pub fn to_sample(&self, seq_unwrapped: u16, time_s: f64) -> DutyCycleSample {
+        DutyCycleSample {
+            seq: seq_unwrapped,
+            time_s,
+            t1_x_us: self.t1_x as f64 * TICK_US,
+            t1_y_us: self.t1_y as f64 * TICK_US,
+            t2_us: self.t2 as f64 * TICK_US,
+        }
+    }
+
+    /// Serializes to the 9-byte wire format.
+    pub fn to_bytes(&self) -> [u8; ADXL_PACKET_LEN] {
+        let mut out = [0u8; ADXL_PACKET_LEN];
+        out[0] = ADXL_SYNC;
+        out[1] = self.seq;
+        out[2..4].copy_from_slice(&self.t1_x.to_le_bytes());
+        out[4..6].copy_from_slice(&self.t1_y.to_le_bytes());
+        out[6..8].copy_from_slice(&self.t2.to_le_bytes());
+        out[8] = out[..8].iter().fold(0, |acc, b| acc ^ b);
+        out
+    }
+
+    /// Parses a 9-byte packet. Returns `None` on bad sync or checksum.
+    pub fn from_bytes(bytes: &[u8; ADXL_PACKET_LEN]) -> Option<Self> {
+        if bytes[0] != ADXL_SYNC {
+            return None;
+        }
+        let checksum = bytes[..8].iter().fold(0, |acc, b| acc ^ b);
+        if checksum != bytes[8] {
+            return None;
+        }
+        Some(Self {
+            seq: bytes[1],
+            t1_x: u16::from_le_bytes([bytes[2], bytes[3]]),
+            t1_y: u16::from_le_bytes([bytes[4], bytes[5]]),
+            t2: u16::from_le_bytes([bytes[6], bytes[7]]),
+        })
+    }
+}
+
+/// Streaming decoder: feed arbitrary byte chunks, get packets out.
+/// Resynchronizes on the sync byte after corruption.
+#[derive(Clone, Debug, Default)]
+pub struct AdxlDecoder {
+    buffer: Vec<u8>,
+    packets_ok: u64,
+    checksum_errors: u64,
+    resyncs: u64,
+}
+
+impl AdxlDecoder {
+    /// Creates an empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes bytes, returning all complete packets recovered.
+    pub fn push(&mut self, bytes: &[u8]) -> Vec<AdxlPacket> {
+        self.buffer.extend_from_slice(bytes);
+        let mut out = Vec::new();
+        loop {
+            // Hunt for sync.
+            match self.buffer.iter().position(|&b| b == ADXL_SYNC) {
+                Some(0) => {}
+                Some(n) => {
+                    self.buffer.drain(..n);
+                    self.resyncs += 1;
+                }
+                None => {
+                    if !self.buffer.is_empty() {
+                        self.resyncs += 1;
+                    }
+                    self.buffer.clear();
+                    break;
+                }
+            }
+            if self.buffer.len() < ADXL_PACKET_LEN {
+                break;
+            }
+            let mut head = [0u8; ADXL_PACKET_LEN];
+            head.copy_from_slice(&self.buffer[..ADXL_PACKET_LEN]);
+            match AdxlPacket::from_bytes(&head) {
+                Some(p) => {
+                    self.buffer.drain(..ADXL_PACKET_LEN);
+                    self.packets_ok += 1;
+                    out.push(p);
+                }
+                None => {
+                    // Bad checksum: drop the sync byte and re-hunt.
+                    self.buffer.drain(..1);
+                    self.checksum_errors += 1;
+                }
+            }
+        }
+        out
+    }
+
+    /// Packets successfully decoded.
+    pub fn packets_ok(&self) -> u64 {
+        self.packets_ok
+    }
+
+    /// Checksum failures observed.
+    pub fn checksum_errors(&self) -> u64 {
+        self.checksum_errors
+    }
+
+    /// Number of resynchronization events (bytes skipped hunting sync).
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn packet(seq: u8) -> AdxlPacket {
+        AdxlPacket {
+            seq,
+            t1_x: 1000,
+            t1_y: 1100,
+            t2: 2000,
+        }
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let p = packet(42);
+        let bytes = p.to_bytes();
+        assert_eq!(AdxlPacket::from_bytes(&bytes), Some(p));
+    }
+
+    #[test]
+    fn checksum_rejects_corruption() {
+        let mut bytes = packet(1).to_bytes();
+        bytes[3] ^= 0x10;
+        assert_eq!(AdxlPacket::from_bytes(&bytes), None);
+    }
+
+    #[test]
+    fn sample_roundtrip_within_tick() {
+        let s = DutyCycleSample {
+            seq: 300,
+            time_s: 1.5,
+            t1_x_us: 612.3,
+            t1_y_us: 487.9,
+            t2_us: 1000.0,
+        };
+        let p = AdxlPacket::from_sample(&s);
+        let back = p.to_sample(300, 1.5);
+        assert!((back.t1_x_us - s.t1_x_us).abs() <= TICK_US / 2.0 + 1e-12);
+        assert!((back.t1_y_us - s.t1_y_us).abs() <= TICK_US / 2.0 + 1e-12);
+        assert_eq!(back.t2_us, 1000.0);
+    }
+
+    #[test]
+    fn decoder_handles_fragmentation() {
+        let mut dec = AdxlDecoder::new();
+        let bytes: Vec<u8> = (0..5).flat_map(|i| packet(i).to_bytes()).collect();
+        let mut got = Vec::new();
+        for chunk in bytes.chunks(4) {
+            got.extend(dec.push(chunk));
+        }
+        assert_eq!(got.len(), 5);
+        assert_eq!(dec.packets_ok(), 5);
+        assert_eq!(dec.checksum_errors(), 0);
+    }
+
+    #[test]
+    fn decoder_resyncs_after_garbage() {
+        let mut dec = AdxlDecoder::new();
+        let mut stream = vec![0x00, 0xFF, 0x13]; // garbage
+        stream.extend(packet(7).to_bytes());
+        let got = dec.push(&stream);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].seq, 7);
+        assert!(dec.resyncs() >= 1);
+    }
+
+    #[test]
+    fn decoder_survives_corrupt_packet_between_good_ones() {
+        let mut dec = AdxlDecoder::new();
+        let mut stream = Vec::new();
+        stream.extend(packet(1).to_bytes());
+        let mut bad = packet(2).to_bytes();
+        bad[5] ^= 0xFF; // corrupt
+        stream.extend(bad);
+        stream.extend(packet(3).to_bytes());
+        let got = dec.push(&stream);
+        let seqs: Vec<u8> = got.iter().map(|p| p.seq).collect();
+        assert!(seqs.contains(&1) && seqs.contains(&3));
+        assert!(dec.checksum_errors() >= 1);
+    }
+
+    #[test]
+    fn sync_byte_inside_payload_does_not_confuse_decoder() {
+        // Craft a packet whose payload contains 0xA5.
+        let p = AdxlPacket {
+            seq: ADXL_SYNC,
+            t1_x: u16::from_le_bytes([ADXL_SYNC, 0x01]),
+            t1_y: 500,
+            t2: 2000,
+        };
+        let mut dec = AdxlDecoder::new();
+        let mut stream = Vec::new();
+        stream.extend(p.to_bytes());
+        stream.extend(packet(9).to_bytes());
+        let got = dec.push(&stream);
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0], p);
+        assert_eq!(got[1].seq, 9);
+    }
+}

@@ -1,0 +1,247 @@
+//! CAN-to-RS232 bridge.
+//!
+//! The paper's system avoids putting a CAN controller on the FPGA by
+//! using an off-the-shelf converter: CAN frames arrive at the bridge
+//! and are re-framed onto a serial byte stream. The wire format used
+//! here:
+//!
+//! ```text
+//! byte 0   : sync0 (0xAA)
+//! byte 1   : sync1 (0x55)
+//! byte 2   : identifier high 3 bits
+//! byte 3   : identifier low 8 bits
+//! byte 4   : DLC (0-8)
+//! bytes 5+ : data (DLC bytes)
+//! last     : checksum — XOR of bytes 2 .. last-1
+//! ```
+
+use crate::can::{CanFrame, CanId};
+
+/// First sync byte.
+pub const SYNC0: u8 = 0xAA;
+/// Second sync byte.
+pub const SYNC1: u8 = 0x55;
+
+/// Encodes CAN frames onto the serial stream.
+#[derive(Clone, Debug, Default)]
+pub struct BridgeEncoder {
+    frames_encoded: u64,
+}
+
+impl BridgeEncoder {
+    /// Creates an encoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Serializes one CAN frame.
+    pub fn encode(&mut self, frame: &CanFrame) -> Vec<u8> {
+        let id = frame.id().raw();
+        let mut out = Vec::with_capacity(6 + frame.data().len());
+        out.push(SYNC0);
+        out.push(SYNC1);
+        out.push((id >> 8) as u8);
+        out.push((id & 0xFF) as u8);
+        out.push(frame.data().len() as u8);
+        out.extend_from_slice(frame.data());
+        let checksum = out[2..].iter().fold(0u8, |acc, b| acc ^ b);
+        out.push(checksum);
+        self.frames_encoded += 1;
+        out
+    }
+
+    /// Frames encoded so far.
+    pub fn frames_encoded(&self) -> u64 {
+        self.frames_encoded
+    }
+}
+
+/// Streaming decoder for the bridge format with resynchronization.
+#[derive(Clone, Debug, Default)]
+pub struct BridgeDecoder {
+    buffer: Vec<u8>,
+    frames_ok: u64,
+    checksum_errors: u64,
+    resyncs: u64,
+}
+
+impl BridgeDecoder {
+    /// Creates a decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes bytes, returning complete CAN frames recovered.
+    pub fn push(&mut self, bytes: &[u8]) -> Vec<CanFrame> {
+        self.buffer.extend_from_slice(bytes);
+        let mut out = Vec::new();
+        loop {
+            // Hunt for the sync pair.
+            let sync_pos = self
+                .buffer
+                .windows(2)
+                .position(|w| w[0] == SYNC0 && w[1] == SYNC1);
+            match sync_pos {
+                Some(0) => {}
+                Some(n) => {
+                    self.buffer.drain(..n);
+                    self.resyncs += 1;
+                }
+                None => {
+                    // Keep at most one byte (a possible SYNC0 prefix).
+                    if self.buffer.len() > 1 {
+                        self.resyncs += 1;
+                        let keep = *self.buffer.last().expect("non-empty");
+                        self.buffer.clear();
+                        if keep == SYNC0 {
+                            self.buffer.push(keep);
+                        }
+                    }
+                    break;
+                }
+            }
+            if self.buffer.len() < 6 {
+                break; // need header + checksum at least
+            }
+            let dlc = self.buffer[4] as usize;
+            if dlc > 8 {
+                // Impossible length: false sync. Skip one byte.
+                self.buffer.drain(..1);
+                self.resyncs += 1;
+                continue;
+            }
+            let total = 6 + dlc;
+            if self.buffer.len() < total {
+                break;
+            }
+            let body = &self.buffer[2..total - 1];
+            let checksum = body.iter().fold(0u8, |acc, b| acc ^ b);
+            if checksum != self.buffer[total - 1] {
+                self.checksum_errors += 1;
+                self.buffer.drain(..1);
+                continue;
+            }
+            let id = ((self.buffer[2] as u16) << 8) | self.buffer[3] as u16;
+            match CanId::new(id).and_then(|id| CanFrame::new(id, &self.buffer[5..5 + dlc])) {
+                Some(frame) => {
+                    out.push(frame);
+                    self.frames_ok += 1;
+                }
+                None => {
+                    self.checksum_errors += 1;
+                }
+            }
+            self.buffer.drain(..total);
+        }
+        out
+    }
+
+    /// Frames successfully decoded.
+    pub fn frames_ok(&self) -> u64 {
+        self.frames_ok
+    }
+
+    /// Checksum / format failures observed.
+    pub fn checksum_errors(&self) -> u64 {
+        self.checksum_errors
+    }
+
+    /// Resynchronization events.
+    pub fn resyncs(&self) -> u64 {
+        self.resyncs
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn frame(id: u16, data: &[u8]) -> CanFrame {
+        CanFrame::new(CanId::new(id).unwrap(), data).unwrap()
+    }
+
+    #[test]
+    fn roundtrip_single_frame() {
+        let f = frame(0x123, &[1, 2, 3, 4]);
+        let mut enc = BridgeEncoder::new();
+        let mut dec = BridgeDecoder::new();
+        let got = dec.push(&enc.encode(&f));
+        assert_eq!(got, vec![f]);
+        assert_eq!(enc.frames_encoded(), 1);
+        assert_eq!(dec.frames_ok(), 1);
+    }
+
+    #[test]
+    fn roundtrip_empty_payload() {
+        let f = frame(0x7FF, &[]);
+        let mut enc = BridgeEncoder::new();
+        let mut dec = BridgeDecoder::new();
+        assert_eq!(dec.push(&enc.encode(&f)), vec![f]);
+    }
+
+    #[test]
+    fn fragmented_delivery() {
+        let f1 = frame(0x100, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let f2 = frame(0x101, &[9, 10]);
+        let mut enc = BridgeEncoder::new();
+        let mut bytes = enc.encode(&f1);
+        bytes.extend(enc.encode(&f2));
+        let mut dec = BridgeDecoder::new();
+        let mut got = Vec::new();
+        for chunk in bytes.chunks(3) {
+            got.extend(dec.push(chunk));
+        }
+        assert_eq!(got, vec![f1, f2]);
+    }
+
+    #[test]
+    fn resync_after_garbage() {
+        let f = frame(0x222, &[0xCA, 0xFE]);
+        let mut enc = BridgeEncoder::new();
+        let mut stream = vec![0x01, 0x02, 0xAA, 0x03]; // junk incl. lone SYNC0
+        stream.extend(enc.encode(&f));
+        let mut dec = BridgeDecoder::new();
+        let got = dec.push(&stream);
+        assert_eq!(got, vec![f]);
+        assert!(dec.resyncs() >= 1);
+    }
+
+    #[test]
+    fn corrupted_checksum_skipped() {
+        let f1 = frame(0x111, &[1]);
+        let f2 = frame(0x112, &[2]);
+        let mut enc = BridgeEncoder::new();
+        let mut bytes = enc.encode(&f1);
+        let n = bytes.len();
+        bytes[n - 2] ^= 0xFF; // corrupt f1 payload
+        bytes.extend(enc.encode(&f2));
+        let mut dec = BridgeDecoder::new();
+        let got = dec.push(&bytes);
+        assert_eq!(got, vec![f2]);
+        assert!(dec.checksum_errors() >= 1);
+    }
+
+    #[test]
+    fn sync_pair_split_across_pushes() {
+        let f = frame(0x0AB, &[7, 7, 7]);
+        let mut enc = BridgeEncoder::new();
+        let bytes = enc.encode(&f);
+        let mut dec = BridgeDecoder::new();
+        assert!(dec.push(&bytes[..1]).is_empty()); // just SYNC0
+        let got = dec.push(&bytes[1..]);
+        assert_eq!(got, vec![f]);
+    }
+
+    #[test]
+    fn impossible_dlc_forces_resync() {
+        let mut dec = BridgeDecoder::new();
+        // Fake header claiming DLC 200.
+        let mut stream = vec![SYNC0, SYNC1, 0x00, 0x01, 200, 0, 0, 0];
+        let f = frame(0x123, &[5]);
+        let mut enc = BridgeEncoder::new();
+        stream.extend(enc.encode(&f));
+        let got = dec.push(&stream);
+        assert_eq!(got, vec![f]);
+        assert!(dec.resyncs() >= 1);
+    }
+}

@@ -1,0 +1,480 @@
+//! CAN 2.0A (standard 11-bit identifier) data frames at the bit level.
+//!
+//! Implements the parts of ISO 11898 that matter for a simulated bus:
+//! frame field layout, the CRC-15 sequence (polynomial `0x4599`), and
+//! bit stuffing (a complement bit is inserted after five consecutive
+//! equal bits between start-of-frame and the end of the CRC sequence).
+//! Arbitration, error frames and resynchronization are out of scope —
+//! the paper's bus has a single transmitter per direction.
+//!
+//! Bit convention: `false` = dominant (0), `true` = recessive (1). The
+//! idle bus is recessive.
+
+use std::fmt;
+
+/// An 11-bit standard CAN identifier.
+///
+/// # Examples
+///
+/// ```
+/// use comms::CanId;
+/// let id = CanId::new(0x123).unwrap();
+/// assert_eq!(id.raw(), 0x123);
+/// assert!(CanId::new(0x800).is_none()); // > 11 bits
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CanId(u16);
+
+impl CanId {
+    /// Creates an identifier; `None` if it does not fit in 11 bits.
+    pub fn new(raw: u16) -> Option<Self> {
+        if raw <= 0x7FF {
+            Some(Self(raw))
+        } else {
+            None
+        }
+    }
+
+    /// The raw identifier value.
+    pub fn raw(&self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Display for CanId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x{:03X}", self.0)
+    }
+}
+
+/// A CAN 2.0A data frame: identifier plus 0-8 data bytes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CanFrame {
+    id: CanId,
+    data: Vec<u8>,
+}
+
+/// Errors detected while decoding a CAN bitstream.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CanDecodeError {
+    /// The bitstream ended before the frame was complete.
+    Truncated,
+    /// Six consecutive equal bits inside the stuffed region.
+    StuffError,
+    /// The received CRC sequence does not match the computed one.
+    CrcMismatch,
+    /// A fixed-form field (delimiter, EOF) had the wrong level.
+    FormError,
+    /// The DLC field encodes a length greater than 8.
+    InvalidDlc,
+    /// No start-of-frame (dominant bit) found in the stream.
+    NoStartOfFrame,
+}
+
+impl fmt::Display for CanDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let msg = match self {
+            CanDecodeError::Truncated => "bitstream truncated mid-frame",
+            CanDecodeError::StuffError => "bit stuffing violated",
+            CanDecodeError::CrcMismatch => "crc sequence mismatch",
+            CanDecodeError::FormError => "fixed-form field violation",
+            CanDecodeError::InvalidDlc => "dlc encodes more than 8 bytes",
+            CanDecodeError::NoStartOfFrame => "no start of frame found",
+        };
+        f.write_str(msg)
+    }
+}
+
+impl std::error::Error for CanDecodeError {}
+
+impl CanFrame {
+    /// Creates a data frame.
+    ///
+    /// Returns `None` if `data` exceeds 8 bytes.
+    pub fn new(id: CanId, data: &[u8]) -> Option<Self> {
+        if data.len() > 8 {
+            return None;
+        }
+        Some(Self {
+            id,
+            data: data.to_vec(),
+        })
+    }
+
+    /// The frame identifier.
+    pub fn id(&self) -> CanId {
+        self.id
+    }
+
+    /// The data bytes.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Serializes the frame to bus bits, including stuffing, CRC,
+    /// acknowledged ACK slot, delimiters and end-of-frame.
+    pub fn to_bits(&self) -> Vec<bool> {
+        // Unstuffed content: SOF .. data.
+        let mut raw = Vec::with_capacity(96);
+        raw.push(false); // SOF (dominant)
+        for i in (0..11).rev() {
+            raw.push((self.id.0 >> i) & 1 == 1);
+        }
+        raw.push(false); // RTR: data frame
+        raw.push(false); // IDE: standard
+        raw.push(false); // r0
+        let dlc = self.data.len() as u8;
+        for i in (0..4).rev() {
+            raw.push((dlc >> i) & 1 == 1);
+        }
+        for &b in &self.data {
+            for i in (0..8).rev() {
+                raw.push((b >> i) & 1 == 1);
+            }
+        }
+        // CRC-15 over SOF..data.
+        let crc = crc15(&raw);
+        for i in (0..15).rev() {
+            raw.push((crc >> i) & 1 == 1);
+        }
+        // Stuff SOF..CRC.
+        let mut bits = stuff(&raw);
+        bits.push(true); // CRC delimiter
+        bits.push(false); // ACK slot (driven dominant by a receiver)
+        bits.push(true); // ACK delimiter
+        bits.extend(std::iter::repeat_n(true, 7)); // EOF
+        bits
+    }
+
+    /// Decodes one frame from the front of `bits` (which may start
+    /// with idle/recessive bits). On success returns the frame and the
+    /// number of bits consumed, including EOF.
+    ///
+    /// # Errors
+    ///
+    /// Any [`CanDecodeError`] variant, as detected.
+    pub fn from_bits(bits: &[bool]) -> Result<(Self, usize), CanDecodeError> {
+        // Skip idle (recessive) bits to the SOF.
+        let sof = bits
+            .iter()
+            .position(|&b| !b)
+            .ok_or(CanDecodeError::NoStartOfFrame)?;
+        let mut reader = DestuffReader::new(&bits[sof..]);
+
+        let mut header = vec![false]; // SOF already consumed conceptually
+        reader.advance_past_sof()?;
+        // ID(11) + RTR + IDE + r0 + DLC(4) = 18 bits.
+        for _ in 0..18 {
+            header.push(reader.next()?);
+        }
+        let mut id: u16 = 0;
+        for &b in &header[1..12] {
+            id = (id << 1) | b as u16;
+        }
+        let dlc_bits = &header[15..19];
+        let mut dlc: usize = 0;
+        for &b in dlc_bits {
+            dlc = (dlc << 1) | b as usize;
+        }
+        if dlc > 8 {
+            return Err(CanDecodeError::InvalidDlc);
+        }
+        let mut data = Vec::with_capacity(dlc);
+        for _ in 0..dlc {
+            let mut byte = 0u8;
+            for _ in 0..8 {
+                let b = reader.next()?;
+                header.push(b);
+                byte = (byte << 1) | b as u8;
+            }
+            data.push(byte);
+        }
+        let computed = crc15(&header);
+        let mut received: u16 = 0;
+        for _ in 0..15 {
+            received = (received << 1) | reader.next()? as u16;
+        }
+        if received != computed {
+            return Err(CanDecodeError::CrcMismatch);
+        }
+        // The stuffed region ends with the CRC sequence; absorb a
+        // pending trailing stuff bit before the fixed-form tail.
+        reader.finish()?;
+        // Fixed-form tail (not stuffed): CRC delim, ACK, ACK delim, EOF.
+        let tail_start = sof + reader.consumed();
+        let tail = &bits[tail_start..];
+        if tail.len() < 10 {
+            return Err(CanDecodeError::Truncated);
+        }
+        if !tail[0] {
+            return Err(CanDecodeError::FormError); // CRC delimiter recessive
+        }
+        // tail[1] is the ACK slot: either level is accepted.
+        if !tail[2] {
+            return Err(CanDecodeError::FormError); // ACK delimiter recessive
+        }
+        if tail[3..10].iter().any(|&b| !b) {
+            return Err(CanDecodeError::FormError); // EOF recessive
+        }
+        let frame = CanFrame {
+            id: CanId(id),
+            data,
+        };
+        Ok((frame, tail_start + 10))
+    }
+
+    /// Nominal frame length on the wire in bit times (after stuffing),
+    /// used for bus-load calculations.
+    pub fn wire_bits(&self) -> usize {
+        self.to_bits().len()
+    }
+}
+
+/// CAN CRC-15, polynomial `x^15 + x^14 + x^10 + x^8 + x^7 + x^4 + x^3 + 1`
+/// (0x4599), over a bit slice.
+pub fn crc15(bits: &[bool]) -> u16 {
+    let mut crc: u16 = 0;
+    for &bit in bits {
+        let crc_next = ((crc >> 14) & 1 == 1) ^ bit;
+        crc = (crc << 1) & 0x7FFF;
+        if crc_next {
+            crc ^= 0x4599;
+        }
+    }
+    crc
+}
+
+/// Inserts a complement bit after every run of five equal bits.
+fn stuff(bits: &[bool]) -> Vec<bool> {
+    let mut out = Vec::with_capacity(bits.len() + bits.len() / 5);
+    let mut run_level = None;
+    let mut run_len = 0usize;
+    for &b in bits {
+        out.push(b);
+        if Some(b) == run_level {
+            run_len += 1;
+        } else {
+            run_level = Some(b);
+            run_len = 1;
+        }
+        if run_len == 5 {
+            out.push(!b);
+            run_level = Some(!b);
+            run_len = 1;
+        }
+    }
+    out
+}
+
+/// Streaming destuffer over a bit slice starting at the SOF.
+struct DestuffReader<'a> {
+    bits: &'a [bool],
+    pos: usize,
+    run_level: bool,
+    run_len: usize,
+}
+
+impl<'a> DestuffReader<'a> {
+    fn new(bits: &'a [bool]) -> Self {
+        Self {
+            bits,
+            pos: 0,
+            run_level: true,
+            run_len: 0,
+        }
+    }
+
+    /// Consumes the SOF bit (must be dominant).
+    fn advance_past_sof(&mut self) -> Result<(), CanDecodeError> {
+        if self.bits.is_empty() {
+            return Err(CanDecodeError::Truncated);
+        }
+        debug_assert!(!self.bits[0], "caller located SOF");
+        self.pos = 1;
+        self.run_level = false;
+        self.run_len = 1;
+        Ok(())
+    }
+
+    /// Next logical (destuffed) bit.
+    fn next(&mut self) -> Result<bool, CanDecodeError> {
+        if self.run_len == 5 {
+            // A stuff bit must follow, with the complement level.
+            let stuff_bit = *self.bits.get(self.pos).ok_or(CanDecodeError::Truncated)?;
+            self.pos += 1;
+            if stuff_bit == self.run_level {
+                return Err(CanDecodeError::StuffError);
+            }
+            self.run_level = stuff_bit;
+            self.run_len = 1;
+        }
+        let b = *self.bits.get(self.pos).ok_or(CanDecodeError::Truncated)?;
+        self.pos += 1;
+        if b == self.run_level {
+            self.run_len += 1;
+        } else {
+            self.run_level = b;
+            self.run_len = 1;
+        }
+        Ok(b)
+    }
+
+    /// Consumes a trailing stuff bit if one is pending (the stuffed
+    /// region ends right after the CRC sequence; if the final CRC bit
+    /// completed a run of five, the transmitter inserted one more
+    /// stuff bit before the CRC delimiter).
+    fn finish(&mut self) -> Result<(), CanDecodeError> {
+        if self.run_len == 5 {
+            let stuff_bit = *self.bits.get(self.pos).ok_or(CanDecodeError::Truncated)?;
+            self.pos += 1;
+            if stuff_bit == self.run_level {
+                return Err(CanDecodeError::StuffError);
+            }
+        }
+        Ok(())
+    }
+
+    /// Raw bits consumed so far (including stuff bits and the SOF).
+    fn consumed(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(id: u16, data: &[u8]) {
+        let frame = CanFrame::new(CanId::new(id).unwrap(), data).unwrap();
+        let bits = frame.to_bits();
+        let (decoded, consumed) = CanFrame::from_bits(&bits).unwrap();
+        assert_eq!(decoded, frame);
+        assert_eq!(consumed, bits.len());
+    }
+
+    #[test]
+    fn roundtrip_various_frames() {
+        roundtrip(0x000, &[]);
+        roundtrip(0x7FF, &[0xFF; 8]);
+        roundtrip(0x123, &[0xDE, 0xAD, 0xBE, 0xEF]);
+        roundtrip(0x555, &[0x00; 8]);
+        roundtrip(0x2AA, &[0x01]);
+    }
+
+    #[test]
+    fn id_validation() {
+        assert!(CanId::new(0x7FF).is_some());
+        assert!(CanId::new(0x800).is_none());
+        assert_eq!(format!("{}", CanId::new(0x12).unwrap()), "0x012");
+    }
+
+    #[test]
+    fn rejects_oversize_data() {
+        assert!(CanFrame::new(CanId::new(1).unwrap(), &[0u8; 9]).is_none());
+    }
+
+    #[test]
+    fn leading_idle_bits_are_skipped() {
+        let frame = CanFrame::new(CanId::new(0x321).unwrap(), &[1, 2, 3]).unwrap();
+        let mut bits = vec![true; 13]; // idle
+        bits.extend(frame.to_bits());
+        let (decoded, consumed) = CanFrame::from_bits(&bits).unwrap();
+        assert_eq!(decoded, frame);
+        assert_eq!(consumed, bits.len());
+    }
+
+    #[test]
+    fn crc_corruption_detected() {
+        let frame = CanFrame::new(CanId::new(0x100).unwrap(), &[9, 8, 7]).unwrap();
+        let mut bits = frame.to_bits();
+        // Flip a data-region bit (after the 19-bit header, before CRC).
+        // Find a safe index: flip bit 25 (inside data field).
+        bits[25] = !bits[25];
+        let err = CanFrame::from_bits(&bits).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                CanDecodeError::CrcMismatch | CanDecodeError::StuffError | CanDecodeError::InvalidDlc
+            ),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn stuffing_never_leaves_six_equal_bits() {
+        // All-zero data maximizes stuffing pressure.
+        let frame = CanFrame::new(CanId::new(0).unwrap(), &[0u8; 8]).unwrap();
+        let bits = frame.to_bits();
+        // Check the stuffed region only (up to CRC end); EOF is 7
+        // recessive by design. Find it: last 10 bits are fixed tail.
+        let stuffed = &bits[..bits.len() - 10];
+        let mut run = 1;
+        for w in stuffed.windows(2) {
+            if w[0] == w[1] {
+                run += 1;
+                assert!(run <= 5, "six equal bits in stuffed region");
+            } else {
+                run = 1;
+            }
+        }
+    }
+
+    #[test]
+    fn truncated_stream_reports_truncated() {
+        let frame = CanFrame::new(CanId::new(0x42).unwrap(), &[1, 2, 3, 4]).unwrap();
+        let bits = frame.to_bits();
+        let err = CanFrame::from_bits(&bits[..bits.len() / 2]).unwrap_err();
+        assert!(matches!(
+            err,
+            CanDecodeError::Truncated | CanDecodeError::CrcMismatch
+        ));
+    }
+
+    #[test]
+    fn all_recessive_has_no_sof() {
+        let err = CanFrame::from_bits(&[true; 50]).unwrap_err();
+        assert_eq!(err, CanDecodeError::NoStartOfFrame);
+    }
+
+    #[test]
+    fn eof_corruption_is_form_error() {
+        let frame = CanFrame::new(CanId::new(0x42).unwrap(), &[5]).unwrap();
+        let mut bits = frame.to_bits();
+        let n = bits.len();
+        bits[n - 1] = false; // corrupt last EOF bit
+        assert_eq!(
+            CanFrame::from_bits(&bits).unwrap_err(),
+            CanDecodeError::FormError
+        );
+    }
+
+    #[test]
+    fn crc15_known_vector() {
+        // CRC of an empty sequence is zero; one dominant bit gives the poly.
+        assert_eq!(crc15(&[]), 0);
+        assert_eq!(crc15(&[true]), 0x4599);
+        // Shifting in zeros just shifts (no feedback taps hit).
+        assert_eq!(crc15(&[false, false, false]), 0);
+    }
+
+    #[test]
+    fn back_to_back_frames_decode_sequentially() {
+        let f1 = CanFrame::new(CanId::new(0x100).unwrap(), &[1, 2]).unwrap();
+        let f2 = CanFrame::new(CanId::new(0x101).unwrap(), &[3, 4, 5]).unwrap();
+        let mut bits = f1.to_bits();
+        bits.extend(std::iter::repeat_n(true, 3)); // interframe space
+        bits.extend(f2.to_bits());
+        let (d1, used1) = CanFrame::from_bits(&bits).unwrap();
+        assert_eq!(d1, f1);
+        let (d2, _) = CanFrame::from_bits(&bits[used1..]).unwrap();
+        assert_eq!(d2, f2);
+    }
+
+    #[test]
+    fn wire_bits_accounts_for_stuffing() {
+        // Frame with zero data and ID 0 stuffs heavily; the wire length
+        // must exceed the unstuffed field count (1+11+3+4+15+10 = 44).
+        let frame = CanFrame::new(CanId::new(0).unwrap(), &[]).unwrap();
+        assert!(frame.wire_bits() > 44);
+    }
+}

@@ -1,0 +1,250 @@
+//! DMU CAN message protocol.
+//!
+//! Each DMU output sample is carried in two standard CAN data frames:
+//!
+//! * identifier [`DMU_GYRO_ID`]: sequence counter (u16 LE) + the three
+//!   gyro words (i16 LE each) — 8 bytes;
+//! * identifier [`DMU_ACCEL_ID`]: sequence counter (u16 LE) + the
+//!   three accelerometer words (i16 LE each) — 8 bytes.
+//!
+//! The decoder pairs the two halves by sequence number and reassembles
+//! a [`DmuSample`], unwrapping the 16-bit counter into a sample time.
+
+use crate::can::{CanFrame, CanId};
+use sensors::DmuSample;
+use std::collections::HashMap;
+
+/// CAN identifier of the gyro half-message.
+pub const DMU_GYRO_ID: u16 = 0x100;
+/// CAN identifier of the accelerometer half-message.
+pub const DMU_ACCEL_ID: u16 = 0x101;
+
+/// Encoder/decoder for the DMU CAN protocol.
+///
+/// # Examples
+///
+/// ```
+/// use comms::DmuCanCodec;
+/// use mathx::Vec3;
+/// use sensors::DmuSample;
+///
+/// let sample = DmuSample { seq: 7, time_s: 0.07, gyro: Vec3::zeros(), accel: Vec3::zeros() };
+/// let mut codec = DmuCanCodec::new(100.0);
+/// let [f_gyro, f_accel] = DmuCanCodec::encode(&sample);
+/// assert!(codec.decode(&f_gyro).is_none()); // half a sample: nothing yet
+/// let out = codec.decode(&f_accel).expect("pair complete");
+/// assert_eq!(out.seq, 7);
+/// ```
+#[derive(Clone, Debug)]
+pub struct DmuCanCodec {
+    sample_rate_hz: f64,
+    pending_gyro: HashMap<u16, [i16; 3]>,
+    pending_accel: HashMap<u16, [i16; 3]>,
+    last_seq: Option<u16>,
+    unwrapped: u64,
+    seq_gaps: u64,
+    malformed: u64,
+}
+
+impl DmuCanCodec {
+    /// Creates a codec; the sample rate converts sequence numbers to
+    /// sample times on decode.
+    pub fn new(sample_rate_hz: f64) -> Self {
+        Self {
+            sample_rate_hz,
+            pending_gyro: HashMap::new(),
+            pending_accel: HashMap::new(),
+            last_seq: None,
+            unwrapped: 0,
+            seq_gaps: 0,
+            malformed: 0,
+        }
+    }
+
+    /// Encodes a sample into its two CAN frames `[gyro, accel]`.
+    pub fn encode(sample: &DmuSample) -> [CanFrame; 2] {
+        let words = sample.to_words();
+        let mut gyro = Vec::with_capacity(8);
+        gyro.extend_from_slice(&sample.seq.to_le_bytes());
+        for w in &words[0..3] {
+            gyro.extend_from_slice(&w.to_le_bytes());
+        }
+        let mut accel = Vec::with_capacity(8);
+        accel.extend_from_slice(&sample.seq.to_le_bytes());
+        for w in &words[3..6] {
+            accel.extend_from_slice(&w.to_le_bytes());
+        }
+        [
+            CanFrame::new(CanId::new(DMU_GYRO_ID).expect("11-bit"), &gyro).expect("8 bytes"),
+            CanFrame::new(CanId::new(DMU_ACCEL_ID).expect("11-bit"), &accel).expect("8 bytes"),
+        ]
+    }
+
+    /// Consumes one CAN frame; returns a full sample when both halves
+    /// of a sequence number have arrived. Frames with other identifiers
+    /// are ignored; short frames are counted as malformed.
+    pub fn decode(&mut self, frame: &CanFrame) -> Option<DmuSample> {
+        let id = frame.id().raw();
+        if id != DMU_GYRO_ID && id != DMU_ACCEL_ID {
+            return None;
+        }
+        let data = frame.data();
+        if data.len() != 8 {
+            self.malformed += 1;
+            return None;
+        }
+        let seq = u16::from_le_bytes([data[0], data[1]]);
+        let words = [
+            i16::from_le_bytes([data[2], data[3]]),
+            i16::from_le_bytes([data[4], data[5]]),
+            i16::from_le_bytes([data[6], data[7]]),
+        ];
+        if id == DMU_GYRO_ID {
+            self.pending_gyro.insert(seq, words);
+        } else {
+            self.pending_accel.insert(seq, words);
+        }
+        let (g, a) = match (self.pending_gyro.get(&seq), self.pending_accel.get(&seq)) {
+            (Some(g), Some(a)) => (*g, *a),
+            _ => return None,
+        };
+        self.pending_gyro.remove(&seq);
+        self.pending_accel.remove(&seq);
+        // Unwrap the 16-bit counter and track gaps.
+        if let Some(last) = self.last_seq {
+            let delta = seq.wrapping_sub(last);
+            if delta == 0 {
+                // Duplicate; ignore for gap accounting.
+            } else {
+                if delta != 1 {
+                    self.seq_gaps += u64::from(delta) - 1;
+                }
+                self.unwrapped += u64::from(delta);
+            }
+        }
+        self.last_seq = Some(seq);
+        let time_s = self.unwrapped as f64 / self.sample_rate_hz;
+        Some(DmuSample::from_words(
+            seq,
+            time_s,
+            [g[0], g[1], g[2], a[0], a[1], a[2]],
+        ))
+    }
+
+    /// Total missing samples detected from sequence gaps.
+    pub fn seq_gaps(&self) -> u64 {
+        self.seq_gaps
+    }
+
+    /// Frames with the right identifier but wrong length.
+    pub fn malformed(&self) -> u64 {
+        self.malformed
+    }
+
+    /// Half-samples currently waiting for their sibling.
+    pub fn pending(&self) -> usize {
+        self.pending_gyro.len() + self.pending_accel.len()
+    }
+
+    /// Drops pending half-samples older than `max_pending` entries
+    /// (bounds memory when one half of the stream is lossy).
+    pub fn evict_stale(&mut self, max_pending: usize) {
+        if self.pending_gyro.len() > max_pending {
+            self.pending_gyro.clear();
+        }
+        if self.pending_accel.len() > max_pending {
+            self.pending_accel.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathx::Vec3;
+
+    fn sample(seq: u16) -> DmuSample {
+        DmuSample {
+            seq,
+            time_s: seq as f64 * 0.01,
+            gyro: Vec3::new([0.01, -0.02, 0.3]),
+            accel: Vec3::new([0.5, -1.0, 9.8]),
+        }
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let s = sample(3);
+        let mut codec = DmuCanCodec::new(100.0);
+        let [g, a] = DmuCanCodec::encode(&s);
+        assert!(codec.decode(&g).is_none());
+        let out = codec.decode(&a).unwrap();
+        assert_eq!(out.seq, 3);
+        // Word quantization only.
+        assert!((out.gyro - s.gyro).max_abs() < 2e-4);
+        assert!((out.accel - s.accel).max_abs() < 2e-3);
+    }
+
+    #[test]
+    fn order_of_halves_does_not_matter() {
+        let s = sample(9);
+        let mut codec = DmuCanCodec::new(100.0);
+        let [g, a] = DmuCanCodec::encode(&s);
+        assert!(codec.decode(&a).is_none());
+        assert!(codec.decode(&g).is_some());
+    }
+
+    #[test]
+    fn unrelated_ids_ignored() {
+        let mut codec = DmuCanCodec::new(100.0);
+        let other = CanFrame::new(CanId::new(0x200).unwrap(), &[0; 8]).unwrap();
+        assert!(codec.decode(&other).is_none());
+        assert_eq!(codec.malformed(), 0);
+    }
+
+    #[test]
+    fn short_frame_is_malformed() {
+        let mut codec = DmuCanCodec::new(100.0);
+        let short = CanFrame::new(CanId::new(DMU_GYRO_ID).unwrap(), &[0; 4]).unwrap();
+        assert!(codec.decode(&short).is_none());
+        assert_eq!(codec.malformed(), 1);
+    }
+
+    #[test]
+    fn sequence_gap_detection() {
+        let mut codec = DmuCanCodec::new(100.0);
+        for seq in [0u16, 1, 2, 5, 6] {
+            let [g, a] = DmuCanCodec::encode(&sample(seq));
+            codec.decode(&g);
+            codec.decode(&a);
+        }
+        assert_eq!(codec.seq_gaps(), 2); // samples 3 and 4 missing
+    }
+
+    #[test]
+    fn sequence_wrap_unwraps_time() {
+        let mut codec = DmuCanCodec::new(100.0);
+        let mut last_time = -1.0;
+        for seq in [65534u16, 65535, 0, 1] {
+            let [g, a] = DmuCanCodec::encode(&sample(seq));
+            codec.decode(&g);
+            let out = codec.decode(&a).unwrap();
+            assert!(out.time_s > last_time, "time went backwards at {seq}");
+            last_time = out.time_s;
+        }
+        assert_eq!(codec.seq_gaps(), 0);
+    }
+
+    #[test]
+    fn eviction_bounds_memory() {
+        let mut codec = DmuCanCodec::new(100.0);
+        // Only gyro halves arrive.
+        for seq in 0..100u16 {
+            let [g, _] = DmuCanCodec::encode(&sample(seq));
+            codec.decode(&g);
+        }
+        assert_eq!(codec.pending(), 100);
+        codec.evict_stale(50);
+        assert_eq!(codec.pending(), 0);
+    }
+}

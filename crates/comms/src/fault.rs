@@ -1,0 +1,167 @@
+//! Byte-stream fault injection for robustness testing.
+
+use rand::{Rng, RngExt as _};
+
+/// Configurable corruption of a byte stream: independent bit flips,
+/// byte drops, and burst errors.
+///
+/// # Examples
+///
+/// ```
+/// use comms::FaultInjector;
+/// use mathx::rng::seeded_rng;
+///
+/// let mut fi = FaultInjector::new(0.0, 0.0); // clean channel
+/// let mut rng = seeded_rng(1);
+/// assert_eq!(fi.apply(&[1, 2, 3], &mut rng), vec![1, 2, 3]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    bit_flip_prob: f64,
+    drop_prob: f64,
+    burst_prob: f64,
+    burst_len: usize,
+    bits_flipped: u64,
+    bytes_dropped: u64,
+    bursts: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector with per-byte bit-flip probability and
+    /// per-byte drop probability. Burst errors default to off.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a probability is outside `[0, 1]`.
+    pub fn new(bit_flip_prob: f64, drop_prob: f64) -> Self {
+        assert!((0.0..=1.0).contains(&bit_flip_prob), "probability range");
+        assert!((0.0..=1.0).contains(&drop_prob), "probability range");
+        Self {
+            bit_flip_prob,
+            drop_prob,
+            burst_prob: 0.0,
+            burst_len: 0,
+            bits_flipped: 0,
+            bytes_dropped: 0,
+            bursts: 0,
+        }
+    }
+
+    /// Enables burst errors: with probability `prob` per byte, the next
+    /// `len` bytes are replaced with noise.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `prob` is outside `[0, 1]`.
+    pub fn with_bursts(mut self, prob: f64, len: usize) -> Self {
+        assert!((0.0..=1.0).contains(&prob), "probability range");
+        self.burst_prob = prob;
+        self.burst_len = len;
+        self
+    }
+
+    /// Applies the configured faults to a byte slice.
+    pub fn apply<R: Rng + ?Sized>(&mut self, bytes: &[u8], rng: &mut R) -> Vec<u8> {
+        let mut out = Vec::with_capacity(bytes.len());
+        let mut burst_remaining = 0usize;
+        for &b in bytes {
+            if burst_remaining > 0 {
+                burst_remaining -= 1;
+                out.push(rng.random::<u8>());
+                continue;
+            }
+            if self.burst_prob > 0.0 && rng.random::<f64>() < self.burst_prob {
+                self.bursts += 1;
+                burst_remaining = self.burst_len.saturating_sub(1);
+                out.push(rng.random::<u8>());
+                continue;
+            }
+            if self.drop_prob > 0.0 && rng.random::<f64>() < self.drop_prob {
+                self.bytes_dropped += 1;
+                continue;
+            }
+            let mut byte = b;
+            if self.bit_flip_prob > 0.0 && rng.random::<f64>() < self.bit_flip_prob {
+                let bit = rng.random_range(0..8);
+                byte ^= 1 << bit;
+                self.bits_flipped += 1;
+            }
+            out.push(byte);
+        }
+        out
+    }
+
+    /// Total single-bit flips injected.
+    pub fn bits_flipped(&self) -> u64 {
+        self.bits_flipped
+    }
+
+    /// Total bytes silently dropped.
+    pub fn bytes_dropped(&self) -> u64 {
+        self.bytes_dropped
+    }
+
+    /// Total burst events started.
+    pub fn bursts(&self) -> u64 {
+        self.bursts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathx::rng::seeded_rng;
+
+    #[test]
+    fn clean_channel_is_identity() {
+        let mut fi = FaultInjector::new(0.0, 0.0);
+        let mut rng = seeded_rng(1);
+        let data: Vec<u8> = (0..200).map(|i| i as u8).collect();
+        assert_eq!(fi.apply(&data, &mut rng), data);
+        assert_eq!(fi.bits_flipped(), 0);
+        assert_eq!(fi.bytes_dropped(), 0);
+    }
+
+    #[test]
+    fn drop_rate_statistics() {
+        let mut fi = FaultInjector::new(0.0, 0.1);
+        let mut rng = seeded_rng(2);
+        let data = vec![0u8; 100_000];
+        let out = fi.apply(&data, &mut rng);
+        let dropped = data.len() - out.len();
+        assert!(dropped > 8_000 && dropped < 12_000, "dropped {dropped}");
+        assert_eq!(fi.bytes_dropped() as usize, dropped);
+    }
+
+    #[test]
+    fn bit_flips_change_exactly_one_bit() {
+        let mut fi = FaultInjector::new(1.0, 0.0); // flip every byte
+        let mut rng = seeded_rng(3);
+        let data = vec![0u8; 1000];
+        let out = fi.apply(&data, &mut rng);
+        assert_eq!(out.len(), 1000);
+        for &b in &out {
+            assert_eq!(b.count_ones(), 1);
+        }
+        assert_eq!(fi.bits_flipped(), 1000);
+    }
+
+    #[test]
+    fn bursts_replace_runs() {
+        let mut fi = FaultInjector::new(0.0, 0.0).with_bursts(0.01, 16);
+        let mut rng = seeded_rng(4);
+        let data = vec![0x42u8; 50_000];
+        let out = fi.apply(&data, &mut rng);
+        assert_eq!(out.len(), data.len());
+        assert!(fi.bursts() > 100);
+        // Corrupted bytes should be roughly bursts * 16.
+        let corrupted = out.iter().filter(|&&b| b != 0x42).count();
+        assert!(corrupted as u64 > fi.bursts() * 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_panics() {
+        let _ = FaultInjector::new(1.5, 0.0);
+    }
+}

@@ -1,0 +1,41 @@
+//! Communication substrate: CAN, UART and sensor stream reconstruction.
+//!
+//! The paper's data path is:
+//!
+//! ```text
+//! DMU --CAN--> [CAN-to-RS232 bridge] --serial--> FPGA UART 1
+//! ACC (eval board) ------------------serial----> FPGA UART 2
+//! ```
+//!
+//! This crate implements each stage:
+//!
+//! * [`can`] — CAN 2.0A framing at the bit level: identifier/DLC/data
+//!   layout, CRC-15 (polynomial `0x4599`) and bit stuffing, with error
+//!   detection on decode.
+//! * [`uart`] — 8N1 serial: bit-level framing with framing-error
+//!   detection and a byte-level rate-limited link model for long runs.
+//! * [`dmu_protocol`] — packing of DMU samples into two CAN frames.
+//! * [`adxl_protocol`] — the ADXL202 evaluation-board serial packet.
+//! * [`bridge`] — the CAN-to-RS232 converter framing CAN frames onto a
+//!   byte stream.
+//! * [`reconstruct`] — the "data reconstruction" stage of the paper's
+//!   fusion algorithm: resynchronizing, validating and timestamping the
+//!   two sensor streams, with drop/error statistics.
+//! * [`fault`] — fault injection (bit flips, drops, bursts) for
+//!   robustness tests.
+
+pub mod adxl_protocol;
+pub mod bridge;
+pub mod can;
+pub mod dmu_protocol;
+pub mod fault;
+pub mod reconstruct;
+pub mod uart;
+
+pub use adxl_protocol::{AdxlPacket, ADXL_PACKET_LEN, ADXL_SYNC};
+pub use bridge::{BridgeDecoder, BridgeEncoder};
+pub use can::{CanDecodeError, CanFrame, CanId};
+pub use dmu_protocol::{DmuCanCodec, DMU_ACCEL_ID, DMU_GYRO_ID};
+pub use fault::FaultInjector;
+pub use reconstruct::{Reconstructor, SensorMessage, StreamStats};
+pub use uart::{UartConfig, UartError, UartLink, UartReceiver, UartTransmitter};

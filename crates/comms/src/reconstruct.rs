@@ -1,0 +1,306 @@
+//! Data reconstruction: from raw serial bytes to validated, timestamped
+//! sensor messages.
+//!
+//! This is the first stage of the paper's "Sensor Fusion Algorithm"
+//! ("after data reconstruction and subsequent data fusion, the data is
+//! passed through a Kalman Filter"). The reconstructor owns the two
+//! decode chains:
+//!
+//! * DMU chain: bridge framing -> CAN frame -> DMU protocol pairing;
+//! * ACC chain: eval-board packet framing.
+//!
+//! and emits a single time-ordered queue of [`SensorMessage`]s together
+//! with link-health statistics.
+
+use crate::adxl_protocol::AdxlDecoder;
+use crate::bridge::BridgeDecoder;
+use crate::dmu_protocol::DmuCanCodec;
+use sensors::{DmuSample, DutyCycleSample};
+use std::collections::VecDeque;
+
+/// A reconstructed sensor message.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum SensorMessage {
+    /// A complete DMU inertial sample.
+    Dmu(DmuSample),
+    /// A complete ACC duty-cycle sample.
+    Acc(DutyCycleSample),
+}
+
+impl SensorMessage {
+    /// The embedded sample time, seconds.
+    pub fn time_s(&self) -> f64 {
+        match self {
+            SensorMessage::Dmu(s) => s.time_s,
+            SensorMessage::Acc(s) => s.time_s,
+        }
+    }
+}
+
+/// Link-health statistics of one reconstructed stream pair.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StreamStats {
+    /// DMU samples reconstructed.
+    pub dmu_samples: u64,
+    /// ACC samples reconstructed.
+    pub acc_samples: u64,
+    /// Bridge/CAN checksum or framing errors on the DMU chain.
+    pub dmu_errors: u64,
+    /// Missing DMU samples inferred from sequence gaps.
+    pub dmu_gaps: u64,
+    /// Eval-board checksum errors on the ACC chain.
+    pub acc_errors: u64,
+    /// Missing ACC samples inferred from sequence gaps.
+    pub acc_gaps: u64,
+    /// Raw bytes consumed (both chains).
+    pub bytes_in: u64,
+}
+
+/// Reconstructs the two sensor streams of the boresighting system.
+///
+/// # Examples
+///
+/// ```
+/// use comms::{BridgeEncoder, DmuCanCodec, Reconstructor, SensorMessage};
+/// use mathx::Vec3;
+/// use sensors::DmuSample;
+///
+/// let mut recon = Reconstructor::new(100.0, 200.0);
+/// let sample = DmuSample { seq: 0, time_s: 0.0, gyro: Vec3::zeros(), accel: Vec3::zeros() };
+/// let mut enc = BridgeEncoder::new();
+/// for frame in DmuCanCodec::encode(&sample) {
+///     recon.push_dmu_bytes(&enc.encode(&frame));
+/// }
+/// let msgs = recon.drain();
+/// assert!(matches!(msgs[0], SensorMessage::Dmu(_)));
+/// ```
+#[derive(Clone, Debug)]
+pub struct Reconstructor {
+    bridge: BridgeDecoder,
+    dmu_codec: DmuCanCodec,
+    adxl: AdxlDecoder,
+    acc_rate_hz: f64,
+    acc_last_seq: Option<u8>,
+    acc_unwrapped: u64,
+    acc_gaps: u64,
+    queue: VecDeque<SensorMessage>,
+    bytes_in: u64,
+}
+
+impl Reconstructor {
+    /// Creates a reconstructor; the rates convert sequence counters to
+    /// sample times.
+    pub fn new(dmu_rate_hz: f64, acc_rate_hz: f64) -> Self {
+        Self {
+            bridge: BridgeDecoder::new(),
+            dmu_codec: DmuCanCodec::new(dmu_rate_hz),
+            adxl: AdxlDecoder::new(),
+            acc_rate_hz,
+            acc_last_seq: None,
+            acc_unwrapped: 0,
+            acc_gaps: 0,
+            queue: VecDeque::new(),
+            bytes_in: 0,
+        }
+    }
+
+    /// Feeds bytes from the DMU serial port (bridge output).
+    pub fn push_dmu_bytes(&mut self, bytes: &[u8]) {
+        self.bytes_in += bytes.len() as u64;
+        for frame in self.bridge.push(bytes) {
+            if let Some(sample) = self.dmu_codec.decode(&frame) {
+                self.queue.push_back(SensorMessage::Dmu(sample));
+            }
+        }
+        self.dmu_codec.evict_stale(64);
+    }
+
+    /// Feeds bytes from the ACC serial port (eval board output).
+    pub fn push_acc_bytes(&mut self, bytes: &[u8]) {
+        self.bytes_in += bytes.len() as u64;
+        for packet in self.adxl.push(bytes) {
+            // Unwrap the 8-bit counter.
+            if let Some(last) = self.acc_last_seq {
+                let delta = packet.seq.wrapping_sub(last);
+                if delta != 0 {
+                    if delta != 1 {
+                        self.acc_gaps += u64::from(delta) - 1;
+                    }
+                    self.acc_unwrapped += u64::from(delta);
+                }
+            }
+            self.acc_last_seq = Some(packet.seq);
+            let time_s = self.acc_unwrapped as f64 / self.acc_rate_hz;
+            let sample = packet.to_sample((self.acc_unwrapped & 0xFFFF) as u16, time_s);
+            self.queue.push_back(SensorMessage::Acc(sample));
+        }
+    }
+
+    /// Pops the next reconstructed message, if any.
+    pub fn pop(&mut self) -> Option<SensorMessage> {
+        self.queue.pop_front()
+    }
+
+    /// Drains all queued messages.
+    pub fn drain(&mut self) -> Vec<SensorMessage> {
+        self.queue.drain(..).collect()
+    }
+
+    /// Current statistics snapshot.
+    pub fn stats(&self) -> StreamStats {
+        StreamStats {
+            dmu_samples: self.count_queued_dmu() + self.dmu_emitted(),
+            acc_samples: self.adxl.packets_ok(),
+            dmu_errors: self.bridge.checksum_errors(),
+            dmu_gaps: self.dmu_codec.seq_gaps(),
+            acc_errors: self.adxl.checksum_errors(),
+            acc_gaps: self.acc_gaps,
+            bytes_in: self.bytes_in,
+        }
+    }
+
+    fn count_queued_dmu(&self) -> u64 {
+        0 // emitted count is tracked via the bridge frames; see dmu_emitted
+    }
+
+    fn dmu_emitted(&self) -> u64 {
+        // Every two good protocol frames produce one sample; gaps aside,
+        // use frames_ok / 2 as the reconstruction count.
+        self.bridge.frames_ok() / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adxl_protocol::AdxlPacket;
+    use crate::bridge::BridgeEncoder;
+    use crate::fault::FaultInjector;
+    use mathx::rng::seeded_rng;
+    use mathx::Vec3;
+
+    fn dmu_sample(seq: u16) -> DmuSample {
+        DmuSample {
+            seq,
+            time_s: seq as f64 * 0.01,
+            gyro: Vec3::new([0.01, 0.02, 0.03]),
+            accel: Vec3::new([0.0, 0.0, 9.8]),
+        }
+    }
+
+    fn acc_sample(seq: u16) -> DutyCycleSample {
+        DutyCycleSample {
+            seq,
+            time_s: seq as f64 * 0.005,
+            t1_x_us: 500.0,
+            t1_y_us: 510.0,
+            t2_us: 1000.0,
+        }
+    }
+
+    #[test]
+    fn reconstructs_both_streams() {
+        let mut recon = Reconstructor::new(100.0, 200.0);
+        let mut enc = BridgeEncoder::new();
+        for seq in 0..10u16 {
+            for frame in DmuCanCodec::encode(&dmu_sample(seq)) {
+                recon.push_dmu_bytes(&enc.encode(&frame));
+            }
+            let p = AdxlPacket::from_sample(&acc_sample(seq));
+            recon.push_acc_bytes(&p.to_bytes());
+        }
+        let msgs = recon.drain();
+        let dmu_count = msgs
+            .iter()
+            .filter(|m| matches!(m, SensorMessage::Dmu(_)))
+            .count();
+        let acc_count = msgs
+            .iter()
+            .filter(|m| matches!(m, SensorMessage::Acc(_)))
+            .count();
+        assert_eq!(dmu_count, 10);
+        assert_eq!(acc_count, 10);
+        let stats = recon.stats();
+        assert_eq!(stats.dmu_gaps, 0);
+        assert_eq!(stats.acc_gaps, 0);
+        assert!(stats.bytes_in > 0);
+    }
+
+    #[test]
+    fn timestamps_advance_at_stream_rates() {
+        let mut recon = Reconstructor::new(100.0, 200.0);
+        let mut enc = BridgeEncoder::new();
+        for seq in 0..5u16 {
+            for frame in DmuCanCodec::encode(&dmu_sample(seq)) {
+                recon.push_dmu_bytes(&enc.encode(&frame));
+            }
+        }
+        let times: Vec<f64> = recon.drain().iter().map(|m| m.time_s()).collect();
+        for (i, t) in times.iter().enumerate() {
+            assert!((t - i as f64 * 0.01).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn survives_noisy_channel() {
+        let mut recon = Reconstructor::new(100.0, 200.0);
+        let mut enc = BridgeEncoder::new();
+        let mut fi = FaultInjector::new(0.002, 0.001);
+        let mut rng = seeded_rng(1);
+        let n = 500u16;
+        for seq in 0..n {
+            for frame in DmuCanCodec::encode(&dmu_sample(seq)) {
+                let corrupted = fi.apply(&enc.encode(&frame), &mut rng);
+                recon.push_dmu_bytes(&corrupted);
+            }
+        }
+        let msgs = recon.drain();
+        // Most samples must survive; corrupted ones must be *detected*,
+        // not silently wrong.
+        assert!(msgs.len() > 400, "only {} of {} survived", msgs.len(), n);
+        for m in &msgs {
+            if let SensorMessage::Dmu(s) = m {
+                assert!((s.accel[2] - 9.8).abs() < 0.01, "corrupted sample leaked: {s:?}");
+            }
+        }
+        let stats = recon.stats();
+        assert!(stats.dmu_errors + stats.dmu_gaps > 0);
+    }
+
+    #[test]
+    fn acc_seq_gap_detection() {
+        let mut recon = Reconstructor::new(100.0, 200.0);
+        for seq in [0u16, 1, 2, 6, 7] {
+            let p = AdxlPacket::from_sample(&acc_sample(seq));
+            recon.push_acc_bytes(&p.to_bytes());
+        }
+        assert_eq!(recon.stats().acc_gaps, 3);
+    }
+
+    #[test]
+    fn acc_8bit_wrap_keeps_time_monotonic() {
+        let mut recon = Reconstructor::new(100.0, 200.0);
+        let mut last = -1.0;
+        for seq in 250..260u16 {
+            let p = AdxlPacket::from_sample(&acc_sample(seq));
+            recon.push_acc_bytes(&p.to_bytes());
+        }
+        for m in recon.drain() {
+            assert!(m.time_s() > last);
+            last = m.time_s();
+        }
+    }
+
+    #[test]
+    fn pop_returns_fifo_order() {
+        let mut recon = Reconstructor::new(100.0, 200.0);
+        let p0 = AdxlPacket::from_sample(&acc_sample(0));
+        let p1 = AdxlPacket::from_sample(&acc_sample(1));
+        recon.push_acc_bytes(&p0.to_bytes());
+        recon.push_acc_bytes(&p1.to_bytes());
+        let first = recon.pop().unwrap();
+        let second = recon.pop().unwrap();
+        assert!(first.time_s() < second.time_s());
+        assert!(recon.pop().is_none());
+    }
+}

@@ -1,0 +1,360 @@
+//! Asynchronous serial (UART) framing and link models.
+//!
+//! Two levels of fidelity:
+//!
+//! * [`UartTransmitter`] / [`UartReceiver`] — bit-level 8N1 framing
+//!   with start/stop bits and framing-error detection, used in unit
+//!   tests and short simulations.
+//! * [`UartLink`] — a byte-level model that enforces the baud-rate
+//!   throughput and transport delay without simulating individual
+//!   bits, used for 300-second end-to-end runs.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+/// UART line configuration (data bits fixed at 8, no parity, 1 stop:
+/// "8N1", as used by both sensor streams in the paper's system).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct UartConfig {
+    /// Baud rate, bits per second.
+    pub baud: u32,
+}
+
+impl UartConfig {
+    /// 38400 baud — the DMU bridge link.
+    pub fn baud_38400() -> Self {
+        Self { baud: 38_400 }
+    }
+
+    /// 19200 baud — the ADXL eval-board link.
+    pub fn baud_19200() -> Self {
+        Self { baud: 19_200 }
+    }
+
+    /// Seconds per transmitted byte (10 bit times: start + 8 + stop).
+    pub fn byte_time_s(&self) -> f64 {
+        10.0 / self.baud as f64
+    }
+}
+
+impl Default for UartConfig {
+    fn default() -> Self {
+        Self::baud_38400()
+    }
+}
+
+/// UART receive errors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UartError {
+    /// Stop bit sampled low.
+    Framing,
+}
+
+impl fmt::Display for UartError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UartError::Framing => f.write_str("framing error: stop bit low"),
+        }
+    }
+}
+
+impl std::error::Error for UartError {}
+
+/// Bit-level 8N1 transmitter: serializes bytes to line levels
+/// (`true` = idle/mark).
+#[derive(Clone, Debug, Default)]
+pub struct UartTransmitter {
+    bits: VecDeque<bool>,
+}
+
+impl UartTransmitter {
+    /// Creates an idle transmitter.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues a byte: start bit (low), 8 data bits LSB first, stop bit.
+    pub fn send_byte(&mut self, byte: u8) {
+        self.bits.push_back(false);
+        for i in 0..8 {
+            self.bits.push_back((byte >> i) & 1 == 1);
+        }
+        self.bits.push_back(true);
+    }
+
+    /// Queues a slice of bytes.
+    pub fn send(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.send_byte(b);
+        }
+    }
+
+    /// Next line level for one bit time (idle high when empty).
+    pub fn next_bit(&mut self) -> bool {
+        self.bits.pop_front().unwrap_or(true)
+    }
+
+    /// Number of bit times still queued.
+    pub fn pending_bits(&self) -> usize {
+        self.bits.len()
+    }
+}
+
+/// Bit-level 8N1 receiver, sampled once per bit time (the clock is
+/// assumed recovered; oversampling is below this model's abstraction).
+#[derive(Clone, Debug, Default)]
+pub struct UartReceiver {
+    state: RxState,
+    shift: u8,
+    bit_count: u8,
+    received: VecDeque<u8>,
+    framing_errors: u64,
+}
+
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+enum RxState {
+    #[default]
+    Idle,
+    Data,
+    Stop,
+}
+
+impl UartReceiver {
+    /// Creates an idle receiver.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Consumes one line level (one bit time).
+    pub fn push_bit(&mut self, level: bool) {
+        match self.state {
+            RxState::Idle => {
+                if !level {
+                    // Start bit.
+                    self.state = RxState::Data;
+                    self.shift = 0;
+                    self.bit_count = 0;
+                }
+            }
+            RxState::Data => {
+                self.shift |= (level as u8) << self.bit_count;
+                self.bit_count += 1;
+                if self.bit_count == 8 {
+                    self.state = RxState::Stop;
+                }
+            }
+            RxState::Stop => {
+                if level {
+                    self.received.push_back(self.shift);
+                } else {
+                    self.framing_errors += 1;
+                }
+                self.state = RxState::Idle;
+            }
+        }
+    }
+
+    /// Pops the next received byte, if any.
+    pub fn pop_byte(&mut self) -> Option<u8> {
+        self.received.pop_front()
+    }
+
+    /// Drains all received bytes.
+    pub fn drain(&mut self) -> Vec<u8> {
+        self.received.drain(..).collect()
+    }
+
+    /// Count of framing errors observed.
+    pub fn framing_errors(&self) -> u64 {
+        self.framing_errors
+    }
+}
+
+/// Byte-level rate-limited serial link with optional transport delay.
+///
+/// Bytes enter instantly via [`UartLink::send`] and emerge from
+/// [`UartLink::poll`] no faster than the configured baud rate allows.
+///
+/// # Examples
+///
+/// ```
+/// use comms::{UartConfig, UartLink};
+/// let mut link = UartLink::new(UartConfig::baud_38400());
+/// link.send(&[1, 2, 3]);
+/// // 3 bytes need 30 bit times = 781 us at 38400 baud.
+/// let got = link.poll(0.001);
+/// assert_eq!(got, vec![1, 2, 3]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct UartLink {
+    config: UartConfig,
+    queue: VecDeque<u8>,
+    /// Time credit in seconds accumulated toward the next byte.
+    credit_s: f64,
+    bytes_sent: u64,
+    bytes_delivered: u64,
+}
+
+impl UartLink {
+    /// Creates an empty link.
+    pub fn new(config: UartConfig) -> Self {
+        Self {
+            config,
+            queue: VecDeque::new(),
+            credit_s: 0.0,
+            bytes_sent: 0,
+            bytes_delivered: 0,
+        }
+    }
+
+    /// The line configuration.
+    pub fn config(&self) -> &UartConfig {
+        &self.config
+    }
+
+    /// Enqueues bytes for transmission.
+    pub fn send(&mut self, bytes: &[u8]) {
+        self.queue.extend(bytes.iter().copied());
+        self.bytes_sent += bytes.len() as u64;
+    }
+
+    /// Advances time by `dt` seconds, returning the bytes that
+    /// completed transmission in that interval.
+    pub fn poll(&mut self, dt: f64) -> Vec<u8> {
+        self.credit_s += dt;
+        let byte_time = self.config.byte_time_s();
+        let mut out = Vec::new();
+        while self.credit_s >= byte_time {
+            match self.queue.pop_front() {
+                Some(b) => {
+                    self.credit_s -= byte_time;
+                    out.push(b);
+                }
+                None => {
+                    // Idle line: credit does not accumulate unboundedly.
+                    self.credit_s = byte_time;
+                    break;
+                }
+            }
+        }
+        self.bytes_delivered += out.len() as u64;
+        out
+    }
+
+    /// Bytes still queued.
+    pub fn backlog(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Total bytes accepted for transmission.
+    pub fn bytes_sent(&self) -> u64 {
+        self.bytes_sent
+    }
+
+    /// Total bytes delivered to the receiver.
+    pub fn bytes_delivered(&self) -> u64 {
+        self.bytes_delivered
+    }
+
+    /// Sustained throughput limit, bytes per second.
+    pub fn throughput_bps(&self) -> f64 {
+        1.0 / self.config.byte_time_s()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_level_roundtrip() {
+        let mut tx = UartTransmitter::new();
+        let mut rx = UartReceiver::new();
+        let message = b"Kalman";
+        tx.send(message);
+        while tx.pending_bits() > 0 {
+            rx.push_bit(tx.next_bit());
+        }
+        assert_eq!(rx.drain(), message.to_vec());
+        assert_eq!(rx.framing_errors(), 0);
+    }
+
+    #[test]
+    fn idle_line_produces_nothing() {
+        let mut rx = UartReceiver::new();
+        for _ in 0..100 {
+            rx.push_bit(true);
+        }
+        assert!(rx.pop_byte().is_none());
+    }
+
+    #[test]
+    fn corrupted_stop_bit_is_framing_error() {
+        let mut tx = UartTransmitter::new();
+        tx.send_byte(0xA5);
+        let mut bits: Vec<bool> = Vec::new();
+        while tx.pending_bits() > 0 {
+            bits.push(tx.next_bit());
+        }
+        *bits.last_mut().unwrap() = false; // kill the stop bit
+        let mut rx = UartReceiver::new();
+        for b in bits {
+            rx.push_bit(b);
+        }
+        assert_eq!(rx.framing_errors(), 1);
+        assert!(rx.pop_byte().is_none());
+    }
+
+    #[test]
+    fn all_byte_values_roundtrip() {
+        let mut tx = UartTransmitter::new();
+        let mut rx = UartReceiver::new();
+        let all: Vec<u8> = (0..=255).collect();
+        tx.send(&all);
+        while tx.pending_bits() > 0 {
+            rx.push_bit(tx.next_bit());
+        }
+        assert_eq!(rx.drain(), all);
+    }
+
+    #[test]
+    fn link_respects_baud_rate() {
+        let mut link = UartLink::new(UartConfig { baud: 10_000 }); // 1 kB/s
+        link.send(&[0u8; 100]);
+        // 10 ms should deliver ~10 bytes.
+        let got = link.poll(0.010);
+        assert!(got.len() >= 9 && got.len() <= 11, "{}", got.len());
+        assert_eq!(link.backlog(), 100 - got.len());
+    }
+
+    #[test]
+    fn link_preserves_order_and_content() {
+        let mut link = UartLink::new(UartConfig::baud_38400());
+        let data: Vec<u8> = (0..50).collect();
+        link.send(&data);
+        let mut out = Vec::new();
+        for _ in 0..100 {
+            out.extend(link.poll(0.001));
+        }
+        assert_eq!(out, data);
+        assert_eq!(link.bytes_delivered(), 50);
+    }
+
+    #[test]
+    fn idle_link_does_not_bank_unbounded_credit() {
+        let mut link = UartLink::new(UartConfig { baud: 10_000 });
+        // Long idle, then a burst: only ~1 byte of credit may be banked.
+        let _ = link.poll(10.0);
+        link.send(&[0u8; 100]);
+        let got = link.poll(0.0);
+        assert!(got.len() <= 1, "{}", got.len());
+    }
+
+    #[test]
+    fn byte_time_math() {
+        let cfg = UartConfig::baud_38400();
+        assert!((cfg.byte_time_s() - 10.0 / 38_400.0).abs() < 1e-15);
+        let link = UartLink::new(cfg);
+        assert!((link.throughput_bps() - 3840.0).abs() < 1e-9);
+    }
+}

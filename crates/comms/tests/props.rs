@@ -1,0 +1,137 @@
+//! Property tests: every framing layer must round-trip arbitrary data
+//! and detect (never silently pass) corruption.
+
+use comms::adxl_protocol::AdxlDecoder;
+use comms::can::{CanFrame, CanId};
+use comms::{AdxlPacket, BridgeDecoder, BridgeEncoder, DmuCanCodec, UartReceiver, UartTransmitter};
+use mathx::Vec3;
+use proptest::prelude::*;
+use sensors::DmuSample;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn can_roundtrip_any_frame(id in 0u16..0x800, data in prop::collection::vec(any::<u8>(), 0..=8)) {
+        let frame = CanFrame::new(CanId::new(id).unwrap(), &data).unwrap();
+        let bits = frame.to_bits();
+        let (decoded, used) = CanFrame::from_bits(&bits).expect("clean roundtrip");
+        prop_assert_eq!(decoded, frame);
+        prop_assert_eq!(used, bits.len());
+    }
+
+    #[test]
+    fn can_stuffing_invariant(id in 0u16..0x800, data in prop::collection::vec(any::<u8>(), 0..=8)) {
+        let frame = CanFrame::new(CanId::new(id).unwrap(), &data).unwrap();
+        let bits = frame.to_bits();
+        // No six consecutive equal bits before the fixed-form tail.
+        let stuffed = &bits[..bits.len() - 10];
+        let mut run = 1;
+        for w in stuffed.windows(2) {
+            run = if w[0] == w[1] { run + 1 } else { 1 };
+            prop_assert!(run <= 5);
+        }
+    }
+
+    #[test]
+    fn can_single_bit_flip_never_passes_silently(
+        id in 0u16..0x800,
+        data in prop::collection::vec(any::<u8>(), 1..=8),
+        flip_seed in any::<u32>()
+    ) {
+        let frame = CanFrame::new(CanId::new(id).unwrap(), &data).unwrap();
+        let mut bits = frame.to_bits();
+        // Flip one bit in the stuffed payload region (skip SOF so a
+        // frame still starts; skip the fixed tail).
+        let region = bits.len() - 10 - 1;
+        let idx = 1 + (flip_seed as usize % region);
+        bits[idx] = !bits[idx];
+        match CanFrame::from_bits(&bits) {
+            // Either an error is reported...
+            Err(_) => {}
+            // ...or the decode consumed a *different* frame layout and
+            // cannot equal the original payload with a valid CRC by
+            // construction; if it does decode, the data must differ
+            // (CRC-15 catches all single-bit errors in-frame).
+            Ok((decoded, _)) => prop_assert_ne!(decoded, frame),
+        }
+    }
+
+    #[test]
+    fn bridge_roundtrip_any_frames(
+        frames in prop::collection::vec((0u16..0x800, prop::collection::vec(any::<u8>(), 0..=8)), 1..6),
+        chunk in 1usize..16
+    ) {
+        let mut enc = BridgeEncoder::new();
+        let mut stream = Vec::new();
+        let mut originals = Vec::new();
+        for (id, data) in &frames {
+            let f = CanFrame::new(CanId::new(*id).unwrap(), data).unwrap();
+            stream.extend(enc.encode(&f));
+            originals.push(f);
+        }
+        let mut dec = BridgeDecoder::new();
+        let mut out = Vec::new();
+        for c in stream.chunks(chunk) {
+            out.extend(dec.push(c));
+        }
+        prop_assert_eq!(out, originals);
+    }
+
+    #[test]
+    fn uart_bit_roundtrip(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut tx = UartTransmitter::new();
+        tx.send(&bytes);
+        let mut rx = UartReceiver::new();
+        while tx.pending_bits() > 0 {
+            rx.push_bit(tx.next_bit());
+        }
+        prop_assert_eq!(rx.drain(), bytes);
+        prop_assert_eq!(rx.framing_errors(), 0);
+    }
+
+    #[test]
+    fn adxl_packet_roundtrip(seq in any::<u8>(), t1x in any::<u16>(), t1y in any::<u16>(), t2 in any::<u16>()) {
+        let p = AdxlPacket { seq, t1_x: t1x, t1_y: t1y, t2 };
+        let bytes = p.to_bytes();
+        prop_assert_eq!(AdxlPacket::from_bytes(&bytes), Some(p));
+    }
+
+    #[test]
+    fn adxl_decoder_resyncs_through_garbage(
+        garbage in prop::collection::vec(any::<u8>(), 0..32),
+        seq in any::<u8>()
+    ) {
+        let p = AdxlPacket { seq, t1_x: 1000, t1_y: 1100, t2: 2000 };
+        let mut stream = garbage.clone();
+        // Two back-to-back packets guarantee at least one clean parse
+        // even if the garbage happens to form a partial valid prefix
+        // that swallows the first sync byte.
+        stream.extend(p.to_bytes());
+        stream.extend(p.to_bytes());
+        let mut dec = AdxlDecoder::new();
+        let got = dec.push(&stream);
+        prop_assert!(got.iter().any(|g| *g == p), "packet lost in resync");
+    }
+
+    #[test]
+    fn dmu_codec_roundtrip(
+        seq in any::<u16>(),
+        gx in -3.0f64..3.0, gy in -3.0f64..3.0, gz in -3.0f64..3.0,
+        ax in -30.0f64..30.0, ay in -30.0f64..30.0, az in -30.0f64..30.0
+    ) {
+        let sample = DmuSample {
+            seq,
+            time_s: 0.0,
+            gyro: Vec3::new([gx, gy, gz]),
+            accel: Vec3::new([ax, ay, az]),
+        };
+        let mut codec = DmuCanCodec::new(100.0);
+        let [f1, f2] = DmuCanCodec::encode(&sample);
+        prop_assert!(codec.decode(&f1).is_none());
+        let out = codec.decode(&f2).expect("pair");
+        prop_assert_eq!(out.seq, seq);
+        prop_assert!((out.gyro - sample.gyro).max_abs() <= sensors::dmu::gyro_lsb());
+        prop_assert!((out.accel - sample.accel).max_abs() <= sensors::dmu::accel_lsb());
+    }
+}

@@ -1,0 +1,399 @@
+//! Arithmetic ablation: the misalignment Kalman filter over different
+//! number systems.
+//!
+//! The paper runs its filter in IEEE floats emulated by Softfloat on
+//! the Sabre core, and names "a full fixed-point analysis and
+//! conversion of the Sensor Fusion Algorithm from float to fixed-point
+//! calculations" as the obvious enhancement. This module makes that
+//! comparison executable: a three-state small-angle Kalman filter
+//! (`z = S(f - e x f) + v`, linear in the misalignment `e`) implemented
+//! over an abstract [`Arith`] so the identical algorithm runs in
+//!
+//! * native `f64` ([`F64Arith`]) — the reference,
+//! * emulated IEEE binary64 ([`SoftArith`]) — the paper's
+//!   configuration, with exact operation counts and Sabre cycle costs,
+//! * Q16.16 fixed point ([`FixedArith`]) — the proposed enhancement.
+
+use fpga::fixed::Q16_16;
+use fpga::softfloat::{Sf64, SoftFpu};
+use mathx::{EulerAngles, Vec2, Vec3};
+
+/// Number-system abstraction for the ablation filter.
+pub trait Arith {
+    /// The scalar type.
+    type T: Copy;
+
+    /// Converts from `f64`.
+    fn num(&mut self, x: f64) -> Self::T;
+    /// Converts to `f64`.
+    fn to_f64(&self, x: Self::T) -> f64;
+    /// Addition.
+    fn add(&mut self, a: Self::T, b: Self::T) -> Self::T;
+    /// Subtraction.
+    fn sub(&mut self, a: Self::T, b: Self::T) -> Self::T;
+    /// Multiplication.
+    fn mul(&mut self, a: Self::T, b: Self::T) -> Self::T;
+    /// Division.
+    fn div(&mut self, a: Self::T, b: Self::T) -> Self::T;
+}
+
+/// Native double precision.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct F64Arith;
+
+impl Arith for F64Arith {
+    type T = f64;
+
+    fn num(&mut self, x: f64) -> f64 {
+        x
+    }
+
+    fn to_f64(&self, x: f64) -> f64 {
+        x
+    }
+
+    fn add(&mut self, a: f64, b: f64) -> f64 {
+        a + b
+    }
+
+    fn sub(&mut self, a: f64, b: f64) -> f64 {
+        a - b
+    }
+
+    fn mul(&mut self, a: f64, b: f64) -> f64 {
+        a * b
+    }
+
+    fn div(&mut self, a: f64, b: f64) -> f64 {
+        a / b
+    }
+}
+
+/// Softfloat binary64 with Sabre cycle accounting.
+#[derive(Clone, Debug, Default)]
+pub struct SoftArith {
+    /// The cost-accounted FPU (inspect for op counts and cycles).
+    pub fpu: SoftFpu,
+}
+
+impl Arith for SoftArith {
+    type T = Sf64;
+
+    fn num(&mut self, x: f64) -> Sf64 {
+        Sf64::from_f64(x)
+    }
+
+    fn to_f64(&self, x: Sf64) -> f64 {
+        x.to_f64()
+    }
+
+    fn add(&mut self, a: Sf64, b: Sf64) -> Sf64 {
+        self.fpu.add_f64(a, b)
+    }
+
+    fn sub(&mut self, a: Sf64, b: Sf64) -> Sf64 {
+        self.fpu.sub_f64(a, b)
+    }
+
+    fn mul(&mut self, a: Sf64, b: Sf64) -> Sf64 {
+        self.fpu.mul_f64(a, b)
+    }
+
+    fn div(&mut self, a: Sf64, b: Sf64) -> Sf64 {
+        self.fpu.div_f64(a, b)
+    }
+}
+
+/// Q16.16 saturating fixed point.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FixedArith;
+
+impl Arith for FixedArith {
+    type T = Q16_16;
+
+    fn num(&mut self, x: f64) -> Q16_16 {
+        Q16_16::from_f64(x)
+    }
+
+    fn to_f64(&self, x: Q16_16) -> f64 {
+        x.to_f64()
+    }
+
+    fn add(&mut self, a: Q16_16, b: Q16_16) -> Q16_16 {
+        a.saturating_add(b)
+    }
+
+    fn sub(&mut self, a: Q16_16, b: Q16_16) -> Q16_16 {
+        a.saturating_add(-b)
+    }
+
+    fn mul(&mut self, a: Q16_16, b: Q16_16) -> Q16_16 {
+        a.saturating_mul(b)
+    }
+
+    fn div(&mut self, a: Q16_16, b: Q16_16) -> Q16_16 {
+        a.saturating_div(b)
+    }
+}
+
+/// Three-state small-angle misalignment Kalman filter over an
+/// [`Arith`].
+///
+/// State `e = [phi, theta, psi]`; measurement
+/// `z = S (f + [f]x e) + v` — linear, so this is a plain Kalman filter
+/// with `H = S [f]x` recomputed per sample.
+///
+/// # Examples
+///
+/// ```
+/// use boresight::arith::{F64Arith, Kf3};
+/// use mathx::{Vec2, Vec3};
+///
+/// let mut kf = Kf3::new(F64Arith, 0.1, 0.007);
+/// kf.step(Vec2::new([0.0, 0.0]), Vec3::new([0.0, 0.0, 9.81]), 1e-10);
+/// assert!(kf.angles().max_abs() < 0.01);
+/// ```
+#[derive(Clone, Debug)]
+pub struct Kf3<A: Arith> {
+    arith: A,
+    x: [A::T; 3],
+    p: [[A::T; 3]; 3],
+    r: A::T,
+    updates: u64,
+}
+
+impl<A: Arith> Kf3<A> {
+    /// Creates a filter with the given initial angle sigma (rad) and
+    /// measurement sigma (m/s^2).
+    pub fn new(mut arith: A, initial_sigma: f64, measurement_sigma: f64) -> Self {
+        let zero = arith.num(0.0);
+        let p0 = arith.num(initial_sigma * initial_sigma);
+        let r = arith.num(measurement_sigma * measurement_sigma);
+        let mut p = [[zero; 3]; 3];
+        for (i, row) in p.iter_mut().enumerate() {
+            row[i] = p0;
+        }
+        Self {
+            arith,
+            x: [zero; 3],
+            p,
+            r,
+            updates: 0,
+        }
+    }
+
+    /// Borrow the arithmetic context (e.g. to read softfloat stats).
+    pub fn arith(&self) -> &A {
+        &self.arith
+    }
+
+    /// Accepted updates so far.
+    pub fn update_count(&self) -> u64 {
+        self.updates
+    }
+
+    /// Estimated misalignment.
+    pub fn angles(&self) -> EulerAngles {
+        EulerAngles::new(
+            self.arith.to_f64(self.x[0]),
+            self.arith.to_f64(self.x[1]),
+            self.arith.to_f64(self.x[2]),
+        )
+    }
+
+    /// Covariance diagonal (rad^2).
+    pub fn variance(&self) -> Vec3 {
+        Vec3::new([
+            self.arith.to_f64(self.p[0][0]),
+            self.arith.to_f64(self.p[1][1]),
+            self.arith.to_f64(self.p[2][2]),
+        ])
+    }
+
+    /// One predict+update step: process noise `q` (rad^2 per step),
+    /// measurement `z` (ACC x/y, m/s^2), IMU specific force `f`.
+    pub fn step(&mut self, z: Vec2, f: Vec3, q: f64) {
+        let a = &mut self.arith;
+        // Predict: P += q I.
+        let qv = a.num(q);
+        for i in 0..3 {
+            self.p[i][i] = a.add(self.p[i][i], qv);
+        }
+        // H = S [f]x  (rows: [0, -fz, fy] and [fz, 0, -fx]).
+        let fx = a.num(f[0]);
+        let fy = a.num(f[1]);
+        let fz = a.num(f[2]);
+        let zero = a.num(0.0);
+        let nfz = a.sub(zero, fz);
+        let nfx = a.sub(zero, fx);
+        let h = [[zero, nfz, fy], [fz, zero, nfx]];
+        // ph = P H^T (3x2), s = H P H^T + R (2x2).
+        let mut ph = [[zero; 2]; 3];
+        for i in 0..3 {
+            for j in 0..2 {
+                let mut acc = zero;
+                for k in 0..3 {
+                    let t = a.mul(self.p[i][k], h[j][k]);
+                    acc = a.add(acc, t);
+                }
+                ph[i][j] = acc;
+            }
+        }
+        let mut s = [[zero; 2]; 2];
+        for i in 0..2 {
+            for j in 0..2 {
+                let mut acc = if i == j { self.r } else { zero };
+                for k in 0..3 {
+                    let t = a.mul(h[i][k], ph[k][j]);
+                    acc = a.add(acc, t);
+                }
+                s[i][j] = acc;
+            }
+        }
+        // 2x2 inverse.
+        let d0 = a.mul(s[0][0], s[1][1]);
+        let d1 = a.mul(s[0][1], s[1][0]);
+        let det = a.sub(d0, d1);
+        let n01 = a.sub(zero, s[0][1]);
+        let n10 = a.sub(zero, s[1][0]);
+        let si = [
+            [a.div(s[1][1], det), a.div(n01, det)],
+            [a.div(n10, det), a.div(s[0][0], det)],
+        ];
+        // K = PH * S^-1 (3x2).
+        let mut kmat = [[zero; 2]; 3];
+        for i in 0..3 {
+            for j in 0..2 {
+                let t0 = a.mul(ph[i][0], si[0][j]);
+                let t1 = a.mul(ph[i][1], si[1][j]);
+                kmat[i][j] = a.add(t0, t1);
+            }
+        }
+        // Innovation: z - (S f + H x).
+        let mut innov = [zero; 2];
+        let zf = [a.num(z[0]), a.num(z[1])];
+        let sf = [fx, fy];
+        for i in 0..2 {
+            let mut pred = sf[i];
+            for k in 0..3 {
+                let t = a.mul(h[i][k], self.x[k]);
+                pred = a.add(pred, t);
+            }
+            innov[i] = a.sub(zf[i], pred);
+        }
+        // x += K * innovation.
+        for i in 0..3 {
+            let t0 = a.mul(kmat[i][0], innov[0]);
+            let t1 = a.mul(kmat[i][1], innov[1]);
+            let delta = a.add(t0, t1);
+            self.x[i] = a.add(self.x[i], delta);
+        }
+        // P = P - K (PH)^T  (standard form; adequate for the ablation).
+        for i in 0..3 {
+            for j in 0..3 {
+                let t0 = a.mul(kmat[i][0], ph[j][0]);
+                let t1 = a.mul(kmat[i][1], ph[j][1]);
+                let sum = a.add(t0, t1);
+                self.p[i][j] = a.sub(self.p[i][j], sum);
+            }
+        }
+        // Re-symmetrize against round-off (essential in fixed point).
+        let half = a.num(0.5);
+        for i in 0..3 {
+            for j in (i + 1)..3 {
+                let sum = a.add(self.p[i][j], self.p[j][i]);
+                let m = a.mul(half, sum);
+                self.p[i][j] = m;
+                self.p[j][i] = m;
+            }
+        }
+        self.updates += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathx::rng::seeded_rng;
+    use mathx::{rad_to_deg, GaussianSampler, STANDARD_GRAVITY};
+
+    fn simulate<A: Arith>(arith: A, n: usize, sigma: f64, seed: u64) -> Kf3<A> {
+        let truth = EulerAngles::from_degrees(1.5, -1.0, 2.0);
+        let e = truth.as_vec3();
+        let mut kf = Kf3::new(arith, 0.1, sigma);
+        let mut rng = seeded_rng(seed);
+        let mut gauss = GaussianSampler::new();
+        let g = STANDARD_GRAVITY;
+        for i in 0..n {
+            let t = i as f64 * 0.005;
+            let f = Vec3::new([
+                2.0 * (0.5 * t).sin(),
+                1.5 * (0.33 * t).cos(),
+                g,
+            ]);
+            // Small-angle truth measurement.
+            let f_s = f - e.cross(&f);
+            let z = Vec2::new([
+                f_s[0] + gauss.sample_scaled(&mut rng, 0.0, sigma),
+                f_s[1] + gauss.sample_scaled(&mut rng, 0.0, sigma),
+            ]);
+            kf.step(z, f, 1e-10);
+        }
+        kf
+    }
+
+    #[test]
+    fn f64_filter_converges() {
+        let kf = simulate(F64Arith, 10_000, 0.007, 1);
+        let err = kf
+            .angles()
+            .error_to(&EulerAngles::from_degrees(1.5, -1.0, 2.0));
+        assert!(rad_to_deg(err.max_abs()) < 0.05, "{:?}", err.to_degrees());
+    }
+
+    #[test]
+    fn softfloat_filter_matches_f64_exactly() {
+        // Same algorithm, same inputs: IEEE emulation must agree with
+        // the native FPU bit-for-bit at every step, so the final
+        // estimates are identical.
+        let native = simulate(F64Arith, 2_000, 0.007, 2);
+        let soft = simulate(SoftArith::default(), 2_000, 0.007, 2);
+        let a = native.angles();
+        let b = soft.angles();
+        assert_eq!(a.roll.to_bits(), b.roll.to_bits());
+        assert_eq!(a.pitch.to_bits(), b.pitch.to_bits());
+        assert_eq!(a.yaw.to_bits(), b.yaw.to_bits());
+    }
+
+    #[test]
+    fn softfloat_op_counts_are_recorded() {
+        let soft = simulate(SoftArith::default(), 100, 0.007, 3);
+        let stats = soft.arith().fpu.stats();
+        assert!(stats.total_ops() > 10_000, "{}", stats.total_ops());
+        assert!(stats.cycles > 100_000);
+        // Divisions only come from the 2x2 inverse: 4 per step.
+        assert_eq!(stats.div_f64, 400);
+    }
+
+    #[test]
+    fn fixed_point_filter_converges_with_degraded_accuracy() {
+        let truth = EulerAngles::from_degrees(1.5, -1.0, 2.0);
+        let fixed = simulate(FixedArith, 10_000, 0.007, 4);
+        let err_fixed = rad_to_deg(fixed.angles().error_to(&truth).max_abs());
+        let native = simulate(F64Arith, 10_000, 0.007, 4);
+        let err_native = rad_to_deg(native.angles().error_to(&truth).max_abs());
+        // Fixed point still works at the few-degree scale...
+        assert!(err_fixed < 1.0, "fixed error {err_fixed} deg");
+        // ...but cannot beat the float path.
+        assert!(err_fixed >= err_native, "{err_fixed} vs {err_native}");
+    }
+
+    #[test]
+    fn variance_shrinks_with_updates() {
+        let kf = simulate(F64Arith, 5_000, 0.007, 5);
+        let v = kf.variance();
+        assert!(v[0] < 0.01 * 0.01);
+        assert!(v[1] < 0.01 * 0.01);
+        assert_eq!(kf.update_count(), 5_000);
+    }
+}

@@ -1,0 +1,566 @@
+//! The misalignment Kalman filter.
+//!
+//! An extended Kalman filter over the state `[phi, theta, psi, bx, by]`
+//! (sensor misalignment Euler angles plus the two ACC bias states).
+//! The misalignment is quasi-constant, so prediction is a random walk
+//! with small process noise; each two-axis accelerometer sample is a
+//! nonlinear measurement handled with the analytic Jacobian of
+//! [`crate::model`]. The covariance update uses the Joseph form and is
+//! re-symmetrized each step, keeping `P` positive definite over
+//! hour-long runs — the filter also reports the innovation and its
+//! 3-sigma bound, which is what the paper plots (Figure 8) and tunes
+//! against.
+
+use crate::model::{self, Meas, State, StateCov, MEAS_DIM, STATE_DIM};
+use mathx::{Cholesky, EulerAngles, Mat2, Matrix, Vec2, Vec3};
+
+/// Filter configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct FilterConfig {
+    /// Initial 1-sigma uncertainty of each misalignment angle, rad.
+    pub initial_angle_sigma: f64,
+    /// Initial 1-sigma uncertainty of each ACC bias, m/s^2.
+    pub initial_bias_sigma: f64,
+    /// Angle random-walk process density, rad/sqrt(s).
+    pub angle_process_density: f64,
+    /// Bias random-walk process density, (m/s^2)/sqrt(s).
+    pub bias_process_density: f64,
+    /// Measurement noise 1-sigma per axis, m/s^2 (the paper's tuned
+    /// 0.003-0.01 static / >= 0.015 moving value).
+    pub measurement_sigma: f64,
+    /// Estimate the bias states. When `false` they are pinned at zero.
+    pub estimate_bias: bool,
+    /// Innovation gate in sigmas (a sample whose normalized innovation
+    /// exceeds this on either axis is rejected). `0` disables gating.
+    pub gate_sigmas: f64,
+    /// Physical trust region for the misalignment angles, rad. Mounting
+    /// errors are mechanically small; bounding the state prevents the
+    /// EKF from being captured by the degenerate large-angle solutions
+    /// (e.g. pitch ~ -90 deg with a gravity-sized bias) that weakly
+    /// excited starts can otherwise wander into. When an angle is
+    /// clamped its variance is re-opened so the filter can recover.
+    /// `0` disables the constraint.
+    pub angle_limit: f64,
+    /// Physical trust region for the ACC biases, m/s^2 (`0` disables).
+    pub bias_limit: f64,
+    /// Iterated-EKF relinearization passes per measurement update
+    /// (1 = classic EKF). Iteration keeps the update consistent when
+    /// the state is still degrees away from the truth, which is what
+    /// stops weakly excited starts from banking linearization error
+    /// as information.
+    pub iekf_iterations: usize,
+}
+
+impl FilterConfig {
+    /// Defaults matching the paper's static tuning.
+    pub fn paper_static() -> Self {
+        Self {
+            initial_angle_sigma: mathx::deg_to_rad(5.0),
+            initial_bias_sigma: 0.05,
+            angle_process_density: 2e-6,
+            bias_process_density: 2e-6,
+            measurement_sigma: 0.007,
+            estimate_bias: true,
+            gate_sigmas: 6.0,
+            angle_limit: mathx::deg_to_rad(15.0),
+            bias_limit: 0.3,
+            iekf_iterations: 3,
+        }
+    }
+
+    /// Defaults matching the paper's dynamic tuning (raised R).
+    pub fn paper_dynamic() -> Self {
+        Self {
+            measurement_sigma: 0.015,
+            ..Self::paper_static()
+        }
+    }
+}
+
+impl Default for FilterConfig {
+    fn default() -> Self {
+        Self::paper_static()
+    }
+}
+
+/// Record of one measurement update (the residual trace of Figure 8).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KalmanUpdate {
+    /// Update time, seconds.
+    pub time_s: f64,
+    /// Innovation (measurement minus prediction), m/s^2.
+    pub innovation: Vec2,
+    /// 1-sigma of the innovation from `S = H P H^T + R`, m/s^2.
+    pub innovation_sigma: Vec2,
+    /// `false` if the gate rejected this sample.
+    pub accepted: bool,
+}
+
+impl KalmanUpdate {
+    /// `true` if either axis exceeded its 3-sigma bound.
+    pub fn exceeds_three_sigma(&self) -> bool {
+        self.innovation[0].abs() > 3.0 * self.innovation_sigma[0]
+            || self.innovation[1].abs() > 3.0 * self.innovation_sigma[1]
+    }
+}
+
+/// The extended Kalman filter.
+///
+/// # Examples
+///
+/// ```
+/// use boresight::filter::{BoresightFilter, FilterConfig};
+/// use mathx::{Vec2, Vec3, STANDARD_GRAVITY};
+///
+/// let mut kf = BoresightFilter::new(FilterConfig::default());
+/// kf.predict(0.01);
+/// // A level platform: ACC sees ~zero if aligned.
+/// let f_b = Vec3::new([0.0, 0.0, STANDARD_GRAVITY]);
+/// let update = kf.update(Vec2::new([0.001, -0.002]), f_b, 0.01);
+/// assert!(update.accepted);
+/// ```
+#[derive(Clone, Debug)]
+pub struct BoresightFilter {
+    config: FilterConfig,
+    x: State,
+    p: StateCov,
+    updates: u64,
+    rejected: u64,
+}
+
+impl BoresightFilter {
+    /// Creates a filter from its configuration.
+    pub fn new(config: FilterConfig) -> Self {
+        let mut p = StateCov::zeros();
+        let a2 = config.initial_angle_sigma * config.initial_angle_sigma;
+        let b2 = if config.estimate_bias {
+            config.initial_bias_sigma * config.initial_bias_sigma
+        } else {
+            0.0
+        };
+        for i in 0..3 {
+            p[(i, i)] = a2;
+        }
+        for i in 3..STATE_DIM {
+            p[(i, i)] = b2;
+        }
+        Self {
+            config,
+            x: State::zeros(),
+            p,
+            updates: 0,
+            rejected: 0,
+        }
+    }
+
+    /// The configuration (measurement sigma may have been retuned).
+    pub fn config(&self) -> &FilterConfig {
+        &self.config
+    }
+
+    /// Current measurement noise 1-sigma.
+    pub fn measurement_sigma(&self) -> f64 {
+        self.config.measurement_sigma
+    }
+
+    /// Retunes the measurement noise (the adaptive monitor calls this).
+    pub fn set_measurement_sigma(&mut self, sigma: f64) {
+        self.config.measurement_sigma = sigma.max(1e-6);
+    }
+
+    /// Estimated misalignment angles.
+    pub fn angles(&self) -> EulerAngles {
+        EulerAngles::new(self.x[0], self.x[1], self.x[2])
+    }
+
+    /// Estimated ACC biases, m/s^2.
+    pub fn bias(&self) -> Vec2 {
+        Vec2::new([self.x[3], self.x[4]])
+    }
+
+    /// Full state vector.
+    pub fn state(&self) -> &State {
+        &self.x
+    }
+
+    /// State covariance.
+    pub fn covariance(&self) -> &StateCov {
+        &self.p
+    }
+
+    /// 1-sigma of each misalignment angle, rad.
+    pub fn angle_sigma(&self) -> Vec3 {
+        Vec3::new([
+            self.p[(0, 0)].max(0.0).sqrt(),
+            self.p[(1, 1)].max(0.0).sqrt(),
+            self.p[(2, 2)].max(0.0).sqrt(),
+        ])
+    }
+
+    /// Accepted updates so far.
+    pub fn update_count(&self) -> u64 {
+        self.updates
+    }
+
+    /// Gate-rejected updates so far.
+    pub fn rejected_count(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Time propagation over `dt` seconds: the state is constant, the
+    /// covariance grows by the random-walk process noise.
+    pub fn predict(&mut self, dt: f64) {
+        if dt <= 0.0 {
+            return;
+        }
+        let qa = self.config.angle_process_density.powi(2) * dt;
+        let qb = if self.config.estimate_bias {
+            self.config.bias_process_density.powi(2) * dt
+        } else {
+            0.0
+        };
+        for i in 0..3 {
+            self.p[(i, i)] += qa;
+        }
+        for i in 3..STATE_DIM {
+            self.p[(i, i)] += qb;
+        }
+    }
+
+    /// Measurement update with the ACC sample `z` (m/s^2, x'/y') given
+    /// the concurrent IMU specific force `f_b`. Returns the update
+    /// record for residual monitoring.
+    ///
+    /// Runs the iterated EKF: the measurement is relinearized
+    /// [`FilterConfig::iekf_iterations`] times around the improving
+    /// estimate (Gauss-Newton on the MAP objective), then the
+    /// covariance is updated in Joseph form at the final
+    /// linearization point.
+    pub fn update(&mut self, z: Meas, f_b: Vec3, time_s: f64) -> KalmanUpdate {
+        let r = self.config.measurement_sigma.powi(2);
+        let x_pred = self.x;
+
+        // First-pass innovation and its sigma: this is what the
+        // residual monitor sees (z minus the prior prediction).
+        let innovation = z - model::h(&x_pred, f_b);
+        let jac0 = self.jacobian_at(&x_pred, f_b);
+        let s0: Mat2 = jac0 * self.p * jac0.transpose() + Mat2::identity() * r;
+        let sigma = Vec2::new([s0[(0, 0)].max(0.0).sqrt(), s0[(1, 1)].max(0.0).sqrt()]);
+
+        // Gate on the per-axis normalized innovation.
+        if self.config.gate_sigmas > 0.0 {
+            let g = self.config.gate_sigmas;
+            if innovation[0].abs() > g * sigma[0] || innovation[1].abs() > g * sigma[1] {
+                self.rejected += 1;
+                return KalmanUpdate {
+                    time_s,
+                    innovation,
+                    innovation_sigma: sigma,
+                    accepted: false,
+                };
+            }
+        }
+
+        let iterations = self.config.iekf_iterations.max(1);
+        let mut x_i = x_pred;
+        let mut jac = jac0;
+        let mut gain: Option<Matrix<STATE_DIM, MEAS_DIM>> = None;
+        for _ in 0..iterations {
+            jac = self.jacobian_at(&x_i, f_b);
+            let s: Mat2 = jac * self.p * jac.transpose() + Mat2::identity() * r;
+            let s_inv = match s.inverse() {
+                Some(inv) => inv,
+                None => {
+                    self.rejected += 1;
+                    return KalmanUpdate {
+                        time_s,
+                        innovation,
+                        innovation_sigma: sigma,
+                        accepted: false,
+                    };
+                }
+            };
+            let k: Matrix<STATE_DIM, MEAS_DIM> = self.p * jac.transpose() * s_inv;
+            // IEKF residual: z - h(x_i) - H (x_pred - x_i).
+            let resid = z - model::h(&x_i, f_b) - jac * (x_pred - x_i);
+            let x_next = x_pred + k * resid;
+            let step = (x_next - x_i).max_abs();
+            x_i = x_next;
+            gain = Some(k);
+            if step < 1e-12 {
+                break;
+            }
+        }
+        let k = gain.expect("at least one iteration ran");
+        self.x = x_i;
+        if !self.config.estimate_bias {
+            self.x[3] = 0.0;
+            self.x[4] = 0.0;
+        }
+        // Joseph-form covariance update at the final linearization.
+        let ikh = StateCov::identity() - k * jac;
+        self.p = (ikh * self.p * ikh.transpose() + k * (Mat2::identity() * r) * k.transpose())
+            .symmetrized();
+        self.apply_trust_region();
+        self.updates += 1;
+        KalmanUpdate {
+            time_s,
+            innovation,
+            innovation_sigma: sigma,
+            accepted: true,
+        }
+    }
+
+    /// Jacobian with the bias columns masked when bias estimation is
+    /// disabled.
+    fn jacobian_at(&self, x: &State, f_b: Vec3) -> model::MeasJacobian {
+        let mut jac = model::jacobian(x, f_b);
+        if !self.config.estimate_bias {
+            jac[(0, 3)] = 0.0;
+            jac[(1, 4)] = 0.0;
+        }
+        jac
+    }
+
+    /// Clamps the state to its physical trust region, re-opening the
+    /// variance of any clamped component (see [`FilterConfig`]).
+    fn apply_trust_region(&mut self) {
+        if self.config.angle_limit > 0.0 {
+            let lim = self.config.angle_limit;
+            let floor = (self.config.initial_angle_sigma * 0.5).powi(2);
+            for i in 0..3 {
+                if self.x[i].abs() > lim {
+                    self.x[i] = self.x[i].clamp(-lim, lim);
+                    if self.p[(i, i)] < floor {
+                        self.p[(i, i)] = floor;
+                    }
+                }
+            }
+        }
+        if self.config.bias_limit > 0.0 && self.config.estimate_bias {
+            let lim = self.config.bias_limit;
+            let floor = (self.config.initial_bias_sigma * 0.5).powi(2);
+            for i in 3..STATE_DIM {
+                if self.x[i].abs() > lim {
+                    self.x[i] = self.x[i].clamp(-lim, lim);
+                    if self.p[(i, i)] < floor {
+                        self.p[(i, i)] = floor;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Checks that the covariance is still symmetric positive definite
+    /// (diagnostics; `true` means healthy).
+    pub fn covariance_healthy(&self) -> bool {
+        self.p.asymmetry() < 1e-9 && Cholesky::new(&self.p).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathx::rng::seeded_rng;
+    use mathx::{deg_to_rad, rad_to_deg, GaussianSampler, STANDARD_GRAVITY};
+
+    /// Simulates `n` measurements of a true misalignment under the
+    /// given specific-force schedule and returns the filter.
+    fn run_filter(
+        truth: EulerAngles,
+        bias: Vec2,
+        forces: impl Iterator<Item = Vec3>,
+        sigma: f64,
+        cfg: FilterConfig,
+        seed: u64,
+    ) -> BoresightFilter {
+        let mut kf = BoresightFilter::new(cfg);
+        let mut rng = seeded_rng(seed);
+        let mut gauss = GaussianSampler::new();
+        let c_sb = truth.dcm().transpose();
+        let mut t = 0.0;
+        for f_b in forces {
+            let f_s = c_sb.rotate(f_b);
+            let z = Vec2::new([
+                f_s[0] + bias[0] + gauss.sample_scaled(&mut rng, 0.0, sigma),
+                f_s[1] + bias[1] + gauss.sample_scaled(&mut rng, 0.0, sigma),
+            ]);
+            kf.predict(0.005);
+            kf.update(z, f_b, t);
+            t += 0.005;
+        }
+        kf
+    }
+
+    /// A force schedule that excites all axes: gravity with varying
+    /// tilts plus horizontal accelerations.
+    fn rich_forces(n: usize) -> impl Iterator<Item = Vec3> {
+        (0..n).map(|i| {
+            let t = i as f64 * 0.005;
+            let g = STANDARD_GRAVITY;
+            let ax = 2.0 * (0.5 * t).sin();
+            let ay = 1.5 * (0.33 * t).cos();
+            let tilt = 0.2 * (0.1 * t).sin();
+            Vec3::new([ax + g * tilt, ay, g * (1.0 - tilt * tilt / 2.0)])
+        })
+    }
+
+    #[test]
+    fn converges_to_truth_with_excitation() {
+        let truth = EulerAngles::from_degrees(2.0, -1.5, 3.0);
+        let cfg = FilterConfig::paper_static();
+        let kf = run_filter(truth, Vec2::zeros(), rich_forces(20_000), 0.007, cfg, 1);
+        let est = kf.angles();
+        let err = est.error_to(&truth);
+        assert!(
+            rad_to_deg(err.max_abs()) < 0.05,
+            "error {:?} deg",
+            err.to_degrees()
+        );
+        assert!(kf.covariance_healthy());
+    }
+
+    #[test]
+    fn estimates_bias_jointly() {
+        let truth = EulerAngles::from_degrees(1.0, 2.0, -2.0);
+        let bias = Vec2::new([0.03, -0.02]);
+        let cfg = FilterConfig::paper_static();
+        let kf = run_filter(truth, bias, rich_forces(40_000), 0.007, cfg, 2);
+        let est_bias = kf.bias();
+        assert!(
+            (est_bias - bias).max_abs() < 0.01,
+            "bias {est_bias:?} vs {bias:?}"
+        );
+        let err = kf.angles().error_to(&truth);
+        assert!(rad_to_deg(err.max_abs()) < 0.1, "{:?}", err.to_degrees());
+    }
+
+    #[test]
+    fn static_level_estimates_pitch_roll_only() {
+        // Pure gravity along z: yaw is unobservable; its variance must
+        // stay near the prior while pitch/roll collapse.
+        let truth = EulerAngles::from_degrees(1.0, -1.0, 2.0);
+        let mut cfg = FilterConfig::paper_static();
+        cfg.estimate_bias = false; // bias/angle inseparable when static level
+        let forces = (0..10_000).map(|_| Vec3::new([0.0, 0.0, STANDARD_GRAVITY]));
+        let kf = run_filter(truth, Vec2::zeros(), forces, 0.005, cfg, 3);
+        let sigma = kf.angle_sigma();
+        assert!(sigma[0] < 0.2 * cfg.initial_angle_sigma, "roll {}", sigma[0]);
+        assert!(sigma[1] < 0.2 * cfg.initial_angle_sigma, "pitch {}", sigma[1]);
+        assert!(
+            sigma[2] > 0.9 * cfg.initial_angle_sigma,
+            "yaw should stay uncertain: {}",
+            sigma[2]
+        );
+        // Pitch/roll estimates are right even though yaw is not.
+        assert!((kf.angles().roll - truth.roll).abs() < deg_to_rad(0.05));
+        assert!((kf.angles().pitch - truth.pitch).abs() < deg_to_rad(0.05));
+    }
+
+    #[test]
+    fn covariance_decreases_monotonically_in_information() {
+        let mut kf = BoresightFilter::new(FilterConfig::paper_static());
+        let f = Vec3::new([1.0, 2.0, STANDARD_GRAVITY]);
+        let mut last_trace = kf.covariance().trace();
+        for i in 0..100 {
+            kf.predict(0.005);
+            kf.update(Vec2::new([0.0, 0.0]), f, i as f64 * 0.005);
+            let tr = kf.covariance().trace();
+            assert!(tr <= last_trace + 1e-9, "trace grew at {i}");
+            last_trace = tr;
+        }
+    }
+
+    #[test]
+    fn three_sigma_consistency() {
+        // With a correctly tuned filter, ~1% of residuals exceed 3 sigma
+        // (the paper's rule: "about once every 100 samples").
+        let truth = EulerAngles::from_degrees(1.0, 1.0, 1.0);
+        let mut kf = BoresightFilter::new(FilterConfig::paper_static());
+        let mut rng = seeded_rng(4);
+        let mut gauss = GaussianSampler::new();
+        let sigma = 0.007;
+        let c_sb = truth.dcm().transpose();
+        let mut exceed = 0;
+        let n = 20_000;
+        let forces: Vec<Vec3> = rich_forces(n).collect();
+        for (i, &f_b) in forces.iter().enumerate() {
+            let f_s = c_sb.rotate(f_b);
+            let z = Vec2::new([
+                f_s[0] + gauss.sample_scaled(&mut rng, 0.0, sigma),
+                f_s[1] + gauss.sample_scaled(&mut rng, 0.0, sigma),
+            ]);
+            kf.predict(0.005);
+            let upd = kf.update(z, f_b, i as f64 * 0.005);
+            if i > n / 2 && upd.exceeds_three_sigma() {
+                exceed += 1;
+            }
+        }
+        let rate = exceed as f64 / (n / 2) as f64;
+        assert!(rate < 0.02, "3-sigma exceed rate {rate}");
+    }
+
+    #[test]
+    fn gate_rejects_outliers() {
+        let mut cfg = FilterConfig::paper_static();
+        cfg.gate_sigmas = 4.0;
+        let mut kf = BoresightFilter::new(cfg);
+        let f = Vec3::new([0.0, 0.0, STANDARD_GRAVITY]);
+        for i in 0..200 {
+            kf.predict(0.005);
+            kf.update(Vec2::new([0.0, 0.0]), f, i as f64 * 0.005);
+        }
+        let angles_before = kf.angles();
+        let upd = kf.update(Vec2::new([5.0, -5.0]), f, 1.0); // wild outlier
+        assert!(!upd.accepted);
+        assert_eq!(kf.angles(), angles_before);
+        assert_eq!(kf.rejected_count(), 1);
+    }
+
+    #[test]
+    fn covariance_stays_healthy_long_run() {
+        let truth = EulerAngles::from_degrees(4.0, 4.0, 4.0);
+        let kf = run_filter(
+            truth,
+            Vec2::new([0.02, 0.02]),
+            rich_forces(60_000), // 5 minutes at 200 Hz
+            0.015,
+            FilterConfig::paper_dynamic(),
+            5,
+        );
+        assert!(kf.covariance_healthy());
+        assert_eq!(kf.update_count(), 60_000);
+    }
+
+    #[test]
+    fn retuning_measurement_noise_widens_sigma() {
+        // Compare two identical filters that differ only in R: once the
+        // covariance has settled, the higher-R filter reports wider
+        // innovation sigma.
+        let f = Vec3::new([0.0, 0.0, STANDARD_GRAVITY]);
+        let run_with = |sigma: f64| {
+            let mut cfg = FilterConfig::paper_static();
+            cfg.measurement_sigma = sigma;
+            let mut kf = BoresightFilter::new(cfg);
+            let mut last = Vec2::zeros();
+            for i in 0..200 {
+                kf.predict(0.005);
+                last = kf.update(Vec2::zeros(), f, i as f64 * 0.005).innovation_sigma;
+            }
+            last
+        };
+        let tight = run_with(0.005);
+        let loose = run_with(0.05);
+        assert!(loose[0] > tight[0]);
+        assert!(loose[1] > tight[1]);
+    }
+
+    #[test]
+    fn disabled_bias_states_stay_zero() {
+        let mut cfg = FilterConfig::paper_static();
+        cfg.estimate_bias = false;
+        let truth = EulerAngles::from_degrees(2.0, 1.0, -1.0);
+        let kf = run_filter(truth, Vec2::zeros(), rich_forces(5000), 0.007, cfg, 6);
+        assert_eq!(kf.bias(), Vec2::zeros());
+    }
+}

@@ -1,0 +1,55 @@
+//! Computational boresighting of automotive sensors — the core
+//! contribution of Chappell et al., "Exploiting real-time FPGA based
+//! adaptive systems technology for real-time Sensor Fusion in next
+//! generation automotive safety systems" (DATE 2005).
+//!
+//! A vehicle-fixed 6-DOF IMU and a two-axis accelerometer attached to
+//! the sensor being aligned both witness the same specific-force
+//! vector; the differences between their readings are a function of
+//! the sensor's mounting misalignment (roll, pitch, yaw). This crate
+//! estimates that misalignment in real time:
+//!
+//! * [`model`] — the measurement model `z = S C_sb(e) f_b + b + v` and
+//!   its analytic Jacobian;
+//! * [`filter`] — the extended Kalman filter (Joseph-form updates,
+//!   innovation gating) over misalignment plus ACC bias;
+//! * [`monitor`] — the paper's residual / 3-sigma tuning loop that
+//!   raises the measurement noise when vehicle vibration appears;
+//! * [`estimator`] — [`BoresightEstimator`], the public API tying the
+//!   above to the asynchronous DMU/ACC streams with lever-arm
+//!   compensation;
+//! * [`scenario`] — the static (tilt-table) and dynamic (drive)
+//!   test procedures producing Table-1/Figure-8/Figure-9 data;
+//! * [`arith`] — the same filter over native f64, emulated Softfloat
+//!   and Q16.16 fixed point (the paper's future-work ablation);
+//! * [`system`] — the full Figure-2 system simulation: sensors, CAN,
+//!   bridge, UARTs, reconstruction, fusion, the Sabre soft core
+//!   publishing to its control block, and affine video correction.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use boresight::scenario::{run_static, ScenarioConfig};
+//! use mathx::EulerAngles;
+//!
+//! let mut config = ScenarioConfig::static_test(EulerAngles::from_degrees(2.0, -3.0, 1.5));
+//! config.duration_s = 30.0; // the paper records 300 s
+//! let result = run_static(&config);
+//! assert!(result.max_error_deg() < 0.5);
+//! ```
+
+pub mod arith;
+pub mod estimator;
+pub mod filter;
+pub mod model;
+pub mod monitor;
+pub mod multi;
+pub mod scenario;
+pub mod system;
+
+pub use estimator::{BoresightEstimator, EstimatorConfig, MisalignmentEstimate};
+pub use filter::{BoresightFilter, FilterConfig, KalmanUpdate};
+pub use monitor::{MonitorConfig, ResidualMonitor, Retune};
+pub use multi::MultiBoresight;
+pub use scenario::{run, run_dynamic, run_static, RunResult, ScenarioConfig};
+pub use system::{run_system, SystemConfig, SystemReport};

@@ -1,0 +1,196 @@
+//! The boresight measurement model.
+//!
+//! The two-axis accelerometer fixed to the sensor measures the x', y'
+//! components of the specific force expressed in the sensor frame:
+//!
+//! ```text
+//! z = S * C_sb(phi, theta, psi) * f_b + b + v
+//! ```
+//!
+//! where `C_sb` is the (sensor-from-body) misalignment DCM — the
+//! quantity the filter estimates — `f_b` the IMU's body-frame specific
+//! force, `S` the first-two-rows selector, `b` the accelerometer bias
+//! pair and `v` measurement noise. This module supplies the model
+//! function `h` and its analytic Jacobian with respect to the filter
+//! state `[phi, theta, psi, bx, by]`.
+
+use mathx::{Mat3, Matrix, Vec3, Vector};
+
+/// Dimension of the filter state.
+pub const STATE_DIM: usize = 5;
+/// Dimension of the measurement.
+pub const MEAS_DIM: usize = 2;
+
+/// Filter state vector `[phi, theta, psi, bx, by]`.
+pub type State = Vector<STATE_DIM>;
+/// Measurement vector (ACC x', y' specific force, m/s^2).
+pub type Meas = Vector<MEAS_DIM>;
+/// State covariance.
+pub type StateCov = Matrix<STATE_DIM, STATE_DIM>;
+/// Measurement Jacobian.
+pub type MeasJacobian = Matrix<MEAS_DIM, STATE_DIM>;
+
+fn rx(phi: f64) -> Mat3 {
+    let (s, c) = phi.sin_cos();
+    Mat3::new([[1.0, 0.0, 0.0], [0.0, c, -s], [0.0, s, c]])
+}
+
+fn ry(theta: f64) -> Mat3 {
+    let (s, c) = theta.sin_cos();
+    Mat3::new([[c, 0.0, s], [0.0, 1.0, 0.0], [-s, 0.0, c]])
+}
+
+fn rz(psi: f64) -> Mat3 {
+    let (s, c) = psi.sin_cos();
+    Mat3::new([[c, -s, 0.0], [s, c, 0.0], [0.0, 0.0, 1.0]])
+}
+
+fn drx(phi: f64) -> Mat3 {
+    let (s, c) = phi.sin_cos();
+    Mat3::new([[0.0, 0.0, 0.0], [0.0, -s, -c], [0.0, c, -s]])
+}
+
+fn dry(theta: f64) -> Mat3 {
+    let (s, c) = theta.sin_cos();
+    Mat3::new([[-s, 0.0, c], [0.0, 0.0, 0.0], [-c, 0.0, -s]])
+}
+
+fn drz(psi: f64) -> Mat3 {
+    let (s, c) = psi.sin_cos();
+    Mat3::new([[-s, -c, 0.0], [c, -s, 0.0], [0.0, 0.0, 0.0]])
+}
+
+/// Sensor-from-body DCM for the given state.
+pub fn c_sb(x: &State) -> Mat3 {
+    (rz(x[2]) * ry(x[1]) * rx(x[0])).transpose()
+}
+
+/// Model function: predicted ACC measurement for state `x` and IMU
+/// specific force `f_b`.
+pub fn h(x: &State, f_b: Vec3) -> Meas {
+    let f_s = c_sb(x) * f_b;
+    Vector::new([f_s[0] + x[3], f_s[1] + x[4]])
+}
+
+/// Analytic Jacobian `dh/dx` (2 x 5).
+pub fn jacobian(x: &State, f_b: Vec3) -> MeasJacobian {
+    let a = rz(x[2]);
+    let b = ry(x[1]);
+    let c = rx(x[0]);
+    // C_sb = C^T B^T A^T; partials replace one factor by its derivative.
+    let d_phi = (a * b * drx(x[0])).transpose() * f_b;
+    let d_theta = (a * dry(x[1]) * c).transpose() * f_b;
+    let d_psi = (drz(x[2]) * b * c).transpose() * f_b;
+    let mut jac = MeasJacobian::zeros();
+    for row in 0..MEAS_DIM {
+        jac[(row, 0)] = d_phi[row];
+        jac[(row, 1)] = d_theta[row];
+        jac[(row, 2)] = d_psi[row];
+    }
+    jac[(0, 3)] = 1.0;
+    jac[(1, 4)] = 1.0;
+    jac
+}
+
+/// First-order (small-angle) approximation of `h`, used by tests and
+/// the fixed-point filter: `z ~ S (f - e x f) + b`.
+pub fn h_small_angle(x: &State, f_b: Vec3) -> Meas {
+    let e = Vec3::new([x[0], x[1], x[2]]);
+    let f_s = f_b - e.cross(&f_b);
+    Vector::new([f_s[0] + x[3], f_s[1] + x[4]])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathx::{deg_to_rad, EulerAngles, STANDARD_GRAVITY};
+
+    fn state(roll: f64, pitch: f64, yaw: f64, bx: f64, by: f64) -> State {
+        Vector::new([
+            deg_to_rad(roll),
+            deg_to_rad(pitch),
+            deg_to_rad(yaw),
+            bx,
+            by,
+        ])
+    }
+
+    #[test]
+    fn c_sb_matches_mathx_convention() {
+        let x = state(3.0, -2.0, 5.0, 0.0, 0.0);
+        let e = EulerAngles::new(x[0], x[1], x[2]);
+        let expected = e.dcm().transpose();
+        assert!((c_sb(&x) - *expected.matrix()).max_abs() < 1e-14);
+    }
+
+    #[test]
+    fn zero_state_is_identity() {
+        let x = State::zeros();
+        let f = Vec3::new([1.0, 2.0, 3.0]);
+        let z = h(&x, f);
+        assert_eq!(z, Vector::new([1.0, 2.0]));
+    }
+
+    #[test]
+    fn bias_adds_directly() {
+        let x = state(0.0, 0.0, 0.0, 0.05, -0.02);
+        let f = Vec3::new([1.0, 2.0, 3.0]);
+        let z = h(&x, f);
+        assert!((z[0] - 1.05).abs() < 1e-15);
+        assert!((z[1] - 1.98).abs() < 1e-15);
+    }
+
+    #[test]
+    fn jacobian_matches_numerical() {
+        let x0 = state(2.0, -1.5, 3.0, 0.01, -0.02);
+        let f = Vec3::new([0.8, -0.4, STANDARD_GRAVITY]);
+        let jac = jacobian(&x0, f);
+        let eps = 1e-7;
+        for k in 0..STATE_DIM {
+            let mut xp = x0;
+            let mut xm = x0;
+            xp[k] += eps;
+            xm[k] -= eps;
+            let num = (h(&xp, f) - h(&xm, f)) / (2.0 * eps);
+            for row in 0..MEAS_DIM {
+                assert!(
+                    (jac[(row, k)] - num[row]).abs() < 1e-6,
+                    "d h[{row}]/dx[{k}]: analytic {} numeric {}",
+                    jac[(row, k)],
+                    num[row]
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn jacobian_numerical_at_zero() {
+        let x0 = State::zeros();
+        let f = Vec3::new([0.0, 0.0, STANDARD_GRAVITY]);
+        let jac = jacobian(&x0, f);
+        // Small-angle theory: z_x ~ -theta*g, z_y ~ +phi*g at level.
+        assert!((jac[(0, 1)] + STANDARD_GRAVITY).abs() < 1e-12);
+        assert!((jac[(1, 0)] - STANDARD_GRAVITY).abs() < 1e-12);
+        // Yaw unobservable when gravity is along z.
+        assert!(jac[(0, 2)].abs() < 1e-12);
+        assert!(jac[(1, 2)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn yaw_becomes_observable_with_horizontal_force() {
+        let x0 = State::zeros();
+        let f = Vec3::new([2.0, 0.0, STANDARD_GRAVITY]); // braking/accelerating
+        let jac = jacobian(&x0, f);
+        // z_y picks up -psi*f_x.
+        assert!((jac[(1, 2)] + 2.0).abs() < 1e-12, "{}", jac[(1, 2)]);
+    }
+
+    #[test]
+    fn small_angle_model_close_to_exact() {
+        let x = state(0.5, -0.4, 0.8, 0.0, 0.0);
+        let f = Vec3::new([1.0, -0.5, STANDARD_GRAVITY]);
+        let exact = h(&x, f);
+        let approx = h_small_angle(&x, f);
+        assert!((exact - approx).max_abs() < 2e-3);
+    }
+}

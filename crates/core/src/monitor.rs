@@ -1,0 +1,236 @@
+//! Residual monitoring and adaptive measurement-noise tuning.
+//!
+//! "The residuals ... were used to help tune the Kalman Filter by
+//! selecting a good measurement noise value. ... Since the residuals
+//! should only exceed the 3-sigma value about once every 100 samples,
+//! the Filter noise was increased." This module implements exactly
+//! that loop: a sliding window tracks the fraction of innovations
+//! outside their 3-sigma bound, and when the fraction exceeds the
+//! target the measurement sigma is scaled up (with an optional slow
+//! decay back toward the floor when the residuals are consistently
+//! quiet).
+
+use crate::filter::KalmanUpdate;
+use mathx::WindowStats;
+
+/// Monitor configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct MonitorConfig {
+    /// Sliding window length, samples.
+    pub window: usize,
+    /// Acceptable 3-sigma exceedance rate (the paper's 1/100).
+    pub target_exceed_rate: f64,
+    /// Multiplier applied to sigma when the rate is exceeded.
+    pub scale_up: f64,
+    /// Multiplier applied when the window is entirely quiet (set to
+    /// `1.0` to disable decay, the paper only increased).
+    pub scale_down: f64,
+    /// Lower bound for the measurement sigma, m/s^2.
+    pub sigma_min: f64,
+    /// Upper bound for the measurement sigma, m/s^2.
+    pub sigma_max: f64,
+    /// Minimum samples between retunes (lets the window refill).
+    pub holdoff: usize,
+}
+
+impl Default for MonitorConfig {
+    fn default() -> Self {
+        Self {
+            window: 200,
+            target_exceed_rate: 0.01,
+            scale_up: 1.3,
+            scale_down: 1.0,
+            sigma_min: 0.003,
+            sigma_max: 0.1,
+            holdoff: 100,
+        }
+    }
+}
+
+/// A retune decision from the monitor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Retune {
+    /// Sample index at which the retune fired.
+    pub at_sample: u64,
+    /// New measurement sigma to apply.
+    pub new_sigma: f64,
+    /// Exceedance rate that triggered it.
+    pub rate: f64,
+}
+
+/// The residual monitor.
+///
+/// # Examples
+///
+/// ```
+/// use boresight::monitor::{MonitorConfig, ResidualMonitor};
+/// let monitor = ResidualMonitor::new(MonitorConfig::default(), 0.007);
+/// assert_eq!(monitor.current_sigma(), 0.007);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ResidualMonitor {
+    config: MonitorConfig,
+    window: WindowStats,
+    sigma: f64,
+    samples: u64,
+    last_retune: u64,
+    retunes: Vec<Retune>,
+}
+
+impl ResidualMonitor {
+    /// Creates a monitor starting from the given measurement sigma.
+    pub fn new(config: MonitorConfig, initial_sigma: f64) -> Self {
+        Self {
+            config,
+            window: WindowStats::new(config.window.max(1)),
+            sigma: initial_sigma,
+            samples: 0,
+            last_retune: 0,
+            retunes: Vec::new(),
+        }
+    }
+
+    /// The sigma the monitor currently recommends.
+    pub fn current_sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    /// The 3-sigma exceedance rate over the current window.
+    pub fn exceed_rate(&self) -> f64 {
+        self.window.exceed_rate()
+    }
+
+    /// All retunes so far.
+    pub fn retunes(&self) -> &[Retune] {
+        &self.retunes
+    }
+
+    /// Observes one filter update; returns a retune decision when the
+    /// exceedance statistics call for one.
+    pub fn observe(&mut self, update: &KalmanUpdate) -> Option<Retune> {
+        self.samples += 1;
+        let magnitude = update.innovation[0]
+            .abs()
+            .max(update.innovation[1].abs());
+        self.window.push(magnitude, update.exceeds_three_sigma());
+        if !self.window.is_full() {
+            return None;
+        }
+        if self.samples - self.last_retune < self.config.holdoff as u64 {
+            return None;
+        }
+        let rate = self.window.exceed_rate();
+        let new_sigma = if rate > self.config.target_exceed_rate {
+            (self.sigma * self.config.scale_up).min(self.config.sigma_max)
+        } else if rate == 0.0 && self.config.scale_down < 1.0 {
+            (self.sigma * self.config.scale_down).max(self.config.sigma_min)
+        } else {
+            return None;
+        };
+        if (new_sigma - self.sigma).abs() < f64::EPSILON {
+            return None;
+        }
+        self.sigma = new_sigma;
+        self.last_retune = self.samples;
+        let retune = Retune {
+            at_sample: self.samples,
+            new_sigma,
+            rate,
+        };
+        self.retunes.push(retune);
+        Some(retune)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathx::Vec2;
+
+    fn update(innovation: f64, sigma: f64) -> KalmanUpdate {
+        KalmanUpdate {
+            time_s: 0.0,
+            innovation: Vec2::new([innovation, 0.0]),
+            innovation_sigma: Vec2::new([sigma, sigma]),
+            accepted: true,
+        }
+    }
+
+    #[test]
+    fn quiet_residuals_do_not_retune() {
+        let mut mon = ResidualMonitor::new(MonitorConfig::default(), 0.007);
+        for _ in 0..1000 {
+            assert!(mon.observe(&update(0.005, 0.01)).is_none());
+        }
+        assert_eq!(mon.current_sigma(), 0.007);
+        assert!(mon.retunes().is_empty());
+    }
+
+    #[test]
+    fn noisy_residuals_scale_sigma_up() {
+        let mut mon = ResidualMonitor::new(MonitorConfig::default(), 0.007);
+        let mut fired = false;
+        for i in 0..1000 {
+            // Every 20th sample blows through 3 sigma: 5% >> 1% target.
+            let u = if i % 20 == 0 {
+                update(0.2, 0.01)
+            } else {
+                update(0.005, 0.01)
+            };
+            if mon.observe(&u).is_some() {
+                fired = true;
+                break;
+            }
+        }
+        assert!(fired);
+        assert!(mon.current_sigma() > 0.007);
+    }
+
+    #[test]
+    fn repeated_retunes_respect_holdoff_and_cap() {
+        let cfg = MonitorConfig {
+            sigma_max: 0.02,
+            ..MonitorConfig::default()
+        };
+        let mut mon = ResidualMonitor::new(cfg, 0.015);
+        let mut count = 0;
+        for _ in 0..5000 {
+            if mon.observe(&update(1.0, 0.01)).is_some() {
+                count += 1;
+            }
+        }
+        assert!(count >= 1);
+        assert!(mon.current_sigma() <= 0.02 + 1e-12);
+        // Holdoff bounds the retune frequency.
+        assert!(count <= 5000 / cfg.holdoff as usize + 1);
+    }
+
+    #[test]
+    fn decay_when_enabled() {
+        let cfg = MonitorConfig {
+            scale_down: 0.95,
+            sigma_min: 0.003,
+            ..MonitorConfig::default()
+        };
+        let mut mon = ResidualMonitor::new(cfg, 0.02);
+        for _ in 0..10_000 {
+            mon.observe(&update(0.0001, 0.02));
+        }
+        assert!(mon.current_sigma() < 0.02);
+        assert!(mon.current_sigma() >= 0.003);
+    }
+
+    #[test]
+    fn rate_reporting() {
+        let mut mon = ResidualMonitor::new(MonitorConfig::default(), 0.01);
+        for i in 0..200 {
+            let u = if i % 10 == 0 {
+                update(1.0, 0.01)
+            } else {
+                update(0.001, 0.01)
+            };
+            mon.observe(&u);
+        }
+        assert!((mon.exceed_rate() - 0.1).abs() < 0.02, "{}", mon.exceed_rate());
+    }
+}

@@ -1,0 +1,206 @@
+//! Multi-sensor alignment — the paper's proposed extension.
+//!
+//! "Future implementations will demonstrate self-aligning and
+//! self-referencing methods for dynamic alignment of multiple sensors
+//! ... it can readily be extended to fuse data from multiple sensors
+//! together (eg. lidar and video) to provide low-cost situational
+//! awareness systems."
+//!
+//! The extension is structurally simple and this module makes it
+//! concrete: one vehicle-fixed IMU stream is shared by any number of
+//! per-sensor estimators (each sensor carries its own two-axis ACC).
+//! Aligning every sensor to the common body frame *also* aligns the
+//! sensors to each other — [`MultiBoresight::relative_alignment`]
+//! returns the rotation between any two sensors without any direct
+//! cross-sensor calibration, which is exactly what fusing lidar
+//! returns with video requires.
+
+use crate::estimator::{BoresightEstimator, EstimatorConfig, MisalignmentEstimate};
+use crate::filter::KalmanUpdate;
+use mathx::{Dcm, EulerAngles, Vec2};
+use sensors::DmuSample;
+
+/// Joint alignment of several sensors against one IMU.
+///
+/// # Examples
+///
+/// ```
+/// use boresight::multi::MultiBoresight;
+/// use boresight::EstimatorConfig;
+///
+/// let mut multi = MultiBoresight::new(vec![
+///     ("camera".into(), EstimatorConfig::paper_static()),
+///     ("lidar".into(), EstimatorConfig::paper_static()),
+/// ]);
+/// assert_eq!(multi.len(), 2);
+/// ```
+#[derive(Clone, Debug)]
+pub struct MultiBoresight {
+    names: Vec<String>,
+    estimators: Vec<BoresightEstimator>,
+}
+
+impl MultiBoresight {
+    /// Creates one estimator per (name, config) pair.
+    pub fn new(sensors: Vec<(String, EstimatorConfig)>) -> Self {
+        let (names, configs): (Vec<_>, Vec<_>) = sensors.into_iter().unzip();
+        Self {
+            names,
+            estimators: configs.into_iter().map(BoresightEstimator::new).collect(),
+        }
+    }
+
+    /// Number of sensors being aligned.
+    pub fn len(&self) -> usize {
+        self.estimators.len()
+    }
+
+    /// `true` if no sensors are registered.
+    pub fn is_empty(&self) -> bool {
+        self.estimators.is_empty()
+    }
+
+    /// Sensor names in index order.
+    pub fn names(&self) -> &[String] {
+        &self.names
+    }
+
+    /// Broadcasts an IMU sample to every per-sensor estimator (they
+    /// share the single vehicle-fixed DMU).
+    pub fn on_dmu(&mut self, sample: &DmuSample) {
+        for est in &mut self.estimators {
+            est.on_dmu(sample);
+        }
+    }
+
+    /// Feeds one sensor's ACC measurement.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sensor` is out of range.
+    pub fn on_acc(&mut self, sensor: usize, time_s: f64, z: Vec2) -> Option<KalmanUpdate> {
+        self.estimators[sensor].on_acc(time_s, z)
+    }
+
+    /// Current estimate for one sensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sensor` is out of range.
+    pub fn estimate(&self, sensor: usize) -> MisalignmentEstimate {
+        self.estimators[sensor].estimate()
+    }
+
+    /// All estimates, in index order.
+    pub fn estimates(&self) -> Vec<MisalignmentEstimate> {
+        self.estimators.iter().map(|e| e.estimate()).collect()
+    }
+
+    /// The rotation carrying sensor `from`'s frame into sensor `to`'s
+    /// frame, derived purely from each sensor's alignment to the
+    /// common body frame: `C_to_from = C_to_b * C_b_from`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index is out of range.
+    pub fn relative_alignment(&self, from: usize, to: usize) -> EulerAngles {
+        let c_b_from: Dcm = self.estimators[from].estimate().angles.dcm(); // from -> body
+        let c_b_to: Dcm = self.estimators[to].estimate().angles.dcm(); // to -> body
+        // to <- body <- from.
+        (c_b_to.transpose() * c_b_from).euler()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathx::rng::seeded_rng;
+    use mathx::{rad_to_deg, GaussianSampler, Vec3, STANDARD_GRAVITY};
+
+    /// Runs two sensors with different true misalignments against the
+    /// same excitation and returns the multi-estimator.
+    fn run_two(truth_a: EulerAngles, truth_b: EulerAngles, n: usize) -> MultiBoresight {
+        let mut multi = MultiBoresight::new(vec![
+            ("camera".into(), EstimatorConfig::paper_static()),
+            ("lidar".into(), EstimatorConfig::paper_static()),
+        ]);
+        let c_a = truth_a.dcm().transpose();
+        let c_b = truth_b.dcm().transpose();
+        let mut rng = seeded_rng(5);
+        let mut gauss = GaussianSampler::new();
+        let g = STANDARD_GRAVITY;
+        for i in 0..n {
+            let t = i as f64 * 0.005;
+            let f = Vec3::new([
+                2.0 * (0.5 * t).sin() + g * 0.2 * (0.07 * t).sin(),
+                1.5 * (0.33 * t).cos(),
+                g,
+            ]);
+            if i % 2 == 0 {
+                multi.on_dmu(&DmuSample {
+                    seq: (i / 2) as u16,
+                    time_s: t,
+                    gyro: Vec3::zeros(),
+                    accel: f,
+                });
+            }
+            for (idx, c) in [(0usize, &c_a), (1usize, &c_b)] {
+                let f_s = c.rotate(f);
+                let z = Vec2::new([
+                    f_s[0] + gauss.sample_scaled(&mut rng, 0.0, 0.007),
+                    f_s[1] + gauss.sample_scaled(&mut rng, 0.0, 0.007),
+                ]);
+                multi.on_acc(idx, t, z);
+            }
+        }
+        multi
+    }
+
+    #[test]
+    fn each_sensor_converges_independently() {
+        let truth_a = EulerAngles::from_degrees(2.0, -1.0, 1.5);
+        let truth_b = EulerAngles::from_degrees(-3.0, 2.0, -1.0);
+        let multi = run_two(truth_a, truth_b, 30_000);
+        let ea = multi.estimate(0).angles.error_to(&truth_a);
+        let eb = multi.estimate(1).angles.error_to(&truth_b);
+        assert!(rad_to_deg(ea.max_abs()) < 0.3, "{:?}", ea.to_degrees());
+        assert!(rad_to_deg(eb.max_abs()) < 0.3, "{:?}", eb.to_degrees());
+    }
+
+    #[test]
+    fn relative_alignment_without_cross_calibration() {
+        let truth_a = EulerAngles::from_degrees(2.0, -1.0, 1.5);
+        let truth_b = EulerAngles::from_degrees(-3.0, 2.0, -1.0);
+        let multi = run_two(truth_a, truth_b, 30_000);
+        let rel = multi.relative_alignment(0, 1);
+        // Ground truth relative rotation.
+        let expected = (truth_b.dcm().transpose() * truth_a.dcm()).euler();
+        let err = rel.error_to(&expected);
+        assert!(
+            rad_to_deg(err.max_abs()) < 0.5,
+            "relative {:?} vs {:?}",
+            rel.to_degrees(),
+            expected.to_degrees()
+        );
+    }
+
+    #[test]
+    fn self_relative_alignment_is_identity() {
+        let truth = EulerAngles::from_degrees(1.0, 1.0, 1.0);
+        let multi = run_two(truth, truth, 5_000);
+        let rel = multi.relative_alignment(0, 0);
+        assert!(rad_to_deg(rel.max_abs()) < 1e-9);
+    }
+
+    #[test]
+    fn names_and_len() {
+        let multi = MultiBoresight::new(vec![
+            ("camera".into(), EstimatorConfig::paper_static()),
+            ("lidar".into(), EstimatorConfig::paper_static()),
+            ("radar".into(), EstimatorConfig::paper_static()),
+        ]);
+        assert_eq!(multi.len(), 3);
+        assert!(!multi.is_empty());
+        assert_eq!(multi.names()[2], "radar");
+    }
+}

@@ -1,0 +1,341 @@
+//! Scenario harness: the paper's test procedure as code.
+//!
+//! Builds the full synthetic experiment — a motion truth source
+//! ([`vehicle::Trajectory`]), the DMU and ACC instrument models with
+//! the true mounting misalignment applied, road vibration, and the
+//! estimator — runs it for the configured duration (the paper records
+//! 300 s), and returns the traces every table and figure needs:
+//! per-axis residuals with their 3-sigma bounds (Figure 8), the
+//! misalignment estimate trajectory with covariance (Figure 9), and
+//! final estimate vs truth with confidence (Table 1).
+
+use crate::estimator::{BoresightEstimator, EstimatorConfig, MisalignmentEstimate};
+use mathx::{rad_to_deg, EulerAngles, GaussianSampler, Vec2};
+use rand::rngs::StdRng;
+use sensors::{Dmu, DmuConfig, Mounting};
+use vehicle::{RoadVibration, Trajectory, VibrationConfig};
+
+/// Scenario configuration.
+#[derive(Clone, Debug)]
+pub struct ScenarioConfig {
+    /// The true mounting misalignment to inject (and later compare
+    /// against — the role the laser reference plays in the paper).
+    pub true_misalignment: EulerAngles,
+    /// True ACC biases, m/s^2.
+    pub true_acc_bias: Vec2,
+    /// Run length, seconds (the paper runs 300 s).
+    pub duration_s: f64,
+    /// DMU instrument configuration.
+    pub dmu: DmuConfig,
+    /// ACC white-noise sigma per sample, m/s^2 (instrument noise; the
+    /// paper's static floor).
+    pub acc_noise_sigma: f64,
+    /// ACC sample rate, Hz.
+    pub acc_rate_hz: f64,
+    /// Common rigid-body vibration (sensed coherently by both
+    /// instruments).
+    pub vibration: VibrationConfig,
+    /// Differential vibration sensed only by the ACC (mount flexure) as
+    /// a fraction of the common vibration intensity — this is the term
+    /// that forces the paper's dynamic retuning.
+    pub differential_vibration: f64,
+    /// Estimator configuration.
+    pub estimator: EstimatorConfig,
+    /// RNG seed (scenarios are fully deterministic given the seed).
+    pub seed: u64,
+    /// Keep every n-th residual/estimate point in the trace (1 = all).
+    pub trace_decimation: usize,
+}
+
+impl ScenarioConfig {
+    /// The paper's static test: tilt-table schedule, no vibration,
+    /// static filter tuning.
+    pub fn static_test(true_misalignment: EulerAngles) -> Self {
+        // Tactical-grade IMU accelerometers (the BAE DMU is a cut above
+        // consumer parts): ~0.004 m/s^2 per-sample noise keeps the
+        // combined residual floor inside the paper's tuned
+        // 0.003-0.01 m/s^2 static range.
+        let mut dmu = DmuConfig::default();
+        dmu.accel.error.noise_std = 0.004;
+        Self {
+            true_misalignment,
+            true_acc_bias: Vec2::new([0.02, -0.015]),
+            duration_s: 300.0,
+            dmu,
+            acc_noise_sigma: 0.005,
+            acc_rate_hz: 200.0,
+            vibration: VibrationConfig::none(),
+            differential_vibration: 0.0,
+            estimator: EstimatorConfig::paper_static(),
+            seed: 0xB0B5,
+            trace_decimation: 10,
+        }
+    }
+
+    /// The paper's dynamic test: passenger-car vibration and the
+    /// dynamic filter tuning.
+    pub fn dynamic_test(true_misalignment: EulerAngles) -> Self {
+        Self {
+            vibration: VibrationConfig::passenger_car(),
+            differential_vibration: 0.1,
+            estimator: EstimatorConfig::paper_dynamic(),
+            ..Self::static_test(true_misalignment)
+        }
+    }
+}
+
+/// One point of the residual trace (Figure 8).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ResidualPoint {
+    /// Time, seconds.
+    pub time_s: f64,
+    /// X-axis innovation, m/s^2.
+    pub residual_x: f64,
+    /// X-axis 3-sigma bound, m/s^2.
+    pub three_sigma_x: f64,
+    /// Y-axis innovation, m/s^2.
+    pub residual_y: f64,
+    /// Y-axis 3-sigma bound, m/s^2.
+    pub three_sigma_y: f64,
+}
+
+/// One point of the estimate trace (Figure 9).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct EstimatePoint {
+    /// Time, seconds.
+    pub time_s: f64,
+    /// Estimated angles, degrees.
+    pub angles_deg: [f64; 3],
+    /// 3-sigma bounds, degrees.
+    pub three_sigma_deg: [f64; 3],
+}
+
+/// Everything a run produces.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// The injected truth.
+    pub truth: EulerAngles,
+    /// Final estimate with confidence.
+    pub estimate: MisalignmentEstimate,
+    /// Residual trace (decimated).
+    pub residuals: Vec<ResidualPoint>,
+    /// Estimate trace (decimated).
+    pub estimates: Vec<EstimatePoint>,
+    /// Fraction of residuals beyond 3 sigma over the whole run.
+    pub exceed_rate: f64,
+    /// Measurement sigma in force at the end (after any retunes).
+    pub final_sigma: f64,
+    /// Number of adaptive retunes that fired.
+    pub retune_count: usize,
+}
+
+impl RunResult {
+    /// Per-axis estimation error, degrees.
+    pub fn error_deg(&self) -> [f64; 3] {
+        let e = self.estimate.angles.error_to(&self.truth);
+        [rad_to_deg(e.roll), rad_to_deg(e.pitch), rad_to_deg(e.yaw)]
+    }
+
+    /// Largest absolute per-axis error, degrees.
+    pub fn max_error_deg(&self) -> f64 {
+        self.error_deg()
+            .iter()
+            .fold(0.0_f64, |m, e| m.max(e.abs()))
+    }
+}
+
+/// Runs one scenario against a trajectory.
+pub fn run(trajectory: &dyn Trajectory, config: &ScenarioConfig) -> RunResult {
+    let mut rng: StdRng = mathx::rng::seeded_rng(config.seed);
+    let mut gauss = GaussianSampler::new();
+    let mut dmu = Dmu::new(config.dmu);
+    let mounting = Mounting::new(config.true_misalignment, config.estimator.lever_arm);
+    let mut common_vib = RoadVibration::new(config.vibration);
+    let mut diff_vib = RoadVibration::new(config.vibration);
+    let mut estimator = BoresightEstimator::new(config.estimator);
+
+    let acc_dt = 1.0 / config.acc_rate_hz;
+    let dmu_dt = dmu.dt();
+    let steps = (config.duration_s / acc_dt).round() as usize;
+    let dmu_every = (dmu_dt / acc_dt).round().max(1.0) as usize;
+
+    let mut residuals = Vec::new();
+    let mut estimates = Vec::new();
+    let mut exceed = 0u64;
+    let mut total = 0u64;
+
+    for i in 0..steps {
+        let t = i as f64 * acc_dt;
+        let state = trajectory.sample(t);
+        let speed = state.speed();
+        let f_true = state.specific_force_body();
+        let w_true = state.angular_rate_b;
+        // Common rigid-body vibration, sensed by both instruments.
+        let (df, dw) = common_vib.step(speed, &mut rng);
+        let f_b = f_true + df;
+        let w_b = w_true + dw;
+
+        if i % dmu_every == 0 {
+            let sample = dmu.sample(f_b, w_b, &mut rng);
+            estimator.on_dmu(&sample);
+        }
+
+        // ACC: specific force at the (misaligned, offset) sensor, plus
+        // differential vibration, bias and instrument noise.
+        let f_sensor = mounting.body_to_sensor(f_b, w_b, state.angular_accel_b);
+        let (dfd, _) = diff_vib.step(speed, &mut rng);
+        let z = Vec2::new([
+            f_sensor[0]
+                + config.differential_vibration * dfd[0]
+                + config.true_acc_bias[0]
+                + gauss.sample_scaled(&mut rng, 0.0, config.acc_noise_sigma),
+            f_sensor[1]
+                + config.differential_vibration * dfd[1]
+                + config.true_acc_bias[1]
+                + gauss.sample_scaled(&mut rng, 0.0, config.acc_noise_sigma),
+        ]);
+        if let Some(update) = estimator.on_acc(t, z) {
+            total += 1;
+            if update.exceeds_three_sigma() {
+                exceed += 1;
+            }
+            if i % config.trace_decimation.max(1) == 0 {
+                residuals.push(ResidualPoint {
+                    time_s: t,
+                    residual_x: update.innovation[0],
+                    three_sigma_x: 3.0 * update.innovation_sigma[0],
+                    residual_y: update.innovation[1],
+                    three_sigma_y: 3.0 * update.innovation_sigma[1],
+                });
+                let est = estimator.estimate();
+                estimates.push(EstimatePoint {
+                    time_s: t,
+                    angles_deg: est.angles.to_degrees(),
+                    three_sigma_deg: est.three_sigma_deg(),
+                });
+            }
+        }
+    }
+
+    RunResult {
+        truth: config.true_misalignment,
+        estimate: estimator.estimate(),
+        residuals,
+        estimates,
+        exceed_rate: if total > 0 {
+            exceed as f64 / total as f64
+        } else {
+            0.0
+        },
+        final_sigma: estimator.current_measurement_sigma(),
+        retune_count: estimator.retunes().len(),
+    }
+}
+
+/// Runs the paper's static test procedure (tilt-table observability
+/// sequence) with the given configuration.
+pub fn run_static(config: &ScenarioConfig) -> RunResult {
+    let hold = config.duration_s / 8.0;
+    let table = vehicle::TiltTable::observability_sequence(20.0, hold);
+    run(&table, config)
+}
+
+/// Runs the paper's dynamic test procedure (urban drive profile).
+pub fn run_dynamic(config: &ScenarioConfig) -> RunResult {
+    let profile = vehicle::profile::presets::urban_drive(config.duration_s);
+    run(&profile, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn short_static(truth: EulerAngles, seed: u64) -> RunResult {
+        let mut cfg = ScenarioConfig::static_test(truth);
+        cfg.duration_s = 80.0;
+        cfg.seed = seed;
+        run_static(&cfg)
+    }
+
+    #[test]
+    fn static_run_estimates_misalignment() {
+        let truth = EulerAngles::from_degrees(2.0, -3.0, 1.5);
+        let result = short_static(truth, 1);
+        assert!(
+            result.max_error_deg() < 0.3,
+            "errors {:?}",
+            result.error_deg()
+        );
+        assert!(result.estimate.updates > 10_000);
+    }
+
+    #[test]
+    fn static_residuals_stay_inside_three_sigma() {
+        let result = short_static(EulerAngles::from_degrees(1.0, 1.0, 1.0), 2);
+        assert!(result.exceed_rate < 0.03, "rate {}", result.exceed_rate);
+    }
+
+    #[test]
+    fn dynamic_run_converges_with_vibration() {
+        let truth = EulerAngles::from_degrees(3.0, -2.0, 2.5);
+        let mut cfg = ScenarioConfig::dynamic_test(truth);
+        cfg.duration_s = 120.0;
+        let result = run_dynamic(&cfg);
+        assert!(
+            result.max_error_deg() < 0.6,
+            "errors {:?}",
+            result.error_deg()
+        );
+    }
+
+    #[test]
+    fn static_tuning_on_dynamic_run_forces_retune() {
+        // The Figure-8 narrative: a filter tuned for the static floor
+        // sees vibration residuals breaching 3 sigma, and the monitor
+        // raises R.
+        let truth = EulerAngles::from_degrees(2.0, 2.0, 2.0);
+        let mut cfg = ScenarioConfig::dynamic_test(truth);
+        cfg.estimator.filter.measurement_sigma = 0.004; // static tuning
+        cfg.duration_s = 60.0;
+        let result = run_dynamic(&cfg);
+        assert!(result.retune_count > 0, "no retune fired");
+        assert!(result.final_sigma > 0.004);
+    }
+
+    #[test]
+    fn traces_are_recorded() {
+        let result = short_static(EulerAngles::from_degrees(1.0, 0.5, -0.5), 3);
+        assert!(!result.residuals.is_empty());
+        assert!(!result.estimates.is_empty());
+        // Time is monotonic.
+        for w in result.residuals.windows(2) {
+            assert!(w[1].time_s > w[0].time_s);
+        }
+        // 3-sigma bounds are positive.
+        assert!(result.residuals.iter().all(|p| p.three_sigma_x > 0.0));
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let truth = EulerAngles::from_degrees(1.0, 1.0, 1.0);
+        let a = short_static(truth, 7);
+        let b = short_static(truth, 7);
+        assert_eq!(a.estimate.angles, b.estimate.angles);
+        assert_eq!(a.exceed_rate, b.exceed_rate);
+    }
+
+    #[test]
+    fn different_seeds_agree_on_the_answer() {
+        // Run-to-run repeatability — the paper's two dynamic tests
+        // "show very close agreement". Short (80 s) runs leave a few
+        // tenths of a degree of bias/angle separation error, so the
+        // agreement tolerance reflects that; the 300 s Table-1 runs
+        // agree much more closely.
+        let truth = EulerAngles::from_degrees(2.0, -1.0, 1.0);
+        let a = short_static(truth, 11);
+        let b = short_static(truth, 12);
+        for (ea, eb) in a.error_deg().iter().zip(b.error_deg().iter()) {
+            assert!((ea - eb).abs() < 0.8, "{ea} vs {eb}");
+        }
+    }
+}

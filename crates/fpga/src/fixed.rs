@@ -1,0 +1,369 @@
+//! Fixed-point arithmetic and the sine/cosine lookup table.
+//!
+//! The paper's video transform "operate\[s\] on 16-bit precision fixed
+//! point values with sine and cosine angles stored in a 1024-element
+//! lookup table". This module provides:
+//!
+//! * [`Fixed`] — a Q-format signed fixed-point number over `i32`
+//!   storage with a const-generic fraction width (Q16.16 for the
+//!   fixed-point Kalman ablation, Q18.13 and friends for intermediate
+//!   products);
+//! * [`Q14`] helpers — the 16-bit Q1.14 trigonometric sample format;
+//! * [`SinCosLut`] — the 1024-entry sine/cosine table addressed by a
+//!   10-bit angle index.
+
+use std::ops::{Add, AddAssign, Neg, Sub, SubAssign};
+
+/// A signed fixed-point number with `FRAC` fraction bits in an `i32`.
+///
+/// Arithmetic wraps like the FPGA datapath would; widening operations
+/// (multiply, divide) go through `i64` with round-to-nearest.
+///
+/// # Examples
+///
+/// ```
+/// use fpga::fixed::Fixed;
+/// type Q16 = Fixed<16>;
+/// let a = Q16::from_f64(1.5);
+/// let b = Q16::from_f64(-2.25);
+/// assert_eq!((a * b).to_f64(), -3.375);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Fixed<const FRAC: u32>(i32);
+
+/// Q16.16 general-purpose fixed point.
+pub type Q16_16 = Fixed<16>;
+
+impl<const FRAC: u32> Fixed<FRAC> {
+    /// One least-significant-bit step.
+    pub const EPSILON: Self = Self(1);
+    /// Zero.
+    pub const ZERO: Self = Self(0);
+
+    /// Wraps a raw register value.
+    pub const fn from_raw(raw: i32) -> Self {
+        Self(raw)
+    }
+
+    /// The raw register value.
+    pub const fn raw(self) -> i32 {
+        self.0
+    }
+
+    /// One (the multiplicative identity).
+    pub const fn one() -> Self {
+        Self(1 << FRAC)
+    }
+
+    /// Converts from `f64`, rounding to nearest; saturates at the
+    /// register range.
+    pub fn from_f64(x: f64) -> Self {
+        let scaled = (x * (1i64 << FRAC) as f64).round();
+        Self(scaled.clamp(i32::MIN as f64, i32::MAX as f64) as i32)
+    }
+
+    /// Converts to `f64` (exact).
+    pub fn to_f64(self) -> f64 {
+        self.0 as f64 / (1i64 << FRAC) as f64
+    }
+
+    /// Converts from an integer (saturating).
+    pub fn from_int(x: i32) -> Self {
+        let wide = (x as i64) << FRAC;
+        Self(wide.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+    }
+
+    /// Integer part, truncating toward negative infinity.
+    pub fn floor_int(self) -> i32 {
+        self.0 >> FRAC
+    }
+
+    /// Nearest integer (round half up).
+    pub fn round_int(self) -> i32 {
+        ((self.0 as i64 + (1i64 << (FRAC - 1))) >> FRAC) as i32
+    }
+
+    /// Multiplication through `i64` with round-to-nearest (wraps on
+    /// overflow of the final narrow, like the hardware multiplier).
+    pub fn wrapping_mul(self, rhs: Self) -> Self {
+        let p = self.0 as i64 * rhs.0 as i64;
+        let rounded = (p + (1i64 << (FRAC - 1))) >> FRAC;
+        Self(rounded as i32)
+    }
+
+    /// Multiplication that saturates instead of wrapping.
+    pub fn saturating_mul(self, rhs: Self) -> Self {
+        let p = self.0 as i64 * rhs.0 as i64;
+        let rounded = (p + (1i64 << (FRAC - 1))) >> FRAC;
+        Self(rounded.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+    }
+
+    /// Division through `i64` (round toward zero). Saturates on
+    /// overflow and on division by zero (to the signed extreme).
+    pub fn saturating_div(self, rhs: Self) -> Self {
+        if rhs.0 == 0 {
+            return if self.0 >= 0 {
+                Self(i32::MAX)
+            } else {
+                Self(i32::MIN)
+            };
+        }
+        let q = ((self.0 as i64) << FRAC) / rhs.0 as i64;
+        Self(q.clamp(i32::MIN as i64, i32::MAX as i64) as i32)
+    }
+
+    /// Absolute value (saturating at `i32::MAX`).
+    pub fn abs(self) -> Self {
+        Self(self.0.saturating_abs())
+    }
+
+    /// Saturating addition.
+    pub fn saturating_add(self, rhs: Self) -> Self {
+        Self(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl<const FRAC: u32> Add for Fixed<FRAC> {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0.wrapping_add(rhs.0))
+    }
+}
+
+impl<const FRAC: u32> AddAssign for Fixed<FRAC> {
+    fn add_assign(&mut self, rhs: Self) {
+        *self = *self + rhs;
+    }
+}
+
+impl<const FRAC: u32> Sub for Fixed<FRAC> {
+    type Output = Self;
+
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0.wrapping_sub(rhs.0))
+    }
+}
+
+impl<const FRAC: u32> SubAssign for Fixed<FRAC> {
+    fn sub_assign(&mut self, rhs: Self) {
+        *self = *self - rhs;
+    }
+}
+
+impl<const FRAC: u32> Neg for Fixed<FRAC> {
+    type Output = Self;
+
+    fn neg(self) -> Self {
+        Self(self.0.wrapping_neg())
+    }
+}
+
+impl<const FRAC: u32> std::ops::Mul for Fixed<FRAC> {
+    type Output = Self;
+
+    fn mul(self, rhs: Self) -> Self {
+        self.wrapping_mul(rhs)
+    }
+}
+
+impl<const FRAC: u32> std::fmt::Display for Fixed<FRAC> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.to_f64())
+    }
+}
+
+/// Number of entries in the trigonometric lookup table.
+pub const LUT_SIZE: usize = 1024;
+/// Fraction bits of the 16-bit trigonometric samples (Q1.14).
+pub const Q14_FRAC: u32 = 14;
+/// Unit value in Q1.14.
+pub const Q14_ONE: i16 = 1 << Q14_FRAC;
+
+/// Converts a Q1.14 sample to `f64`.
+pub fn q14_to_f64(x: i16) -> f64 {
+    x as f64 / Q14_ONE as f64
+}
+
+/// Q1.14 alias used in pipeline signatures.
+pub type Q14 = i16;
+
+/// The 1024-entry sine/cosine table of the paper's rotation pipeline.
+///
+/// Entries are 16-bit Q1.14 samples of `sin`/`cos` over a full turn;
+/// the table is addressed with a 10-bit index (`angle / 2pi * 1024`).
+///
+/// # Examples
+///
+/// ```
+/// use fpga::fixed::SinCosLut;
+/// let lut = SinCosLut::new();
+/// let (s, c) = lut.lookup(256); // quarter turn
+/// assert_eq!(s, 1 << 14);
+/// assert_eq!(c, 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SinCosLut {
+    sin: Vec<i16>,
+}
+
+impl SinCosLut {
+    /// Builds the table (values rounded to nearest Q1.14).
+    pub fn new() -> Self {
+        let sin = (0..LUT_SIZE)
+            .map(|i| {
+                let theta = 2.0 * std::f64::consts::PI * i as f64 / LUT_SIZE as f64;
+                let v = (theta.sin() * Q14_ONE as f64).round() as i32;
+                // sin(pi/2) would be exactly 2^14 which fits i16; clamp
+                // anyway for safety at other extremes.
+                v.clamp(i16::MIN as i32, i16::MAX as i32) as i16
+            })
+            .collect();
+        Self { sin }
+    }
+
+    /// Sine and cosine at a 10-bit angle index (wraps modulo 1024).
+    pub fn lookup(&self, index: u32) -> (Q14, Q14) {
+        let i = (index as usize) % LUT_SIZE;
+        let j = (i + LUT_SIZE / 4) % LUT_SIZE; // cos(x) = sin(x + pi/2)
+        (self.sin[i], self.sin[j])
+    }
+
+    /// Converts an angle in radians to the nearest table index.
+    pub fn index_of(theta: f64) -> u32 {
+        let turns = theta / (2.0 * std::f64::consts::PI);
+        let idx = (turns * LUT_SIZE as f64).round() as i64;
+        idx.rem_euclid(LUT_SIZE as i64) as u32
+    }
+
+    /// Worst-case angle quantization, radians (half a table step).
+    pub fn angle_resolution() -> f64 {
+        std::f64::consts::PI / LUT_SIZE as f64
+    }
+}
+
+impl Default for SinCosLut {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    type Q16 = Fixed<16>;
+
+    #[test]
+    fn roundtrip_f64() {
+        for x in [-100.0, -1.5, -0.25, 0.0, 0.25, 1.5, 1000.125] {
+            assert_eq!(Q16::from_f64(x).to_f64(), x);
+        }
+    }
+
+    #[test]
+    fn quantizes_to_lsb() {
+        let eps = 1.0 / 65536.0;
+        let x = Q16::from_f64(0.3);
+        assert!((x.to_f64() - 0.3).abs() <= eps / 2.0);
+    }
+
+    #[test]
+    fn add_sub_neg() {
+        let a = Q16::from_f64(2.5);
+        let b = Q16::from_f64(1.25);
+        assert_eq!((a + b).to_f64(), 3.75);
+        assert_eq!((a - b).to_f64(), 1.25);
+        assert_eq!((-a).to_f64(), -2.5);
+        let mut c = a;
+        c += b;
+        c -= b;
+        assert_eq!(c, a);
+    }
+
+    #[test]
+    fn multiplication_rounds() {
+        let a = Q16::from_f64(3.0);
+        let b = Q16::from_f64(1.0 / 3.0);
+        let p = a * b;
+        assert!((p.to_f64() - 1.0).abs() < 3.0 / 65536.0);
+    }
+
+    #[test]
+    fn saturating_ops() {
+        let big = Q16::from_f64(30000.0);
+        assert_eq!(big.saturating_mul(big).raw(), i32::MAX);
+        assert_eq!(Q16::from_f64(1.0).saturating_div(Q16::ZERO).raw(), i32::MAX);
+        assert_eq!(
+            Q16::from_f64(-1.0).saturating_div(Q16::ZERO).raw(),
+            i32::MIN
+        );
+        assert_eq!(big.saturating_add(big).raw(), i32::MAX);
+    }
+
+    #[test]
+    fn division_identities() {
+        let a = Q16::from_f64(7.5);
+        let b = Q16::from_f64(2.5);
+        assert_eq!(a.saturating_div(b).to_f64(), 3.0);
+        assert_eq!(a.saturating_div(Q16::one()), a);
+    }
+
+    #[test]
+    fn integer_conversions() {
+        assert_eq!(Q16::from_int(-7).to_f64(), -7.0);
+        assert_eq!(Q16::from_f64(2.7).floor_int(), 2);
+        assert_eq!(Q16::from_f64(-2.3).floor_int(), -3);
+        assert_eq!(Q16::from_f64(2.5).round_int(), 3);
+        assert_eq!(Q16::from_f64(2.49).round_int(), 2);
+        assert_eq!(Q16::from_f64(-2.5).round_int(), -2); // half up
+    }
+
+    #[test]
+    fn from_f64_saturates() {
+        assert_eq!(Q16::from_f64(1e9).raw(), i32::MAX);
+        assert_eq!(Q16::from_f64(-1e9).raw(), i32::MIN);
+    }
+
+    #[test]
+    fn lut_cardinal_points() {
+        let lut = SinCosLut::new();
+        assert_eq!(lut.lookup(0), (0, Q14_ONE));
+        assert_eq!(lut.lookup(256), (Q14_ONE, 0));
+        assert_eq!(lut.lookup(512), (0, -Q14_ONE));
+        assert_eq!(lut.lookup(768), (-Q14_ONE, 0));
+        assert_eq!(lut.lookup(1024), lut.lookup(0)); // wraps
+    }
+
+    #[test]
+    fn lut_matches_f64_trig() {
+        let lut = SinCosLut::new();
+        let step = 2.0 * std::f64::consts::PI / LUT_SIZE as f64;
+        for i in (0..LUT_SIZE as u32).step_by(7) {
+            let (s, c) = lut.lookup(i);
+            let theta = i as f64 * step;
+            assert!((q14_to_f64(s) - theta.sin()).abs() < 1e-4, "sin at {i}");
+            assert!((q14_to_f64(c) - theta.cos()).abs() < 1e-4, "cos at {i}");
+        }
+    }
+
+    #[test]
+    fn lut_pythagorean_identity() {
+        let lut = SinCosLut::new();
+        for i in (0..LUT_SIZE as u32).step_by(13) {
+            let (s, c) = lut.lookup(i);
+            let mag = q14_to_f64(s).powi(2) + q14_to_f64(c).powi(2);
+            assert!((mag - 1.0).abs() < 2e-4, "index {i}: {mag}");
+        }
+    }
+
+    #[test]
+    fn index_of_angles() {
+        assert_eq!(SinCosLut::index_of(0.0), 0);
+        assert_eq!(SinCosLut::index_of(std::f64::consts::FRAC_PI_2), 256);
+        assert_eq!(SinCosLut::index_of(-std::f64::consts::FRAC_PI_2), 768);
+        assert_eq!(SinCosLut::index_of(2.0 * std::f64::consts::PI), 0);
+        // Resolution: one table step is ~0.35 degrees.
+        assert!(SinCosLut::angle_resolution() < 0.0031);
+    }
+}

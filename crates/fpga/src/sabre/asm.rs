@@ -1,0 +1,503 @@
+//! Two-pass assembler for the Sabre ISA.
+//!
+//! The paper's flow compiled C to the Sabre instruction set and merged
+//! the machine code into the FPGA BlockRAM initialization; this
+//! assembler fills the same role for the simulator, so demo programs
+//! and tests can be written symbolically.
+//!
+//! # Syntax
+//!
+//! ```text
+//! ; comment (also '#')
+//! start:  addi r1, r0, 10     ; labels end with ':'
+//! loop:   add  r2, r2, r1
+//!         addi r1, r1, -1
+//!         bne  r1, r0, loop   ; branch targets are labels
+//!         sw   r2, 0(r0)      ; load/store: imm(base)
+//!         lui  r3, 0x8000     ; hex immediates
+//!         jal  r15, func
+//!         halt
+//! value:  .word 1234          ; literal data word
+//! ```
+
+use super::isa::{Instr, Reg};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Assembly errors, with the 1-based source line.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// The output of assembly: machine words plus the label map.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// Encoded machine words, ready for program memory.
+    pub words: Vec<u32>,
+    /// Label name to word address.
+    pub labels: HashMap<String, u32>,
+}
+
+fn err(line: usize, message: impl Into<String>) -> AsmError {
+    AsmError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let t = tok.trim();
+    if t.eq_ignore_ascii_case("zero") {
+        return Ok(0);
+    }
+    let stripped = t
+        .strip_prefix('r')
+        .or_else(|| t.strip_prefix('R'))
+        .ok_or_else(|| err(line, format!("expected register, got `{t}`")))?;
+    let n: u8 = stripped
+        .parse()
+        .map_err(|_| err(line, format!("bad register `{t}`")))?;
+    if n > 15 {
+        return Err(err(line, format!("register out of range: `{t}`")));
+    }
+    Ok(n)
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i32, AsmError> {
+    let t = tok.trim();
+    let (neg, body) = match t.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, t),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16)
+    } else {
+        body.parse::<i64>()
+    }
+    .map_err(|_| err(line, format!("bad immediate `{t}`")))?;
+    let signed = if neg { -value } else { value };
+    i32::try_from(signed).map_err(|_| err(line, format!("immediate out of range `{t}`")))
+}
+
+/// Immediate or label (resolved as signed pc-relative word offset).
+fn parse_target(
+    tok: &str,
+    labels: &HashMap<String, u32>,
+    here: u32,
+    line: usize,
+) -> Result<i32, AsmError> {
+    let t = tok.trim();
+    if let Some(&addr) = labels.get(t) {
+        Ok(addr as i32 - here as i32)
+    } else {
+        parse_imm(t, line)
+    }
+}
+
+/// Parses `imm(base)` memory operands.
+fn parse_mem(tok: &str, line: usize) -> Result<(i32, Reg), AsmError> {
+    let t = tok.trim();
+    let open = t
+        .find('(')
+        .ok_or_else(|| err(line, format!("expected imm(base), got `{t}`")))?;
+    let close = t
+        .rfind(')')
+        .ok_or_else(|| err(line, format!("missing `)` in `{t}`")))?;
+    let imm_part = &t[..open];
+    let imm = if imm_part.trim().is_empty() {
+        0
+    } else {
+        parse_imm(imm_part, line)?
+    };
+    let base = parse_reg(&t[open + 1..close], line)?;
+    Ok((imm, base))
+}
+
+fn strip_comment(line: &str) -> &str {
+    let cut = line
+        .find(';')
+        .into_iter()
+        .chain(line.find('#'))
+        .min()
+        .unwrap_or(line.len());
+    &line[..cut]
+}
+
+/// One cleaned source statement.
+struct Statement<'a> {
+    line_no: usize,
+    mnemonic: &'a str,
+    operands: Vec<&'a str>,
+}
+
+fn tokenize(source: &str) -> Result<(Vec<Statement<'_>>, HashMap<String, u32>), AsmError> {
+    let mut statements = Vec::new();
+    let mut labels = HashMap::new();
+    let mut addr: u32 = 0;
+    for (idx, raw) in source.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut text = strip_comment(raw).trim();
+        // Labels (possibly several) at the start.
+        while let Some(colon) = text.find(':') {
+            let (label, rest) = text.split_at(colon);
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                break; // `:` belongs to something else, not a label
+            }
+            if labels.insert(label.to_string(), addr).is_some() {
+                return Err(err(line_no, format!("duplicate label `{label}`")));
+            }
+            text = rest[1..].trim();
+        }
+        if text.is_empty() {
+            continue;
+        }
+        let (mnemonic, rest) = match text.find(char::is_whitespace) {
+            Some(ws) => text.split_at(ws),
+            None => (text, ""),
+        };
+        let operands: Vec<&str> = rest
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .collect();
+        statements.push(Statement {
+            line_no,
+            mnemonic,
+            operands,
+        });
+        addr += 1;
+    }
+    Ok((statements, labels))
+}
+
+/// Assembles Sabre source text.
+///
+/// # Errors
+///
+/// [`AsmError`] with a line number for syntax errors, bad registers,
+/// out-of-range immediates and duplicate/undefined labels.
+///
+/// # Examples
+///
+/// ```
+/// let program = fpga::sabre::asm::assemble(
+///     "        addi r1, r0, 41\n         addi r1, r1, 1\n         halt\n",
+/// ).unwrap();
+/// assert_eq!(program.words.len(), 3);
+/// ```
+pub fn assemble(source: &str) -> Result<Program, AsmError> {
+    let (statements, labels) = tokenize(source)?;
+    let mut words = Vec::with_capacity(statements.len());
+    for (word_addr, st) in statements.iter().enumerate() {
+        let here = word_addr as u32;
+        let n = st.line_no;
+        let ops = &st.operands;
+        let need = |count: usize| -> Result<(), AsmError> {
+            if ops.len() == count {
+                Ok(())
+            } else {
+                Err(err(
+                    n,
+                    format!(
+                        "`{}` expects {count} operands, got {}",
+                        st.mnemonic,
+                        ops.len()
+                    ),
+                ))
+            }
+        };
+        let instr = match st.mnemonic.to_ascii_lowercase().as_str() {
+            "add" | "sub" | "and" | "or" | "xor" | "sll" | "srl" | "sra" | "mul" | "mulh"
+            | "mulhu" | "slt" | "sltu" => {
+                need(3)?;
+                let d = parse_reg(ops[0], n)?;
+                let a = parse_reg(ops[1], n)?;
+                let b = parse_reg(ops[2], n)?;
+                match st.mnemonic.to_ascii_lowercase().as_str() {
+                    "add" => Instr::Add(d, a, b),
+                    "sub" => Instr::Sub(d, a, b),
+                    "and" => Instr::And(d, a, b),
+                    "or" => Instr::Or(d, a, b),
+                    "xor" => Instr::Xor(d, a, b),
+                    "sll" => Instr::Sll(d, a, b),
+                    "srl" => Instr::Srl(d, a, b),
+                    "sra" => Instr::Sra(d, a, b),
+                    "mul" => Instr::Mul(d, a, b),
+                    "mulh" => Instr::Mulh(d, a, b),
+                    "mulhu" => Instr::Mulhu(d, a, b),
+                    "slt" => Instr::Slt(d, a, b),
+                    _ => Instr::Sltu(d, a, b),
+                }
+            }
+            "addi" | "andi" | "ori" | "xori" | "slti" => {
+                need(3)?;
+                let d = parse_reg(ops[0], n)?;
+                let a = parse_reg(ops[1], n)?;
+                let i = parse_imm(ops[2], n)?;
+                if !(-131072..=131071).contains(&i) {
+                    return Err(err(n, format!("immediate {i} exceeds 18 bits")));
+                }
+                match st.mnemonic.to_ascii_lowercase().as_str() {
+                    "addi" => Instr::Addi(d, a, i),
+                    "andi" => Instr::Andi(d, a, i),
+                    "ori" => Instr::Ori(d, a, i),
+                    "xori" => Instr::Xori(d, a, i),
+                    _ => Instr::Slti(d, a, i),
+                }
+            }
+            "lui" => {
+                need(2)?;
+                let d = parse_reg(ops[0], n)?;
+                let i = parse_imm(ops[1], n)?;
+                if !(0..=0xFFFF).contains(&i) {
+                    return Err(err(n, format!("lui immediate {i} exceeds 16 bits")));
+                }
+                Instr::Lui(d, i)
+            }
+            "lw" => {
+                need(2)?;
+                let d = parse_reg(ops[0], n)?;
+                let (imm, base) = parse_mem(ops[1], n)?;
+                Instr::Lw(d, base, imm)
+            }
+            "sw" => {
+                need(2)?;
+                let s = parse_reg(ops[0], n)?;
+                let (imm, base) = parse_mem(ops[1], n)?;
+                Instr::Sw(s, base, imm)
+            }
+            "beq" | "bne" | "blt" | "bge" => {
+                need(3)?;
+                let a = parse_reg(ops[0], n)?;
+                let b = parse_reg(ops[1], n)?;
+                let o = parse_target(ops[2], &labels, here, n)?;
+                match st.mnemonic.to_ascii_lowercase().as_str() {
+                    "beq" => Instr::Beq(a, b, o),
+                    "bne" => Instr::Bne(a, b, o),
+                    "blt" => Instr::Blt(a, b, o),
+                    _ => Instr::Bge(a, b, o),
+                }
+            }
+            "jal" => {
+                need(2)?;
+                let d = parse_reg(ops[0], n)?;
+                let o = parse_target(ops[1], &labels, here, n)?;
+                Instr::Jal(d, o)
+            }
+            "jalr" => {
+                need(3)?;
+                let d = parse_reg(ops[0], n)?;
+                let a = parse_reg(ops[1], n)?;
+                let i = parse_imm(ops[2], n)?;
+                Instr::Jalr(d, a, i)
+            }
+            "halt" => {
+                need(0)?;
+                Instr::Halt
+            }
+            "nop" => {
+                need(0)?;
+                Instr::Nop
+            }
+            ".word" => {
+                need(1)?;
+                let t = ops[0].trim();
+                let (neg, body) = match t.strip_prefix('-') {
+                    Some(rest) => (true, rest),
+                    None => (false, t),
+                };
+                let value = if let Some(hex) =
+                    body.strip_prefix("0x").or_else(|| body.strip_prefix("0X"))
+                {
+                    i64::from_str_radix(hex, 16)
+                } else {
+                    body.parse::<i64>()
+                }
+                .map_err(|_| err(n, format!("bad word value `{t}`")))?;
+                let signed = if neg { -value } else { value };
+                if !(i32::MIN as i64..=u32::MAX as i64).contains(&signed) {
+                    return Err(err(n, format!("word value out of range `{t}`")));
+                }
+                words.push(signed as u32);
+                continue;
+            }
+            other => return Err(err(n, format!("unknown mnemonic `{other}`"))),
+        };
+        words.push(instr.encode());
+    }
+    Ok(Program { words, labels })
+}
+
+/// Disassembles machine words to text (one instruction per line).
+pub fn disassemble(words: &[u32]) -> String {
+    words
+        .iter()
+        .enumerate()
+        .map(|(i, &w)| match Instr::decode(w) {
+            Ok(instr) => format!("{i:4}: {instr}"),
+            Err(_) => format!("{i:4}: .word {:#010x}", w),
+        })
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sabre::cpu::{Sabre, StopReason};
+
+    fn run(source: &str) -> Sabre {
+        let program = assemble(source).expect("assembles");
+        let mut cpu = Sabre::with_standard_bus();
+        cpu.load_program(&program.words);
+        assert_eq!(cpu.run(1_000_000), StopReason::Halted);
+        cpu
+    }
+
+    #[test]
+    fn sum_loop_program() {
+        let cpu = run("
+            ; sum 1..=100 into r2
+                    addi r1, r0, 1
+                    addi r3, r0, 101
+            loop:   add  r2, r2, r1
+                    addi r1, r1, 1
+                    blt  r1, r3, loop
+                    halt
+        ");
+        assert_eq!(cpu.reg(2), 5050);
+    }
+
+    #[test]
+    fn fibonacci_program() {
+        let cpu = run("
+            # fib(20) in r3
+                    addi r1, r0, 0
+                    addi r2, r0, 1
+                    addi r4, r0, 20
+            fib:    add  r3, r1, r2
+                    add  r1, r2, r0
+                    add  r2, r3, r0
+                    addi r4, r4, -1
+                    bne  r4, r0, fib
+                    halt
+        ");
+        assert_eq!(cpu.reg(3), 10946);
+    }
+
+    #[test]
+    fn memory_and_words() {
+        let program = assemble("
+                    lw   r1, 16(r0)
+                    halt
+        ").unwrap();
+        let mut cpu = Sabre::with_standard_bus();
+        cpu.load_program(&program.words);
+        cpu.write_data_word(16, 777);
+        assert_eq!(cpu.run(100), StopReason::Halted);
+        assert_eq!(cpu.reg(1), 777);
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let p = assemble("
+            start:  jal r15, end
+                    nop
+            end:    beq r0, r0, start
+                    halt
+        ").unwrap();
+        assert_eq!(p.labels["start"], 0);
+        assert_eq!(p.labels["end"], 2);
+    }
+
+    #[test]
+    fn duplicate_label_rejected() {
+        let e = assemble("a: nop\na: nop\n").unwrap_err();
+        assert!(e.message.contains("duplicate"), "{e}");
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn unknown_mnemonic_rejected() {
+        let e = assemble("frobnicate r1, r2\n").unwrap_err();
+        assert!(e.message.contains("unknown mnemonic"));
+    }
+
+    #[test]
+    fn bad_register_rejected() {
+        let e = assemble("add r1, r99, r2\n").unwrap_err();
+        assert!(e.message.contains("register"), "{e}");
+    }
+
+    #[test]
+    fn immediate_range_checked() {
+        assert!(assemble("addi r1, r0, 131071\n").is_ok());
+        assert!(assemble("addi r1, r0, 131072\n").is_err());
+        assert!(assemble("addi r1, r0, -131072\n").is_ok());
+        assert!(assemble("addi r1, r0, -131073\n").is_err());
+        assert!(assemble("lui r1, 0x10000\n").is_err());
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let cpu = run("
+                    addi r1, r0, 0x7F
+                    addi r2, r0, -0x10
+                    halt
+        ");
+        assert_eq!(cpu.reg(1), 0x7F);
+        assert_eq!(cpu.reg(2) as i32, -16);
+    }
+
+    #[test]
+    fn led_program_via_bus() {
+        let cpu = run("
+                    lui  r1, 0x8000   ; LED base
+                    addi r2, r0, 0xAA
+                    sw   r2, 0(r1)
+                    halt
+        ");
+        let mut cpu = cpu;
+        assert_eq!(cpu.bus.read32(0x8000_0000).unwrap(), 0xAA);
+    }
+
+    #[test]
+    fn word_directive_emits_data() {
+        let p = assemble("
+                    halt
+            data:   .word 0xDEADBEEF
+                    .word -1
+        ").unwrap();
+        assert_eq!(p.words[1], 0xDEADBEEF);
+        assert_eq!(p.words[2], 0xFFFF_FFFF);
+        assert_eq!(p.labels["data"], 1);
+    }
+
+    #[test]
+    fn disassemble_roundtrip_text() {
+        let p = assemble("addi r1, r0, 5\nhalt\n").unwrap();
+        let text = disassemble(&p.words);
+        assert!(text.contains("addi r1, r0, 5"));
+        assert!(text.contains("halt"));
+    }
+
+    #[test]
+    fn mem_operand_without_offset() {
+        let p = assemble("lw r1, (r2)\nhalt\n").unwrap();
+        let decoded = crate::sabre::isa::Instr::decode(p.words[0]).unwrap();
+        assert_eq!(decoded, crate::sabre::isa::Instr::Lw(1, 2, 0));
+    }
+}

@@ -1,0 +1,368 @@
+//! The Sabre instruction set architecture.
+//!
+//! Sabre is the paper's 32-bit RISC soft core: Harvard architecture,
+//! BlockRAM program and data memories, memory-mapped peripherals. The
+//! paper does not publish the ISA, so this is a clean-room definition
+//! with the properties the paper describes (32-bit datapath, C
+//! compilable, bus-master load/store I/O):
+//!
+//! * 16 general registers `r0..r15`; `r0` is hardwired to zero.
+//! * Fixed 32-bit instruction words:
+//!   - R-type: `op[31:26] rd[25:22] rs1[21:18] rs2[17:14]`
+//!   - I-type: `op[31:26] rd[25:22] rs1[21:18] imm18[17:0]` (signed)
+//!   - B-type: `op[31:26] rs1[25:22] rs2[21:18] off18[17:0]` (signed,
+//!     instruction-relative)
+//!   - J-type: `op[31:26] rd[25:22] off22[21:0]` (signed)
+//! * Loads/stores are word-wide; addresses at or above
+//!   [`super::bus::BUS_BASE`] reach the peripheral bus.
+
+use std::fmt;
+
+/// A register index (0-15).
+pub type Reg = u8;
+
+/// One decoded Sabre instruction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Instr {
+    /// `rd = rs1 + rs2`
+    Add(Reg, Reg, Reg),
+    /// `rd = rs1 - rs2`
+    Sub(Reg, Reg, Reg),
+    /// `rd = rs1 & rs2`
+    And(Reg, Reg, Reg),
+    /// `rd = rs1 | rs2`
+    Or(Reg, Reg, Reg),
+    /// `rd = rs1 ^ rs2`
+    Xor(Reg, Reg, Reg),
+    /// `rd = rs1 << (rs2 & 31)`
+    Sll(Reg, Reg, Reg),
+    /// `rd = rs1 >> (rs2 & 31)` (logical)
+    Srl(Reg, Reg, Reg),
+    /// `rd = rs1 >> (rs2 & 31)` (arithmetic)
+    Sra(Reg, Reg, Reg),
+    /// `rd = low32(rs1 * rs2)`
+    Mul(Reg, Reg, Reg),
+    /// `rd = high32(signed rs1 * rs2)`
+    Mulh(Reg, Reg, Reg),
+    /// `rd = high32(unsigned rs1 * rs2)`
+    Mulhu(Reg, Reg, Reg),
+    /// `rd = (rs1 <s rs2) ? 1 : 0`
+    Slt(Reg, Reg, Reg),
+    /// `rd = (rs1 <u rs2) ? 1 : 0`
+    Sltu(Reg, Reg, Reg),
+    /// `rd = rs1 + imm`
+    Addi(Reg, Reg, i32),
+    /// `rd = rs1 & imm`
+    Andi(Reg, Reg, i32),
+    /// `rd = rs1 | imm`
+    Ori(Reg, Reg, i32),
+    /// `rd = rs1 ^ imm`
+    Xori(Reg, Reg, i32),
+    /// `rd = (rs1 <s imm) ? 1 : 0`
+    Slti(Reg, Reg, i32),
+    /// `rd = imm16 << 16`
+    Lui(Reg, i32),
+    /// `rd = mem[rs1 + imm]`
+    Lw(Reg, Reg, i32),
+    /// `mem[rs1 + imm] = rs2` (encoded with rd = rs2)
+    Sw(Reg, Reg, i32),
+    /// `if rs1 == rs2 then pc += off`
+    Beq(Reg, Reg, i32),
+    /// `if rs1 != rs2 then pc += off`
+    Bne(Reg, Reg, i32),
+    /// `if rs1 <s rs2 then pc += off`
+    Blt(Reg, Reg, i32),
+    /// `if rs1 >=s rs2 then pc += off`
+    Bge(Reg, Reg, i32),
+    /// `rd = pc + 1; pc += off`
+    Jal(Reg, i32),
+    /// `rd = pc + 1; pc = (rs1 + imm) / 4` (byte target, word aligned)
+    Jalr(Reg, Reg, i32),
+    /// Stops the core.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+/// Errors from decoding a machine word.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Unknown opcode field.
+    BadOpcode(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(op) => write!(f, "unknown opcode {op:#04x}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+// Opcode numbers.
+const OP_ADD: u8 = 0x01;
+const OP_SUB: u8 = 0x02;
+const OP_AND: u8 = 0x03;
+const OP_OR: u8 = 0x04;
+const OP_XOR: u8 = 0x05;
+const OP_SLL: u8 = 0x06;
+const OP_SRL: u8 = 0x07;
+const OP_SRA: u8 = 0x08;
+const OP_MUL: u8 = 0x09;
+const OP_MULH: u8 = 0x0A;
+const OP_MULHU: u8 = 0x0B;
+const OP_SLT: u8 = 0x0C;
+const OP_SLTU: u8 = 0x0D;
+const OP_ADDI: u8 = 0x10;
+const OP_ANDI: u8 = 0x11;
+const OP_ORI: u8 = 0x12;
+const OP_XORI: u8 = 0x13;
+const OP_SLTI: u8 = 0x14;
+const OP_LUI: u8 = 0x15;
+const OP_LW: u8 = 0x18;
+const OP_SW: u8 = 0x19;
+const OP_BEQ: u8 = 0x20;
+const OP_BNE: u8 = 0x21;
+const OP_BLT: u8 = 0x22;
+const OP_BGE: u8 = 0x23;
+const OP_JAL: u8 = 0x28;
+const OP_JALR: u8 = 0x29;
+const OP_HALT: u8 = 0x3F;
+const OP_NOP: u8 = 0x00;
+
+fn sext(value: u32, bits: u32) -> i32 {
+    let shift = 32 - bits;
+    ((value << shift) as i32) >> shift
+}
+
+fn imm18(x: i32) -> u32 {
+    (x as u32) & 0x3FFFF
+}
+
+fn enc_r(op: u8, rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
+    ((op as u32) << 26) | ((rd as u32) << 22) | ((rs1 as u32) << 18) | ((rs2 as u32) << 14)
+}
+
+fn enc_i(op: u8, rd: Reg, rs1: Reg, imm: i32) -> u32 {
+    ((op as u32) << 26) | ((rd as u32) << 22) | ((rs1 as u32) << 18) | imm18(imm)
+}
+
+fn enc_j(op: u8, rd: Reg, off: i32) -> u32 {
+    ((op as u32) << 26) | ((rd as u32) << 22) | ((off as u32) & 0x3F_FFFF)
+}
+
+impl Instr {
+    /// Encodes to a machine word.
+    pub fn encode(self) -> u32 {
+        use Instr::*;
+        match self {
+            Add(d, a, b) => enc_r(OP_ADD, d, a, b),
+            Sub(d, a, b) => enc_r(OP_SUB, d, a, b),
+            And(d, a, b) => enc_r(OP_AND, d, a, b),
+            Or(d, a, b) => enc_r(OP_OR, d, a, b),
+            Xor(d, a, b) => enc_r(OP_XOR, d, a, b),
+            Sll(d, a, b) => enc_r(OP_SLL, d, a, b),
+            Srl(d, a, b) => enc_r(OP_SRL, d, a, b),
+            Sra(d, a, b) => enc_r(OP_SRA, d, a, b),
+            Mul(d, a, b) => enc_r(OP_MUL, d, a, b),
+            Mulh(d, a, b) => enc_r(OP_MULH, d, a, b),
+            Mulhu(d, a, b) => enc_r(OP_MULHU, d, a, b),
+            Slt(d, a, b) => enc_r(OP_SLT, d, a, b),
+            Sltu(d, a, b) => enc_r(OP_SLTU, d, a, b),
+            Addi(d, a, i) => enc_i(OP_ADDI, d, a, i),
+            Andi(d, a, i) => enc_i(OP_ANDI, d, a, i),
+            Ori(d, a, i) => enc_i(OP_ORI, d, a, i),
+            Xori(d, a, i) => enc_i(OP_XORI, d, a, i),
+            Slti(d, a, i) => enc_i(OP_SLTI, d, a, i),
+            Lui(d, i) => enc_i(OP_LUI, d, 0, i & 0xFFFF),
+            Lw(d, a, i) => enc_i(OP_LW, d, a, i),
+            Sw(s, a, i) => enc_i(OP_SW, s, a, i),
+            Beq(a, b, o) => enc_i(OP_BEQ, a, b, o),
+            Bne(a, b, o) => enc_i(OP_BNE, a, b, o),
+            Blt(a, b, o) => enc_i(OP_BLT, a, b, o),
+            Bge(a, b, o) => enc_i(OP_BGE, a, b, o),
+            Jal(d, o) => enc_j(OP_JAL, d, o),
+            Jalr(d, a, i) => enc_i(OP_JALR, d, a, i),
+            Halt => (OP_HALT as u32) << 26,
+            Nop => (OP_NOP as u32) << 26,
+        }
+    }
+
+    /// Decodes a machine word.
+    ///
+    /// # Errors
+    ///
+    /// [`DecodeError::BadOpcode`] on an unknown opcode field.
+    pub fn decode(word: u32) -> Result<Self, DecodeError> {
+        use Instr::*;
+        let op = (word >> 26) as u8;
+        let rd = ((word >> 22) & 0xF) as Reg;
+        let rs1 = ((word >> 18) & 0xF) as Reg;
+        let rs2 = ((word >> 14) & 0xF) as Reg;
+        let i18 = sext(word & 0x3FFFF, 18);
+        let o22 = sext(word & 0x3F_FFFF, 22);
+        Ok(match op {
+            OP_ADD => Add(rd, rs1, rs2),
+            OP_SUB => Sub(rd, rs1, rs2),
+            OP_AND => And(rd, rs1, rs2),
+            OP_OR => Or(rd, rs1, rs2),
+            OP_XOR => Xor(rd, rs1, rs2),
+            OP_SLL => Sll(rd, rs1, rs2),
+            OP_SRL => Srl(rd, rs1, rs2),
+            OP_SRA => Sra(rd, rs1, rs2),
+            OP_MUL => Mul(rd, rs1, rs2),
+            OP_MULH => Mulh(rd, rs1, rs2),
+            OP_MULHU => Mulhu(rd, rs1, rs2),
+            OP_SLT => Slt(rd, rs1, rs2),
+            OP_SLTU => Sltu(rd, rs1, rs2),
+            OP_ADDI => Addi(rd, rs1, i18),
+            OP_ANDI => Andi(rd, rs1, i18),
+            OP_ORI => Ori(rd, rs1, i18),
+            OP_XORI => Xori(rd, rs1, i18),
+            OP_SLTI => Slti(rd, rs1, i18),
+            OP_LUI => Lui(rd, (word & 0xFFFF) as i32),
+            OP_LW => Lw(rd, rs1, i18),
+            OP_SW => Sw(rd, rs1, i18),
+            OP_BEQ => Beq(rd, rs1, i18),
+            OP_BNE => Bne(rd, rs1, i18),
+            OP_BLT => Blt(rd, rs1, i18),
+            OP_BGE => Bge(rd, rs1, i18),
+            OP_JAL => Jal(rd, o22),
+            OP_JALR => Jalr(rd, rs1, i18),
+            OP_HALT => Halt,
+            OP_NOP => Nop,
+            other => return Err(DecodeError::BadOpcode(other)),
+        })
+    }
+
+    /// Cycle cost of this instruction (taken branches add one more).
+    pub fn base_cycles(self) -> u64 {
+        use Instr::*;
+        match self {
+            Mul(..) | Mulh(..) | Mulhu(..) => 3,
+            Lw(..) | Sw(..) => 2,
+            Jal(..) | Jalr(..) => 2,
+            _ => 1,
+        }
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        use Instr::*;
+        match *self {
+            Add(d, a, b) => write!(f, "add r{d}, r{a}, r{b}"),
+            Sub(d, a, b) => write!(f, "sub r{d}, r{a}, r{b}"),
+            And(d, a, b) => write!(f, "and r{d}, r{a}, r{b}"),
+            Or(d, a, b) => write!(f, "or r{d}, r{a}, r{b}"),
+            Xor(d, a, b) => write!(f, "xor r{d}, r{a}, r{b}"),
+            Sll(d, a, b) => write!(f, "sll r{d}, r{a}, r{b}"),
+            Srl(d, a, b) => write!(f, "srl r{d}, r{a}, r{b}"),
+            Sra(d, a, b) => write!(f, "sra r{d}, r{a}, r{b}"),
+            Mul(d, a, b) => write!(f, "mul r{d}, r{a}, r{b}"),
+            Mulh(d, a, b) => write!(f, "mulh r{d}, r{a}, r{b}"),
+            Mulhu(d, a, b) => write!(f, "mulhu r{d}, r{a}, r{b}"),
+            Slt(d, a, b) => write!(f, "slt r{d}, r{a}, r{b}"),
+            Sltu(d, a, b) => write!(f, "sltu r{d}, r{a}, r{b}"),
+            Addi(d, a, i) => write!(f, "addi r{d}, r{a}, {i}"),
+            Andi(d, a, i) => write!(f, "andi r{d}, r{a}, {i}"),
+            Ori(d, a, i) => write!(f, "ori r{d}, r{a}, {i}"),
+            Xori(d, a, i) => write!(f, "xori r{d}, r{a}, {i}"),
+            Slti(d, a, i) => write!(f, "slti r{d}, r{a}, {i}"),
+            Lui(d, i) => write!(f, "lui r{d}, {i:#x}"),
+            Lw(d, a, i) => write!(f, "lw r{d}, {i}(r{a})"),
+            Sw(s, a, i) => write!(f, "sw r{s}, {i}(r{a})"),
+            Beq(a, b, o) => write!(f, "beq r{a}, r{b}, {o}"),
+            Bne(a, b, o) => write!(f, "bne r{a}, r{b}, {o}"),
+            Blt(a, b, o) => write!(f, "blt r{a}, r{b}, {o}"),
+            Bge(a, b, o) => write!(f, "bge r{a}, r{b}, {o}"),
+            Jal(d, o) => write!(f, "jal r{d}, {o}"),
+            Jalr(d, a, i) => write!(f, "jalr r{d}, r{a}, {i}"),
+            Halt => write!(f, "halt"),
+            Nop => write!(f, "nop"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn all_samples() -> Vec<Instr> {
+        use Instr::*;
+        vec![
+            Add(1, 2, 3),
+            Sub(15, 14, 13),
+            And(0, 1, 2),
+            Or(3, 4, 5),
+            Xor(6, 7, 8),
+            Sll(9, 10, 11),
+            Srl(1, 1, 1),
+            Sra(2, 2, 2),
+            Mul(3, 4, 5),
+            Mulh(6, 7, 8),
+            Mulhu(9, 10, 11),
+            Slt(12, 13, 14),
+            Sltu(15, 0, 1),
+            Addi(1, 2, -42),
+            Andi(3, 4, 0xFF),
+            Ori(5, 6, 0x10),
+            Xori(7, 8, -1),
+            Slti(9, 10, 100),
+            Lui(11, 0x8000),
+            Lw(1, 2, 64),
+            Sw(3, 4, -8),
+            Beq(1, 2, -5),
+            Bne(3, 4, 10),
+            Blt(5, 6, 131071),
+            Bge(7, 8, -131072),
+            Jal(15, 12345),
+            Jalr(15, 1, 0),
+            Halt,
+            Nop,
+        ]
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        for instr in all_samples() {
+            let word = instr.encode();
+            let back = Instr::decode(word).unwrap();
+            assert_eq!(back, instr, "word {word:#010x}");
+        }
+    }
+
+    #[test]
+    fn immediates_sign_extend() {
+        let word = Instr::Addi(1, 0, -1).encode();
+        assert_eq!(Instr::decode(word).unwrap(), Instr::Addi(1, 0, -1));
+        let word = Instr::Beq(0, 0, -131072).encode();
+        assert_eq!(Instr::decode(word).unwrap(), Instr::Beq(0, 0, -131072));
+    }
+
+    #[test]
+    fn bad_opcode_rejected() {
+        let word = 0x3Eu32 << 26;
+        assert!(matches!(
+            Instr::decode(word),
+            Err(DecodeError::BadOpcode(0x3E))
+        ));
+    }
+
+    #[test]
+    fn display_is_assembly_like() {
+        assert_eq!(Instr::Add(1, 2, 3).to_string(), "add r1, r2, r3");
+        assert_eq!(Instr::Lw(1, 2, 8).to_string(), "lw r1, 8(r2)");
+        assert_eq!(Instr::Sw(3, 4, -4).to_string(), "sw r3, -4(r4)");
+    }
+
+    #[test]
+    fn cycle_costs() {
+        assert_eq!(Instr::Add(1, 1, 1).base_cycles(), 1);
+        assert_eq!(Instr::Mul(1, 1, 1).base_cycles(), 3);
+        assert_eq!(Instr::Lw(1, 1, 0).base_cycles(), 2);
+        assert_eq!(Instr::Jal(0, 0).base_cycles(), 2);
+    }
+}

@@ -1,0 +1,196 @@
+//! On-chip memory models.
+//!
+//! The Virtex-II XC2V1000 provides 40 BlockRAM tiles; the paper's Sabre
+//! configuration allocates 8 Kbyte of program memory and 64 Kbyte of
+//! data memory from them. The RC200E board adds two banks of 2 Mbyte
+//! ZBT (zero-bus-turnaround) SRAM used as video framebuffers.
+
+/// A word-addressable BlockRAM.
+#[derive(Clone, Debug)]
+pub struct BlockRam {
+    words: Vec<u32>,
+}
+
+impl BlockRam {
+    /// Creates a RAM of `bytes` capacity (rounded down to whole words),
+    /// zero-initialized.
+    pub fn new(bytes: usize) -> Self {
+        Self {
+            words: vec![0; bytes / 4],
+        }
+    }
+
+    /// Capacity in bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    /// Reads the word containing byte address `addr`.
+    ///
+    /// Returns `None` if the address is out of range or unaligned.
+    pub fn read32(&self, addr: u32) -> Option<u32> {
+        if addr % 4 != 0 {
+            return None;
+        }
+        self.words.get(addr as usize / 4).copied()
+    }
+
+    /// Writes the word at byte address `addr`.
+    ///
+    /// Returns `false` if the address is out of range or unaligned.
+    pub fn write32(&mut self, addr: u32, value: u32) -> bool {
+        if addr % 4 != 0 {
+            return false;
+        }
+        match self.words.get_mut(addr as usize / 4) {
+            Some(w) => {
+                *w = value;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Bulk-loads words starting at word index 0 (program load).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the image exceeds the capacity.
+    pub fn load(&mut self, image: &[u32]) {
+        assert!(
+            image.len() <= self.words.len(),
+            "image of {} words exceeds memory of {} words",
+            image.len(),
+            self.words.len()
+        );
+        self.words[..image.len()].copy_from_slice(image);
+    }
+
+    /// Direct word access (for test harnesses).
+    pub fn word(&self, index: usize) -> u32 {
+        self.words[index]
+    }
+}
+
+/// A ZBT SRAM bank with single-cycle random access and no turnaround
+/// penalty between reads and writes — the property that makes the
+/// double-buffered video design work at pixel rate.
+#[derive(Clone, Debug)]
+pub struct ZbtSram {
+    words: Vec<u32>,
+    reads: u64,
+    writes: u64,
+}
+
+impl ZbtSram {
+    /// Creates a bank of `bytes` capacity.
+    pub fn new(bytes: usize) -> Self {
+        Self {
+            words: vec![0; bytes / 4],
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// The RC200E's 2 Mbyte bank.
+    pub fn rc200e_bank() -> Self {
+        Self::new(2 * 1024 * 1024)
+    }
+
+    /// Capacity in bytes.
+    pub fn len_bytes(&self) -> usize {
+        self.words.len() * 4
+    }
+
+    /// Reads a word by word index (wraps at the bank size, as the
+    /// address lines would).
+    pub fn read(&mut self, word_index: usize) -> u32 {
+        self.reads += 1;
+        self.words[word_index % self.words.len()]
+    }
+
+    /// Writes a word by word index.
+    pub fn write(&mut self, word_index: usize, value: u32) {
+        self.writes += 1;
+        let n = self.words.len();
+        self.words[word_index % n] = value;
+    }
+
+    /// Total accesses (each is one cycle on a ZBT part).
+    pub fn access_cycles(&self) -> u64 {
+        self.reads + self.writes
+    }
+
+    /// Reads performed.
+    pub fn reads(&self) -> u64 {
+        self.reads
+    }
+
+    /// Writes performed.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blockram_read_write() {
+        let mut ram = BlockRam::new(64);
+        assert!(ram.write32(0, 0xDEADBEEF));
+        assert!(ram.write32(60, 42));
+        assert_eq!(ram.read32(0), Some(0xDEADBEEF));
+        assert_eq!(ram.read32(60), Some(42));
+        assert_eq!(ram.read32(4), Some(0));
+    }
+
+    #[test]
+    fn blockram_bounds_and_alignment() {
+        let mut ram = BlockRam::new(64);
+        assert_eq!(ram.read32(64), None);
+        assert_eq!(ram.read32(2), None); // unaligned
+        assert!(!ram.write32(64, 1));
+        assert!(!ram.write32(1, 1));
+    }
+
+    #[test]
+    fn blockram_load_image() {
+        let mut ram = BlockRam::new(16);
+        ram.load(&[1, 2, 3]);
+        assert_eq!(ram.word(0), 1);
+        assert_eq!(ram.word(2), 3);
+        assert_eq!(ram.read32(12), Some(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds memory")]
+    fn blockram_oversize_image_panics() {
+        let mut ram = BlockRam::new(8);
+        ram.load(&[1, 2, 3]);
+    }
+
+    #[test]
+    fn zbt_counts_accesses() {
+        let mut bank = ZbtSram::new(1024);
+        bank.write(0, 7);
+        bank.write(1, 8);
+        assert_eq!(bank.read(0), 7);
+        assert_eq!(bank.access_cycles(), 3);
+        assert_eq!(bank.reads(), 1);
+        assert_eq!(bank.writes(), 2);
+    }
+
+    #[test]
+    fn zbt_wraps_addresses() {
+        let mut bank = ZbtSram::new(16); // 4 words
+        bank.write(5, 99); // wraps to index 1
+        assert_eq!(bank.read(1), 99);
+    }
+
+    #[test]
+    fn rc200e_bank_is_2mb() {
+        assert_eq!(ZbtSram::rc200e_bank().len_bytes(), 2 * 1024 * 1024);
+    }
+}

@@ -1,0 +1,28 @@
+//! The Sabre 32-bit soft-core RISC and its board environment.
+//!
+//! "Sabre is a 32-bit RISC, designed in Handel-C, and programmed into
+//! the FPGA as a soft-core. It has a Harvard architecture, with
+//! expandable data and program memories [...] Peripherals are simply
+//! connected via another 32-bit bus into the processor memory space."
+//!
+//! * [`isa`] — instruction set, encoder/decoder, cycle costs
+//! * [`asm`] — two-pass assembler and disassembler
+//! * [`cpu`] — the instruction-set simulator
+//! * [`bus`] — peripheral bus and the Figure-6 devices (LEDs,
+//!   switches, touchscreen, GUI FIFO, two UARTs, control block)
+//! * [`mem`] — BlockRAM and ZBT SRAM models
+
+pub mod asm;
+pub mod bus;
+pub mod cpu;
+pub mod isa;
+pub mod mem;
+
+pub use asm::{assemble, disassemble, AsmError, Program};
+pub use bus::{
+    Bus, ControlBlock, ControlReg, GuiFifo, Leds, Peripheral, Switches, TouchScreen, UartPort,
+    BUS_BASE, CONTROL_BASE, GUI_BASE, LEDS_BASE, SWITCHES_BASE, TOUCH_BASE, UART1_BASE, UART2_BASE,
+};
+pub use cpu::{Sabre, StopReason, Trap, DATA_BYTES, PROGRAM_BYTES};
+pub use isa::Instr;
+pub use mem::{BlockRam, ZbtSram};

@@ -1,0 +1,118 @@
+//! Conversions between binary32 and binary64.
+
+use super::f32impl::{self, Sf32};
+use super::f64impl::Sf64;
+
+/// Widens a binary32 to binary64 (always exact).
+pub fn f32_to_f64(x: Sf32) -> Sf64 {
+    if x.is_nan() {
+        return Sf64(0x7FF8_0000_0000_0000);
+    }
+    let sign = (x.bits() >> 31) as u64;
+    if x.is_inf() {
+        return Sf64((sign << 63) | 0x7FF0_0000_0000_0000);
+    }
+    if x.is_zero() {
+        return Sf64(sign << 63);
+    }
+    let (s, e32, sig24) = f32impl::unpack_norm(x);
+    let e64 = e32 - 127 + 1023;
+    let sig52 = (sig24 as u64) << 29; // [2^52, 2^53), exact
+    Sf64(((s as u64) << 63) | ((e64 as u64) << 52) | (sig52 - (1 << 52)))
+}
+
+/// Narrows a binary64 to binary32, round-to-nearest-even.
+pub fn f64_to_f32(x: Sf64) -> Sf32 {
+    if x.is_nan() {
+        return Sf32(0x7FC0_0000);
+    }
+    let sign = x.bits() >> 63 != 0;
+    if x.is_inf() {
+        return Sf32(f32impl::pack(sign, 0xFF, 0));
+    }
+    if x.is_zero() {
+        return Sf32((sign as u32) << 31);
+    }
+    // Unpack (normalizing subnormals) without reaching into private
+    // f64impl internals: extract fields directly.
+    let bits = x.bits();
+    let mut e = ((bits >> 52) & 0x7FF) as i32;
+    let mut sig = bits & ((1u64 << 52) - 1);
+    if e == 0 {
+        let shift = sig.leading_zeros() - 11;
+        sig <<= shift;
+        e = 1 - shift as i32;
+    } else {
+        sig |= 1 << 52;
+    }
+    // Value = sig * 2^(e - 1023 - 52); the f32 round_pack consumes
+    // sig30 * 2^(e32 - 127 - 30): sig30 = sig >> 22, e32 = e - 896.
+    let sig30 = ((sig >> 22) as u32) | ((sig & ((1 << 22) - 1) != 0) as u32);
+    let e32 = e - 896;
+    Sf32(f32impl::round_pack(sign, e32, sig30))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widen_matches_native() {
+        let cases: &[f32] = &[
+            0.0,
+            -0.0,
+            1.0,
+            -1.5,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::MAX,
+            f32::MIN_POSITIVE,
+            1e-45,
+            -1e-40,
+            std::f32::consts::PI,
+            9.80665,
+        ];
+        for &a in cases {
+            let got = f32_to_f64(Sf32::from_f32(a));
+            assert_eq!(got.bits(), (a as f64).to_bits(), "widen({a:e})");
+        }
+        assert!(f32_to_f64(Sf32::from_f32(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn narrow_matches_native() {
+        let cases: &[f64] = &[
+            0.0,
+            -0.0,
+            1.0,
+            -1.5,
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            f64::MAX,     // overflows to +inf
+            -f64::MAX,    // overflows to -inf
+            f64::MIN_POSITIVE, // underflows to 0
+            1e-40,        // f32 subnormal range
+            1e-45,
+            1.0000000000000002,
+            std::f64::consts::PI,
+            9.80665,
+            3.4028235e38,  // ~ f32::MAX
+            3.4028237e38,  // just above f32::MAX
+            1.401298464324817e-45, // f32 min subnormal
+            7e-46,         // rounds to smallest subnormal or zero
+        ];
+        for &a in cases {
+            let got = f64_to_f32(Sf64::from_f64(a));
+            assert_eq!(got.bits(), (a as f32).to_bits(), "narrow({a:e})");
+        }
+        assert!(f64_to_f32(Sf64::from_f64(f64::NAN)).is_nan());
+    }
+
+    #[test]
+    fn roundtrip_f32_exact() {
+        for &a in &[1.5f32, -0.1, 123.456, 1e-40] {
+            let back = f64_to_f32(f32_to_f64(Sf32::from_f32(a)));
+            assert_eq!(back.bits(), a.to_bits());
+        }
+    }
+}

@@ -1,0 +1,563 @@
+//! IEEE-754 binary32 arithmetic implemented with integer operations
+//! only (round-to-nearest-even). Mirrors [`super::f64impl`] with the
+//! binary32 field widths: 23-bit mantissa plus 7 guard bits, the same
+//! headroom Berkeley Softfloat uses for f32.
+
+/// A binary32 value as a raw bit pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Sf32(pub u32);
+
+const SIGN: u32 = 1 << 31;
+const EXP_MASK: u32 = 0xFF;
+const FRAC_BITS: u32 = 23;
+const FRAC_MASK: u32 = (1 << FRAC_BITS) - 1;
+const HIDDEN: u32 = 1 << FRAC_BITS;
+/// Canonical quiet NaN.
+const QNAN: u32 = 0x7FC0_0000;
+const EXP_MAX: i32 = 0xFF;
+/// Guard bits carried below the mantissa during arithmetic.
+const GUARD: u32 = 7;
+/// Internal normalized significand MSB position (23 + 7).
+const NORM_MSB: u32 = FRAC_BITS + GUARD;
+/// Tie value of the guard field for round-to-nearest-even.
+const TIE: u32 = 1 << (GUARD - 1);
+
+impl Sf32 {
+    /// Wraps raw bits.
+    pub const fn from_bits(bits: u32) -> Self {
+        Self(bits)
+    }
+
+    /// Converts from a host `f32` (bit-level, exact).
+    pub fn from_f32(x: f32) -> Self {
+        Self(x.to_bits())
+    }
+
+    /// Converts to a host `f32` (bit-level, exact).
+    pub fn to_f32(self) -> f32 {
+        f32::from_bits(self.0)
+    }
+
+    /// The raw bit pattern.
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Positive zero.
+    pub const ZERO: Sf32 = Sf32(0);
+    /// One.
+    pub const ONE: Sf32 = Sf32(0x3F80_0000);
+
+    pub(crate) fn sign(self) -> bool {
+        self.0 & SIGN != 0
+    }
+
+    fn exp(self) -> i32 {
+        ((self.0 >> FRAC_BITS) & EXP_MASK) as i32
+    }
+
+    fn frac(self) -> u32 {
+        self.0 & FRAC_MASK
+    }
+
+    /// `true` for any NaN.
+    pub fn is_nan(self) -> bool {
+        self.exp() == EXP_MAX && self.frac() != 0
+    }
+
+    /// `true` for +/- infinity.
+    pub fn is_inf(self) -> bool {
+        self.exp() == EXP_MAX && self.frac() == 0
+    }
+
+    /// `true` for +/- zero.
+    pub fn is_zero(self) -> bool {
+        self.0 & !SIGN == 0
+    }
+
+    /// Flips the sign bit.
+    pub fn neg(self) -> Self {
+        Self(self.0 ^ SIGN)
+    }
+
+    /// Clears the sign bit.
+    pub fn abs(self) -> Self {
+        Self(self.0 & !SIGN)
+    }
+}
+
+pub(crate) fn pack(sign: bool, exp_field: i32, frac: u32) -> u32 {
+    ((sign as u32) << 31) | ((exp_field as u32) << FRAC_BITS) | frac
+}
+
+fn inf(sign: bool) -> u32 {
+    pack(sign, EXP_MAX, 0)
+}
+
+/// Shift right with sticky.
+fn srs32(x: u32, shift: u32) -> u32 {
+    if shift == 0 {
+        x
+    } else if shift >= 32 {
+        (x != 0) as u32
+    } else {
+        (x >> shift) | ((x & ((1u32 << shift) - 1) != 0) as u32)
+    }
+}
+
+fn srs64_to32(x: u64, shift: u32) -> u32 {
+    let kept = (x >> shift) as u32;
+    let sticky = (x & ((1u64 << shift) - 1)) != 0;
+    kept | sticky as u32
+}
+
+/// Unpacks a finite nonzero value, significand normalized into
+/// `[2^23, 2^24)`.
+pub(crate) fn unpack_norm(x: Sf32) -> (bool, i32, u32) {
+    let mut e = x.exp();
+    let mut sig = x.frac();
+    if e == 0 {
+        let shift = sig.leading_zeros() - (31 - FRAC_BITS);
+        sig <<= shift;
+        e = 1 - shift as i32;
+    } else {
+        sig |= HIDDEN;
+    }
+    (x.sign(), e, sig)
+}
+
+/// Rounds and packs; `sig` carries 7 guard bits (MSB at bit 30 when
+/// normalized); value is `sig * 2^(e - 127 - 30)`.
+pub(crate) fn round_pack(sign: bool, mut e: i32, mut sig: u32) -> u32 {
+    debug_assert!(sig != 0);
+    if e >= EXP_MAX {
+        return inf(sign);
+    }
+    if e <= 0 {
+        let shift = (1 - e) as u32;
+        sig = srs32(sig, shift);
+        e = 1;
+    }
+    let guard_bits = sig & ((1 << GUARD) - 1);
+    let mut sig_r = sig >> GUARD;
+    if guard_bits > TIE || (guard_bits == TIE && (sig_r & 1) == 1) {
+        sig_r += 1;
+    }
+    if sig_r >= (1 << (FRAC_BITS + 1)) {
+        sig_r >>= 1;
+        e += 1;
+        if e >= EXP_MAX {
+            return inf(sign);
+        }
+    }
+    if sig_r >= HIDDEN {
+        pack(sign, e, sig_r - HIDDEN)
+    } else {
+        pack(sign, 0, sig_r)
+    }
+}
+
+/// Normalizes nonzero `sig` so its MSB is at bit 30.
+fn normalize(mut e: i32, mut sig: u32) -> (i32, u32) {
+    let msb = 31 - sig.leading_zeros() as i32;
+    let shift = msb - NORM_MSB as i32;
+    if shift > 0 {
+        sig = srs32(sig, shift as u32);
+        e += shift;
+    } else if shift < 0 {
+        sig <<= -shift;
+        e += shift;
+    }
+    (e, sig)
+}
+
+/// IEEE-754 addition, round-to-nearest-even.
+pub fn add(a: Sf32, b: Sf32) -> Sf32 {
+    if a.is_nan() || b.is_nan() {
+        return Sf32(QNAN);
+    }
+    match (a.is_inf(), b.is_inf()) {
+        (true, true) => {
+            return if a.sign() == b.sign() { a } else { Sf32(QNAN) };
+        }
+        (true, false) => return a,
+        (false, true) => return b,
+        _ => {}
+    }
+    if a.is_zero() && b.is_zero() {
+        return if a.sign() && b.sign() { a } else { Sf32(0) };
+    }
+    if a.is_zero() {
+        return b;
+    }
+    if b.is_zero() {
+        return a;
+    }
+    let (sa, ea, siga) = unpack_norm(a);
+    let (sb, eb, sigb) = unpack_norm(b);
+    let a_is_hi = (ea, siga) >= (eb, sigb);
+    let (mut e, hi, s_hi, lo_raw, e_lo, s_lo) = if a_is_hi {
+        (ea, siga << GUARD, sa, sigb << GUARD, eb, sb)
+    } else {
+        (eb, sigb << GUARD, sb, siga << GUARD, ea, sa)
+    };
+    let lo = srs32(lo_raw, (e - e_lo) as u32);
+    let (sign, mut sum);
+    if s_hi == s_lo {
+        sum = hi + lo;
+        sign = s_hi;
+        if sum >= (1 << (NORM_MSB + 1)) {
+            sum = srs32(sum, 1);
+            e += 1;
+        }
+    } else {
+        if hi == lo {
+            return Sf32(0);
+        }
+        sum = hi - lo;
+        sign = s_hi;
+        let (e2, s2) = normalize(e, sum);
+        e = e2;
+        sum = s2;
+    }
+    Sf32(round_pack(sign, e, sum))
+}
+
+/// IEEE-754 subtraction.
+pub fn sub(a: Sf32, b: Sf32) -> Sf32 {
+    if b.is_nan() {
+        return Sf32(QNAN);
+    }
+    add(a, b.neg())
+}
+
+/// IEEE-754 multiplication, round-to-nearest-even.
+pub fn mul(a: Sf32, b: Sf32) -> Sf32 {
+    if a.is_nan() || b.is_nan() {
+        return Sf32(QNAN);
+    }
+    let sign = a.sign() ^ b.sign();
+    if a.is_inf() || b.is_inf() {
+        if a.is_zero() || b.is_zero() {
+            return Sf32(QNAN);
+        }
+        return Sf32(inf(sign));
+    }
+    if a.is_zero() || b.is_zero() {
+        return Sf32(pack(sign, 0, 0));
+    }
+    let (_, ea, siga) = unpack_norm(a);
+    let (_, eb, sigb) = unpack_norm(b);
+    let mut e = ea + eb - 127;
+    let p = (siga as u64) * (sigb as u64); // in [2^46, 2^48)
+    let sig = if p >= (1u64 << 47) {
+        e += 1;
+        srs64_to32(p, 47 - NORM_MSB)
+    } else {
+        srs64_to32(p, 46 - NORM_MSB)
+    };
+    Sf32(round_pack(sign, e, sig))
+}
+
+/// IEEE-754 division, round-to-nearest-even.
+pub fn div(a: Sf32, b: Sf32) -> Sf32 {
+    if a.is_nan() || b.is_nan() {
+        return Sf32(QNAN);
+    }
+    let sign = a.sign() ^ b.sign();
+    match (a.is_inf(), b.is_inf()) {
+        (true, true) => return Sf32(QNAN),
+        (true, false) => return Sf32(inf(sign)),
+        (false, true) => return Sf32(pack(sign, 0, 0)),
+        _ => {}
+    }
+    match (a.is_zero(), b.is_zero()) {
+        (true, true) => return Sf32(QNAN),
+        (true, false) => return Sf32(pack(sign, 0, 0)),
+        (false, true) => return Sf32(inf(sign)),
+        _ => {}
+    }
+    let (_, ea, siga) = unpack_norm(a);
+    let (_, eb, sigb) = unpack_norm(b);
+    let mut e = ea - eb + 126;
+    let num = (siga as u64) << (NORM_MSB + 1);
+    let den = sigb as u64;
+    let mut q = num / den; // in (2^30, 2^32)
+    if num % den != 0 {
+        q |= 1;
+    }
+    if q >= (1 << (NORM_MSB + 1)) {
+        q = (q >> 1) | (q & 1);
+        e += 1;
+    }
+    Sf32(round_pack(sign, e, q as u32))
+}
+
+/// IEEE-754 square root, round-to-nearest-even.
+pub fn sqrt(a: Sf32) -> Sf32 {
+    if a.is_nan() {
+        return Sf32(QNAN);
+    }
+    if a.is_zero() {
+        return a;
+    }
+    if a.sign() {
+        return Sf32(QNAN);
+    }
+    if a.is_inf() {
+        return a;
+    }
+    let (_, e, sig) = unpack_norm(a);
+    let mut ee = e - 127;
+    let mut m = sig as u128; // in [2^23, 2^24)
+    if ee & 1 != 0 {
+        m <<= 1;
+        ee -= 1;
+    }
+    // s = floor(sqrt(m << 37)) is in [2^30, 2^31).
+    let x = m << 37;
+    let mut s = super::f64impl::isqrt_u128(x);
+    if s * s != x {
+        s |= 1;
+    }
+    let er = ee / 2 + 127;
+    Sf32(round_pack(false, er, s as u32))
+}
+
+/// IEEE equality (`NaN != NaN`, `-0 == +0`).
+pub fn eq(a: Sf32, b: Sf32) -> bool {
+    if a.is_nan() || b.is_nan() {
+        return false;
+    }
+    if a.is_zero() && b.is_zero() {
+        return true;
+    }
+    a.0 == b.0
+}
+
+/// IEEE less-than (`false` on any NaN).
+pub fn lt(a: Sf32, b: Sf32) -> bool {
+    if a.is_nan() || b.is_nan() {
+        return false;
+    }
+    if a.is_zero() && b.is_zero() {
+        return false;
+    }
+    match (a.sign(), b.sign()) {
+        (false, false) => a.0 < b.0,
+        (true, true) => a.0 > b.0,
+        (true, false) => true,
+        (false, true) => false,
+    }
+}
+
+/// IEEE less-or-equal (`false` on any NaN).
+pub fn le(a: Sf32, b: Sf32) -> bool {
+    if a.is_nan() || b.is_nan() {
+        return false;
+    }
+    eq(a, b) || lt(a, b)
+}
+
+/// Conversion from `i32` with round-to-nearest-even.
+pub fn from_i32(x: i32) -> Sf32 {
+    if x == 0 {
+        return Sf32(0);
+    }
+    let sign = x < 0;
+    let mag = (x as i64).unsigned_abs() as u32;
+    let msb = 31 - mag.leading_zeros() as i32;
+    let sig = if msb <= NORM_MSB as i32 {
+        mag << (NORM_MSB as i32 - msb)
+    } else {
+        srs32(mag, (msb - NORM_MSB as i32) as u32)
+    };
+    Sf32(round_pack(sign, 127 + msb, sig))
+}
+
+/// Conversion to `i32`, truncating toward zero and saturating (NaN
+/// maps to 0) — the semantics of Rust's `as` cast.
+pub fn to_i32_trunc(a: Sf32) -> i32 {
+    if a.is_nan() {
+        return 0;
+    }
+    if a.is_zero() {
+        return 0;
+    }
+    if a.is_inf() {
+        return if a.sign() { i32::MIN } else { i32::MAX };
+    }
+    let (sign, e, sig) = unpack_norm(a);
+    let shift = e - 127; // value = sig * 2^(shift - 23)
+    if shift < 0 {
+        return 0;
+    }
+    if shift > 31 {
+        return if sign { i32::MIN } else { i32::MAX };
+    }
+    let mag = if shift >= FRAC_BITS as i32 {
+        (sig as u64) << (shift - FRAC_BITS as i32)
+    } else {
+        (sig >> (FRAC_BITS as i32 - shift)) as u64
+    };
+    let limit = if sign { 1u64 << 31 } else { (1u64 << 31) - 1 };
+    let mag = mag.min(limit);
+    if sign {
+        (mag as i64).wrapping_neg() as i32
+    } else {
+        mag as i32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_bin(
+        name: &str,
+        op: fn(Sf32, Sf32) -> Sf32,
+        native: fn(f32, f32) -> f32,
+        a: f32,
+        b: f32,
+    ) {
+        let got = op(Sf32::from_f32(a), Sf32::from_f32(b));
+        let want = native(a, b);
+        if want.is_nan() {
+            assert!(got.is_nan(), "{name}({a:e},{b:e}): want NaN");
+        } else {
+            assert_eq!(
+                got.bits(),
+                want.to_bits(),
+                "{name}({a:e},{b:e}): got {:08x} want {:08x}",
+                got.bits(),
+                want.to_bits()
+            );
+        }
+    }
+
+    const SPECIALS: &[f32] = &[
+        0.0,
+        -0.0,
+        1.0,
+        -1.0,
+        2.0,
+        0.5,
+        1.5,
+        f32::INFINITY,
+        f32::NEG_INFINITY,
+        f32::NAN,
+        f32::MIN_POSITIVE,
+        f32::MAX,
+        f32::MIN,
+        1e-45,  // smallest subnormal
+        1e-40,  // subnormal
+        -1e-41, // subnormal
+        std::f32::consts::PI,
+        1.0000001, // 1 + ulp
+        9.80665,
+        -273.15,
+        1e38,
+        -1e38,
+        1e-38,
+        0.1,
+        3.0,
+        -7.0,
+    ];
+
+    #[test]
+    fn add_specials_exhaustive() {
+        for &a in SPECIALS {
+            for &b in SPECIALS {
+                check_bin("add", add, |x, y| x + y, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn sub_specials_exhaustive() {
+        for &a in SPECIALS {
+            for &b in SPECIALS {
+                check_bin("sub", sub, |x, y| x - y, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn mul_specials_exhaustive() {
+        for &a in SPECIALS {
+            for &b in SPECIALS {
+                check_bin("mul", mul, |x, y| x * y, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn div_specials_exhaustive() {
+        for &a in SPECIALS {
+            for &b in SPECIALS {
+                check_bin("div", div, |x, y| x / y, a, b);
+            }
+        }
+    }
+
+    #[test]
+    fn sqrt_specials() {
+        for &a in SPECIALS {
+            let got = sqrt(Sf32::from_f32(a));
+            let want = a.sqrt();
+            if want.is_nan() {
+                assert!(got.is_nan(), "sqrt({a})");
+            } else {
+                assert_eq!(got.bits(), want.to_bits(), "sqrt({a:e})");
+            }
+        }
+    }
+
+    #[test]
+    fn comparisons_match_native() {
+        for &a in SPECIALS {
+            for &b in SPECIALS {
+                let (sa, sb) = (Sf32::from_f32(a), Sf32::from_f32(b));
+                assert_eq!(eq(sa, sb), a == b, "eq({a},{b})");
+                assert_eq!(lt(sa, sb), a < b, "lt({a},{b})");
+                assert_eq!(le(sa, sb), a <= b, "le({a},{b})");
+            }
+        }
+    }
+
+    #[test]
+    fn i32_conversions_match_native() {
+        for &x in &[0i32, 1, -1, 42, -42, i32::MAX, i32::MIN, 7_654_321, 16_777_217] {
+            assert_eq!(from_i32(x).to_f32(), x as f32, "from_i32({x})");
+        }
+        for &a in SPECIALS {
+            assert_eq!(to_i32_trunc(Sf32::from_f32(a)), a as i32, "to_i32({a})");
+        }
+        for &a in &[2.9f32, -2.9, 0.49, 1e15, -1e15, 2147483500.0] {
+            assert_eq!(to_i32_trunc(Sf32::from_f32(a)), a as i32, "to_i32({a})");
+        }
+    }
+
+    #[test]
+    fn dependent_chain_matches_native() {
+        let mut n = 2.0f32;
+        let mut s = Sf32::from_f32(2.0);
+        for i in 1..300 {
+            let k = i as f32;
+            n = (n * k + 1.0) / (k + 0.5);
+            n = n.sqrt() + 0.25;
+            let sk = from_i32(i);
+            s = div(add(mul(s, sk), Sf32::ONE), add(sk, Sf32::from_f32(0.5)));
+            s = add(sqrt(s), Sf32::from_f32(0.25));
+        }
+        assert_eq!(s.bits(), n.to_bits());
+    }
+
+    #[test]
+    fn overflow_and_underflow() {
+        check_bin("mul", mul, |x, y| x * y, f32::MAX, 2.0);
+        check_bin("add", add, |x, y| x + y, f32::MAX, f32::MAX);
+        check_bin("mul", mul, |x, y| x * y, f32::MIN_POSITIVE, 0.5);
+        check_bin("div", div, |x, y| x / y, 1e-40, 100.0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Property tests: softfloat vs the host FPU, bit for bit, over random
+//! bit patterns (which include NaNs, infinities, subnormals and every
+//! exponent/significand combination proptest stumbles into).
+
+use fpga::softfloat::{self, f32impl, f64impl, Sf32, Sf64};
+use proptest::prelude::*;
+
+fn check64(got: Sf64, want: f64, what: &str) {
+    if want.is_nan() {
+        assert!(got.is_nan(), "{what}: want NaN, got {:016x}", got.bits());
+    } else {
+        assert_eq!(
+            got.bits(),
+            want.to_bits(),
+            "{what}: got {:016x} want {:016x}",
+            got.bits(),
+            want.to_bits()
+        );
+    }
+}
+
+fn check32(got: Sf32, want: f32, what: &str) {
+    if want.is_nan() {
+        assert!(got.is_nan(), "{what}: want NaN, got {:08x}", got.bits());
+    } else {
+        assert_eq!(
+            got.bits(),
+            want.to_bits(),
+            "{what}: got {:08x} want {:08x}",
+            got.bits(),
+            want.to_bits()
+        );
+    }
+}
+
+/// Bit patterns with a boosted probability of special exponents.
+fn f64_pattern() -> impl Strategy<Value = u64> {
+    prop_oneof![
+        4 => any::<u64>(),
+        1 => any::<u64>().prop_map(|x| x | 0x7FF0_0000_0000_0000), // inf/NaN band
+        1 => any::<u64>().prop_map(|x| x & 0x800F_FFFF_FFFF_FFFF), // subnormal band
+        1 => any::<u64>().prop_map(|x| (x & 0x800F_FFFF_FFFF_FFFF) | 0x3FF0_0000_0000_0000), // near 1
+    ]
+}
+
+fn f32_pattern() -> impl Strategy<Value = u32> {
+    prop_oneof![
+        4 => any::<u32>(),
+        1 => any::<u32>().prop_map(|x| x | 0x7F80_0000),
+        1 => any::<u32>().prop_map(|x| x & 0x807F_FFFF),
+        1 => any::<u32>().prop_map(|x| (x & 0x807F_FFFF) | 0x3F80_0000),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4096))]
+
+    #[test]
+    fn f64_add_matches_native(a in f64_pattern(), b in f64_pattern()) {
+        let (fa, fb) = (f64::from_bits(a), f64::from_bits(b));
+        check64(f64impl::add(Sf64(a), Sf64(b)), fa + fb, "add");
+    }
+
+    #[test]
+    fn f64_sub_matches_native(a in f64_pattern(), b in f64_pattern()) {
+        let (fa, fb) = (f64::from_bits(a), f64::from_bits(b));
+        check64(f64impl::sub(Sf64(a), Sf64(b)), fa - fb, "sub");
+    }
+
+    #[test]
+    fn f64_mul_matches_native(a in f64_pattern(), b in f64_pattern()) {
+        let (fa, fb) = (f64::from_bits(a), f64::from_bits(b));
+        check64(f64impl::mul(Sf64(a), Sf64(b)), fa * fb, "mul");
+    }
+
+    #[test]
+    fn f64_div_matches_native(a in f64_pattern(), b in f64_pattern()) {
+        let (fa, fb) = (f64::from_bits(a), f64::from_bits(b));
+        check64(f64impl::div(Sf64(a), Sf64(b)), fa / fb, "div");
+    }
+
+    #[test]
+    fn f64_sqrt_matches_native(a in f64_pattern()) {
+        let fa = f64::from_bits(a);
+        check64(f64impl::sqrt(Sf64(a)), fa.sqrt(), "sqrt");
+    }
+
+    #[test]
+    fn f64_cmp_matches_native(a in f64_pattern(), b in f64_pattern()) {
+        let (fa, fb) = (f64::from_bits(a), f64::from_bits(b));
+        prop_assert_eq!(f64impl::eq(Sf64(a), Sf64(b)), fa == fb);
+        prop_assert_eq!(f64impl::lt(Sf64(a), Sf64(b)), fa < fb);
+        prop_assert_eq!(f64impl::le(Sf64(a), Sf64(b)), fa <= fb);
+    }
+
+    #[test]
+    fn f64_to_i32_matches_native(a in f64_pattern()) {
+        let fa = f64::from_bits(a);
+        prop_assert_eq!(f64impl::to_i32_trunc(Sf64(a)), fa as i32);
+    }
+
+    #[test]
+    fn i32_to_f64_matches_native(x in any::<i32>()) {
+        prop_assert_eq!(f64impl::from_i32(x).to_f64(), x as f64);
+    }
+
+    #[test]
+    fn f32_add_matches_native(a in f32_pattern(), b in f32_pattern()) {
+        let (fa, fb) = (f32::from_bits(a), f32::from_bits(b));
+        check32(f32impl::add(Sf32(a), Sf32(b)), fa + fb, "add32");
+    }
+
+    #[test]
+    fn f32_sub_matches_native(a in f32_pattern(), b in f32_pattern()) {
+        let (fa, fb) = (f32::from_bits(a), f32::from_bits(b));
+        check32(f32impl::sub(Sf32(a), Sf32(b)), fa - fb, "sub32");
+    }
+
+    #[test]
+    fn f32_mul_matches_native(a in f32_pattern(), b in f32_pattern()) {
+        let (fa, fb) = (f32::from_bits(a), f32::from_bits(b));
+        check32(f32impl::mul(Sf32(a), Sf32(b)), fa * fb, "mul32");
+    }
+
+    #[test]
+    fn f32_div_matches_native(a in f32_pattern(), b in f32_pattern()) {
+        let (fa, fb) = (f32::from_bits(a), f32::from_bits(b));
+        check32(f32impl::div(Sf32(a), Sf32(b)), fa / fb, "div32");
+    }
+
+    #[test]
+    fn f32_sqrt_matches_native(a in f32_pattern()) {
+        let fa = f32::from_bits(a);
+        check32(f32impl::sqrt(Sf32(a)), fa.sqrt(), "sqrt32");
+    }
+
+    #[test]
+    fn f32_to_i32_matches_native(a in f32_pattern()) {
+        let fa = f32::from_bits(a);
+        prop_assert_eq!(f32impl::to_i32_trunc(Sf32(a)), fa as i32);
+    }
+
+    #[test]
+    fn i32_to_f32_matches_native(x in any::<i32>()) {
+        prop_assert_eq!(f32impl::from_i32(x).to_f32(), x as f32);
+    }
+
+    #[test]
+    fn widen_matches_native(a in f32_pattern()) {
+        let fa = f32::from_bits(a);
+        check64(softfloat::f32_to_f64(Sf32(a)), fa as f64, "widen");
+    }
+
+    #[test]
+    fn narrow_matches_native(a in f64_pattern()) {
+        let fa = f64::from_bits(a);
+        check32(softfloat::f64_to_f32(Sf64(a)), fa as f32, "narrow");
+    }
+
+    #[test]
+    fn add_is_commutative(a in f64_pattern(), b in f64_pattern()) {
+        let x = f64impl::add(Sf64(a), Sf64(b));
+        let y = f64impl::add(Sf64(b), Sf64(a));
+        prop_assert!(x.bits() == y.bits() || (x.is_nan() && y.is_nan()));
+    }
+
+    #[test]
+    fn mul_is_commutative(a in f64_pattern(), b in f64_pattern()) {
+        let x = f64impl::mul(Sf64(a), Sf64(b));
+        let y = f64impl::mul(Sf64(b), Sf64(a));
+        prop_assert!(x.bits() == y.bits() || (x.is_nan() && y.is_nan()));
+    }
+}

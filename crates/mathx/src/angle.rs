@@ -1,0 +1,77 @@
+//! Angle utilities.
+
+use std::f64::consts::PI;
+
+/// Converts degrees to radians.
+///
+/// ```
+/// assert!((mathx::deg_to_rad(180.0) - std::f64::consts::PI).abs() < 1e-15);
+/// ```
+pub fn deg_to_rad(deg: f64) -> f64 {
+    deg * PI / 180.0
+}
+
+/// Converts radians to degrees.
+///
+/// ```
+/// assert!((mathx::rad_to_deg(std::f64::consts::PI) - 180.0).abs() < 1e-12);
+/// ```
+pub fn rad_to_deg(rad: f64) -> f64 {
+    rad * 180.0 / PI
+}
+
+/// Wraps an angle to the interval `(-pi, pi]`.
+///
+/// ```
+/// let w = mathx::wrap_pi(3.0 * std::f64::consts::PI);
+/// assert!((w - std::f64::consts::PI).abs() < 1e-12);
+/// ```
+pub fn wrap_pi(angle: f64) -> f64 {
+    let two_pi = 2.0 * PI;
+    let mut a = angle % two_pi;
+    if a > PI {
+        a -= two_pi;
+    } else if a <= -PI {
+        a += two_pi;
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deg_rad_roundtrip() {
+        for d in [-720.0, -90.0, 0.0, 12.34, 90.0, 359.0] {
+            assert!((rad_to_deg(deg_to_rad(d)) - d).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn wrap_stays_in_range() {
+        for k in -10..=10 {
+            for frac in [0.0, 0.25, 0.5, 0.9] {
+                let a = (k as f64 + frac) * PI;
+                let w = wrap_pi(a);
+                assert!(w > -PI - 1e-12 && w <= PI + 1e-12, "{a} -> {w}");
+                // Same point on the circle.
+                assert!(((a - w) / (2.0 * PI)).rem_euclid(1.0) < 1e-9 ||
+                        ((a - w) / (2.0 * PI)).rem_euclid(1.0) > 1.0 - 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn wrap_identity_inside_range() {
+        assert_eq!(wrap_pi(0.5), 0.5);
+        assert_eq!(wrap_pi(-0.5), -0.5);
+        assert_eq!(wrap_pi(0.0), 0.0);
+    }
+
+    #[test]
+    fn wrap_boundary() {
+        assert!((wrap_pi(PI) - PI).abs() < 1e-15);
+        assert!((wrap_pi(-PI) - PI).abs() < 1e-12);
+    }
+}

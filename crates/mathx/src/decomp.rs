@@ -1,0 +1,191 @@
+//! Small-matrix decompositions: Cholesky factorization of symmetric
+//! positive-definite matrices, with solve and inverse.
+//!
+//! Kalman-filter covariance matrices must stay symmetric positive
+//! (semi-)definite; Cholesky is both the cheapest way to solve with them
+//! and the canonical PSD test.
+
+use crate::matrix::Matrix;
+use crate::vector::Vector;
+
+/// Cholesky factorization `A = L * L^T` of a symmetric positive-definite
+/// matrix, with `L` lower triangular.
+///
+/// # Examples
+///
+/// ```
+/// use mathx::{Cholesky, Matrix, Vector};
+/// let a = Matrix::new([[4.0, 2.0], [2.0, 3.0]]);
+/// let chol = Cholesky::new(&a).expect("SPD");
+/// let x = chol.solve(&Vector::new([2.0, 1.0]));
+/// let back = a * x;
+/// assert!((back[0] - 2.0).abs() < 1e-12);
+/// ```
+#[derive(Clone, Copy, Debug)]
+pub struct Cholesky<const N: usize> {
+    lower: Matrix<N, N>,
+}
+
+impl<const N: usize> Cholesky<N> {
+    /// Factorizes `a`. Returns `None` if `a` is not positive definite
+    /// to working precision (a non-positive pivot is encountered).
+    ///
+    /// Only the lower triangle of `a` is read, so a slightly asymmetric
+    /// matrix (round-off) is accepted.
+    pub fn new(a: &Matrix<N, N>) -> Option<Self> {
+        let mut l = Matrix::<N, N>::zeros();
+        for i in 0..N {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return None;
+                    }
+                    l[(i, i)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Some(Self { lower: l })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn lower(&self) -> &Matrix<N, N> {
+        &self.lower
+    }
+
+    /// Solves `A x = b` by forward then backward substitution.
+    pub fn solve(&self, b: &Vector<N>) -> Vector<N> {
+        // Forward: L y = b
+        let mut y = Vector::<N>::zeros();
+        for i in 0..N {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.lower[(i, k)] * y[k];
+            }
+            y[i] = sum / self.lower[(i, i)];
+        }
+        // Backward: L^T x = y
+        let mut x = Vector::<N>::zeros();
+        for i in (0..N).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..N {
+                sum -= self.lower[(k, i)] * x[k];
+            }
+            x[i] = sum / self.lower[(i, i)];
+        }
+        x
+    }
+
+    /// The inverse `A^{-1}`, column by column.
+    pub fn inverse(&self) -> Matrix<N, N> {
+        let mut out = Matrix::<N, N>::zeros();
+        for c in 0..N {
+            let mut e = Vector::<N>::zeros();
+            e[c] = 1.0;
+            let x = self.solve(&e);
+            for r in 0..N {
+                out[(r, c)] = x[r];
+            }
+        }
+        out
+    }
+
+    /// Determinant of the original matrix (product of squared pivots).
+    pub fn determinant(&self) -> f64 {
+        let mut d = 1.0;
+        for i in 0..N {
+            d *= self.lower[(i, i)];
+        }
+        d * d
+    }
+}
+
+/// `true` if `a` is symmetric positive definite to working precision
+/// (symmetric within `tol`, Cholesky succeeds).
+pub fn is_spd<const N: usize>(a: &Matrix<N, N>, tol: f64) -> bool {
+    a.asymmetry() <= tol && Cholesky::new(a).is_some()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn random_spd<const N: usize>(seed: u64) -> Matrix<N, N> {
+        use rand::{RngExt as _, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut b = Matrix::<N, N>::zeros();
+        for r in 0..N {
+            for c in 0..N {
+                b[(r, c)] = rng.random_range(-1.0..1.0);
+            }
+        }
+        // B B^T + N*I is SPD.
+        b * b.transpose() + Matrix::identity() * (N as f64)
+    }
+
+    #[test]
+    fn factor_reconstructs() {
+        let a = random_spd::<4>(1);
+        let chol = Cholesky::new(&a).unwrap();
+        let l = *chol.lower();
+        assert!((l * l.transpose() - a).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_matches_direct() {
+        let a = Matrix::new([[4.0, 2.0], [2.0, 3.0]]);
+        let chol = Cholesky::new(&a).unwrap();
+        let b = Vector::new([2.0, 1.0]);
+        let x = chol.solve(&b);
+        assert!((a * x - b).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_matches_gauss_jordan() {
+        let a = random_spd::<5>(7);
+        let chol = Cholesky::new(&a).unwrap();
+        let inv_c = chol.inverse();
+        let inv_g = a.inverse().unwrap();
+        assert!((inv_c - inv_g).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn determinant_matches_lu() {
+        let a = random_spd::<3>(3);
+        let chol = Cholesky::new(&a).unwrap();
+        assert!((chol.determinant() - a.determinant()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::new([[1.0, 0.0], [0.0, -1.0]]);
+        assert!(Cholesky::new(&a).is_none());
+        assert!(!is_spd(&a, 1e-12));
+    }
+
+    #[test]
+    fn rejects_semidefinite() {
+        // Rank-1: x x^T with x = [1, 1].
+        let a = Matrix::new([[1.0, 1.0], [1.0, 1.0]]);
+        assert!(Cholesky::new(&a).is_none());
+    }
+
+    #[test]
+    fn spd_check_rejects_asymmetric() {
+        let mut a = random_spd::<3>(9);
+        a[(0, 1)] += 1.0;
+        assert!(!is_spd(&a, 1e-9));
+    }
+
+    #[test]
+    fn identity_factorization() {
+        let chol = Cholesky::new(&Matrix::<3, 3>::identity()).unwrap();
+        assert!((*chol.lower() - Matrix::identity()).max_abs() < 1e-15);
+        assert!((chol.determinant() - 1.0).abs() < 1e-15);
+    }
+}

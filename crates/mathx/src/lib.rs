@@ -1,0 +1,43 @@
+//! Fixed-size linear algebra, rotation and statistics substrate.
+//!
+//! This crate provides everything the sensor-fusion workspace needs from
+//! "numerics": const-generic fixed-size [`Vector`]s and [`Matrix`]es,
+//! rotation representations ([`EulerAngles`], [`Dcm`], [`Quaternion`]),
+//! small-matrix decompositions ([`Cholesky`], Gauss-Jordan inversion),
+//! Gaussian random sampling (the `rand` crate deliberately ships no
+//! normal distribution) and running/windowed statistics used by the
+//! residual monitors.
+//!
+//! Everything is `f64`, stack-allocated and allocation-free so the same
+//! code paths can be cost-modelled on the soft-core simulator.
+//!
+//! # Examples
+//!
+//! ```
+//! use mathx::{EulerAngles, Vector};
+//!
+//! // A 2 degree roll misalignment rotates gravity into the sensor frame.
+//! let misalignment = EulerAngles::from_degrees(2.0, 0.0, 0.0);
+//! let gravity = Vector::new([0.0, 0.0, -9.80665]);
+//! let sensed = misalignment.dcm().transpose() * gravity;
+//! assert!((sensed[1] + 9.80665 * misalignment.roll.sin()).abs() < 1e-12);
+//! ```
+
+pub mod angle;
+pub mod decomp;
+pub mod matrix;
+pub mod rng;
+pub mod rotation;
+pub mod stats;
+pub mod vector;
+
+pub use angle::{deg_to_rad, rad_to_deg, wrap_pi};
+pub use decomp::Cholesky;
+pub use matrix::{Mat2, Mat3, Matrix};
+pub use rng::GaussianSampler;
+pub use rotation::{Dcm, EulerAngles, Quaternion};
+pub use stats::{Histogram, RunningStats, WindowStats};
+pub use vector::{Vec2, Vec3, Vector};
+
+/// Standard gravity in metres per second squared (ISO 80000-3).
+pub const STANDARD_GRAVITY: f64 = 9.80665;

@@ -1,0 +1,516 @@
+//! Const-generic fixed-size matrices.
+
+use crate::vector::Vector;
+use std::ops::{Add, AddAssign, Index, IndexMut, Mul, Neg, Sub, SubAssign};
+
+/// A fixed-size `R x C` matrix in row-major order.
+///
+/// # Examples
+///
+/// ```
+/// use mathx::{Matrix, Vector};
+/// let a = Matrix::new([[1.0, 2.0], [3.0, 4.0]]);
+/// let v = Vector::new([1.0, 1.0]);
+/// assert_eq!(a * v, Vector::new([3.0, 7.0]));
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Matrix<const R: usize, const C: usize> {
+    rows: [[f64; C]; R],
+}
+
+/// 2x2 matrix (innovation covariance of the 2-axis accelerometer).
+pub type Mat2 = Matrix<2, 2>;
+/// 3x3 matrix (direction cosine matrices, inertia-like quantities).
+pub type Mat3 = Matrix<3, 3>;
+
+impl<const R: usize, const C: usize> Matrix<R, C> {
+    /// Creates a matrix from rows.
+    pub const fn new(rows: [[f64; C]; R]) -> Self {
+        Self { rows }
+    }
+
+    /// The zero matrix.
+    pub const fn zeros() -> Self {
+        Self {
+            rows: [[0.0; C]; R],
+        }
+    }
+
+    /// Borrows the underlying row-major array.
+    pub fn as_rows(&self) -> &[[f64; C]; R] {
+        &self.rows
+    }
+
+    /// Transpose.
+    pub fn transpose(&self) -> Matrix<C, R> {
+        let mut out = Matrix::<C, R>::zeros();
+        for r in 0..R {
+            for c in 0..C {
+                out[(c, r)] = self.rows[r][c];
+            }
+        }
+        out
+    }
+
+    /// Row `r` as a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= R`.
+    pub fn row(&self, r: usize) -> Vector<C> {
+        Vector::new(self.rows[r])
+    }
+
+    /// Column `c` as a vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c >= C`.
+    pub fn column(&self, c: usize) -> Vector<R> {
+        let mut out = [0.0; R];
+        for r in 0..R {
+            out[r] = self.rows[r][c];
+        }
+        Vector::new(out)
+    }
+
+    /// Replaces row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r >= R`.
+    pub fn set_row(&mut self, r: usize, v: Vector<C>) {
+        self.rows[r] = v.into_array();
+    }
+
+    /// Applies `f` to every element.
+    pub fn map<F: FnMut(f64) -> f64>(&self, mut f: F) -> Self {
+        let mut out = self.rows;
+        for row in &mut out {
+            for x in row.iter_mut() {
+                *x = f(*x);
+            }
+        }
+        Self::new(out)
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f64 {
+        let mut acc = 0.0;
+        for r in 0..R {
+            for c in 0..C {
+                acc += self.rows[r][c] * self.rows[r][c];
+            }
+        }
+        acc.sqrt()
+    }
+
+    /// Largest absolute element.
+    pub fn max_abs(&self) -> f64 {
+        let mut m = 0.0_f64;
+        for r in 0..R {
+            for c in 0..C {
+                m = m.max(self.rows[r][c].abs());
+            }
+        }
+        m
+    }
+
+    /// `true` if every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.rows.iter().flatten().all(|x| x.is_finite())
+    }
+
+    /// Outer product `u * v^T`.
+    pub fn outer(u: Vector<R>, v: Vector<C>) -> Self {
+        let mut out = Self::zeros();
+        for r in 0..R {
+            for c in 0..C {
+                out[(r, c)] = u[r] * v[c];
+            }
+        }
+        out
+    }
+}
+
+impl<const N: usize> Matrix<N, N> {
+    /// The identity matrix.
+    pub fn identity() -> Self {
+        let mut out = Self::zeros();
+        for i in 0..N {
+            out[(i, i)] = 1.0;
+        }
+        out
+    }
+
+    /// A diagonal matrix from the given diagonal entries.
+    pub fn from_diagonal(d: Vector<N>) -> Self {
+        let mut out = Self::zeros();
+        for i in 0..N {
+            out[(i, i)] = d[i];
+        }
+        out
+    }
+
+    /// The diagonal as a vector.
+    pub fn diagonal(&self) -> Vector<N> {
+        let mut out = [0.0; N];
+        for i in 0..N {
+            out[i] = self.rows[i][i];
+        }
+        Vector::new(out)
+    }
+
+    /// Trace (sum of diagonal entries).
+    pub fn trace(&self) -> f64 {
+        (0..N).map(|i| self.rows[i][i]).sum()
+    }
+
+    /// Forces exact symmetry by averaging with the transpose.
+    ///
+    /// Used after Kalman covariance updates to suppress round-off skew.
+    pub fn symmetrized(&self) -> Self {
+        let t = self.transpose();
+        let mut out = Self::zeros();
+        for r in 0..N {
+            for c in 0..N {
+                out[(r, c)] = 0.5 * (self.rows[r][c] + t.rows[r][c]);
+            }
+        }
+        out
+    }
+
+    /// Maximum absolute asymmetry `max |A - A^T|`.
+    pub fn asymmetry(&self) -> f64 {
+        let mut m = 0.0_f64;
+        for r in 0..N {
+            for c in 0..N {
+                m = m.max((self.rows[r][c] - self.rows[c][r]).abs());
+            }
+        }
+        m
+    }
+
+    /// Inverse by Gauss-Jordan elimination with partial pivoting.
+    ///
+    /// Returns `None` if the matrix is singular to working precision.
+    pub fn inverse(&self) -> Option<Self> {
+        let mut a = self.rows;
+        let mut inv = Self::identity().rows;
+        for col in 0..N {
+            // Partial pivot: find the largest |entry| at or below the diagonal.
+            let mut pivot = col;
+            for r in (col + 1)..N {
+                if a[r][col].abs() > a[pivot][col].abs() {
+                    pivot = r;
+                }
+            }
+            if a[pivot][col].abs() < 1e-300 {
+                return None;
+            }
+            a.swap(col, pivot);
+            inv.swap(col, pivot);
+            let d = a[col][col];
+            for c in 0..N {
+                a[col][c] /= d;
+                inv[col][c] /= d;
+            }
+            for r in 0..N {
+                if r == col {
+                    continue;
+                }
+                let factor = a[r][col];
+                if factor == 0.0 {
+                    continue;
+                }
+                for c in 0..N {
+                    a[r][c] -= factor * a[col][c];
+                    inv[r][c] -= factor * inv[col][c];
+                }
+            }
+        }
+        Some(Self::new(inv))
+    }
+
+    /// Determinant by LU decomposition with partial pivoting.
+    pub fn determinant(&self) -> f64 {
+        let mut a = self.rows;
+        let mut det = 1.0;
+        for col in 0..N {
+            let mut pivot = col;
+            for r in (col + 1)..N {
+                if a[r][col].abs() > a[pivot][col].abs() {
+                    pivot = r;
+                }
+            }
+            if a[pivot][col] == 0.0 {
+                return 0.0;
+            }
+            if pivot != col {
+                a.swap(col, pivot);
+                det = -det;
+            }
+            det *= a[col][col];
+            for r in (col + 1)..N {
+                let factor = a[r][col] / a[col][col];
+                for c in col..N {
+                    a[r][c] -= factor * a[col][c];
+                }
+            }
+        }
+        det
+    }
+}
+
+impl<const R: usize, const C: usize> Default for Matrix<R, C> {
+    fn default() -> Self {
+        Self::zeros()
+    }
+}
+
+impl<const R: usize, const C: usize> From<[[f64; C]; R]> for Matrix<R, C> {
+    fn from(rows: [[f64; C]; R]) -> Self {
+        Self { rows }
+    }
+}
+
+impl<const R: usize, const C: usize> Index<(usize, usize)> for Matrix<R, C> {
+    type Output = f64;
+
+    fn index(&self, (r, c): (usize, usize)) -> &f64 {
+        &self.rows[r][c]
+    }
+}
+
+impl<const R: usize, const C: usize> IndexMut<(usize, usize)> for Matrix<R, C> {
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut f64 {
+        &mut self.rows[r][c]
+    }
+}
+
+impl<const R: usize, const C: usize> Add for Matrix<R, C> {
+    type Output = Self;
+
+    fn add(self, rhs: Self) -> Self {
+        let mut out = self.rows;
+        for r in 0..R {
+            for c in 0..C {
+                out[r][c] += rhs.rows[r][c];
+            }
+        }
+        Self::new(out)
+    }
+}
+
+impl<const R: usize, const C: usize> AddAssign for Matrix<R, C> {
+    fn add_assign(&mut self, rhs: Self) {
+        for r in 0..R {
+            for c in 0..C {
+                self.rows[r][c] += rhs.rows[r][c];
+            }
+        }
+    }
+}
+
+impl<const R: usize, const C: usize> Sub for Matrix<R, C> {
+    type Output = Self;
+
+    fn sub(self, rhs: Self) -> Self {
+        let mut out = self.rows;
+        for r in 0..R {
+            for c in 0..C {
+                out[r][c] -= rhs.rows[r][c];
+            }
+        }
+        Self::new(out)
+    }
+}
+
+impl<const R: usize, const C: usize> SubAssign for Matrix<R, C> {
+    fn sub_assign(&mut self, rhs: Self) {
+        for r in 0..R {
+            for c in 0..C {
+                self.rows[r][c] -= rhs.rows[r][c];
+            }
+        }
+    }
+}
+
+impl<const R: usize, const C: usize> Neg for Matrix<R, C> {
+    type Output = Self;
+
+    fn neg(self) -> Self {
+        self.map(|x| -x)
+    }
+}
+
+impl<const R: usize, const C: usize> Mul<f64> for Matrix<R, C> {
+    type Output = Self;
+
+    fn mul(self, rhs: f64) -> Self {
+        self.map(|x| x * rhs)
+    }
+}
+
+impl<const R: usize, const C: usize> Mul<Matrix<R, C>> for f64 {
+    type Output = Matrix<R, C>;
+
+    fn mul(self, rhs: Matrix<R, C>) -> Matrix<R, C> {
+        rhs * self
+    }
+}
+
+impl<const R: usize, const C: usize, const K: usize> Mul<Matrix<C, K>> for Matrix<R, C> {
+    type Output = Matrix<R, K>;
+
+    fn mul(self, rhs: Matrix<C, K>) -> Matrix<R, K> {
+        let mut out = Matrix::<R, K>::zeros();
+        for r in 0..R {
+            for k in 0..K {
+                let mut acc = 0.0;
+                for c in 0..C {
+                    acc += self.rows[r][c] * rhs.rows[c][k];
+                }
+                out[(r, k)] = acc;
+            }
+        }
+        out
+    }
+}
+
+impl<const R: usize, const C: usize> Mul<Vector<C>> for Matrix<R, C> {
+    type Output = Vector<R>;
+
+    fn mul(self, rhs: Vector<C>) -> Vector<R> {
+        let mut out = [0.0; R];
+        for r in 0..R {
+            let mut acc = 0.0;
+            for c in 0..C {
+                acc += self.rows[r][c] * rhs[c];
+            }
+            out[r] = acc;
+        }
+        Vector::new(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_multiplicative_unit() {
+        let a = Matrix::new([[1.0, 2.0], [3.0, 4.0]]);
+        let i = Mat2::identity();
+        assert_eq!(a * i, a);
+        assert_eq!(i * a, a);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Matrix::new([[1.0, 2.0, 3.0], [4.0, 5.0, 6.0]]);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(2, 1)], 6.0);
+    }
+
+    #[test]
+    fn rectangular_multiply() {
+        let a = Matrix::new([[1.0, 2.0], [3.0, 4.0], [5.0, 6.0]]); // 3x2
+        let b = Matrix::new([[1.0, 0.0, 1.0], [0.0, 1.0, 1.0]]); // 2x3
+        let c = a * b; // 3x3
+        assert_eq!(c[(0, 2)], 3.0);
+        assert_eq!(c[(2, 2)], 11.0);
+    }
+
+    #[test]
+    fn matrix_vector_multiply() {
+        let a = Matrix::new([[0.0, -1.0], [1.0, 0.0]]); // 90 deg rotation
+        let v = Vector::new([1.0, 0.0]);
+        assert_eq!(a * v, Vector::new([0.0, 1.0]));
+    }
+
+    #[test]
+    fn inverse_2x2() {
+        let a = Matrix::new([[4.0, 7.0], [2.0, 6.0]]);
+        let inv = a.inverse().unwrap();
+        let prod = a * inv;
+        assert!((prod - Mat2::identity()).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_3x3() {
+        let a = Matrix::new([[2.0, -1.0, 0.0], [-1.0, 2.0, -1.0], [0.0, -1.0, 2.0]]);
+        let inv = a.inverse().unwrap();
+        assert!((a * inv - Mat3::identity()).max_abs() < 1e-12);
+        assert!((inv * a - Mat3::identity()).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_singular_is_none() {
+        let a = Matrix::new([[1.0, 2.0], [2.0, 4.0]]);
+        assert!(a.inverse().is_none());
+    }
+
+    #[test]
+    fn inverse_needs_pivoting() {
+        // Zero on the leading diagonal forces a row swap.
+        let a = Matrix::new([[0.0, 1.0], [1.0, 0.0]]);
+        let inv = a.inverse().unwrap();
+        assert!((a * inv - Mat2::identity()).max_abs() < 1e-15);
+    }
+
+    #[test]
+    fn determinant_known_values() {
+        assert_eq!(Mat2::identity().determinant(), 1.0);
+        let a = Matrix::new([[2.0, 0.0], [0.0, 3.0]]);
+        assert!((a.determinant() - 6.0).abs() < 1e-12);
+        let b = Matrix::new([[0.0, 1.0], [1.0, 0.0]]);
+        assert!((b.determinant() + 1.0).abs() < 1e-12);
+        let s = Matrix::new([[1.0, 2.0], [2.0, 4.0]]);
+        assert_eq!(s.determinant(), 0.0);
+    }
+
+    #[test]
+    fn diagonal_helpers() {
+        let d = Mat3::from_diagonal(Vector::new([1.0, 2.0, 3.0]));
+        assert_eq!(d.trace(), 6.0);
+        assert_eq!(d.diagonal(), Vector::new([1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    fn symmetrize_and_asymmetry() {
+        let a = Matrix::new([[1.0, 2.0], [2.5, 1.0]]);
+        assert!((a.asymmetry() - 0.5).abs() < 1e-15);
+        let s = a.symmetrized();
+        assert_eq!(s.asymmetry(), 0.0);
+        assert_eq!(s[(0, 1)], 2.25);
+    }
+
+    #[test]
+    fn outer_product() {
+        let u = Vector::new([1.0, 2.0]);
+        let v = Vector::new([3.0, 4.0, 5.0]);
+        let m = Matrix::outer(u, v);
+        assert_eq!(m[(1, 2)], 10.0);
+        assert_eq!(m[(0, 0)], 3.0);
+    }
+
+    #[test]
+    fn rows_and_columns() {
+        let a = Matrix::new([[1.0, 2.0], [3.0, 4.0]]);
+        assert_eq!(a.row(1), Vector::new([3.0, 4.0]));
+        assert_eq!(a.column(0), Vector::new([1.0, 3.0]));
+        let mut b = a;
+        b.set_row(0, Vector::new([9.0, 9.0]));
+        assert_eq!(b[(0, 1)], 9.0);
+    }
+
+    #[test]
+    fn norms() {
+        let a = Matrix::new([[3.0, 0.0], [0.0, 4.0]]);
+        assert_eq!(a.norm(), 5.0);
+        assert_eq!(a.max_abs(), 4.0);
+        assert!(a.is_finite());
+        assert!(!a.map(|_| f64::NAN).is_finite());
+    }
+}

@@ -1,0 +1,111 @@
+//! Gaussian random sampling.
+//!
+//! The `rand` crate deliberately ships no normal distribution (that
+//! lives in `rand_distr`, which this workspace does not depend on), so
+//! the sensor error models use this Box-Muller based sampler instead.
+
+use rand::{Rng, RngExt as _};
+
+/// Draws standard-normal variates via the Box-Muller transform,
+/// caching the second variate of each pair.
+///
+/// # Examples
+///
+/// ```
+/// use mathx::GaussianSampler;
+/// use rand::SeedableRng;
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+/// let mut gauss = GaussianSampler::new();
+/// let x = gauss.sample(&mut rng); // ~ N(0, 1)
+/// assert!(x.is_finite());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct GaussianSampler {
+    cached: Option<f64>,
+}
+
+impl GaussianSampler {
+    /// Creates an empty sampler.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draws one standard-normal variate.
+    pub fn sample<R: Rng + ?Sized>(&mut self, rng: &mut R) -> f64 {
+        if let Some(z) = self.cached.take() {
+            return z;
+        }
+        // Box-Muller: u1 in (0, 1], u2 in [0, 1).
+        let u1: f64 = 1.0 - rng.random::<f64>();
+        let u2: f64 = rng.random();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f64::consts::PI * u2;
+        self.cached = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Draws one variate with the given mean and standard deviation.
+    pub fn sample_scaled<R: Rng + ?Sized>(&mut self, rng: &mut R, mean: f64, sigma: f64) -> f64 {
+        mean + sigma * self.sample(rng)
+    }
+}
+
+/// Convenience constructor for a deterministic RNG seeded from a `u64`.
+pub fn seeded_rng(seed: u64) -> rand::rngs::StdRng {
+    use rand::SeedableRng;
+    rand::rngs::StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::RunningStats;
+
+    #[test]
+    fn moments_match_standard_normal() {
+        let mut rng = seeded_rng(1);
+        let mut gauss = GaussianSampler::new();
+        let mut stats = RunningStats::new();
+        for _ in 0..200_000 {
+            stats.push(gauss.sample(&mut rng));
+        }
+        assert!(stats.mean().abs() < 0.01, "mean {}", stats.mean());
+        assert!((stats.std_dev() - 1.0).abs() < 0.01, "std {}", stats.std_dev());
+    }
+
+    #[test]
+    fn three_sigma_exceedance_rate() {
+        // P(|z| > 3) ~ 0.0027; check the tail is in the right ballpark.
+        let mut rng = seeded_rng(2);
+        let mut gauss = GaussianSampler::new();
+        let n = 300_000;
+        let exceed = (0..n)
+            .filter(|_| gauss.sample(&mut rng).abs() > 3.0)
+            .count();
+        let rate = exceed as f64 / n as f64;
+        assert!(rate > 0.001 && rate < 0.006, "rate {rate}");
+    }
+
+    #[test]
+    fn scaled_sampling() {
+        let mut rng = seeded_rng(3);
+        let mut gauss = GaussianSampler::new();
+        let mut stats = RunningStats::new();
+        for _ in 0..100_000 {
+            stats.push(gauss.sample_scaled(&mut rng, 5.0, 0.25));
+        }
+        assert!((stats.mean() - 5.0).abs() < 0.01);
+        assert!((stats.std_dev() - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = GaussianSampler::new();
+        let mut b = GaussianSampler::new();
+        let mut ra = seeded_rng(99);
+        let mut rb = seeded_rng(99);
+        for _ in 0..100 {
+            assert_eq!(a.sample(&mut ra), b.sample(&mut rb));
+        }
+    }
+}

@@ -1,0 +1,431 @@
+//! Running and windowed statistics used by the residual monitors and
+//! the experiment harnesses.
+
+use std::collections::VecDeque;
+
+/// Streaming mean/variance/extrema via Welford's algorithm.
+///
+/// # Examples
+///
+/// ```
+/// use mathx::RunningStats;
+/// let mut s = RunningStats::new();
+/// for x in [1.0, 2.0, 3.0] {
+///     s.push(x);
+/// }
+/// assert_eq!(s.mean(), 2.0);
+/// assert_eq!(s.variance(), 1.0); // sample variance
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct RunningStats {
+    count: u64,
+    mean: f64,
+    m2: f64,
+    min: f64,
+    max: f64,
+}
+
+impl RunningStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self {
+            count: 0,
+            mean: 0.0,
+            m2: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        let delta = x - self.mean;
+        self.mean += delta / self.count as f64;
+        self.m2 += delta * (x - self.mean);
+        self.min = self.min.min(x);
+        self.max = self.max.max(x);
+    }
+
+    /// Number of samples seen.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Unbiased sample variance (0 with fewer than two samples).
+    pub fn variance(&self) -> f64 {
+        if self.count < 2 {
+            0.0
+        } else {
+            self.m2 / (self.count - 1) as f64
+        }
+    }
+
+    /// Sample standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Root mean square of the samples.
+    pub fn rms(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            // m2 = sum (x - mean)^2; RMS^2 = mean^2 + m2/n (population).
+            (self.mean * self.mean + self.m2 / self.count as f64).sqrt()
+        }
+    }
+
+    /// Smallest sample (`+inf` when empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Largest sample (`-inf` when empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Merges another accumulator (parallel Welford combine).
+    pub fn merge(&mut self, other: &Self) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = *other;
+            return;
+        }
+        let n1 = self.count as f64;
+        let n2 = other.count as f64;
+        let delta = other.mean - self.mean;
+        let total = n1 + n2;
+        self.mean += delta * n2 / total;
+        self.m2 += other.m2 + delta * delta * n1 * n2 / total;
+        self.count += other.count;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Fixed-capacity sliding-window statistics: mean, variance and the
+/// fraction of samples whose magnitude exceeded a caller-supplied bound.
+///
+/// The residual monitor uses this to implement the paper's tuning rule
+/// ("residuals should only exceed the 3-sigma value about once every
+/// 100 samples").
+#[derive(Clone, Debug)]
+pub struct WindowStats {
+    window: VecDeque<f64>,
+    exceeded: VecDeque<bool>,
+    capacity: usize,
+    sum: f64,
+    sum_sq: f64,
+    exceed_count: usize,
+}
+
+impl WindowStats {
+    /// Creates a window of the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "window capacity must be positive");
+        Self {
+            window: VecDeque::with_capacity(capacity),
+            exceeded: VecDeque::with_capacity(capacity),
+            capacity,
+            sum: 0.0,
+            sum_sq: 0.0,
+            exceed_count: 0,
+        }
+    }
+
+    /// Adds a sample together with whether it exceeded its bound.
+    pub fn push(&mut self, x: f64, exceeded_bound: bool) {
+        if self.window.len() == self.capacity {
+            let old = self.window.pop_front().expect("non-empty");
+            self.sum -= old;
+            self.sum_sq -= old * old;
+            if self.exceeded.pop_front().expect("non-empty") {
+                self.exceed_count -= 1;
+            }
+        }
+        self.window.push_back(x);
+        self.exceeded.push_back(exceeded_bound);
+        self.sum += x;
+        self.sum_sq += x * x;
+        if exceeded_bound {
+            self.exceed_count += 1;
+        }
+    }
+
+    /// Number of samples currently in the window.
+    pub fn len(&self) -> usize {
+        self.window.len()
+    }
+
+    /// `true` if no samples have been pushed.
+    pub fn is_empty(&self) -> bool {
+        self.window.is_empty()
+    }
+
+    /// `true` once the window has reached capacity.
+    pub fn is_full(&self) -> bool {
+        self.window.len() == self.capacity
+    }
+
+    /// Mean over the window.
+    pub fn mean(&self) -> f64 {
+        if self.window.is_empty() {
+            0.0
+        } else {
+            self.sum / self.window.len() as f64
+        }
+    }
+
+    /// Population variance over the window, clamped at zero against
+    /// catastrophic cancellation.
+    pub fn variance(&self) -> f64 {
+        let n = self.window.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        (self.sum_sq / n as f64 - mean * mean).max(0.0)
+    }
+
+    /// Standard deviation over the window.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Fraction of windowed samples that exceeded their bound.
+    pub fn exceed_rate(&self) -> f64 {
+        if self.window.is_empty() {
+            0.0
+        } else {
+            self.exceed_count as f64 / self.window.len() as f64
+        }
+    }
+}
+
+/// A fixed-bin histogram over a closed range; out-of-range samples are
+/// counted in saturating edge bins.
+#[derive(Clone, Debug)]
+pub struct Histogram {
+    lo: f64,
+    hi: f64,
+    bins: Vec<u64>,
+    total: u64,
+}
+
+impl Histogram {
+    /// Creates a histogram of `bins` equal-width bins spanning `[lo, hi)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bins == 0` or `hi <= lo`.
+    pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
+        assert!(bins > 0, "need at least one bin");
+        assert!(hi > lo, "range must be non-empty");
+        Self {
+            lo,
+            hi,
+            bins: vec![0; bins],
+            total: 0,
+        }
+    }
+
+    /// Adds a sample.
+    pub fn push(&mut self, x: f64) {
+        let n = self.bins.len();
+        let t = (x - self.lo) / (self.hi - self.lo);
+        let idx = if t < 0.0 {
+            0
+        } else if t >= 1.0 {
+            n - 1
+        } else {
+            ((t * n as f64) as usize).min(n - 1)
+        };
+        self.bins[idx] += 1;
+        self.total += 1;
+    }
+
+    /// Raw bin counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Total samples.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Approximate p-quantile (`0.0..=1.0`) from the bin midpoints.
+    pub fn quantile(&self, p: f64) -> f64 {
+        if self.total == 0 {
+            return f64::NAN;
+        }
+        let target = (p.clamp(0.0, 1.0) * self.total as f64).ceil() as u64;
+        let mut acc = 0;
+        let width = (self.hi - self.lo) / self.bins.len() as f64;
+        for (i, &c) in self.bins.iter().enumerate() {
+            acc += c;
+            if acc >= target.max(1) {
+                return self.lo + (i as f64 + 0.5) * width;
+            }
+        }
+        self.hi
+    }
+}
+
+/// Exact percentile of a slice (linear interpolation between order
+/// statistics). Returns `NaN` on an empty slice.
+pub fn percentile(samples: &[f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return f64::NAN;
+    }
+    let mut sorted: Vec<f64> = samples.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaNs"));
+    let rank = p.clamp(0.0, 1.0) * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        let frac = rank - lo as f64;
+        sorted[lo] * (1.0 - frac) + sorted[hi] * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn running_stats_basics() {
+        let mut s = RunningStats::new();
+        for x in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0] {
+            s.push(x);
+        }
+        assert_eq!(s.count(), 8);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        assert!((s.variance() - 32.0 / 7.0).abs() < 1e-12);
+        assert_eq!(s.min(), 2.0);
+        assert_eq!(s.max(), 9.0);
+    }
+
+    #[test]
+    fn running_stats_rms() {
+        let mut s = RunningStats::new();
+        for x in [3.0, -3.0, 3.0, -3.0] {
+            s.push(x);
+        }
+        assert!((s.rms() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let data: Vec<f64> = (0..100).map(|i| (i as f64).sin() * 3.0 + 1.0).collect();
+        let mut whole = RunningStats::new();
+        for &x in &data {
+            whole.push(x);
+        }
+        let mut a = RunningStats::new();
+        let mut b = RunningStats::new();
+        for &x in &data[..37] {
+            a.push(x);
+        }
+        for &x in &data[37..] {
+            b.push(x);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-12);
+        assert!((a.variance() - whole.variance()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_with_empty() {
+        let mut a = RunningStats::new();
+        a.push(1.0);
+        let empty = RunningStats::new();
+        a.merge(&empty);
+        assert_eq!(a.count(), 1);
+        let mut e = RunningStats::new();
+        e.merge(&a);
+        assert_eq!(e.count(), 1);
+        assert_eq!(e.mean(), 1.0);
+    }
+
+    #[test]
+    fn window_eviction() {
+        let mut w = WindowStats::new(3);
+        w.push(1.0, false);
+        w.push(2.0, true);
+        w.push(3.0, false);
+        assert!(w.is_full());
+        assert!((w.mean() - 2.0).abs() < 1e-12);
+        assert!((w.exceed_rate() - 1.0 / 3.0).abs() < 1e-12);
+        w.push(4.0, false); // evicts 1.0
+        assert!((w.mean() - 3.0).abs() < 1e-12);
+        w.push(5.0, false); // evicts 2.0 (the exceeded one)
+        assert_eq!(w.exceed_rate(), 0.0);
+    }
+
+    #[test]
+    fn window_variance() {
+        let mut w = WindowStats::new(100);
+        for i in 0..100 {
+            w.push(if i % 2 == 0 { 1.0 } else { -1.0 }, false);
+        }
+        assert!(w.mean().abs() < 1e-12);
+        assert!((w.variance() - 1.0).abs() < 1e-12);
+        assert!((w.std_dev() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn window_zero_capacity_panics() {
+        let _ = WindowStats::new(0);
+    }
+
+    #[test]
+    fn histogram_binning() {
+        let mut h = Histogram::new(0.0, 10.0, 10);
+        for i in 0..10 {
+            h.push(i as f64 + 0.5);
+        }
+        assert!(h.counts().iter().all(|&c| c == 1));
+        h.push(-5.0); // below range -> first bin
+        h.push(25.0); // above range -> last bin
+        assert_eq!(h.counts()[0], 2);
+        assert_eq!(h.counts()[9], 2);
+        assert_eq!(h.total(), 12);
+    }
+
+    #[test]
+    fn histogram_quantile() {
+        let mut h = Histogram::new(0.0, 100.0, 100);
+        for i in 0..100 {
+            h.push(i as f64);
+        }
+        let med = h.quantile(0.5);
+        assert!((med - 50.0).abs() < 2.0, "median {med}");
+    }
+
+    #[test]
+    fn exact_percentile() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(percentile(&xs, 0.0), 1.0);
+        assert_eq!(percentile(&xs, 1.0), 4.0);
+        assert!((percentile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert!(percentile(&[], 0.5).is_nan());
+    }
+}

@@ -1,0 +1,170 @@
+//! Property tests for the linear-algebra and rotation substrate.
+
+use mathx::{Cholesky, Dcm, EulerAngles, Mat3, Matrix, Quaternion, Vec3, Vector};
+use proptest::prelude::*;
+
+fn finite_angle() -> impl Strategy<Value = f64> {
+    // Away from gimbal lock for roundtrip tests.
+    -1.4f64..1.4
+}
+
+fn yaw_angle() -> impl Strategy<Value = f64> {
+    -3.1f64..3.1
+}
+
+fn small() -> impl Strategy<Value = f64> {
+    -10.0f64..10.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn euler_dcm_euler_roundtrip(r in finite_angle(), p in finite_angle(), y in yaw_angle()) {
+        let e = EulerAngles::new(r, p, y);
+        let back = e.dcm().euler();
+        prop_assert!((back.roll - r).abs() < 1e-9);
+        prop_assert!((back.pitch - p).abs() < 1e-9);
+        prop_assert!((back.yaw - y).abs() < 1e-9);
+    }
+
+    #[test]
+    fn dcm_is_orthonormal(r in finite_angle(), p in finite_angle(), y in yaw_angle()) {
+        let c = EulerAngles::new(r, p, y).dcm();
+        prop_assert!(c.orthonormality_error() < 1e-12);
+        prop_assert!((c.matrix().determinant() - 1.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn rotation_preserves_norm(
+        r in finite_angle(), p in finite_angle(), y in yaw_angle(),
+        vx in small(), vy in small(), vz in small()
+    ) {
+        let c = EulerAngles::new(r, p, y).dcm();
+        let v = Vec3::new([vx, vy, vz]);
+        prop_assert!((c.rotate(v).norm() - v.norm()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quaternion_and_dcm_agree(r in finite_angle(), p in finite_angle(), y in yaw_angle()) {
+        let e = EulerAngles::new(r, p, y);
+        let d = (*e.dcm().matrix() - *e.quaternion().dcm().matrix()).max_abs();
+        prop_assert!(d < 1e-12);
+    }
+
+    #[test]
+    fn quaternion_mul_matches_dcm_mul(
+        r1 in finite_angle(), p1 in finite_angle(), y1 in yaw_angle(),
+        r2 in finite_angle(), p2 in finite_angle(), y2 in yaw_angle()
+    ) {
+        let (a, b) = (EulerAngles::new(r1, p1, y1), EulerAngles::new(r2, p2, y2));
+        let qc = a.quaternion().mul(&b.quaternion()).dcm();
+        let dc = a.dcm() * b.dcm();
+        prop_assert!((*qc.matrix() - *dc.matrix()).max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn quaternion_conjugate_inverts(r in finite_angle(), p in finite_angle(), y in yaw_angle()) {
+        let q = EulerAngles::new(r, p, y).quaternion();
+        let ident = q.mul(&q.conjugate());
+        prop_assert!((ident.w.abs() - 1.0).abs() < 1e-12);
+        prop_assert!(ident.x.abs() < 1e-12 && ident.y.abs() < 1e-12 && ident.z.abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_product_is_antisymmetric_and_orthogonal(
+        ax in small(), ay in small(), az in small(),
+        bx in small(), by in small(), bz in small()
+    ) {
+        let a = Vec3::new([ax, ay, az]);
+        let b = Vec3::new([bx, by, bz]);
+        let c = a.cross(&b);
+        prop_assert!((c + b.cross(&a)).max_abs() < 1e-9);
+        prop_assert!(c.dot(&a).abs() < 1e-6 * (1.0 + a.norm() * a.norm() * b.norm()));
+        // Lagrange identity: |a x b|^2 = |a|^2|b|^2 - (a.b)^2.
+        let lhs = c.norm_squared();
+        let rhs = a.norm_squared() * b.norm_squared() - a.dot(&b).powi(2);
+        prop_assert!((lhs - rhs).abs() < 1e-6 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn skew_matrix_matches_cross(
+        ax in small(), ay in small(), az in small(),
+        bx in small(), by in small(), bz in small()
+    ) {
+        let a = Vec3::new([ax, ay, az]);
+        let b = Vec3::new([bx, by, bz]);
+        prop_assert!((Dcm::skew(a) * b - a.cross(&b)).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn cholesky_solves_spd_systems(entries in prop::array::uniform16(-2.0f64..2.0), d in 1.0f64..5.0) {
+        // Build SPD: A = B B^T + d I from a random 4x4 B.
+        let mut b = Matrix::<4, 4>::zeros();
+        for r in 0..4 {
+            for c in 0..4 {
+                b[(r, c)] = entries[r * 4 + c];
+            }
+        }
+        let a = b * b.transpose() + Matrix::identity() * d;
+        let chol = Cholesky::new(&a).expect("SPD by construction");
+        let rhs = Vector::new([1.0, -2.0, 0.5, 3.0]);
+        let x = chol.solve(&rhs);
+        prop_assert!((a * x - rhs).max_abs() < 1e-8);
+        // Determinant equals the LU determinant.
+        prop_assert!((chol.determinant() - a.determinant()).abs() < 1e-6 * (1.0 + a.determinant().abs()));
+    }
+
+    #[test]
+    fn matrix_inverse_roundtrip(entries in prop::array::uniform9(-3.0f64..3.0), d in 1.5f64..4.0) {
+        let mut m = Mat3::zeros();
+        for r in 0..3 {
+            for c in 0..3 {
+                m[(r, c)] = entries[r * 3 + c];
+            }
+        }
+        // Diagonal dominance guarantees invertibility.
+        for i in 0..3 {
+            m[(i, i)] += 3.0 * 3.0 + d;
+        }
+        let inv = m.inverse().expect("diagonally dominant");
+        prop_assert!((m * inv - Mat3::identity()).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn orthonormalize_is_idempotent_fixup(
+        r in finite_angle(), p in finite_angle(), y in yaw_angle(), scale in 0.9f64..1.1
+    ) {
+        let c = EulerAngles::new(r, p, y).dcm();
+        let drifted = Dcm::from_matrix_unchecked(*c.matrix() * scale);
+        let fixed = drifted.orthonormalized();
+        prop_assert!(fixed.orthonormality_error() < 1e-10);
+    }
+
+    #[test]
+    fn wrap_pi_is_idempotent_and_bounded(a in -100.0f64..100.0) {
+        let w = mathx::wrap_pi(a);
+        prop_assert!(w > -std::f64::consts::PI - 1e-12 && w <= std::f64::consts::PI + 1e-12);
+        prop_assert!((mathx::wrap_pi(w) - w).abs() < 1e-12);
+        // Same point on the circle.
+        prop_assert!(((a - w) / (2.0 * std::f64::consts::PI)).round() * 2.0 * std::f64::consts::PI - (a - w) < 1e-6);
+    }
+
+    #[test]
+    fn quaternion_integration_matches_composition(
+        wx in -1.0f64..1.0, wy in -1.0f64..1.0, wz in -1.0f64..1.0
+    ) {
+        // Integrating a constant rate for time T equals a single
+        // axis-angle rotation of |w| T.
+        let w = Vec3::new([wx, wy, wz]);
+        let mut q = Quaternion::identity();
+        let steps = 100;
+        let dt = 0.01;
+        for _ in 0..steps {
+            q = q.integrate(w, dt);
+        }
+        let direct = Quaternion::from_axis_angle(w, w.norm() * dt * steps as f64);
+        let d = (*q.dcm().matrix() - *direct.dcm().matrix()).max_abs();
+        prop_assert!(d < 1e-9, "diff {d}");
+    }
+}

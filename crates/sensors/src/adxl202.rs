@@ -1,0 +1,255 @@
+//! Analog Devices ADXL202 dual-axis accelerometer model.
+//!
+//! The ADXL202 is a +/-2 g two-axis capacitive MEMS accelerometer whose
+//! native output is a duty-cycle-modulated square wave per axis: the
+//! duty cycle is 50 % at 0 g and changes by 12.5 % per g. The
+//! `-232A` evaluation board (used in the paper) times those duty cycles
+//! with a microcontroller and streams the counts over RS-232.
+//!
+//! This module models the two sensing channels (via
+//! [`CapacitiveAccel`]) and the duty-cycle encoding; the eval-board
+//! serial framing lives in the `comms` crate.
+
+use crate::accel::{AccelConfig, CapacitiveAccel};
+use mathx::{Vec2, STANDARD_GRAVITY};
+use rand::Rng;
+
+/// Duty cycle at zero acceleration (datasheet: 50 %).
+pub const ZERO_G_DUTY: f64 = 0.50;
+/// Duty-cycle change per g of acceleration (datasheet: 12.5 %/g).
+pub const DUTY_PER_G: f64 = 0.125;
+
+/// ADXL202 configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct Adxl202Config {
+    /// Per-channel sensing configuration.
+    pub channel: AccelConfig,
+    /// PWM period T2 in microseconds (set by R_SET; datasheet 0.5-10 ms).
+    pub t2_period_us: f64,
+    /// Timer resolution of the duty-cycle counter, microseconds.
+    pub timer_resolution_us: f64,
+    /// Output sample rate, Hz.
+    pub sample_rate_hz: f64,
+}
+
+impl Adxl202Config {
+    /// Error-free configuration for unit tests.
+    pub fn ideal() -> Self {
+        Self {
+            channel: AccelConfig {
+                error: crate::ErrorModelConfig::ideal(),
+                ..AccelConfig::adxl202_grade()
+            },
+            t2_period_us: 1000.0,
+            timer_resolution_us: 0.0, // infinite resolution
+            sample_rate_hz: 200.0,
+        }
+    }
+}
+
+impl Default for Adxl202Config {
+    fn default() -> Self {
+        Self {
+            channel: AccelConfig::adxl202_grade(),
+            t2_period_us: 1000.0,
+            timer_resolution_us: 0.5, // 2 MHz timer
+            sample_rate_hz: 200.0,
+        }
+    }
+}
+
+/// One duty-cycle measurement: the T1 (high) times of both axes plus
+/// the shared T2 period, as the eval board's timer sees them.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct DutyCycleSample {
+    /// Sample sequence number.
+    pub seq: u16,
+    /// Sample time, seconds since power-on.
+    pub time_s: f64,
+    /// X-axis high time, microseconds.
+    pub t1_x_us: f64,
+    /// Y-axis high time, microseconds.
+    pub t1_y_us: f64,
+    /// PWM period, microseconds.
+    pub t2_us: f64,
+}
+
+impl DutyCycleSample {
+    /// Decodes the duty cycles back to acceleration in m/s^2.
+    pub fn decode(&self) -> Vec2 {
+        let ax = (self.t1_x_us / self.t2_us - ZERO_G_DUTY) / DUTY_PER_G * STANDARD_GRAVITY;
+        let ay = (self.t1_y_us / self.t2_us - ZERO_G_DUTY) / DUTY_PER_G * STANDARD_GRAVITY;
+        Vec2::new([ax, ay])
+    }
+}
+
+/// The two-axis ADXL202 with duty-cycle output.
+///
+/// # Examples
+///
+/// ```
+/// use mathx::{rng::seeded_rng, Vec2};
+/// use sensors::{Adxl202, Adxl202Config};
+///
+/// let mut acc = Adxl202::new(Adxl202Config::ideal());
+/// let mut rng = seeded_rng(1);
+/// let mut s = acc.sample(Vec2::new([0.0, 0.0]), &mut rng);
+/// for _ in 0..200 {
+///     s = acc.sample(Vec2::new([0.0, 0.0]), &mut rng);
+/// }
+/// assert!((s.t1_x_us / s.t2_us - 0.5).abs() < 1e-9); // 50% duty at 0 g
+/// ```
+#[derive(Clone, Debug)]
+pub struct Adxl202 {
+    config: Adxl202Config,
+    x: CapacitiveAccel,
+    y: CapacitiveAccel,
+    seq: u16,
+    time_s: f64,
+}
+
+impl Adxl202 {
+    /// Creates an ADXL202 from its configuration.
+    pub fn new(config: Adxl202Config) -> Self {
+        let mut ch = config.channel;
+        ch.sample_rate_hz = config.sample_rate_hz;
+        Self {
+            config,
+            x: CapacitiveAccel::new(ch),
+            y: CapacitiveAccel::new(ch),
+            seq: 0,
+            time_s: 0.0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &Adxl202Config {
+        &self.config
+    }
+
+    /// Sample interval, seconds.
+    pub fn dt(&self) -> f64 {
+        1.0 / self.config.sample_rate_hz
+    }
+
+    /// Produces one duty-cycle sample from the true specific force
+    /// along the device x and y axes (m/s^2).
+    pub fn sample<R: Rng + ?Sized>(&mut self, specific_force_xy: Vec2, rng: &mut R) -> DutyCycleSample {
+        let ax = self.x.sample(specific_force_xy[0], rng);
+        let ay = self.y.sample(specific_force_xy[1], rng);
+        let duty_x = ZERO_G_DUTY + DUTY_PER_G * ax / STANDARD_GRAVITY;
+        let duty_y = ZERO_G_DUTY + DUTY_PER_G * ay / STANDARD_GRAVITY;
+        let quant = |t_us: f64| {
+            if self.config.timer_resolution_us > 0.0 {
+                (t_us / self.config.timer_resolution_us).round() * self.config.timer_resolution_us
+            } else {
+                t_us
+            }
+        };
+        let sample = DutyCycleSample {
+            seq: self.seq,
+            time_s: self.time_s,
+            t1_x_us: quant(duty_x.clamp(0.0, 1.0) * self.config.t2_period_us),
+            t1_y_us: quant(duty_y.clamp(0.0, 1.0) * self.config.t2_period_us),
+            t2_us: self.config.t2_period_us,
+        };
+        self.seq = self.seq.wrapping_add(1);
+        self.time_s += self.dt();
+        sample
+    }
+
+    /// Resets channels and counters.
+    pub fn reset(&mut self) {
+        self.x.reset();
+        self.y.reset();
+        self.seq = 0;
+        self.time_s = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathx::rng::seeded_rng;
+
+    fn settled_sample(acc: &mut Adxl202, f: Vec2, rng: &mut impl rand::Rng) -> DutyCycleSample {
+        let mut s = acc.sample(f, rng);
+        for _ in 0..500 {
+            s = acc.sample(f, rng);
+        }
+        s
+    }
+
+    #[test]
+    fn one_g_gives_62_5_percent_duty() {
+        let mut acc = Adxl202::new(Adxl202Config::ideal());
+        let mut rng = seeded_rng(1);
+        let s = settled_sample(&mut acc, Vec2::new([STANDARD_GRAVITY, 0.0]), &mut rng);
+        assert!((s.t1_x_us / s.t2_us - 0.625).abs() < 1e-9);
+        assert!((s.t1_y_us / s.t2_us - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn decode_roundtrip() {
+        let mut acc = Adxl202::new(Adxl202Config::ideal());
+        let mut rng = seeded_rng(2);
+        let truth = Vec2::new([2.5, -4.0]);
+        let s = settled_sample(&mut acc, truth, &mut rng);
+        let decoded = s.decode();
+        assert!((decoded - truth).max_abs() < 1e-6, "{decoded:?}");
+    }
+
+    #[test]
+    fn timer_quantization_limits_resolution() {
+        let mut cfg = Adxl202Config::ideal();
+        cfg.timer_resolution_us = 1.0;
+        let mut acc = Adxl202::new(cfg);
+        let mut rng = seeded_rng(3);
+        let s = settled_sample(&mut acc, Vec2::new([0.123, 0.0]), &mut rng);
+        assert_eq!(s.t1_x_us.fract(), 0.0);
+        // 1 us over 1000 us period = 0.1% duty = 8 mg resolution: the
+        // decode error must be below one step.
+        let err = (s.decode()[0] - 0.123).abs();
+        assert!(err < 0.001 / DUTY_PER_G * STANDARD_GRAVITY, "err {err}");
+    }
+
+    #[test]
+    fn duty_clamps_at_extremes() {
+        let mut cfg = Adxl202Config::ideal();
+        cfg.channel.error.range = 2.0 * STANDARD_GRAVITY;
+        let mut acc = Adxl202::new(cfg);
+        let mut rng = seeded_rng(4);
+        // 2 g range: channel saturates before the duty clamp matters,
+        // duty = 50% + 12.5%*2 = 75% max.
+        let s = settled_sample(&mut acc, Vec2::new([10.0 * STANDARD_GRAVITY, 0.0]), &mut rng);
+        let duty = s.t1_x_us / s.t2_us;
+        assert!((duty - 0.75).abs() < 1e-9, "duty {duty}");
+    }
+
+    #[test]
+    fn sequence_wraps() {
+        let mut acc = Adxl202::new(Adxl202Config::ideal());
+        let mut rng = seeded_rng(5);
+        acc.sample(Vec2::new([0.0, 0.0]), &mut rng);
+        assert_eq!(acc.sample(Vec2::new([0.0, 0.0]), &mut rng).seq, 1);
+        acc.reset();
+        assert_eq!(acc.sample(Vec2::new([0.0, 0.0]), &mut rng).seq, 0);
+    }
+
+    #[test]
+    fn noisy_decode_stays_near_truth() {
+        let mut acc = Adxl202::new(Adxl202Config::default());
+        let mut rng = seeded_rng(6);
+        let truth = Vec2::new([1.0, -1.0]);
+        let mut worst = 0.0_f64;
+        // settle the mechanical filter first
+        for _ in 0..200 {
+            acc.sample(truth, &mut rng);
+        }
+        for _ in 0..500 {
+            let s = acc.sample(truth, &mut rng);
+            worst = worst.max((s.decode() - truth).max_abs());
+        }
+        assert!(worst < 0.3, "worst {worst}");
+    }
+}

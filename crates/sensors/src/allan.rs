@@ -1,0 +1,181 @@
+//! Allan variance — the standard instrument-noise characterization.
+//!
+//! The boresight accuracy floor is set by the inertial instruments'
+//! noise ("the overall accuracy is dependent on the accuracy of the
+//! inertial instruments ... noise present at the sensors"). The Allan
+//! deviation curve separates the error-model terms this crate
+//! simulates: white noise shows as a `tau^-1/2` slope, bias random
+//! walk as `tau^+1/2`, and the bias-instability floor sits between
+//! them — so these routines double as a verification that the sensor
+//! models produce the statistics their configuration claims.
+
+/// One point of an Allan-deviation curve.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AllanPoint {
+    /// Averaging time, seconds.
+    pub tau_s: f64,
+    /// Allan deviation at this tau (same unit as the input samples).
+    pub adev: f64,
+    /// Number of cluster pairs averaged.
+    pub pairs: usize,
+}
+
+/// Computes the overlapping Allan deviation of a uniformly sampled
+/// signal for a logarithmic ladder of averaging times.
+///
+/// Returns an empty vector if fewer than 9 samples are supplied.
+///
+/// # Panics
+///
+/// Panics if `sample_rate_hz` is not positive.
+///
+/// # Examples
+///
+/// ```
+/// use sensors::allan::allan_deviation;
+/// // White noise: adev falls like tau^-1/2.
+/// let noise: Vec<f64> = (0..8192).map(|i| ((i * 2654435761u64 as usize) % 1000) as f64 / 1000.0 - 0.5).collect();
+/// let curve = allan_deviation(&noise, 100.0);
+/// assert!(curve.first().unwrap().adev > curve.last().unwrap().adev);
+/// ```
+pub fn allan_deviation(samples: &[f64], sample_rate_hz: f64) -> Vec<AllanPoint> {
+    assert!(sample_rate_hz > 0.0, "sample rate must be positive");
+    let n = samples.len();
+    if n < 9 {
+        return Vec::new();
+    }
+    let dt = 1.0 / sample_rate_hz;
+    let mut out = Vec::new();
+    // Logarithmic ladder of cluster sizes m: 1, 2, 4, ... up to n/4.
+    let mut m = 1usize;
+    while m <= n / 4 {
+        // Cluster averages (overlapping).
+        let clusters: Vec<f64> = (0..=(n - m))
+            .map(|i| samples[i..i + m].iter().sum::<f64>() / m as f64)
+            .collect();
+        // Overlapping Allan variance: mean of squared differences of
+        // cluster averages separated by m.
+        let pairs = clusters.len().saturating_sub(m);
+        if pairs == 0 {
+            break;
+        }
+        let mut acc = 0.0;
+        for i in 0..pairs {
+            let d = clusters[i + m] - clusters[i];
+            acc += d * d;
+        }
+        let avar = acc / (2.0 * pairs as f64);
+        out.push(AllanPoint {
+            tau_s: m as f64 * dt,
+            adev: avar.sqrt(),
+            pairs,
+        });
+        m *= 2;
+    }
+    out
+}
+
+/// Estimates the white-noise density (unit/sqrt(Hz)) from the
+/// short-tau end of an Allan curve: for white noise
+/// `adev(tau) = density / sqrt(tau)`, so the density is read off the
+/// first ladder point.
+pub fn white_noise_density(curve: &[AllanPoint]) -> Option<f64> {
+    curve.first().map(|p| p.adev * p.tau_s.sqrt())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{GyroConfig, RingGyro};
+    use mathx::rng::seeded_rng;
+    use mathx::GaussianSampler;
+
+    #[test]
+    fn white_noise_has_minus_half_slope() {
+        let mut rng = seeded_rng(1);
+        let mut gauss = GaussianSampler::new();
+        let sigma = 0.05;
+        let rate = 100.0;
+        let samples: Vec<f64> = (0..65536)
+            .map(|_| gauss.sample_scaled(&mut rng, 0.0, sigma))
+            .collect();
+        let curve = allan_deviation(&samples, rate);
+        // Check slope between tau and 16 tau: adev ratio should be ~4.
+        let a0 = curve[0].adev;
+        let a4 = curve[4].adev;
+        let ratio = a0 / a4;
+        assert!((ratio - 4.0).abs() < 0.6, "ratio {ratio}");
+        // Density estimate: sigma / sqrt(rate).
+        let density = white_noise_density(&curve).unwrap();
+        let expected = sigma / rate.sqrt();
+        assert!(
+            (density - expected).abs() < 0.15 * expected,
+            "{density} vs {expected}"
+        );
+    }
+
+    #[test]
+    fn random_walk_has_plus_half_slope() {
+        let mut rng = seeded_rng(2);
+        let mut gauss = GaussianSampler::new();
+        let mut walk = 0.0;
+        let samples: Vec<f64> = (0..65536)
+            .map(|_| {
+                walk += gauss.sample_scaled(&mut rng, 0.0, 0.01);
+                walk
+            })
+            .collect();
+        let curve = allan_deviation(&samples, 100.0);
+        // Rising curve: long-tau adev exceeds short-tau adev.
+        assert!(curve.last().unwrap().adev > curve.first().unwrap().adev * 4.0);
+    }
+
+    #[test]
+    fn gyro_model_matches_configured_noise() {
+        // Characterize the ring gyro exactly like a lab would and
+        // compare against its configuration.
+        let mut cfg = GyroConfig::silicon_ring_default();
+        cfg.error.quantization = 0.0;
+        cfg.error.bias_walk_std = 0.0;
+        let mut gyro = RingGyro::new(cfg);
+        let mut rng = seeded_rng(3);
+        let samples: Vec<f64> = (0..32768).map(|_| gyro.sample(0.0, &mut rng)).collect();
+        let curve = allan_deviation(&samples, cfg.sample_rate_hz);
+        let density = white_noise_density(&curve).unwrap();
+        let expected = cfg.error.noise_std / cfg.sample_rate_hz.sqrt();
+        assert!(
+            (density - expected).abs() < 0.2 * expected,
+            "measured {density}, configured {expected}"
+        );
+    }
+
+    #[test]
+    fn bias_instability_raises_the_floor() {
+        // With bias random walk enabled the long-tau deviation stops
+        // falling; without it, it keeps dropping.
+        let rate = 100.0;
+        let run = |walk_std: f64, seed: u64| {
+            let mut rng = seeded_rng(seed);
+            let mut gauss = GaussianSampler::new();
+            let mut walk = 0.0;
+            let samples: Vec<f64> = (0..32768)
+                .map(|_| {
+                    walk += gauss.sample_scaled(&mut rng, 0.0, walk_std);
+                    walk + gauss.sample_scaled(&mut rng, 0.0, 0.05)
+                })
+                .collect();
+            allan_deviation(&samples, rate)
+        };
+        let clean = run(0.0, 4);
+        let walky = run(0.002, 4);
+        let last_clean = clean.last().unwrap().adev;
+        let last_walky = walky.last().unwrap().adev;
+        assert!(last_walky > 3.0 * last_clean, "{last_walky} vs {last_clean}");
+    }
+
+    #[test]
+    fn short_input_yields_empty_curve() {
+        assert!(allan_deviation(&[1.0; 8], 100.0).is_empty());
+        assert!(!allan_deviation(&[1.0; 64], 100.0).is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! Static calibration.
+//!
+//! The paper calibrates the instruments on a level test platform before
+//! each run ("the instruments were calibrated using a level test
+//! platform"). This module implements that step: during a stationary
+//! window the gyro outputs should be zero and the accelerometer outputs
+//! should equal the known gravity reaction, so their averages estimate
+//! the channel biases.
+
+use mathx::{RunningStats, Vec3, STANDARD_GRAVITY};
+
+/// Result of a static calibration window.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CalibrationReport {
+    /// Estimated gyro biases, rad/s.
+    pub gyro_bias: Vec3,
+    /// Estimated accelerometer biases, m/s^2.
+    pub accel_bias: Vec3,
+    /// Per-axis gyro noise standard deviation observed, rad/s.
+    pub gyro_noise_std: Vec3,
+    /// Per-axis accel noise standard deviation observed, m/s^2.
+    pub accel_noise_std: Vec3,
+    /// Number of samples in the window.
+    pub samples: u64,
+}
+
+impl CalibrationReport {
+    /// `true` if the window contained enough samples to be meaningful.
+    pub fn is_converged(&self, min_samples: u64) -> bool {
+        self.samples >= min_samples
+    }
+}
+
+/// Accumulates stationary samples and produces a [`CalibrationReport`].
+///
+/// The caller asserts that the platform is level and motionless; the
+/// calibrator subtracts the known gravity reaction (`+g` on the body z
+/// axis for a level platform with z up) from the accelerometer channel.
+///
+/// # Examples
+///
+/// ```
+/// use mathx::Vec3;
+/// use sensors::StaticCalibrator;
+///
+/// let mut cal = StaticCalibrator::new();
+/// for _ in 0..100 {
+///     cal.push(Vec3::new([0.001, 0.0, 0.0]), Vec3::new([0.0, 0.0, 9.80665]));
+/// }
+/// let report = cal.report();
+/// assert!((report.gyro_bias[0] - 0.001).abs() < 1e-12);
+/// assert!(report.accel_bias.max_abs() < 1e-9);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct StaticCalibrator {
+    gyro: [RunningStats; 3],
+    accel: [RunningStats; 3],
+}
+
+impl StaticCalibrator {
+    /// Creates an empty calibrator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one stationary sample (gyro rad/s, accel m/s^2).
+    pub fn push(&mut self, gyro: Vec3, accel: Vec3) {
+        let expected = Vec3::new([0.0, 0.0, STANDARD_GRAVITY]);
+        for i in 0..3 {
+            self.gyro[i].push(gyro[i]);
+            self.accel[i].push(accel[i] - expected[i]);
+        }
+    }
+
+    /// Number of samples accumulated.
+    pub fn len(&self) -> u64 {
+        self.gyro[0].count()
+    }
+
+    /// `true` if no samples have been accumulated.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Produces the calibration report for the accumulated window.
+    pub fn report(&self) -> CalibrationReport {
+        CalibrationReport {
+            gyro_bias: Vec3::new([
+                self.gyro[0].mean(),
+                self.gyro[1].mean(),
+                self.gyro[2].mean(),
+            ]),
+            accel_bias: Vec3::new([
+                self.accel[0].mean(),
+                self.accel[1].mean(),
+                self.accel[2].mean(),
+            ]),
+            gyro_noise_std: Vec3::new([
+                self.gyro[0].std_dev(),
+                self.gyro[1].std_dev(),
+                self.gyro[2].std_dev(),
+            ]),
+            accel_noise_std: Vec3::new([
+                self.accel[0].std_dev(),
+                self.accel[1].std_dev(),
+                self.accel[2].std_dev(),
+            ]),
+            samples: self.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Dmu, DmuConfig};
+    use mathx::rng::seeded_rng;
+
+    #[test]
+    fn recovers_injected_bias() {
+        let mut cfg = DmuConfig::ideal();
+        cfg.gyro.error.bias = 0.002;
+        cfg.accel.error.bias = 0.05;
+        let mut dmu = Dmu::new(cfg);
+        let mut rng = seeded_rng(1);
+        let f = Vec3::new([0.0, 0.0, STANDARD_GRAVITY]);
+        let mut cal = StaticCalibrator::new();
+        // Skip the settle transient of the mechanical models.
+        for _ in 0..200 {
+            dmu.sample(f, Vec3::zeros(), &mut rng);
+        }
+        for _ in 0..1000 {
+            let s = dmu.sample(f, Vec3::zeros(), &mut rng);
+            cal.push(s.gyro, s.accel);
+        }
+        let report = cal.report();
+        assert!((report.gyro_bias[0] - 0.002).abs() < 1e-4, "{report:?}");
+        assert!((report.accel_bias[2] - 0.05).abs() < 5e-3, "{report:?}");
+        assert!(report.is_converged(500));
+    }
+
+    #[test]
+    fn noise_estimate_matches_model() {
+        let mut cfg = DmuConfig::ideal();
+        cfg.accel.error.noise_std = 0.02;
+        let mut dmu = Dmu::new(cfg);
+        let mut rng = seeded_rng(2);
+        let f = Vec3::new([0.0, 0.0, STANDARD_GRAVITY]);
+        let mut cal = StaticCalibrator::new();
+        for _ in 0..200 {
+            dmu.sample(f, Vec3::zeros(), &mut rng);
+        }
+        for _ in 0..5000 {
+            let s = dmu.sample(f, Vec3::zeros(), &mut rng);
+            cal.push(s.gyro, s.accel);
+        }
+        let report = cal.report();
+        assert!(
+            (report.accel_noise_std[0] - 0.02).abs() < 2e-3,
+            "{:?}",
+            report.accel_noise_std
+        );
+    }
+
+    #[test]
+    fn empty_calibrator() {
+        let cal = StaticCalibrator::new();
+        assert!(cal.is_empty());
+        let report = cal.report();
+        assert_eq!(report.samples, 0);
+        assert!(!report.is_converged(1));
+    }
+}

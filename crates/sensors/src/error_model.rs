@@ -1,0 +1,285 @@
+//! Parametric instrument error model shared by all sensor channels.
+//!
+//! The chain applied to a true physical input `x` each sample is:
+//!
+//! ```text
+//! y = sat( quant( (1 + sf) * x + b0 + b_rw(t) + sigma_w * n ) )
+//! ```
+//!
+//! where `b0` is a fixed turn-on bias, `b_rw` a bias random walk
+//! (instability), `sigma_w` the white noise standard deviation per
+//! sample, `quant` rounds to the least-significant-bit resolution and
+//! `sat` clips to the full-scale range.
+
+use mathx::GaussianSampler;
+use rand::Rng;
+
+/// Configuration of a single-channel error model.
+///
+/// All quantities are in the channel's engineering unit (m/s^2 for
+/// accelerometers, rad/s for gyroscopes).
+#[derive(Clone, Copy, Debug)]
+pub struct ErrorModelConfig {
+    /// Fixed turn-on bias.
+    pub bias: f64,
+    /// Scale factor error (dimensionless, e.g. `0.001` = 0.1 %).
+    pub scale_factor_error: f64,
+    /// White noise standard deviation per output sample.
+    pub noise_std: f64,
+    /// Bias random-walk increment standard deviation per sample
+    /// (models in-run bias instability).
+    pub bias_walk_std: f64,
+    /// Quantization step (LSB size); `0.0` disables quantization.
+    pub quantization: f64,
+    /// Symmetric full-scale range; outputs clip to `[-range, range]`.
+    /// `f64::INFINITY` disables saturation.
+    pub range: f64,
+}
+
+impl ErrorModelConfig {
+    /// An ideal (error-free) channel.
+    pub fn ideal() -> Self {
+        Self {
+            bias: 0.0,
+            scale_factor_error: 0.0,
+            noise_std: 0.0,
+            bias_walk_std: 0.0,
+            quantization: 0.0,
+            range: f64::INFINITY,
+        }
+    }
+}
+
+impl Default for ErrorModelConfig {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+/// Stateful single-channel error model (carries the bias random walk).
+///
+/// # Examples
+///
+/// ```
+/// use mathx::rng::seeded_rng;
+/// use sensors::{ErrorModelConfig, SensorErrorModel};
+///
+/// let cfg = ErrorModelConfig { bias: 0.02, ..ErrorModelConfig::ideal() };
+/// let mut ch = SensorErrorModel::new(cfg);
+/// let mut rng = seeded_rng(1);
+/// assert_eq!(ch.apply(1.0, &mut rng), 1.02);
+/// ```
+#[derive(Clone, Debug)]
+pub struct SensorErrorModel {
+    config: ErrorModelConfig,
+    walk: f64,
+    gauss: GaussianSampler,
+    saturated_count: u64,
+    sample_count: u64,
+}
+
+impl SensorErrorModel {
+    /// Creates a channel with the given configuration.
+    pub fn new(config: ErrorModelConfig) -> Self {
+        Self {
+            config,
+            walk: 0.0,
+            gauss: GaussianSampler::new(),
+            saturated_count: 0,
+            sample_count: 0,
+        }
+    }
+
+    /// The configuration this channel was built with.
+    pub fn config(&self) -> &ErrorModelConfig {
+        &self.config
+    }
+
+    /// Current accumulated bias random-walk value.
+    pub fn walk(&self) -> f64 {
+        self.walk
+    }
+
+    /// Number of samples that hit the saturation limit so far.
+    pub fn saturated_count(&self) -> u64 {
+        self.saturated_count
+    }
+
+    /// Total samples produced.
+    pub fn sample_count(&self) -> u64 {
+        self.sample_count
+    }
+
+    /// Corrupts one true value into a measured value.
+    pub fn apply<R: Rng + ?Sized>(&mut self, true_value: f64, rng: &mut R) -> f64 {
+        let c = &self.config;
+        if c.bias_walk_std > 0.0 {
+            self.walk += self.gauss.sample_scaled(rng, 0.0, c.bias_walk_std);
+        }
+        let noisy = (1.0 + c.scale_factor_error) * true_value
+            + c.bias
+            + self.walk
+            + if c.noise_std > 0.0 {
+                self.gauss.sample_scaled(rng, 0.0, c.noise_std)
+            } else {
+                0.0
+            };
+        let quantized = if c.quantization > 0.0 {
+            (noisy / c.quantization).round() * c.quantization
+        } else {
+            noisy
+        };
+        self.sample_count += 1;
+        if quantized.abs() > c.range {
+            self.saturated_count += 1;
+            quantized.clamp(-c.range, c.range)
+        } else {
+            quantized
+        }
+    }
+
+    /// Resets the random-walk state and counters (new power-on).
+    pub fn reset(&mut self) {
+        self.walk = 0.0;
+        self.saturated_count = 0;
+        self.sample_count = 0;
+    }
+}
+
+/// Converts a continuous-time noise density (unit/sqrt(Hz)) into the
+/// per-sample standard deviation at the given sample rate.
+///
+/// ```
+/// // 500 ug/sqrt(Hz) at 100 Hz.
+/// let sigma = sensors::error_model::density_to_sample_std(500e-6 * 9.80665, 100.0);
+/// assert!((sigma - 500e-6 * 9.80665 * 10.0).abs() < 1e-12);
+/// ```
+pub fn density_to_sample_std(density: f64, sample_rate_hz: f64) -> f64 {
+    density * sample_rate_hz.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathx::rng::seeded_rng;
+    use mathx::RunningStats;
+
+    #[test]
+    fn ideal_channel_is_transparent() {
+        let mut ch = SensorErrorModel::new(ErrorModelConfig::ideal());
+        let mut rng = seeded_rng(1);
+        for x in [-5.0, 0.0, 1.2345, 100.0] {
+            assert_eq!(ch.apply(x, &mut rng), x);
+        }
+    }
+
+    #[test]
+    fn bias_and_scale_factor() {
+        let cfg = ErrorModelConfig {
+            bias: 0.1,
+            scale_factor_error: 0.01,
+            ..ErrorModelConfig::ideal()
+        };
+        let mut ch = SensorErrorModel::new(cfg);
+        let mut rng = seeded_rng(1);
+        let y = ch.apply(2.0, &mut rng);
+        assert!((y - (2.0 * 1.01 + 0.1)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn white_noise_statistics() {
+        let cfg = ErrorModelConfig {
+            noise_std: 0.05,
+            ..ErrorModelConfig::ideal()
+        };
+        let mut ch = SensorErrorModel::new(cfg);
+        let mut rng = seeded_rng(2);
+        let mut stats = RunningStats::new();
+        for _ in 0..50_000 {
+            stats.push(ch.apply(1.0, &mut rng));
+        }
+        assert!((stats.mean() - 1.0).abs() < 0.002);
+        assert!((stats.std_dev() - 0.05).abs() < 0.002);
+    }
+
+    #[test]
+    fn quantization_grid() {
+        let cfg = ErrorModelConfig {
+            quantization: 0.25,
+            ..ErrorModelConfig::ideal()
+        };
+        let mut ch = SensorErrorModel::new(cfg);
+        let mut rng = seeded_rng(3);
+        assert_eq!(ch.apply(0.3, &mut rng), 0.25);
+        assert_eq!(ch.apply(0.4, &mut rng), 0.5);
+        assert_eq!(ch.apply(-0.12, &mut rng), 0.0);
+        assert_eq!(ch.apply(-0.13, &mut rng), -0.25);
+    }
+
+    #[test]
+    fn saturation_clips_and_counts() {
+        let cfg = ErrorModelConfig {
+            range: 2.0,
+            ..ErrorModelConfig::ideal()
+        };
+        let mut ch = SensorErrorModel::new(cfg);
+        let mut rng = seeded_rng(4);
+        assert_eq!(ch.apply(5.0, &mut rng), 2.0);
+        assert_eq!(ch.apply(-3.0, &mut rng), -2.0);
+        assert_eq!(ch.apply(1.0, &mut rng), 1.0);
+        assert_eq!(ch.saturated_count(), 2);
+        assert_eq!(ch.sample_count(), 3);
+    }
+
+    #[test]
+    fn bias_walk_grows_with_time() {
+        let cfg = ErrorModelConfig {
+            bias_walk_std: 0.01,
+            ..ErrorModelConfig::ideal()
+        };
+        // Random-walk variance after n steps is n * std^2; check the
+        // ensemble spread at n = 1000 over many trials.
+        let mut ends = RunningStats::new();
+        for seed in 0..200 {
+            let mut ch = SensorErrorModel::new(cfg);
+            let mut rng = seeded_rng(seed);
+            let mut last = 0.0;
+            for _ in 0..1000 {
+                last = ch.apply(0.0, &mut rng);
+            }
+            ends.push(last);
+        }
+        let expected = 0.01 * (1000.0_f64).sqrt();
+        assert!(
+            (ends.std_dev() - expected).abs() < expected * 0.25,
+            "std {} vs {}",
+            ends.std_dev(),
+            expected
+        );
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let cfg = ErrorModelConfig {
+            bias_walk_std: 0.5,
+            range: 0.1,
+            ..ErrorModelConfig::ideal()
+        };
+        let mut ch = SensorErrorModel::new(cfg);
+        let mut rng = seeded_rng(5);
+        for _ in 0..100 {
+            ch.apply(1.0, &mut rng);
+        }
+        assert!(ch.walk() != 0.0);
+        ch.reset();
+        assert_eq!(ch.walk(), 0.0);
+        assert_eq!(ch.sample_count(), 0);
+        assert_eq!(ch.saturated_count(), 0);
+    }
+
+    #[test]
+    fn density_conversion() {
+        let sigma = density_to_sample_std(0.001, 400.0);
+        assert!((sigma - 0.02).abs() < 1e-15);
+    }
+}

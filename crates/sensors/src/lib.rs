@@ -1,0 +1,50 @@
+//! MEMS inertial sensor models for the boresighting system.
+//!
+//! Models the two instruments of the DATE'05 paper:
+//!
+//! * [`Dmu`] — a 6-degree-of-freedom inertial measurement unit in the
+//!   style of the BAE Systems DMU: three vibrating ring-resonator
+//!   gyroscopes ([`gyro::RingGyro`], Coriolis-effect rate sensing) and
+//!   three capacitive proof-mass accelerometers
+//!   ([`accel::CapacitiveAccel`]).
+//! * [`Adxl202`] — the Analog Devices ADXL202 dual-axis +/-2 g
+//!   accelerometer with its duty-cycle-modulated output, as mounted on
+//!   the sensor being boresighted.
+//!
+//! Each instrument combines a physical dynamics model (bandwidth,
+//! resonance) with a parametric error model ([`SensorErrorModel`]: bias,
+//! scale factor, axis cross-coupling, white noise, bias random walk,
+//! quantization and range saturation), which is what sets the accuracy
+//! floor the paper's Kalman filter converges to.
+//!
+//! # Examples
+//!
+//! ```
+//! use mathx::{rng::seeded_rng, Vec3, STANDARD_GRAVITY};
+//! use sensors::{Dmu, DmuConfig};
+//!
+//! let mut rng = seeded_rng(7);
+//! let mut dmu = Dmu::new(DmuConfig::default());
+//! // Vehicle at rest: specific force is -gravity (reaction), no rotation.
+//! let f_b = Vec3::new([0.0, 0.0, STANDARD_GRAVITY]);
+//! let sample = dmu.sample(f_b, Vec3::zeros(), &mut rng);
+//! assert!((sample.accel.z() - STANDARD_GRAVITY).abs() < 0.1);
+//! ```
+
+pub mod accel;
+pub mod adxl202;
+pub mod allan;
+pub mod calib;
+pub mod dmu;
+pub mod error_model;
+pub mod gyro;
+pub mod mount;
+
+pub use accel::{AccelConfig, CapacitiveAccel};
+pub use allan::{allan_deviation, AllanPoint};
+pub use adxl202::{Adxl202, Adxl202Config, DutyCycleSample};
+pub use calib::{CalibrationReport, StaticCalibrator};
+pub use dmu::{Dmu, DmuConfig, DmuSample};
+pub use error_model::{ErrorModelConfig, SensorErrorModel};
+pub use gyro::{GyroConfig, RingGyro};
+pub use mount::Mounting;

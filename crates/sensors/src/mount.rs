@@ -1,0 +1,163 @@
+//! Sensor mounting geometry.
+//!
+//! The quantity the whole system estimates is a [`Mounting`]: the fixed
+//! rotation (roll, pitch, yaw) — and, for completeness, lever arm —
+//! between the vehicle/IMU body frame and the frame of the sensor being
+//! boresighted.
+
+use mathx::{Dcm, EulerAngles, Vec3};
+
+/// Rigid mounting of a sensor relative to the vehicle body frame.
+///
+/// # Examples
+///
+/// ```
+/// use mathx::{EulerAngles, Vec3};
+/// use sensors::Mounting;
+///
+/// let m = Mounting::new(EulerAngles::from_degrees(2.0, -1.5, 3.0), Vec3::zeros());
+/// let f_b = Vec3::new([0.0, 0.0, 9.81]);
+/// let f_s = m.body_to_sensor(f_b, Vec3::zeros(), Vec3::zeros());
+/// assert!((f_s.norm() - 9.81).abs() < 1e-12); // pure rotation preserves norm
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Mounting {
+    misalignment: EulerAngles,
+    lever_arm_m: Vec3,
+    dcm_bs: Dcm,
+}
+
+impl Mounting {
+    /// Creates a mounting from the misalignment angles (rotation that
+    /// carries sensor-frame vectors into the body frame) and the lever
+    /// arm from the IMU to the sensor, expressed in body axes (metres).
+    pub fn new(misalignment: EulerAngles, lever_arm_m: Vec3) -> Self {
+        Self {
+            misalignment,
+            lever_arm_m,
+            dcm_bs: misalignment.dcm(),
+        }
+    }
+
+    /// A perfectly aligned, co-located mounting.
+    pub fn aligned() -> Self {
+        Self::new(EulerAngles::zero(), Vec3::zeros())
+    }
+
+    /// The misalignment angles.
+    pub fn misalignment(&self) -> EulerAngles {
+        self.misalignment
+    }
+
+    /// The lever arm in body axes, metres.
+    pub fn lever_arm(&self) -> Vec3 {
+        self.lever_arm_m
+    }
+
+    /// The body-from-sensor DCM (`v_b = C_bs v_s`).
+    pub fn dcm_body_from_sensor(&self) -> Dcm {
+        self.dcm_bs
+    }
+
+    /// The sensor-from-body DCM (`v_s = C_sb v_b`).
+    pub fn dcm_sensor_from_body(&self) -> Dcm {
+        self.dcm_bs.transpose()
+    }
+
+    /// Transforms a body-frame specific force at the IMU into the
+    /// specific force experienced at the sensor location, expressed in
+    /// sensor axes.
+    ///
+    /// Includes the rigid-body kinematic terms from the lever arm `r`:
+    /// `f_sensor = C_sb (f_imu + alpha x r + omega x (omega x r))`
+    /// with `omega` the angular rate and `alpha` the angular
+    /// acceleration, both in body axes.
+    pub fn body_to_sensor(
+        &self,
+        specific_force_body: Vec3,
+        angular_rate_body: Vec3,
+        angular_accel_body: Vec3,
+    ) -> Vec3 {
+        let r = self.lever_arm_m;
+        let centripetal = angular_rate_body.cross(&angular_rate_body.cross(&r));
+        let euler_term = angular_accel_body.cross(&r);
+        self.dcm_sensor_from_body()
+            .rotate(specific_force_body + euler_term + centripetal)
+    }
+}
+
+impl Default for Mounting {
+    fn default() -> Self {
+        Self::aligned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathx::deg_to_rad;
+
+    #[test]
+    fn aligned_mount_is_identity() {
+        let m = Mounting::aligned();
+        let f = Vec3::new([1.0, 2.0, 3.0]);
+        assert_eq!(m.body_to_sensor(f, Vec3::zeros(), Vec3::zeros()), f);
+    }
+
+    #[test]
+    fn pure_yaw_rotates_xy() {
+        let m = Mounting::new(EulerAngles::from_degrees(0.0, 0.0, 90.0), Vec3::zeros());
+        let f = Vec3::new([1.0, 0.0, 0.0]);
+        let s = m.body_to_sensor(f, Vec3::zeros(), Vec3::zeros());
+        // C_sb = C_bs^T: body x maps to sensor -y.
+        assert!((s - Vec3::new([0.0, -1.0, 0.0])).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn lever_arm_centripetal() {
+        // Spinning at w about z with the sensor 1 m out on x: the
+        // sensor experiences centripetal acceleration -w^2 along x.
+        let m = Mounting::new(EulerAngles::zero(), Vec3::new([1.0, 0.0, 0.0]));
+        let w = Vec3::new([0.0, 0.0, 2.0]);
+        let s = m.body_to_sensor(Vec3::zeros(), w, Vec3::zeros());
+        assert!((s - Vec3::new([-4.0, 0.0, 0.0])).max_abs() < 1e-12, "{s:?}");
+    }
+
+    #[test]
+    fn lever_arm_angular_acceleration() {
+        // Angular acceleration alpha about z with lever 1 m on x gives
+        // tangential acceleration alpha on y.
+        let m = Mounting::new(EulerAngles::zero(), Vec3::new([1.0, 0.0, 0.0]));
+        let alpha = Vec3::new([0.0, 0.0, 3.0]);
+        let s = m.body_to_sensor(Vec3::zeros(), Vec3::zeros(), alpha);
+        assert!((s - Vec3::new([0.0, 3.0, 0.0])).max_abs() < 1e-12, "{s:?}");
+    }
+
+    #[test]
+    fn rotation_preserves_norm() {
+        let m = Mounting::new(EulerAngles::from_degrees(3.0, -2.0, 5.0), Vec3::zeros());
+        let f = Vec3::new([1.0, -2.0, 9.0]);
+        let s = m.body_to_sensor(f, Vec3::zeros(), Vec3::zeros());
+        assert!((s.norm() - f.norm()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn small_angle_first_order_behaviour() {
+        // For small misalignment e, f_s ~ f_b - e x f_b.
+        let e = EulerAngles::from_degrees(0.5, -0.3, 0.8);
+        let m = Mounting::new(e, Vec3::zeros());
+        let f = Vec3::new([1.0, 2.0, 9.8]);
+        let exact = m.body_to_sensor(f, Vec3::zeros(), Vec3::zeros());
+        let approx = f - e.as_vec3().cross(&f);
+        let err = (exact - approx).max_abs();
+        let scale = deg_to_rad(0.8).powi(2) * f.norm();
+        assert!(err < 5.0 * scale, "err {err} scale {scale}");
+    }
+
+    #[test]
+    fn dcm_consistency() {
+        let m = Mounting::new(EulerAngles::from_degrees(1.0, 2.0, 3.0), Vec3::zeros());
+        let prod = m.dcm_body_from_sensor() * m.dcm_sensor_from_body();
+        assert!(prod.orthonormality_error() < 1e-14);
+    }
+}

@@ -1,0 +1,51 @@
+//! Vehicle and test-platform simulation.
+//!
+//! Provides the motion truth the sensor models consume:
+//!
+//! * [`KinematicState`] — position/velocity/attitude plus the derived
+//!   body-frame specific force and angular rate.
+//! * [`TiltTable`] — the paper's static test platform: a sequence of
+//!   held orientations ("the platform must be oriented and use gravity
+//!   to generate components of acceleration").
+//! * [`DriveProfile`] — piecewise drive profiles (accelerate, brake,
+//!   turn, lane change, cruise) with closed-form kinematics and a
+//!   quasi-static suspension pitch/roll response, for the dynamic tests
+//!   in a "standard private passenger vehicle".
+//! * [`RoadVibration`] — band-limited stochastic vibration that raises
+//!   the residual floor when the vehicle moves, reproducing the paper's
+//!   static-vs-dynamic measurement-noise retuning story.
+//!
+//! # Examples
+//!
+//! ```
+//! use vehicle::{DriveProfile, Segment, Trajectory};
+//!
+//! let profile = DriveProfile::new(vec![
+//!     Segment::idle(2.0),
+//!     Segment::accelerate(5.0, 2.0),
+//!     Segment::turn(4.0, 0.3),
+//!     Segment::brake(3.0, 2.5),
+//! ]);
+//! assert_eq!(profile.duration_s(), 14.0);
+//! let state = profile.sample(6.0);
+//! assert!(state.velocity_n.norm() > 0.0);
+//! ```
+
+pub mod profile;
+pub mod state;
+pub mod tilt;
+pub mod vibration;
+
+pub use profile::{DriveProfile, Segment};
+pub use state::KinematicState;
+pub use tilt::{TiltStep, TiltTable};
+pub use vibration::{RoadVibration, VibrationConfig};
+
+/// A deterministic motion truth source sampled by time.
+pub trait Trajectory {
+    /// Total duration of the trajectory, seconds.
+    fn duration_s(&self) -> f64;
+
+    /// Kinematic state at time `t` (clamped to the trajectory's span).
+    fn sample(&self, t: f64) -> KinematicState;
+}

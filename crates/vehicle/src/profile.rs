@@ -1,0 +1,577 @@
+//! Piecewise drive profiles with closed-form kinematics.
+//!
+//! A [`DriveProfile`] is a list of [`Segment`]s executed in order. The
+//! vehicle moves on a flat road; heading is measured counterclockwise
+//! from east (ENU). Within each segment the kinematics are closed form
+//! (constant acceleration, constant-rate turn, sinusoidal lane change),
+//! and segment entry states are precomputed so [`Trajectory::sample`]
+//! is O(log segments).
+//!
+//! A quasi-static suspension model adds body pitch under longitudinal
+//! acceleration and body roll under lateral acceleration — this is what
+//! makes the IMU see gravity components during dynamic manoeuvres, and
+//! with them the excitation the Kalman filter needs for yaw
+//! observability.
+
+use crate::state::KinematicState;
+use crate::Trajectory;
+use mathx::{EulerAngles, Vec3};
+
+/// Suspension pitch response, rad per m/s^2 of longitudinal acceleration
+/// (nose dives under braking).
+const PITCH_PER_ACCEL: f64 = 0.004;
+/// Suspension roll response, rad per m/s^2 of lateral acceleration.
+const ROLL_PER_ACCEL: f64 = 0.006;
+
+/// One piece of a drive profile.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Segment {
+    /// Stationary (or constant-speed coast if entered while moving).
+    Idle {
+        /// Segment length, seconds.
+        duration_s: f64,
+    },
+    /// Constant speed, straight line.
+    Cruise {
+        /// Segment length, seconds.
+        duration_s: f64,
+    },
+    /// Constant longitudinal acceleration along the current heading.
+    Accelerate {
+        /// Segment length, seconds.
+        duration_s: f64,
+        /// Acceleration, m/s^2 (positive).
+        accel: f64,
+    },
+    /// Constant deceleration; the vehicle holds at rest once stopped.
+    Brake {
+        /// Segment length, seconds.
+        duration_s: f64,
+        /// Deceleration magnitude, m/s^2 (positive).
+        decel: f64,
+    },
+    /// Constant-rate flat turn at constant speed.
+    Turn {
+        /// Segment length, seconds.
+        duration_s: f64,
+        /// Yaw rate, rad/s (positive = counterclockwise/left).
+        yaw_rate: f64,
+    },
+    /// Sinusoidal lane change: lateral acceleration
+    /// `a_peak * sin(2 pi t / T)`; the heading returns to its entry
+    /// value at the end of the segment.
+    LaneChange {
+        /// Segment length, seconds.
+        duration_s: f64,
+        /// Peak lateral acceleration, m/s^2.
+        peak_lateral_accel: f64,
+    },
+}
+
+impl Segment {
+    /// Stationary segment.
+    pub fn idle(duration_s: f64) -> Self {
+        Self::Idle { duration_s }
+    }
+
+    /// Constant-speed segment.
+    pub fn cruise(duration_s: f64) -> Self {
+        Self::Cruise { duration_s }
+    }
+
+    /// Constant-acceleration segment.
+    pub fn accelerate(duration_s: f64, accel: f64) -> Self {
+        Self::Accelerate { duration_s, accel }
+    }
+
+    /// Braking segment.
+    pub fn brake(duration_s: f64, decel: f64) -> Self {
+        Self::Brake { duration_s, decel }
+    }
+
+    /// Constant-rate turn.
+    pub fn turn(duration_s: f64, yaw_rate: f64) -> Self {
+        Self::Turn {
+            duration_s,
+            yaw_rate,
+        }
+    }
+
+    /// Sinusoidal lane change.
+    pub fn lane_change(duration_s: f64, peak_lateral_accel: f64) -> Self {
+        Self::LaneChange {
+            duration_s,
+            peak_lateral_accel,
+        }
+    }
+
+    /// Segment duration, seconds.
+    pub fn duration_s(&self) -> f64 {
+        match *self {
+            Segment::Idle { duration_s }
+            | Segment::Cruise { duration_s }
+            | Segment::Accelerate { duration_s, .. }
+            | Segment::Brake { duration_s, .. }
+            | Segment::Turn { duration_s, .. }
+            | Segment::LaneChange { duration_s, .. } => duration_s,
+        }
+    }
+}
+
+/// Entry state of a segment (computed once at construction).
+#[derive(Clone, Copy, Debug)]
+struct Entry {
+    start_s: f64,
+    position: Vec3,
+    speed: f64,
+    heading: f64,
+}
+
+/// A piecewise drive profile implementing [`Trajectory`].
+#[derive(Clone, Debug)]
+pub struct DriveProfile {
+    segments: Vec<Segment>,
+    entries: Vec<Entry>,
+    total_s: f64,
+}
+
+impl DriveProfile {
+    /// Builds a profile from segments, starting at rest at the origin
+    /// facing east.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any segment has a non-positive duration.
+    pub fn new(segments: Vec<Segment>) -> Self {
+        Self::with_initial(segments, Vec3::zeros(), 0.0, 0.0)
+    }
+
+    /// Builds a profile with explicit initial position, speed (m/s) and
+    /// heading (rad, CCW from east).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any segment has a non-positive duration.
+    pub fn with_initial(
+        segments: Vec<Segment>,
+        position: Vec3,
+        speed: f64,
+        heading: f64,
+    ) -> Self {
+        let mut entries = Vec::with_capacity(segments.len());
+        let mut cursor = Entry {
+            start_s: 0.0,
+            position,
+            speed,
+            heading,
+        };
+        for seg in &segments {
+            assert!(seg.duration_s() > 0.0, "segment duration must be positive");
+            entries.push(cursor);
+            let d = seg.duration_s();
+            let exit = eval_segment(seg, &cursor, d);
+            cursor = Entry {
+                start_s: cursor.start_s + d,
+                position: exit.position_n,
+                speed: exit.velocity_n.xy().norm(),
+                heading: heading_of(&exit, &cursor),
+            };
+        }
+        let total_s = cursor.start_s;
+        Self {
+            segments,
+            entries,
+            total_s,
+        }
+    }
+
+    /// The segments of this profile.
+    pub fn segments(&self) -> &[Segment] {
+        &self.segments
+    }
+}
+
+/// Heading at a segment exit: velocity direction if moving, otherwise
+/// the analytic heading carried in the state we evaluated.
+fn heading_of(state: &KinematicState, fallback: &Entry) -> f64 {
+    let v = state.velocity_n;
+    if v.xy().norm() > 1e-9 {
+        v[1].atan2(v[0])
+    } else {
+        // Recover from the attitude yaw (vehicle may be stopped).
+        let e = state.attitude.euler();
+        if e.yaw.is_finite() {
+            e.yaw
+        } else {
+            fallback.heading
+        }
+    }
+}
+
+/// Evaluates a segment `tau` seconds after its entry state.
+fn eval_segment(seg: &Segment, entry: &Entry, tau: f64) -> KinematicState {
+    let psi0 = entry.heading;
+    let dir0 = Vec3::new([psi0.cos(), psi0.sin(), 0.0]);
+    let (position, velocity, accel, heading, yaw_rate, yaw_accel, ax_body, ay_body) = match *seg {
+        Segment::Idle { .. } | Segment::Cruise { .. } => {
+            let v = dir0 * entry.speed;
+            (
+                entry.position + v * tau,
+                v,
+                Vec3::zeros(),
+                psi0,
+                0.0,
+                0.0,
+                0.0,
+                0.0,
+            )
+        }
+        Segment::Accelerate { accel, .. } => {
+            let speed = entry.speed + accel * tau;
+            let dist = entry.speed * tau + 0.5 * accel * tau * tau;
+            (
+                entry.position + dir0 * dist,
+                dir0 * speed,
+                dir0 * accel,
+                psi0,
+                0.0,
+                0.0,
+                accel,
+                0.0,
+            )
+        }
+        Segment::Brake { decel, .. } => {
+            let t_stop = if decel > 0.0 {
+                entry.speed / decel
+            } else {
+                f64::INFINITY
+            };
+            if tau < t_stop {
+                let speed = entry.speed - decel * tau;
+                let dist = entry.speed * tau - 0.5 * decel * tau * tau;
+                (
+                    entry.position + dir0 * dist,
+                    dir0 * speed,
+                    dir0 * (-decel),
+                    psi0,
+                    0.0,
+                    0.0,
+                    -decel,
+                    0.0,
+                )
+            } else {
+                let dist = 0.5 * entry.speed * t_stop.min(seg.duration_s());
+                (
+                    entry.position + dir0 * dist,
+                    Vec3::zeros(),
+                    Vec3::zeros(),
+                    psi0,
+                    0.0,
+                    0.0,
+                    0.0,
+                    0.0,
+                )
+            }
+        }
+        Segment::Turn { yaw_rate, .. } => {
+            let v = entry.speed;
+            let psi = psi0 + yaw_rate * tau;
+            let position = if yaw_rate.abs() > 1e-12 {
+                entry.position
+                    + Vec3::new([
+                        v / yaw_rate * (psi.sin() - psi0.sin()),
+                        -v / yaw_rate * (psi.cos() - psi0.cos()),
+                        0.0,
+                    ])
+            } else {
+                entry.position + dir0 * (v * tau)
+            };
+            let dir = Vec3::new([psi.cos(), psi.sin(), 0.0]);
+            let lateral = Vec3::new([-psi.sin(), psi.cos(), 0.0]);
+            (
+                position,
+                dir * v,
+                lateral * (v * yaw_rate),
+                psi,
+                yaw_rate,
+                0.0,
+                0.0,
+                v * yaw_rate,
+            )
+        }
+        Segment::LaneChange {
+            duration_s,
+            peak_lateral_accel,
+        } => {
+            let v = entry.speed.max(0.1); // avoid div-by-zero when crawling
+            let w = 2.0 * std::f64::consts::PI / duration_s;
+            let a_lat = peak_lateral_accel * (w * tau).sin();
+            let yaw_rate = a_lat / v;
+            let yaw_accel = peak_lateral_accel * w * (w * tau).cos() / v;
+            // Heading deviation: integral of yaw rate.
+            let dpsi = peak_lateral_accel / (v * w) * (1.0 - (w * tau).cos());
+            let psi = psi0 + dpsi;
+            // Position: second-order small-heading integration.
+            let along = v * tau;
+            // integral of dpsi dt = k*(t - sin(wt)/w), k = a/(v w)
+            let k = peak_lateral_accel / (v * w);
+            let lateral_offset = v * k * (tau - (w * tau).sin() / w);
+            let lat0 = Vec3::new([-psi0.sin(), psi0.cos(), 0.0]);
+            let dir = Vec3::new([psi.cos(), psi.sin(), 0.0]);
+            let lateral = Vec3::new([-psi.sin(), psi.cos(), 0.0]);
+            (
+                entry.position + dir0 * along + lat0 * lateral_offset,
+                dir * v,
+                lateral * a_lat,
+                psi,
+                yaw_rate,
+                yaw_accel,
+                0.0,
+                a_lat,
+            )
+        }
+    };
+
+    // Quasi-static suspension response: nose dives under braking
+    // (negative pitch is nose down in our convention? pitch is about
+    // +y; acceleration pushes the nose up at the rear squat —
+    // sign: accelerating forward pitches nose UP by convention here).
+    let pitch = PITCH_PER_ACCEL * ax_body;
+    let roll = -ROLL_PER_ACCEL * ay_body;
+    let attitude = EulerAngles::new(roll, pitch, heading).quaternion();
+
+    KinematicState {
+        time_s: entry.start_s + tau,
+        position_n: position,
+        velocity_n: velocity,
+        accel_n: accel,
+        attitude,
+        angular_rate_b: Vec3::new([0.0, 0.0, yaw_rate]),
+        angular_accel_b: Vec3::new([0.0, 0.0, yaw_accel]),
+    }
+}
+
+impl Trajectory for DriveProfile {
+    fn duration_s(&self) -> f64 {
+        self.total_s
+    }
+
+    fn sample(&self, t: f64) -> KinematicState {
+        let t = t.clamp(0.0, self.total_s);
+        // Find the segment containing t (last entry with start <= t).
+        let idx = match self
+            .entries
+            .binary_search_by(|e| e.start_s.partial_cmp(&t).expect("finite"))
+        {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        let entry = &self.entries[idx];
+        let seg = &self.segments[idx];
+        let tau = (t - entry.start_s).min(seg.duration_s());
+        eval_segment(seg, entry, tau)
+    }
+}
+
+/// Pre-built profiles used by the paper-style experiments.
+pub mod presets {
+    use super::*;
+
+    /// Urban stop-and-go drive: pull away, cruise, lane change, turn,
+    /// brake to a stop — repeated; roughly `duration_s` long.
+    pub fn urban_drive(duration_s: f64) -> DriveProfile {
+        let block = vec![
+            Segment::idle(2.0),
+            Segment::accelerate(5.0, 2.0),
+            Segment::cruise(4.0),
+            Segment::lane_change(4.0, 2.0),
+            Segment::cruise(2.0),
+            Segment::turn(5.0, 0.25),
+            Segment::cruise(3.0),
+            Segment::brake(4.0, 2.5),
+            Segment::idle(1.0),
+        ];
+        let block_len: f64 = block.iter().map(|s| s.duration_s()).sum();
+        let repeats = (duration_s / block_len).ceil().max(1.0) as usize;
+        let mut segments = Vec::with_capacity(block.len() * repeats);
+        for _ in 0..repeats {
+            segments.extend_from_slice(&block);
+        }
+        DriveProfile::new(segments)
+    }
+
+    /// Highway drive: long acceleration to speed, sustained cruise with
+    /// occasional lane changes and gentle curves.
+    pub fn highway_drive(duration_s: f64) -> DriveProfile {
+        let block = vec![
+            Segment::accelerate(8.0, 2.2),
+            Segment::cruise(10.0),
+            Segment::lane_change(5.0, 1.5),
+            Segment::cruise(8.0),
+            Segment::turn(10.0, 0.05),
+            Segment::cruise(6.0),
+            Segment::brake(6.0, 1.8),
+        ];
+        let block_len: f64 = block.iter().map(|s| s.duration_s()).sum();
+        let repeats = (duration_s / block_len).ceil().max(1.0) as usize;
+        let mut segments = Vec::with_capacity(block.len() * repeats);
+        for _ in 0..repeats {
+            segments.extend_from_slice(&block);
+        }
+        DriveProfile::new(segments)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_is_sum_of_segments() {
+        let p = DriveProfile::new(vec![Segment::idle(1.5), Segment::accelerate(2.5, 1.0)]);
+        assert!((p.duration_s() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "duration")]
+    fn zero_duration_segment_panics() {
+        let _ = DriveProfile::new(vec![Segment::idle(0.0)]);
+    }
+
+    #[test]
+    fn accelerate_reaches_expected_speed() {
+        let p = DriveProfile::new(vec![Segment::accelerate(5.0, 2.0)]);
+        let s = p.sample(5.0);
+        assert!((s.speed() - 10.0).abs() < 1e-9);
+        assert!((s.position_n[0] - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn velocity_continuous_across_boundaries() {
+        let p = DriveProfile::new(vec![
+            Segment::accelerate(3.0, 2.0),
+            Segment::turn(4.0, 0.3),
+            Segment::lane_change(4.0, 1.5),
+            Segment::brake(5.0, 2.0),
+        ]);
+        let mut t = 0.0;
+        let dt = 1e-3;
+        let mut prev = p.sample(0.0);
+        while t < p.duration_s() - dt {
+            t += dt;
+            let cur = p.sample(t);
+            let dv = (cur.velocity_n - prev.velocity_n).max_abs();
+            assert!(dv < 0.05, "velocity jump {dv} at t={t}");
+            let dp = (cur.position_n - prev.position_n).max_abs();
+            assert!(dp < 0.1, "position jump {dp} at t={t}");
+            prev = cur;
+        }
+    }
+
+    #[test]
+    fn brake_stops_and_holds() {
+        let p = DriveProfile::new(vec![
+            Segment::accelerate(5.0, 2.0), // reach 10 m/s
+            Segment::brake(10.0, 2.5),     // stop after 4 s
+        ]);
+        let s = p.sample(10.0); // 5 s into braking: stopped
+        assert!(s.speed() < 1e-9);
+        assert!(s.accel_n.max_abs() < 1e-12);
+        let s2 = p.sample(15.0);
+        assert!((s.position_n - s2.position_n).max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn turn_follows_circle() {
+        let v = 10.0;
+        let w = 0.5;
+        let p = DriveProfile::with_initial(
+            vec![Segment::turn(std::f64::consts::PI / w, w)],
+            Vec3::zeros(),
+            v,
+            0.0,
+        );
+        // Half circle: ends at (0, 2R) with R = v/w = 20.
+        let s = p.sample(p.duration_s());
+        assert!((s.position_n[0] - 0.0).abs() < 1e-6, "{:?}", s.position_n);
+        assert!((s.position_n[1] - 40.0).abs() < 1e-6, "{:?}", s.position_n);
+        // Centripetal acceleration magnitude v*w throughout.
+        let mid = p.sample(p.duration_s() / 2.0);
+        assert!((mid.accel_n.norm() - v * w).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lane_change_restores_heading() {
+        let p = DriveProfile::with_initial(
+            vec![Segment::lane_change(4.0, 2.0)],
+            Vec3::zeros(),
+            15.0,
+            0.0,
+        );
+        let s_end = p.sample(4.0);
+        let heading = s_end.velocity_n[1].atan2(s_end.velocity_n[0]);
+        assert!(heading.abs() < 1e-9, "heading {heading}");
+        // But it moved laterally.
+        assert!(s_end.position_n[1].abs() > 0.1, "{:?}", s_end.position_n);
+    }
+
+    #[test]
+    fn suspension_pitch_under_braking() {
+        let p = DriveProfile::new(vec![
+            Segment::accelerate(5.0, 2.0),
+            Segment::brake(2.0, 3.0),
+        ]);
+        let s = p.sample(6.0); // braking at 3 m/s^2
+        let e = s.attitude.euler();
+        assert!((e.pitch - PITCH_PER_ACCEL * -3.0).abs() < 1e-9, "{e:?}");
+    }
+
+    #[test]
+    fn suspension_roll_in_turn() {
+        let p = DriveProfile::with_initial(
+            vec![Segment::turn(5.0, 0.4)],
+            Vec3::zeros(),
+            10.0,
+            0.0,
+        );
+        let s = p.sample(2.0);
+        let e = s.attitude.euler();
+        // Lateral accel = v*w = 4 m/s^2 (leftward), roll leans into... our
+        // model: roll = -ROLL_PER_ACCEL * ay.
+        assert!((e.roll + ROLL_PER_ACCEL * 4.0).abs() < 1e-6, "{e:?}");
+    }
+
+    #[test]
+    fn sample_clamps_out_of_range() {
+        let p = DriveProfile::new(vec![Segment::accelerate(2.0, 1.0)]);
+        let before = p.sample(-1.0);
+        assert_eq!(before.time_s, 0.0);
+        let after = p.sample(100.0);
+        assert!((after.time_s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn presets_cover_requested_duration() {
+        let p = presets::urban_drive(300.0);
+        assert!(p.duration_s() >= 300.0);
+        let h = presets::highway_drive(300.0);
+        assert!(h.duration_s() >= 300.0);
+        // Both must be samplable everywhere without NaNs.
+        for t in [0.0, 10.0, 100.0, 299.0] {
+            assert!(p.sample(t).specific_force_body().is_finite());
+            assert!(h.sample(t).specific_force_body().is_finite());
+        }
+    }
+
+    #[test]
+    fn specific_force_norm_reasonable_through_profile() {
+        let p = presets::urban_drive(60.0);
+        let mut t = 0.0;
+        while t < p.duration_s() {
+            let f = p.sample(t).specific_force_body();
+            assert!(f.norm() > 8.0 && f.norm() < 12.5, "f={f:?} at t={t}");
+            t += 0.05;
+        }
+    }
+}

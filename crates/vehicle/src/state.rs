@@ -1,0 +1,121 @@
+//! Kinematic truth state.
+
+use mathx::{Quaternion, Vec3, STANDARD_GRAVITY};
+
+/// Complete kinematic state of the vehicle body frame at one instant.
+///
+/// The navigation frame is ENU (x east, y north, z up); gravity is
+/// `[0, 0, -g]`. The body frame is x forward, y left, z up, mapped to
+/// the navigation frame by `attitude` (`v_n = attitude.rotate(v_b)`).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct KinematicState {
+    /// Time of validity, seconds.
+    pub time_s: f64,
+    /// Position in the navigation frame, metres.
+    pub position_n: Vec3,
+    /// Velocity in the navigation frame, m/s.
+    pub velocity_n: Vec3,
+    /// Acceleration (coordinate acceleration) in the navigation frame, m/s^2.
+    pub accel_n: Vec3,
+    /// Attitude quaternion mapping body to navigation axes.
+    pub attitude: Quaternion,
+    /// Angular rate in body axes, rad/s.
+    pub angular_rate_b: Vec3,
+    /// Angular acceleration in body axes, rad/s^2.
+    pub angular_accel_b: Vec3,
+}
+
+impl KinematicState {
+    /// A vehicle at rest at the origin, level, facing east.
+    pub fn at_rest() -> Self {
+        Self {
+            time_s: 0.0,
+            position_n: Vec3::zeros(),
+            velocity_n: Vec3::zeros(),
+            accel_n: Vec3::zeros(),
+            attitude: Quaternion::identity(),
+            angular_rate_b: Vec3::zeros(),
+            angular_accel_b: Vec3::zeros(),
+        }
+    }
+
+    /// Gravity vector in the navigation frame, m/s^2.
+    pub fn gravity_n() -> Vec3 {
+        Vec3::new([0.0, 0.0, -STANDARD_GRAVITY])
+    }
+
+    /// Specific force (what an accelerometer triad senses) in body
+    /// axes: `f_b = C_nb^T (a_n - g_n)`.
+    ///
+    /// At rest this is `[0, 0, +g]` — the supporting reaction.
+    pub fn specific_force_body(&self) -> Vec3 {
+        let f_n = self.accel_n - Self::gravity_n();
+        self.attitude.dcm().transpose().rotate(f_n)
+    }
+
+    /// Speed over ground, m/s.
+    pub fn speed(&self) -> f64 {
+        self.velocity_n.norm()
+    }
+}
+
+impl Default for KinematicState {
+    fn default() -> Self {
+        Self::at_rest()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathx::EulerAngles;
+
+    #[test]
+    fn at_rest_specific_force_is_plus_g() {
+        let s = KinematicState::at_rest();
+        let f = s.specific_force_body();
+        assert!((f - Vec3::new([0.0, 0.0, STANDARD_GRAVITY])).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn forward_acceleration_appears_on_body_x() {
+        let mut s = KinematicState::at_rest();
+        s.accel_n = Vec3::new([2.0, 0.0, 0.0]); // facing east, accelerating east
+        let f = s.specific_force_body();
+        assert!((f[0] - 2.0).abs() < 1e-12);
+        assert!((f[2] - STANDARD_GRAVITY).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pitched_vehicle_sees_gravity_component_on_x() {
+        let mut s = KinematicState::at_rest();
+        // Nose up 10 degrees.
+        let e = EulerAngles::from_degrees(0.0, 10.0, 0.0);
+        s.attitude = e.quaternion();
+        let f = s.specific_force_body();
+        // Body x tilts up: gravity reaction has a -x component
+        // f_b = C^T [0,0,g]: x component = -sin(pitch)*g... sign check:
+        // C row3 = [-sin(p), 0, cos(p)] transposed -> f_x = -sin(p)*g.
+        let expected = -(10.0_f64.to_radians().sin()) * STANDARD_GRAVITY;
+        assert!((f[0] - expected).abs() < 1e-9, "fx {} vs {}", f[0], expected);
+        assert!((f.norm() - STANDARD_GRAVITY).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heading_rotates_nav_accel_into_body() {
+        let mut s = KinematicState::at_rest();
+        // Facing north (+90 yaw), accelerating north: body x again.
+        s.attitude = EulerAngles::from_degrees(0.0, 0.0, 90.0).quaternion();
+        s.accel_n = Vec3::new([0.0, 3.0, 0.0]);
+        let f = s.specific_force_body();
+        assert!((f[0] - 3.0).abs() < 1e-9, "{f:?}");
+        assert!(f[1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn speed_is_velocity_norm() {
+        let mut s = KinematicState::at_rest();
+        s.velocity_n = Vec3::new([3.0, 4.0, 0.0]);
+        assert_eq!(s.speed(), 5.0);
+    }
+}

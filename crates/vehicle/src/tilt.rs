@@ -1,0 +1,221 @@
+//! Static tilt-table test platform.
+//!
+//! The paper's static tests calibrate on a level platform, then orient
+//! the platform so that gravity produces acceleration components along
+//! the instrument axes — that is what makes roll and yaw misalignments
+//! observable without vehicle motion ("static roll and yaw tests are
+//! more difficult to perform than the pitch tests since the platform
+//! must be oriented and use gravity to generate components of
+//! acceleration").
+
+use crate::state::KinematicState;
+use crate::Trajectory;
+use mathx::EulerAngles;
+
+/// One held orientation of the tilt table.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TiltStep {
+    /// Platform orientation relative to level.
+    pub orientation: EulerAngles,
+    /// How long the orientation is held, seconds.
+    pub hold_s: f64,
+}
+
+impl TiltStep {
+    /// Creates a tilt step.
+    pub fn new(orientation: EulerAngles, hold_s: f64) -> Self {
+        Self {
+            orientation,
+            hold_s,
+        }
+    }
+}
+
+/// A stationary platform stepped through a sequence of orientations.
+///
+/// Transitions between holds are instantaneous (the table is assumed to
+/// settle between recordings, as in the paper's procedure); angular
+/// rates are reported as zero throughout.
+///
+/// # Examples
+///
+/// ```
+/// use mathx::EulerAngles;
+/// use vehicle::{TiltStep, TiltTable, Trajectory};
+///
+/// let table = TiltTable::new(vec![
+///     TiltStep::new(EulerAngles::zero(), 30.0),
+///     TiltStep::new(EulerAngles::from_degrees(0.0, 15.0, 0.0), 30.0),
+/// ]);
+/// assert_eq!(table.duration_s(), 60.0);
+/// let f = table.sample(45.0).specific_force_body();
+/// assert!(f[0].abs() > 1.0); // pitched: gravity component on x
+/// ```
+#[derive(Clone, Debug)]
+pub struct TiltTable {
+    steps: Vec<TiltStep>,
+    starts: Vec<f64>,
+    total_s: f64,
+}
+
+impl TiltTable {
+    /// Creates a tilt table schedule.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `steps` is empty or any hold is non-positive.
+    pub fn new(steps: Vec<TiltStep>) -> Self {
+        assert!(!steps.is_empty(), "tilt table needs at least one step");
+        let mut starts = Vec::with_capacity(steps.len());
+        let mut t = 0.0;
+        for s in &steps {
+            assert!(s.hold_s > 0.0, "hold time must be positive");
+            starts.push(t);
+            t += s.hold_s;
+        }
+        Self {
+            steps,
+            starts,
+            total_s: t,
+        }
+    }
+
+    /// A level, motionless platform held for `hold_s` seconds.
+    pub fn level(hold_s: f64) -> Self {
+        Self::new(vec![TiltStep::new(EulerAngles::zero(), hold_s)])
+    }
+
+    /// The paper-style observability sequence: level, pitch tilts
+    /// (exciting pitch), roll tilts (exciting roll), and combined
+    /// pitch+roll orientations (giving gravity components on both
+    /// horizontal axes, which is what makes yaw observable statically).
+    pub fn observability_sequence(tilt_deg: f64, hold_s: f64) -> Self {
+        let t = tilt_deg;
+        Self::new(vec![
+            TiltStep::new(EulerAngles::zero(), hold_s),
+            TiltStep::new(EulerAngles::from_degrees(0.0, t, 0.0), hold_s),
+            TiltStep::new(EulerAngles::from_degrees(0.0, -t, 0.0), hold_s),
+            TiltStep::new(EulerAngles::from_degrees(t, 0.0, 0.0), hold_s),
+            TiltStep::new(EulerAngles::from_degrees(-t, 0.0, 0.0), hold_s),
+            TiltStep::new(EulerAngles::from_degrees(t, t, 0.0), hold_s),
+            TiltStep::new(EulerAngles::from_degrees(-t, t, 0.0), hold_s),
+            TiltStep::new(EulerAngles::from_degrees(t, -t, 0.0), hold_s),
+        ])
+    }
+
+    /// The steps of this schedule.
+    pub fn steps(&self) -> &[TiltStep] {
+        &self.steps
+    }
+}
+
+impl Trajectory for TiltTable {
+    fn duration_s(&self) -> f64 {
+        self.total_s
+    }
+
+    fn sample(&self, t: f64) -> KinematicState {
+        let t = t.clamp(0.0, self.total_s);
+        let idx = match self
+            .starts
+            .binary_search_by(|s| s.partial_cmp(&t).expect("finite"))
+        {
+            Ok(i) => i,
+            Err(0) => 0,
+            Err(i) => i - 1,
+        };
+        let step = &self.steps[idx.min(self.steps.len() - 1)];
+        let mut state = KinematicState::at_rest();
+        state.time_s = t;
+        state.attitude = step.orientation.quaternion();
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathx::{Vec3, STANDARD_GRAVITY};
+
+    #[test]
+    fn level_platform_reports_plus_g() {
+        let table = TiltTable::level(10.0);
+        let f = table.sample(5.0).specific_force_body();
+        assert!((f - Vec3::new([0.0, 0.0, STANDARD_GRAVITY])).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn pitch_tilt_puts_gravity_on_x() {
+        let table = TiltTable::new(vec![TiltStep::new(
+            EulerAngles::from_degrees(0.0, 30.0, 0.0),
+            10.0,
+        )]);
+        let f = table.sample(1.0).specific_force_body();
+        let expected_x = -(30.0_f64.to_radians().sin()) * STANDARD_GRAVITY;
+        assert!((f[0] - expected_x).abs() < 1e-9, "{f:?}");
+        assert!((f.norm() - STANDARD_GRAVITY).abs() < 1e-12);
+    }
+
+    #[test]
+    fn roll_tilt_puts_gravity_on_y() {
+        let table = TiltTable::new(vec![TiltStep::new(
+            EulerAngles::from_degrees(20.0, 0.0, 0.0),
+            10.0,
+        )]);
+        let f = table.sample(1.0).specific_force_body();
+        let expected_y = (20.0_f64.to_radians().sin()) * STANDARD_GRAVITY;
+        assert!((f[1] - expected_y).abs() < 1e-9, "{f:?}");
+    }
+
+    #[test]
+    fn schedule_switches_at_boundaries() {
+        let table = TiltTable::new(vec![
+            TiltStep::new(EulerAngles::zero(), 10.0),
+            TiltStep::new(EulerAngles::from_degrees(0.0, 15.0, 0.0), 10.0),
+        ]);
+        let f_before = table.sample(9.99).specific_force_body();
+        let f_after = table.sample(10.01).specific_force_body();
+        assert!(f_before[0].abs() < 1e-9);
+        assert!(f_after[0].abs() > 1.0);
+    }
+
+    #[test]
+    fn observability_sequence_excites_all_axes() {
+        let table = TiltTable::observability_sequence(15.0, 30.0);
+        assert_eq!(table.steps().len(), 8);
+        let mut saw_x = false;
+        let mut saw_y = false;
+        let mut saw_both = false;
+        let mut t = 1.0;
+        while t < table.duration_s() {
+            let f = table.sample(t).specific_force_body();
+            if f[0].abs() > 1.0 {
+                saw_x = true;
+            }
+            if f[1].abs() > 1.0 {
+                saw_y = true;
+            }
+            if f[0].abs() > 1.0 && f[1].abs() > 1.0 {
+                saw_both = true;
+            }
+            t += 30.0;
+        }
+        assert!(saw_x && saw_y && saw_both);
+    }
+
+    #[test]
+    fn always_stationary() {
+        let table = TiltTable::observability_sequence(10.0, 5.0);
+        for t in [0.0, 7.0, 22.0, 39.0] {
+            let s = table.sample(t);
+            assert_eq!(s.velocity_n, Vec3::zeros());
+            assert_eq!(s.angular_rate_b, Vec3::zeros());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_schedule_panics() {
+        let _ = TiltTable::new(vec![]);
+    }
+}

@@ -1,0 +1,330 @@
+//! Affine correction transforms.
+//!
+//! Three implementations of `r' = A r + B` (paper section 6):
+//!
+//! * [`MappingKind::FloatInverse`] — double-precision inverse (gather)
+//!   mapping: the quality reference.
+//! * [`MappingKind::FixedForward`] — the paper-faithful path: 16-bit
+//!   fixed point with the 1024-entry LUT, *forward* mapping ("computes
+//!   the rotated output location of each input pixel"), which can
+//!   leave holes where no input lands.
+//! * [`MappingKind::FixedInverse`] — same arithmetic, inverse mapping
+//!   (every output pixel gathers from a source location): no holes,
+//!   the "obvious enhancement" ablation.
+
+use crate::frame::{Frame, Rgb565};
+use fpga::pipeline::AffinePipeline;
+
+/// Affine transform parameters: rotation `theta` about `centre`, then
+/// translation `(tx, ty)`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct AffineParams {
+    /// Rotation angle, radians (positive = counterclockwise in pixel
+    /// coordinates).
+    pub theta: f64,
+    /// X translation, pixels.
+    pub tx: f64,
+    /// Y translation, pixels.
+    pub ty: f64,
+    /// Centre of rotation, pixels.
+    pub centre: (f64, f64),
+}
+
+impl AffineParams {
+    /// Identity transform about the frame centre.
+    pub fn identity(width: u32, height: u32) -> Self {
+        Self {
+            theta: 0.0,
+            tx: 0.0,
+            ty: 0.0,
+            centre: (width as f64 / 2.0, height as f64 / 2.0),
+        }
+    }
+
+    /// The inverse transform (undoes this one, exactly in floats).
+    pub fn inverse(&self) -> Self {
+        // r' = R(r - c) + c + t  =>  r = R^-1 (r' - c - t) + c.
+        // Expressed in the same form: theta' = -theta and the
+        // translation must be rotated back.
+        let (s, c) = (-self.theta).sin_cos();
+        let tx = -(c * self.tx - s * self.ty);
+        let ty = -(s * self.tx + c * self.ty);
+        Self {
+            theta: -self.theta,
+            tx,
+            ty,
+            centre: self.centre,
+        }
+    }
+
+    /// Applies the forward transform to a point (float math).
+    pub fn apply(&self, (x, y): (f64, f64)) -> (f64, f64) {
+        let (s, c) = self.theta.sin_cos();
+        let mx = x - self.centre.0;
+        let my = y - self.centre.1;
+        (
+            c * mx - s * my + self.centre.0 + self.tx,
+            s * mx + c * my + self.centre.1 + self.ty,
+        )
+    }
+}
+
+/// Which transform implementation to run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum MappingKind {
+    /// Double-precision inverse (gather) mapping.
+    FloatInverse,
+    /// Paper-faithful fixed-point forward (scatter) mapping.
+    FixedForward,
+    /// Fixed-point inverse (gather) mapping.
+    FixedInverse,
+}
+
+/// Statistics of one frame transform.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TransformStats {
+    /// Output pixels never written (forward mapping holes).
+    pub holes: u64,
+    /// Input pixels mapped outside the output frame.
+    pub clipped: u64,
+    /// Pixel-pipeline clock cycles consumed (fixed paths).
+    pub cycles: u64,
+}
+
+/// Transforms `src` with `params` using the chosen implementation.
+/// Returns the output frame and per-frame statistics.
+pub fn transform(src: &Frame, params: &AffineParams, kind: MappingKind) -> (Frame, TransformStats) {
+    match kind {
+        MappingKind::FloatInverse => float_inverse(src, params),
+        MappingKind::FixedForward => fixed_forward(src, params),
+        MappingKind::FixedInverse => fixed_inverse(src, params),
+    }
+}
+
+fn float_inverse(src: &Frame, params: &AffineParams) -> (Frame, TransformStats) {
+    let mut out = Frame::new(src.width(), src.height());
+    let inv = params.inverse();
+    let mut stats = TransformStats::default();
+    for y in 0..out.height() as i32 {
+        for x in 0..out.width() as i32 {
+            let (sx, sy) = inv.apply((x as f64, y as f64));
+            let (sx, sy) = (sx.round() as i32, sy.round() as i32);
+            match src.get(sx, sy) {
+                Some(p) => out.set(x, y, p),
+                None => {
+                    stats.clipped += 1;
+                    out.set(x, y, Rgb565::BLACK);
+                }
+            }
+        }
+    }
+    (out, stats)
+}
+
+fn fixed_forward(src: &Frame, params: &AffineParams) -> (Frame, TransformStats) {
+    let centre = (
+        params.centre.0.round() as i32,
+        params.centre.1.round() as i32,
+    );
+    let translation = (params.tx.round() as i32, params.ty.round() as i32);
+    let mut pipe = AffinePipeline::new(params.theta, centre, translation);
+    let mut out = Frame::new(src.width(), src.height());
+    let mut written = vec![false; (src.width() * src.height()) as usize];
+    let mut stats = TransformStats::default();
+
+    // Stream every input pixel through the pipeline; place each at its
+    // computed output location (scatter). Track the source pixel value
+    // in a small shift register matching the pipeline latency.
+    let mut value_delay: std::collections::VecDeque<Rgb565> = std::collections::VecDeque::new();
+    let total = (src.width() * src.height()) as u64;
+    let mut fed = 0u64;
+    let mut coords = src.iter();
+    loop {
+        let input = if fed < total {
+            let (x, y, p) = coords.next().expect("counted");
+            value_delay.push_back(p);
+            fed += 1;
+            Some((x as i32, y as i32))
+        } else {
+            value_delay.push_back(Rgb565::BLACK); // bubble filler
+            None
+        };
+        let produced = pipe.clock(input);
+        if let Some((ox, oy)) = produced {
+            let p = value_delay.pop_front().expect("pipeline balance");
+            if ox >= 0 && oy >= 0 && (ox as u32) < out.width() && (oy as u32) < out.height() {
+                out.set(ox, oy, p);
+                written[(oy as u32 * out.width() + ox as u32) as usize] = true;
+            } else {
+                stats.clipped += 1;
+            }
+        }
+        if fed >= total && produced.is_none() && pipe.clocks() > total + AffinePipeline::LATENCY {
+            break;
+        }
+        if pipe.outputs() == total {
+            break;
+        }
+    }
+    stats.holes = written.iter().filter(|&&w| !w).count() as u64;
+    stats.cycles = pipe.clocks();
+    (out, stats)
+}
+
+fn fixed_inverse(src: &Frame, params: &AffineParams) -> (Frame, TransformStats) {
+    // Inverse mapping with the same fixed-point arithmetic: rotate by
+    // -theta and subtract the translation before gathering.
+    let centre = (
+        params.centre.0.round() as i32,
+        params.centre.1.round() as i32,
+    );
+    let inv = params.inverse();
+    let translation = (inv.tx.round() as i32, inv.ty.round() as i32);
+    let mut pipe = AffinePipeline::new(inv.theta, centre, translation);
+    let mut out = Frame::new(src.width(), src.height());
+    let mut stats = TransformStats::default();
+    let total = (src.width() * src.height()) as u64;
+    let mut fed = 0u64;
+    let width = out.width() as i32;
+    let mut produced_count = 0u64;
+    while produced_count < total {
+        let input = if fed < total {
+            let x = (fed % src.width() as u64) as i32;
+            let y = (fed / src.width() as u64) as i32;
+            fed += 1;
+            Some((x, y))
+        } else {
+            None
+        };
+        if let Some((sx, sy)) = pipe.clock(input) {
+            let ox = (produced_count % src.width() as u64) as i32;
+            let oy = (produced_count / src.width() as u64) as i32;
+            debug_assert!(ox < width);
+            match src.get(sx, sy) {
+                Some(p) => out.set(ox, oy, p),
+                None => {
+                    stats.clipped += 1;
+                    out.set(ox, oy, Rgb565::BLACK);
+                }
+            }
+            produced_count += 1;
+        }
+    }
+    stats.cycles = pipe.clocks();
+    (out, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::psnr;
+    use crate::scene::{checkerboard, crosshair};
+
+    #[test]
+    fn identity_transforms_are_lossless() {
+        let src = checkerboard(64, 64, 8);
+        let id = AffineParams::identity(64, 64);
+        for kind in [
+            MappingKind::FloatInverse,
+            MappingKind::FixedForward,
+            MappingKind::FixedInverse,
+        ] {
+            let (out, stats) = transform(&src, &id, kind);
+            assert_eq!(out, src, "{kind:?}");
+            assert_eq!(stats.holes, 0, "{kind:?}");
+        }
+    }
+
+    #[test]
+    fn inverse_params_undo_apply() {
+        let p = AffineParams {
+            theta: 0.3,
+            tx: 5.0,
+            ty: -2.0,
+            centre: (100.0, 80.0),
+        };
+        let inv = p.inverse();
+        for &pt in &[(0.0, 0.0), (150.0, 40.0), (99.0, 81.0)] {
+            let fwd = p.apply(pt);
+            let back = inv.apply(fwd);
+            assert!((back.0 - pt.0).abs() < 1e-9);
+            assert!((back.1 - pt.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn forward_mapping_leaves_holes_under_rotation() {
+        let src = checkerboard(128, 128, 8);
+        let p = AffineParams {
+            theta: 0.1,
+            tx: 0.0,
+            ty: 0.0,
+            centre: (64.0, 64.0),
+        };
+        let (_, fwd_stats) = transform(&src, &p, MappingKind::FixedForward);
+        let (_, inv_stats) = transform(&src, &p, MappingKind::FixedInverse);
+        assert!(fwd_stats.holes > 0, "forward scatter should leave holes");
+        assert_eq!(inv_stats.holes, 0, "gather never leaves holes");
+    }
+
+    #[test]
+    fn fixed_inverse_tracks_float_reference() {
+        let src = crosshair(128, 128);
+        let p = AffineParams {
+            theta: 0.07,
+            tx: 3.0,
+            ty: -1.0,
+            centre: (64.0, 64.0),
+        };
+        let (float_out, _) = transform(&src, &p, MappingKind::FloatInverse);
+        let (fixed_out, _) = transform(&src, &p, MappingKind::FixedInverse);
+        // The LUT quantizes the angle (half-step = 0.003 rad) so edges
+        // can land one pixel off; demand strong but not exact
+        // agreement.
+        let quality = psnr(&float_out, &fixed_out);
+        assert!(quality > 20.0, "psnr {quality}");
+    }
+
+    #[test]
+    fn rotation_then_counter_rotation_restores_image() {
+        let src = checkerboard(128, 128, 16);
+        let p = AffineParams {
+            theta: 0.05,
+            tx: 0.0,
+            ty: 0.0,
+            centre: (64.0, 64.0),
+        };
+        let (rotated, _) = transform(&src, &p, MappingKind::FloatInverse);
+        let mut back_p = p;
+        back_p.theta = -p.theta;
+        let (restored, _) = transform(&rotated, &back_p, MappingKind::FloatInverse);
+        // Interior should match well (borders clip).
+        let quality = psnr(&src, &restored);
+        assert!(quality > 15.0, "psnr {quality}");
+        // And rotation alone must differ from the source noticeably.
+        assert!(psnr(&src, &rotated) < quality);
+    }
+
+    #[test]
+    fn clipping_counted_for_large_translation() {
+        let src = checkerboard(32, 32, 4);
+        let p = AffineParams {
+            theta: 0.0,
+            tx: 100.0,
+            ty: 0.0,
+            centre: (16.0, 16.0),
+        };
+        let (out, stats) = transform(&src, &p, MappingKind::FloatInverse);
+        assert_eq!(stats.clipped, 32 * 32); // everything gathers from outside
+        assert!(out.fraction_of(Rgb565::BLACK) > 0.99);
+    }
+
+    #[test]
+    fn fixed_forward_cycle_count_is_pixels_plus_latency() {
+        let src = checkerboard(32, 32, 4);
+        let p = AffineParams::identity(32, 32);
+        let (_, stats) = transform(&src, &p, MappingKind::FixedForward);
+        // The last pixel emerges LATENCY-1 clocks after the last feed.
+        assert_eq!(stats.cycles, 32 * 32 + AffinePipeline::LATENCY - 1);
+    }
+}

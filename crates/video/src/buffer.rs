@@ -1,0 +1,197 @@
+//! The two-bank ZBT double-buffering scheme.
+//!
+//! "The video processing makes use of both RC200 RAMS in a double-
+//! buffering scheme": VideoIn writes incoming frame N into one bank
+//! while VideoOut reads (and transforms) frame N-1 from the other;
+//! the banks swap at each frame boundary, so the output never tears.
+
+use crate::frame::{Frame, Rgb565};
+use fpga::sabre::ZbtSram;
+
+/// Double-buffered framebuffer over two ZBT banks.
+///
+/// # Examples
+///
+/// ```
+/// use video::{DoubleBuffer, Frame, Rgb565};
+/// let mut buf = DoubleBuffer::new(4, 4);
+/// let mut f = Frame::new(4, 4);
+/// f.fill(Rgb565::WHITE);
+/// buf.write_frame(&f);
+/// buf.swap();
+/// assert_eq!(buf.read_frame(), f);
+/// ```
+#[derive(Debug)]
+pub struct DoubleBuffer {
+    banks: [ZbtSram; 2],
+    width: u32,
+    height: u32,
+    /// Which bank VideoIn writes next.
+    write_bank: usize,
+    frames_written: u64,
+    swaps: u64,
+}
+
+impl DoubleBuffer {
+    /// Creates buffers for the given frame size over two banks sized
+    /// to fit (one 16-bit pixel per half-word; we store one pixel per
+    /// 32-bit word for simplicity, which still fits a VGA frame in a
+    /// 2 MByte bank).
+    pub fn new(width: u32, height: u32) -> Self {
+        let bytes = (width * height * 4) as usize;
+        Self {
+            banks: [ZbtSram::new(bytes.max(4)), ZbtSram::new(bytes.max(4))],
+            width,
+            height,
+            write_bank: 0,
+            frames_written: 0,
+            swaps: 0,
+        }
+    }
+
+    /// VGA-sized buffers on RC200E-sized banks.
+    pub fn rc200e() -> Self {
+        let mut buf = Self::new(640, 480);
+        buf.banks = [ZbtSram::rc200e_bank(), ZbtSram::rc200e_bank()];
+        buf
+    }
+
+    /// Frame width.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Frame height.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Writes one full incoming frame into the write bank (VideoIn).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame size differs from the buffer size.
+    pub fn write_frame(&mut self, frame: &Frame) {
+        assert_eq!(
+            (frame.width(), frame.height()),
+            (self.width, self.height),
+            "frame size mismatch"
+        );
+        let bank = &mut self.banks[self.write_bank];
+        for (x, y, p) in frame.iter() {
+            bank.write((y * self.width + x) as usize, p.0 as u32);
+        }
+        self.frames_written += 1;
+    }
+
+    /// Reads the full display frame from the read bank (VideoOut).
+    pub fn read_frame(&mut self) -> Frame {
+        let read_bank = 1 - self.write_bank;
+        let mut out = Frame::new(self.width, self.height);
+        for y in 0..self.height {
+            for x in 0..self.width {
+                let v = self.banks[read_bank].read((y * self.width + x) as usize);
+                out.set(x as i32, y as i32, Rgb565(v as u16));
+            }
+        }
+        out
+    }
+
+    /// Reads one pixel from the read bank (the transform's gather
+    /// port).
+    pub fn read_pixel(&mut self, x: i32, y: i32) -> Option<Rgb565> {
+        if x < 0 || y < 0 || x as u32 >= self.width || y as u32 >= self.height {
+            return None;
+        }
+        let read_bank = 1 - self.write_bank;
+        let v = self.banks[read_bank].read((y as u32 * self.width + x as u32) as usize);
+        Some(Rgb565(v as u16))
+    }
+
+    /// Swaps the banks at a frame boundary.
+    pub fn swap(&mut self) {
+        self.write_bank = 1 - self.write_bank;
+        self.swaps += 1;
+    }
+
+    /// Frames written so far.
+    pub fn frames_written(&self) -> u64 {
+        self.frames_written
+    }
+
+    /// Bank swaps so far.
+    pub fn swaps(&self) -> u64 {
+        self.swaps
+    }
+
+    /// Total memory access cycles across both banks.
+    pub fn access_cycles(&self) -> u64 {
+        self.banks[0].access_cycles() + self.banks[1].access_cycles()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scene::checkerboard;
+
+    #[test]
+    fn write_then_swap_then_read() {
+        let mut buf = DoubleBuffer::new(16, 16);
+        let f = checkerboard(16, 16, 4);
+        buf.write_frame(&f);
+        buf.swap();
+        assert_eq!(buf.read_frame(), f);
+    }
+
+    #[test]
+    fn no_tearing_read_sees_previous_frame() {
+        let mut buf = DoubleBuffer::new(8, 8);
+        let f1 = checkerboard(8, 8, 2);
+        let mut f2 = Frame::new(8, 8);
+        f2.fill(Rgb565::WHITE);
+        buf.write_frame(&f1);
+        buf.swap();
+        // Now writing f2 while reading must still return f1.
+        buf.write_frame(&f2);
+        assert_eq!(buf.read_frame(), f1);
+        buf.swap();
+        assert_eq!(buf.read_frame(), f2);
+    }
+
+    #[test]
+    fn pixel_gather_port() {
+        let mut buf = DoubleBuffer::new(8, 8);
+        let f = checkerboard(8, 8, 2);
+        buf.write_frame(&f);
+        buf.swap();
+        assert_eq!(buf.read_pixel(3, 5), f.get(3, 5));
+        assert_eq!(buf.read_pixel(-1, 0), None);
+        assert_eq!(buf.read_pixel(8, 0), None);
+    }
+
+    #[test]
+    fn counters_track_activity() {
+        let mut buf = DoubleBuffer::new(4, 4);
+        let f = Frame::new(4, 4);
+        buf.write_frame(&f);
+        buf.swap();
+        let _ = buf.read_frame();
+        assert_eq!(buf.frames_written(), 1);
+        assert_eq!(buf.swaps(), 1);
+        assert_eq!(buf.access_cycles(), 16 + 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn size_mismatch_panics() {
+        let mut buf = DoubleBuffer::new(4, 4);
+        buf.write_frame(&Frame::new(8, 8));
+    }
+
+    #[test]
+    fn rc200e_fits_vga() {
+        let buf = DoubleBuffer::rc200e();
+        assert_eq!((buf.width(), buf.height()), (640, 480));
+    }
+}

@@ -1,0 +1,138 @@
+//! Pinhole camera misalignment model.
+//!
+//! A camera rigidly mounted with a small roll/pitch/yaw error relative
+//! to the vehicle sees a transformed image: roll rotates the picture
+//! about the principal point, and pitch/yaw shift it vertically/
+//! horizontally by `f * tan(angle)` pixels (small-angle pinhole
+//! geometry). This is exactly the distortion the paper's affine stage
+//! corrects with the Kalman filter's estimates.
+
+use crate::affine::{transform, AffineParams, MappingKind};
+use crate::frame::Frame;
+use mathx::EulerAngles;
+
+/// A misaligned camera.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct CameraModel {
+    /// Focal length in pixels.
+    pub focal_px: f64,
+    /// Mounting misalignment.
+    pub misalignment: EulerAngles,
+}
+
+impl CameraModel {
+    /// Creates a camera with the given focal length (pixels) and
+    /// mounting misalignment.
+    pub fn new(focal_px: f64, misalignment: EulerAngles) -> Self {
+        Self {
+            focal_px,
+            misalignment,
+        }
+    }
+
+    /// The affine distortion this mounting error imprints on the
+    /// image: rotation by `-roll`, shift by `(-f tan(yaw), f tan(pitch))`.
+    ///
+    /// Signs: a camera rolled counterclockwise sees the world rotated
+    /// clockwise; a camera yawed left sees the scene shifted right; a
+    /// camera pitched up sees the scene shifted down. (Pixel y grows
+    /// downward.)
+    pub fn distortion(&self, width: u32, height: u32) -> AffineParams {
+        AffineParams {
+            theta: -self.misalignment.roll,
+            tx: -self.focal_px * self.misalignment.yaw.tan(),
+            ty: self.focal_px * self.misalignment.pitch.tan(),
+            centre: (width as f64 / 2.0, height as f64 / 2.0),
+        }
+    }
+
+    /// Renders what the misaligned camera sees of a perfectly aligned
+    /// reference image.
+    pub fn observe(&self, reference: &Frame) -> Frame {
+        let params = self.distortion(reference.width(), reference.height());
+        transform(reference, &params, MappingKind::FloatInverse).0
+    }
+
+    /// The correction transform for an *estimated* misalignment: the
+    /// inverse of that estimate's distortion. Applied to the observed
+    /// image it restores the aligned view (up to estimation error and
+    /// border clipping).
+    pub fn correction(
+        estimate: &EulerAngles,
+        focal_px: f64,
+        width: u32,
+        height: u32,
+    ) -> AffineParams {
+        CameraModel::new(focal_px, *estimate)
+            .distortion(width, height)
+            .inverse()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::psnr;
+    use crate::scene::{crosshair, road};
+
+    #[test]
+    fn aligned_camera_is_identity() {
+        let cam = CameraModel::new(500.0, EulerAngles::zero());
+        let scene = crosshair(160, 120);
+        assert_eq!(cam.observe(&scene), scene);
+    }
+
+    #[test]
+    fn yaw_shifts_horizontally() {
+        let cam = CameraModel::new(500.0, EulerAngles::from_degrees(0.0, 0.0, 2.0));
+        let d = cam.distortion(640, 480);
+        assert!((d.tx - -500.0 * (2.0f64).to_radians().tan()).abs() < 1e-9);
+        assert_eq!(d.ty, 0.0);
+        assert_eq!(d.theta, 0.0);
+    }
+
+    #[test]
+    fn pitch_shifts_vertically() {
+        let cam = CameraModel::new(500.0, EulerAngles::from_degrees(0.0, 1.5, 0.0));
+        let d = cam.distortion(640, 480);
+        assert!(d.ty > 12.0 && d.ty < 14.0, "{}", d.ty);
+        assert_eq!(d.tx, 0.0);
+    }
+
+    #[test]
+    fn roll_rotates() {
+        let cam = CameraModel::new(500.0, EulerAngles::from_degrees(3.0, 0.0, 0.0));
+        let d = cam.distortion(640, 480);
+        assert!((d.theta + (3.0f64).to_radians()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_estimate_restores_view() {
+        let mis = EulerAngles::from_degrees(2.0, -1.0, 1.5);
+        let cam = CameraModel::new(400.0, mis);
+        let scene = road(160, 120, 0.0);
+        let seen = cam.observe(&scene);
+        let correction = CameraModel::correction(&mis, 400.0, 160, 120);
+        let (restored, _) = transform(&seen, &correction, MappingKind::FloatInverse);
+        // Compare on the interior: the borders are legitimately lost
+        // to clipping (black bands), which is not an estimation error.
+        let crop = |f: &Frame| f.crop(25, 25, 110, 70);
+        let before = psnr(&crop(&scene), &crop(&seen));
+        let after = psnr(&crop(&scene), &crop(&restored));
+        assert!(after > before + 5.0, "before {before:.1} after {after:.1}");
+    }
+
+    #[test]
+    fn poor_estimate_restores_less() {
+        let mis = EulerAngles::from_degrees(3.0, 0.0, 0.0);
+        let cam = CameraModel::new(400.0, mis);
+        let scene = crosshair(160, 120);
+        let seen = cam.observe(&scene);
+        let good = CameraModel::correction(&mis, 400.0, 160, 120);
+        let bad_est = EulerAngles::from_degrees(1.0, 0.0, 0.0);
+        let bad = CameraModel::correction(&bad_est, 400.0, 160, 120);
+        let (restored_good, _) = transform(&seen, &good, MappingKind::FloatInverse);
+        let (restored_bad, _) = transform(&seen, &bad, MappingKind::FloatInverse);
+        assert!(psnr(&scene, &restored_good) > psnr(&scene, &restored_bad));
+    }
+}

@@ -1,0 +1,201 @@
+//! RGB565 framebuffer.
+
+/// A 16-bit RGB565 pixel.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub struct Rgb565(pub u16);
+
+impl Rgb565 {
+    /// Black.
+    pub const BLACK: Rgb565 = Rgb565(0);
+    /// White.
+    pub const WHITE: Rgb565 = Rgb565(0xFFFF);
+
+    /// Packs 8-bit channels (truncating to 5/6/5 bits).
+    pub fn from_rgb8(r: u8, g: u8, b: u8) -> Self {
+        Self((((r as u16) >> 3) << 11) | (((g as u16) >> 2) << 5) | ((b as u16) >> 3))
+    }
+
+    /// Unpacks to 8-bit channels (bit-replicated).
+    pub fn to_rgb8(self) -> (u8, u8, u8) {
+        let r5 = (self.0 >> 11) & 0x1F;
+        let g6 = (self.0 >> 5) & 0x3F;
+        let b5 = self.0 & 0x1F;
+        (
+            ((r5 << 3) | (r5 >> 2)) as u8,
+            ((g6 << 2) | (g6 >> 4)) as u8,
+            ((b5 << 3) | (b5 >> 2)) as u8,
+        )
+    }
+
+    /// Perceptual-ish luma (0-255) for metrics.
+    pub fn luma(self) -> u8 {
+        let (r, g, b) = self.to_rgb8();
+        ((77 * r as u32 + 150 * g as u32 + 29 * b as u32) >> 8) as u8
+    }
+}
+
+/// A row-major RGB565 framebuffer.
+///
+/// # Examples
+///
+/// ```
+/// use video::{Frame, Rgb565};
+/// let mut f = Frame::new(4, 3);
+/// f.set(1, 2, Rgb565::WHITE);
+/// assert_eq!(f.get(1, 2), Some(Rgb565::WHITE));
+/// assert_eq!(f.get(9, 9), None);
+/// ```
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Frame {
+    width: u32,
+    height: u32,
+    pixels: Vec<Rgb565>,
+}
+
+impl Frame {
+    /// Creates a black frame.
+    pub fn new(width: u32, height: u32) -> Self {
+        Self {
+            width,
+            height,
+            pixels: vec![Rgb565::BLACK; (width * height) as usize],
+        }
+    }
+
+    /// The RC200E VGA frame (640x480).
+    pub fn vga() -> Self {
+        Self::new(640, 480)
+    }
+
+    /// Frame width, pixels.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Frame height, pixels.
+    pub fn height(&self) -> u32 {
+        self.height
+    }
+
+    /// Pixel at (x, y), or `None` outside the frame.
+    pub fn get(&self, x: i32, y: i32) -> Option<Rgb565> {
+        if x < 0 || y < 0 || x as u32 >= self.width || y as u32 >= self.height {
+            None
+        } else {
+            Some(self.pixels[(y as u32 * self.width + x as u32) as usize])
+        }
+    }
+
+    /// Sets the pixel at (x, y); out-of-frame writes are dropped
+    /// (hardware clips to the active area).
+    pub fn set(&mut self, x: i32, y: i32, value: Rgb565) {
+        if x >= 0 && y >= 0 && (x as u32) < self.width && (y as u32) < self.height {
+            self.pixels[(y as u32 * self.width + x as u32) as usize] = value;
+        }
+    }
+
+    /// Fills the frame with one value.
+    pub fn fill(&mut self, value: Rgb565) {
+        self.pixels.fill(value);
+    }
+
+    /// Raw pixel slice (row major).
+    pub fn pixels(&self) -> &[Rgb565] {
+        &self.pixels
+    }
+
+    /// Iterates `(x, y, pixel)`.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, u32, Rgb565)> + '_ {
+        self.pixels.iter().enumerate().map(move |(i, &p)| {
+            let i = i as u32;
+            (i % self.width, i / self.width, p)
+        })
+    }
+
+    /// Copies a rectangular region into a new frame. The region is
+    /// clamped to the frame bounds.
+    pub fn crop(&self, x0: u32, y0: u32, width: u32, height: u32) -> Frame {
+        let x0 = x0.min(self.width);
+        let y0 = y0.min(self.height);
+        let w = width.min(self.width - x0);
+        let h = height.min(self.height - y0);
+        let mut out = Frame::new(w, h);
+        for y in 0..h {
+            for x in 0..w {
+                if let Some(p) = self.get((x0 + x) as i32, (y0 + y) as i32) {
+                    out.set(x as i32, y as i32, p);
+                }
+            }
+        }
+        out
+    }
+
+    /// Fraction of pixels equal to `value`.
+    pub fn fraction_of(&self, value: Rgb565) -> f64 {
+        if self.pixels.is_empty() {
+            return 0.0;
+        }
+        self.pixels.iter().filter(|&&p| p == value).count() as f64 / self.pixels.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rgb565_packing() {
+        assert_eq!(Rgb565::from_rgb8(255, 255, 255), Rgb565::WHITE);
+        assert_eq!(Rgb565::from_rgb8(0, 0, 0), Rgb565::BLACK);
+        let red = Rgb565::from_rgb8(255, 0, 0);
+        assert_eq!(red.0, 0xF800);
+        let (r, g, b) = red.to_rgb8();
+        assert_eq!((r, g, b), (255, 0, 0));
+    }
+
+    #[test]
+    fn rgb565_roundtrip_within_truncation() {
+        for &(r, g, b) in &[(10u8, 200u8, 31u8), (123, 45, 67), (254, 253, 252)] {
+            let (r2, g2, b2) = Rgb565::from_rgb8(r, g, b).to_rgb8();
+            assert!((r as i32 - r2 as i32).abs() <= 8);
+            assert!((g as i32 - g2 as i32).abs() <= 4);
+            assert!((b as i32 - b2 as i32).abs() <= 8);
+        }
+    }
+
+    #[test]
+    fn luma_ordering() {
+        assert!(Rgb565::WHITE.luma() > Rgb565::from_rgb8(128, 128, 128).luma());
+        assert!(Rgb565::from_rgb8(128, 128, 128).luma() > Rgb565::BLACK.luma());
+    }
+
+    #[test]
+    fn frame_bounds() {
+        let mut f = Frame::new(2, 2);
+        f.set(-1, 0, Rgb565::WHITE); // dropped
+        f.set(0, 2, Rgb565::WHITE); // dropped
+        f.set(1, 1, Rgb565::WHITE);
+        assert_eq!(f.get(-1, 0), None);
+        assert_eq!(f.get(0, 2), None);
+        assert_eq!(f.get(1, 1), Some(Rgb565::WHITE));
+        assert_eq!(f.fraction_of(Rgb565::WHITE), 0.25);
+    }
+
+    #[test]
+    fn fill_and_iter() {
+        let mut f = Frame::new(3, 2);
+        f.fill(Rgb565::from_rgb8(0, 255, 0));
+        assert_eq!(f.iter().count(), 6);
+        assert!(f.iter().all(|(_, _, p)| p == Rgb565::from_rgb8(0, 255, 0)));
+        let coords: Vec<(u32, u32)> = f.iter().map(|(x, y, _)| (x, y)).collect();
+        assert_eq!(coords[0], (0, 0));
+        assert_eq!(coords[5], (2, 1));
+    }
+
+    #[test]
+    fn vga_dimensions() {
+        let f = Frame::vga();
+        assert_eq!((f.width(), f.height()), (640, 480));
+        assert_eq!(f.pixels().len(), 640 * 480);
+    }
+}

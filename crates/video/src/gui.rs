@@ -1,0 +1,273 @@
+//! GUI command rendering — the display side of `SabreGuiRun`.
+//!
+//! The paper's Sabre program drives a graphical user interface through
+//! a memory-mapped command port (Figure 7 passes a `LINE_BASE_ADDRESS`
+//! to `SabreGuiRun`). The soft core writes packed 32-bit draw commands
+//! into the GUI FIFO; the display logic executes them against the
+//! framebuffer. This module defines that command word format and the
+//! renderer.
+//!
+//! Command word layout (`op` in the top 4 bits):
+//!
+//! ```text
+//! op 0x1 MOVE  [op:4][x:14][y:14]      set the cursor
+//! op 0x2 LINE  [op:4][x:14][y:14]      Bresenham line from cursor, move
+//! op 0x3 COLOR [op:4][pad:12][rgb:16]  set the draw color
+//! op 0x4 CLEAR [op:4][pad:12][rgb:16]  fill the frame
+//! op 0x5 PIXEL [op:4][x:14][y:14]      plot one pixel
+//! ```
+
+use crate::frame::{Frame, Rgb565};
+
+/// A decoded GUI command.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GuiCommand {
+    /// Move the cursor without drawing.
+    MoveTo {
+        /// Target x, pixels.
+        x: u16,
+        /// Target y, pixels.
+        y: u16,
+    },
+    /// Draw a line from the cursor and move it.
+    LineTo {
+        /// Target x, pixels.
+        x: u16,
+        /// Target y, pixels.
+        y: u16,
+    },
+    /// Set the drawing color.
+    SetColor(Rgb565),
+    /// Fill the whole frame.
+    Clear(Rgb565),
+    /// Plot a single pixel.
+    Pixel {
+        /// Target x, pixels.
+        x: u16,
+        /// Target y, pixels.
+        y: u16,
+    },
+}
+
+const OP_MOVE: u32 = 0x1;
+const OP_LINE: u32 = 0x2;
+const OP_COLOR: u32 = 0x3;
+const OP_CLEAR: u32 = 0x4;
+const OP_PIXEL: u32 = 0x5;
+
+impl GuiCommand {
+    /// Packs to the 32-bit command word the Sabre writes.
+    pub fn encode(self) -> u32 {
+        fn xy(op: u32, x: u16, y: u16) -> u32 {
+            (op << 28) | ((x as u32 & 0x3FFF) << 14) | (y as u32 & 0x3FFF)
+        }
+        match self {
+            GuiCommand::MoveTo { x, y } => xy(OP_MOVE, x, y),
+            GuiCommand::LineTo { x, y } => xy(OP_LINE, x, y),
+            GuiCommand::SetColor(c) => (OP_COLOR << 28) | c.0 as u32,
+            GuiCommand::Clear(c) => (OP_CLEAR << 28) | c.0 as u32,
+            GuiCommand::Pixel { x, y } => xy(OP_PIXEL, x, y),
+        }
+    }
+
+    /// Decodes a command word; `None` for unknown opcodes.
+    pub fn decode(word: u32) -> Option<Self> {
+        let x = ((word >> 14) & 0x3FFF) as u16;
+        let y = (word & 0x3FFF) as u16;
+        let color = Rgb565(word as u16);
+        Some(match word >> 28 {
+            OP_MOVE => GuiCommand::MoveTo { x, y },
+            OP_LINE => GuiCommand::LineTo { x, y },
+            OP_COLOR => GuiCommand::SetColor(color),
+            OP_CLEAR => GuiCommand::Clear(color),
+            OP_PIXEL => GuiCommand::Pixel { x, y },
+            _ => return None,
+        })
+    }
+}
+
+/// Executes GUI commands against a framebuffer.
+///
+/// # Examples
+///
+/// ```
+/// use video::gui::{GuiCommand, GuiRenderer};
+/// use video::Rgb565;
+///
+/// let mut gui = GuiRenderer::new(64, 48);
+/// gui.run(&[
+///     GuiCommand::Clear(Rgb565::BLACK).encode(),
+///     GuiCommand::SetColor(Rgb565::WHITE).encode(),
+///     GuiCommand::MoveTo { x: 0, y: 0 }.encode(),
+///     GuiCommand::LineTo { x: 63, y: 0 }.encode(),
+/// ]);
+/// assert_eq!(gui.frame().get(32, 0), Some(Rgb565::WHITE));
+/// ```
+#[derive(Clone, Debug)]
+pub struct GuiRenderer {
+    frame: Frame,
+    cursor: (i32, i32),
+    color: Rgb565,
+    executed: u64,
+    bad_words: u64,
+}
+
+impl GuiRenderer {
+    /// Creates a renderer with a black frame.
+    pub fn new(width: u32, height: u32) -> Self {
+        Self {
+            frame: Frame::new(width, height),
+            cursor: (0, 0),
+            color: Rgb565::WHITE,
+            executed: 0,
+            bad_words: 0,
+        }
+    }
+
+    /// The framebuffer.
+    pub fn frame(&self) -> &Frame {
+        &self.frame
+    }
+
+    /// Commands executed so far.
+    pub fn executed(&self) -> u64 {
+        self.executed
+    }
+
+    /// Undecodable words dropped.
+    pub fn bad_words(&self) -> u64 {
+        self.bad_words
+    }
+
+    /// Executes one raw command word.
+    pub fn execute(&mut self, word: u32) {
+        let Some(cmd) = GuiCommand::decode(word) else {
+            self.bad_words += 1;
+            return;
+        };
+        self.executed += 1;
+        match cmd {
+            GuiCommand::MoveTo { x, y } => self.cursor = (x as i32, y as i32),
+            GuiCommand::LineTo { x, y } => {
+                let to = (x as i32, y as i32);
+                self.line(self.cursor, to);
+                self.cursor = to;
+            }
+            GuiCommand::SetColor(c) => self.color = c,
+            GuiCommand::Clear(c) => self.frame.fill(c),
+            GuiCommand::Pixel { x, y } => self.frame.set(x as i32, y as i32, self.color),
+        }
+    }
+
+    /// Executes a batch of raw words (e.g. a drained GUI FIFO).
+    pub fn run(&mut self, words: &[u32]) {
+        for &w in words {
+            self.execute(w);
+        }
+    }
+
+    /// Bresenham line from `a` to `b` inclusive.
+    fn line(&mut self, a: (i32, i32), b: (i32, i32)) {
+        let (mut x0, mut y0) = a;
+        let (x1, y1) = b;
+        let dx = (x1 - x0).abs();
+        let dy = -(y1 - y0).abs();
+        let sx = if x0 < x1 { 1 } else { -1 };
+        let sy = if y0 < y1 { 1 } else { -1 };
+        let mut err = dx + dy;
+        loop {
+            self.frame.set(x0, y0, self.color);
+            if x0 == x1 && y0 == y1 {
+                break;
+            }
+            let e2 = 2 * err;
+            if e2 >= dy {
+                err += dy;
+                x0 += sx;
+            }
+            if e2 <= dx {
+                err += dx;
+                y0 += sy;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn command_words_roundtrip() {
+        let cases = [
+            GuiCommand::MoveTo { x: 123, y: 456 },
+            GuiCommand::LineTo { x: 0, y: 0 },
+            GuiCommand::SetColor(Rgb565::from_rgb8(255, 0, 0)),
+            GuiCommand::Clear(Rgb565::BLACK),
+            GuiCommand::Pixel { x: 16383, y: 16383 },
+        ];
+        for c in cases {
+            assert_eq!(GuiCommand::decode(c.encode()), Some(c), "{c:?}");
+        }
+        assert_eq!(GuiCommand::decode(0xF000_0000), None);
+    }
+
+    #[test]
+    fn horizontal_line_is_continuous() {
+        let mut gui = GuiRenderer::new(32, 8);
+        gui.run(&[
+            GuiCommand::MoveTo { x: 2, y: 4 }.encode(),
+            GuiCommand::LineTo { x: 29, y: 4 }.encode(),
+        ]);
+        for x in 2..=29 {
+            assert_eq!(gui.frame().get(x, 4), Some(Rgb565::WHITE), "x={x}");
+        }
+        assert_eq!(gui.frame().get(1, 4), Some(Rgb565::BLACK));
+        assert_eq!(gui.frame().get(30, 4), Some(Rgb565::BLACK));
+    }
+
+    #[test]
+    fn diagonal_line_hits_endpoints() {
+        let mut gui = GuiRenderer::new(32, 32);
+        gui.run(&[
+            GuiCommand::MoveTo { x: 0, y: 0 }.encode(),
+            GuiCommand::LineTo { x: 31, y: 31 }.encode(),
+        ]);
+        assert_eq!(gui.frame().get(0, 0), Some(Rgb565::WHITE));
+        assert_eq!(gui.frame().get(31, 31), Some(Rgb565::WHITE));
+        assert_eq!(gui.frame().get(15, 15), Some(Rgb565::WHITE));
+    }
+
+    #[test]
+    fn clear_and_color() {
+        let grey = Rgb565::from_rgb8(64, 64, 64);
+        let red = Rgb565::from_rgb8(255, 0, 0);
+        let mut gui = GuiRenderer::new(8, 8);
+        gui.run(&[
+            GuiCommand::Clear(grey).encode(),
+            GuiCommand::SetColor(red).encode(),
+            GuiCommand::Pixel { x: 3, y: 3 }.encode(),
+        ]);
+        assert_eq!(gui.frame().get(0, 0), Some(grey));
+        assert_eq!(gui.frame().get(3, 3), Some(red));
+    }
+
+    #[test]
+    fn lines_clip_at_frame_edge() {
+        let mut gui = GuiRenderer::new(8, 8);
+        gui.run(&[
+            GuiCommand::MoveTo { x: 4, y: 4 }.encode(),
+            GuiCommand::LineTo { x: 20, y: 4 }.encode(), // runs off-frame
+        ]);
+        assert_eq!(gui.frame().get(7, 4), Some(Rgb565::WHITE));
+        assert_eq!(gui.executed(), 2);
+    }
+
+    #[test]
+    fn bad_words_counted_not_executed() {
+        let mut gui = GuiRenderer::new(8, 8);
+        gui.run(&[0xF123_4567, 0x0000_0000]);
+        assert_eq!(gui.bad_words(), 2);
+        assert_eq!(gui.executed(), 0);
+    }
+}

@@ -1,0 +1,38 @@
+//! Video substrate: framebuffers, synthetic scenes, the camera
+//! misalignment model and the affine correction paths.
+//!
+//! The paper boresights a video camera: the camera is mounted with a
+//! small roll/pitch/yaw error relative to the vehicle, and the FPGA
+//! corrects the live picture with an affine transform driven by the
+//! Kalman filter's misalignment estimate. This crate provides that
+//! whole visual chain in simulation:
+//!
+//! * [`Frame`] — an RGB565 framebuffer (the RC200E's 16-bit video
+//!   path).
+//! * [`scene`] — synthetic test scenes (checkerboard, road with lane
+//!   markings) standing in for the camera input.
+//! * [`camera`] — the pinhole model mapping mounting misalignment to
+//!   what the sensor sees (roll = image rotation, pitch/yaw = image
+//!   translation by `f * tan(angle)`).
+//! * [`affine`] — the correction transforms: a floating-point
+//!   reference, the paper-faithful fixed-point forward (scatter)
+//!   mapping built on the five-stage pipeline, and the quality-
+//!   oriented inverse (gather) mapping; plus hole accounting.
+//! * [`buffer`] — the two-bank ZBT double-buffering scheme.
+//! * [`metrics`] — MSE/PSNR/SAD image quality measures used by the
+//!   experiments.
+
+pub mod affine;
+pub mod buffer;
+pub mod camera;
+pub mod frame;
+pub mod gui;
+pub mod metrics;
+pub mod scene;
+
+pub use affine::{AffineParams, MappingKind, TransformStats};
+pub use buffer::DoubleBuffer;
+pub use camera::CameraModel;
+pub use frame::{Frame, Rgb565};
+pub use gui::{GuiCommand, GuiRenderer};
+pub use metrics::{mse, psnr, sad};

@@ -1,0 +1,131 @@
+//! Image quality metrics.
+
+use crate::frame::Frame;
+
+/// Mean squared error over the 8-bit luma channel.
+///
+/// # Panics
+///
+/// Panics if the frames differ in size.
+pub fn mse(a: &Frame, b: &Frame) -> f64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "frame sizes differ"
+    );
+    let n = a.pixels().len();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut acc = 0.0;
+    for (pa, pb) in a.pixels().iter().zip(b.pixels()) {
+        let d = pa.luma() as f64 - pb.luma() as f64;
+        acc += d * d;
+    }
+    acc / n as f64
+}
+
+/// Peak signal-to-noise ratio in dB over luma; `inf` for identical
+/// frames.
+///
+/// # Panics
+///
+/// Panics if the frames differ in size.
+pub fn psnr(a: &Frame, b: &Frame) -> f64 {
+    let e = mse(a, b);
+    if e == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0 * 255.0 / e).log10()
+    }
+}
+
+/// Sum of absolute luma differences.
+///
+/// # Panics
+///
+/// Panics if the frames differ in size.
+pub fn sad(a: &Frame, b: &Frame) -> u64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "frame sizes differ"
+    );
+    a.pixels()
+        .iter()
+        .zip(b.pixels())
+        .map(|(pa, pb)| (pa.luma() as i64 - pb.luma() as i64).unsigned_abs())
+        .sum()
+}
+
+/// Fraction of pixels whose luma differs by more than `tol`.
+///
+/// # Panics
+///
+/// Panics if the frames differ in size.
+pub fn fraction_different(a: &Frame, b: &Frame, tol: u8) -> f64 {
+    assert_eq!(
+        (a.width(), a.height()),
+        (b.width(), b.height()),
+        "frame sizes differ"
+    );
+    let n = a.pixels().len();
+    if n == 0 {
+        return 0.0;
+    }
+    let diff = a
+        .pixels()
+        .iter()
+        .zip(b.pixels())
+        .filter(|(pa, pb)| (pa.luma() as i32 - pb.luma() as i32).unsigned_abs() > tol as u32)
+        .count();
+    diff as f64 / n as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::Rgb565;
+    use crate::scene::checkerboard;
+
+    #[test]
+    fn identical_frames() {
+        let f = checkerboard(32, 32, 4);
+        assert_eq!(mse(&f, &f), 0.0);
+        assert_eq!(psnr(&f, &f), f64::INFINITY);
+        assert_eq!(sad(&f, &f), 0);
+        assert_eq!(fraction_different(&f, &f, 0), 0.0);
+    }
+
+    #[test]
+    fn opposite_frames() {
+        let mut a = Frame::new(8, 8);
+        let mut b = Frame::new(8, 8);
+        a.fill(Rgb565::BLACK);
+        b.fill(Rgb565::WHITE);
+        assert!((mse(&a, &b) - 255.0 * 255.0).abs() < 1e-9);
+        assert!((psnr(&a, &b) - 0.0).abs() < 1e-9);
+        assert_eq!(sad(&a, &b), 64 * 255);
+        assert_eq!(fraction_different(&a, &b, 10), 1.0);
+    }
+
+    #[test]
+    fn psnr_decreases_with_distortion() {
+        let base = checkerboard(64, 64, 8);
+        let mut small = base.clone();
+        let mut large = base.clone();
+        for i in 0..4 {
+            small.set(i, 0, Rgb565::from_rgb8(128, 128, 128));
+        }
+        for i in 0..400 {
+            large.set(i % 64, i / 64, Rgb565::from_rgb8(128, 128, 128));
+        }
+        assert!(psnr(&base, &small) > psnr(&base, &large));
+    }
+
+    #[test]
+    #[should_panic(expected = "sizes differ")]
+    fn size_mismatch_panics() {
+        let _ = mse(&Frame::new(2, 2), &Frame::new(3, 3));
+    }
+}

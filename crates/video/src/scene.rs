@@ -1,0 +1,161 @@
+//! Synthetic camera scenes.
+//!
+//! Stand-ins for the live video input: deterministic, structured
+//! images whose alignment errors are visually and metrically obvious
+//! (sharp edges make PSNR sensitive to sub-degree rotations).
+
+use crate::frame::{Frame, Rgb565};
+
+/// A checkerboard with `cell` px squares.
+pub fn checkerboard(width: u32, height: u32, cell: u32) -> Frame {
+    let mut f = Frame::new(width, height);
+    let cell = cell.max(1);
+    for y in 0..height {
+        for x in 0..width {
+            let on = ((x / cell) + (y / cell)) % 2 == 0;
+            f.set(
+                x as i32,
+                y as i32,
+                if on {
+                    Rgb565::WHITE
+                } else {
+                    Rgb565::from_rgb8(30, 30, 30)
+                },
+            );
+        }
+    }
+    f
+}
+
+/// A crosshair/target calibration pattern (what a boresight laser
+/// would be aimed at).
+pub fn crosshair(width: u32, height: u32) -> Frame {
+    let mut f = Frame::new(width, height);
+    f.fill(Rgb565::from_rgb8(16, 16, 16));
+    let cx = width as i32 / 2;
+    let cy = height as i32 / 2;
+    let mark = Rgb565::from_rgb8(255, 255, 0);
+    for x in 0..width as i32 {
+        f.set(x, cy, mark);
+        f.set(x, cy + 1, mark);
+    }
+    for y in 0..height as i32 {
+        f.set(cx, y, mark);
+        f.set(cx + 1, y, mark);
+    }
+    // Concentric rings.
+    for &radius in &[40i32, 80, 120] {
+        let steps = radius * 8;
+        for i in 0..steps {
+            let a = i as f64 / steps as f64 * std::f64::consts::TAU;
+            let x = cx + (radius as f64 * a.cos()).round() as i32;
+            let y = cy + (radius as f64 * a.sin()).round() as i32;
+            f.set(x, y, Rgb565::from_rgb8(0, 255, 255));
+        }
+    }
+    f
+}
+
+/// A forward-looking road scene: sky, road surface, converging lane
+/// edges and a dashed centre line. `phase` (0..1) advances the dash
+/// pattern, animating vehicle motion.
+pub fn road(width: u32, height: u32, phase: f64) -> Frame {
+    let mut f = Frame::new(width, height);
+    let horizon = (height as f64 * 0.45) as i32;
+    let sky = Rgb565::from_rgb8(110, 160, 220);
+    let tarmac = Rgb565::from_rgb8(60, 60, 64);
+    let grass = Rgb565::from_rgb8(40, 110, 40);
+    let paint = Rgb565::WHITE;
+    let cx = width as f64 / 2.0;
+    for y in 0..height as i32 {
+        if y < horizon {
+            for x in 0..width as i32 {
+                f.set(x, y, sky);
+            }
+            continue;
+        }
+        // Perspective: road half-width grows from 0 at the horizon to
+        // 45% of the frame at the bottom.
+        let t = (y - horizon) as f64 / (height as i32 - horizon) as f64;
+        let half = 0.45 * width as f64 * t;
+        let left = (cx - half) as i32;
+        let right = (cx + half) as i32;
+        for x in 0..width as i32 {
+            let p = if x < left || x > right { grass } else { tarmac };
+            f.set(x, y, p);
+        }
+        // Lane edges.
+        for dx in 0..3 {
+            f.set(left + dx, y, paint);
+            f.set(right - dx, y, paint);
+        }
+        // Dashed centre line: dashes advance with phase; dash length
+        // scales with perspective depth.
+        let depth = 1.0 / t.max(1e-3);
+        let marker = ((depth * 0.35 + phase) % 1.0) < 0.5;
+        if marker {
+            let w = (1.0 + 3.0 * t) as i32;
+            for dx in -w..=w {
+                f.set(cx as i32 + dx, y, paint);
+            }
+        }
+    }
+    f
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::psnr;
+
+    #[test]
+    fn checkerboard_alternates() {
+        let f = checkerboard(64, 64, 8);
+        assert_eq!(f.get(0, 0), Some(Rgb565::WHITE));
+        assert_eq!(f.get(8, 0), Some(Rgb565::from_rgb8(30, 30, 30)));
+        assert_eq!(f.get(8, 8), Some(Rgb565::WHITE));
+        // Roughly half the pixels are white.
+        let frac = f.fraction_of(Rgb565::WHITE);
+        assert!((frac - 0.5).abs() < 0.01, "{frac}");
+    }
+
+    #[test]
+    fn crosshair_center_marked() {
+        let f = crosshair(320, 240);
+        assert_eq!(f.get(160, 120), Some(Rgb565::from_rgb8(255, 255, 0)));
+        assert_eq!(f.get(0, 120), Some(Rgb565::from_rgb8(255, 255, 0)));
+        // (160, 5) is on the vertical line and on no ring (distances
+        // from the centre are 115, not 40/80/120).
+        assert_eq!(f.get(160, 5), Some(Rgb565::from_rgb8(255, 255, 0)));
+        // (160, 0) is exactly on the radius-120 ring, painted cyan.
+        assert_eq!(f.get(160, 0), Some(Rgb565::from_rgb8(0, 255, 255)));
+    }
+
+    #[test]
+    fn road_has_sky_and_road() {
+        let f = road(320, 240, 0.0);
+        // Sky at top.
+        assert_eq!(f.get(10, 10), Some(Rgb565::from_rgb8(110, 160, 220)));
+        // Grass at bottom corners.
+        assert_eq!(f.get(2, 238), Some(Rgb565::from_rgb8(40, 110, 40)));
+        // Tarmac near bottom centre (or paint).
+        let p = f.get(140, 230).unwrap();
+        assert!(
+            p == Rgb565::from_rgb8(60, 60, 64) || p == Rgb565::WHITE,
+            "{p:?}"
+        );
+    }
+
+    #[test]
+    fn road_phase_animates() {
+        let a = road(320, 240, 0.0);
+        let b = road(320, 240, 0.25);
+        assert!(psnr(&a, &b) < 60.0, "dashes should move between phases");
+    }
+
+    #[test]
+    fn scenes_are_deterministic() {
+        assert_eq!(road(160, 120, 0.5), road(160, 120, 0.5));
+        assert_eq!(checkerboard(32, 32, 4), checkerboard(32, 32, 4));
+    }
+}

@@ -1,0 +1,89 @@
+//! Property tests for the video path: affine geometry, fixed-point
+//! agreement, and metric sanity.
+
+use proptest::prelude::*;
+use video::affine::{transform, AffineParams, MappingKind};
+use video::metrics::{mse, psnr};
+use video::scene;
+use video::{Frame, Rgb565};
+
+fn small_angle() -> impl Strategy<Value = f64> {
+    -0.12f64..0.12
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn affine_inverse_is_exact_inverse(
+        theta in -1.0f64..1.0, tx in -20.0f64..20.0, ty in -20.0f64..20.0,
+        px in -200.0f64..200.0, py in -200.0f64..200.0
+    ) {
+        let p = AffineParams { theta, tx, ty, centre: (100.0, 80.0) };
+        let fwd = p.apply((px, py));
+        let back = p.inverse().apply(fwd);
+        prop_assert!((back.0 - px).abs() < 1e-8);
+        prop_assert!((back.1 - py).abs() < 1e-8);
+    }
+
+    #[test]
+    fn fixed_inverse_never_leaves_holes(theta in small_angle(), tx in -5.0f64..5.0) {
+        let src = scene::checkerboard(64, 64, 8);
+        let p = AffineParams { theta, tx, ty: 0.0, centre: (32.0, 32.0) };
+        let (_, stats) = transform(&src, &p, MappingKind::FixedInverse);
+        prop_assert_eq!(stats.holes, 0);
+    }
+
+    #[test]
+    fn fixed_and_float_agree_on_interior(theta in small_angle()) {
+        let src = scene::checkerboard(96, 96, 12);
+        let p = AffineParams { theta, tx: 0.0, ty: 0.0, centre: (48.0, 48.0) };
+        let (float_out, _) = transform(&src, &p, MappingKind::FloatInverse);
+        let (fixed_out, _) = transform(&src, &p, MappingKind::FixedInverse);
+        // LUT quantization is half a step (~0.003 rad): edge pixels may
+        // differ, bulk must agree.
+        let q = psnr(&float_out.crop(16, 16, 64, 64), &fixed_out.crop(16, 16, 64, 64));
+        prop_assert!(q > 15.0, "psnr {q}");
+    }
+
+    #[test]
+    fn identity_params_are_lossless_for_all_mappings(cell in 2u32..16) {
+        let src = scene::checkerboard(48, 48, cell);
+        let id = AffineParams::identity(48, 48);
+        for kind in [MappingKind::FloatInverse, MappingKind::FixedForward, MappingKind::FixedInverse] {
+            let (out, stats) = transform(&src, &id, kind);
+            prop_assert_eq!(&out, &src);
+            prop_assert_eq!(stats.holes, 0);
+        }
+    }
+
+    #[test]
+    fn mse_is_a_metric(seed_a in any::<u16>(), seed_b in any::<u16>()) {
+        let mut a = Frame::new(16, 16);
+        let mut b = Frame::new(16, 16);
+        for i in 0..256u32 {
+            let va = (seed_a as u32).wrapping_mul(i + 1) as u16;
+            let vb = (seed_b as u32).wrapping_mul(i + 7) as u16;
+            a.set((i % 16) as i32, (i / 16) as i32, Rgb565(va));
+            b.set((i % 16) as i32, (i / 16) as i32, Rgb565(vb));
+        }
+        // Symmetry and identity of indiscernibles (on luma).
+        prop_assert_eq!(mse(&a, &b).to_bits(), mse(&b, &a).to_bits());
+        prop_assert_eq!(mse(&a, &a), 0.0);
+        prop_assert!(mse(&a, &b) >= 0.0);
+    }
+
+    #[test]
+    fn rotation_composes(theta in 0.01f64..0.06) {
+        // Rotating by theta twice ~ rotating by 2*theta once (within
+        // resampling error).
+        let src = scene::crosshair(96, 96);
+        let once = AffineParams { theta, tx: 0.0, ty: 0.0, centre: (48.0, 48.0) };
+        let twice = AffineParams { theta: 2.0 * theta, ..once };
+        let (step1, _) = transform(&src, &once, MappingKind::FloatInverse);
+        let (step2, _) = transform(&step1, &once, MappingKind::FloatInverse);
+        let (direct, _) = transform(&src, &twice, MappingKind::FloatInverse);
+        let q = psnr(&step2.crop(24, 24, 48, 48), &direct.crop(24, 24, 48, 48));
+        prop_assert!(q > 12.0, "psnr {q}");
+    }
+}

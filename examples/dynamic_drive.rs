@@ -1,0 +1,48 @@
+//! Dynamic test: estimate misalignment from a moving vehicle.
+//!
+//! Reproduces the paper's section 11.2 procedure: the instrumented
+//! vehicle drives an urban profile; vibration raises the residual
+//! floor; the adaptive monitor retunes the measurement noise (the
+//! paper raised it to 0.015 m/s^2 or more); the estimate converges
+//! during the drive.
+//!
+//! Run with `cargo run --release --example dynamic_drive`.
+
+use boresight::scenario::{run, ScenarioConfig};
+use mathx::EulerAngles;
+use vehicle::profile::presets::urban_drive;
+
+fn main() {
+    let truth = EulerAngles::from_degrees(2.5, -2.0, 3.0);
+    println!("true misalignment : {:+.3?} deg", truth.to_degrees());
+
+    // Start from the *static* tuning to show the adaptive retune.
+    let mut config = ScenarioConfig::dynamic_test(truth);
+    config.duration_s = 120.0;
+    config.estimator.filter.measurement_sigma = 0.005;
+    let profile = urban_drive(config.duration_s);
+    let result = run(&profile, &config);
+
+    println!("estimated         : {:+.3?} deg", result.estimate.angles.to_degrees());
+    println!("error             : {:+.3?} deg", result.error_deg());
+    println!("3-sigma           : {:.3?} deg", result.estimate.three_sigma_deg());
+    println!();
+    println!("adaptive measurement-noise tuning (the Figure-8 story):");
+    println!("  started at sigma = 0.005 m/s^2 (static tuning)");
+    println!("  retunes fired    : {}", result.retune_count);
+    println!("  final sigma      : {:.4} m/s^2 (paper: 0.015 or higher)", result.final_sigma);
+    println!("  exceed rate      : {:.2}% (target ~1%)", result.exceed_rate * 100.0);
+
+    // Convergence over the drive.
+    println!("\nestimate trace (roll/pitch/yaw deg, 3-sigma yaw deg):");
+    for point in result.estimates.iter().step_by(result.estimates.len() / 8) {
+        println!(
+            "  t={:6.1}s  [{:+7.3} {:+7.3} {:+7.3}]  yaw 3-sigma {:.3}",
+            point.time_s,
+            point.angles_deg[0],
+            point.angles_deg[1],
+            point.angles_deg[2],
+            point.three_sigma_deg[2]
+        );
+    }
+}

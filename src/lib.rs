@@ -1,0 +1,39 @@
+//! # sensor-fusion-fpga
+//!
+//! A full reproduction of Chappell et al., *"Exploiting real-time FPGA
+//! based adaptive systems technology for real-time Sensor Fusion in
+//! next generation automotive safety systems"* (DATE 2005): Kalman-
+//! filter boresighting of automotive sensors with every substrate the
+//! paper's demonstrator depends on, built from scratch in Rust.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`math`] | `mathx` | vectors/matrices, rotations, Cholesky, statistics |
+//! | [`sensor`] | `sensors` | DMU 6-DOF IMU and ADXL202 models |
+//! | [`motion`] | `vehicle` | drive profiles, tilt table, road vibration |
+//! | [`comm`] | `comms` | CAN 2.0A, UART, bridge, stream reconstruction |
+//! | [`hw`] | `fpga` | Sabre soft core, Softfloat, fixed point, pipeline |
+//! | [`vision`] | `video` | frames, scenes, camera model, affine paths |
+//! | [`fusion`] | `boresight` | the paper's sensor-fusion contribution |
+//!
+//! # Quickstart
+//!
+//! ```
+//! use sensor_fusion_fpga::fusion::scenario::{run_static, ScenarioConfig};
+//! use sensor_fusion_fpga::math::EulerAngles;
+//!
+//! let mut config = ScenarioConfig::static_test(EulerAngles::from_degrees(2.0, -3.0, 1.5));
+//! config.duration_s = 30.0;
+//! let result = run_static(&config);
+//! assert!(result.max_error_deg() < 0.5);
+//! ```
+
+pub use boresight as fusion;
+pub use comms as comm;
+pub use fpga as hw;
+pub use mathx as math;
+pub use sensors as sensor;
+pub use vehicle as motion;
+pub use video as vision;
