@@ -8,9 +8,9 @@ use std::hint::black_box;
 
 fn bench_softfloat(c: &mut Criterion) {
     let a64 = Sf64::from_f64(std::f64::consts::PI);
-    let b64 = Sf64::from_f64(2.718281828);
+    let b64 = Sf64::from_f64(std::f64::consts::E);
     let a32 = Sf32::from_f32(std::f32::consts::PI);
-    let b32 = Sf32::from_f32(2.7182818);
+    let b32 = Sf32::from_f32(std::f32::consts::E);
 
     c.bench_function("softfloat/add_f64", |bench| {
         bench.iter(|| f64impl::add(black_box(a64), black_box(b64)))

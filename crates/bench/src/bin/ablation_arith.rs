@@ -8,35 +8,28 @@
 //!
 //! Run with `cargo run --release -p bench-suite --bin ablation_arith`.
 
-use bench_suite::print_table;
-use boresight::arith::{Arith, F64Arith, FixedArith, Kf3, SoftArith};
+use bench_suite::{print_table, SmallAngleSource};
+use boresight::arith::{Arith, F64Arith, FixedArith, SoftArith};
+use boresight::{ArithKf3, FusionSession};
 use fpga::softfloat::CycleCosts;
-use mathx::{rad_to_deg, rng::seeded_rng, EulerAngles, GaussianSampler, Vec2, Vec3, STANDARD_GRAVITY};
+use mathx::{rad_to_deg, EulerAngles};
 
 const ACC_RATE_HZ: f64 = 200.0;
 const SABRE_CLOCK_HZ: f64 = 25e6;
 
-/// Runs the 3-state filter over a standard excitation and returns the
-/// final worst-axis error in degrees.
-fn run_filter<A: Arith>(arith: A, n: usize, seed: u64) -> (Kf3<A>, f64) {
+/// Runs the 3-state filter over the standard excitation through a
+/// [`FusionSession`] and returns the finished session plus the final
+/// worst-axis error in degrees.
+fn run_filter<A: Arith + 'static>(arith: A, n: usize, seed: u64) -> (FusionSession<'static>, f64) {
     let truth = EulerAngles::from_degrees(2.0, -1.5, 2.5);
-    let e = truth.as_vec3();
-    let mut kf = Kf3::new(arith, 0.1, 0.007);
-    let mut rng = seeded_rng(seed);
-    let mut gauss = GaussianSampler::new();
-    let g = STANDARD_GRAVITY;
-    for i in 0..n {
-        let t = i as f64 / ACC_RATE_HZ;
-        let f = Vec3::new([2.0 * (0.5 * t).sin(), 1.5 * (0.33 * t).cos(), g]);
-        let f_s = f - e.cross(&f);
-        let z = Vec2::new([
-            f_s[0] + gauss.sample_scaled(&mut rng, 0.0, 0.007),
-            f_s[1] + gauss.sample_scaled(&mut rng, 0.0, 0.007),
-        ]);
-        kf.step(z, f, 1e-10);
-    }
-    let err = rad_to_deg(kf.angles().error_to(&truth).max_abs());
-    (kf, err)
+    let mut session = FusionSession::builder()
+        .source(SmallAngleSource::new(truth, n, ACC_RATE_HZ, 0.007, seed))
+        .backend(ArithKf3::with_defaults(arith))
+        .truth(truth)
+        .build();
+    session.run_to_end();
+    let err = rad_to_deg(session.estimate().angles.error_to(&truth).max_abs());
+    (session, err)
 }
 
 fn main() {
@@ -46,10 +39,11 @@ fn main() {
         .unwrap_or(20_000usize);
 
     let (_, err_f64) = run_filter(F64Arith, n, 7);
-    let (kf_soft, err_soft) = run_filter(SoftArith::default(), n, 7);
+    let (soft_session, err_soft) = run_filter(SoftArith::default(), n, 7);
     let (_, err_fixed) = run_filter(FixedArith, n, 7);
 
-    let stats = kf_soft.arith().fpu.stats();
+    let backend: &ArithKf3<SoftArith> = soft_session.backend_as().expect("softfloat backend");
+    let stats = backend.kf().arith().fpu.stats();
     let cycles_per_update = stats.cycles as f64 / n as f64;
     let ops_per_update = stats.total_ops() as f64 / n as f64;
     let soft_util = cycles_per_update * ACC_RATE_HZ / SABRE_CLOCK_HZ;
@@ -93,14 +87,21 @@ fn main() {
             ],
         ],
     );
-    println!("\nsoftfloat ops/update: {ops_per_update:.1} (add {}, mul {}, div {})",
-        stats.add_f64 / n as u64, stats.mul_f64 / n as u64, stats.div_f64 / n as u64);
+    println!(
+        "\nsoftfloat ops/update: {ops_per_update:.1} (add {}, mul {}, div {})",
+        stats.add_f64 / n as u64,
+        stats.mul_f64 / n as u64,
+        stats.div_f64 / n as u64
+    );
     println!(
         "cost model: add={} mul={} div={} cycles (CycleCosts::sabre_default)",
         costs.add_f64, costs.mul_f64, costs.div_f64
     );
     println!("expected shape: softfloat == f64 bit-for-bit; fixed point converges with");
-    println!("degraded accuracy but ~{:.0}x lower cycle cost.", cycles_per_update / fixed_cycles_per_update);
+    println!(
+        "degraded accuracy but ~{:.0}x lower cycle cost.",
+        cycles_per_update / fixed_cycles_per_update
+    );
     assert_eq!(
         err_f64.to_bits(),
         err_soft.to_bits(),

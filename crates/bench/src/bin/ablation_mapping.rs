@@ -26,9 +26,9 @@ fn main() {
     let mut psnr_fwd_col = Vec::new();
     let mut psnr_inv_col = Vec::new();
 
-    for deg in [0.0, 0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 10.0] {
+    for deg in [0.0f64, 0.5, 1.0, 2.0, 3.0, 5.0, 8.0, 10.0] {
         let params = AffineParams {
-            theta: (deg as f64).to_radians(),
+            theta: deg.to_radians(),
             tx: 0.0,
             ty: 0.0,
             centre: (width as f64 / 2.0, height as f64 / 2.0),

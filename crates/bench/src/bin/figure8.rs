@@ -43,7 +43,10 @@ fn summarize(label: &str, result: &RunResult) -> Vec<String> {
     vec![
         label.to_string(),
         format!("{:.4}", rms),
-        format!("{:.4}", result.residuals.last().map_or(0.0, |p| p.three_sigma_x)),
+        format!(
+            "{:.4}",
+            result.residuals.last().map_or(0.0, |p| p.three_sigma_x)
+        ),
         format!("{:.2}%", result.exceed_rate * 100.0),
         format!("{}", result.retune_count),
         format!("{:.4}", result.final_sigma),

@@ -22,7 +22,11 @@ fn main() {
     let t: Vec<f64> = result.estimates.iter().map(|p| p.time_s).collect();
     let columns: Vec<Vec<f64>> = (0..3)
         .flat_map(|axis| {
-            let angle: Vec<f64> = result.estimates.iter().map(|p| p.angles_deg[axis]).collect();
+            let angle: Vec<f64> = result
+                .estimates
+                .iter()
+                .map(|p| p.angles_deg[axis])
+                .collect();
             let sigma: Vec<f64> = result
                 .estimates
                 .iter()
@@ -50,19 +54,18 @@ fn main() {
     let mut rows = Vec::new();
     for frac in checkpoints {
         let target = frac * duration;
-        if let Some(p) = result
-            .estimates
-            .iter()
-            .min_by(|a, b| {
-                (a.time_s - target)
-                    .abs()
-                    .partial_cmp(&(b.time_s - target).abs())
-                    .expect("finite")
-            })
-        {
+        if let Some(p) = result.estimates.iter().min_by(|a, b| {
+            (a.time_s - target)
+                .abs()
+                .partial_cmp(&(b.time_s - target).abs())
+                .expect("finite")
+        }) {
             rows.push(vec![
                 format!("{:.0}", p.time_s),
-                format!("{:+.3}/{:+.3}/{:+.3}", p.angles_deg[0], p.angles_deg[1], p.angles_deg[2]),
+                format!(
+                    "{:+.3}/{:+.3}/{:+.3}",
+                    p.angles_deg[0], p.angles_deg[1], p.angles_deg[2]
+                ),
                 format!(
                     "{:.3}/{:.3}/{:.3}",
                     p.three_sigma_deg[0], p.three_sigma_deg[1], p.three_sigma_deg[2]

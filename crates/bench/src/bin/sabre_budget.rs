@@ -12,33 +12,24 @@
 //!
 //! Run with `cargo run --release -p bench-suite --bin sabre_budget`.
 
-use bench_suite::print_table;
-use boresight::arith::{Kf3, SoftArith};
+use bench_suite::{print_table, SmallAngleSource};
+use boresight::arith::SoftArith;
 use boresight::system::{run_system, SystemConfig};
-use mathx::{rng::seeded_rng, EulerAngles, GaussianSampler, Vec2, Vec3, STANDARD_GRAVITY};
+use boresight::{ArithKf3, FusionSession};
+use mathx::EulerAngles;
 
 fn main() {
-    // Measure the per-update cost over a representative excitation.
+    // Measure the per-update cost over a representative excitation,
+    // streamed through a fusion session.
     let n = 2000usize;
-    let mut kf = Kf3::new(SoftArith::default(), 0.1, 0.007);
-    let mut rng = seeded_rng(11);
-    let mut gauss = GaussianSampler::new();
-    let truth = EulerAngles::from_degrees(2.0, -1.0, 1.5).as_vec3();
-    for i in 0..n {
-        let t = i as f64 / 200.0;
-        let f = Vec3::new([
-            2.0 * (0.5 * t).sin(),
-            1.5 * (0.33 * t).cos(),
-            STANDARD_GRAVITY,
-        ]);
-        let f_s = f - truth.cross(&f);
-        let z = Vec2::new([
-            f_s[0] + gauss.sample_scaled(&mut rng, 0.0, 0.007),
-            f_s[1] + gauss.sample_scaled(&mut rng, 0.0, 0.007),
-        ]);
-        kf.step(z, f, 1e-10);
-    }
-    let stats = *kf.arith().fpu.stats();
+    let truth = EulerAngles::from_degrees(2.0, -1.0, 1.5);
+    let mut session = FusionSession::builder()
+        .source(SmallAngleSource::new(truth, n, 200.0, 0.007, 11))
+        .backend(ArithKf3::with_defaults(SoftArith::default()))
+        .build();
+    session.run_to_end();
+    let backend: &ArithKf3<SoftArith> = session.backend_as().expect("softfloat backend");
+    let stats = *backend.kf().arith().fpu.stats();
     let cycles_per_update = stats.cycles as f64 / n as f64;
 
     print_table(
@@ -127,10 +118,7 @@ fn main() {
                 "misalignment error (deg, worst)".into(),
                 format!(
                     "{:.3}",
-                    report
-                        .error_deg
-                        .iter()
-                        .fold(0.0f64, |m, e| m.max(e.abs()))
+                    report.error_deg.iter().fold(0.0f64, |m, e| m.max(e.abs()))
                 ),
             ],
         ],

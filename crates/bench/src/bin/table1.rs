@@ -60,8 +60,16 @@ fn main() {
     // --- Dynamic tests (two drives, per the paper) ------------------
     let truth = EulerAngles::from_degrees(2.5, -2.0, 3.0);
     for (label, seed, profile) in [
-        ("dynamic run 1", 201u64, vehicle::profile::presets::urban_drive(duration)),
-        ("dynamic run 2", 202u64, vehicle::profile::presets::highway_drive(duration)),
+        (
+            "dynamic run 1",
+            201u64,
+            vehicle::profile::presets::urban_drive(duration),
+        ),
+        (
+            "dynamic run 2",
+            202u64,
+            vehicle::profile::presets::highway_drive(duration),
+        ),
     ] {
         let mut cfg = ScenarioConfig::dynamic_test(truth);
         cfg.duration_s = duration;

@@ -394,7 +394,9 @@ mod tests {
         assert!(
             matches!(
                 err,
-                CanDecodeError::CrcMismatch | CanDecodeError::StuffError | CanDecodeError::InvalidDlc
+                CanDecodeError::CrcMismatch
+                    | CanDecodeError::StuffError
+                    | CanDecodeError::InvalidDlc
             ),
             "{err:?}"
         );

@@ -83,7 +83,7 @@ impl FaultInjector {
             let mut byte = b;
             if self.bit_flip_prob > 0.0 && rng.random::<f64>() < self.bit_flip_prob {
                 let bit = rng.random_range(0..8);
-                byte ^= 1 << bit;
+                byte ^= 1u8 << bit;
                 self.bits_flipped += 1;
             }
             out.push(byte);

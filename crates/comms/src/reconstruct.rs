@@ -260,7 +260,10 @@ mod tests {
         assert!(msgs.len() > 400, "only {} of {} survived", msgs.len(), n);
         for m in &msgs {
             if let SensorMessage::Dmu(s) = m {
-                assert!((s.accel[2] - 9.8).abs() < 0.01, "corrupted sample leaked: {s:?}");
+                assert!(
+                    (s.accel[2] - 9.8).abs() < 0.01,
+                    "corrupted sample leaked: {s:?}"
+                );
             }
         }
         let stats = recon.stats();

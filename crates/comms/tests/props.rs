@@ -111,7 +111,7 @@ proptest! {
         stream.extend(p.to_bytes());
         let mut dec = AdxlDecoder::new();
         let got = dec.push(&stream);
-        prop_assert!(got.iter().any(|g| *g == p), "packet lost in resync");
+        prop_assert!(got.contains(&p), "packet lost in resync");
     }
 
     #[test]

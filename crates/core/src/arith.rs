@@ -14,6 +14,10 @@
 //!   configuration, with exact operation counts and Sabre cycle costs,
 //! * Q16.16 fixed point ([`FixedArith`]) — the proposed enhancement.
 
+// The filter kernel indexes with `for i in 0..3` on purpose: the loops
+// mirror the matrix equations they implement.
+#![allow(clippy::needless_range_loop)]
+
 use fpga::fixed::Q16_16;
 use fpga::softfloat::{Sf64, SoftFpu};
 use mathx::{EulerAngles, Vec2, Vec3};
@@ -35,6 +39,12 @@ pub trait Arith {
     fn mul(&mut self, a: Self::T, b: Self::T) -> Self::T;
     /// Division.
     fn div(&mut self, a: Self::T, b: Self::T) -> Self::T;
+
+    /// Short name of the number system (used as a session backend
+    /// label).
+    fn name(&self) -> &'static str {
+        "custom"
+    }
 }
 
 /// Native double precision.
@@ -66,6 +76,10 @@ impl Arith for F64Arith {
 
     fn div(&mut self, a: f64, b: f64) -> f64 {
         a / b
+    }
+
+    fn name(&self) -> &'static str {
+        "f64"
     }
 }
 
@@ -102,6 +116,10 @@ impl Arith for SoftArith {
     fn div(&mut self, a: Sf64, b: Sf64) -> Sf64 {
         self.fpu.div_f64(a, b)
     }
+
+    fn name(&self) -> &'static str {
+        "softfloat/f64"
+    }
 }
 
 /// Q16.16 saturating fixed point.
@@ -133,6 +151,10 @@ impl Arith for FixedArith {
 
     fn div(&mut self, a: Q16_16, b: Q16_16) -> Q16_16 {
         a.saturating_div(b)
+    }
+
+    fn name(&self) -> &'static str {
+        "q16.16"
     }
 }
 
@@ -326,11 +348,7 @@ mod tests {
         let g = STANDARD_GRAVITY;
         for i in 0..n {
             let t = i as f64 * 0.005;
-            let f = Vec3::new([
-                2.0 * (0.5 * t).sin(),
-                1.5 * (0.33 * t).cos(),
-                g,
-            ]);
+            let f = Vec3::new([2.0 * (0.5 * t).sin(), 1.5 * (0.33 * t).cos(), g]);
             // Small-angle truth measurement.
             let f_s = f - e.cross(&f);
             let z = Vec2::new([

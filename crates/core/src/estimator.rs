@@ -263,7 +263,11 @@ mod tests {
         assert!(est.on_acc(0.0, Vec2::zeros()).is_none());
         // dropped counter only increments through the convenience API
         // below; direct None return is the contract here.
-        est.on_dmu(&dmu_at(0.0, Vec3::new([0.0, 0.0, STANDARD_GRAVITY]), Vec3::zeros()));
+        est.on_dmu(&dmu_at(
+            0.0,
+            Vec3::new([0.0, 0.0, STANDARD_GRAVITY]),
+            Vec3::zeros(),
+        ));
         assert!(est.on_acc(0.01, Vec2::zeros()).is_some());
     }
 

@@ -445,8 +445,16 @@ mod tests {
         let forces = (0..10_000).map(|_| Vec3::new([0.0, 0.0, STANDARD_GRAVITY]));
         let kf = run_filter(truth, Vec2::zeros(), forces, 0.005, cfg, 3);
         let sigma = kf.angle_sigma();
-        assert!(sigma[0] < 0.2 * cfg.initial_angle_sigma, "roll {}", sigma[0]);
-        assert!(sigma[1] < 0.2 * cfg.initial_angle_sigma, "pitch {}", sigma[1]);
+        assert!(
+            sigma[0] < 0.2 * cfg.initial_angle_sigma,
+            "roll {}",
+            sigma[0]
+        );
+        assert!(
+            sigma[1] < 0.2 * cfg.initial_angle_sigma,
+            "pitch {}",
+            sigma[1]
+        );
         assert!(
             sigma[2] > 0.9 * cfg.initial_angle_sigma,
             "yaw should stay uncertain: {}",
@@ -545,7 +553,9 @@ mod tests {
             let mut last = Vec2::zeros();
             for i in 0..200 {
                 kf.predict(0.005);
-                last = kf.update(Vec2::zeros(), f, i as f64 * 0.005).innovation_sigma;
+                last = kf
+                    .update(Vec2::zeros(), f, i as f64 * 0.005)
+                    .innovation_sigma;
             }
             last
         };

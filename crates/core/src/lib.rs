@@ -18,25 +18,61 @@
 //! * [`estimator`] — [`BoresightEstimator`], the public API tying the
 //!   above to the asynchronous DMU/ACC streams with lever-arm
 //!   compensation;
+//! * [`session`] — the streaming heart of the crate:
+//!   [`FusionSession`] wires a pluggable [`SensorSource`], a
+//!   [`FusionBackend`] and any number of [`EventSink`]s around one
+//!   incremental event loop;
 //! * [`scenario`] — the static (tilt-table) and dynamic (drive)
-//!   test procedures producing Table-1/Figure-8/Figure-9 data;
+//!   test procedures producing Table-1/Figure-8/Figure-9 data, as thin
+//!   wrappers over [`session`];
 //! * [`arith`] — the same filter over native f64, emulated Softfloat
-//!   and Q16.16 fixed point (the paper's future-work ablation);
+//!   and Q16.16 fixed point (the paper's future-work ablation), usable
+//!   as session backends through [`session::ArithKf3`];
 //! * [`system`] — the full Figure-2 system simulation: sensors, CAN,
 //!   bridge, UARTs, reconstruction, fusion, the Sabre soft core
-//!   publishing to its control block, and affine video correction.
+//!   publishing to its control block, and affine video correction —
+//!   a session over the [`session::CommsChainSource`] front end.
 //!
 //! # Quickstart
+//!
+//! A [`FusionSession`] streams sensor events through a fusion backend
+//! incrementally — build one from a scenario, step it as fast or as
+//! slowly as you like, and read the estimate at any point:
+//!
+//! ```
+//! use boresight::session::FusionSession;
+//! use boresight::scenario::ScenarioConfig;
+//! use mathx::EulerAngles;
+//! use vehicle::TiltTable;
+//!
+//! let mut config = ScenarioConfig::static_test(EulerAngles::from_degrees(2.0, -3.0, 1.5));
+//! config.duration_s = 30.0; // the paper records 300 s
+//! let table = TiltTable::observability_sequence(20.0, config.duration_s / 8.0);
+//! let mut session = FusionSession::from_scenario(&table, &config);
+//! session.run_for(10.0);              // stream the first 10 s...
+//! let early = session.estimate();     // ...peek at the estimate...
+//! session.run_to_end();               // ...then finish the run
+//! let result = session.into_result();
+//! assert!(result.max_error_deg() < 0.5);
+//! assert!(early.updates < result.estimate.updates);
+//! ```
+//!
+//! The batch wrappers are still the shortest path to the paper's
+//! procedures:
 //!
 //! ```
 //! use boresight::scenario::{run_static, ScenarioConfig};
 //! use mathx::EulerAngles;
 //!
 //! let mut config = ScenarioConfig::static_test(EulerAngles::from_degrees(2.0, -3.0, 1.5));
-//! config.duration_s = 30.0; // the paper records 300 s
+//! config.duration_s = 30.0;
 //! let result = run_static(&config);
 //! assert!(result.max_error_deg() < 0.5);
 //! ```
+//!
+//! Several sessions — different scenarios, different arithmetic
+//! backends — interleave on one thread through
+//! [`session::SessionGroup`]; see `examples/streaming_sessions.rs`.
 
 pub mod arith;
 pub mod estimator;
@@ -45,6 +81,7 @@ pub mod model;
 pub mod monitor;
 pub mod multi;
 pub mod scenario;
+pub mod session;
 pub mod system;
 
 pub use estimator::{BoresightEstimator, EstimatorConfig, MisalignmentEstimate};
@@ -52,4 +89,9 @@ pub use filter::{BoresightFilter, FilterConfig, KalmanUpdate};
 pub use monitor::{MonitorConfig, ResidualMonitor, Retune};
 pub use multi::MultiBoresight;
 pub use scenario::{run, run_dynamic, run_static, RunResult, ScenarioConfig};
+pub use session::{
+    ArithKf3, ChannelConfig, CommsChainSource, EventSink, FusionBackend, FusionSession,
+    SensorEvent, SensorSource, SessionBuilder, SessionGroup, SessionStats, SyntheticSource,
+    UartReplaySource,
+};
 pub use system::{run_system, SystemConfig, SystemReport};

@@ -106,13 +106,7 @@ mod tests {
     use mathx::{deg_to_rad, EulerAngles, STANDARD_GRAVITY};
 
     fn state(roll: f64, pitch: f64, yaw: f64, bx: f64, by: f64) -> State {
-        Vector::new([
-            deg_to_rad(roll),
-            deg_to_rad(pitch),
-            deg_to_rad(yaw),
-            bx,
-            by,
-        ])
+        Vector::new([deg_to_rad(roll), deg_to_rad(pitch), deg_to_rad(yaw), bx, by])
     }
 
     #[test]

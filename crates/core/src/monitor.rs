@@ -109,9 +109,7 @@ impl ResidualMonitor {
     /// exceedance statistics call for one.
     pub fn observe(&mut self, update: &KalmanUpdate) -> Option<Retune> {
         self.samples += 1;
-        let magnitude = update.innovation[0]
-            .abs()
-            .max(update.innovation[1].abs());
+        let magnitude = update.innovation[0].abs().max(update.innovation[1].abs());
         self.window.push(magnitude, update.exceeds_three_sigma());
         if !self.window.is_full() {
             return None;
@@ -202,7 +200,7 @@ mod tests {
         assert!(count >= 1);
         assert!(mon.current_sigma() <= 0.02 + 1e-12);
         // Holdoff bounds the retune frequency.
-        assert!(count <= 5000 / cfg.holdoff as usize + 1);
+        assert!(count <= 5000 / cfg.holdoff + 1);
     }
 
     #[test]
@@ -231,6 +229,10 @@ mod tests {
             };
             mon.observe(&u);
         }
-        assert!((mon.exceed_rate() - 0.1).abs() < 0.02, "{}", mon.exceed_rate());
+        assert!(
+            (mon.exceed_rate() - 0.1).abs() < 0.02,
+            "{}",
+            mon.exceed_rate()
+        );
     }
 }

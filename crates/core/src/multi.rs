@@ -17,8 +17,11 @@
 
 use crate::estimator::{BoresightEstimator, EstimatorConfig, MisalignmentEstimate};
 use crate::filter::KalmanUpdate;
+use crate::monitor::Retune;
+use crate::session::FusionBackend;
 use mathx::{Dcm, EulerAngles, Vec2};
 use sensors::DmuSample;
+use std::any::Any;
 
 /// Joint alignment of several sensors against one IMU.
 ///
@@ -96,6 +99,14 @@ impl MultiBoresight {
         self.estimators.iter().map(|e| e.estimate()).collect()
     }
 
+    /// The primary (index 0) estimator, with a meaningful panic for an
+    /// empty bank used as a session backend.
+    fn primary(&self) -> &BoresightEstimator {
+        self.estimators
+            .first()
+            .expect("MultiBoresight backend needs at least one sensor")
+    }
+
     /// The rotation carrying sensor `from`'s frame into sensor `to`'s
     /// frame, derived purely from each sensor's alignment to the
     /// common body frame: `C_to_from = C_to_b * C_b_from`.
@@ -106,8 +117,70 @@ impl MultiBoresight {
     pub fn relative_alignment(&self, from: usize, to: usize) -> EulerAngles {
         let c_b_from: Dcm = self.estimators[from].estimate().angles.dcm(); // from -> body
         let c_b_to: Dcm = self.estimators[to].estimate().angles.dcm(); // to -> body
-        // to <- body <- from.
+                                                                       // to <- body <- from.
         (c_b_to.transpose() * c_b_from).euler()
+    }
+}
+
+/// A whole sensor bank as one session backend: the shared IMU stream
+/// broadcasts to every per-sensor estimator, and multi-channel
+/// [`SensorEvent::Acc`](crate::session::SensorEvent) events route by
+/// channel index. Drive it with a multi-channel
+/// [`SyntheticSource`](crate::session::SyntheticSource).
+impl FusionBackend for MultiBoresight {
+    fn ingest_dmu(&mut self, sample: &DmuSample) {
+        self.on_dmu(sample);
+    }
+
+    fn ingest_acc(&mut self, sensor: usize, time_s: f64, z: Vec2) -> Option<KalmanUpdate> {
+        self.on_acc(sensor, time_s, z)
+    }
+
+    fn current_estimate(&self) -> MisalignmentEstimate {
+        self.primary().estimate()
+    }
+
+    fn estimate_for(&self, sensor: usize) -> MisalignmentEstimate {
+        self.estimate(sensor)
+    }
+
+    fn sensor_count(&self) -> usize {
+        self.len()
+    }
+
+    /// The primary (index 0) sensor's sigma.
+    fn measurement_sigma(&self) -> f64 {
+        self.primary().current_measurement_sigma()
+    }
+
+    fn retunes(&self) -> &[Retune] {
+        self.primary().retunes()
+    }
+
+    fn retune_count(&self) -> usize {
+        self.estimators.iter().map(|e| e.retunes().len()).sum()
+    }
+
+    fn retunes_since(&self, from: usize) -> Vec<Retune> {
+        let mut all: Vec<Retune> = self
+            .estimators
+            .iter()
+            .flat_map(|e| e.retunes().iter().copied())
+            .collect();
+        all.sort_by_key(|r| r.at_sample);
+        all.split_off(from.min(all.len()))
+    }
+
+    fn label(&self) -> &'static str {
+        "multi/iekf5"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
     }
 }
 
@@ -190,6 +263,111 @@ mod tests {
         let multi = run_two(truth, truth, 5_000);
         let rel = multi.relative_alignment(0, 0);
         assert!(rad_to_deg(rel.max_abs()) < 1e-9);
+    }
+
+    #[test]
+    fn multi_driven_through_session_layer() {
+        // The same two-sensor rig as above, but driven by a
+        // FusionSession over a two-channel synthetic source instead of
+        // hand-fed samples.
+        use crate::scenario::ScenarioConfig;
+        use crate::session::{ChannelConfig, FusionSession, SyntheticSource};
+        use vehicle::TiltTable;
+
+        let truth_a = EulerAngles::from_degrees(2.0, -1.0, 1.5);
+        let truth_b = EulerAngles::from_degrees(-3.0, 2.0, -1.0);
+        let cfg = {
+            let mut c = ScenarioConfig::static_test(truth_a);
+            c.duration_s = 120.0;
+            c
+        };
+        let channel = |truth| ChannelConfig {
+            misalignment: truth,
+            noise_sigma: 0.007,
+            ..ChannelConfig::ideal()
+        };
+        let table = TiltTable::observability_sequence(20.0, cfg.duration_s / 8.0);
+        let source = SyntheticSource::new(
+            &table,
+            cfg.dmu,
+            cfg.vibration,
+            cfg.acc_rate_hz,
+            cfg.duration_s,
+            cfg.seed,
+        )
+        .with_channel(&channel(truth_a))
+        .with_channel(&channel(truth_b));
+        let mut session = FusionSession::builder()
+            .source(source)
+            .backend(MultiBoresight::new(vec![
+                ("camera".into(), EstimatorConfig::paper_static()),
+                ("lidar".into(), EstimatorConfig::paper_static()),
+            ]))
+            .build();
+        session.run_to_end();
+
+        // Each sensor converges to its own truth...
+        let ea = session.estimate_for(0).angles.error_to(&truth_a);
+        let eb = session.estimate_for(1).angles.error_to(&truth_b);
+        assert!(rad_to_deg(ea.max_abs()) < 0.3, "{:?}", ea.to_degrees());
+        assert!(rad_to_deg(eb.max_abs()) < 0.3, "{:?}", eb.to_degrees());
+
+        // ...and the backend hands back relative alignment with no
+        // cross-sensor calibration.
+        let multi: &MultiBoresight = session.backend_as().expect("multi backend");
+        assert_eq!(multi.sensor_count(), 2);
+        let rel = multi.relative_alignment(0, 1);
+        let expected = (truth_b.dcm().transpose() * truth_a.dcm()).euler();
+        let err = rel.error_to(&expected);
+        assert!(
+            rad_to_deg(err.max_abs()) < 0.5,
+            "relative {:?} vs {:?}",
+            rel.to_degrees(),
+            expected.to_degrees()
+        );
+    }
+
+    #[test]
+    fn retunes_aggregate_across_sensors() {
+        use mathx::{GaussianSampler, Vec3, STANDARD_GRAVITY};
+
+        // Sensor 1 carries a static-tuned filter fed vibration-grade
+        // noise, so only its monitor retunes; the backend totals must
+        // still see it even though sensor 0 stays quiet.
+        let mut noisy = EstimatorConfig::paper_static();
+        noisy.filter.measurement_sigma = 0.003;
+        let mut multi = MultiBoresight::new(vec![
+            ("quiet".into(), EstimatorConfig::paper_static()),
+            ("noisy".into(), noisy),
+        ]);
+        let mut rng = seeded_rng(9);
+        let mut gauss = GaussianSampler::new();
+        let g = STANDARD_GRAVITY;
+        for i in 0..5000 {
+            let t = i as f64 * 0.005;
+            multi.on_dmu(&DmuSample {
+                seq: i as u16,
+                time_s: t,
+                gyro: Vec3::zeros(),
+                accel: Vec3::new([0.0, 0.0, g]),
+            });
+            multi.on_acc(0, t, Vec2::zeros());
+            multi.on_acc(
+                1,
+                t,
+                Vec2::new([
+                    gauss.sample_scaled(&mut rng, 0.0, 0.03),
+                    gauss.sample_scaled(&mut rng, 0.0, 0.03),
+                ]),
+            );
+        }
+        assert!(multi.estimators[0].retunes().is_empty());
+        assert!(!multi.estimators[1].retunes().is_empty());
+        let total = FusionBackend::retune_count(&multi);
+        assert_eq!(total, multi.estimators[1].retunes().len());
+        assert_eq!(FusionBackend::retunes_since(&multi, 0).len(), total);
+        // retunes() stays the primary sensor's log by contract.
+        assert!(FusionBackend::retunes(&multi).is_empty());
     }
 
     #[test]

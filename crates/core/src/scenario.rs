@@ -8,12 +8,19 @@
 //! per-axis residuals with their 3-sigma bounds (Figure 8), the
 //! misalignment estimate trajectory with covariance (Figure 9), and
 //! final estimate vs truth with confidence (Table 1).
+//!
+//! Since the [`crate::session`] redesign these entry points are thin
+//! compat shims: the event loop lives in
+//! [`FusionSession`](crate::session::FusionSession), and [`run`] just
+//! builds a session from the config and collects its [`RunResult`].
+//! Use the session API directly for incremental stepping, multiple
+//! concurrent runs or non-default backends.
 
-use crate::estimator::{BoresightEstimator, EstimatorConfig, MisalignmentEstimate};
-use mathx::{rad_to_deg, EulerAngles, GaussianSampler, Vec2};
-use rand::rngs::StdRng;
-use sensors::{Dmu, DmuConfig, Mounting};
-use vehicle::{RoadVibration, Trajectory, VibrationConfig};
+use crate::estimator::{EstimatorConfig, MisalignmentEstimate};
+use crate::session::FusionSession;
+use mathx::{rad_to_deg, EulerAngles, Vec2};
+use sensors::DmuConfig;
+use vehicle::{Trajectory, VibrationConfig};
 
 /// Scenario configuration.
 #[derive(Clone, Debug)]
@@ -48,9 +55,10 @@ pub struct ScenarioConfig {
 }
 
 impl ScenarioConfig {
-    /// The paper's static test: tilt-table schedule, no vibration,
-    /// static filter tuning.
-    pub fn static_test(true_misalignment: EulerAngles) -> Self {
+    /// Shared base for every test procedure: paper sensor configs,
+    /// 300 s run, deterministic seed — the static/dynamic constructors
+    /// only override tuning and vibration.
+    fn base(true_misalignment: EulerAngles) -> Self {
         // Tactical-grade IMU accelerometers (the BAE DMU is a cut above
         // consumer parts): ~0.004 m/s^2 per-sample noise keeps the
         // combined residual floor inside the paper's tuned
@@ -72,6 +80,12 @@ impl ScenarioConfig {
         }
     }
 
+    /// The paper's static test: tilt-table schedule, no vibration,
+    /// static filter tuning.
+    pub fn static_test(true_misalignment: EulerAngles) -> Self {
+        Self::base(true_misalignment)
+    }
+
     /// The paper's dynamic test: passenger-car vibration and the
     /// dynamic filter tuning.
     pub fn dynamic_test(true_misalignment: EulerAngles) -> Self {
@@ -79,8 +93,15 @@ impl ScenarioConfig {
             vibration: VibrationConfig::passenger_car(),
             differential_vibration: 0.1,
             estimator: EstimatorConfig::paper_dynamic(),
-            ..Self::static_test(true_misalignment)
+            ..Self::base(true_misalignment)
         }
+    }
+}
+
+impl Default for ScenarioConfig {
+    /// The static test procedure with no injected misalignment.
+    fn default() -> Self {
+        Self::base(EulerAngles::zero())
     }
 }
 
@@ -111,7 +132,7 @@ pub struct EstimatePoint {
 }
 
 /// Everything a run produces.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq)]
 pub struct RunResult {
     /// The injected truth.
     pub truth: EulerAngles,
@@ -138,98 +159,17 @@ impl RunResult {
 
     /// Largest absolute per-axis error, degrees.
     pub fn max_error_deg(&self) -> f64 {
-        self.error_deg()
-            .iter()
-            .fold(0.0_f64, |m, e| m.max(e.abs()))
+        self.error_deg().iter().fold(0.0_f64, |m, e| m.max(e.abs()))
     }
 }
 
-/// Runs one scenario against a trajectory.
+/// Runs one scenario against a trajectory to completion.
+///
+/// Compat shim over the session layer: equivalent to building
+/// [`FusionSession::from_scenario`] and collecting
+/// [`FusionSession::into_result`].
 pub fn run(trajectory: &dyn Trajectory, config: &ScenarioConfig) -> RunResult {
-    let mut rng: StdRng = mathx::rng::seeded_rng(config.seed);
-    let mut gauss = GaussianSampler::new();
-    let mut dmu = Dmu::new(config.dmu);
-    let mounting = Mounting::new(config.true_misalignment, config.estimator.lever_arm);
-    let mut common_vib = RoadVibration::new(config.vibration);
-    let mut diff_vib = RoadVibration::new(config.vibration);
-    let mut estimator = BoresightEstimator::new(config.estimator);
-
-    let acc_dt = 1.0 / config.acc_rate_hz;
-    let dmu_dt = dmu.dt();
-    let steps = (config.duration_s / acc_dt).round() as usize;
-    let dmu_every = (dmu_dt / acc_dt).round().max(1.0) as usize;
-
-    let mut residuals = Vec::new();
-    let mut estimates = Vec::new();
-    let mut exceed = 0u64;
-    let mut total = 0u64;
-
-    for i in 0..steps {
-        let t = i as f64 * acc_dt;
-        let state = trajectory.sample(t);
-        let speed = state.speed();
-        let f_true = state.specific_force_body();
-        let w_true = state.angular_rate_b;
-        // Common rigid-body vibration, sensed by both instruments.
-        let (df, dw) = common_vib.step(speed, &mut rng);
-        let f_b = f_true + df;
-        let w_b = w_true + dw;
-
-        if i % dmu_every == 0 {
-            let sample = dmu.sample(f_b, w_b, &mut rng);
-            estimator.on_dmu(&sample);
-        }
-
-        // ACC: specific force at the (misaligned, offset) sensor, plus
-        // differential vibration, bias and instrument noise.
-        let f_sensor = mounting.body_to_sensor(f_b, w_b, state.angular_accel_b);
-        let (dfd, _) = diff_vib.step(speed, &mut rng);
-        let z = Vec2::new([
-            f_sensor[0]
-                + config.differential_vibration * dfd[0]
-                + config.true_acc_bias[0]
-                + gauss.sample_scaled(&mut rng, 0.0, config.acc_noise_sigma),
-            f_sensor[1]
-                + config.differential_vibration * dfd[1]
-                + config.true_acc_bias[1]
-                + gauss.sample_scaled(&mut rng, 0.0, config.acc_noise_sigma),
-        ]);
-        if let Some(update) = estimator.on_acc(t, z) {
-            total += 1;
-            if update.exceeds_three_sigma() {
-                exceed += 1;
-            }
-            if i % config.trace_decimation.max(1) == 0 {
-                residuals.push(ResidualPoint {
-                    time_s: t,
-                    residual_x: update.innovation[0],
-                    three_sigma_x: 3.0 * update.innovation_sigma[0],
-                    residual_y: update.innovation[1],
-                    three_sigma_y: 3.0 * update.innovation_sigma[1],
-                });
-                let est = estimator.estimate();
-                estimates.push(EstimatePoint {
-                    time_s: t,
-                    angles_deg: est.angles.to_degrees(),
-                    three_sigma_deg: est.three_sigma_deg(),
-                });
-            }
-        }
-    }
-
-    RunResult {
-        truth: config.true_misalignment,
-        estimate: estimator.estimate(),
-        residuals,
-        estimates,
-        exceed_rate: if total > 0 {
-            exceed as f64 / total as f64
-        } else {
-            0.0
-        },
-        final_sigma: estimator.current_measurement_sigma(),
-        retune_count: estimator.retunes().len(),
-    }
+    FusionSession::from_scenario(trajectory, config).into_result()
 }
 
 /// Runs the paper's static test procedure (tilt-table observability

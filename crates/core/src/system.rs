@@ -18,18 +18,17 @@
 //! charging its per-op Sabre cycle costs (see DESIGN.md section 4.4).
 
 use crate::arith::{Kf3, SoftArith};
-use crate::estimator::{BoresightEstimator, MisalignmentEstimate};
+use crate::estimator::MisalignmentEstimate;
 use crate::scenario::ScenarioConfig;
-use comms::{
-    AdxlPacket, BridgeEncoder, DmuCanCodec, Reconstructor, SensorMessage, StreamStats, UartConfig,
-    UartLink,
-};
+use crate::session::{CommsChainSource, EventSink, FusionSession, SensorEvent};
+use comms::StreamStats;
 use fpga::fixed::Q16_16;
 use fpga::pipeline::FrameTiming;
 use fpga::sabre::{assemble, ControlBlock, ControlReg, Sabre, StopReason, CONTROL_BASE};
-use mathx::{rad_to_deg, EulerAngles, GaussianSampler, Vec2};
-use sensors::{Adxl202, Adxl202Config, Dmu, Mounting};
-use vehicle::{RoadVibration, Trajectory};
+use mathx::{rad_to_deg, EulerAngles, Vec3};
+use std::cell::RefCell;
+use std::rc::Rc;
+use vehicle::Trajectory;
 use video::{
     affine::{transform, MappingKind},
     camera::CameraModel,
@@ -102,6 +101,13 @@ impl SystemConfig {
     }
 }
 
+impl Default for SystemConfig {
+    /// The demo system with no injected misalignment.
+    fn default() -> Self {
+        Self::demo(EulerAngles::zero())
+    }
+}
+
 /// Everything the system run reports.
 #[derive(Clone, Debug)]
 pub struct SystemReport {
@@ -136,151 +142,181 @@ pub struct SystemReport {
     pub forward_holes: u64,
 }
 
-/// Writes an estimate into the Sabre mailbox and runs the publish
-/// program, which copies it to the control block.
-fn publish(cpu: &mut Sabre, program: &[u32], est: &MisalignmentEstimate) {
-    let q = |x: f64| Q16_16::from_f64(x).raw() as u32;
-    cpu.write_data_word(256, 1);
-    cpu.write_data_word(260, q(est.angles.roll));
-    cpu.write_data_word(264, q(est.angles.pitch));
-    cpu.write_data_word(268, q(est.angles.yaw));
-    cpu.write_data_word(272, q(est.one_sigma[0]));
-    cpu.write_data_word(276, q(est.one_sigma[1]));
-    cpu.write_data_word(280, q(est.one_sigma[2]));
-    cpu.write_data_word(284, est.updates as u32);
-    cpu.load_program(program);
-    let stop = cpu.run(10_000);
-    debug_assert_eq!(stop, StopReason::Halted);
+/// Publishes each estimate through the Sabre soft core into the
+/// memory-mapped control block — the paper's Figure-7 path — as an
+/// [`EventSink`] on the fusion stream.
+pub struct SabrePublishSink {
+    cpu: Sabre,
+    program: Vec<u32>,
+    interval_s: f64,
+    next_publish: f64,
+    publishes: u64,
 }
 
-/// Runs the full system against a trajectory.
-pub fn run_system(trajectory: &dyn Trajectory, config: &SystemConfig) -> SystemReport {
-    let sc = &config.scenario;
-    let mut rng = mathx::rng::seeded_rng(sc.seed);
-    let mut gauss = GaussianSampler::new();
-
-    // Instruments.
-    let mut dmu = Dmu::new(sc.dmu);
-    let mut acc_cfg = Adxl202Config::ideal();
-    acc_cfg.sample_rate_hz = sc.acc_rate_hz;
-    acc_cfg.channel.error.noise_std = sc.acc_noise_sigma;
-    acc_cfg.timer_resolution_us = 0.5;
-    let mut acc = Adxl202::new(acc_cfg);
-    let mounting = Mounting::new(sc.true_misalignment, sc.estimator.lever_arm);
-    let mut common_vib = RoadVibration::new(sc.vibration);
-    let mut diff_vib = RoadVibration::new(sc.vibration);
-
-    // Comms chain.
-    let mut bridge_enc = BridgeEncoder::new();
-    let mut dmu_link = UartLink::new(UartConfig::baud_38400());
-    let mut acc_link = UartLink::new(UartConfig::baud_19200());
-    let mut recon = Reconstructor::new(1.0 / dmu.dt(), sc.acc_rate_hz);
-
-    // Fusion.
-    let mut estimator = BoresightEstimator::new(sc.estimator);
-    let mut shadow = Kf3::new(
-        SoftArith::default(),
-        sc.estimator.filter.initial_angle_sigma,
-        sc.estimator.filter.measurement_sigma,
-    );
-    let mut last_f_b = None;
-
-    // Sabre.
-    let program = assemble(PUBLISH_PROGRAM).expect("publish program assembles");
-    let mut cpu = Sabre::with_standard_bus();
-    let mut publishes = 0u64;
-    let mut next_publish = config.publish_interval_s;
-
-    let acc_dt = 1.0 / sc.acc_rate_hz;
-    let dmu_every = (dmu.dt() / acc_dt).round().max(1.0) as usize;
-    let steps = (sc.duration_s / acc_dt).round() as usize;
-
-    for i in 0..steps {
-        let t = i as f64 * acc_dt;
-        let state = trajectory.sample(t);
-        let speed = state.speed();
-        let (df, dw) = common_vib.step(speed, &mut rng);
-        let f_b = state.specific_force_body() + df;
-        let w_b = state.angular_rate_b + dw;
-
-        // DMU -> CAN -> bridge -> UART.
-        if i % dmu_every == 0 {
-            let sample = dmu.sample(f_b, w_b, &mut rng);
-            for frame in DmuCanCodec::encode(&sample) {
-                dmu_link.send(&bridge_enc.encode(&frame));
-            }
+impl SabrePublishSink {
+    /// Builds the sink, assembling the publish program.
+    pub fn new(interval_s: f64) -> Self {
+        let program = assemble(PUBLISH_PROGRAM).expect("publish program assembles");
+        Self {
+            cpu: Sabre::with_standard_bus(),
+            program: program.words,
+            interval_s,
+            next_publish: interval_s,
+            publishes: 0,
         }
-        // ACC -> eval packet -> UART.
-        let f_sensor = mounting.body_to_sensor(f_b, w_b, state.angular_accel_b);
-        let (dfd, _) = diff_vib.step(speed, &mut rng);
-        let input = Vec2::new([
-            f_sensor[0] + sc.differential_vibration * dfd[0] + sc.true_acc_bias[0]
-                + gauss.sample_scaled(&mut rng, 0.0, 0.0),
-            f_sensor[1] + sc.differential_vibration * dfd[1] + sc.true_acc_bias[1],
-        ]);
-        let duty = acc.sample(input, &mut rng);
-        let packet = AdxlPacket::from_sample(&duty);
-        acc_link.send(&packet.to_bytes());
+    }
 
-        // Serial delivery at line rate.
-        let dmu_bytes = dmu_link.poll(acc_dt);
-        if !dmu_bytes.is_empty() {
-            recon.push_dmu_bytes(&dmu_bytes);
-        }
-        let acc_bytes = acc_link.poll(acc_dt);
-        if !acc_bytes.is_empty() {
-            recon.push_acc_bytes(&acc_bytes);
-        }
+    /// Writes an estimate into the Sabre mailbox and runs the publish
+    /// program, which copies it to the control block.
+    fn publish(&mut self, est: &MisalignmentEstimate) {
+        let q = |x: f64| Q16_16::from_f64(x).raw() as u32;
+        self.cpu.write_data_word(256, 1);
+        self.cpu.write_data_word(260, q(est.angles.roll));
+        self.cpu.write_data_word(264, q(est.angles.pitch));
+        self.cpu.write_data_word(268, q(est.angles.yaw));
+        self.cpu.write_data_word(272, q(est.one_sigma[0]));
+        self.cpu.write_data_word(276, q(est.one_sigma[1]));
+        self.cpu.write_data_word(280, q(est.one_sigma[2]));
+        self.cpu.write_data_word(284, est.updates as u32);
+        self.cpu.load_program(&self.program);
+        let stop = self.cpu.run(10_000);
+        debug_assert_eq!(stop, StopReason::Halted);
+        self.publishes += 1;
+    }
 
-        // Fusion consumes reconstructed messages.
-        while let Some(msg) = recon.pop() {
-            match msg {
-                SensorMessage::Dmu(s) => {
-                    last_f_b = Some(s.accel);
-                    estimator.on_dmu(&s);
-                }
-                SensorMessage::Acc(s) => {
-                    let z = s.decode();
-                    if let Some(update) = estimator.on_acc(s.time_s, z) {
-                        let _ = update;
-                        if shadow.update_count() < config.shadow_updates {
-                            if let Some(f) = last_f_b {
-                                shadow.step(z, f, 1e-10);
-                            }
-                        }
+    /// Angles read back from the control block (Q16.16-quantized).
+    pub fn control_angles(&mut self) -> EulerAngles {
+        let control = self
+            .cpu
+            .bus
+            .device_at(CONTROL_BASE)
+            .expect("control mapped")
+            .as_any()
+            .downcast_mut::<ControlBlock>()
+            .expect("control block type");
+        let qa = control.angles_q16();
+        let _valid = control.result_valid();
+        let _count = control.reg(ControlReg::UpdateCount);
+        EulerAngles::new(
+            Q16_16::from_raw(qa[0]).to_f64(),
+            Q16_16::from_raw(qa[1]).to_f64(),
+            Q16_16::from_raw(qa[2]).to_f64(),
+        )
+    }
+
+    /// Sabre cycles spent on publish-program executions.
+    pub fn cycles(&self) -> u64 {
+        self.cpu.cycles()
+    }
+
+    /// Sabre instructions retired on publishes.
+    pub fn instructions(&self) -> u64 {
+        self.cpu.instructions()
+    }
+
+    /// Publish-program executions so far.
+    pub fn publishes(&self) -> u64 {
+        self.publishes
+    }
+}
+
+impl EventSink for SabrePublishSink {
+    fn on_time(&mut self, time_s: f64, estimate: &MisalignmentEstimate) {
+        // Scheduled on the session clock, not on updates, so publishes
+        // keep firing through a sensor-stream drought (UART error
+        // burst, reconstruction gap) just as the hardware would.
+        if time_s >= self.next_publish {
+            self.next_publish += self.interval_s;
+            self.publish(estimate);
+        }
+    }
+
+    fn on_finish(&mut self, estimate: &MisalignmentEstimate) {
+        // Final publish so the control block reflects the end-of-run
+        // estimate (the video correction uses it).
+        self.publish(estimate);
+    }
+}
+
+/// Shadows the fusion filter with the Softfloat implementation for the
+/// first N updates, accumulating the per-op Sabre cycle costs of the
+/// Kalman software (see DESIGN.md section 4.4).
+pub struct ShadowKf3Sink {
+    shadow: Kf3<SoftArith>,
+    last_f_b: Option<Vec3>,
+    max_updates: u64,
+}
+
+impl ShadowKf3Sink {
+    /// Builds the shadow filter from the scenario's filter tuning.
+    pub fn new(sc: &ScenarioConfig, max_updates: u64) -> Self {
+        Self {
+            shadow: Kf3::new(
+                SoftArith::default(),
+                sc.estimator.filter.initial_angle_sigma,
+                sc.estimator.filter.measurement_sigma,
+            ),
+            last_f_b: None,
+            max_updates,
+        }
+    }
+
+    /// The shadowed filter (inspect its Softfloat stats).
+    pub fn kf(&self) -> &Kf3<SoftArith> {
+        &self.shadow
+    }
+
+    /// Cycle and op cost per shadowed update.
+    pub fn cost_per_update(&self) -> (f64, f64) {
+        let stats = self.shadow.arith().fpu.stats();
+        let updates = self.shadow.update_count().max(1);
+        (
+            stats.cycles as f64 / updates as f64,
+            stats.total_ops() as f64 / updates as f64,
+        )
+    }
+}
+
+impl EventSink for ShadowKf3Sink {
+    fn on_event(&mut self, event: &SensorEvent) {
+        match *event {
+            SensorEvent::Dmu(s) => self.last_f_b = Some(s.accel),
+            SensorEvent::Acc { z, .. } => {
+                if self.shadow.update_count() < self.max_updates {
+                    if let Some(f) = self.last_f_b {
+                        self.shadow.step(z, f, 1e-10);
                     }
                 }
             }
         }
-
-        // Periodic publish through the Sabre core.
-        if t >= next_publish {
-            next_publish += config.publish_interval_s;
-            publish(&mut cpu, &program.words, &estimator.estimate());
-            publishes += 1;
-        }
     }
-    // Final publish so the control block reflects the end-of-run
-    // estimate (the video correction below uses it).
-    publish(&mut cpu, &program.words, &estimator.estimate());
-    publishes += 1;
+}
 
-    // Read the published result back from the control block.
-    let control = cpu
-        .bus
-        .device_at(CONTROL_BASE)
-        .expect("control mapped")
-        .as_any()
-        .downcast_mut::<ControlBlock>()
-        .expect("control block type");
-    let qa = control.angles_q16();
-    let control_angles = EulerAngles::new(
-        Q16_16::from_raw(qa[0]).to_f64(),
-        Q16_16::from_raw(qa[1]).to_f64(),
-        Q16_16::from_raw(qa[2]).to_f64(),
-    );
-    let _valid = control.result_valid();
-    let _count = control.reg(ControlReg::UpdateCount);
+/// Runs the full system against a trajectory.
+///
+/// Compat shim over the session layer: the event loop lives in
+/// [`FusionSession`]; this wrapper wires the [`CommsChainSource`]
+/// front end, the production estimator, the Sabre publish and shadow
+/// sinks together, then performs the end-of-run video-correction
+/// experiment and assembles the [`SystemReport`].
+pub fn run_system(trajectory: &dyn Trajectory, config: &SystemConfig) -> SystemReport {
+    let sc = &config.scenario;
+    let sabre = Rc::new(RefCell::new(SabrePublishSink::new(
+        config.publish_interval_s,
+    )));
+    let shadow = Rc::new(RefCell::new(ShadowKf3Sink::new(sc, config.shadow_updates)));
+    let mut session = FusionSession::builder()
+        .source(CommsChainSource::from_scenario(trajectory, sc))
+        .estimator(sc.estimator)
+        .truth(sc.true_misalignment)
+        .sink(Rc::clone(&shadow))
+        .sink(Rc::clone(&sabre))
+        .build();
+    session.run_to_end();
+
+    let stream = session.stream_stats().expect("comms chain has stats");
+    let estimate = session.estimate();
+    let control_angles = sabre.borrow_mut().control_angles();
 
     // Video correction experiment with the published (quantized) angles.
     let (w, h) = config.frame_size;
@@ -296,20 +332,16 @@ pub fn run_system(trajectory: &dyn Trajectory, config: &SystemConfig) -> SystemR
     let (_, fwd_stats) = transform(&seen, &correction, MappingKind::FixedForward);
 
     // Kalman software budget.
-    let stats = shadow.arith().fpu.stats();
-    let updates = shadow.update_count().max(1);
-    let cycles_per_update = stats.cycles as f64 / updates as f64;
-    let ops_per_update = stats.total_ops() as f64 / updates as f64;
+    let (cycles_per_update, ops_per_update) = shadow.borrow().cost_per_update();
     let utilization = cycles_per_update * sc.acc_rate_hz / config.sabre_clock_hz;
 
-    let estimate = estimator.estimate();
     let error = estimate.angles.error_to(&sc.true_misalignment);
     let timing = FrameTiming {
         width: w,
         height: h,
         clock_hz: 65e6,
     };
-    let _ = publishes;
+    let sabre = sabre.borrow();
 
     SystemReport {
         truth: sc.true_misalignment,
@@ -319,9 +351,9 @@ pub fn run_system(trajectory: &dyn Trajectory, config: &SystemConfig) -> SystemR
             rad_to_deg(error.pitch),
             rad_to_deg(error.yaw),
         ],
-        stream: recon.stats(),
-        sabre_cycles: cpu.cycles(),
-        sabre_instructions: cpu.instructions(),
+        stream,
+        sabre_cycles: sabre.cycles(),
+        sabre_instructions: sabre.instructions(),
         kalman_cycles_per_update: cycles_per_update,
         kalman_ops_per_update: ops_per_update,
         kalman_cpu_utilization: utilization,
@@ -342,6 +374,23 @@ mod tests {
         cfg.scenario.duration_s = 40.0;
         cfg.shadow_updates = 300;
         cfg
+    }
+
+    #[test]
+    fn sabre_publishes_on_wall_clock_even_without_updates() {
+        // The publish schedule is driven by the session clock, not by
+        // filter updates, so a sensor-stream drought does not stall the
+        // control block (the pre-session batch loop behaved this way).
+        let mut sink = SabrePublishSink::new(0.2);
+        let est = MisalignmentEstimate {
+            angles: EulerAngles::zero(),
+            one_sigma: Vec3::zeros(),
+            updates: 0,
+        };
+        for i in 1..=100 {
+            sink.on_time(i as f64 * 0.01, &est); // 1 s of ticks, zero updates
+        }
+        assert_eq!(sink.publishes(), 5);
     }
 
     #[test]

@@ -1,0 +1,112 @@
+//! Vendored micro-benchmark shim.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the subset of the `criterion` API the workspace's bench
+//! targets use: [`Criterion::bench_function`], [`Bencher::iter`], and
+//! the [`criterion_group!`] / [`criterion_main!`] macros. Each
+//! benchmark is timed with a short calibration pass followed by a
+//! fixed measurement window, and the median per-iteration time is
+//! printed in a `name ... time: [x ns]` line.
+//!
+//! Passing `--test` (as `cargo test` does for `harness = false` bench
+//! targets) runs every benchmark for a single iteration, so the bench
+//! suite doubles as a smoke test.
+
+pub use std::hint::black_box;
+
+use std::time::{Duration, Instant};
+
+/// Target wall-clock time for one benchmark's measurement phase.
+const MEASUREMENT_TIME: Duration = Duration::from_millis(500);
+/// Samples collected per benchmark.
+const SAMPLES: usize = 20;
+
+/// The benchmark driver.
+pub struct Criterion {
+    smoke_test: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let smoke_test = std::env::args().any(|a| a == "--test");
+        Self { smoke_test }
+    }
+}
+
+impl Criterion {
+    /// Runs one benchmark and prints its timing.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        if self.smoke_test {
+            f(&mut bencher);
+            println!("{name:<40} ok (smoke test)");
+            return self;
+        }
+        // Calibrate: grow the iteration count until one sample takes
+        // at least ~1/SAMPLES of the measurement window.
+        let target = MEASUREMENT_TIME / SAMPLES as u32;
+        loop {
+            f(&mut bencher);
+            if bencher.elapsed >= target || bencher.iters >= 1 << 30 {
+                break;
+            }
+            bencher.iters *= 2;
+        }
+        let iters = bencher.iters;
+        let mut samples: Vec<f64> = (0..SAMPLES)
+            .map(|_| {
+                f(&mut bencher);
+                bencher.elapsed.as_nanos() as f64 / iters as f64
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        let median = samples[samples.len() / 2];
+        println!("{name:<40} time: [{median:>12.1} ns/iter] ({iters} iters/sample)");
+        self
+    }
+}
+
+/// Times the closure handed to [`Criterion::bench_function`].
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Runs `routine` for this sample's iteration count, timing the
+    /// whole batch.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

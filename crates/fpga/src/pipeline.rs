@@ -15,7 +15,7 @@
 //! back (plus the boresight translation correction). Once the pipeline
 //! is full it accepts and produces one pixel per clock.
 
-use crate::fixed::{Q14, SinCosLut};
+use crate::fixed::{SinCosLut, Q14};
 
 /// A pixel coordinate pair.
 pub type Coord = (i32, i32);
@@ -52,10 +52,10 @@ pub struct AffinePipeline {
     centre: Coord,
     translation: Coord,
     // Stage registers (None = bubble).
-    s1: Option<Coord>,               // after LUT fetch (trig held below)
-    s2: Option<(i32, i32)>,          // centred coordinates (fixed point)
-    s3: Option<Products>,            // multiplier outputs
-    s4: Option<Coord>,               // summed, converted back to int
+    s1: Option<Coord>,      // after LUT fetch (trig held below)
+    s2: Option<(i32, i32)>, // centred coordinates (fixed point)
+    s3: Option<Products>,   // multiplier outputs
+    s4: Option<Coord>,      // summed, converted back to int
     sin: Q14,
     cos: Q14,
     clocks: u64,
@@ -133,7 +133,10 @@ impl AffinePipeline {
             y_cos: my as i64 * self.cos as i64,
         });
         // Stage 2: translate to the centre of rotation.
-        self.s2 = self.s1.take().map(|(x, y)| (x - self.centre.0, y - self.centre.1));
+        self.s2 = self
+            .s1
+            .take()
+            .map(|(x, y)| (x - self.centre.0, y - self.centre.1));
         // Stage 1: trig fetch (held in sin/cos registers).
         self.s1 = input;
         out
@@ -239,7 +242,11 @@ mod tests {
         let n = 1000u64;
         let mut outputs = 0;
         for i in 0..n + AffinePipeline::LATENCY {
-            let input = if i < n { Some((i as i32 % 640, i as i32 / 640)) } else { None };
+            let input = if i < n {
+                Some((i as i32 % 640, i as i32 / 640))
+            } else {
+                None
+            };
             if pipe.clock(input).is_some() {
                 outputs += 1;
             }

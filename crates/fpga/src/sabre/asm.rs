@@ -400,10 +400,13 @@ mod tests {
 
     #[test]
     fn memory_and_words() {
-        let program = assemble("
+        let program = assemble(
+            "
                     lw   r1, 16(r0)
                     halt
-        ").unwrap();
+        ",
+        )
+        .unwrap();
         let mut cpu = Sabre::with_standard_bus();
         cpu.load_program(&program.words);
         cpu.write_data_word(16, 777);
@@ -413,12 +416,15 @@ mod tests {
 
     #[test]
     fn labels_resolve_forward_and_backward() {
-        let p = assemble("
+        let p = assemble(
+            "
             start:  jal r15, end
                     nop
             end:    beq r0, r0, start
                     halt
-        ").unwrap();
+        ",
+        )
+        .unwrap();
         assert_eq!(p.labels["start"], 0);
         assert_eq!(p.labels["end"], 2);
     }
@@ -476,11 +482,14 @@ mod tests {
 
     #[test]
     fn word_directive_emits_data() {
-        let p = assemble("
+        let p = assemble(
+            "
                     halt
             data:   .word 0xDEADBEEF
                     .word -1
-        ").unwrap();
+        ",
+        )
+        .unwrap();
         assert_eq!(p.words[1], 0xDEADBEEF);
         assert_eq!(p.words[2], 0xFFFF_FFFF);
         assert_eq!(p.labels["data"], 1);

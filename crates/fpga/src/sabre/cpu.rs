@@ -206,9 +206,7 @@ impl Sabre {
                 let p = (self.reg(a) as u64) * (self.reg(b) as u64);
                 self.set_reg(d, (p >> 32) as u32);
             }
-            Slt(d, a, b) => {
-                self.set_reg(d, ((self.reg(a) as i32) < (self.reg(b) as i32)) as u32)
-            }
+            Slt(d, a, b) => self.set_reg(d, ((self.reg(a) as i32) < (self.reg(b) as i32)) as u32),
             Sltu(d, a, b) => self.set_reg(d, (self.reg(a) < self.reg(b)) as u32),
             Addi(d, a, i) => self.set_reg(d, self.reg(a).wrapping_add(i as u32)),
             Andi(d, a, i) => self.set_reg(d, self.reg(a) & i as u32),
@@ -350,12 +348,7 @@ mod tests {
     fn memory_load_store() {
         use Instr::*;
         let cpu = assemble_and_run(
-            &[
-                Addi(1, 0, 0x1234),
-                Sw(1, 0, 100),
-                Lw(2, 0, 100),
-                Halt,
-            ],
+            &[Addi(1, 0, 0x1234), Sw(1, 0, 100), Lw(2, 0, 100), Halt],
             100,
         );
         assert_eq!(cpu.reg(2), 0x1234);
@@ -410,12 +403,12 @@ mod tests {
         // divides by 4, so compute r14 = r15 * 4.
         let cpu = assemble_and_run(
             &[
-                Jal(15, 2),     // 0: call func at pc+2
-                Halt,           // 1:
-                Addi(1, 0, 7),  // 2: func body
-                Addi(14, 0, 4), // 3:
+                Jal(15, 2),      // 0: call func at pc+2
+                Halt,            // 1:
+                Addi(1, 0, 7),   // 2: func body
+                Addi(14, 0, 4),  // 3:
                 Mul(14, 15, 14), // 4: r14 = return word index * 4
-                Jalr(0, 14, 0), // 5: return
+                Jalr(0, 14, 0),  // 5: return
             ],
             1000,
         );
@@ -449,14 +442,14 @@ mod tests {
         // back; after 3 bytes, halt.
         let prog: Vec<u32> = [
             Lui(1, 0x8000),
-            Ori(1, 1, 0x40),   // r1 = UART1_BASE
-            Addi(5, 0, 3),     // bytes to echo
+            Ori(1, 1, 0x40), // r1 = UART1_BASE
+            Addi(5, 0, 3),   // bytes to echo
             // poll:
-            Lw(2, 1, 4),       // status
-            Andi(2, 2, 1),     // rx avail?
-            Beq(2, 0, -2),     // loop until available
-            Lw(3, 1, 0),       // read byte
-            Sw(3, 1, 0),       // write back
+            Lw(2, 1, 4),   // status
+            Andi(2, 2, 1), // rx avail?
+            Beq(2, 0, -2), // loop until available
+            Lw(3, 1, 0),   // read byte
+            Sw(3, 1, 0),   // write back
             Addi(5, 5, -1),
             Bne(5, 0, -6),
             Halt,
@@ -507,10 +500,7 @@ mod tests {
         // Bad opcode.
         let mut cpu = Sabre::new(standard_bus());
         cpu.load_program(&[0x3E << 26]);
-        assert!(matches!(
-            cpu.run(100),
-            StopReason::Trapped(Trap::Decode(_))
-        ));
+        assert!(matches!(cpu.run(100), StopReason::Trapped(Trap::Decode(_))));
     }
 
     #[test]

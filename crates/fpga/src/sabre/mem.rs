@@ -29,7 +29,7 @@ impl BlockRam {
     ///
     /// Returns `None` if the address is out of range or unaligned.
     pub fn read32(&self, addr: u32) -> Option<u32> {
-        if addr % 4 != 0 {
+        if !addr.is_multiple_of(4) {
             return None;
         }
         self.words.get(addr as usize / 4).copied()
@@ -39,7 +39,7 @@ impl BlockRam {
     ///
     /// Returns `false` if the address is out of range or unaligned.
     pub fn write32(&mut self, addr: u32, value: u32) -> bool {
-        if addr % 4 != 0 {
+        if !addr.is_multiple_of(4) {
             return false;
         }
         match self.words.get_mut(addr as usize / 4) {

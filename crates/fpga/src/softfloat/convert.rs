@@ -88,18 +88,18 @@ mod tests {
             -1.5,
             f64::INFINITY,
             f64::NEG_INFINITY,
-            f64::MAX,     // overflows to +inf
-            -f64::MAX,    // overflows to -inf
+            f64::MAX,          // overflows to +inf
+            -f64::MAX,         // overflows to -inf
             f64::MIN_POSITIVE, // underflows to 0
-            1e-40,        // f32 subnormal range
+            1e-40,             // f32 subnormal range
             1e-45,
             1.0000000000000002,
             std::f64::consts::PI,
             9.80665,
-            3.4028235e38,  // ~ f32::MAX
-            3.4028237e38,  // just above f32::MAX
+            3.4028235e38,          // ~ f32::MAX
+            3.4028237e38,          // just above f32::MAX
             1.401298464324817e-45, // f32 min subnormal
-            7e-46,         // rounds to smallest subnormal or zero
+            7e-46,                 // rounds to smallest subnormal or zero
         ];
         for &a in cases {
             let got = f64_to_f32(Sf64::from_f64(a));

@@ -76,6 +76,7 @@ impl Sf32 {
     }
 
     /// Flips the sign bit.
+    #[allow(clippy::should_implement_trait)] // softfloat op set uses the paper's names
     pub fn neg(self) -> Self {
         Self(self.0 ^ SIGN)
     }
@@ -283,7 +284,7 @@ pub fn div(a: Sf32, b: Sf32) -> Sf32 {
     let num = (siga as u64) << (NORM_MSB + 1);
     let den = sigb as u64;
     let mut q = num / den; // in (2^30, 2^32)
-    if num % den != 0 {
+    if !num.is_multiple_of(den) {
         q |= 1;
     }
     if q >= (1 << (NORM_MSB + 1)) {
@@ -527,7 +528,17 @@ mod tests {
 
     #[test]
     fn i32_conversions_match_native() {
-        for &x in &[0i32, 1, -1, 42, -42, i32::MAX, i32::MIN, 7_654_321, 16_777_217] {
+        for &x in &[
+            0i32,
+            1,
+            -1,
+            42,
+            -42,
+            i32::MAX,
+            i32::MIN,
+            7_654_321,
+            16_777_217,
+        ] {
             assert_eq!(from_i32(x).to_f32(), x as f32, "from_i32({x})");
         }
         for &a in SPECIALS {

@@ -87,6 +87,7 @@ impl Sf64 {
     }
 
     /// Flips the sign bit (exact negation, including of NaN/inf/zero).
+    #[allow(clippy::should_implement_trait)] // softfloat op set uses the paper's names
     pub fn neg(self) -> Self {
         Self(self.0 ^ SIGN)
     }
@@ -300,7 +301,7 @@ pub fn div(a: Sf64, b: Sf64) -> Sf64 {
     let num = (siga as u128) << (NORM_MSB + 1);
     let den = sigb as u128;
     let mut q = num / den; // in (2^62, 2^64)
-    if num % den != 0 {
+    if !num.is_multiple_of(den) {
         q |= 1; // sticky
     }
     if q >= (1 << (NORM_MSB + 1)) {
@@ -459,7 +460,11 @@ mod tests {
         let got = op(Sf64::from_f64(a), Sf64::from_f64(b));
         let want = native(a, b);
         if want.is_nan() {
-            assert!(got.is_nan(), "{name}({a:e},{b:e}): want NaN got {:016x}", got.bits());
+            assert!(
+                got.is_nan(),
+                "{name}({a:e},{b:e}): want NaN got {:016x}",
+                got.bits()
+            );
         } else {
             assert_eq!(
                 got.bits(),
@@ -611,10 +616,7 @@ mod tests {
             n = (n * k + 1.0) / (k + 0.5);
             n = n.sqrt() + 0.25;
             let sk = from_i32(i);
-            s = div(
-                add(mul(s, sk), Sf64::ONE),
-                add(sk, Sf64::from_f64(0.5)),
-            );
+            s = div(add(mul(s, sk), Sf64::ONE), add(sk, Sf64::from_f64(0.5)));
             s = add(sqrt(s), Sf64::from_f64(0.25));
         }
         assert_eq!(s.bits(), n.to_bits());

@@ -349,10 +349,7 @@ mod tests {
         assert_eq!(stats.sqrt_f64, 1);
         assert_eq!(stats.total_ops(), 4);
         let c = CycleCosts::sabre_default();
-        assert_eq!(
-            stats.cycles,
-            c.add_f64 + c.mul_f64 + c.div_f64 + c.sqrt_f64
-        );
+        assert_eq!(stats.cycles, c.add_f64 + c.mul_f64 + c.div_f64 + c.sqrt_f64);
     }
 
     #[test]

@@ -56,8 +56,10 @@ mod tests {
                 let w = wrap_pi(a);
                 assert!(w > -PI - 1e-12 && w <= PI + 1e-12, "{a} -> {w}");
                 // Same point on the circle.
-                assert!(((a - w) / (2.0 * PI)).rem_euclid(1.0) < 1e-9 ||
-                        ((a - w) / (2.0 * PI)).rem_euclid(1.0) > 1.0 - 1e-9);
+                assert!(
+                    ((a - w) / (2.0 * PI)).rem_euclid(1.0) < 1e-9
+                        || ((a - w) / (2.0 * PI)).rem_euclid(1.0) > 1.0 - 1e-9
+                );
             }
         }
     }

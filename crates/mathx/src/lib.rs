@@ -10,6 +10,10 @@
 //!
 //! Everything is `f64`, stack-allocated and allocation-free so the same
 //! code paths can be cost-modelled on the soft-core simulator.
+
+// The dense kernels index with `for r in 0..R` on purpose: the loops
+// mirror the textbook matrix math they implement.
+#![allow(clippy::needless_range_loop)]
 //!
 //! # Examples
 //!

@@ -70,7 +70,11 @@ mod tests {
             stats.push(gauss.sample(&mut rng));
         }
         assert!(stats.mean().abs() < 0.01, "mean {}", stats.mean());
-        assert!((stats.std_dev() - 1.0).abs() < 0.01, "std {}", stats.std_dev());
+        assert!(
+            (stats.std_dev() - 1.0).abs() < 0.01,
+            "std {}",
+            stats.std_dev()
+        );
     }
 
     #[test]

@@ -210,11 +210,7 @@ impl Dcm {
     /// The skew-symmetric cross-product matrix `[v]_x` with
     /// `[v]_x w = v x w`.
     pub fn skew(v: Vec3) -> Mat3 {
-        Mat3::new([
-            [0.0, -v[2], v[1]],
-            [v[2], 0.0, -v[0]],
-            [-v[1], v[0], 0.0],
-        ])
+        Mat3::new([[0.0, -v[2], v[1]], [v[2], 0.0, -v[0]], [-v[1], v[0], 0.0]])
     }
 
     /// First-order small-angle rotation `I + [e]_x` (maps rotated frame

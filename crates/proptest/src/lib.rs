@@ -1,0 +1,167 @@
+//! Vendored property-testing shim.
+//!
+//! The build environment has no access to crates.io, so this crate
+//! implements the subset of the `proptest` API surface the workspace's
+//! property tests use: the [`proptest!`] macro, [`Strategy`] with
+//! `prop_map`, range / `any` / tuple / `Just` strategies, weighted
+//! [`prop_oneof!`], `prop::collection::vec`, and the `prop_assert*`
+//! macros.
+//!
+//! Unlike upstream proptest there is no shrinking: a failing case
+//! panics with the generated inputs so it can be reproduced (cases are
+//! generated deterministically from the test name and case index).
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prop {
+    //! Namespaced strategy constructors (`prop::collection::vec`).
+
+    pub mod collection {
+        //! Collection strategies.
+
+        use crate::strategy::{SizeRange, Strategy, VecStrategy};
+
+        /// A strategy producing `Vec`s whose length is drawn from
+        /// `size` and whose elements are drawn from `element`.
+        pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+            VecStrategy::new(element, size.into())
+        }
+    }
+
+    pub mod array {
+        //! Fixed-size array strategies.
+
+        use crate::strategy::ArrayStrategy;
+
+        macro_rules! uniform_array {
+            ($($name:ident => $n:literal),* $(,)?) => {$(
+                /// An array of values drawn independently from `element`.
+                pub fn $name<S: crate::strategy::Strategy>(element: S) -> ArrayStrategy<S, $n> {
+                    ArrayStrategy::new(element)
+                }
+            )*};
+        }
+
+        uniform_array!(
+            uniform2 => 2, uniform3 => 3, uniform4 => 4, uniform6 => 6,
+            uniform8 => 8, uniform9 => 9, uniform16 => 16, uniform32 => 32,
+        );
+    }
+}
+
+pub mod prelude {
+    //! The glob-importable surface, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::test_runner::{TestCaseError, TestRunner};
+    pub use crate::{prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Defines property tests. Supports the same shape upstream does for
+/// this workspace's tests:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(512))]
+///
+///     #[test]
+///     fn my_prop(x in 0u32..100, y in any::<u8>()) {
+///         prop_assert!(x < 100);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($crate::test_runner::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr); $($(#[$meta:meta])+ fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut runner =
+                    $crate::test_runner::TestRunner::new(config, stringify!($name));
+                for case in 0..runner.cases() {
+                    let mut __rng = runner.rng_for_case(case);
+                    $(let $arg = $crate::strategy::Strategy::sample(&$strat, &mut __rng);)*
+                    let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| { $body ::std::result::Result::Ok(()) })();
+                    if let ::std::result::Result::Err(err) = outcome {
+                        panic!(
+                            "proptest `{}` failed at case {}/{}: {}\ninputs: {:?}",
+                            stringify!($name),
+                            case,
+                            runner.cases(),
+                            err,
+                            ($(&$arg,)*)
+                        );
+                    }
+                }
+            }
+        )*
+    };
+}
+
+/// Fails the current property case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current property case unless the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "assertion failed: {:?} != {:?}", l, r);
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, "{} ({:?} != {:?})", format!($($fmt)*), l, r);
+    }};
+}
+
+/// Fails the current property case if the two values are equal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l != *r, "assertion failed: {:?} == {:?}", l, r);
+    }};
+}
+
+/// Picks one of several strategies, optionally weighted
+/// (`w => strategy`). All arms must produce the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}

@@ -134,7 +134,11 @@ impl Adxl202 {
 
     /// Produces one duty-cycle sample from the true specific force
     /// along the device x and y axes (m/s^2).
-    pub fn sample<R: Rng + ?Sized>(&mut self, specific_force_xy: Vec2, rng: &mut R) -> DutyCycleSample {
+    pub fn sample<R: Rng + ?Sized>(
+        &mut self,
+        specific_force_xy: Vec2,
+        rng: &mut R,
+    ) -> DutyCycleSample {
         let ax = self.x.sample(specific_force_xy[0], rng);
         let ay = self.y.sample(specific_force_xy[1], rng);
         let duty_x = ZERO_G_DUTY + DUTY_PER_G * ax / STANDARD_GRAVITY;
@@ -221,7 +225,11 @@ mod tests {
         let mut rng = seeded_rng(4);
         // 2 g range: channel saturates before the duty clamp matters,
         // duty = 50% + 12.5%*2 = 75% max.
-        let s = settled_sample(&mut acc, Vec2::new([10.0 * STANDARD_GRAVITY, 0.0]), &mut rng);
+        let s = settled_sample(
+            &mut acc,
+            Vec2::new([10.0 * STANDARD_GRAVITY, 0.0]),
+            &mut rng,
+        );
         let duty = s.t1_x_us / s.t2_us;
         assert!((duty - 0.75).abs() < 1e-9, "duty {duty}");
     }

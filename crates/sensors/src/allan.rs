@@ -170,7 +170,10 @@ mod tests {
         let walky = run(0.002, 4);
         let last_clean = clean.last().unwrap().adev;
         let last_walky = walky.last().unwrap().adev;
-        assert!(last_walky > 3.0 * last_clean, "{last_walky} vs {last_clean}");
+        assert!(
+            last_walky > 3.0 * last_clean,
+            "{last_walky} vs {last_clean}"
+        );
     }
 
     #[test]

@@ -41,8 +41,8 @@ pub mod gyro;
 pub mod mount;
 
 pub use accel::{AccelConfig, CapacitiveAccel};
-pub use allan::{allan_deviation, AllanPoint};
 pub use adxl202::{Adxl202, Adxl202Config, DutyCycleSample};
+pub use allan::{allan_deviation, AllanPoint};
 pub use calib::{CalibrationReport, StaticCalibrator};
 pub use dmu::{Dmu, DmuConfig, DmuSample};
 pub use error_model::{ErrorModelConfig, SensorErrorModel};

@@ -152,12 +152,7 @@ impl DriveProfile {
     /// # Panics
     ///
     /// Panics if any segment has a non-positive duration.
-    pub fn with_initial(
-        segments: Vec<Segment>,
-        position: Vec3,
-        speed: f64,
-        heading: f64,
-    ) -> Self {
+    pub fn with_initial(segments: Vec<Segment>, position: Vec3, speed: f64, heading: f64) -> Self {
         let mut entries = Vec::with_capacity(segments.len());
         let mut cursor = Entry {
             start_s: 0.0,
@@ -529,12 +524,7 @@ mod tests {
 
     #[test]
     fn suspension_roll_in_turn() {
-        let p = DriveProfile::with_initial(
-            vec![Segment::turn(5.0, 0.4)],
-            Vec3::zeros(),
-            10.0,
-            0.0,
-        );
+        let p = DriveProfile::with_initial(vec![Segment::turn(5.0, 0.4)], Vec3::zeros(), 10.0, 0.0);
         let s = p.sample(2.0);
         let e = s.attitude.euler();
         // Lateral accel = v*w = 4 m/s^2 (leftward), roll leans into... our

@@ -97,7 +97,12 @@ mod tests {
         // f_b = C^T [0,0,g]: x component = -sin(pitch)*g... sign check:
         // C row3 = [-sin(p), 0, cos(p)] transposed -> f_x = -sin(p)*g.
         let expected = -(10.0_f64.to_radians().sin()) * STANDARD_GRAVITY;
-        assert!((f[0] - expected).abs() < 1e-9, "fx {} vs {}", f[0], expected);
+        assert!(
+            (f[0] - expected).abs() < 1e-9,
+            "fx {} vs {}",
+            f[0],
+            expected
+        );
         assert!((f.norm() - STANDARD_GRAVITY).abs() < 1e-9);
     }
 

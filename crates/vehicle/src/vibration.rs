@@ -109,7 +109,11 @@ impl RoadVibration {
         // unit output RMS.
         let r2 = (1.0 - alpha) * (1.0 - alpha);
         let gain2 = alpha.powi(4) * (1.0 + r2) / (1.0 - r2).powi(3);
-        let drive_std = if gain2 > 0.0 { (1.0 / gain2).sqrt() } else { 0.0 };
+        let drive_std = if gain2 > 0.0 {
+            (1.0 / gain2).sqrt()
+        } else {
+            0.0
+        };
         Self {
             config,
             accel_stage1: Vec3::zeros(),

@@ -12,7 +12,7 @@ pub fn checkerboard(width: u32, height: u32, cell: u32) -> Frame {
     let cell = cell.max(1);
     for y in 0..height {
         for x in 0..width {
-            let on = ((x / cell) + (y / cell)) % 2 == 0;
+            let on = ((x / cell) + (y / cell)).is_multiple_of(2);
             f.set(
                 x as i32,
                 y as i32,

@@ -23,15 +23,27 @@ fn main() {
     let profile = urban_drive(config.duration_s);
     let result = run(&profile, &config);
 
-    println!("estimated         : {:+.3?} deg", result.estimate.angles.to_degrees());
+    println!(
+        "estimated         : {:+.3?} deg",
+        result.estimate.angles.to_degrees()
+    );
     println!("error             : {:+.3?} deg", result.error_deg());
-    println!("3-sigma           : {:.3?} deg", result.estimate.three_sigma_deg());
+    println!(
+        "3-sigma           : {:.3?} deg",
+        result.estimate.three_sigma_deg()
+    );
     println!();
     println!("adaptive measurement-noise tuning (the Figure-8 story):");
     println!("  started at sigma = 0.005 m/s^2 (static tuning)");
     println!("  retunes fired    : {}", result.retune_count);
-    println!("  final sigma      : {:.4} m/s^2 (paper: 0.015 or higher)", result.final_sigma);
-    println!("  exceed rate      : {:.2}% (target ~1%)", result.exceed_rate * 100.0);
+    println!(
+        "  final sigma      : {:.4} m/s^2 (paper: 0.015 or higher)",
+        result.final_sigma
+    );
+    println!(
+        "  exceed rate      : {:.2}% (target ~1%)",
+        result.exceed_rate * 100.0
+    );
 
     // Convergence over the drive.
     println!("\nestimate trace (roll/pitch/yaw deg, 3-sigma yaw deg):");

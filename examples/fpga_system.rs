@@ -15,32 +15,62 @@ fn main() {
     config.scenario.duration_s = 60.0;
     let profile = urban_drive(config.scenario.duration_s);
 
-    println!("running the full system for {:.0} s of urban driving...", config.scenario.duration_s);
+    println!(
+        "running the full system for {:.0} s of urban driving...",
+        config.scenario.duration_s
+    );
     let report = run_system(&profile, &config);
 
     println!("\n--- fusion ---");
     println!("true misalignment : {:+.3?} deg", report.truth.to_degrees());
-    println!("estimate          : {:+.3?} deg", report.estimate.angles.to_degrees());
+    println!(
+        "estimate          : {:+.3?} deg",
+        report.estimate.angles.to_degrees()
+    );
     println!("error             : {:+.3?} deg", report.error_deg);
-    println!("control block     : {:+.3?} deg (Q16.16 through the Sabre bus)", report.control_angles_deg);
+    println!(
+        "control block     : {:+.3?} deg (Q16.16 through the Sabre bus)",
+        report.control_angles_deg
+    );
 
     println!("\n--- serial links ---");
     println!("DMU samples reconstructed : {}", report.stream.dmu_samples);
     println!("ACC samples reconstructed : {}", report.stream.acc_samples);
-    println!("link errors (DMU/ACC)     : {}/{}", report.stream.dmu_errors, report.stream.acc_errors);
-    println!("sequence gaps (DMU/ACC)   : {}/{}", report.stream.dmu_gaps, report.stream.acc_gaps);
+    println!(
+        "link errors (DMU/ACC)     : {}/{}",
+        report.stream.dmu_errors, report.stream.acc_errors
+    );
+    println!(
+        "sequence gaps (DMU/ACC)   : {}/{}",
+        report.stream.dmu_gaps, report.stream.acc_gaps
+    );
     println!("bytes transferred         : {}", report.stream.bytes_in);
 
     println!("\n--- Sabre soft core ---");
     println!("publish program cycles    : {}", report.sabre_cycles);
     println!("instructions retired      : {}", report.sabre_instructions);
-    println!("Kalman cycles/update      : {:.0} (Softfloat accounting)", report.kalman_cycles_per_update);
-    println!("Kalman float ops/update   : {:.1}", report.kalman_ops_per_update);
-    println!("Kalman CPU @ 25 MHz       : {:.1}%", report.kalman_cpu_utilization * 100.0);
+    println!(
+        "Kalman cycles/update      : {:.0} (Softfloat accounting)",
+        report.kalman_cycles_per_update
+    );
+    println!(
+        "Kalman float ops/update   : {:.1}",
+        report.kalman_ops_per_update
+    );
+    println!(
+        "Kalman CPU @ 25 MHz       : {:.1}%",
+        report.kalman_cpu_utilization * 100.0
+    );
 
     println!("\n--- video path ---");
-    println!("PSNR misaligned           : {:.2} dB", report.psnr_misaligned_db);
-    println!("PSNR corrected            : {:.2} dB", report.psnr_corrected_db);
+    println!(
+        "PSNR misaligned           : {:.2} dB",
+        report.psnr_misaligned_db
+    );
+    println!(
+        "PSNR corrected            : {:.2} dB",
+        report.psnr_corrected_db
+    );
     println!("pipeline fps budget       : {:.0}", report.video_fps_budget);
     println!("forward-mapping holes     : {}", report.forward_holes);
 }

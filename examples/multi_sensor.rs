@@ -69,7 +69,13 @@ fn main() {
     let rel = multi.relative_alignment(0, 1);
     let expected = (lidar_truth.dcm().transpose() * camera_truth.dcm()).euler();
     println!();
-    println!("camera->lidar rotation (estimated) : {:+.3?} deg", rel.to_degrees());
-    println!("camera->lidar rotation (truth)     : {:+.3?} deg", expected.to_degrees());
+    println!(
+        "camera->lidar rotation (estimated) : {:+.3?} deg",
+        rel.to_degrees()
+    );
+    println!(
+        "camera->lidar rotation (truth)     : {:+.3?} deg",
+        expected.to_degrees()
+    );
     println!("(no direct camera/lidar calibration was performed)");
 }

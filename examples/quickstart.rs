@@ -30,6 +30,10 @@ fn main() {
     );
     println!(
         "meets 0.5 deg requirement: {}",
-        if result.max_error_deg() < 0.5 { "yes" } else { "no" }
+        if result.max_error_deg() < 0.5 {
+            "yes"
+        } else {
+            "no"
+        }
     );
 }

@@ -4,7 +4,9 @@
 //!
 //! Run with `cargo run --release --example sabre_assembly`.
 
-use fpga::sabre::{assemble, disassemble, ControlBlock, Sabre, StopReason, CONTROL_BASE, LEDS_BASE};
+use fpga::sabre::{
+    assemble, disassemble, ControlBlock, Sabre, StopReason, CONTROL_BASE, LEDS_BASE,
+};
 
 fn main() {
     // A program in Sabre assembly: compute a Q16.16 angle, store it in
@@ -37,7 +39,11 @@ fn main() {
     let stop = cpu.run(10_000);
     assert_eq!(stop, StopReason::Halted);
 
-    println!("halted after {} instructions, {} cycles", cpu.instructions(), cpu.cycles());
+    println!(
+        "halted after {} instructions, {} cycles",
+        cpu.instructions(),
+        cpu.cycles()
+    );
     let leds = cpu.bus.read32(LEDS_BASE).expect("leds mapped");
     println!("LED register: {leds:#x} (last heartbeat value)");
 

@@ -30,7 +30,10 @@ fn main() {
     let mut config = ScenarioConfig::static_test(truth);
     config.duration_s = 30.0;
     let estimate = run_static(&config).estimate;
-    println!("estimated misalignment: {:+.3?} deg", estimate.angles.to_degrees());
+    println!(
+        "estimated misalignment: {:+.3?} deg",
+        estimate.angles.to_degrees()
+    );
 
     // 3. Correct the video with the estimate, fixed-point path.
     let correction = CameraModel::correction(&estimate.angles, focal_px, w, h);

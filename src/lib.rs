@@ -20,6 +20,29 @@
 //!
 //! # Quickstart
 //!
+//! Fusion runs are *streaming sessions*: a [`fusion::FusionSession`]
+//! wires a sensor source, a fusion backend and any sinks around one
+//! incremental event loop, and you step it as coarsely or finely as
+//! you like:
+//!
+//! ```
+//! use sensor_fusion_fpga::fusion::scenario::ScenarioConfig;
+//! use sensor_fusion_fpga::fusion::FusionSession;
+//! use sensor_fusion_fpga::math::EulerAngles;
+//! use sensor_fusion_fpga::motion::TiltTable;
+//!
+//! let mut config = ScenarioConfig::static_test(EulerAngles::from_degrees(2.0, -3.0, 1.5));
+//! config.duration_s = 30.0;
+//! let table = TiltTable::observability_sequence(20.0, config.duration_s / 8.0);
+//! let mut session = FusionSession::from_scenario(&table, &config);
+//! session.run_for(10.0);          // stream the first 10 s
+//! assert!(session.estimate().updates > 0);
+//! session.run_to_end();
+//! assert!(session.into_result().max_error_deg() < 0.5);
+//! ```
+//!
+//! The batch wrappers remain for the paper's canned procedures:
+//!
 //! ```
 //! use sensor_fusion_fpga::fusion::scenario::{run_static, ScenarioConfig};
 //! use sensor_fusion_fpga::math::EulerAngles;
@@ -29,6 +52,10 @@
 //! let result = run_static(&config);
 //! assert!(result.max_error_deg() < 0.5);
 //! ```
+//!
+//! Many sessions — different scenarios, different arithmetic backends
+//! ([`fusion::arith`]) — interleave on one thread via
+//! [`fusion::SessionGroup`]; see `examples/streaming_sessions.rs`.
 
 pub use boresight as fusion;
 pub use comms as comm;

@@ -18,7 +18,11 @@ fn static_procedure_meets_requirement() {
         "static errors {:?}",
         result.error_deg()
     );
-    assert!(result.exceed_rate < 0.02, "exceed {:.3}", result.exceed_rate);
+    assert!(
+        result.exceed_rate < 0.02,
+        "exceed {:.3}",
+        result.exceed_rate
+    );
     assert!(result.estimate.confident_within_deg(0.5));
 }
 
@@ -106,7 +110,9 @@ fn estimator_survives_imu_outage() {
     // The DMU stream dies for 10 s mid-run (connector bump); the
     // estimator must hold its estimate and resume cleanly.
     use sensor_fusion_fpga::fusion::{BoresightEstimator, EstimatorConfig};
-    use sensor_fusion_fpga::math::{rng::seeded_rng, GaussianSampler, Vec2, Vec3, STANDARD_GRAVITY};
+    use sensor_fusion_fpga::math::{
+        rng::seeded_rng, GaussianSampler, Vec2, Vec3, STANDARD_GRAVITY,
+    };
     use sensor_fusion_fpga::sensor::DmuSample;
 
     let truth = EulerAngles::from_degrees(2.0, -1.0, 1.5);
@@ -118,10 +124,19 @@ fn estimator_survives_imu_outage() {
     let mut updates_during_outage = 0u64;
     for i in 0..30_000usize {
         let t = i as f64 * 0.005;
-        let f = Vec3::new([2.0 * (0.5 * t).sin() + g * 0.2 * (0.07 * t).sin(), 1.5 * (0.33 * t).cos(), g]);
+        let f = Vec3::new([
+            2.0 * (0.5 * t).sin() + g * 0.2 * (0.07 * t).sin(),
+            1.5 * (0.33 * t).cos(),
+            g,
+        ]);
         let outage = (40.0..50.0).contains(&t);
         if i % 2 == 0 && !outage {
-            est.on_dmu(&DmuSample { seq: (i / 2) as u16, time_s: t, gyro: Vec3::zeros(), accel: f });
+            est.on_dmu(&DmuSample {
+                seq: (i / 2) as u16,
+                time_s: t,
+                gyro: Vec3::zeros(),
+                accel: f,
+            });
         }
         let f_s = c_sb.rotate(f);
         let z = Vec2::new([
@@ -148,7 +163,9 @@ fn saturated_acc_does_not_poison_the_estimate() {
     // Hard manoeuvres push the ADXL202 beyond +/-2 g; the clipped
     // samples disagree with the model and the gate must reject them.
     use sensor_fusion_fpga::fusion::{BoresightEstimator, EstimatorConfig};
-    use sensor_fusion_fpga::math::{rng::seeded_rng, GaussianSampler, Vec2, Vec3, STANDARD_GRAVITY};
+    use sensor_fusion_fpga::math::{
+        rng::seeded_rng, GaussianSampler, Vec2, Vec3, STANDARD_GRAVITY,
+    };
     use sensor_fusion_fpga::sensor::DmuSample;
 
     let truth = EulerAngles::from_degrees(1.5, -1.0, 1.0);
@@ -164,7 +181,12 @@ fn saturated_acc_does_not_poison_the_estimate() {
         let spike = if (i % 1000) < 20 { 4.0 * g } else { 0.0 };
         let f = Vec3::new([2.0 * (0.5 * t).sin() + spike, 1.5 * (0.33 * t).cos(), g]);
         if i % 2 == 0 {
-            est.on_dmu(&DmuSample { seq: (i / 2) as u16, time_s: t, gyro: Vec3::zeros(), accel: f });
+            est.on_dmu(&DmuSample {
+                seq: (i / 2) as u16,
+                time_s: t,
+                gyro: Vec3::zeros(),
+                accel: f,
+            });
         }
         let f_s = c_sb.rotate(f);
         // ACC clips at +/-2 g; IMU (4 g range) does not.

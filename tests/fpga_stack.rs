@@ -2,7 +2,7 @@
 //! programs computing with the fixed-point LUT, peripherals, and the
 //! softfloat layer feeding the video pipeline.
 
-use sensor_fusion_fpga::hw::fixed::{Q16_16, SinCosLut};
+use sensor_fusion_fpga::hw::fixed::{SinCosLut, Q16_16};
 use sensor_fusion_fpga::hw::pipeline::AffinePipeline;
 use sensor_fusion_fpga::hw::sabre::{
     assemble, ControlBlock, Sabre, StopReason, UartPort, CONTROL_BASE, UART1_BASE,
