@@ -2,7 +2,7 @@
 //! 5-state IEKF and of the 3-state ablation filters.
 
 use boresight::arith::{F64Arith, FixedArith, Kf3};
-use boresight::filter::{BoresightFilter, FilterConfig};
+use boresight::filter::{BoresightFilter, FilterConfig, GenericBoresightFilter};
 use criterion::{criterion_group, criterion_main, Criterion};
 use mathx::{Vec2, Vec3, STANDARD_GRAVITY};
 use std::hint::black_box;
@@ -20,15 +20,25 @@ fn bench_kalman(c: &mut Criterion) {
             black_box(kf.update(black_box(z), black_box(f_b), t))
         })
     });
+    c.bench_function("kalman/iekf5_fixed_update", |bench| {
+        let mut kf: GenericBoresightFilter<FixedArith> =
+            GenericBoresightFilter::new(FilterConfig::paper_static());
+        let mut t = 0.0;
+        bench.iter(|| {
+            kf.predict(0.005);
+            t += 0.005;
+            black_box(kf.update(black_box(z), black_box(f_b), t))
+        })
+    });
     c.bench_function("kalman/kf3_f64_step", |bench| {
-        let mut kf = Kf3::new(F64Arith, 0.1, 0.007);
+        let mut kf = Kf3::new(F64Arith::default(), 0.1, 0.007);
         bench.iter(|| {
             kf.step(black_box(z), black_box(f_b), 1e-10);
             black_box(kf.update_count())
         })
     });
     c.bench_function("kalman/kf3_fixed_step", |bench| {
-        let mut kf = Kf3::new(FixedArith, 0.1, 0.007);
+        let mut kf = Kf3::new(FixedArith::default(), 0.1, 0.007);
         bench.iter(|| {
             kf.step(black_box(z), black_box(f_b), 1e-10);
             black_box(kf.update_count())

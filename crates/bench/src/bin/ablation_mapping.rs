@@ -7,7 +7,7 @@
 //! output location and leaves none. This ablation sweeps the rotation
 //! angle and quantifies the difference.
 //!
-//! Run with `cargo run --release -p bench-suite --bin ablation_mapping`.
+//! Run with `cargo run --release -p bench_suite --bin ablation_mapping`.
 
 use bench_suite::{print_table, write_csv};
 use video::affine::{transform, AffineParams, MappingKind};

@@ -9,7 +9,7 @@
 //! all three traces (static; dynamic mistuned; dynamic retuned) and
 //! writes them as CSV for plotting.
 //!
-//! Run with `cargo run --release -p bench-suite --bin figure8`.
+//! Run with `cargo run --release -p bench_suite --bin figure8`.
 
 use bench_suite::{print_table, write_csv};
 use boresight::scenario::{run_dynamic, run_static, RunResult, ScenarioConfig};

@@ -2,22 +2,44 @@
 //! roll/pitch/yaw misalignment estimates converging over the drive,
 //! with their 3-sigma confidence envelopes.
 //!
-//! Run with `cargo run --release -p bench-suite --bin figure9`.
+//! Run with `cargo run --release -p bench_suite --bin figure9
+//! [duration_s] [substrate]`. The substrate (`f64`, `softfloat` or
+//! `q16.16`, default `f64`) selects which arithmetic the full 5-state
+//! IEKF runs over — the generic filter makes Figure 9 reproducible for
+//! the paper's emulated-float deployment and the proposed fixed-point
+//! conversion, not just the host reference.
 
 use bench_suite::{print_table, write_csv};
-use boresight::scenario::{run_dynamic, ScenarioConfig};
+use boresight::arith::{F64Arith, FixedArith, SoftArith};
+use boresight::scenario::{RunResult, ScenarioConfig};
+use boresight::FusionSession;
 use mathx::EulerAngles;
+
+fn run_over(cfg: &ScenarioConfig, substrate: &str) -> RunResult {
+    let profile = vehicle::profile::presets::urban_drive(cfg.duration_s);
+    let mut session = match substrate {
+        "f64" => FusionSession::iekf_from_scenario(&profile, cfg, F64Arith::default()),
+        "softfloat" => FusionSession::iekf_from_scenario(&profile, cfg, SoftArith::default()),
+        "q16.16" | "fixed" => {
+            FusionSession::iekf_from_scenario(&profile, cfg, FixedArith::default())
+        }
+        other => panic!("unknown substrate `{other}` (use f64, softfloat or q16.16)"),
+    };
+    session.run_to_end();
+    session.into_result()
+}
 
 fn main() {
     let duration = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(300.0);
+    let substrate = std::env::args().nth(2).unwrap_or_else(|| "f64".into());
     let truth = EulerAngles::from_degrees(3.0, -2.0, 2.5);
     let mut cfg = ScenarioConfig::dynamic_test(truth);
     cfg.duration_s = duration;
     cfg.seed = 401;
-    let result = run_dynamic(&cfg);
+    let result = run_over(&cfg, &substrate);
 
     let t: Vec<f64> = result.estimates.iter().map(|p| p.time_s).collect();
     let columns: Vec<Vec<f64>> = (0..3)
@@ -35,8 +57,16 @@ fn main() {
             [angle, sigma]
         })
         .collect();
+    let csv_name = if substrate == "f64" {
+        "figure9_dynamic_estimates.csv".to_string()
+    } else {
+        format!(
+            "figure9_dynamic_estimates_{}.csv",
+            substrate.replace('.', "_")
+        )
+    };
     let path = write_csv(
-        "figure9_dynamic_estimates.csv",
+        &csv_name,
         &[
             ("time_s", &t),
             ("roll_deg", &columns[0]),
@@ -76,7 +106,7 @@ fn main() {
     let truth_deg = truth.to_degrees();
     print_table(
         &format!(
-            "Figure 9: dynamic estimate convergence (truth {:+.2}/{:+.2}/{:+.2} deg)",
+            "Figure 9: dynamic estimate convergence over iekf5/{substrate} (truth {:+.2}/{:+.2}/{:+.2} deg)",
             truth_deg[0], truth_deg[1], truth_deg[2]
         ),
         &["t (s)", "estimate r/p/y (deg)", "3-sigma r/p/y (deg)"],

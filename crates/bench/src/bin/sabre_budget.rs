@@ -10,7 +10,7 @@
 //! and maps the real-time envelope across core clocks and sensor
 //! rates. It also reports the end-to-end system simulation's budget.
 //!
-//! Run with `cargo run --release -p bench-suite --bin sabre_budget`.
+//! Run with `cargo run --release -p bench_suite --bin sabre_budget`.
 
 use bench_suite::{print_table, SmallAngleSource};
 use boresight::arith::SoftArith;

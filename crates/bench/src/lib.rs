@@ -42,6 +42,79 @@ pub fn write_csv(name: &str, columns: &[(&str, &[f64])]) -> PathBuf {
     path
 }
 
+/// A JSON value for [`write_json`] — just enough structure for the
+/// bench reports (no external serializer in the offline build).
+pub enum Json {
+    /// A floating-point number (non-finite values serialize as null).
+    Num(f64),
+    /// An unsigned integer.
+    Int(u64),
+    /// A string.
+    Str(String),
+    /// An object with ordered keys.
+    Obj(Vec<(String, Json)>),
+    /// An array.
+    Arr(Vec<Json>),
+}
+
+impl Json {
+    fn render(&self, out: &mut String) {
+        match self {
+            Json::Num(x) if x.is_finite() => out.push_str(&format!("{x}")),
+            Json::Num(_) => out.push_str("null"),
+            Json::Int(x) => out.push_str(&format!("{x}")),
+            Json::Str(s) => {
+                out.push('"');
+                for ch in s.chars() {
+                    match ch {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).render(out);
+                    out.push(':');
+                    v.render(out);
+                }
+                out.push('}');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render(out);
+                }
+                out.push(']');
+            }
+        }
+    }
+}
+
+/// Writes a JSON document into `bench_out/` and returns its path.
+///
+/// # Panics
+///
+/// Panics if the file cannot be written.
+pub fn write_json(name: &str, value: &Json) -> PathBuf {
+    let mut text = String::new();
+    value.render(&mut text);
+    text.push('\n');
+    let path = out_dir().join(name);
+    fs::write(&path, text).expect("write json");
+    path
+}
+
 /// Prints an aligned text table: a header row then data rows.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
     println!("\n=== {title} ===");
@@ -73,7 +146,7 @@ pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
 }
 
 /// The small-angle excitation the ablation and budget binaries share,
-/// as a [`SensorSource`]: a sinusoidal specific-force truth with the
+/// as a [`boresight::SensorSource`]: a sinusoidal specific-force truth with the
 /// misalignment applied through the linearized model
 /// `z = f - e x f + v` — exactly what the 3-state ablation filter
 /// assumes, so filter error isolates the arithmetic substrate.
@@ -169,7 +242,7 @@ mod tests {
         let truth = mathx::EulerAngles::from_degrees(1.5, -1.0, 2.0);
         let mut session = FusionSession::builder()
             .source(SmallAngleSource::new(truth, 10_000, 200.0, 0.007, 1))
-            .backend(ArithKf3::with_defaults(F64Arith))
+            .backend(ArithKf3::with_defaults(F64Arith::default()))
             .truth(truth)
             .build();
         session.run_to_end();

@@ -8,9 +8,19 @@
 //! a [`MisalignmentEstimate`] — roll, pitch, yaw with their 3-sigma
 //! (~99 %) confidence bounds, which is exactly what the paper's
 //! control block hands to the video transform.
+//!
+//! Like the filter, the estimator is generic over the
+//! [`Arith`] substrate: the slope-limited IMU extrapolation and the
+//! lever-arm compensation run through the same arithmetic context as
+//! the filter itself, so a Softfloat or fixed-point deployment
+//! accounts for *all* of the fusion math, not just the Kalman core.
+//! Timestamps and the residual monitor stay in `f64` — they model the
+//! scheduler and the tuning loop, not the datapath.
 
-use crate::filter::{BoresightFilter, FilterConfig, KalmanUpdate};
+use crate::arith::{Arith, F64Arith};
+use crate::filter::{FilterConfig, GenericBoresightFilter, KalmanUpdate};
 use crate::monitor::{MonitorConfig, ResidualMonitor, Retune};
+use crate::smallmat;
 use mathx::{rad_to_deg, EulerAngles, Vec2, Vec3};
 use sensors::DmuSample;
 
@@ -73,7 +83,51 @@ impl MisalignmentEstimate {
     }
 }
 
-/// The boresight estimator.
+/// The boresight estimator over an arbitrary [`Arith`] substrate.
+///
+/// # Examples
+///
+/// ```
+/// use boresight::arith::{Arith, SoftArith};
+/// use boresight::estimator::GenericBoresightEstimator;
+/// use boresight::EstimatorConfig;
+/// use mathx::{Vec2, Vec3, STANDARD_GRAVITY};
+/// use sensors::DmuSample;
+///
+/// // The full 5-state estimation path in emulated IEEE arithmetic,
+/// // with exact Sabre cycle accounting behind it.
+/// let mut est = GenericBoresightEstimator::with_arith(
+///     SoftArith::default(),
+///     EstimatorConfig::paper_static(),
+/// );
+/// let dmu = DmuSample {
+///     seq: 0,
+///     time_s: 0.0,
+///     gyro: Vec3::zeros(),
+///     accel: Vec3::new([0.0, 0.0, STANDARD_GRAVITY]),
+/// };
+/// est.on_dmu(&dmu);
+/// est.on_acc(0.005, Vec2::new([0.01, -0.01]));
+/// assert!(est.filter().arith().cycles() > 0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GenericBoresightEstimator<A: Arith> {
+    config: EstimatorConfig,
+    filter: GenericBoresightFilter<A>,
+    monitor: Option<ResidualMonitor>,
+    last_dmu: Option<DmuSample>,
+    prev_dmu: Option<DmuSample>,
+    /// Exponentially smoothed d(f_imu)/dt used to extrapolate the IMU
+    /// stream to ACC timestamps without amplifying the IMU noise.
+    f_slope: [A::T; 3],
+    prev_gyro: Option<(f64, Vec3)>,
+    angular_accel: [A::T; 3],
+    last_update_time: f64,
+    dropped_no_imu: u64,
+}
+
+/// The native-`f64` estimator — the reference instantiation every
+/// pre-refactor call site keeps using unchanged.
 ///
 /// # Examples
 ///
@@ -93,21 +147,7 @@ impl MisalignmentEstimate {
 /// let update = est.on_acc(0.005, Vec2::new([0.01, -0.01]));
 /// assert!(update.is_some());
 /// ```
-#[derive(Clone, Debug)]
-pub struct BoresightEstimator {
-    config: EstimatorConfig,
-    filter: BoresightFilter,
-    monitor: Option<ResidualMonitor>,
-    last_dmu: Option<DmuSample>,
-    prev_dmu: Option<DmuSample>,
-    /// Exponentially smoothed d(f_imu)/dt used to extrapolate the IMU
-    /// stream to ACC timestamps without amplifying the IMU noise.
-    f_slope: Vec3,
-    prev_gyro: Option<(f64, Vec3)>,
-    angular_accel: Vec3,
-    last_update_time: f64,
-    dropped_no_imu: u64,
-}
+pub type BoresightEstimator = GenericBoresightEstimator<F64Arith>;
 
 /// Smoothing factor for the specific-force slope (fraction of the old
 /// slope retained per DMU sample).
@@ -119,22 +159,31 @@ const SLOPE_BETA: f64 = 0.75;
 /// extrapolated.
 const SLOPE_LIMIT: f64 = 50.0;
 
-impl BoresightEstimator {
-    /// Creates an estimator.
-    pub fn new(config: EstimatorConfig) -> Self {
-        let filter = BoresightFilter::new(config.filter);
+impl<A: Arith> GenericBoresightEstimator<A> {
+    /// Creates an estimator over the substrate's default context.
+    pub fn new(config: EstimatorConfig) -> Self
+    where
+        A: Default,
+    {
+        Self::with_arith(A::default(), config)
+    }
+
+    /// Creates an estimator over an explicit arithmetic context.
+    pub fn with_arith(arith: A, config: EstimatorConfig) -> Self {
+        let mut filter = GenericBoresightFilter::with_arith(arith, config.filter);
         let monitor = config
             .monitor
             .map(|m| ResidualMonitor::new(m, config.filter.measurement_sigma));
+        let zero = filter.arith_mut().num(0.0);
         Self {
             config,
             filter,
             monitor,
             last_dmu: None,
             prev_dmu: None,
-            f_slope: Vec3::zeros(),
+            f_slope: [zero; 3],
             prev_gyro: None,
-            angular_accel: Vec3::zeros(),
+            angular_accel: [zero; 3],
             last_update_time: 0.0,
             dropped_no_imu: 0,
         }
@@ -146,7 +195,7 @@ impl BoresightEstimator {
     }
 
     /// Direct access to the filter (diagnostics).
-    pub fn filter(&self) -> &BoresightFilter {
+    pub fn filter(&self) -> &GenericBoresightFilter<A> {
         &self.filter
     }
 
@@ -168,22 +217,50 @@ impl BoresightEstimator {
     /// Ingests a DMU sample (specific force + angular rate in body
     /// axes). Also differentiates the gyro for the lever-arm term.
     pub fn on_dmu(&mut self, sample: &DmuSample) {
+        let a = self.filter.arith_mut();
         if let Some((t_prev, w_prev)) = self.prev_gyro {
             let dt = sample.time_s - t_prev;
             if dt > 1e-6 {
-                self.angular_accel = (sample.gyro - w_prev) / dt;
+                let dt_t = a.num(dt);
+                let mut alpha = [a.num(0.0); 3];
+                for (i, o) in alpha.iter_mut().enumerate() {
+                    let d = {
+                        let g = a.num(sample.gyro[i]);
+                        let w = a.num(w_prev[i]);
+                        a.sub(g, w)
+                    };
+                    *o = a.div(d, dt_t);
+                }
+                self.angular_accel = alpha;
             }
         }
         self.prev_gyro = Some((sample.time_s, sample.gyro));
         if let Some(prev) = self.last_dmu {
             let dt = sample.time_s - prev.time_s;
             if dt > 1e-6 {
-                let raw = (sample.accel - prev.accel) / dt;
-                if raw.max_abs() > SLOPE_LIMIT {
+                let dt_t = a.num(dt);
+                let mut raw = [a.num(0.0); 3];
+                for (i, o) in raw.iter_mut().enumerate() {
+                    let d = {
+                        let f = a.num(sample.accel[i]);
+                        let p = a.num(prev.accel[i]);
+                        a.sub(f, p)
+                    };
+                    *o = a.div(d, dt_t);
+                }
+                let limit = a.num(SLOPE_LIMIT);
+                let peak = smallmat::vec_max_abs(a, &raw);
+                if a.lt(limit, peak) {
                     // Discontinuity: do not chase it, drop the slope.
-                    self.f_slope = Vec3::zeros();
+                    self.f_slope = [a.num(0.0); 3];
                 } else {
-                    self.f_slope = self.f_slope * SLOPE_BETA + raw * (1.0 - SLOPE_BETA);
+                    let beta = a.num(SLOPE_BETA);
+                    let rest = a.num(1.0 - SLOPE_BETA);
+                    for (slope, fresh) in self.f_slope.iter_mut().zip(&raw) {
+                        let s = a.mul(*slope, beta);
+                        let r = a.mul(*fresh, rest);
+                        *slope = a.add(s, r);
+                    }
                 }
             }
         }
@@ -198,14 +275,25 @@ impl BoresightEstimator {
     /// forward (the smoothing keeps the IMU noise from being amplified
     /// by differencing; the horizon is clamped to one DMU interval so
     /// outages do not extrapolate wildly).
-    fn specific_force_at(&self, t: f64) -> Option<Vec3> {
+    fn specific_force_at(&mut self, t: f64) -> Option<[A::T; 3]> {
         let last = self.last_dmu?;
+        let a = self.filter.arith_mut();
+        let accel = [
+            a.num(last.accel[0]),
+            a.num(last.accel[1]),
+            a.num(last.accel[2]),
+        ];
         let dt = match self.prev_dmu {
             Some(prev) if last.time_s > prev.time_s => last.time_s - prev.time_s,
-            _ => return Some(last.accel),
+            _ => return Some(accel),
         };
-        let horizon = (t - last.time_s).clamp(0.0, dt);
-        Some(last.accel + self.f_slope * horizon)
+        let horizon = a.num((t - last.time_s).clamp(0.0, dt));
+        let mut out = accel;
+        for (i, o) in out.iter_mut().enumerate() {
+            let p = a.mul(self.f_slope[i], horizon);
+            *o = a.add(accel[i], p);
+        }
+        Some(out)
     }
 
     /// Ingests a two-axis ACC sample (m/s^2) at time `t`, pairing it
@@ -218,12 +306,19 @@ impl BoresightEstimator {
         // Lever-arm compensation: the ACC sits at r from the IMU, so it
         // senses extra rotational terms we remove using the gyro.
         let r = self.config.lever_arm;
-        let extra = self.angular_accel.cross(&r) + dmu.gyro.cross(&dmu.gyro.cross(&r));
-        let f_b = f_imu + extra;
+        let angular_accel = self.angular_accel;
+        let a = self.filter.arith_mut();
+        let r_t = [a.num(r[0]), a.num(r[1]), a.num(r[2])];
+        let w = [a.num(dmu.gyro[0]), a.num(dmu.gyro[1]), a.num(dmu.gyro[2])];
+        let tangential = smallmat::cross3(a, &angular_accel, &r_t);
+        let wr = smallmat::cross3(a, &w, &r_t);
+        let centripetal = smallmat::cross3(a, &w, &wr);
+        let extra = smallmat::vec_add(a, &tangential, &centripetal);
+        let f_b = smallmat::vec_add(a, &f_imu, &extra);
         let dt = (time_s - self.last_update_time).max(0.0);
         self.last_update_time = time_s;
         self.filter.predict(dt);
-        let update = self.filter.update(z, f_b, time_s);
+        let update = self.filter.update_t(z, f_b, time_s);
         if let Some(monitor) = &mut self.monitor {
             if let Some(retune) = monitor.observe(&update) {
                 self.filter.set_measurement_sigma(retune.new_sigma);
@@ -233,7 +328,10 @@ impl BoresightEstimator {
     }
 
     /// The current estimate with confidence.
-    pub fn estimate(&self) -> MisalignmentEstimate {
+    pub fn estimate(&self) -> MisalignmentEstimate
+    where
+        A: Clone,
+    {
         MisalignmentEstimate {
             angles: self.filter.angles(),
             one_sigma: self.filter.angle_sigma(),
@@ -363,6 +461,32 @@ mod tests {
             "monitor should have raised the noise"
         );
         assert!(est.current_measurement_sigma() > 0.003);
+    }
+
+    #[test]
+    fn generic_estimator_runs_the_full_path_in_fixed_point() {
+        use crate::arith::FixedArith;
+        let truth = EulerAngles::from_degrees(2.0, -1.0, 1.5);
+        let c_sb = truth.dcm().transpose();
+        let mut est: GenericBoresightEstimator<FixedArith> =
+            GenericBoresightEstimator::new(EstimatorConfig::paper_static());
+        let g = STANDARD_GRAVITY;
+        for i in 0..4000 {
+            let t = i as f64 * 0.005;
+            let f_b = Vec3::new([1.5 * (0.4 * t).sin(), 1.0 * (0.26 * t).cos(), g]);
+            if i % 2 == 0 {
+                est.on_dmu(&dmu_at(t, f_b, Vec3::zeros()));
+            }
+            let f_s = c_sb.rotate(f_b);
+            est.on_acc(t, Vec2::new([f_s[0], f_s[1]]));
+        }
+        // The Q16.16 path must stay bounded (trust region) and its
+        // instrumentation must cover the whole fusion algorithm.
+        let angles = est.estimate().angles;
+        assert!(angles.max_abs() <= est.config().filter.angle_limit + 1e-3);
+        let counts = est.filter().arith().counts();
+        assert!(counts.total() > 0);
+        assert!(counts.trig > 0, "model trig must flow through the ledger");
     }
 
     #[test]

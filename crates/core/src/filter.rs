@@ -1,4 +1,5 @@
-//! The misalignment Kalman filter.
+//! The misalignment Kalman filter, generic over the arithmetic
+//! substrate.
 //!
 //! An extended Kalman filter over the state `[phi, theta, psi, bx, by]`
 //! (sensor misalignment Euler angles plus the two ACC bias states).
@@ -10,9 +11,19 @@
 //! hour-long runs — the filter also reports the innovation and its
 //! 3-sigma bound, which is what the paper plots (Figure 8) and tunes
 //! against.
+//!
+//! Since the generic-arithmetic refactor the whole algorithm runs over
+//! any [`Arith`] number system: [`GenericBoresightFilter<A>`] performs
+//! every scalar operation through the substrate, with the dense linear
+//! algebra shared with the 3-state ablation filter via
+//! [`crate::smallmat`]. [`BoresightFilter`] is the native-`f64`
+//! instantiation and reproduces the pre-refactor filter **bit for
+//! bit** (pinned by `tests/arith_full_filter.rs`).
 
+use crate::arith::{Arith, F64Arith};
 use crate::model::{self, Meas, State, StateCov, MEAS_DIM, STATE_DIM};
-use mathx::{Cholesky, EulerAngles, Mat2, Matrix, Vec2, Vec3};
+use crate::smallmat;
+use mathx::{EulerAngles, Vec2, Vec3};
 
 /// Filter configuration.
 #[derive(Clone, Copy, Debug)]
@@ -104,7 +115,35 @@ impl KalmanUpdate {
     }
 }
 
-/// The extended Kalman filter.
+/// The extended Kalman filter over an arbitrary [`Arith`] substrate.
+///
+/// # Examples
+///
+/// ```
+/// use boresight::arith::FixedArith;
+/// use boresight::filter::{FilterConfig, GenericBoresightFilter};
+/// use mathx::{Vec2, Vec3, STANDARD_GRAVITY};
+///
+/// // The identical 5-state IEKF, in Q16.16 fixed point.
+/// let mut kf: GenericBoresightFilter<FixedArith> =
+///     GenericBoresightFilter::new(FilterConfig::default());
+/// kf.predict(0.01);
+/// let f_b = Vec3::new([0.0, 0.0, STANDARD_GRAVITY]);
+/// let update = kf.update(Vec2::new([0.001, -0.002]), f_b, 0.01);
+/// assert!(update.accepted);
+/// ```
+#[derive(Clone, Debug)]
+pub struct GenericBoresightFilter<A: Arith> {
+    config: FilterConfig,
+    arith: A,
+    x: [A::T; STATE_DIM],
+    p: [[A::T; STATE_DIM]; STATE_DIM],
+    updates: u64,
+    rejected: u64,
+}
+
+/// The native-`f64` filter — the reference instantiation every
+/// pre-refactor call site keeps using unchanged.
 ///
 /// # Examples
 ///
@@ -119,38 +158,53 @@ impl KalmanUpdate {
 /// let update = kf.update(Vec2::new([0.001, -0.002]), f_b, 0.01);
 /// assert!(update.accepted);
 /// ```
-#[derive(Clone, Debug)]
-pub struct BoresightFilter {
-    config: FilterConfig,
-    x: State,
-    p: StateCov,
-    updates: u64,
-    rejected: u64,
-}
+pub type BoresightFilter = GenericBoresightFilter<F64Arith>;
 
-impl BoresightFilter {
-    /// Creates a filter from its configuration.
-    pub fn new(config: FilterConfig) -> Self {
-        let mut p = StateCov::zeros();
+impl<A: Arith> GenericBoresightFilter<A> {
+    /// Creates a filter from its configuration over the substrate's
+    /// default context.
+    pub fn new(config: FilterConfig) -> Self
+    where
+        A: Default,
+    {
+        Self::with_arith(A::default(), config)
+    }
+
+    /// Creates a filter over an explicit arithmetic context (e.g. a
+    /// [`crate::arith::SoftArith`] whose FPU ledger the caller wants to
+    /// keep reading).
+    pub fn with_arith(mut arith: A, config: FilterConfig) -> Self {
+        let zero = arith.num(0.0);
         let a2 = config.initial_angle_sigma * config.initial_angle_sigma;
         let b2 = if config.estimate_bias {
             config.initial_bias_sigma * config.initial_bias_sigma
         } else {
             0.0
         };
-        for i in 0..3 {
-            p[(i, i)] = a2;
-        }
-        for i in 3..STATE_DIM {
-            p[(i, i)] = b2;
+        let mut p = [[zero; STATE_DIM]; STATE_DIM];
+        for (i, row) in p.iter_mut().enumerate() {
+            row[i] = if i < 3 { arith.num(a2) } else { arith.num(b2) };
         }
         Self {
             config,
-            x: State::zeros(),
+            arith,
+            x: [zero; STATE_DIM],
             p,
             updates: 0,
             rejected: 0,
         }
+    }
+
+    /// The arithmetic context (inspect for op counts / cycle ledgers).
+    pub fn arith(&self) -> &A {
+        &self.arith
+    }
+
+    /// The arithmetic context, mutably (the generic estimator runs its
+    /// sensor-prep math through the same context so one ledger covers
+    /// the whole algorithm).
+    pub fn arith_mut(&mut self) -> &mut A {
+        &mut self.arith
     }
 
     /// The configuration (measurement sigma may have been retuned).
@@ -170,31 +224,54 @@ impl BoresightFilter {
 
     /// Estimated misalignment angles.
     pub fn angles(&self) -> EulerAngles {
-        EulerAngles::new(self.x[0], self.x[1], self.x[2])
+        EulerAngles::new(
+            self.arith.to_f64(self.x[0]),
+            self.arith.to_f64(self.x[1]),
+            self.arith.to_f64(self.x[2]),
+        )
     }
 
     /// Estimated ACC biases, m/s^2.
     pub fn bias(&self) -> Vec2 {
-        Vec2::new([self.x[3], self.x[4]])
+        Vec2::new([self.arith.to_f64(self.x[3]), self.arith.to_f64(self.x[4])])
     }
 
-    /// Full state vector.
-    pub fn state(&self) -> &State {
-        &self.x
+    /// Full state vector, converted to `f64`.
+    pub fn state(&self) -> State {
+        let mut out = State::zeros();
+        for i in 0..STATE_DIM {
+            out[i] = self.arith.to_f64(self.x[i]);
+        }
+        out
     }
 
-    /// State covariance.
-    pub fn covariance(&self) -> &StateCov {
-        &self.p
+    /// State covariance, converted to `f64`.
+    pub fn covariance(&self) -> StateCov {
+        let mut out = StateCov::zeros();
+        for r in 0..STATE_DIM {
+            for c in 0..STATE_DIM {
+                out[(r, c)] = self.arith.to_f64(self.p[r][c]);
+            }
+        }
+        out
     }
 
-    /// 1-sigma of each misalignment angle, rad.
-    pub fn angle_sigma(&self) -> Vec3 {
-        Vec3::new([
-            self.p[(0, 0)].max(0.0).sqrt(),
-            self.p[(1, 1)].max(0.0).sqrt(),
-            self.p[(2, 2)].max(0.0).sqrt(),
-        ])
+    /// 1-sigma of each misalignment angle, rad. Runs over a cloned
+    /// arithmetic context (a read-out, not part of the algorithm's op
+    /// ledger).
+    pub fn angle_sigma(&self) -> Vec3
+    where
+        A: Clone,
+    {
+        let mut a = self.arith.clone();
+        let zero = a.num(0.0);
+        let mut out = [0.0; 3];
+        for (i, o) in out.iter_mut().enumerate() {
+            let m = a.max(self.p[i][i], zero);
+            let s = a.sqrt(m);
+            *o = a.to_f64(s);
+        }
+        Vec3::new(out)
     }
 
     /// Accepted updates so far.
@@ -219,11 +296,14 @@ impl BoresightFilter {
         } else {
             0.0
         };
+        let a = &mut self.arith;
+        let qa_t = a.num(qa);
+        let qb_t = a.num(qb);
         for i in 0..3 {
-            self.p[(i, i)] += qa;
+            self.p[i][i] = a.add(self.p[i][i], qa_t);
         }
         for i in 3..STATE_DIM {
-            self.p[(i, i)] += qb;
+            self.p[i][i] = a.add(self.p[i][i], qb_t);
         }
     }
 
@@ -237,20 +317,56 @@ impl BoresightFilter {
     /// covariance is updated in Joseph form at the final
     /// linearization point.
     pub fn update(&mut self, z: Meas, f_b: Vec3, time_s: f64) -> KalmanUpdate {
+        let fb = [
+            self.arith.num(f_b[0]),
+            self.arith.num(f_b[1]),
+            self.arith.num(f_b[2]),
+        ];
+        self.update_t(z, fb, time_s)
+    }
+
+    /// [`Self::update`] with the specific force already in the
+    /// substrate (the generic estimator's lever-arm and slope math
+    /// produces it there).
+    pub fn update_t(&mut self, z: Meas, f_b: [A::T; 3], time_s: f64) -> KalmanUpdate {
         let r = self.config.measurement_sigma.powi(2);
+        let estimate_bias = self.config.estimate_bias;
+        let a = &mut self.arith;
+        let r_t = a.num(r);
+        let zero = a.num(0.0);
+        let zt = [a.num(z[0]), a.num(z[1])];
         let x_pred = self.x;
 
         // First-pass innovation and its sigma: this is what the
         // residual monitor sees (z minus the prior prediction).
-        let innovation = z - model::h(&x_pred, f_b);
-        let jac0 = self.jacobian_at(&x_pred, f_b);
-        let s0: Mat2 = jac0 * self.p * jac0.transpose() + Mat2::identity() * r;
-        let sigma = Vec2::new([s0[(0, 0)].max(0.0).sqrt(), s0[(1, 1)].max(0.0).sqrt()]);
+        let h0 = model::h_generic(a, &x_pred, &f_b);
+        let innov_t = [a.sub(zt[0], h0[0]), a.sub(zt[1], h0[1])];
+        let jac0 = jacobian_at(a, estimate_bias, &x_pred, &f_b);
+        let jp = smallmat::mul(a, &jac0, &self.p);
+        let jpj = smallmat::mul_nt(a, &jp, &jac0);
+        let ir = smallmat::scaled_identity::<A, MEAS_DIM>(a, r_t);
+        let s0 = smallmat::add(a, &jpj, &ir);
+        let m0 = a.max(s0[0][0], zero);
+        let sig0 = a.sqrt(m0);
+        let m1 = a.max(s0[1][1], zero);
+        let sig1 = a.sqrt(m1);
+        let innovation = Vec2::new([a.to_f64(innov_t[0]), a.to_f64(innov_t[1])]);
+        let sigma = Vec2::new([a.to_f64(sig0), a.to_f64(sig1)]);
 
         // Gate on the per-axis normalized innovation.
         if self.config.gate_sigmas > 0.0 {
-            let g = self.config.gate_sigmas;
-            if innovation[0].abs() > g * sigma[0] || innovation[1].abs() > g * sigma[1] {
+            let g = a.num(self.config.gate_sigmas);
+            let exceed0 = {
+                let ai = a.abs(innov_t[0]);
+                let gs = a.mul(g, sig0);
+                a.lt(gs, ai)
+            };
+            let exceeded = exceed0 || {
+                let ai = a.abs(innov_t[1]);
+                let gs = a.mul(g, sig1);
+                a.lt(gs, ai)
+            };
+            if exceeded {
                 self.rejected += 1;
                 return KalmanUpdate {
                     time_s,
@@ -262,13 +378,17 @@ impl BoresightFilter {
         }
 
         let iterations = self.config.iekf_iterations.max(1);
+        let eps = a.num(1e-12);
         let mut x_i = x_pred;
         let mut jac = jac0;
-        let mut gain: Option<Matrix<STATE_DIM, MEAS_DIM>> = None;
+        let mut gain: Option<[[A::T; MEAS_DIM]; STATE_DIM]> = None;
         for _ in 0..iterations {
-            jac = self.jacobian_at(&x_i, f_b);
-            let s: Mat2 = jac * self.p * jac.transpose() + Mat2::identity() * r;
-            let s_inv = match s.inverse() {
+            jac = jacobian_at(a, estimate_bias, &x_i, &f_b);
+            let jp = smallmat::mul(a, &jac, &self.p);
+            let jpj = smallmat::mul_nt(a, &jp, &jac);
+            let ir = smallmat::scaled_identity::<A, MEAS_DIM>(a, r_t);
+            let s = smallmat::add(a, &jpj, &ir);
+            let s_inv = match smallmat::inverse(a, &s) {
                 Some(inv) => inv,
                 None => {
                     self.rejected += 1;
@@ -280,27 +400,32 @@ impl BoresightFilter {
                     };
                 }
             };
-            let k: Matrix<STATE_DIM, MEAS_DIM> = self.p * jac.transpose() * s_inv;
+            let pjt = smallmat::mul_nt(a, &self.p, &jac);
+            let k = smallmat::mul(a, &pjt, &s_inv);
             // IEKF residual: z - h(x_i) - H (x_pred - x_i).
-            let resid = z - model::h(&x_i, f_b) - jac * (x_pred - x_i);
-            let x_next = x_pred + k * resid;
-            let step = (x_next - x_i).max_abs();
+            let hi = model::h_generic(a, &x_i, &f_b);
+            let zh = [a.sub(zt[0], hi[0]), a.sub(zt[1], hi[1])];
+            let dx = smallmat::vec_sub(a, &x_pred, &x_i);
+            let jdx = smallmat::mat_vec(a, &jac, &dx);
+            let resid = [a.sub(zh[0], jdx[0]), a.sub(zh[1], jdx[1])];
+            let kr = smallmat::mat_vec(a, &k, &resid);
+            let x_next = smallmat::vec_add(a, &x_pred, &kr);
+            let dstep = smallmat::vec_sub(a, &x_next, &x_i);
+            let step = smallmat::vec_max_abs(a, &dstep);
             x_i = x_next;
             gain = Some(k);
-            if step < 1e-12 {
+            if a.lt(step, eps) {
                 break;
             }
         }
         let k = gain.expect("at least one iteration ran");
         self.x = x_i;
-        if !self.config.estimate_bias {
-            self.x[3] = 0.0;
-            self.x[4] = 0.0;
+        if !estimate_bias {
+            self.x[3] = zero;
+            self.x[4] = zero;
         }
         // Joseph-form covariance update at the final linearization.
-        let ikh = StateCov::identity() - k * jac;
-        self.p = (ikh * self.p * ikh.transpose() + k * (Mat2::identity() * r) * k.transpose())
-            .symmetrized();
+        self.p = smallmat::joseph_update(a, &self.p, &k, &jac, r_t);
         self.apply_trust_region();
         self.updates += 1;
         KalmanUpdate {
@@ -311,40 +436,32 @@ impl BoresightFilter {
         }
     }
 
-    /// Jacobian with the bias columns masked when bias estimation is
-    /// disabled.
-    fn jacobian_at(&self, x: &State, f_b: Vec3) -> model::MeasJacobian {
-        let mut jac = model::jacobian(x, f_b);
-        if !self.config.estimate_bias {
-            jac[(0, 3)] = 0.0;
-            jac[(1, 4)] = 0.0;
-        }
-        jac
-    }
-
     /// Clamps the state to its physical trust region, re-opening the
     /// variance of any clamped component (see [`FilterConfig`]).
     fn apply_trust_region(&mut self) {
+        let a = &mut self.arith;
         if self.config.angle_limit > 0.0 {
-            let lim = self.config.angle_limit;
-            let floor = (self.config.initial_angle_sigma * 0.5).powi(2);
+            let lim = a.num(self.config.angle_limit);
+            let floor = a.num((self.config.initial_angle_sigma * 0.5).powi(2));
             for i in 0..3 {
-                if self.x[i].abs() > lim {
-                    self.x[i] = self.x[i].clamp(-lim, lim);
-                    if self.p[(i, i)] < floor {
-                        self.p[(i, i)] = floor;
+                let ax = a.abs(self.x[i]);
+                if a.lt(lim, ax) {
+                    self.x[i] = clamp_sym(a, self.x[i], lim);
+                    if a.lt(self.p[i][i], floor) {
+                        self.p[i][i] = floor;
                     }
                 }
             }
         }
         if self.config.bias_limit > 0.0 && self.config.estimate_bias {
-            let lim = self.config.bias_limit;
-            let floor = (self.config.initial_bias_sigma * 0.5).powi(2);
+            let lim = a.num(self.config.bias_limit);
+            let floor = a.num((self.config.initial_bias_sigma * 0.5).powi(2));
             for i in 3..STATE_DIM {
-                if self.x[i].abs() > lim {
-                    self.x[i] = self.x[i].clamp(-lim, lim);
-                    if self.p[(i, i)] < floor {
-                        self.p[(i, i)] = floor;
+                let ax = a.abs(self.x[i]);
+                if a.lt(lim, ax) {
+                    self.x[i] = clamp_sym(a, self.x[i], lim);
+                    if a.lt(self.p[i][i], floor) {
+                        self.p[i][i] = floor;
                     }
                 }
             }
@@ -352,15 +469,53 @@ impl BoresightFilter {
     }
 
     /// Checks that the covariance is still symmetric positive definite
-    /// (diagnostics; `true` means healthy).
-    pub fn covariance_healthy(&self) -> bool {
-        self.p.asymmetry() < 1e-9 && Cholesky::new(&self.p).is_some()
+    /// (diagnostics; `true` means healthy). Runs over a cloned
+    /// arithmetic context so the diagnostic does not pollute the
+    /// algorithm's op ledger.
+    pub fn covariance_healthy(&self) -> bool
+    where
+        A: Clone,
+    {
+        let mut a = self.arith.clone();
+        let asym = smallmat::asymmetry(&mut a, &self.p);
+        let tol = a.num(1e-9);
+        a.lt(asym, tol) && smallmat::cholesky_ok(&mut a, &self.p)
     }
+}
+
+/// `x` clamped to `[-lim, lim]` (mirrors `f64::clamp`'s branch order).
+fn clamp_sym<A: Arith>(a: &mut A, x: A::T, lim: A::T) -> A::T {
+    let nlim = a.neg(lim);
+    if a.lt(x, nlim) {
+        nlim
+    } else if a.lt(lim, x) {
+        lim
+    } else {
+        x
+    }
+}
+
+/// Jacobian with the bias columns masked when bias estimation is
+/// disabled.
+fn jacobian_at<A: Arith>(
+    a: &mut A,
+    estimate_bias: bool,
+    x: &[A::T; STATE_DIM],
+    f_b: &[A::T; 3],
+) -> [[A::T; STATE_DIM]; MEAS_DIM] {
+    let mut jac = model::jacobian_generic(a, x, f_b);
+    if !estimate_bias {
+        let zero = a.num(0.0);
+        jac[0][3] = zero;
+        jac[1][4] = zero;
+    }
+    jac
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::arith::{FixedArith, SoftArith};
     use mathx::rng::seeded_rng;
     use mathx::{deg_to_rad, rad_to_deg, GaussianSampler, STANDARD_GRAVITY};
 
@@ -374,7 +529,20 @@ mod tests {
         cfg: FilterConfig,
         seed: u64,
     ) -> BoresightFilter {
-        let mut kf = BoresightFilter::new(cfg);
+        run_filter_over(F64Arith::default(), truth, bias, forces, sigma, cfg, seed)
+    }
+
+    /// The same simulation over any substrate.
+    fn run_filter_over<A: Arith>(
+        arith: A,
+        truth: EulerAngles,
+        bias: Vec2,
+        forces: impl Iterator<Item = Vec3>,
+        sigma: f64,
+        cfg: FilterConfig,
+        seed: u64,
+    ) -> GenericBoresightFilter<A> {
+        let mut kf = GenericBoresightFilter::with_arith(arith, cfg);
         let mut rng = seeded_rng(seed);
         let mut gauss = GaussianSampler::new();
         let c_sb = truth.dcm().transpose();
@@ -418,6 +586,60 @@ mod tests {
             err.to_degrees()
         );
         assert!(kf.covariance_healthy());
+    }
+
+    #[test]
+    fn softfloat_full_filter_matches_native_bitwise() {
+        // The identical 5-state IEKF over emulated IEEE arithmetic must
+        // agree with the native path bit for bit — the paper's Sabre
+        // configuration loses no accuracy, only cycles.
+        let truth = EulerAngles::from_degrees(2.0, -1.5, 3.0);
+        let cfg = FilterConfig::paper_static();
+        let native = run_filter(truth, Vec2::zeros(), rich_forces(2_000), 0.007, cfg, 1);
+        let soft = run_filter_over(
+            SoftArith::default(),
+            truth,
+            Vec2::zeros(),
+            rich_forces(2_000),
+            0.007,
+            cfg,
+            1,
+        );
+        let a = native.angles();
+        let b = soft.angles();
+        assert_eq!(a.roll.to_bits(), b.roll.to_bits());
+        assert_eq!(a.pitch.to_bits(), b.pitch.to_bits());
+        assert_eq!(a.yaw.to_bits(), b.yaw.to_bits());
+        assert!(soft.arith().cycles() > 0, "cycles must accumulate");
+        assert!(soft.arith().counts().trig > 0, "trig must be counted");
+    }
+
+    #[test]
+    fn fixed_point_full_filter_stays_bounded_and_counts_saturations() {
+        // Q16.16 over the full IEKF is the paper's "obvious
+        // enhancement" taken literally: the covariance floor sits at
+        // the quantization step, so accuracy degrades — but the state
+        // must stay inside the trust region and every overflow must be
+        // counted, never wrapped.
+        let truth = EulerAngles::from_degrees(2.0, -1.5, 3.0);
+        let cfg = FilterConfig::paper_static();
+        let kf = run_filter_over(
+            FixedArith::default(),
+            truth,
+            Vec2::zeros(),
+            rich_forces(5_000),
+            0.007,
+            cfg,
+            1,
+        );
+        let angles = kf.angles();
+        assert!(
+            angles.max_abs() <= cfg.angle_limit + 1e-3,
+            "trust region must bound the fixed-point state: {:?}",
+            angles.to_degrees()
+        );
+        assert!(kf.arith().counts().total() > 0);
+        assert!(kf.arith().cycles() > 0);
     }
 
     #[test]

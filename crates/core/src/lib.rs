@@ -10,9 +10,13 @@
 //! estimates that misalignment in real time:
 //!
 //! * [`model`] — the measurement model `z = S C_sb(e) f_b + b + v` and
-//!   its analytic Jacobian;
+//!   its analytic Jacobian, in native `f64` and generically over any
+//!   [`arith::Arith`] number system;
 //! * [`filter`] — the extended Kalman filter (Joseph-form updates,
-//!   innovation gating) over misalignment plus ACC bias;
+//!   innovation gating) over misalignment plus ACC bias —
+//!   [`GenericBoresightFilter`] runs the identical algorithm over any
+//!   arithmetic substrate, with [`BoresightFilter`] the bit-pinned
+//!   native-`f64` instantiation;
 //! * [`monitor`] — the paper's residual / 3-sigma tuning loop that
 //!   raises the measurement noise when vehicle vibration appears;
 //! * [`estimator`] — [`BoresightEstimator`], the public API tying the
@@ -25,9 +29,14 @@
 //! * [`scenario`] — the static (tilt-table) and dynamic (drive)
 //!   test procedures producing Table-1/Figure-8/Figure-9 data, as thin
 //!   wrappers over [`session`];
-//! * [`arith`] — the same filter over native f64, emulated Softfloat
-//!   and Q16.16 fixed point (the paper's future-work ablation), usable
-//!   as session backends through [`session::ArithKf3`];
+//! * [`arith`] — the arithmetic substrates (native f64, emulated
+//!   Softfloat with Sabre cycle accounting, saturating Q16.16 fixed
+//!   point) with shared per-op instrumentation, plus the 3-state
+//!   ablation filter; the *full* 5-state IEKF runs over any of them
+//!   through [`SessionBuilder::iekf`] or
+//!   [`SessionGroup::full_iekf_sweep`];
+//! * [`smallmat`] — the substrate-generic dense kernels (products,
+//!   Gauss-Jordan inverse, Cholesky check) shared by both filters;
 //! * [`system`] — the full Figure-2 system simulation: sensors, CAN,
 //!   bridge, UARTs, reconstruction, fusion, the Sabre soft core
 //!   publishing to its control block, and affine video correction —
@@ -82,16 +91,20 @@ pub mod monitor;
 pub mod multi;
 pub mod scenario;
 pub mod session;
+pub mod smallmat;
 pub mod system;
 
-pub use estimator::{BoresightEstimator, EstimatorConfig, MisalignmentEstimate};
-pub use filter::{BoresightFilter, FilterConfig, KalmanUpdate};
+pub use arith::{Arith, F64Arith, FixedArith, OpCounts, SoftArith};
+pub use estimator::{
+    BoresightEstimator, EstimatorConfig, GenericBoresightEstimator, MisalignmentEstimate,
+};
+pub use filter::{BoresightFilter, FilterConfig, GenericBoresightFilter, KalmanUpdate};
 pub use monitor::{MonitorConfig, ResidualMonitor, Retune};
 pub use multi::MultiBoresight;
 pub use scenario::{run, run_dynamic, run_static, RunResult, ScenarioConfig};
 pub use session::{
-    ArithKf3, ChannelConfig, CommsChainSource, EventSink, FusionBackend, FusionSession,
-    SensorEvent, SensorSource, SessionBuilder, SessionGroup, SessionStats, SyntheticSource,
-    UartReplaySource,
+    ArithDivergence, ArithKf3, ChannelConfig, CommsChainSource, EventSink, FusionBackend,
+    FusionSession, SensorEvent, SensorSource, SessionBuilder, SessionGroup, SessionStats,
+    SyntheticSource, UartReplaySource,
 };
 pub use system::{run_system, SystemConfig, SystemReport};

@@ -14,6 +14,8 @@
 //! function `h` and its analytic Jacobian with respect to the filter
 //! state `[phi, theta, psi, bx, by]`.
 
+use crate::arith::Arith;
+use crate::smallmat;
 use mathx::{Mat3, Matrix, Vec3, Vector};
 
 /// Dimension of the filter state.
@@ -89,6 +91,114 @@ pub fn jacobian(x: &State, f_b: Vec3) -> MeasJacobian {
     }
     jac[(0, 3)] = 1.0;
     jac[(1, 4)] = 1.0;
+    jac
+}
+
+// --- Substrate-generic model -------------------------------------
+//
+// The same model function and Jacobian over any `Arith` number system,
+// with every dense product going through the shared `smallmat` kernels
+// in the exact operation order of the `f64` path above — instantiated
+// with `F64Arith` these reproduce `h`/`jacobian` bit for bit.
+
+fn rx_g<A: Arith>(a: &mut A, phi: A::T) -> [[A::T; 3]; 3] {
+    let (s, c) = a.sin_cos(phi);
+    let ns = a.neg(s);
+    let zero = a.num(0.0);
+    let one = a.num(1.0);
+    [[one, zero, zero], [zero, c, ns], [zero, s, c]]
+}
+
+fn ry_g<A: Arith>(a: &mut A, theta: A::T) -> [[A::T; 3]; 3] {
+    let (s, c) = a.sin_cos(theta);
+    let ns = a.neg(s);
+    let zero = a.num(0.0);
+    let one = a.num(1.0);
+    [[c, zero, s], [zero, one, zero], [ns, zero, c]]
+}
+
+fn rz_g<A: Arith>(a: &mut A, psi: A::T) -> [[A::T; 3]; 3] {
+    let (s, c) = a.sin_cos(psi);
+    let ns = a.neg(s);
+    let zero = a.num(0.0);
+    let one = a.num(1.0);
+    [[c, ns, zero], [s, c, zero], [zero, zero, one]]
+}
+
+fn drx_g<A: Arith>(a: &mut A, phi: A::T) -> [[A::T; 3]; 3] {
+    let (s, c) = a.sin_cos(phi);
+    let ns = a.neg(s);
+    let nc = a.neg(c);
+    let zero = a.num(0.0);
+    [[zero, zero, zero], [zero, ns, nc], [zero, c, ns]]
+}
+
+fn dry_g<A: Arith>(a: &mut A, theta: A::T) -> [[A::T; 3]; 3] {
+    let (s, c) = a.sin_cos(theta);
+    let ns = a.neg(s);
+    let nc = a.neg(c);
+    let zero = a.num(0.0);
+    [[ns, zero, c], [zero, zero, zero], [nc, zero, ns]]
+}
+
+fn drz_g<A: Arith>(a: &mut A, psi: A::T) -> [[A::T; 3]; 3] {
+    let (s, c) = a.sin_cos(psi);
+    let ns = a.neg(s);
+    let nc = a.neg(c);
+    let zero = a.num(0.0);
+    [[ns, nc, zero], [c, ns, zero], [zero, zero, zero]]
+}
+
+/// `Rz * Ry * Rx` for the given state — `C_sb` is its transpose, which
+/// callers apply implicitly through [`smallmat::mat_tvec`].
+fn rot_prod_g<A: Arith>(a: &mut A, x: &[A::T; STATE_DIM]) -> [[A::T; 3]; 3] {
+    let rz = rz_g(a, x[2]);
+    let ry = ry_g(a, x[1]);
+    let rx = rx_g(a, x[0]);
+    let zy = smallmat::mul(a, &rz, &ry);
+    smallmat::mul(a, &zy, &rx)
+}
+
+/// Substrate-generic model function: predicted ACC measurement for
+/// state `x` and IMU specific force `f_b`.
+pub fn h_generic<A: Arith>(a: &mut A, x: &[A::T; STATE_DIM], f_b: &[A::T; 3]) -> [A::T; MEAS_DIM] {
+    let prod = rot_prod_g(a, x);
+    let f_s = smallmat::mat_tvec(a, &prod, f_b);
+    [a.add(f_s[0], x[3]), a.add(f_s[1], x[4])]
+}
+
+/// Substrate-generic analytic Jacobian `dh/dx` (2 x 5).
+pub fn jacobian_generic<A: Arith>(
+    a: &mut A,
+    x: &[A::T; STATE_DIM],
+    f_b: &[A::T; 3],
+) -> [[A::T; STATE_DIM]; MEAS_DIM] {
+    let az = rz_g(a, x[2]);
+    let by = ry_g(a, x[1]);
+    let cx = rx_g(a, x[0]);
+    // C_sb = C^T B^T A^T; partials replace one factor by its derivative.
+    let ab = smallmat::mul(a, &az, &by);
+    let dcx = drx_g(a, x[0]);
+    let m_phi = smallmat::mul(a, &ab, &dcx);
+    let d_phi = smallmat::mat_tvec(a, &m_phi, f_b);
+    let dby = dry_g(a, x[1]);
+    let adb = smallmat::mul(a, &az, &dby);
+    let m_theta = smallmat::mul(a, &adb, &cx);
+    let d_theta = smallmat::mat_tvec(a, &m_theta, f_b);
+    let daz = drz_g(a, x[2]);
+    let db = smallmat::mul(a, &daz, &by);
+    let m_psi = smallmat::mul(a, &db, &cx);
+    let d_psi = smallmat::mat_tvec(a, &m_psi, f_b);
+    let zero = a.num(0.0);
+    let one = a.num(1.0);
+    let mut jac = [[zero; STATE_DIM]; MEAS_DIM];
+    for row in 0..MEAS_DIM {
+        jac[row][0] = d_phi[row];
+        jac[row][1] = d_theta[row];
+        jac[row][2] = d_psi[row];
+    }
+    jac[0][3] = one;
+    jac[1][4] = one;
     jac
 }
 
@@ -177,6 +287,27 @@ mod tests {
         let jac = jacobian(&x0, f);
         // z_y picks up -psi*f_x.
         assert!((jac[(1, 2)] + 2.0).abs() < 1e-12, "{}", jac[(1, 2)]);
+    }
+
+    #[test]
+    fn generic_model_is_bit_identical_to_f64_model() {
+        use crate::arith::F64Arith;
+        let x0 = state(2.0, -1.5, 3.0, 0.01, -0.02);
+        let f = Vec3::new([0.8, -0.4, STANDARD_GRAVITY]);
+        let mut a = F64Arith::default();
+        let xs = *x0.as_array();
+        let fb = *f.as_array();
+        let hg = h_generic(&mut a, &xs, &fb);
+        let hf = h(&x0, f);
+        assert_eq!(hg[0].to_bits(), hf[0].to_bits());
+        assert_eq!(hg[1].to_bits(), hf[1].to_bits());
+        let jg = jacobian_generic(&mut a, &xs, &fb);
+        let jf = jacobian(&x0, f);
+        for r in 0..MEAS_DIM {
+            for c in 0..STATE_DIM {
+                assert_eq!(jg[r][c].to_bits(), jf[(r, c)].to_bits(), "({r},{c})");
+            }
+        }
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //!
 //! Since the [`crate::session`] redesign these entry points are thin
 //! compat shims: the event loop lives in
-//! [`FusionSession`](crate::session::FusionSession), and [`run`] just
+//! [`FusionSession`], and [`run`] just
 //! builds a session from the config and collects its [`RunResult`].
 //! Use the session API directly for incremental stepping, multiple
 //! concurrent runs or non-default backends.

@@ -48,8 +48,10 @@
 //! assert!(session.into_result().max_error_deg() < 0.5);
 //! ```
 
-use crate::arith::{Arith, Kf3};
-use crate::estimator::{BoresightEstimator, EstimatorConfig, MisalignmentEstimate};
+use crate::arith::{Arith, F64Arith, FixedArith, Kf3, SoftArith};
+use crate::estimator::{
+    BoresightEstimator, EstimatorConfig, GenericBoresightEstimator, MisalignmentEstimate,
+};
 use crate::filter::KalmanUpdate;
 use crate::monitor::Retune;
 use crate::scenario::{EstimatePoint, ResidualPoint, RunResult, ScenarioConfig};
@@ -185,7 +187,11 @@ pub trait FusionBackend: Any {
     fn as_any_mut(&mut self) -> &mut dyn Any;
 }
 
-impl FusionBackend for BoresightEstimator {
+/// The full 5-state IEKF over *any* arithmetic substrate as a session
+/// backend — the reference `f64` path, the paper's Softfloat
+/// configuration and the Q16.16 enhancement are all one
+/// `SessionBuilder::iekf` call apart.
+impl<A: Arith + Clone + 'static> FusionBackend for GenericBoresightEstimator<A> {
     fn ingest_dmu(&mut self, sample: &DmuSample) {
         self.on_dmu(sample);
     }
@@ -204,11 +210,11 @@ impl FusionBackend for BoresightEstimator {
     }
 
     fn retunes(&self) -> &[Retune] {
-        BoresightEstimator::retunes(self)
+        GenericBoresightEstimator::retunes(self)
     }
 
     fn label(&self) -> &'static str {
-        "iekf5/f64"
+        self.filter().arith().iekf_label()
     }
 
     fn as_any(&self) -> &dyn Any {
@@ -906,9 +912,16 @@ impl<'a> SessionBuilder<'a> {
         self
     }
 
-    /// Convenience: the production 5-state IEKF with `config`.
+    /// Convenience: the production 5-state IEKF with `config` (native
+    /// `f64`).
     pub fn estimator(self, config: EstimatorConfig) -> Self {
         self.backend(BoresightEstimator::new(config))
+    }
+
+    /// Convenience: the identical full 5-state IEKF running over an
+    /// arbitrary arithmetic substrate.
+    pub fn iekf(self, arith: impl Arith + Clone + 'static, config: EstimatorConfig) -> Self {
+        self.backend(GenericBoresightEstimator::with_arith(arith, config))
     }
 
     /// Convenience: the 3-state ablation filter over `arith` with
@@ -996,6 +1009,22 @@ impl<'a> FusionSession<'a> {
         Self::builder()
             .source(SyntheticSource::from_scenario(trajectory, config))
             .estimator(config.estimator)
+            .truth(config.true_misalignment)
+            .record_traces(config.trace_decimation)
+            .build()
+    }
+
+    /// A scenario session whose full 5-state IEKF runs over `arith`
+    /// instead of native `f64` — identical source and traces, different
+    /// number system.
+    pub fn iekf_from_scenario(
+        trajectory: &'a dyn Trajectory,
+        config: &ScenarioConfig,
+        arith: impl Arith + Clone + 'static,
+    ) -> Self {
+        Self::builder()
+            .source(SyntheticSource::from_scenario(trajectory, config))
+            .iekf(arith, config.estimator)
             .truth(config.true_misalignment)
             .record_traces(config.trace_decimation)
             .build()
@@ -1185,6 +1214,18 @@ impl<'a> FusionSession<'a> {
     }
 }
 
+/// How far one substrate's estimate has drifted from the reference
+/// session's (see [`SessionGroup::divergence_from`]).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ArithDivergence {
+    /// The session's backend label (e.g. `iekf5/q16.16`).
+    pub label: &'static str,
+    /// Largest per-axis angle difference to the reference, degrees.
+    pub max_abs_deg: f64,
+    /// Accepted updates in this session.
+    pub updates: u64,
+}
+
 /// A batch of sessions driven together — many scenarios, many
 /// arithmetic backends, one thread.
 #[derive(Default)]
@@ -1196,6 +1237,53 @@ impl<'a> SessionGroup<'a> {
     /// An empty group.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The Table-1/Figure-9 arithmetic sweep over one scenario: three
+    /// sessions running the *identical* full 5-state IEKF over native
+    /// `f64` (index 0, the reference), Sabre-accounted Softfloat
+    /// (index 1) and Q16.16 fixed point (index 2) — interleave them
+    /// with [`SessionGroup::run_interleaved`] and read
+    /// [`SessionGroup::divergence_from`]`(0)` at any point.
+    pub fn full_iekf_sweep(trajectory: &'a dyn Trajectory, config: &ScenarioConfig) -> Self {
+        let mut group = Self::new();
+        group.push(FusionSession::iekf_from_scenario(
+            trajectory,
+            config,
+            F64Arith::default(),
+        ));
+        group.push(FusionSession::iekf_from_scenario(
+            trajectory,
+            config,
+            SoftArith::default(),
+        ));
+        group.push(FusionSession::iekf_from_scenario(
+            trajectory,
+            config,
+            FixedArith::default(),
+        ));
+        group
+    }
+
+    /// Each session's estimate drift from session `reference`'s, in
+    /// insertion order (the reference reports 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference` is out of range.
+    pub fn divergence_from(&self, reference: usize) -> Vec<ArithDivergence> {
+        let anchor = self.sessions[reference].estimate().angles;
+        self.sessions
+            .iter()
+            .map(|s| {
+                let estimate = s.estimate();
+                ArithDivergence {
+                    label: s.backend_label(),
+                    max_abs_deg: mathx::rad_to_deg(estimate.angles.error_to(&anchor).max_abs()),
+                    updates: estimate.updates,
+                }
+            })
+            .collect()
     }
 
     /// Adds a session and returns its index.
@@ -1309,14 +1397,14 @@ mod tests {
         group.push(
             FusionSession::builder()
                 .source(SyntheticSource::from_scenario(&table, &cfg))
-                .arith_backend(F64Arith)
+                .arith_backend(F64Arith::default())
                 .truth(cfg.true_misalignment)
                 .build(),
         );
         group.push(
             FusionSession::builder()
                 .source(SyntheticSource::from_scenario(&table, &cfg))
-                .arith_backend(FixedArith)
+                .arith_backend(FixedArith::default())
                 .truth(cfg.true_misalignment)
                 .build(),
         );
@@ -1349,6 +1437,37 @@ mod tests {
         let stats = backend.kf().arith().fpu.stats();
         assert!(stats.cycles > 0, "softfloat cycles should accumulate");
         assert_eq!(session.backend_label(), "softfloat/f64");
+    }
+
+    #[test]
+    fn full_iekf_sweep_interleaves_three_substrates() {
+        let mut cfg = short_config(12);
+        cfg.duration_s = 30.0;
+        let table = TiltTable::observability_sequence(20.0, cfg.duration_s / 8.0);
+        let mut group = SessionGroup::full_iekf_sweep(&table, &cfg);
+        group.run_interleaved(0.5);
+        assert!(group.all_finished());
+        let div = group.divergence_from(0);
+        assert_eq!(div.len(), 3);
+        assert_eq!(div[0].label, "iekf5/f64");
+        assert_eq!(div[1].label, "iekf5/softfloat");
+        assert_eq!(div[2].label, "iekf5/q16.16");
+        // The reference diverges from itself by exactly nothing, and
+        // IEEE emulation is bit-identical to the native path.
+        assert_eq!(div[0].max_abs_deg, 0.0);
+        assert_eq!(div[1].max_abs_deg, 0.0, "softfloat must match f64");
+        // Fixed point drifts, but the trust region keeps it bounded.
+        assert!(div[2].max_abs_deg <= 2.0 * rad_to_deg(cfg.estimator.filter.angle_limit));
+        // The emulated session accounted Sabre cycles for the full
+        // 5-state algorithm.
+        let soft = group.sessions()[1]
+            .backend_as::<crate::estimator::GenericBoresightEstimator<SoftArith>>()
+            .expect("softfloat backend");
+        assert!(soft.filter().arith().cycles() > 0);
+        let fixed = group.sessions()[2]
+            .backend_as::<crate::estimator::GenericBoresightEstimator<FixedArith>>()
+            .expect("fixed backend");
+        assert!(fixed.filter().arith().counts().total() > 0);
     }
 
     #[test]

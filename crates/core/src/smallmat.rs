@@ -1,0 +1,433 @@
+//! Shared small-matrix kernels over an [`Arith`] substrate.
+//!
+//! Every dense loop the estimation stack needs — products, transposed
+//! products, Gauss-Jordan inversion, Cholesky health checks,
+//! symmetrization — lives here once, generic over the number system,
+//! and is used by both the 3-state ablation filter
+//! ([`crate::arith::Kf3`]) and the production 5-state IEKF
+//! ([`crate::filter::GenericBoresightFilter`]).
+//!
+//! The accumulation order of every kernel deliberately mirrors the
+//! `mathx` dense operators (accumulator starts at zero, innermost index
+//! ascending, scalar factors applied in the same operand order), so
+//! that instantiating these kernels with [`crate::arith::F64Arith`]
+//! reproduces the pre-generic native-`f64` filter **bit for bit** —
+//! the property the parity tests in `tests/arith_full_filter.rs` pin.
+
+// Index-based loops are deliberate throughout: they mirror the matrix
+// equations (and the `mathx` operators they must reproduce bitwise).
+#![allow(clippy::needless_range_loop)]
+
+use crate::arith::Arith;
+
+/// An `R x C` zero matrix in the substrate.
+pub fn zeros<A: Arith, const R: usize, const C: usize>(a: &mut A) -> [[A::T; C]; R] {
+    [[a.num(0.0); C]; R]
+}
+
+/// The `N x N` identity in the substrate.
+pub fn identity<A: Arith, const N: usize>(a: &mut A) -> [[A::T; N]; N] {
+    let zero = a.num(0.0);
+    let one = a.num(1.0);
+    let mut out = [[zero; N]; N];
+    for (i, row) in out.iter_mut().enumerate() {
+        row[i] = one;
+    }
+    out
+}
+
+/// Transpose (pure data movement, no arithmetic charged).
+pub fn transpose<A: Arith, const R: usize, const C: usize>(
+    a: &mut A,
+    m: &[[A::T; C]; R],
+) -> [[A::T; R]; C] {
+    let mut out = [[a.num(0.0); R]; C];
+    for r in 0..R {
+        for c in 0..C {
+            out[c][r] = m[r][c];
+        }
+    }
+    out
+}
+
+/// Matrix product `X * Y`.
+pub fn mul<A: Arith, const R: usize, const C: usize, const K: usize>(
+    a: &mut A,
+    x: &[[A::T; C]; R],
+    y: &[[A::T; K]; C],
+) -> [[A::T; K]; R] {
+    let zero = a.num(0.0);
+    let mut out = [[zero; K]; R];
+    for r in 0..R {
+        for k in 0..K {
+            let mut acc = zero;
+            for c in 0..C {
+                acc = a.fma(x[r][c], y[c][k], acc);
+            }
+            out[r][k] = acc;
+        }
+    }
+    out
+}
+
+/// Matrix product against a transpose, `X * Y^T`, without moving data.
+pub fn mul_nt<A: Arith, const R: usize, const C: usize, const K: usize>(
+    a: &mut A,
+    x: &[[A::T; C]; R],
+    y: &[[A::T; C]; K],
+) -> [[A::T; K]; R] {
+    let zero = a.num(0.0);
+    let mut out = [[zero; K]; R];
+    for r in 0..R {
+        for k in 0..K {
+            let mut acc = zero;
+            for c in 0..C {
+                acc = a.fma(x[r][c], y[k][c], acc);
+            }
+            out[r][k] = acc;
+        }
+    }
+    out
+}
+
+/// Matrix-vector product `M * v`.
+pub fn mat_vec<A: Arith, const R: usize, const C: usize>(
+    a: &mut A,
+    m: &[[A::T; C]; R],
+    v: &[A::T; C],
+) -> [A::T; R] {
+    let zero = a.num(0.0);
+    let mut out = [zero; R];
+    for r in 0..R {
+        let mut acc = zero;
+        for c in 0..C {
+            acc = a.fma(m[r][c], v[c], acc);
+        }
+        out[r] = acc;
+    }
+    out
+}
+
+/// Transposed matrix-vector product `M^T * v`.
+pub fn mat_tvec<A: Arith, const R: usize, const C: usize>(
+    a: &mut A,
+    m: &[[A::T; C]; R],
+    v: &[A::T; R],
+) -> [A::T; C] {
+    let zero = a.num(0.0);
+    let mut out = [zero; C];
+    for c in 0..C {
+        let mut acc = zero;
+        for r in 0..R {
+            acc = a.fma(m[r][c], v[r], acc);
+        }
+        out[c] = acc;
+    }
+    out
+}
+
+/// Element-wise sum `X + Y`.
+pub fn add<A: Arith, const R: usize, const C: usize>(
+    a: &mut A,
+    x: &[[A::T; C]; R],
+    y: &[[A::T; C]; R],
+) -> [[A::T; C]; R] {
+    let mut out = *x;
+    for r in 0..R {
+        for c in 0..C {
+            out[r][c] = a.add(x[r][c], y[r][c]);
+        }
+    }
+    out
+}
+
+/// Element-wise difference `X - Y`.
+pub fn sub<A: Arith, const R: usize, const C: usize>(
+    a: &mut A,
+    x: &[[A::T; C]; R],
+    y: &[[A::T; C]; R],
+) -> [[A::T; C]; R] {
+    let mut out = *x;
+    for r in 0..R {
+        for c in 0..C {
+            out[r][c] = a.sub(x[r][c], y[r][c]);
+        }
+    }
+    out
+}
+
+/// Element-wise scale `X * s` (element first, like `mathx`).
+pub fn scale<A: Arith, const R: usize, const C: usize>(
+    a: &mut A,
+    x: &[[A::T; C]; R],
+    s: A::T,
+) -> [[A::T; C]; R] {
+    let mut out = *x;
+    for row in &mut out {
+        for v in row.iter_mut() {
+            *v = a.mul(*v, s);
+        }
+    }
+    out
+}
+
+/// `identity * s` — including the explicit zero-element multiplies the
+/// dense `mathx` formulation performs, so op ledgers stay comparable.
+pub fn scaled_identity<A: Arith, const N: usize>(a: &mut A, s: A::T) -> [[A::T; N]; N] {
+    let id = identity::<A, N>(a);
+    scale(a, &id, s)
+}
+
+/// `0.5 * (X + X^T)` — the Kalman covariance re-symmetrization.
+pub fn symmetrized<A: Arith, const N: usize>(a: &mut A, x: &[[A::T; N]; N]) -> [[A::T; N]; N] {
+    let half = a.num(0.5);
+    let mut out = *x;
+    for r in 0..N {
+        for c in 0..N {
+            let sum = a.add(x[r][c], x[c][r]);
+            out[r][c] = a.mul(half, sum);
+        }
+    }
+    out
+}
+
+/// Largest absolute asymmetry `max |X - X^T|`.
+pub fn asymmetry<A: Arith, const N: usize>(a: &mut A, x: &[[A::T; N]; N]) -> A::T {
+    let mut m = a.num(0.0);
+    for r in 0..N {
+        for c in 0..N {
+            let d = a.sub(x[r][c], x[c][r]);
+            let ad = a.abs(d);
+            m = a.max(m, ad);
+        }
+    }
+    m
+}
+
+/// Largest absolute component of a vector.
+pub fn vec_max_abs<A: Arith, const N: usize>(a: &mut A, v: &[A::T; N]) -> A::T {
+    let mut m = a.num(0.0);
+    for x in v {
+        let ax = a.abs(*x);
+        m = a.max(m, ax);
+    }
+    m
+}
+
+/// Right-handed cross product of two 3-vectors (the `mathx::Vec3`
+/// component order).
+pub fn cross3<A: Arith>(a: &mut A, x: &[A::T; 3], y: &[A::T; 3]) -> [A::T; 3] {
+    let mut out = *x;
+    for (i, o) in out.iter_mut().enumerate() {
+        let (j, k) = ((i + 1) % 3, (i + 2) % 3);
+        let p = a.mul(x[j], y[k]);
+        let q = a.mul(x[k], y[j]);
+        *o = a.sub(p, q);
+    }
+    out
+}
+
+/// Element-wise vector sum.
+pub fn vec_add<A: Arith, const N: usize>(a: &mut A, x: &[A::T; N], y: &[A::T; N]) -> [A::T; N] {
+    let mut out = *x;
+    for i in 0..N {
+        out[i] = a.add(x[i], y[i]);
+    }
+    out
+}
+
+/// Element-wise vector difference.
+pub fn vec_sub<A: Arith, const N: usize>(a: &mut A, x: &[A::T; N], y: &[A::T; N]) -> [A::T; N] {
+    let mut out = *x;
+    for i in 0..N {
+        out[i] = a.sub(x[i], y[i]);
+    }
+    out
+}
+
+/// Inverse by Gauss-Jordan elimination with partial pivoting — the
+/// same pivot choice, `1e-300` singularity threshold and elimination
+/// order as `mathx::Matrix::inverse`, so the `f64` instantiation is
+/// bit-identical to it.
+pub fn inverse<A: Arith, const N: usize>(a: &mut A, m: &[[A::T; N]; N]) -> Option<[[A::T; N]; N]> {
+    let zero = a.num(0.0);
+    let tiny = a.num(1e-300);
+    let mut w = *m;
+    let mut inv = identity::<A, N>(a);
+    for col in 0..N {
+        let mut pivot = col;
+        for r in (col + 1)..N {
+            let ar = a.abs(w[r][col]);
+            let ap = a.abs(w[pivot][col]);
+            if a.lt(ap, ar) {
+                pivot = r;
+            }
+        }
+        let ap = a.abs(w[pivot][col]);
+        // The equality arm matters for substrates where `tiny`
+        // quantizes to zero (Q16.16): an exactly-zero pivot must still
+        // report singular instead of proceeding to a saturating
+        // divide-by-zero. Floats short-circuit on the `lt`.
+        if a.lt(ap, tiny) || a.eq(ap, zero) {
+            return None;
+        }
+        w.swap(col, pivot);
+        inv.swap(col, pivot);
+        let d = w[col][col];
+        for c in 0..N {
+            w[col][c] = a.div(w[col][c], d);
+            inv[col][c] = a.div(inv[col][c], d);
+        }
+        for r in 0..N {
+            if r == col {
+                continue;
+            }
+            let factor = w[r][col];
+            if a.eq(factor, zero) {
+                continue;
+            }
+            for c in 0..N {
+                let t = a.mul(factor, w[col][c]);
+                w[r][c] = a.sub(w[r][c], t);
+                let t = a.mul(factor, inv[col][c]);
+                inv[r][c] = a.sub(inv[r][c], t);
+            }
+        }
+    }
+    Some(inv)
+}
+
+/// Joseph-form Kalman covariance update,
+/// `P' = (I - K H) P (I - K H)^T + K (r I) K^T`, re-symmetrized —
+/// the shared sequence both [`crate::arith::Kf3`] and the generic
+/// IEKF apply (a sum of (near-)PSD terms, which is what keeps the
+/// covariance bounded under coarse fixed-point rounding).
+pub fn joseph_update<A: Arith, const N: usize, const M: usize>(
+    a: &mut A,
+    p: &[[A::T; N]; N],
+    k: &[[A::T; M]; N],
+    h: &[[A::T; N]; M],
+    r: A::T,
+) -> [[A::T; N]; N] {
+    let kh = mul(a, k, h);
+    let id = identity::<A, N>(a);
+    let ikh = sub(a, &id, &kh);
+    let ip = mul(a, &ikh, p);
+    let ipit = mul_nt(a, &ip, &ikh);
+    let ir = scaled_identity::<A, M>(a, r);
+    let kir = mul(a, k, &ir);
+    let kirk = mul_nt(a, &kir, k);
+    let sum = add(a, &ipit, &kirk);
+    symmetrized(a, &sum)
+}
+
+/// `true` if the lower-triangle Cholesky factorization succeeds (every
+/// pivot strictly positive) — the substrate-generic mirror of
+/// `mathx::Cholesky::new(..).is_some()`.
+pub fn cholesky_ok<A: Arith, const N: usize>(a: &mut A, m: &[[A::T; N]; N]) -> bool {
+    let zero = a.num(0.0);
+    let mut l = zeros::<A, N, N>(a);
+    for i in 0..N {
+        for j in 0..=i {
+            let mut sum = m[i][j];
+            for k in 0..j {
+                let t = a.mul(l[i][k], l[j][k]);
+                sum = a.sub(sum, t);
+            }
+            if i == j {
+                if !a.lt(zero, sum) {
+                    return false;
+                }
+                l[i][i] = a.sqrt(sum);
+            } else {
+                l[i][j] = a.div(sum, l[j][j]);
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::F64Arith;
+    use mathx::{Matrix, Vector};
+
+    fn to_mathx<const R: usize, const C: usize>(m: [[f64; C]; R]) -> Matrix<R, C> {
+        Matrix::new(m)
+    }
+
+    #[test]
+    fn products_match_mathx_bitwise() {
+        let a = [[1.1, -2.2, 0.3], [0.7, 5.5, -1.9]];
+        let b = [[0.2, 1.7], [-3.3, 0.9], [4.1, -0.4]];
+        let mut ar = F64Arith::default();
+        let p = mul(&mut ar, &a, &b);
+        let expect = to_mathx(a) * to_mathx(b);
+        for r in 0..2 {
+            for c in 0..2 {
+                assert_eq!(p[r][c].to_bits(), expect[(r, c)].to_bits());
+            }
+        }
+        let c = [[0.5, -1.25, 2.0], [3.5, 0.75, -0.125]];
+        let ct = transpose(&mut ar, &c);
+        assert_eq!(ct[2][1], -0.125);
+        let pnt = mul_nt(&mut ar, &a, &c);
+        let direct: Matrix<2, 2> = to_mathx(a) * to_mathx(c).transpose();
+        for r in 0..2 {
+            for k in 0..2 {
+                assert_eq!(pnt[r][k].to_bits(), direct[(r, k)].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_matches_mathx_bitwise() {
+        let m = [[4.0, 7.1, 0.3], [2.2, 6.4, -1.0], [0.5, -0.9, 3.3]];
+        let mut ar = F64Arith::default();
+        let inv = inverse(&mut ar, &m).expect("nonsingular");
+        let expect = to_mathx(m).inverse().expect("nonsingular");
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_eq!(inv[r][c].to_bits(), expect[(r, c)].to_bits());
+            }
+        }
+        let singular = [[1.0, 2.0], [2.0, 4.0]];
+        assert!(inverse(&mut ar, &singular).is_none());
+    }
+
+    #[test]
+    fn vectors_and_symmetry_match_mathx() {
+        let m = [[1.0, 2.5], [2.0, -1.0]];
+        let v = [0.4, -0.7];
+        let mut ar = F64Arith::default();
+        let mv = mat_vec(&mut ar, &m, &v);
+        let expect = to_mathx(m) * Vector::new(v);
+        assert_eq!(mv[0].to_bits(), expect[0].to_bits());
+        assert_eq!(mv[1].to_bits(), expect[1].to_bits());
+        let sym = symmetrized(&mut ar, &m);
+        let esym = to_mathx(m).symmetrized();
+        for r in 0..2 {
+            for c in 0..2 {
+                assert_eq!(sym[r][c].to_bits(), esym[(r, c)].to_bits());
+            }
+        }
+        let asy = asymmetry(&mut ar, &m);
+        assert_eq!(asy.to_bits(), to_mathx(m).asymmetry().to_bits());
+        assert_eq!(
+            vec_max_abs(&mut ar, &v).to_bits(),
+            Vector::new(v).max_abs().to_bits()
+        );
+    }
+
+    #[test]
+    fn cholesky_agrees_with_mathx_on_spd_and_indefinite() {
+        let spd = [[4.0, 2.0, 0.4], [2.0, 3.0, 0.1], [0.4, 0.1, 1.5]];
+        let mut ar = F64Arith::default();
+        assert!(cholesky_ok(&mut ar, &spd));
+        assert!(mathx::Cholesky::new(&to_mathx(spd)).is_some());
+        let indef = [[1.0, 0.0], [0.0, -1.0]];
+        assert!(!cholesky_ok(&mut ar, &indef));
+        assert!(mathx::Cholesky::new(&to_mathx(indef)).is_none());
+    }
+}

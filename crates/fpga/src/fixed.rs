@@ -121,6 +121,72 @@ impl<const FRAC: u32> Fixed<FRAC> {
     pub fn saturating_add(self, rhs: Self) -> Self {
         Self(self.0.saturating_add(rhs.0))
     }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: Self) -> Self {
+        Self(self.0.saturating_sub(rhs.0))
+    }
+
+    /// Saturating negation (`-i32::MIN` pins at `i32::MAX`).
+    pub fn saturating_neg(self) -> Self {
+        Self(self.0.saturating_neg())
+    }
+
+    /// Saturating addition that also reports whether the register
+    /// range was exceeded, so datapaths can count overflow events.
+    pub fn saturating_add_checked(self, rhs: Self) -> (Self, bool) {
+        let (wrapped, overflowed) = self.0.overflowing_add(rhs.0);
+        if overflowed {
+            (Self(if self.0 < 0 { i32::MIN } else { i32::MAX }), true)
+        } else {
+            (Self(wrapped), false)
+        }
+    }
+
+    /// Saturating subtraction with overflow detection.
+    pub fn saturating_sub_checked(self, rhs: Self) -> (Self, bool) {
+        let (wrapped, overflowed) = self.0.overflowing_sub(rhs.0);
+        if overflowed {
+            (Self(if self.0 < 0 { i32::MIN } else { i32::MAX }), true)
+        } else {
+            (Self(wrapped), false)
+        }
+    }
+
+    /// Saturating multiplication with overflow detection.
+    pub fn saturating_mul_checked(self, rhs: Self) -> (Self, bool) {
+        let p = self.0 as i64 * rhs.0 as i64;
+        let rounded = (p + (1i64 << (FRAC - 1))) >> FRAC;
+        let clamped = rounded.clamp(i32::MIN as i64, i32::MAX as i64);
+        (Self(clamped as i32), clamped != rounded)
+    }
+
+    /// Saturating division with overflow / divide-by-zero detection.
+    pub fn saturating_div_checked(self, rhs: Self) -> (Self, bool) {
+        if rhs.0 == 0 {
+            return (
+                if self.0 >= 0 {
+                    Self(i32::MAX)
+                } else {
+                    Self(i32::MIN)
+                },
+                true,
+            );
+        }
+        let q = ((self.0 as i64) << FRAC) / rhs.0 as i64;
+        let clamped = q.clamp(i32::MIN as i64, i32::MAX as i64);
+        (Self(clamped as i32), clamped != q)
+    }
+
+    /// Fused multiply-add `self * rhs + addend` through a single wide
+    /// accumulator (one rounding, as a DSP-slice MAC would perform),
+    /// saturating with overflow detection.
+    pub fn saturating_mul_add_checked(self, rhs: Self, addend: Self) -> (Self, bool) {
+        let p = self.0 as i64 * rhs.0 as i64 + ((addend.0 as i64) << FRAC);
+        let rounded = (p + (1i64 << (FRAC - 1))) >> FRAC;
+        let clamped = rounded.clamp(i32::MIN as i64, i32::MAX as i64);
+        (Self(clamped as i32), clamped != rounded)
+    }
 }
 
 impl<const FRAC: u32> Add for Fixed<FRAC> {
@@ -299,6 +365,51 @@ mod tests {
             i32::MIN
         );
         assert_eq!(big.saturating_add(big).raw(), i32::MAX);
+    }
+
+    #[test]
+    fn checked_ops_report_saturation() {
+        let big = Q16::from_raw(i32::MAX);
+        let (v, sat) = big.saturating_add_checked(Q16::one());
+        assert_eq!(v.raw(), i32::MAX);
+        assert!(sat);
+        let (v, sat) = Q16::from_raw(i32::MIN).saturating_sub_checked(Q16::one());
+        assert_eq!(v.raw(), i32::MIN);
+        assert!(sat);
+        let (v, sat) = Q16::from_f64(30000.0).saturating_mul_checked(Q16::from_f64(30000.0));
+        assert_eq!(v.raw(), i32::MAX);
+        assert!(sat);
+        let (_, sat) = Q16::from_f64(1.0).saturating_div_checked(Q16::ZERO);
+        assert!(sat);
+        let (v, sat) = Q16::from_f64(2.0).saturating_add_checked(Q16::from_f64(3.0));
+        assert_eq!(v.to_f64(), 5.0);
+        assert!(!sat);
+        let (v, sat) = Q16::from_f64(-30000.0).saturating_div_checked(Q16::from_f64(0.25));
+        assert_eq!(v.raw(), i32::MIN);
+        assert!(sat);
+    }
+
+    #[test]
+    fn mul_add_fuses_single_rounding() {
+        // 3 * (1/3) + 1 with one rounding lands closer than round(3/3)
+        // followed by a rounded add in the worst case; here just check
+        // exact behaviour on representable values.
+        let (v, sat) =
+            Q16::from_f64(1.5).saturating_mul_add_checked(Q16::from_f64(2.0), Q16::from_f64(0.25));
+        assert_eq!(v.to_f64(), 3.25);
+        assert!(!sat);
+        let (v, sat) =
+            Q16::from_f64(30000.0).saturating_mul_add_checked(Q16::from_f64(30000.0), Q16::ZERO);
+        assert_eq!(v.raw(), i32::MAX);
+        assert!(sat);
+        assert_eq!(Q16::from_f64(-2.5).saturating_neg().to_f64(), 2.5);
+        assert_eq!(Q16::from_raw(i32::MIN).saturating_neg().raw(), i32::MAX);
+        assert_eq!(
+            Q16::from_f64(7.5)
+                .saturating_sub(Q16::from_f64(2.5))
+                .to_f64(),
+            5.0
+        );
     }
 
     #[test]

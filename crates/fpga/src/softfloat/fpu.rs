@@ -41,6 +41,10 @@ pub enum FpOp {
     SqrtF64,
     /// f64 compare.
     CmpF64,
+    /// f64 sign manipulation (negate, absolute value).
+    SignF64,
+    /// f64 sine+cosine pair.
+    SinCosF64,
     /// int <-> float conversion (either width).
     Convert,
 }
@@ -68,6 +72,12 @@ pub struct CycleCosts {
     pub sqrt_f64: u64,
     /// f64 compare cycles.
     pub cmp_f64: u64,
+    /// f64 sign-manipulation cycles (negate / absolute value are one
+    /// XOR/AND on the sign bit plus load/store traffic).
+    pub sign_f64: u64,
+    /// f64 sine+cosine pair cycles (polynomial evaluation in software;
+    /// roughly 13 multiply-adds per function after range reduction).
+    pub sincos_f64: u64,
     /// Conversion cycles.
     pub convert: u64,
 }
@@ -87,6 +97,8 @@ impl CycleCosts {
             div_f64: 420,
             sqrt_f64: 620,
             cmp_f64: 22,
+            sign_f64: 4,
+            sincos_f64: 5600,
             convert: 30,
         }
     }
@@ -104,6 +116,8 @@ impl CycleCosts {
             FpOp::DivF64 => self.div_f64,
             FpOp::SqrtF64 => self.sqrt_f64,
             FpOp::CmpF64 => self.cmp_f64,
+            FpOp::SignF64 => self.sign_f64,
+            FpOp::SinCosF64 => self.sincos_f64,
             FpOp::Convert => self.convert,
         }
     }
@@ -138,6 +152,10 @@ pub struct FpuStats {
     pub sqrt_f64: u64,
     /// f64 compares performed.
     pub cmp_f64: u64,
+    /// f64 sign manipulations performed.
+    pub sign_f64: u64,
+    /// f64 sine+cosine pairs performed.
+    pub sincos_f64: u64,
     /// Conversions performed.
     pub convert: u64,
     /// Total cycles charged.
@@ -157,6 +175,8 @@ impl FpuStats {
             + self.div_f64
             + self.sqrt_f64
             + self.cmp_f64
+            + self.sign_f64
+            + self.sincos_f64
             + self.convert
     }
 }
@@ -223,6 +243,8 @@ impl SoftFpu {
             FpOp::DivF64 => self.stats.div_f64 += 1,
             FpOp::SqrtF64 => self.stats.sqrt_f64 += 1,
             FpOp::CmpF64 => self.stats.cmp_f64 += 1,
+            FpOp::SignF64 => self.stats.sign_f64 += 1,
+            FpOp::SinCosF64 => self.stats.sincos_f64 += 1,
             FpOp::Convert => self.stats.convert += 1,
         }
     }
@@ -261,6 +283,36 @@ impl SoftFpu {
     pub fn lt_f64(&mut self, a: Sf64, b: Sf64) -> bool {
         self.charge(FpOp::CmpF64);
         f64impl::lt(a, b)
+    }
+
+    /// f64 equality.
+    pub fn eq_f64(&mut self, a: Sf64, b: Sf64) -> bool {
+        self.charge(FpOp::CmpF64);
+        f64impl::eq(a, b)
+    }
+
+    /// f64 negation (sign-bit flip).
+    pub fn neg_f64(&mut self, a: Sf64) -> Sf64 {
+        self.charge(FpOp::SignF64);
+        a.neg()
+    }
+
+    /// f64 absolute value (sign-bit clear).
+    pub fn abs_f64(&mut self, a: Sf64) -> Sf64 {
+        self.charge(FpOp::SignF64);
+        a.abs()
+    }
+
+    /// f64 sine and cosine.
+    ///
+    /// The value is computed by the host libm (the paper's target would
+    /// link a polynomial routine); only the cycle cost models the
+    /// software evaluation, so emulated trig stays bit-identical to the
+    /// native reference.
+    pub fn sin_cos_f64(&mut self, a: Sf64) -> (Sf64, Sf64) {
+        self.charge(FpOp::SinCosF64);
+        let (s, c) = a.to_f64().sin_cos();
+        (Sf64::from_f64(s), Sf64::from_f64(c))
     }
 
     /// f32 addition.
@@ -383,6 +435,27 @@ mod tests {
         assert_eq!(w.to_f64(), 0.1f32 as f64);
         assert!(fpu.lt_f64(Sf64::ZERO, Sf64::ONE));
         assert!(!fpu.lt_f32(Sf32::ONE, Sf32::ZERO));
+    }
+
+    #[test]
+    fn sign_and_trig_ops_are_charged() {
+        let mut fpu = SoftFpu::new();
+        let x = Sf64::from_f64(-2.5);
+        assert_eq!(fpu.neg_f64(x).to_f64(), 2.5);
+        assert_eq!(fpu.abs_f64(x).to_f64(), 2.5);
+        assert!(fpu.eq_f64(x, x));
+        let (s, c) = fpu.sin_cos_f64(Sf64::ZERO);
+        assert_eq!(s.to_f64(), 0.0);
+        assert_eq!(c.to_f64(), 1.0);
+        let stats = *fpu.stats();
+        assert_eq!(stats.sign_f64, 2);
+        assert_eq!(stats.sincos_f64, 1);
+        assert_eq!(stats.cmp_f64, 1);
+        let costs = CycleCosts::sabre_default();
+        assert_eq!(
+            stats.cycles,
+            2 * costs.sign_f64 + costs.sincos_f64 + costs.cmp_f64
+        );
     }
 
     #[test]

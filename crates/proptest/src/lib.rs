@@ -2,7 +2,7 @@
 //!
 //! The build environment has no access to crates.io, so this crate
 //! implements the subset of the `proptest` API surface the workspace's
-//! property tests use: the [`proptest!`] macro, [`Strategy`] with
+//! property tests use: the [`proptest!`] macro, [`strategy::Strategy`] with
 //! `prop_map`, range / `any` / tuple / `Just` strategies, weighted
 //! [`prop_oneof!`], `prop::collection::vec`, and the `prop_assert*`
 //! macros.

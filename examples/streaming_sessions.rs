@@ -2,15 +2,17 @@
 //! different arithmetic backend — interleaved on one thread.
 //!
 //! The paper's fusion core is a streaming system; `FusionSession`
-//! exposes that directly. Here three sessions share one tilt-table
-//! scenario but run the 3-state filter over native f64, Softfloat
-//! (the paper's Sabre configuration) and Q16.16 fixed point (the
-//! proposed enhancement), stepped round-robin in half-second slices —
-//! the shape a many-sensor, many-scenario deployment takes.
+//! exposes that directly. Part one interleaves the 3-state ablation
+//! filter over native f64, Softfloat (the paper's Sabre configuration)
+//! and Q16.16 fixed point. Part two does the same with the **full
+//! 5-state boresight IEKF** — the production algorithm over every
+//! substrate via `SessionGroup::full_iekf_sweep`, with the divergence
+//! of each number system from the f64 reference reported live.
 //!
 //! Run with `cargo run --release --example streaming_sessions`.
 
-use sensor_fusion_fpga::fusion::arith::{F64Arith, FixedArith, SoftArith};
+use sensor_fusion_fpga::fusion::arith::{Arith, F64Arith, FixedArith, SoftArith};
+use sensor_fusion_fpga::fusion::estimator::GenericBoresightEstimator;
 use sensor_fusion_fpga::fusion::scenario::ScenarioConfig;
 use sensor_fusion_fpga::fusion::{ArithKf3, FusionSession, SessionGroup, SyntheticSource};
 use sensor_fusion_fpga::math::{rad_to_deg, EulerAngles};
@@ -22,11 +24,12 @@ fn main() {
     config.duration_s = 60.0;
     let table = TiltTable::observability_sequence(20.0, config.duration_s / 8.0);
 
+    // --- Part 1: the 3-state ablation filter per substrate ----------
     let mut group = SessionGroup::new();
     group.push(
         FusionSession::builder()
             .source(SyntheticSource::from_scenario(&table, &config))
-            .backend(ArithKf3::with_defaults(F64Arith))
+            .backend(ArithKf3::with_defaults(F64Arith::default()))
             .truth(truth)
             .build(),
     );
@@ -40,7 +43,7 @@ fn main() {
     group.push(
         FusionSession::builder()
             .source(SyntheticSource::from_scenario(&table, &config))
-            .backend(ArithKf3::with_defaults(FixedArith))
+            .backend(ArithKf3::with_defaults(FixedArith::default()))
             .truth(truth)
             .build(),
     );
@@ -72,7 +75,7 @@ fn main() {
         }
     }
 
-    println!("\nfinal worst-axis error by arithmetic backend:");
+    println!("\nfinal worst-axis error by arithmetic backend (3-state ablation):");
     for session in group.sessions() {
         let err = session.estimate().angles.error_to(&session.truth());
         println!(
@@ -82,4 +85,44 @@ fn main() {
             session.estimate().updates,
         );
     }
+
+    // --- Part 2: the full 5-state IEKF per substrate ----------------
+    println!("\nfull 5-state IEKF sweep (divergence measured against the f64 session):");
+    let mut sweep = SessionGroup::full_iekf_sweep(&table, &config);
+    while !sweep.all_finished() {
+        sweep.step_all(5.0);
+        let div = sweep.divergence_from(0);
+        println!(
+            "t = {:>5.1} s | {}",
+            sweep.sessions()[0].time_s(),
+            div.iter()
+                .map(|d| format!("{:<16} {:.4} deg", d.label, d.max_abs_deg))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        );
+    }
+    for session in sweep.sessions() {
+        let err = session.estimate().angles.error_to(&session.truth());
+        println!(
+            "  {:<16} {:>7.4} deg error after {} updates",
+            session.backend_label(),
+            rad_to_deg(err.max_abs()),
+            session.estimate().updates,
+        );
+    }
+    let soft = sweep.sessions()[1]
+        .backend_as::<GenericBoresightEstimator<SoftArith>>()
+        .expect("softfloat backend");
+    let fixed = sweep.sessions()[2]
+        .backend_as::<GenericBoresightEstimator<FixedArith>>()
+        .expect("fixed backend");
+    // Per incoming ACC sample, not per accepted update: rejected
+    // samples still pay their model/Jacobian/gating arithmetic (the
+    // convention the ablation bench and its JSON report use).
+    let samples = (config.duration_s * config.acc_rate_hz).round().max(1.0);
+    println!(
+        "  softfloat cycles/sample: {:.0}  |  q16.16 saturation events: {}",
+        soft.filter().arith().cycles() as f64 / samples,
+        fixed.filter().arith().saturations(),
+    );
 }

@@ -1,0 +1,220 @@
+//! Parity tests for the generic-arithmetic fusion core.
+//!
+//! The `F64Arith` instantiation of the generic 5-state IEKF must
+//! reproduce the pre-refactor native-`f64` filter **bit for bit**.
+//! The expected values below were captured by running the paper
+//! scenarios on the seed (pre-generic) implementation at commit
+//! `45bcf5a`; any rounding-order change in the generic rewrite shows
+//! up here as a one-ulp mismatch.
+
+use proptest::prelude::*;
+use sensor_fusion_fpga::fusion::arith::{Arith, F64Arith, SoftArith};
+use sensor_fusion_fpga::fusion::filter::{FilterConfig, GenericBoresightFilter};
+use sensor_fusion_fpga::fusion::scenario::{run_dynamic, run_static, RunResult, ScenarioConfig};
+use sensor_fusion_fpga::math::{EulerAngles, Vec2, Vec3, STANDARD_GRAVITY};
+
+/// Expected bits for one scenario run of the pre-refactor filter.
+struct PinnedRun {
+    roll: u64,
+    pitch: u64,
+    yaw: u64,
+    sigma: [u64; 3],
+    updates: u64,
+    exceed_rate: u64,
+    final_sigma: u64,
+    retunes: usize,
+    residuals: usize,
+    mid_residual: [u64; 5],
+}
+
+fn assert_run_matches(result: &RunResult, pin: &PinnedRun) {
+    assert_eq!(result.estimate.angles.roll.to_bits(), pin.roll, "roll");
+    assert_eq!(result.estimate.angles.pitch.to_bits(), pin.pitch, "pitch");
+    assert_eq!(result.estimate.angles.yaw.to_bits(), pin.yaw, "yaw");
+    for i in 0..3 {
+        assert_eq!(
+            result.estimate.one_sigma[i].to_bits(),
+            pin.sigma[i],
+            "sigma[{i}]"
+        );
+    }
+    assert_eq!(result.estimate.updates, pin.updates, "updates");
+    assert_eq!(result.exceed_rate.to_bits(), pin.exceed_rate, "exceed");
+    assert_eq!(result.final_sigma.to_bits(), pin.final_sigma, "final R");
+    assert_eq!(result.retune_count, pin.retunes, "retunes");
+    assert_eq!(result.residuals.len(), pin.residuals, "trace length");
+    let mid = &result.residuals[result.residuals.len() / 2];
+    let got = [
+        mid.time_s.to_bits(),
+        mid.residual_x.to_bits(),
+        mid.three_sigma_x.to_bits(),
+        mid.residual_y.to_bits(),
+        mid.three_sigma_y.to_bits(),
+    ];
+    assert_eq!(got, pin.mid_residual, "mid residual point");
+}
+
+#[test]
+fn static_scenario_is_bit_identical_to_pre_refactor_trace() {
+    let mut cfg = ScenarioConfig::static_test(EulerAngles::from_degrees(2.0, -3.0, 1.5));
+    cfg.duration_s = 50.0;
+    let result = run_static(&cfg);
+    assert_run_matches(
+        &result,
+        &PinnedRun {
+            roll: 0x3fa1e28a9ae9023c,
+            pitch: 0xbfaadc26fb487660,
+            yaw: 0x3f9ab0ee5ce276f3,
+            sigma: [0x3f2c9b5563841f1e, 0x3f2d8ff8bc1b2b75, 0x3ef92227b7cea7a3],
+            updates: 10_000,
+            exceed_rate: 0x3f5bda5119ce075f,
+            final_sigma: 0x3f82a305532617c2,
+            retunes: 1,
+            residuals: 1_000,
+            mid_residual: [
+                0x4039000000000000,
+                0xbf6faaa41e2fab80,
+                0x3f95835a7bc4d1a2,
+                0xbf829b0b517ab600,
+                0x3f9581bdaa7e5ad5,
+            ],
+        },
+    );
+}
+
+#[test]
+fn dynamic_scenario_is_bit_identical_to_pre_refactor_trace() {
+    let mut cfg = ScenarioConfig::dynamic_test(EulerAngles::from_degrees(3.0, -2.0, 2.5));
+    cfg.duration_s = 50.0;
+    let result = run_dynamic(&cfg);
+    assert_run_matches(
+        &result,
+        &PinnedRun {
+            roll: 0x3fad79581fed16c3,
+            pitch: 0xbfa27d24a00839f8,
+            yaw: 0x3fa6222c03ca3b55,
+            sigma: [0x3f5cef55db1ce67c, 0x3f5dd7215b625848, 0x3f223e878726f30f],
+            updates: 10_000,
+            exceed_rate: 0x3f40624dd2f1a9fc,
+            final_sigma: 0x3f93f7ced916872b,
+            retunes: 1,
+            residuals: 1_000,
+            mid_residual: [
+                0x4039000000000000,
+                0x3f7bfc2056650200,
+                0x3fadf51fc5006f44,
+                0xbf9432e4e42600c0,
+                0x3fadf7e697bfaf00,
+            ],
+        },
+    );
+}
+
+/// A deterministic filter-only trace (no estimator front end, no RNG):
+/// closed-form measurement schedule that exercises gating (904
+/// rejections) and the bias trust-region clamp (x[3] pinned at the
+/// 0.3 m/s^2 limit).
+#[test]
+fn filter_trace_is_bit_identical_to_pre_refactor() {
+    let mut kf: GenericBoresightFilter<F64Arith> =
+        GenericBoresightFilter::new(FilterConfig::paper_static());
+    let g = STANDARD_GRAVITY;
+    for i in 0..2_000 {
+        let t = i as f64 * 0.005;
+        let f_b = Vec3::new([2.0 * (0.5 * t).sin(), 1.5 * (0.33 * t).cos(), g]);
+        let z = Vec2::new([
+            f_b[0] + 0.02 * (1.1 * t).sin() - 0.15,
+            f_b[1] - 0.02 * (0.9 * t).cos() + 0.1,
+        ]);
+        kf.predict(0.005);
+        kf.update(z, f_b, t);
+    }
+    let expected_x: [u64; 5] = [
+        0x3fa0380044a15aa2,
+        0x3faacde06963fbdd,
+        0xbf96854458705fb5,
+        0x3fd3333333333333,
+        0xbfce08458e2c70f6,
+    ];
+    let state = kf.state();
+    for (i, bits) in expected_x.iter().enumerate() {
+        assert_eq!(state[i].to_bits(), *bits, "x[{i}]");
+    }
+    let expected_p_diag: [u64; 5] = [
+        0x3ef5b1f08250f39e,
+        0x3ef1369ef530768a,
+        0x3e74bd182a6a1ee8,
+        0x3f5a1a7cab685603,
+        0x3f604c30743921a1,
+    ];
+    let p = kf.covariance();
+    for (i, bits) in expected_p_diag.iter().enumerate() {
+        assert_eq!(p[(i, i)].to_bits(), *bits, "p[{i}][{i}]");
+    }
+    assert_eq!(p[(0, 4)].to_bits(), 0xbf2a974f8665371b, "p[0][4]");
+    assert_eq!(kf.update_count(), 1_096);
+    assert_eq!(kf.rejected_count(), 904);
+    assert!(kf.covariance_healthy());
+}
+
+/// `|a - b|` within one ulp scaled to the operand magnitude.
+fn within_scaled_ulp(a: f64, b: f64) -> bool {
+    let scale = a.abs().max(b.abs()).max(f64::MIN_POSITIVE);
+    (a - b).abs() <= scale * f64::EPSILON
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The Softfloat substrate tracks the native reference within one
+    /// scaled ulp over random predict/update sequences of the full
+    /// 5-state IEKF (in practice the emulation is bit-exact; the ulp
+    /// bound is the contract).
+    #[test]
+    fn softfloat_tracks_f64_over_random_update_sequences(
+        samples in prop::collection::vec(
+            (
+                -5.0_f64..5.0,
+                -5.0_f64..5.0,
+                -4.0_f64..4.0,
+                -4.0_f64..4.0,
+                8.0_f64..11.0,
+                1e-4_f64..0.05,
+            ),
+            20..120,
+        )
+    ) {
+        let mut native: GenericBoresightFilter<F64Arith> =
+            GenericBoresightFilter::new(FilterConfig::paper_static());
+        let mut soft: GenericBoresightFilter<SoftArith> =
+            GenericBoresightFilter::new(FilterConfig::paper_static());
+        let mut t = 0.0;
+        for &(z0, z1, fx, fy, fz, dt) in &samples {
+            t += dt;
+            let z = Vec2::new([z0 * 0.1, z1 * 0.1]);
+            let f_b = Vec3::new([fx, fy, fz]);
+            native.predict(dt);
+            soft.predict(dt);
+            let un = native.update(z, f_b, t);
+            let us = soft.update(z, f_b, t);
+            prop_assert_eq!(un.accepted, us.accepted);
+        }
+        let an = native.angles();
+        let asoft = soft.angles();
+        prop_assert!(within_scaled_ulp(an.roll, asoft.roll), "roll {} vs {}", an.roll, asoft.roll);
+        prop_assert!(within_scaled_ulp(an.pitch, asoft.pitch), "pitch {} vs {}", an.pitch, asoft.pitch);
+        prop_assert!(within_scaled_ulp(an.yaw, asoft.yaw), "yaw {} vs {}", an.yaw, asoft.yaw);
+        let pn = native.covariance();
+        let ps = soft.covariance();
+        for r in 0..5 {
+            for c in 0..5 {
+                prop_assert!(
+                    within_scaled_ulp(pn[(r, c)], ps[(r, c)]),
+                    "P[{}][{}]: {} vs {}", r, c, pn[(r, c)], ps[(r, c)]
+                );
+            }
+        }
+        // The emulated run also accounted its cycle cost.
+        prop_assert!(soft.arith().cycles() > 0);
+    }
+}

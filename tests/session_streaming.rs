@@ -75,7 +75,7 @@ fn concurrent_sessions_with_different_arith_backends_interleave() {
     let fixed = group.push(
         FusionSession::builder()
             .source(SyntheticSource::from_scenario(&table, &cfg))
-            .backend(ArithKf3::with_defaults(FixedArith))
+            .backend(ArithKf3::with_defaults(FixedArith::default()))
             .truth(truth)
             .build(),
     );
@@ -119,7 +119,7 @@ fn mixed_production_and_ablation_backends_share_a_group() {
     group.push(
         FusionSession::builder()
             .source(SyntheticSource::from_scenario(&table, &cfg))
-            .backend(ArithKf3::with_defaults(FixedArith))
+            .backend(ArithKf3::with_defaults(FixedArith::default()))
             .truth(cfg.true_misalignment)
             .build(),
     );
