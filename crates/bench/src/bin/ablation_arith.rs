@@ -20,6 +20,7 @@ use bench_suite::{print_table, write_json, Json, SmallAngleSource};
 use boresight::arith::{Arith, F64Arith, FixedArith, OpCounts, SoftArith};
 use boresight::estimator::GenericBoresightEstimator;
 use boresight::scenario::{RunResult, ScenarioConfig};
+use boresight::spec::TrajectorySpec;
 use boresight::{ArithKf3, FusionSession};
 use fpga::softfloat::CycleCosts;
 use mathx::{rad_to_deg, EulerAngles};
@@ -53,7 +54,7 @@ struct FullRun {
 /// Runs the full 5-state IEKF over the paper's static scenario on one
 /// substrate.
 fn run_full<A: Arith + Clone + 'static>(arith: A, cfg: &ScenarioConfig) -> FullRun {
-    let table = vehicle::TiltTable::observability_sequence(20.0, cfg.duration_s / 8.0);
+    let table = TrajectorySpec::paper_tilt_table().lower(cfg.duration_s);
     let mut session = FusionSession::iekf_from_scenario(&table, cfg, arith);
     session.run_to_end();
     let label = session.backend_label();
@@ -68,27 +69,6 @@ fn run_full<A: Arith + Clone + 'static>(arith: A, cfg: &ScenarioConfig) -> FullR
         counts,
         cycles,
     }
-}
-
-/// Boresight-error RMS over the converged (second) half of the
-/// estimate trace, all axes pooled, degrees.
-fn error_rms_deg(result: &RunResult) -> f64 {
-    let truth = result.truth.to_degrees();
-    let tail = &result.estimates[result.estimates.len() / 2..];
-    if tail.is_empty() {
-        return f64::NAN;
-    }
-    let mean_sq: f64 = tail
-        .iter()
-        .map(|p| {
-            (0..3)
-                .map(|i| (p.angles_deg[i] - truth[i]).powi(2))
-                .sum::<f64>()
-                / 3.0
-        })
-        .sum::<f64>()
-        / tail.len() as f64;
-    mean_sq.sqrt()
 }
 
 fn ops_json(c: &OpCounts) -> Json {
@@ -204,7 +184,7 @@ fn main() {
     let mut rows = Vec::new();
     let mut substrates = Vec::new();
     for run in &runs {
-        let rms = error_rms_deg(&run.result);
+        let rms = run.result.error_rms_deg();
         let worst = run.result.max_error_deg();
         let cyc_per_sample = run.cycles as f64 / samples;
         let util = cyc_per_sample * ACC_RATE_HZ / SABRE_CLOCK_HZ;

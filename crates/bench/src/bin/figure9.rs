@@ -10,21 +10,16 @@
 //! conversion, not just the host reference.
 
 use bench_suite::{print_table, write_csv};
-use boresight::arith::{F64Arith, FixedArith, SoftArith};
 use boresight::scenario::{RunResult, ScenarioConfig};
-use boresight::FusionSession;
+use boresight::spec::{Substrate, TrajectorySpec};
 use mathx::EulerAngles;
 
 fn run_over(cfg: &ScenarioConfig, substrate: &str) -> RunResult {
-    let profile = vehicle::profile::presets::urban_drive(cfg.duration_s);
-    let mut session = match substrate {
-        "f64" => FusionSession::iekf_from_scenario(&profile, cfg, F64Arith::default()),
-        "softfloat" => FusionSession::iekf_from_scenario(&profile, cfg, SoftArith::default()),
-        "q16.16" | "fixed" => {
-            FusionSession::iekf_from_scenario(&profile, cfg, FixedArith::default())
-        }
-        other => panic!("unknown substrate `{other}` (use f64, softfloat or q16.16)"),
-    };
+    let profile = TrajectorySpec::Urban.lower(cfg.duration_s);
+    let substrate = Substrate::parse(substrate).unwrap_or_else(|| {
+        panic!("unknown substrate `{substrate}` (use f64, softfloat or q16.16)")
+    });
+    let mut session = substrate.iekf_from_scenario(&profile, cfg);
     session.run_to_end();
     session.into_result()
 }

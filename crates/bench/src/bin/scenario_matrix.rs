@@ -1,0 +1,175 @@
+//! Scenario × substrate sweep: every catalog workload over native
+//! f64, Sabre-accounted Softfloat and Q16.16 fixed point.
+//!
+//! This is the coverage matrix the paper never had — its validation
+//! stops at one static and one dynamic procedure. Each cell reports
+//! the converged boresight RMS error, the 3-sigma exceed rate, the
+//! adaptive retune count, fixed-point saturation events and the Sabre
+//! cycle estimate, and the whole matrix lands machine-readably in
+//! `bench_out/BENCH_scenario_matrix.json`.
+//!
+//! Run with `cargo run --release -p bench_suite --bin scenario_matrix
+//! [duration_s]`. The optional duration (default 40, CI smoke uses 8)
+//! overrides every catalog entry — the long-haul scenario alone is an
+//! hour at full length.
+//!
+//! The run fails (non-zero exit) on a thin catalog, a missing paper
+//! procedure, or any cell whose estimate goes non-finite or
+//! covariance-indefinite — the CI smoke contract.
+
+use bench_suite::{print_table, write_json, Json};
+use boresight::catalog;
+use boresight::spec::{ScenarioSuite, SuiteCell};
+
+fn cell_json(cell: &SuiteCell) -> Json {
+    let mut fields = vec![
+        ("scenario".into(), Json::Str(cell.scenario.clone())),
+        ("substrate".into(), Json::Str(cell.substrate.label().into())),
+        ("backend".into(), Json::Str(cell.backend.into())),
+        ("duration_s".into(), Json::Num(cell.duration_s)),
+        (
+            "truth_deg".into(),
+            Json::Arr(
+                cell.truth
+                    .to_degrees()
+                    .iter()
+                    .map(|d| Json::Num(*d))
+                    .collect(),
+            ),
+        ),
+        ("error_rms_deg".into(), Json::Num(cell.error_rms_deg)),
+        (
+            "final_worst_error_deg".into(),
+            Json::Num(cell.final_worst_error_deg),
+        ),
+        ("exceed_rate".into(), Json::Num(cell.exceed_rate)),
+        ("retune_count".into(), Json::Int(cell.retune_count as u64)),
+        ("updates".into(), Json::Int(cell.estimate.updates)),
+        ("ops".into(), Json::Int(cell.ops)),
+        ("saturations".into(), Json::Int(cell.saturations)),
+        ("cycles".into(), Json::Int(cell.cycles)),
+        (
+            "cycles_per_sample".into(),
+            Json::Num(cell.cycles_per_sample),
+        ),
+    ];
+    if let Some(stream) = &cell.stream {
+        fields.push((
+            "stream".into(),
+            Json::Obj(vec![
+                ("dmu_samples".into(), Json::Int(stream.dmu_samples)),
+                ("acc_samples".into(), Json::Int(stream.acc_samples)),
+                ("dmu_errors".into(), Json::Int(stream.dmu_errors)),
+                ("acc_errors".into(), Json::Int(stream.acc_errors)),
+                (
+                    "fault_bits_flipped".into(),
+                    Json::Int(stream.fault_bits_flipped),
+                ),
+                (
+                    "fault_bytes_dropped".into(),
+                    Json::Int(stream.fault_bytes_dropped),
+                ),
+                ("fault_bursts".into(), Json::Int(stream.fault_bursts)),
+            ]),
+        ));
+    }
+    Json::Obj(fields)
+}
+
+fn main() {
+    let duration = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(40.0);
+
+    // --- Catalog contract ------------------------------------------
+    let names = catalog::names();
+    assert!(
+        names.len() >= 10,
+        "catalog regressed to {} scenarios",
+        names.len()
+    );
+    for required in ["paper-static", "paper-dynamic"] {
+        assert!(
+            catalog::by_name(required).is_some(),
+            "missing catalog entry `{required}`"
+        );
+    }
+
+    let report = ScenarioSuite::full_matrix().with_duration(duration).run();
+
+    let rows: Vec<Vec<String>> = report
+        .cells
+        .iter()
+        .map(|c| {
+            vec![
+                c.scenario.clone(),
+                c.substrate.label().into(),
+                format!("{:.4}", c.error_rms_deg),
+                format!("{:.4}", c.final_worst_error_deg),
+                format!("{:.4}", c.exceed_rate),
+                format!("{}", c.retune_count),
+                format!("{}", c.saturations),
+                if c.cycles == 0 {
+                    "n/a".into()
+                } else {
+                    format!("{:.0}", c.cycles_per_sample)
+                },
+                c.stream
+                    .map(|s| format!("{}", s.fault_bits_flipped + s.fault_bytes_dropped))
+                    .unwrap_or_else(|| "-".into()),
+            ]
+        })
+        .collect();
+    print_table(
+        &format!(
+            "Scenario x substrate matrix ({} scenarios x {} substrates, {duration:.0} s cells)",
+            names.len(),
+            report.cells.len() / names.len().max(1),
+        ),
+        &[
+            "scenario",
+            "substrate",
+            "RMS err (deg)",
+            "final worst (deg)",
+            "exceed",
+            "retunes",
+            "saturations",
+            "cycles/sample",
+            "wire faults",
+        ],
+        &rows,
+    );
+
+    // Write the artifact before the health gate so a failing smoke run
+    // still leaves the per-cell numbers behind for diagnosis.
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("scenario_matrix".into())),
+        ("duration_s".into(), Json::Num(duration)),
+        (
+            "scenarios".into(),
+            Json::Arr(names.iter().map(|n| Json::Str(n.clone())).collect()),
+        ),
+        (
+            "cells".into(),
+            Json::Arr(report.cells.iter().map(cell_json).collect()),
+        ),
+    ]);
+    let path = write_json("BENCH_scenario_matrix.json", &doc);
+    println!("\nwrote {}", path.display());
+
+    // --- Health gate (the CI smoke contract) ------------------------
+    let unhealthy = report.unhealthy();
+    assert!(
+        unhealthy.is_empty(),
+        "non-finite or covariance-indefinite cells: {:?}",
+        unhealthy
+            .iter()
+            .map(|c| format!("{}/{}", c.scenario, c.substrate))
+            .collect::<Vec<_>>()
+    );
+    println!(
+        "all {} cells healthy: finite RMS, finite confidence, no indefinite covariance",
+        report.cells.len()
+    );
+}

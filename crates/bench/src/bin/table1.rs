@@ -13,6 +13,7 @@
 
 use bench_suite::print_table;
 use boresight::scenario::{run, run_static, RunResult, ScenarioConfig};
+use boresight::spec::TrajectorySpec;
 use boresight::SessionGroup;
 use mathx::EulerAngles;
 
@@ -64,12 +65,12 @@ fn main() {
         (
             "dynamic run 1",
             201u64,
-            vehicle::profile::presets::urban_drive(duration),
+            TrajectorySpec::Urban.lower(duration),
         ),
         (
             "dynamic run 2",
             202u64,
-            vehicle::profile::presets::highway_drive(duration),
+            TrajectorySpec::Highway.lower(duration),
         ),
     ] {
         let mut cfg = ScenarioConfig::dynamic_test(truth);
@@ -106,7 +107,7 @@ fn main() {
     let mut cfg = ScenarioConfig::static_test(truth);
     cfg.duration_s = duration;
     cfg.seed = seed;
-    let table = vehicle::TiltTable::observability_sequence(20.0, cfg.duration_s / 8.0);
+    let table = TrajectorySpec::paper_tilt_table().lower(cfg.duration_s);
     let mut group = SessionGroup::full_iekf_sweep(&table, &cfg);
     group.run_interleaved(1.0);
     let divergence = group.divergence_from(0);

@@ -54,6 +54,14 @@ pub struct StreamStats {
     pub acc_gaps: u64,
     /// Raw bytes consumed (both chains).
     pub bytes_in: u64,
+    /// Single-bit flips a [`crate::FaultInjector`] put on the wire
+    /// upstream of this reconstructor (0 on a clean channel; filled in
+    /// by the owner of the injectors, not by the reconstructor itself).
+    pub fault_bits_flipped: u64,
+    /// Bytes a fault injector silently dropped on the wire.
+    pub fault_bytes_dropped: u64,
+    /// Burst-error events a fault injector started on the wire.
+    pub fault_bursts: u64,
 }
 
 /// Reconstructs the two sensor streams of the boresighting system.
@@ -156,6 +164,9 @@ impl Reconstructor {
             acc_errors: self.adxl.checksum_errors(),
             acc_gaps: self.acc_gaps,
             bytes_in: self.bytes_in,
+            fault_bits_flipped: 0,
+            fault_bytes_dropped: 0,
+            fault_bursts: 0,
         }
     }
 

@@ -26,9 +26,18 @@
 //!   [`FusionSession`] wires a pluggable [`SensorSource`], a
 //!   [`FusionBackend`] and any number of [`EventSink`]s around one
 //!   incremental event loop;
+//! * [`spec`] — the declarative scenario layer: a pure-data
+//!   [`ScenarioSpec`] composing trajectory, environment, channel,
+//!   tuning and arithmetic substrate, lowered to a session through
+//!   one [`spec::ScenarioSpec::into_session`] path, plus the
+//!   [`spec::ScenarioSuite`] scenario × substrate sweep runner;
+//! * [`catalog`] — ≥10 named workloads (the paper's two procedures
+//!   plus drive styles, road surfaces, vehicle classes, channel-fault
+//!   storms and a 1-hour drift run) ready for the suite;
 //! * [`scenario`] — the static (tilt-table) and dynamic (drive)
 //!   test procedures producing Table-1/Figure-8/Figure-9 data, as thin
-//!   wrappers over [`session`];
+//!   wrappers over [`session`] (and the lowering target [`spec`]
+//!   reuses);
 //! * [`arith`] — the arithmetic substrates (native f64, emulated
 //!   Softfloat with Sabre cycle accounting, saturating Q16.16 fixed
 //!   point) with shared per-op instrumentation, plus the 3-state
@@ -79,11 +88,26 @@
 //! assert!(result.max_error_deg() < 0.5);
 //! ```
 //!
+//! Workloads beyond the paper's two procedures are authored
+//! declaratively: compose a [`ScenarioSpec`], or pull a named one from
+//! the [`catalog`], and lower it to a session (or sweep the whole
+//! scenario × substrate matrix with [`spec::ScenarioSuite`]):
+//!
+//! ```
+//! use boresight::catalog;
+//!
+//! let mut spec = catalog::by_name("emergency-brake").expect("catalog entry");
+//! spec.duration_s = 30.0; // catalog entries default to full length
+//! let result = spec.run();
+//! assert!(result.max_error_deg().is_finite());
+//! ```
+//!
 //! Several sessions — different scenarios, different arithmetic
 //! backends — interleave on one thread through
 //! [`session::SessionGroup`]; see `examples/streaming_sessions.rs`.
 
 pub mod arith;
+pub mod catalog;
 pub mod estimator;
 pub mod filter;
 pub mod model;
@@ -92,6 +116,7 @@ pub mod multi;
 pub mod scenario;
 pub mod session;
 pub mod smallmat;
+pub mod spec;
 pub mod system;
 
 pub use arith::{Arith, F64Arith, FixedArith, OpCounts, SoftArith};
@@ -104,7 +129,11 @@ pub use multi::MultiBoresight;
 pub use scenario::{run, run_dynamic, run_static, RunResult, ScenarioConfig};
 pub use session::{
     ArithDivergence, ArithKf3, ChannelConfig, CommsChainSource, EventSink, FusionBackend,
-    FusionSession, SensorEvent, SensorSource, SessionBuilder, SessionGroup, SessionStats,
-    SyntheticSource, UartReplaySource,
+    FusionSession, LinkFaultConfig, SensorEvent, SensorSource, SessionBuilder, SessionGroup,
+    SessionStats, SyntheticSource, UartReplaySource,
+};
+pub use spec::{
+    ChannelSpec, EnvironmentSpec, ScenarioSpec, ScenarioSuite, ScenarioTrajectory, Substrate,
+    SuiteCell, SuiteReport, TrajectorySpec, TuningSpec, VibrationClass,
 };
 pub use system::{run_system, SystemConfig, SystemReport};

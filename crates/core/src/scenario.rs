@@ -17,7 +17,8 @@
 //! concurrent runs or non-default backends.
 
 use crate::estimator::{EstimatorConfig, MisalignmentEstimate};
-use crate::session::FusionSession;
+use crate::session::{FusionSession, LinkFaultConfig};
+use crate::spec::TrajectorySpec;
 use mathx::{rad_to_deg, EulerAngles, Vec2};
 use sensors::DmuConfig;
 use vehicle::{Trajectory, VibrationConfig};
@@ -48,6 +49,10 @@ pub struct ScenarioConfig {
     pub differential_vibration: f64,
     /// Estimator configuration.
     pub estimator: EstimatorConfig,
+    /// Byte-level fault rates on the serial links (only exercised when
+    /// the scenario runs through the comms chain; the default is a
+    /// clean channel).
+    pub link_faults: LinkFaultConfig,
     /// RNG seed (scenarios are fully deterministic given the seed).
     pub seed: u64,
     /// Keep every n-th residual/estimate point in the trace (1 = all).
@@ -75,6 +80,7 @@ impl ScenarioConfig {
             vibration: VibrationConfig::none(),
             differential_vibration: 0.0,
             estimator: EstimatorConfig::paper_static(),
+            link_faults: LinkFaultConfig::clean(),
             seed: 0xB0B5,
             trace_decimation: 10,
         }
@@ -161,6 +167,29 @@ impl RunResult {
     pub fn max_error_deg(&self) -> f64 {
         self.error_deg().iter().fold(0.0_f64, |m, e| m.max(e.abs()))
     }
+
+    /// Pooled-axis RMS estimation error over the converged (second)
+    /// half of the estimate trace, degrees — the per-cell error metric
+    /// the arithmetic ablation and the scenario sweep share. `NaN`
+    /// when no trace was recorded.
+    pub fn error_rms_deg(&self) -> f64 {
+        let truth = self.truth.to_degrees();
+        let tail = &self.estimates[self.estimates.len() / 2..];
+        if tail.is_empty() {
+            return f64::NAN;
+        }
+        let mean_sq: f64 = tail
+            .iter()
+            .map(|p| {
+                (0..3)
+                    .map(|i| (p.angles_deg[i] - truth[i]).powi(2))
+                    .sum::<f64>()
+                    / 3.0
+            })
+            .sum::<f64>()
+            / tail.len() as f64;
+        mean_sq.sqrt()
+    }
 }
 
 /// Runs one scenario against a trajectory to completion.
@@ -175,14 +204,13 @@ pub fn run(trajectory: &dyn Trajectory, config: &ScenarioConfig) -> RunResult {
 /// Runs the paper's static test procedure (tilt-table observability
 /// sequence) with the given configuration.
 pub fn run_static(config: &ScenarioConfig) -> RunResult {
-    let hold = config.duration_s / 8.0;
-    let table = vehicle::TiltTable::observability_sequence(20.0, hold);
+    let table = TrajectorySpec::paper_tilt_table().lower(config.duration_s);
     run(&table, config)
 }
 
 /// Runs the paper's dynamic test procedure (urban drive profile).
 pub fn run_dynamic(config: &ScenarioConfig) -> RunResult {
-    let profile = vehicle::profile::presets::urban_drive(config.duration_s);
+    let profile = TrajectorySpec::Urban.lower(config.duration_s);
     run(&profile, config)
 }
 

@@ -56,8 +56,8 @@ use crate::filter::KalmanUpdate;
 use crate::monitor::Retune;
 use crate::scenario::{EstimatePoint, ResidualPoint, RunResult, ScenarioConfig};
 use comms::{
-    AdxlPacket, BridgeEncoder, DmuCanCodec, Reconstructor, SensorMessage, StreamStats, UartConfig,
-    UartLink,
+    AdxlPacket, BridgeEncoder, DmuCanCodec, FaultInjector, Reconstructor, SensorMessage,
+    StreamStats, UartConfig, UartLink,
 };
 use mathx::{EulerAngles, GaussianSampler, Vec2, Vec3};
 use rand::rngs::StdRng;
@@ -446,6 +446,45 @@ impl TraceRecorder {
     }
 }
 
+/// Byte-level fault rates applied to both serial links of a
+/// [`CommsChainSource`] — the [`comms::FaultInjector`] knobs (bit
+/// flips, drops, bursts), finally reachable from the session layer
+/// through [`crate::scenario::ScenarioConfig::link_faults`].
+///
+/// The default is a clean channel, which injects nothing and draws no
+/// randomness, so fault-free runs stay bit-identical to the
+/// pre-fault-wiring event stream.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct LinkFaultConfig {
+    /// Per-byte probability of a single-bit flip.
+    pub bit_flip_prob: f64,
+    /// Per-byte probability of the byte being silently dropped.
+    pub drop_prob: f64,
+    /// Per-byte probability of a burst starting (the next `burst_len`
+    /// bytes are replaced with noise).
+    pub burst_prob: f64,
+    /// Burst length, bytes.
+    pub burst_len: usize,
+}
+
+impl LinkFaultConfig {
+    /// A clean channel (no faults, no RNG draws).
+    pub fn clean() -> Self {
+        Self::default()
+    }
+
+    /// `true` when no fault can ever fire.
+    pub fn is_clean(&self) -> bool {
+        self.bit_flip_prob == 0.0 && self.drop_prob == 0.0 && self.burst_prob == 0.0
+    }
+
+    /// Builds the injector this configuration describes.
+    pub fn injector(&self) -> FaultInjector {
+        FaultInjector::new(self.bit_flip_prob, self.drop_prob)
+            .with_bursts(self.burst_prob, self.burst_len)
+    }
+}
+
 /// One ACC channel of a [`SyntheticSource`].
 #[derive(Clone, Debug)]
 pub struct ChannelConfig {
@@ -654,6 +693,9 @@ pub struct CommsChainSource<'a> {
     bridge_enc: BridgeEncoder,
     dmu_link: UartLink,
     acc_link: UartLink,
+    dmu_fault: FaultInjector,
+    acc_fault: FaultInjector,
+    faults_active: bool,
     recon: Reconstructor,
     true_acc_bias: Vec2,
     differential_vibration: f64,
@@ -687,6 +729,9 @@ impl<'a> CommsChainSource<'a> {
             bridge_enc: BridgeEncoder::new(),
             dmu_link: UartLink::new(UartConfig::baud_38400()),
             acc_link: UartLink::new(UartConfig::baud_19200()),
+            dmu_fault: config.link_faults.injector(),
+            acc_fault: config.link_faults.injector(),
+            faults_active: !config.link_faults.is_clean(),
             true_acc_bias: config.true_acc_bias,
             differential_vibration: config.differential_vibration,
             acc_dt,
@@ -729,14 +774,28 @@ impl<'a> CommsChainSource<'a> {
         self.acc_link
             .send(&AdxlPacket::from_sample(&duty).to_bytes());
 
-        // Serial delivery at line rate, then reconstruction.
+        // Serial delivery at line rate, wire faults, then
+        // reconstruction. A clean channel skips the injectors entirely
+        // (they would pass the bytes through untouched and draw no
+        // randomness anyway), so the fault-free stream is bit-identical
+        // to the pre-fault-wiring chain and pays no per-poll copy.
         let dmu_bytes = self.dmu_link.poll(self.acc_dt);
         if !dmu_bytes.is_empty() {
-            self.recon.push_dmu_bytes(&dmu_bytes);
+            if self.faults_active {
+                let dmu_bytes = self.dmu_fault.apply(&dmu_bytes, &mut self.rng);
+                self.recon.push_dmu_bytes(&dmu_bytes);
+            } else {
+                self.recon.push_dmu_bytes(&dmu_bytes);
+            }
         }
         let acc_bytes = self.acc_link.poll(self.acc_dt);
         if !acc_bytes.is_empty() {
-            self.recon.push_acc_bytes(&acc_bytes);
+            if self.faults_active {
+                let acc_bytes = self.acc_fault.apply(&acc_bytes, &mut self.rng);
+                self.recon.push_acc_bytes(&acc_bytes);
+            } else {
+                self.recon.push_acc_bytes(&acc_bytes);
+            }
         }
         while let Some(msg) = self.recon.pop() {
             out.push(match msg {
@@ -772,7 +831,11 @@ impl SensorSource for CommsChainSource<'_> {
     }
 
     fn stream_stats(&self) -> Option<StreamStats> {
-        Some(self.recon.stats())
+        let mut stats = self.recon.stats();
+        stats.fault_bits_flipped = self.dmu_fault.bits_flipped() + self.acc_fault.bits_flipped();
+        stats.fault_bytes_dropped = self.dmu_fault.bytes_dropped() + self.acc_fault.bytes_dropped();
+        stats.fault_bursts = self.dmu_fault.bursts() + self.acc_fault.bursts();
+        Some(stats)
     }
 }
 

@@ -1,0 +1,844 @@
+//! Declarative scenario specifications and the sweep runner.
+//!
+//! [`ScenarioConfig`] grew out of the paper's two
+//! procedures (static tilt table, one dynamic drive) and hard-codes
+//! that pair. This module replaces it as the *authoring* surface with
+//! a pure-data, composable [`ScenarioSpec`]:
+//!
+//! * [`TrajectorySpec`] — what the vehicle does: the paper tilt-table
+//!   sequences, a level bench, the preset drives, or an arbitrary
+//!   [`vehicle::Segment`] list repeated to cover the run;
+//! * [`EnvironmentSpec`] — what the road does: a vibration class
+//!   (lab / passenger car / truck), a road-roughness multiplier and
+//!   the differential (mount-flexure) vibration fraction;
+//! * [`ChannelSpec`] — how measurements travel: ideal synthetic
+//!   instruments, or the full Figure-2 CAN/UART comms chain with
+//!   byte-level [`LinkFaultConfig`] fault injection;
+//! * [`TuningSpec`] — which estimator tuning runs: the paper's static
+//!   or dynamic configuration, or a custom [`EstimatorConfig`];
+//! * [`Substrate`] — which arithmetic the full 5-state IEKF runs over
+//!   (native `f64`, Sabre-accounted Softfloat, or Q16.16 fixed point).
+//!
+//! A spec lowers in two steps: [`ScenarioSpec::config`] produces the
+//! legacy [`ScenarioConfig`] (kept bit-identical for the two paper
+//! procedures), and [`ScenarioSpec::into_session`] produces the
+//! streaming [`FusionSession`] over a trajectory built by
+//! [`ScenarioSpec::lower_trajectory`]. [`ScenarioSpec::run`] does all
+//! three for the batch case.
+//!
+//! [`ScenarioSuite`] executes a scenario × substrate matrix over a
+//! [`SessionGroup`] and reports one machine-readable [`SuiteCell`] per
+//! cell; the named workloads live in [`crate::catalog`].
+//!
+//! ```
+//! use boresight::spec::{EnvironmentSpec, ScenarioSpec, TrajectorySpec};
+//! use mathx::EulerAngles;
+//! use vehicle::Segment;
+//!
+//! let result = ScenarioSpec::named("brake-and-turn")
+//!     .with_truth(EulerAngles::from_degrees(2.0, -1.0, 1.5))
+//!     .with_trajectory(TrajectorySpec::Segments {
+//!         block: vec![
+//!             Segment::accelerate(4.0, 2.5),
+//!             Segment::turn(4.0, 0.3),
+//!             Segment::brake(3.0, 3.0),
+//!             Segment::idle(1.0),
+//!         ],
+//!     })
+//!     .with_environment(EnvironmentSpec::passenger_car())
+//!     .with_duration(24.0)
+//!     .run();
+//! assert!(result.max_error_deg().is_finite());
+//! ```
+
+use crate::arith::{Arith, F64Arith, FixedArith, SoftArith};
+use crate::estimator::{EstimatorConfig, GenericBoresightEstimator, MisalignmentEstimate};
+use crate::scenario::{RunResult, ScenarioConfig};
+use crate::session::{
+    CommsChainSource, FusionSession, LinkFaultConfig, SessionBuilder, SessionGroup, SyntheticSource,
+};
+use comms::StreamStats;
+use mathx::{EulerAngles, Vec2};
+use vehicle::{profile::presets, DriveProfile, Segment, TiltTable, Trajectory, VibrationConfig};
+
+/// What the vehicle (or test platform) does during the run.
+///
+/// A spec carries no duration of its own: [`TrajectorySpec::lower`]
+/// stretches the description to the scenario's `duration_s` — tilt
+/// sequences split it into equal holds, drives repeat their block —
+/// which is the hold/repeat arithmetic `run_static`, `run_dynamic` and
+/// the bench binaries used to copy-paste.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TrajectorySpec {
+    /// The paper's tilt-table observability sequence (8 equal holds).
+    TiltSequence {
+        /// Tilt magnitude per orientation step, degrees.
+        tilt_deg: f64,
+    },
+    /// A level, motionless platform for the whole run.
+    Level,
+    /// The urban stop-and-go preset drive.
+    Urban,
+    /// The highway preset drive.
+    Highway,
+    /// An arbitrary drive-segment block, repeated end to end until it
+    /// covers the scenario duration.
+    Segments {
+        /// The segments of one repetition.
+        block: Vec<Segment>,
+    },
+}
+
+impl TrajectorySpec {
+    /// The paper's static procedure: 20-degree tilts, duration/8 holds.
+    pub fn paper_tilt_table() -> Self {
+        Self::TiltSequence { tilt_deg: 20.0 }
+    }
+
+    /// Builds the trajectory this spec describes for a `duration_s`
+    /// run.
+    pub fn lower(&self, duration_s: f64) -> ScenarioTrajectory {
+        match self {
+            Self::TiltSequence { tilt_deg } => ScenarioTrajectory::Table(
+                TiltTable::observability_sequence(*tilt_deg, duration_s / 8.0),
+            ),
+            Self::Level => ScenarioTrajectory::Table(TiltTable::level(duration_s)),
+            Self::Urban => ScenarioTrajectory::Drive(presets::urban_drive(duration_s)),
+            Self::Highway => ScenarioTrajectory::Drive(presets::highway_drive(duration_s)),
+            Self::Segments { block } => {
+                ScenarioTrajectory::Drive(DriveProfile::repeated(block, duration_s))
+            }
+        }
+    }
+}
+
+/// An owned, lowered trajectory (tilt table or drive profile).
+#[derive(Clone, Debug)]
+pub enum ScenarioTrajectory {
+    /// A stationary tilt-table schedule.
+    Table(TiltTable),
+    /// A piecewise drive profile.
+    Drive(DriveProfile),
+}
+
+impl Trajectory for ScenarioTrajectory {
+    fn duration_s(&self) -> f64 {
+        match self {
+            Self::Table(t) => t.duration_s(),
+            Self::Drive(d) => d.duration_s(),
+        }
+    }
+
+    fn sample(&self, t: f64) -> vehicle::KinematicState {
+        match self {
+            Self::Table(table) => table.sample(t),
+            Self::Drive(drive) => drive.sample(t),
+        }
+    }
+}
+
+/// The road-vibration class a scenario runs in.
+#[derive(Clone, Copy, Debug)]
+pub enum VibrationClass {
+    /// Static laboratory platform: no vibration at all.
+    None,
+    /// A standard private passenger vehicle (the paper's test car).
+    PassengerCar,
+    /// A heavy truck: roughly 3x the passenger-car intensity.
+    Truck,
+    /// An explicit vibration model.
+    Custom(VibrationConfig),
+}
+
+/// What the environment does to the instruments.
+#[derive(Clone, Copy, Debug)]
+pub struct EnvironmentSpec {
+    /// Common rigid-body vibration class.
+    pub vibration: VibrationClass,
+    /// Road-roughness multiplier on the class RMS values (1.0 =
+    /// nominal; potholed surfaces run 2-3x).
+    pub road_roughness: f64,
+    /// Mount-flexure vibration sensed only by the ACC, as a fraction
+    /// of the common intensity — the term that forces the paper's
+    /// dynamic retuning.
+    pub differential_vibration: f64,
+}
+
+impl EnvironmentSpec {
+    /// The paper's static laboratory: no vibration.
+    pub fn laboratory() -> Self {
+        Self {
+            vibration: VibrationClass::None,
+            road_roughness: 1.0,
+            differential_vibration: 0.0,
+        }
+    }
+
+    /// The paper's dynamic test environment: passenger-car vibration
+    /// with 10 % mount flexure.
+    pub fn passenger_car() -> Self {
+        Self {
+            vibration: VibrationClass::PassengerCar,
+            road_roughness: 1.0,
+            differential_vibration: 0.1,
+        }
+    }
+
+    /// Heavy-truck vibration with a stiffer mount (15 % flexure).
+    pub fn truck() -> Self {
+        Self {
+            vibration: VibrationClass::Truck,
+            road_roughness: 1.0,
+            differential_vibration: 0.15,
+        }
+    }
+
+    /// A badly surfaced road: passenger-car vibration at 2.5x RMS and
+    /// elevated mount flexure.
+    pub fn rough_road() -> Self {
+        Self {
+            vibration: VibrationClass::PassengerCar,
+            road_roughness: 2.5,
+            differential_vibration: 0.25,
+        }
+    }
+
+    /// The [`VibrationConfig`] this environment lowers to (roughness
+    /// of exactly 1.0 passes the class configuration through
+    /// untouched, keeping the paper environments bit-identical).
+    pub fn vibration_config(&self) -> VibrationConfig {
+        let base = match self.vibration {
+            VibrationClass::None => VibrationConfig::none(),
+            VibrationClass::PassengerCar => VibrationConfig::passenger_car(),
+            VibrationClass::Truck => VibrationConfig::truck(),
+            VibrationClass::Custom(cfg) => cfg,
+        };
+        if self.road_roughness == 1.0 {
+            base
+        } else {
+            VibrationConfig {
+                accel_rms: base.accel_rms * self.road_roughness,
+                rate_rms: base.rate_rms * self.road_roughness,
+                ..base
+            }
+        }
+    }
+}
+
+/// How measurements reach the fusion core.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub enum ChannelSpec {
+    /// Synthetic instruments wired straight to the session — no
+    /// serial transport (the [`crate::session::SyntheticSource`]
+    /// path).
+    #[default]
+    Ideal,
+    /// The full Figure-2 chain — DMU over CAN through the RS-232
+    /// bridge, ACC eval packets, both UARTs at line rate,
+    /// reconstruction — with optional byte-level fault injection
+    /// (the [`CommsChainSource`] path).
+    Comms {
+        /// Fault rates on both serial links.
+        faults: LinkFaultConfig,
+    },
+}
+
+impl ChannelSpec {
+    /// The comms chain with a clean channel.
+    pub fn comms() -> Self {
+        Self::Comms {
+            faults: LinkFaultConfig::clean(),
+        }
+    }
+}
+
+/// Which estimator tuning the scenario runs.
+#[derive(Clone, Copy, Debug)]
+pub enum TuningSpec {
+    /// The paper's static-test tuning ([`EstimatorConfig::paper_static`]).
+    Static,
+    /// The paper's dynamic (vehicle) tuning ([`EstimatorConfig::paper_dynamic`]).
+    Dynamic,
+    /// An explicit estimator configuration.
+    Custom(EstimatorConfig),
+}
+
+impl TuningSpec {
+    /// The [`EstimatorConfig`] this tuning lowers to.
+    pub fn estimator_config(&self) -> EstimatorConfig {
+        match self {
+            Self::Static => EstimatorConfig::paper_static(),
+            Self::Dynamic => EstimatorConfig::paper_dynamic(),
+            Self::Custom(cfg) => *cfg,
+        }
+    }
+}
+
+/// The arithmetic substrate the full 5-state IEKF runs over.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Substrate {
+    /// Native `f64` (the reference).
+    F64,
+    /// Emulated IEEE double with Sabre cycle accounting (the paper's
+    /// deployed configuration).
+    Softfloat,
+    /// Saturating Q16.16 fixed point (the paper's proposed
+    /// enhancement).
+    Q16_16,
+}
+
+impl Substrate {
+    /// Every substrate, in reference-first order.
+    pub fn all() -> [Self; 3] {
+        [Self::F64, Self::Softfloat, Self::Q16_16]
+    }
+
+    /// Short name (`f64`, `softfloat`, `q16.16`).
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::F64 => "f64",
+            Self::Softfloat => "softfloat",
+            Self::Q16_16 => "q16.16",
+        }
+    }
+
+    /// Parses a short name (`fixed` is accepted for `q16.16`).
+    pub fn parse(name: &str) -> Option<Self> {
+        match name {
+            "f64" => Some(Self::F64),
+            "softfloat" => Some(Self::Softfloat),
+            "q16.16" | "fixed" => Some(Self::Q16_16),
+            _ => None,
+        }
+    }
+
+    /// Attaches the full 5-state IEKF over this substrate to a session
+    /// builder — the one substrate-dispatch site every lowering path
+    /// shares.
+    pub fn attach_iekf<'a>(
+        self,
+        builder: SessionBuilder<'a>,
+        estimator: EstimatorConfig,
+    ) -> SessionBuilder<'a> {
+        match self {
+            Self::F64 => builder.iekf(F64Arith::default(), estimator),
+            Self::Softfloat => builder.iekf(SoftArith::default(), estimator),
+            Self::Q16_16 => builder.iekf(FixedArith::default(), estimator),
+        }
+    }
+
+    /// [`FusionSession::iekf_from_scenario`] with the substrate chosen
+    /// at run time instead of by type parameter.
+    pub fn iekf_from_scenario<'a>(
+        self,
+        trajectory: &'a dyn Trajectory,
+        config: &ScenarioConfig,
+    ) -> FusionSession<'a> {
+        match self {
+            Self::F64 => FusionSession::iekf_from_scenario(trajectory, config, F64Arith::default()),
+            Self::Softfloat => {
+                FusionSession::iekf_from_scenario(trajectory, config, SoftArith::default())
+            }
+            Self::Q16_16 => {
+                FusionSession::iekf_from_scenario(trajectory, config, FixedArith::default())
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Substrate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// A declarative, composable scenario: everything a workload needs,
+/// as pure data, buildable fluently and lowered to the session layer
+/// through [`ScenarioSpec::into_session`].
+#[derive(Clone, Debug)]
+pub struct ScenarioSpec {
+    /// Catalog name (kebab-case by convention).
+    pub name: String,
+    /// True mounting misalignment to inject.
+    pub truth: EulerAngles,
+    /// True ACC biases, m/s^2.
+    pub acc_bias: Vec2,
+    /// Run length, seconds.
+    pub duration_s: f64,
+    /// RNG seed (specs are fully deterministic given the seed).
+    pub seed: u64,
+    /// Keep every n-th residual/estimate point in the trace.
+    pub trace_decimation: usize,
+    /// What the vehicle does.
+    pub trajectory: TrajectorySpec,
+    /// What the road does.
+    pub environment: EnvironmentSpec,
+    /// How measurements travel.
+    pub channel: ChannelSpec,
+    /// Which estimator tuning runs.
+    pub tuning: TuningSpec,
+    /// Which arithmetic the IEKF runs over.
+    pub substrate: Substrate,
+}
+
+impl ScenarioSpec {
+    /// A named spec with the paper's static-test defaults: tilt-table
+    /// trajectory, laboratory environment, ideal channel, static
+    /// tuning, native `f64`, 300 s, the shared deterministic seed
+    /// (the scalar defaults come from [`ScenarioConfig::default`], the
+    /// single source of the paper baseline).
+    pub fn named(name: impl Into<String>) -> Self {
+        let base = ScenarioConfig::default();
+        Self {
+            name: name.into(),
+            truth: base.true_misalignment,
+            acc_bias: base.true_acc_bias,
+            duration_s: base.duration_s,
+            seed: base.seed,
+            trace_decimation: base.trace_decimation,
+            trajectory: TrajectorySpec::paper_tilt_table(),
+            environment: EnvironmentSpec::laboratory(),
+            channel: ChannelSpec::Ideal,
+            tuning: TuningSpec::Static,
+            substrate: Substrate::F64,
+        }
+    }
+
+    /// Sets the injected truth.
+    pub fn with_truth(mut self, truth: EulerAngles) -> Self {
+        self.truth = truth;
+        self
+    }
+
+    /// Sets the true ACC biases.
+    pub fn with_acc_bias(mut self, bias: Vec2) -> Self {
+        self.acc_bias = bias;
+        self
+    }
+
+    /// Sets the run length, seconds.
+    pub fn with_duration(mut self, duration_s: f64) -> Self {
+        self.duration_s = duration_s;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the trace decimation.
+    pub fn with_trace_decimation(mut self, decimation: usize) -> Self {
+        self.trace_decimation = decimation;
+        self
+    }
+
+    /// Sets the trajectory.
+    pub fn with_trajectory(mut self, trajectory: TrajectorySpec) -> Self {
+        self.trajectory = trajectory;
+        self
+    }
+
+    /// Sets the environment.
+    pub fn with_environment(mut self, environment: EnvironmentSpec) -> Self {
+        self.environment = environment;
+        self
+    }
+
+    /// Sets the measurement channel.
+    pub fn with_channel(mut self, channel: ChannelSpec) -> Self {
+        self.channel = channel;
+        self
+    }
+
+    /// Sets the estimator tuning.
+    pub fn with_tuning(mut self, tuning: TuningSpec) -> Self {
+        self.tuning = tuning;
+        self
+    }
+
+    /// Sets the arithmetic substrate.
+    pub fn with_substrate(mut self, substrate: Substrate) -> Self {
+        self.substrate = substrate;
+        self
+    }
+
+    /// Lowers the spec to the legacy [`ScenarioConfig`] — the thin
+    /// target the batch wrappers and the comms/system layers consume.
+    /// For the two paper procedures this reproduces
+    /// [`ScenarioConfig::static_test`] / [`ScenarioConfig::dynamic_test`]
+    /// bit for bit (pinned by test).
+    pub fn config(&self) -> ScenarioConfig {
+        let mut cfg = ScenarioConfig::static_test(self.truth);
+        cfg.true_acc_bias = self.acc_bias;
+        cfg.duration_s = self.duration_s;
+        cfg.seed = self.seed;
+        cfg.trace_decimation = self.trace_decimation;
+        cfg.vibration = self.environment.vibration_config();
+        cfg.differential_vibration = self.environment.differential_vibration;
+        cfg.estimator = self.tuning.estimator_config();
+        cfg.link_faults = match self.channel {
+            ChannelSpec::Ideal => LinkFaultConfig::clean(),
+            ChannelSpec::Comms { faults } => faults,
+        };
+        cfg
+    }
+
+    /// Builds the owned trajectory this spec runs over.
+    pub fn lower_trajectory(&self) -> ScenarioTrajectory {
+        self.trajectory.lower(self.duration_s)
+    }
+
+    /// Lowers the spec to a streaming [`FusionSession`] over
+    /// `trajectory` (normally the one from
+    /// [`ScenarioSpec::lower_trajectory`], kept on the caller's stack
+    /// so many sessions can share it) — the single path every channel,
+    /// tuning and substrate combination goes through.
+    pub fn into_session<'a>(&self, trajectory: &'a dyn Trajectory) -> FusionSession<'a> {
+        let cfg = self.config();
+        let builder =
+            match self.channel {
+                ChannelSpec::Ideal => FusionSession::builder()
+                    .source(SyntheticSource::from_scenario(trajectory, &cfg)),
+                ChannelSpec::Comms { .. } => FusionSession::builder()
+                    .source(CommsChainSource::from_scenario(trajectory, &cfg)),
+            };
+        self.substrate
+            .attach_iekf(builder, cfg.estimator)
+            .truth(cfg.true_misalignment)
+            .record_traces(cfg.trace_decimation)
+            .build()
+    }
+
+    /// Lowers and runs the spec to completion (the batch path).
+    pub fn run(&self) -> RunResult {
+        let trajectory = self.lower_trajectory();
+        self.into_session(&trajectory).into_result()
+    }
+}
+
+/// Reads the per-substrate instrumentation off a finished session.
+fn instrumentation<A: Arith + Clone + 'static>(session: &FusionSession) -> (u64, u64, u64) {
+    session
+        .backend_as::<GenericBoresightEstimator<A>>()
+        .map(|backend| {
+            let arith = backend.filter().arith();
+            let counts = arith.counts();
+            (counts.total(), counts.saturations, arith.cycles())
+        })
+        .unwrap_or((0, 0, 0))
+}
+
+/// One scenario × substrate cell of a [`SuiteReport`].
+#[derive(Clone, Debug)]
+pub struct SuiteCell {
+    /// Scenario name.
+    pub scenario: String,
+    /// Arithmetic substrate of this cell.
+    pub substrate: Substrate,
+    /// Backend label the session reported (e.g. `iekf5/q16.16`).
+    pub backend: &'static str,
+    /// Run length actually executed, seconds.
+    pub duration_s: f64,
+    /// Injected truth.
+    pub truth: EulerAngles,
+    /// Final estimate with confidence.
+    pub estimate: MisalignmentEstimate,
+    /// Converged-half pooled-axis boresight RMS error, degrees.
+    pub error_rms_deg: f64,
+    /// Final worst-axis error, degrees.
+    pub final_worst_error_deg: f64,
+    /// Fraction of residuals beyond 3 sigma.
+    pub exceed_rate: f64,
+    /// Adaptive retunes fired.
+    pub retune_count: usize,
+    /// Substrate arithmetic operations executed.
+    pub ops: u64,
+    /// Fixed-point saturation events (0 on float substrates).
+    pub saturations: u64,
+    /// Estimated Sabre cycles (0 for the host-FPU reference).
+    pub cycles: u64,
+    /// Cycle estimate per incoming ACC sample.
+    pub cycles_per_sample: f64,
+    /// Serial-link statistics, for comms-channel cells (includes the
+    /// fault-injector counters).
+    pub stream: Option<StreamStats>,
+}
+
+impl SuiteCell {
+    fn collect(spec: &ScenarioSpec, session: FusionSession) -> Self {
+        let backend = session.backend_label();
+        let (ops, saturations, cycles) = match spec.substrate {
+            Substrate::F64 => instrumentation::<F64Arith>(&session),
+            Substrate::Softfloat => instrumentation::<SoftArith>(&session),
+            Substrate::Q16_16 => instrumentation::<FixedArith>(&session),
+        };
+        let stream = session.stream_stats();
+        let cfg = spec.config();
+        let samples = (cfg.duration_s * cfg.acc_rate_hz).round().max(1.0);
+        let result = session.into_result();
+        Self {
+            scenario: spec.name.clone(),
+            substrate: spec.substrate,
+            backend,
+            duration_s: cfg.duration_s,
+            truth: result.truth,
+            estimate: result.estimate,
+            error_rms_deg: result.error_rms_deg(),
+            final_worst_error_deg: result.max_error_deg(),
+            exceed_rate: result.exceed_rate,
+            retune_count: result.retune_count,
+            ops,
+            saturations,
+            cycles,
+            cycles_per_sample: cycles as f64 / samples,
+            stream,
+        }
+    }
+
+    /// `true` when the estimate and its confidence are finite and the
+    /// covariance never went indefinite (non-negative sigmas) — the
+    /// health predicate the CI smoke run gates on.
+    pub fn is_healthy(&self) -> bool {
+        let a = self.estimate.angles;
+        let s = self.estimate.one_sigma;
+        a.roll.is_finite()
+            && a.pitch.is_finite()
+            && a.yaw.is_finite()
+            && (0..3).all(|i| s[i].is_finite() && s[i] >= 0.0)
+            && self.error_rms_deg.is_finite()
+    }
+}
+
+/// The machine-readable result of a [`ScenarioSuite`] run.
+#[derive(Clone, Debug, Default)]
+pub struct SuiteReport {
+    /// One cell per scenario × substrate, scenario-major.
+    pub cells: Vec<SuiteCell>,
+}
+
+impl SuiteReport {
+    /// The cell for one scenario × substrate, if present.
+    pub fn cell(&self, scenario: &str, substrate: Substrate) -> Option<&SuiteCell> {
+        self.cells
+            .iter()
+            .find(|c| c.scenario == scenario && c.substrate == substrate)
+    }
+
+    /// Cells whose estimate went non-finite or covariance-indefinite.
+    pub fn unhealthy(&self) -> Vec<&SuiteCell> {
+        self.cells.iter().filter(|c| !c.is_healthy()).collect()
+    }
+}
+
+/// Executes a scenario × substrate matrix over a [`SessionGroup`]:
+/// each scenario's substrate sessions share one lowered trajectory and
+/// interleave on one thread, exactly like the production
+/// many-concurrent-sensors pattern.
+#[derive(Clone, Debug)]
+pub struct ScenarioSuite {
+    scenarios: Vec<ScenarioSpec>,
+    substrates: Vec<Substrate>,
+    duration_override_s: Option<f64>,
+    chunk_s: f64,
+}
+
+impl ScenarioSuite {
+    /// A suite over the given scenarios and all three substrates.
+    pub fn new(scenarios: Vec<ScenarioSpec>) -> Self {
+        Self {
+            scenarios,
+            substrates: Substrate::all().to_vec(),
+            duration_override_s: None,
+            chunk_s: 1.0,
+        }
+    }
+
+    /// The full catalog × substrate matrix.
+    pub fn full_matrix() -> Self {
+        Self::new(crate::catalog::all())
+    }
+
+    /// Restricts the substrate axis.
+    pub fn with_substrates(mut self, substrates: &[Substrate]) -> Self {
+        self.substrates = substrates.to_vec();
+        self
+    }
+
+    /// Overrides every scenario's duration (reduced-duration smoke
+    /// runs; the catalog's long-haul entry is 3600 s at full length).
+    pub fn with_duration(mut self, duration_s: f64) -> Self {
+        self.duration_override_s = Some(duration_s);
+        self
+    }
+
+    /// Sets the interleave slice handed to each session in turn.
+    pub fn with_chunk(mut self, chunk_s: f64) -> Self {
+        self.chunk_s = chunk_s;
+        self
+    }
+
+    /// The scenarios on the suite's scenario axis.
+    pub fn scenarios(&self) -> &[ScenarioSpec] {
+        &self.scenarios
+    }
+
+    /// Runs the whole matrix to completion.
+    pub fn run(&self) -> SuiteReport {
+        let mut cells = Vec::with_capacity(self.scenarios.len() * self.substrates.len());
+        for base in &self.scenarios {
+            let mut spec = base.clone();
+            if let Some(d) = self.duration_override_s {
+                spec.duration_s = d;
+            }
+            let trajectory = spec.lower_trajectory();
+            let cell_specs: Vec<ScenarioSpec> = self
+                .substrates
+                .iter()
+                .map(|&s| spec.clone().with_substrate(s))
+                .collect();
+            let mut group = SessionGroup::new();
+            for cell_spec in &cell_specs {
+                group.push(cell_spec.into_session(&trajectory));
+            }
+            group.run_interleaved(self.chunk_s);
+            for (cell_spec, session) in cell_specs.iter().zip(group.into_sessions()) {
+                cells.push(SuiteCell::collect(cell_spec, session));
+            }
+        }
+        SuiteReport { cells }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::{run_dynamic, run_static};
+
+    #[test]
+    fn paper_static_spec_lowers_to_static_test_config() {
+        let truth = EulerAngles::from_degrees(2.0, -3.0, 1.5);
+        let spec = ScenarioSpec::named("paper-static").with_truth(truth);
+        let lowered = spec.config();
+        let reference = ScenarioConfig::static_test(truth);
+        assert_eq!(lowered.true_misalignment, reference.true_misalignment);
+        assert_eq!(lowered.true_acc_bias, reference.true_acc_bias);
+        assert_eq!(lowered.duration_s, reference.duration_s);
+        assert_eq!(lowered.seed, reference.seed);
+        assert_eq!(
+            lowered.estimator.filter.measurement_sigma,
+            reference.estimator.filter.measurement_sigma
+        );
+        assert_eq!(lowered.vibration.accel_rms, reference.vibration.accel_rms);
+        assert_eq!(lowered.link_faults, reference.link_faults);
+    }
+
+    #[test]
+    fn spec_run_is_bit_identical_to_run_static() {
+        let truth = EulerAngles::from_degrees(2.0, -1.0, 1.5);
+        let spec = ScenarioSpec::named("paper-static")
+            .with_truth(truth)
+            .with_duration(60.0);
+        let from_spec = spec.run();
+        let mut cfg = ScenarioConfig::static_test(truth);
+        cfg.duration_s = 60.0;
+        let from_config = run_static(&cfg);
+        assert_eq!(from_spec.estimate, from_config.estimate);
+        assert_eq!(from_spec.residuals, from_config.residuals);
+        assert_eq!(from_spec.exceed_rate, from_config.exceed_rate);
+    }
+
+    #[test]
+    fn dynamic_spec_is_bit_identical_to_run_dynamic() {
+        let truth = EulerAngles::from_degrees(3.0, -2.0, 2.5);
+        let spec = ScenarioSpec::named("paper-dynamic")
+            .with_truth(truth)
+            .with_trajectory(TrajectorySpec::Urban)
+            .with_environment(EnvironmentSpec::passenger_car())
+            .with_tuning(TuningSpec::Dynamic)
+            .with_duration(40.0);
+        let from_spec = spec.run();
+        let mut cfg = ScenarioConfig::dynamic_test(truth);
+        cfg.duration_s = 40.0;
+        let from_config = run_dynamic(&cfg);
+        assert_eq!(from_spec.estimate, from_config.estimate);
+        assert_eq!(from_spec.residuals, from_config.residuals);
+    }
+
+    #[test]
+    fn substrate_labels_roundtrip() {
+        for s in Substrate::all() {
+            assert_eq!(Substrate::parse(s.label()), Some(s));
+        }
+        assert_eq!(Substrate::parse("fixed"), Some(Substrate::Q16_16));
+        assert_eq!(Substrate::parse("i387"), None);
+    }
+
+    #[test]
+    fn rough_road_scales_vibration_rms() {
+        let env = EnvironmentSpec::rough_road();
+        let cfg = env.vibration_config();
+        let base = VibrationConfig::passenger_car();
+        assert!((cfg.accel_rms - base.accel_rms * 2.5).abs() < 1e-12);
+        assert_eq!(cfg.corner_hz, base.corner_hz);
+    }
+
+    #[test]
+    fn comms_channel_spec_runs_through_the_chain() {
+        let spec = ScenarioSpec::named("comms-smoke")
+            .with_truth(EulerAngles::from_degrees(1.0, -1.0, 1.0))
+            .with_channel(ChannelSpec::comms())
+            .with_duration(20.0);
+        let trajectory = spec.lower_trajectory();
+        let mut session = spec.into_session(&trajectory);
+        session.run_to_end();
+        let stats = session.stream_stats().expect("comms chain has stats");
+        assert!(stats.acc_samples > 1000);
+        assert_eq!(stats.fault_bits_flipped, 0);
+        assert_eq!(stats.fault_bytes_dropped, 0);
+    }
+
+    #[test]
+    fn fault_injection_reaches_the_stream_stats() {
+        let spec = ScenarioSpec::named("faulty")
+            .with_truth(EulerAngles::from_degrees(1.0, -1.0, 1.0))
+            .with_channel(ChannelSpec::Comms {
+                faults: LinkFaultConfig {
+                    bit_flip_prob: 0.01,
+                    drop_prob: 0.005,
+                    burst_prob: 0.0,
+                    burst_len: 0,
+                },
+            })
+            .with_duration(20.0);
+        let trajectory = spec.lower_trajectory();
+        let mut session = spec.into_session(&trajectory);
+        session.run_to_end();
+        let stats = session.stream_stats().expect("comms chain has stats");
+        assert!(stats.fault_bits_flipped > 100, "{stats:?}");
+        assert!(stats.fault_bytes_dropped > 50, "{stats:?}");
+        // Corrupted frames fail their checksums instead of poisoning
+        // the filter.
+        assert!(stats.dmu_errors + stats.acc_errors > 0, "{stats:?}");
+        assert!(session.estimate().angles.max_abs().is_finite());
+    }
+
+    #[test]
+    fn suite_runs_a_small_matrix() {
+        let suite = ScenarioSuite::new(vec![
+            ScenarioSpec::named("cell").with_truth(EulerAngles::from_degrees(2.0, -1.0, 1.5))
+        ])
+        .with_substrates(&[Substrate::F64, Substrate::Q16_16])
+        .with_duration(20.0);
+        let report = suite.run();
+        assert_eq!(report.cells.len(), 2);
+        assert!(report.unhealthy().is_empty());
+        let f64_cell = report.cell("cell", Substrate::F64).expect("f64 cell");
+        assert_eq!(f64_cell.backend, "iekf5/f64");
+        assert_eq!(f64_cell.cycles, 0, "host FPU accounts no Sabre cycles");
+        let fixed = report.cell("cell", Substrate::Q16_16).expect("fixed cell");
+        assert!(fixed.ops > 0);
+        assert!(fixed.cycles > 0);
+    }
+}

@@ -99,6 +99,18 @@ impl SystemConfig {
             shadow_updates: 1000,
         }
     }
+
+    /// The demo system over a declarative scenario: the spec's lowered
+    /// [`ScenarioConfig`] (truth, environment, tuning, link faults)
+    /// replaces the hard-wired dynamic test, so any catalog entry can
+    /// drive the full Figure-2 simulation. Run it against
+    /// [`crate::spec::ScenarioSpec::lower_trajectory`].
+    pub fn from_spec(spec: &crate::spec::ScenarioSpec) -> Self {
+        Self {
+            scenario: spec.config(),
+            ..Self::demo(spec.truth)
+        }
+    }
 }
 
 impl Default for SystemConfig {
@@ -391,6 +403,21 @@ mod tests {
             sink.on_time(i as f64 * 0.01, &est); // 1 s of ticks, zero updates
         }
         assert_eq!(sink.publishes(), 5);
+    }
+
+    #[test]
+    fn system_config_from_spec_carries_the_scenario() {
+        let spec = crate::catalog::can_fault_storm().with_duration(25.0);
+        let cfg = SystemConfig::from_spec(&spec);
+        assert_eq!(cfg.scenario.duration_s, 25.0);
+        assert!(!cfg.scenario.link_faults.is_clean());
+        let trajectory = spec.lower_trajectory();
+        let report = run_system(&trajectory, &cfg);
+        // The fault storm damages frames; the checksums must catch it
+        // and the estimate must survive.
+        assert!(report.stream.fault_bits_flipped > 0);
+        assert!(report.stream.dmu_errors + report.stream.acc_errors > 0);
+        assert!(report.estimate.angles.max_abs().is_finite());
     }
 
     #[test]

@@ -66,6 +66,17 @@ pub enum Segment {
         /// Peak lateral acceleration, m/s^2.
         peak_lateral_accel: f64,
     },
+    /// Constant road-pitch climb (or descent) at constant ground speed:
+    /// the body pitches by `pitch_rad` and gravity gains a component
+    /// along the body x axis — the road-going counterpart of the tilt
+    /// table's pitch steps, exciting pitch observability without a
+    /// laboratory platform.
+    Grade {
+        /// Segment length, seconds.
+        duration_s: f64,
+        /// Road pitch angle, rad (positive = nose up / climbing).
+        pitch_rad: f64,
+    },
 }
 
 impl Segment {
@@ -105,6 +116,14 @@ impl Segment {
         }
     }
 
+    /// Constant road-pitch climb at constant ground speed.
+    pub fn grade(duration_s: f64, pitch_rad: f64) -> Self {
+        Self::Grade {
+            duration_s,
+            pitch_rad,
+        }
+    }
+
     /// Segment duration, seconds.
     pub fn duration_s(&self) -> f64 {
         match *self {
@@ -113,7 +132,8 @@ impl Segment {
             | Segment::Accelerate { duration_s, .. }
             | Segment::Brake { duration_s, .. }
             | Segment::Turn { duration_s, .. }
-            | Segment::LaneChange { duration_s, .. } => duration_s,
+            | Segment::LaneChange { duration_s, .. }
+            | Segment::Grade { duration_s, .. } => duration_s,
         }
     }
 }
@@ -183,6 +203,25 @@ impl DriveProfile {
     /// The segments of this profile.
     pub fn segments(&self) -> &[Segment] {
         &self.segments
+    }
+
+    /// Repeats `block` end to end until the profile covers at least
+    /// `duration_s` seconds (always at least one repetition) — the
+    /// construction every preset and catalog scenario shares.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` is empty or any segment duration is
+    /// non-positive.
+    pub fn repeated(block: &[Segment], duration_s: f64) -> Self {
+        assert!(!block.is_empty(), "repeated profile needs segments");
+        let block_len: f64 = block.iter().map(Segment::duration_s).sum();
+        let repeats = (duration_s / block_len).ceil().max(1.0) as usize;
+        let mut segments = Vec::with_capacity(block.len() * repeats);
+        for _ in 0..repeats {
+            segments.extend_from_slice(block);
+        }
+        Self::new(segments)
     }
 }
 
@@ -294,6 +333,23 @@ fn eval_segment(seg: &Segment, entry: &Entry, tau: f64) -> KinematicState {
                 v * yaw_rate,
             )
         }
+        Segment::Grade { pitch_rad, .. } => {
+            // Constant ground speed along the entry heading; the climb
+            // adds the vertical velocity a road of that pitch imposes.
+            let v = entry.speed;
+            let climb = Vec3::new([0.0, 0.0, v * pitch_rad.tan()]);
+            let velocity = dir0 * v + climb;
+            (
+                entry.position + velocity * tau,
+                velocity,
+                Vec3::zeros(),
+                psi0,
+                0.0,
+                0.0,
+                0.0,
+                0.0,
+            )
+        }
         Segment::LaneChange {
             duration_s,
             peak_lateral_accel,
@@ -331,7 +387,12 @@ fn eval_segment(seg: &Segment, entry: &Entry, tau: f64) -> KinematicState {
     // (negative pitch is nose down in our convention? pitch is about
     // +y; acceleration pushes the nose up at the rear squat —
     // sign: accelerating forward pitches nose UP by convention here).
-    let pitch = PITCH_PER_ACCEL * ax_body;
+    // A grade adds the road's own pitch on top of the suspension term.
+    let road_pitch = match *seg {
+        Segment::Grade { pitch_rad, .. } => pitch_rad,
+        _ => 0.0,
+    };
+    let pitch = road_pitch + PITCH_PER_ACCEL * ax_body;
     let roll = -ROLL_PER_ACCEL * ay_body;
     let attitude = EulerAngles::new(roll, pitch, heading).quaternion();
 
@@ -376,45 +437,37 @@ pub mod presets {
     /// Urban stop-and-go drive: pull away, cruise, lane change, turn,
     /// brake to a stop — repeated; roughly `duration_s` long.
     pub fn urban_drive(duration_s: f64) -> DriveProfile {
-        let block = vec![
-            Segment::idle(2.0),
-            Segment::accelerate(5.0, 2.0),
-            Segment::cruise(4.0),
-            Segment::lane_change(4.0, 2.0),
-            Segment::cruise(2.0),
-            Segment::turn(5.0, 0.25),
-            Segment::cruise(3.0),
-            Segment::brake(4.0, 2.5),
-            Segment::idle(1.0),
-        ];
-        let block_len: f64 = block.iter().map(|s| s.duration_s()).sum();
-        let repeats = (duration_s / block_len).ceil().max(1.0) as usize;
-        let mut segments = Vec::with_capacity(block.len() * repeats);
-        for _ in 0..repeats {
-            segments.extend_from_slice(&block);
-        }
-        DriveProfile::new(segments)
+        DriveProfile::repeated(
+            &[
+                Segment::idle(2.0),
+                Segment::accelerate(5.0, 2.0),
+                Segment::cruise(4.0),
+                Segment::lane_change(4.0, 2.0),
+                Segment::cruise(2.0),
+                Segment::turn(5.0, 0.25),
+                Segment::cruise(3.0),
+                Segment::brake(4.0, 2.5),
+                Segment::idle(1.0),
+            ],
+            duration_s,
+        )
     }
 
     /// Highway drive: long acceleration to speed, sustained cruise with
     /// occasional lane changes and gentle curves.
     pub fn highway_drive(duration_s: f64) -> DriveProfile {
-        let block = vec![
-            Segment::accelerate(8.0, 2.2),
-            Segment::cruise(10.0),
-            Segment::lane_change(5.0, 1.5),
-            Segment::cruise(8.0),
-            Segment::turn(10.0, 0.05),
-            Segment::cruise(6.0),
-            Segment::brake(6.0, 1.8),
-        ];
-        let block_len: f64 = block.iter().map(|s| s.duration_s()).sum();
-        let repeats = (duration_s / block_len).ceil().max(1.0) as usize;
-        let mut segments = Vec::with_capacity(block.len() * repeats);
-        for _ in 0..repeats {
-            segments.extend_from_slice(&block);
-        }
-        DriveProfile::new(segments)
+        DriveProfile::repeated(
+            &[
+                Segment::accelerate(8.0, 2.2),
+                Segment::cruise(10.0),
+                Segment::lane_change(5.0, 1.5),
+                Segment::cruise(8.0),
+                Segment::turn(10.0, 0.05),
+                Segment::cruise(6.0),
+                Segment::brake(6.0, 1.8),
+            ],
+            duration_s,
+        )
     }
 }
 
@@ -539,6 +592,42 @@ mod tests {
         assert_eq!(before.time_s, 0.0);
         let after = p.sample(100.0);
         assert!((after.time_s - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grade_pitches_body_and_climbs() {
+        let pitch = 0.06_f64; // ~3.4 deg climb
+        let p = DriveProfile::with_initial(
+            vec![Segment::grade(10.0, pitch), Segment::cruise(5.0)],
+            Vec3::zeros(),
+            12.0,
+            0.0,
+        );
+        let s = p.sample(5.0);
+        let e = s.attitude.euler();
+        assert!((e.pitch - pitch).abs() < 1e-9, "{e:?}");
+        // Constant speed: no inertial acceleration, gravity alone gets
+        // a body-x component (same sign convention as the tilt table).
+        assert!(s.accel_n.max_abs() < 1e-12);
+        let f = s.specific_force_body();
+        assert!(
+            (f[0] + pitch.sin() * mathx::STANDARD_GRAVITY).abs() < 1e-6,
+            "{f:?}"
+        );
+        // The vehicle gains altitude at v * tan(pitch).
+        assert!((s.position_n[2] - 12.0 * pitch.tan() * 5.0).abs() < 1e-9);
+        // Ground speed is preserved into the next segment.
+        assert!((p.sample(12.0).velocity_n.xy().norm() - 12.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn repeated_covers_duration_and_matches_manual_loop() {
+        let block = [Segment::accelerate(3.0, 2.0), Segment::brake(3.0, 2.0)];
+        let p = DriveProfile::repeated(&block, 20.0);
+        assert!(p.duration_s() >= 20.0);
+        assert_eq!(p.segments().len(), 8); // ceil(20/6) = 4 repeats
+        let manual = DriveProfile::new((0..4).flat_map(|_| block.iter().copied()).collect());
+        assert_eq!(p.sample(13.7).position_n, manual.sample(13.7).position_n);
     }
 
     #[test]

@@ -45,6 +45,21 @@ impl VibrationConfig {
         }
     }
 
+    /// Typical heavy-truck values: a stiffer suspension and diesel
+    /// drivetrain put roughly 3x the passenger-car vibration on the
+    /// sprung mass, with more of it present at idle and a slightly
+    /// higher body-mode corner.
+    pub fn truck() -> Self {
+        Self {
+            accel_rms: 0.35,
+            rate_rms: 0.6 * std::f64::consts::PI / 180.0,
+            reference_speed: 15.0,
+            corner_hz: 3.5,
+            sample_rate_hz: 100.0,
+            idle_fraction: 0.15,
+        }
+    }
+
     /// No vibration at all (static laboratory platform).
     pub fn none() -> Self {
         Self {

@@ -53,9 +53,24 @@
 //! assert!(result.max_error_deg() < 0.5);
 //! ```
 //!
+//! Workloads beyond the paper's two procedures come from the
+//! declarative scenario layer: compose a [`fusion::spec::ScenarioSpec`]
+//! or pull a named one from [`fusion::catalog`], then lower it to a
+//! session (or sweep the whole scenario × substrate matrix with
+//! [`fusion::spec::ScenarioSuite`]):
+//!
+//! ```
+//! use sensor_fusion_fpga::fusion::catalog;
+//!
+//! let mut spec = catalog::by_name("emergency-brake").expect("catalog entry");
+//! spec.duration_s = 30.0;
+//! assert!(spec.run().max_error_deg().is_finite());
+//! ```
+//!
 //! Many sessions — different scenarios, different arithmetic backends
 //! ([`fusion::arith`]) — interleave on one thread via
-//! [`fusion::SessionGroup`]; see `examples/streaming_sessions.rs`.
+//! [`fusion::SessionGroup`]; see `examples/streaming_sessions.rs` and
+//! `examples/scenario_catalog.rs`.
 
 pub use boresight as fusion;
 pub use comms as comm;

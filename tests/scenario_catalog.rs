@@ -1,0 +1,148 @@
+//! Integration tests for the declarative scenario layer: catalog
+//! contract, seed determinism, substrate health, and the pinned
+//! bit-identity of the two paper procedures against the legacy
+//! `ScenarioConfig` path.
+
+use sensor_fusion_fpga::fusion::catalog;
+use sensor_fusion_fpga::fusion::scenario::{run_dynamic, run_static, ScenarioConfig};
+use sensor_fusion_fpga::fusion::spec::{ScenarioSuite, Substrate};
+
+/// The catalog honours its contract: at least ten uniquely named
+/// scenarios, each resolvable by name, the paper pair present.
+#[test]
+fn catalog_contract() {
+    let names = catalog::names();
+    assert!(names.len() >= 10, "catalog has only {}", names.len());
+    for required in ["paper-static", "paper-dynamic"] {
+        assert!(names.iter().any(|n| n == required), "missing `{required}`");
+    }
+    for name in &names {
+        assert!(catalog::by_name(name).is_some(), "`{name}` must resolve");
+    }
+}
+
+/// Every catalog scenario is a pure function of its seed: two
+/// reduced-duration runs must agree bit for bit on the estimate, the
+/// traces and the exceed rate.
+#[test]
+fn every_catalog_scenario_is_seed_deterministic() {
+    for spec in catalog::all() {
+        let spec = spec.with_duration(12.0);
+        let a = spec.run();
+        let b = spec.run();
+        assert_eq!(a.estimate, b.estimate, "{} estimate drifted", spec.name);
+        assert_eq!(a.residuals, b.residuals, "{} residuals drifted", spec.name);
+        assert_eq!(
+            a.exceed_rate.to_bits(),
+            b.exceed_rate.to_bits(),
+            "{} exceed rate drifted",
+            spec.name
+        );
+    }
+}
+
+/// The full scenario x substrate matrix completes with finite
+/// estimates, finite confidence bounds and no covariance-indefinite
+/// states on all three substrates — and the instrumentation the
+/// non-reference substrates carry is actually populated.
+#[test]
+fn catalog_matrix_is_healthy_on_all_substrates() {
+    let report = ScenarioSuite::full_matrix().with_duration(8.0).run();
+    assert_eq!(report.cells.len(), catalog::all().len() * 3);
+    let unhealthy: Vec<String> = report
+        .unhealthy()
+        .iter()
+        .map(|c| format!("{}/{}", c.scenario, c.substrate))
+        .collect();
+    assert!(unhealthy.is_empty(), "unhealthy cells: {unhealthy:?}");
+    for cell in &report.cells {
+        match cell.substrate {
+            Substrate::F64 => assert_eq!(cell.cycles, 0, "{}: host FPU", cell.scenario),
+            Substrate::Softfloat | Substrate::Q16_16 => {
+                assert!(
+                    cell.ops > 0,
+                    "{}/{} counted no ops",
+                    cell.scenario,
+                    cell.substrate
+                );
+                assert!(
+                    cell.cycles > 0,
+                    "{}/{} accounted no cycles",
+                    cell.scenario,
+                    cell.substrate
+                );
+            }
+        }
+        assert!(
+            cell.estimate.updates > 0,
+            "{} made no updates",
+            cell.scenario
+        );
+    }
+    // The fault-storm cell actually exercised the injectors.
+    let storm = report
+        .cell("can-fault-storm", Substrate::F64)
+        .expect("fault-storm cell");
+    let stream = storm.stream.expect("comms cell has stream stats");
+    assert!(stream.fault_bits_flipped > 0, "no bits flipped: {stream:?}");
+}
+
+/// The paper-static and paper-dynamic suite cells are bit-identical
+/// to the legacy `ScenarioConfig::static_test` / `dynamic_test`
+/// results — the spec layer is a pure re-authoring, not a behaviour
+/// change.
+#[test]
+fn paper_cells_match_legacy_scenario_config_bit_for_bit() {
+    let duration = 60.0;
+    let paper = vec![
+        catalog::by_name("paper-static").expect("static entry"),
+        catalog::by_name("paper-dynamic").expect("dynamic entry"),
+    ];
+    let report = ScenarioSuite::new(paper.clone())
+        .with_substrates(&[Substrate::F64])
+        .with_duration(duration)
+        .run();
+
+    let mut static_cfg = ScenarioConfig::static_test(paper[0].truth);
+    static_cfg.duration_s = duration;
+    static_cfg.seed = paper[0].seed;
+    let legacy_static = run_static(&static_cfg);
+    let cell = report
+        .cell("paper-static", Substrate::F64)
+        .expect("static cell");
+    assert_eq!(cell.estimate, legacy_static.estimate);
+    assert_eq!(
+        cell.exceed_rate.to_bits(),
+        legacy_static.exceed_rate.to_bits()
+    );
+    assert_eq!(cell.retune_count, legacy_static.retune_count);
+
+    let mut dynamic_cfg = ScenarioConfig::dynamic_test(paper[1].truth);
+    dynamic_cfg.duration_s = duration;
+    dynamic_cfg.seed = paper[1].seed;
+    let legacy_dynamic = run_dynamic(&dynamic_cfg);
+    let cell = report
+        .cell("paper-dynamic", Substrate::F64)
+        .expect("dynamic cell");
+    assert_eq!(cell.estimate, legacy_dynamic.estimate);
+    assert_eq!(
+        cell.exceed_rate.to_bits(),
+        legacy_dynamic.exceed_rate.to_bits()
+    );
+}
+
+/// The hill-climb scenario exercises the new `Grade` segment: pitch
+/// excitation arrives on the road (not a tilt table) and the estimate
+/// still converges on the reference substrate.
+#[test]
+fn hill_climb_converges_via_grade_segments() {
+    let spec = catalog::by_name("hill-climb")
+        .expect("hill-climb entry")
+        .with_duration(120.0);
+    let result = spec.run();
+    assert!(
+        result.max_error_deg() < 1.0,
+        "errors {:?}",
+        result.error_deg()
+    );
+}
