@@ -1,0 +1,78 @@
+//! Micro-benchmarks pinning the shared `smallmat` dense kernels — the
+//! inner loops every filter update spends its time in: the 5x5
+//! products, the Gauss-Jordan inverse and the Joseph-form covariance
+//! update, on the native-f64 (counted and uncounted) and Q16.16
+//! substrates.
+
+use boresight::arith::{Arith, F64Arith, F64ArithFast, FixedArith};
+use boresight::smallmat;
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+/// A well-conditioned 5x5 test matrix in the substrate.
+fn mat5<A: Arith>(a: &mut A) -> [[A::T; 5]; 5] {
+    let mut m = smallmat::identity::<A, 5>(a);
+    for (i, row) in m.iter_mut().enumerate() {
+        for (j, x) in row.iter_mut().enumerate() {
+            let v = a.num(0.1 / (1.0 + (i as f64 - j as f64).abs()));
+            *x = a.add(*x, v);
+        }
+    }
+    m
+}
+
+/// A 2x5 measurement-style matrix in the substrate.
+fn mat2x5<A: Arith>(a: &mut A) -> [[A::T; 5]; 2] {
+    let mut m = smallmat::zeros::<A, 2, 5>(a);
+    for (i, row) in m.iter_mut().enumerate() {
+        for (j, x) in row.iter_mut().enumerate() {
+            *x = a.num(((i + 2 * j) as f64).sin());
+        }
+    }
+    m
+}
+
+fn bench_substrate<A: Arith + Default>(c: &mut Criterion, name: &str) {
+    c.bench_function(&format!("smallmat/mul5x5_{name}"), |bench| {
+        let mut a = A::default();
+        let x = mat5(&mut a);
+        let y = mat5(&mut a);
+        bench.iter(|| black_box(smallmat::mul(&mut a, black_box(&x), black_box(&y))))
+    });
+    c.bench_function(&format!("smallmat/inverse2x2_{name}"), |bench| {
+        let mut a = A::default();
+        let s = {
+            let mut m = smallmat::identity::<A, 2>(&mut a);
+            let v = a.num(0.25);
+            m[0][1] = v;
+            m[1][0] = v;
+            m
+        };
+        bench.iter(|| black_box(smallmat::inverse(&mut a, black_box(&s))))
+    });
+    c.bench_function(&format!("smallmat/joseph5_{name}"), |bench| {
+        let mut a = A::default();
+        let p = mat5(&mut a);
+        let h = mat2x5(&mut a);
+        let k = smallmat::transpose(&mut a, &h);
+        let r = a.num(4.9e-5);
+        bench.iter(|| {
+            black_box(smallmat::joseph_update(
+                &mut a,
+                black_box(&p),
+                black_box(&k),
+                black_box(&h),
+                r,
+            ))
+        })
+    });
+}
+
+fn bench_smallmat(c: &mut Criterion) {
+    bench_substrate::<F64Arith>(c, "f64");
+    bench_substrate::<F64ArithFast>(c, "f64_uncounted");
+    bench_substrate::<FixedArith>(c, "q16.16");
+}
+
+criterion_group!(benches, bench_smallmat);
+criterion_main!(benches);

@@ -12,15 +12,18 @@
 //!   algorithm, per-substrate op counts, Sabre cycles and
 //!   boresight-error RMS, written to `bench_out/BENCH_arith_full_filter.json`.
 //!
-//! Run with `cargo run --release -p bench_suite --bin ablation_arith`.
-//! An optional argument sets the update count (default 20000 at
-//! 200 Hz, i.e. a 100 s scenario).
+//! Run with `cargo run --release -p bench_suite --bin ablation_arith
+//! [updates] [--workers N]`. The optional update count defaults to
+//! 20000 at 200 Hz (a 100 s scenario); the full-IEKF tier fans its
+//! three substrates out over the worker pool (`--workers 1` forces the
+//! old serial sweep, 0 = one per core).
 
-use bench_suite::{print_table, write_json, Json, SmallAngleSource};
+use bench_suite::{print_table, write_json, BenchArgs, Json, SmallAngleSource};
 use boresight::arith::{Arith, F64Arith, FixedArith, OpCounts, SoftArith};
 use boresight::estimator::GenericBoresightEstimator;
+use boresight::exec;
 use boresight::scenario::{RunResult, ScenarioConfig};
-use boresight::spec::TrajectorySpec;
+use boresight::spec::{Substrate, TrajectorySpec};
 use boresight::{ArithKf3, FusionSession};
 use fpga::softfloat::CycleCosts;
 use mathx::{rad_to_deg, EulerAngles};
@@ -31,7 +34,7 @@ const SABRE_CLOCK_HZ: f64 = 25e6;
 /// Runs the 3-state filter over the standard excitation through a
 /// [`FusionSession`] and returns the finished session plus the final
 /// worst-axis error in degrees.
-fn run_kf3<A: Arith + 'static>(arith: A, n: usize, seed: u64) -> (FusionSession<'static>, f64) {
+fn run_kf3<A: Arith + 'static>(arith: A, n: usize, seed: u64) -> (FusionSession, f64) {
     let truth = EulerAngles::from_degrees(2.0, -1.5, 2.5);
     let mut session = FusionSession::builder()
         .source(SmallAngleSource::new(truth, n, ACC_RATE_HZ, 0.007, seed))
@@ -51,18 +54,30 @@ struct FullRun {
     cycles: u64,
 }
 
-/// Runs the full 5-state IEKF over the paper's static scenario on one
-/// substrate.
-fn run_full<A: Arith + Clone + 'static>(arith: A, cfg: &ScenarioConfig) -> FullRun {
-    let table = TrajectorySpec::paper_tilt_table().lower(cfg.duration_s);
-    let mut session = FusionSession::iekf_from_scenario(&table, cfg, arith);
-    session.run_to_end();
-    let label = session.backend_label();
+/// Reads the full per-op ledger and the cycle model off a finished
+/// full-IEKF session.
+fn read_ledger<A: Arith + Clone + 'static>(session: &FusionSession) -> (OpCounts, u64) {
     let backend = session
         .backend_as::<GenericBoresightEstimator<A>>()
         .expect("full-IEKF backend");
-    let counts = backend.filter().arith().counts();
-    let cycles = backend.filter().arith().cycles();
+    (
+        backend.filter().arith().counts(),
+        backend.filter().arith().cycles(),
+    )
+}
+
+/// Runs the full 5-state IEKF over the paper's static scenario on one
+/// substrate.
+fn run_full(substrate: Substrate, cfg: &ScenarioConfig) -> FullRun {
+    let table = TrajectorySpec::paper_tilt_table().lower(cfg.duration_s);
+    let mut session = substrate.iekf_from_scenario(table, cfg);
+    session.run_to_end();
+    let label = session.backend_label();
+    let (counts, cycles) = match substrate {
+        Substrate::F64 => read_ledger::<F64Arith>(&session),
+        Substrate::Softfloat => read_ledger::<SoftArith>(&session),
+        Substrate::Q16_16 => read_ledger::<FixedArith>(&session),
+    };
     FullRun {
         label,
         result: session.into_result(),
@@ -89,10 +104,8 @@ fn ops_json(c: &OpCounts) -> Json {
 }
 
 fn main() {
-    let n = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(20_000usize);
+    let args = BenchArgs::parse();
+    let n = args.num(0, 20_000.0) as usize;
 
     // ---- Tier 1: the 3-state small-angle ablation -------------------
     let (_, err_f64) = run_kf3(F64Arith::default(), n, 7);
@@ -166,15 +179,16 @@ fn main() {
     );
 
     // ---- Tier 2: the full 5-state IEKF over each substrate ----------
+    // The three substrate runs are independent (each owns its seeded
+    // source), so they fan out over the worker pool; results come back
+    // in substrate order and are bit-identical to the serial sweep.
     let mut cfg = ScenarioConfig::static_test(EulerAngles::from_degrees(2.0, -1.5, 2.5));
     cfg.duration_s = n as f64 / ACC_RATE_HZ;
     cfg.seed = 7;
 
-    let runs = [
-        run_full(F64Arith::default(), &cfg),
-        run_full(SoftArith::default(), &cfg),
-        run_full(FixedArith::default(), &cfg),
-    ];
+    let runs = exec::map_parallel(Substrate::all().to_vec(), args.workers, |substrate| {
+        run_full(substrate, &cfg)
+    });
 
     let reference_angles = runs[0].result.estimate.angles;
     // Per-sample, not per-accepted-update: gate-rejected samples still

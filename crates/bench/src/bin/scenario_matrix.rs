@@ -9,16 +9,20 @@
 //! `bench_out/BENCH_scenario_matrix.json`.
 //!
 //! Run with `cargo run --release -p bench_suite --bin scenario_matrix
-//! [duration_s]`. The optional duration (default 40, CI smoke uses 8)
-//! overrides every catalog entry — the long-haul scenario alone is an
-//! hour at full length.
+//! [duration_s] [--workers N]`. The optional duration (default 40, CI
+//! smoke uses 8) overrides every catalog entry — the long-haul
+//! scenario alone is an hour at full length. Cells run on the worker
+//! pool by default (one worker per core; `--workers 1` forces the
+//! serial interleaved sweep — the report is bit-identical either way,
+//! pinned by test).
 //!
 //! The run fails (non-zero exit) on a thin catalog, a missing paper
 //! procedure, or any cell whose estimate goes non-finite or
 //! covariance-indefinite — the CI smoke contract.
 
-use bench_suite::{print_table, write_json, Json};
+use bench_suite::{print_table, write_json, BenchArgs, Json};
 use boresight::catalog;
+use boresight::exec;
 use boresight::spec::{ScenarioSuite, SuiteCell};
 
 fn cell_json(cell: &SuiteCell) -> Json {
@@ -77,10 +81,9 @@ fn cell_json(cell: &SuiteCell) -> Json {
 }
 
 fn main() {
-    let duration = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(40.0);
+    let args = BenchArgs::parse();
+    let duration = args.num(0, 40.0);
+    let workers = exec::resolve_workers(args.workers);
 
     // --- Catalog contract ------------------------------------------
     let names = catalog::names();
@@ -96,7 +99,13 @@ fn main() {
         );
     }
 
-    let report = ScenarioSuite::full_matrix().with_duration(duration).run();
+    let suite = ScenarioSuite::full_matrix().with_duration(duration);
+    let report = if workers <= 1 {
+        suite.run()
+    } else {
+        suite.run_parallel(workers)
+    };
+    println!("ran {} cells on {workers} worker(s)", report.cells.len());
 
     let rows: Vec<Vec<String>> = report
         .cells

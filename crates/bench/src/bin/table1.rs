@@ -9,10 +9,14 @@
 //! magnitude with a 3-sigma or 99% confidence". Two dynamic runs are
 //! reported to show run-to-run agreement.
 //!
-//! Run with `cargo run --release -p bench_suite --bin table1`.
+//! Run with `cargo run --release -p bench_suite --bin table1
+//! [duration_s] [--workers N]`. The five test rows are independent
+//! runs, so they fan out over the worker pool (0 = one per core,
+//! 1 = serial); results are bit-identical either way.
 
-use bench_suite::print_table;
-use boresight::scenario::{run, run_static, RunResult, ScenarioConfig};
+use bench_suite::{print_table, BenchArgs};
+use boresight::exec;
+use boresight::scenario::{run, RunResult, ScenarioConfig};
 use boresight::spec::TrajectorySpec;
 use boresight::SessionGroup;
 use mathx::EulerAngles;
@@ -38,47 +42,40 @@ fn row(label: &str, result: &RunResult) -> Vec<String> {
 }
 
 fn main() {
-    let duration = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(300.0);
+    let args = BenchArgs::parse();
+    let duration = args.num(0, 300.0);
 
-    let mut rows = Vec::new();
-
-    // --- Static tests (tilt-table, laser-referenced truth) ---------
+    // --- Static (tilt-table) and dynamic (drive) tests, one work
+    // item per table row, fanned out over the worker pool -----------
     let static_cases = [
         ("static A", EulerAngles::from_degrees(2.0, -3.0, 1.5), 101),
         ("static B", EulerAngles::from_degrees(-1.0, 2.0, -2.5), 102),
         ("static C", EulerAngles::from_degrees(4.0, 1.0, 3.0), 103),
     ];
-    for (label, truth, seed) in static_cases {
-        let mut cfg = ScenarioConfig::static_test(truth);
-        cfg.duration_s = duration;
-        cfg.seed = seed;
-        let result = run_static(&cfg);
-        rows.push(row(label, &result));
-    }
-
-    // --- Dynamic tests (two drives, per the paper) ------------------
-    let truth = EulerAngles::from_degrees(2.5, -2.0, 3.0);
-    for (label, seed, profile) in [
-        (
-            "dynamic run 1",
-            201u64,
-            TrajectorySpec::Urban.lower(duration),
-        ),
-        (
-            "dynamic run 2",
-            202u64,
-            TrajectorySpec::Highway.lower(duration),
-        ),
+    let dynamic_truth = EulerAngles::from_degrees(2.5, -2.0, 3.0);
+    let mut cases: Vec<(&str, ScenarioConfig, TrajectorySpec)> = static_cases
+        .iter()
+        .map(|&(label, truth, seed)| {
+            let mut cfg = ScenarioConfig::static_test(truth);
+            cfg.duration_s = duration;
+            cfg.seed = seed;
+            (label, cfg, TrajectorySpec::paper_tilt_table())
+        })
+        .collect();
+    for (label, seed, trajectory) in [
+        ("dynamic run 1", 201u64, TrajectorySpec::Urban),
+        ("dynamic run 2", 202u64, TrajectorySpec::Highway),
     ] {
-        let mut cfg = ScenarioConfig::dynamic_test(truth);
+        let mut cfg = ScenarioConfig::dynamic_test(dynamic_truth);
         cfg.duration_s = duration;
         cfg.seed = seed;
-        let result = run(&profile, &cfg);
-        rows.push(row(label, &result));
+        cases.push((label, cfg, trajectory));
     }
+    let rows: Vec<Vec<String>> =
+        exec::map_parallel(cases, args.workers, |(label, cfg, trajectory)| {
+            let result = run(trajectory.lower(cfg.duration_s), &cfg);
+            row(label, &result)
+        });
 
     print_table(
         &format!("Table 1: static (top) & dynamic (bottom) tests, {duration:.0} s runs"),

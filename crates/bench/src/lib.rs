@@ -9,6 +9,52 @@ use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
 
+/// Command-line arguments shared by the bench binaries: positional
+/// values plus the `--workers N` worker-pool size (`0`, the default,
+/// means one worker per core; `1` forces a serial run).
+pub struct BenchArgs {
+    /// Positional arguments, in order.
+    pub positional: Vec<String>,
+    /// Requested worker count (`0` = auto).
+    pub workers: usize,
+}
+
+impl BenchArgs {
+    /// Parses the process arguments, accepting `--workers N` (or
+    /// `--workers=N`) anywhere among the positionals.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `--workers` is present without a parseable count.
+    pub fn parse() -> Self {
+        let mut positional = Vec::new();
+        let mut workers = 0usize;
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            if arg == "--workers" {
+                let v = args.next().expect("--workers needs a count");
+                workers = v.parse().expect("--workers count must be an integer");
+            } else if let Some(v) = arg.strip_prefix("--workers=") {
+                workers = v.parse().expect("--workers count must be an integer");
+            } else {
+                positional.push(arg);
+            }
+        }
+        Self {
+            positional,
+            workers,
+        }
+    }
+
+    /// The `i`-th positional parsed as `f64`, or `default`.
+    pub fn num(&self, i: usize, default: f64) -> f64 {
+        self.positional
+            .get(i)
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(default)
+    }
+}
+
 /// Output directory for generated CSV series (`bench_out/` at the
 /// workspace root).
 pub fn out_dir() -> PathBuf {

@@ -108,8 +108,17 @@ impl AdxlDecoder {
 
     /// Consumes bytes, returning all complete packets recovered.
     pub fn push(&mut self, bytes: &[u8]) -> Vec<AdxlPacket> {
-        self.buffer.extend_from_slice(bytes);
         let mut out = Vec::new();
+        self.push_into(bytes, &mut out);
+        out
+    }
+
+    /// [`AdxlDecoder::push`] into a caller-owned buffer (cleared
+    /// first) — the allocation-free variant the reconstruction stage
+    /// uses per delivered chunk.
+    pub fn push_into(&mut self, bytes: &[u8], out: &mut Vec<AdxlPacket>) {
+        out.clear();
+        self.buffer.extend_from_slice(bytes);
         loop {
             // Hunt for sync.
             match self.buffer.iter().position(|&b| b == ADXL_SYNC) {
@@ -144,7 +153,6 @@ impl AdxlDecoder {
                 }
             }
         }
-        out
     }
 
     /// Packets successfully decoded.

@@ -36,8 +36,17 @@ impl BridgeEncoder {
 
     /// Serializes one CAN frame.
     pub fn encode(&mut self, frame: &CanFrame) -> Vec<u8> {
-        let id = frame.id().raw();
         let mut out = Vec::with_capacity(6 + frame.data().len());
+        self.encode_into(frame, &mut out);
+        out
+    }
+
+    /// [`BridgeEncoder::encode`] into a caller-owned buffer (cleared
+    /// first) — the allocation-free variant the streaming comms chain
+    /// uses per CAN frame.
+    pub fn encode_into(&mut self, frame: &CanFrame, out: &mut Vec<u8>) {
+        out.clear();
+        let id = frame.id().raw();
         out.push(SYNC0);
         out.push(SYNC1);
         out.push((id >> 8) as u8);
@@ -47,7 +56,6 @@ impl BridgeEncoder {
         let checksum = out[2..].iter().fold(0u8, |acc, b| acc ^ b);
         out.push(checksum);
         self.frames_encoded += 1;
-        out
     }
 
     /// Frames encoded so far.
@@ -73,8 +81,17 @@ impl BridgeDecoder {
 
     /// Consumes bytes, returning complete CAN frames recovered.
     pub fn push(&mut self, bytes: &[u8]) -> Vec<CanFrame> {
-        self.buffer.extend_from_slice(bytes);
         let mut out = Vec::new();
+        self.push_into(bytes, &mut out);
+        out
+    }
+
+    /// [`BridgeDecoder::push`] into a caller-owned buffer (cleared
+    /// first) — the allocation-free variant the reconstruction stage
+    /// uses per delivered chunk.
+    pub fn push_into(&mut self, bytes: &[u8], out: &mut Vec<CanFrame>) {
+        out.clear();
+        self.buffer.extend_from_slice(bytes);
         loop {
             // Hunt for the sync pair.
             let sync_pos = self
@@ -133,7 +150,6 @@ impl BridgeDecoder {
             }
             self.buffer.drain(..total);
         }
-        out
     }
 
     /// Frames successfully decoded.

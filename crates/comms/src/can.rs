@@ -48,10 +48,16 @@ impl fmt::Display for CanId {
 }
 
 /// A CAN 2.0A data frame: identifier plus 0-8 data bytes.
+///
+/// The payload is stored inline (`[u8; 8]` plus a length), matching
+/// the protocol's hard 8-byte bound — frames are plain `Copy`-sized
+/// values, so encoding and decoding them at stream rate performs no
+/// heap allocation.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CanFrame {
     id: CanId,
-    data: Vec<u8>,
+    data: [u8; 8],
+    len: u8,
 }
 
 /// Errors detected while decoding a CAN bitstream.
@@ -95,9 +101,12 @@ impl CanFrame {
         if data.len() > 8 {
             return None;
         }
+        let mut buf = [0u8; 8];
+        buf[..data.len()].copy_from_slice(data);
         Some(Self {
             id,
-            data: data.to_vec(),
+            data: buf,
+            len: data.len() as u8,
         })
     }
 
@@ -108,7 +117,7 @@ impl CanFrame {
 
     /// The data bytes.
     pub fn data(&self) -> &[u8] {
-        &self.data
+        &self.data[..self.len as usize]
     }
 
     /// Serializes the frame to bus bits, including stuffing, CRC,
@@ -123,11 +132,11 @@ impl CanFrame {
         raw.push(false); // RTR: data frame
         raw.push(false); // IDE: standard
         raw.push(false); // r0
-        let dlc = self.data.len() as u8;
+        let dlc = self.len;
         for i in (0..4).rev() {
             raw.push((dlc >> i) & 1 == 1);
         }
-        for &b in &self.data {
+        for &b in self.data() {
             for i in (0..8).rev() {
                 raw.push((b >> i) & 1 == 1);
             }
@@ -179,15 +188,15 @@ impl CanFrame {
         if dlc > 8 {
             return Err(CanDecodeError::InvalidDlc);
         }
-        let mut data = Vec::with_capacity(dlc);
-        for _ in 0..dlc {
+        let mut data = [0u8; 8];
+        for slot in data.iter_mut().take(dlc) {
             let mut byte = 0u8;
             for _ in 0..8 {
                 let b = reader.next()?;
                 header.push(b);
                 byte = (byte << 1) | b as u8;
             }
-            data.push(byte);
+            *slot = byte;
         }
         let computed = crc15(&header);
         let mut received: u16 = 0;
@@ -219,6 +228,7 @@ impl CanFrame {
         let frame = CanFrame {
             id: CanId(id),
             data,
+            len: dlc as u8,
         };
         Ok((frame, tail_start + 10))
     }

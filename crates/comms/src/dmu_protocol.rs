@@ -64,16 +64,16 @@ impl DmuCanCodec {
     /// Encodes a sample into its two CAN frames `[gyro, accel]`.
     pub fn encode(sample: &DmuSample) -> [CanFrame; 2] {
         let words = sample.to_words();
-        let mut gyro = Vec::with_capacity(8);
-        gyro.extend_from_slice(&sample.seq.to_le_bytes());
-        for w in &words[0..3] {
-            gyro.extend_from_slice(&w.to_le_bytes());
-        }
-        let mut accel = Vec::with_capacity(8);
-        accel.extend_from_slice(&sample.seq.to_le_bytes());
-        for w in &words[3..6] {
-            accel.extend_from_slice(&w.to_le_bytes());
-        }
+        let pack = |half: &[i16]| {
+            let mut buf = [0u8; 8];
+            buf[..2].copy_from_slice(&sample.seq.to_le_bytes());
+            for (i, w) in half.iter().enumerate() {
+                buf[2 + 2 * i..4 + 2 * i].copy_from_slice(&w.to_le_bytes());
+            }
+            buf
+        };
+        let gyro = pack(&words[0..3]);
+        let accel = pack(&words[3..6]);
         [
             CanFrame::new(CanId::new(DMU_GYRO_ID).expect("11-bit"), &gyro).expect("8 bytes"),
             CanFrame::new(CanId::new(DMU_ACCEL_ID).expect("11-bit"), &accel).expect("8 bytes"),

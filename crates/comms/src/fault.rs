@@ -63,6 +63,15 @@ impl FaultInjector {
     /// Applies the configured faults to a byte slice.
     pub fn apply<R: Rng + ?Sized>(&mut self, bytes: &[u8], rng: &mut R) -> Vec<u8> {
         let mut out = Vec::with_capacity(bytes.len());
+        self.apply_into(bytes, rng, &mut out);
+        out
+    }
+
+    /// [`FaultInjector::apply`] into a caller-owned buffer (cleared
+    /// first), drawing the identical RNG sequence — the allocation-free
+    /// variant the streaming comms chain uses per delivered chunk.
+    pub fn apply_into<R: Rng + ?Sized>(&mut self, bytes: &[u8], rng: &mut R, out: &mut Vec<u8>) {
+        out.clear();
         let mut burst_remaining = 0usize;
         for &b in bytes {
             if burst_remaining > 0 {
@@ -88,7 +97,6 @@ impl FaultInjector {
             }
             out.push(byte);
         }
-        out
     }
 
     /// Total single-bit flips injected.

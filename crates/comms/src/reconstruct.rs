@@ -12,8 +12,9 @@
 //! and emits a single time-ordered queue of [`SensorMessage`]s together
 //! with link-health statistics.
 
-use crate::adxl_protocol::AdxlDecoder;
+use crate::adxl_protocol::{AdxlDecoder, AdxlPacket};
 use crate::bridge::BridgeDecoder;
+use crate::can::CanFrame;
 use crate::dmu_protocol::DmuCanCodec;
 use sensors::{DmuSample, DutyCycleSample};
 use std::collections::VecDeque;
@@ -93,6 +94,10 @@ pub struct Reconstructor {
     acc_gaps: u64,
     queue: VecDeque<SensorMessage>,
     bytes_in: u64,
+    /// Reused per-push decode buffers, so the steady-state byte path
+    /// performs no heap allocation once the stream has warmed up.
+    frame_scratch: Vec<CanFrame>,
+    packet_scratch: Vec<AdxlPacket>,
 }
 
 impl Reconstructor {
@@ -109,24 +114,31 @@ impl Reconstructor {
             acc_gaps: 0,
             queue: VecDeque::new(),
             bytes_in: 0,
+            frame_scratch: Vec::new(),
+            packet_scratch: Vec::new(),
         }
     }
 
     /// Feeds bytes from the DMU serial port (bridge output).
     pub fn push_dmu_bytes(&mut self, bytes: &[u8]) {
         self.bytes_in += bytes.len() as u64;
-        for frame in self.bridge.push(bytes) {
-            if let Some(sample) = self.dmu_codec.decode(&frame) {
+        let mut frames = std::mem::take(&mut self.frame_scratch);
+        self.bridge.push_into(bytes, &mut frames);
+        for frame in &frames {
+            if let Some(sample) = self.dmu_codec.decode(frame) {
                 self.queue.push_back(SensorMessage::Dmu(sample));
             }
         }
+        self.frame_scratch = frames;
         self.dmu_codec.evict_stale(64);
     }
 
     /// Feeds bytes from the ACC serial port (eval board output).
     pub fn push_acc_bytes(&mut self, bytes: &[u8]) {
         self.bytes_in += bytes.len() as u64;
-        for packet in self.adxl.push(bytes) {
+        let mut packets = std::mem::take(&mut self.packet_scratch);
+        self.adxl.push_into(bytes, &mut packets);
+        for packet in &packets {
             // Unwrap the 8-bit counter.
             if let Some(last) = self.acc_last_seq {
                 let delta = packet.seq.wrapping_sub(last);
@@ -142,6 +154,7 @@ impl Reconstructor {
             let sample = packet.to_sample((self.acc_unwrapped & 0xFFFF) as u16, time_s);
             self.queue.push_back(SensorMessage::Acc(sample));
         }
+        self.packet_scratch = packets;
     }
 
     /// Pops the next reconstructed message, if any.

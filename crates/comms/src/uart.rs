@@ -221,9 +221,19 @@ impl UartLink {
     /// Advances time by `dt` seconds, returning the bytes that
     /// completed transmission in that interval.
     pub fn poll(&mut self, dt: f64) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.poll_into(dt, &mut out);
+        out
+    }
+
+    /// [`UartLink::poll`] into a caller-owned buffer (cleared first) —
+    /// the allocation-free variant the streaming hot path uses, so a
+    /// 200 Hz comms chain does not heap-allocate one `Vec<u8>` per
+    /// sample per link.
+    pub fn poll_into(&mut self, dt: f64, out: &mut Vec<u8>) {
+        out.clear();
         self.credit_s += dt;
         let byte_time = self.config.byte_time_s();
-        let mut out = Vec::new();
         while self.credit_s >= byte_time {
             match self.queue.pop_front() {
                 Some(b) => {
@@ -238,7 +248,6 @@ impl UartLink {
             }
         }
         self.bytes_delivered += out.len() as u64;
-        out
     }
 
     /// Bytes still queued.

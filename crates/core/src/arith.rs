@@ -99,9 +99,13 @@ impl OpCounts {
 /// and `max`, host-evaluated trigonometry) are built from the
 /// primitive operations, so they stay correctly counted and behave
 /// sanely for any custom substrate.
-pub trait Arith {
+///
+/// Substrates and their scalars are `Send`: a filter over any `Arith`
+/// is a session backend, and whole sessions move to worker threads in
+/// the parallel sweep executor. Every substrate here is plain data.
+pub trait Arith: Send {
     /// The scalar type.
-    type T: Copy + std::fmt::Debug;
+    type T: Copy + std::fmt::Debug + Send;
 
     /// Converts from `f64`.
     fn num(&mut self, x: f64) -> Self::T;
@@ -207,16 +211,36 @@ pub trait Arith {
     fn reset_counts(&mut self) {}
 }
 
-/// Native double precision (the reference substrate).
+/// Native double precision, generic over whether the [`OpCounts`]
+/// ledger is maintained.
 ///
-/// Operations are counted but not cycle-modelled: this is the host
-/// FPU, the baseline everything else is compared against.
+/// `COUNTED` is a compile-time switch: with `true` (the [`F64Arith`]
+/// default) every operation increments its counter; with `false`
+/// ([`F64ArithFast`]) the increments are `if COUNTED` branches on a
+/// const, which the compiler deletes — the native hot path pays
+/// *nothing* for instrumentation it does not use. The arithmetic
+/// itself is identical either way, so results are bit-for-bit equal
+/// across the two instantiations.
 #[derive(Clone, Copy, Debug, Default)]
-pub struct F64Arith {
+pub struct GenericF64Arith<const COUNTED: bool> {
     counts: OpCounts,
 }
 
-impl Arith for F64Arith {
+/// Native double precision (the reference substrate).
+///
+/// Operations are counted but not cycle-modelled: this is the host
+/// FPU, the baseline everything else is compared against. For the
+/// zero-overhead variant the throughput benchmarks use, see
+/// [`F64ArithFast`].
+pub type F64Arith = GenericF64Arith<true>;
+
+/// Native double precision with the operation ledger compiled out —
+/// the zero-instrumentation-cost substrate for wall-clock throughput
+/// work. Bit-identical results to [`F64Arith`]; `counts()` reports
+/// all zeros.
+pub type F64ArithFast = GenericF64Arith<false>;
+
+impl<const COUNTED: bool> Arith for GenericF64Arith<COUNTED> {
     type T = f64;
 
     fn num(&mut self, x: f64) -> f64 {
@@ -228,65 +252,94 @@ impl Arith for F64Arith {
     }
 
     fn add(&mut self, a: f64, b: f64) -> f64 {
-        self.counts.add += 1;
+        if COUNTED {
+            self.counts.add += 1;
+        }
         a + b
     }
 
     fn sub(&mut self, a: f64, b: f64) -> f64 {
-        self.counts.sub += 1;
+        if COUNTED {
+            self.counts.sub += 1;
+        }
         a - b
     }
 
     fn mul(&mut self, a: f64, b: f64) -> f64 {
-        self.counts.mul += 1;
+        if COUNTED {
+            self.counts.mul += 1;
+        }
         a * b
     }
 
     fn div(&mut self, a: f64, b: f64) -> f64 {
-        self.counts.div += 1;
+        if COUNTED {
+            self.counts.div += 1;
+        }
         a / b
     }
 
     fn sqrt(&mut self, a: f64) -> f64 {
-        self.counts.sqrt += 1;
+        if COUNTED {
+            self.counts.sqrt += 1;
+        }
         a.sqrt()
     }
 
     fn neg(&mut self, a: f64) -> f64 {
-        self.counts.neg += 1;
+        if COUNTED {
+            self.counts.neg += 1;
+        }
         -a
     }
 
     fn abs(&mut self, a: f64) -> f64 {
-        self.counts.abs += 1;
+        if COUNTED {
+            self.counts.abs += 1;
+        }
         a.abs()
     }
 
     fn lt(&mut self, a: f64, b: f64) -> bool {
-        self.counts.cmp += 1;
+        if COUNTED {
+            self.counts.cmp += 1;
+        }
         a < b
     }
 
     fn eq(&mut self, a: f64, b: f64) -> bool {
-        self.counts.cmp += 1;
+        if COUNTED {
+            self.counts.cmp += 1;
+        }
         a == b
     }
 
     fn max(&mut self, a: f64, b: f64) -> f64 {
-        self.counts.cmp += 1;
+        if COUNTED {
+            self.counts.cmp += 1;
+        }
         a.max(b)
     }
 
     fn sin_cos(&mut self, a: f64) -> (f64, f64) {
-        self.counts.trig += 1;
+        if COUNTED {
+            self.counts.trig += 1;
+        }
         a.sin_cos()
     }
 
     fn name(&self) -> &'static str {
-        "f64"
+        if COUNTED {
+            "f64"
+        } else {
+            "f64/uncounted"
+        }
     }
 
     fn iekf_label(&self) -> &'static str {
+        // Both instantiations run the identical arithmetic, so they
+        // share the reference label (parallel/serial parity tests
+        // compare labels across counted and uncounted runs).
         "iekf5/f64"
     }
 
@@ -853,6 +906,27 @@ mod tests {
         assert_eq!(sn, s.to_f64(ss));
         assert_eq!(cs, s.to_f64(sc));
         assert!(s.fpu.stats().sincos_f64 > 0);
+    }
+
+    #[test]
+    fn uncounted_f64_is_bit_identical_and_ledger_free() {
+        // The fast instantiation must compute exactly what the counted
+        // reference computes (same machine ops, no ledger writes)...
+        let counted = simulate(F64Arith::default(), 3_000, 0.007, 6);
+        let fast = simulate(F64ArithFast::default(), 3_000, 0.007, 6);
+        let a = counted.angles();
+        let b = fast.angles();
+        assert_eq!(a.roll.to_bits(), b.roll.to_bits());
+        assert_eq!(a.pitch.to_bits(), b.pitch.to_bits());
+        assert_eq!(a.yaw.to_bits(), b.yaw.to_bits());
+        // ...while its ledger stays empty and the reference's fills.
+        assert!(counted.arith().counts().total() > 0);
+        assert_eq!(fast.arith().counts().total(), 0);
+        assert_eq!(fast.arith().counts(), OpCounts::default());
+        assert_eq!(fast.arith().cycles(), 0);
+        assert_eq!(counted.arith().name(), "f64");
+        assert_eq!(fast.arith().name(), "f64/uncounted");
+        assert_eq!(fast.arith().iekf_label(), counted.arith().iekf_label());
     }
 
     #[test]

@@ -1,0 +1,162 @@
+//! A vendored work-stealing-lite worker pool for the sweep layer.
+//!
+//! The scenario × substrate matrix is embarrassingly parallel — every
+//! cell owns its RNG, trajectory and session — but the offline build
+//! has no rayon, so this module provides the minimum: a scoped pool of
+//! `workers` threads self-scheduling over a shared work list through
+//! one atomic cursor. Threads that finish a long cell early simply
+//! claim the next unclaimed index ("stealing" from the static
+//! partition a naive split would have given them), which keeps every
+//! core busy even when cell costs differ by orders of magnitude (the
+//! Softfloat column costs ~50x the native one).
+//!
+//! Results come back in input order regardless of completion order, so
+//! parallel callers observe exactly what the serial loop would have
+//! produced — the property [`crate::spec::ScenarioSuite::run_parallel`]
+//! pins with a bit-identity test.
+//!
+//! ```
+//! use boresight::exec;
+//!
+//! let squares = exec::map_parallel((0..16).collect(), 4, |x: i32| x * x);
+//! assert_eq!(squares[5], 25);
+//! ```
+
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// The worker count meaning "one per available core".
+///
+/// [`map_parallel`] treats `0` as [`default_workers`], so bench
+/// binaries can pass a plain `--workers 0` through.
+pub const AUTO_WORKERS: usize = 0;
+
+/// The machine's available parallelism (falls back to 1 when the
+/// platform cannot say).
+pub fn default_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolves a requested worker count: `0` means
+/// [`default_workers`], anything else is taken as-is.
+pub fn resolve_workers(requested: usize) -> usize {
+    if requested == AUTO_WORKERS {
+        default_workers()
+    } else {
+        requested
+    }
+}
+
+/// Maps `f` over `items` on a scoped pool of `workers` threads
+/// (resolved via [`resolve_workers`]; the pool never exceeds the item
+/// count), returning results in input order.
+///
+/// `f` runs exactly once per item. Scheduling is dynamic — an atomic
+/// cursor hands each idle worker the next unclaimed item — so uneven
+/// item costs do not leave threads idle. With one worker (or one item)
+/// no thread is spawned and the map runs inline, so single-core
+/// machines pay nothing for the machinery.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` after the scope joins.
+pub fn map_parallel<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = resolve_workers(workers).clamp(1, n.max(1));
+    if workers <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    // Each slot is locked exactly once per phase (take the item, store
+    // the result), so the mutexes are uncontended bookkeeping — the
+    // scheduling itself is the lock-free cursor.
+    let work: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+    let results: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let cursor = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let item = work[i]
+                    .lock()
+                    .expect("work slot lock")
+                    .take()
+                    .expect("each slot is claimed once");
+                let r = f(item);
+                *results[i].lock().expect("result slot lock") = Some(r);
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot lock")
+                .expect("every slot was filled")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maps_in_input_order() {
+        let out = map_parallel((0..100).collect(), 4, |x: usize| x * 2);
+        assert_eq!(out, (0..100).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let items: Vec<u64> = (0..37).collect();
+        let serial = map_parallel(items.clone(), 1, |x| x.wrapping_mul(0x9E3779B9));
+        let parallel = map_parallel(items, 8, |x| x.wrapping_mul(0x9E3779B9));
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<i32> = map_parallel(Vec::<i32>::new(), 4, |x| x);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn auto_workers_resolve_to_at_least_one() {
+        assert!(resolve_workers(AUTO_WORKERS) >= 1);
+        assert_eq!(resolve_workers(3), 3);
+    }
+
+    #[test]
+    fn uneven_costs_still_cover_every_item() {
+        // Items with wildly different costs: the cursor must hand every
+        // index out exactly once.
+        let out = map_parallel((0..25).collect(), 5, |x: u64| {
+            let spin = if x.is_multiple_of(7) { 20_000 } else { 10 };
+            let mut acc = x;
+            for _ in 0..spin {
+                acc = acc.wrapping_mul(6364136223846793005).wrapping_add(1);
+            }
+            (x, acc)
+        });
+        for (i, (x, _)) in out.iter().enumerate() {
+            assert_eq!(*x, i as u64);
+        }
+    }
+
+    #[test]
+    fn worker_count_exceeding_items_is_clamped() {
+        let out = map_parallel(vec![1, 2, 3], 64, |x: i32| x + 1);
+        assert_eq!(out, vec![2, 3, 4]);
+    }
+}

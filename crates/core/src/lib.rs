@@ -34,6 +34,10 @@
 //! * [`catalog`] — ≥10 named workloads (the paper's two procedures
 //!   plus drive styles, road surfaces, vehicle classes, channel-fault
 //!   storms and a 1-hour drift run) ready for the suite;
+//! * [`exec`] — the vendored work-stealing-lite worker pool behind
+//!   [`spec::ScenarioSuite::run_parallel`]: whole sessions are `Send`,
+//!   so every scenario × substrate cell lowers and runs inside its
+//!   worker thread, bit-identical to the serial sweep;
 //! * [`scenario`] — the static (tilt-table) and dynamic (drive)
 //!   test procedures producing Table-1/Figure-8/Figure-9 data, as thin
 //!   wrappers over [`session`] (and the lowering target [`spec`]
@@ -104,11 +108,15 @@
 //!
 //! Several sessions — different scenarios, different arithmetic
 //! backends — interleave on one thread through
-//! [`session::SessionGroup`]; see `examples/streaming_sessions.rs`.
+//! [`session::SessionGroup`] (see `examples/streaming_sessions.rs`),
+//! or fan out across cores with
+//! [`spec::ScenarioSuite::run_parallel`] — sessions are `Send` and own
+//! their trajectories, so whole cells run inside worker threads.
 
 pub mod arith;
 pub mod catalog;
 pub mod estimator;
+pub mod exec;
 pub mod filter;
 pub mod model;
 pub mod monitor;
@@ -119,7 +127,7 @@ pub mod smallmat;
 pub mod spec;
 pub mod system;
 
-pub use arith::{Arith, F64Arith, FixedArith, OpCounts, SoftArith};
+pub use arith::{Arith, F64Arith, F64ArithFast, FixedArith, OpCounts, SoftArith};
 pub use estimator::{
     BoresightEstimator, EstimatorConfig, GenericBoresightEstimator, MisalignmentEstimate,
 };
@@ -129,8 +137,8 @@ pub use multi::MultiBoresight;
 pub use scenario::{run, run_dynamic, run_static, RunResult, ScenarioConfig};
 pub use session::{
     ArithDivergence, ArithKf3, ChannelConfig, CommsChainSource, EventSink, FusionBackend,
-    FusionSession, LinkFaultConfig, SensorEvent, SensorSource, SessionBuilder, SessionGroup,
-    SessionStats, SyntheticSource, UartReplaySource,
+    FusionSession, IntoSharedTrajectory, LinkFaultConfig, SensorEvent, SensorSource,
+    SessionBuilder, SessionGroup, SessionStats, SyntheticSource, UartReplaySource,
 };
 pub use spec::{
     ChannelSpec, EnvironmentSpec, ScenarioSpec, ScenarioSuite, ScenarioTrajectory, Substrate,

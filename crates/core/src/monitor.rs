@@ -58,6 +58,11 @@ pub struct Retune {
     pub rate: f64,
 }
 
+/// Initial capacity of the retune log (the hold-off keeps real runs
+/// far below this; growing past it costs one reallocation, not
+/// correctness).
+const RETUNE_LOG_CAPACITY: usize = 32;
+
 /// The residual monitor.
 ///
 /// # Examples
@@ -86,7 +91,9 @@ impl ResidualMonitor {
             sigma: initial_sigma,
             samples: 0,
             last_retune: 0,
-            retunes: Vec::new(),
+            // Pre-sized: the hold-off bounds retunes to a handful per
+            // run, so the log never regrows on the update hot path.
+            retunes: Vec::with_capacity(RETUNE_LOG_CAPACITY),
         }
     }
 

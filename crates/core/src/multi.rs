@@ -161,14 +161,31 @@ impl FusionBackend for MultiBoresight {
         self.estimators.iter().map(|e| e.retunes().len()).sum()
     }
 
-    fn retunes_since(&self, from: usize) -> Vec<Retune> {
-        let mut all: Vec<Retune> = self
-            .estimators
-            .iter()
-            .flat_map(|e| e.retunes().iter().copied())
-            .collect();
-        all.sort_by_key(|r| r.at_sample);
-        all.split_off(from.min(all.len()))
+    fn for_each_retune_since(&self, from: usize, visit: &mut dyn FnMut(&Retune)) {
+        // K-way selection merge over the per-sensor logs (each already
+        // in firing order), visiting the globally ordered tail without
+        // building the merged Vec the old implementation allocated.
+        // Ties go to the lower sensor index, matching the stable sort
+        // this replaces.
+        let mut cursors = vec![0usize; self.estimators.len()];
+        let mut emitted = 0usize;
+        loop {
+            let mut best: Option<(usize, u64)> = None;
+            for (i, est) in self.estimators.iter().enumerate() {
+                if let Some(r) = est.retunes().get(cursors[i]) {
+                    if best.is_none_or(|(_, s)| r.at_sample < s) {
+                        best = Some((i, r.at_sample));
+                    }
+                }
+            }
+            let Some((i, _)) = best else { break };
+            let retune = self.estimators[i].retunes()[cursors[i]];
+            cursors[i] += 1;
+            if emitted >= from {
+                visit(&retune);
+            }
+            emitted += 1;
+        }
     }
 
     fn label(&self) -> &'static str {
@@ -365,7 +382,11 @@ mod tests {
         assert!(!multi.estimators[1].retunes().is_empty());
         let total = FusionBackend::retune_count(&multi);
         assert_eq!(total, multi.estimators[1].retunes().len());
-        assert_eq!(FusionBackend::retunes_since(&multi, 0).len(), total);
+        let mut visited = Vec::new();
+        FusionBackend::for_each_retune_since(&multi, 0, &mut |r| visited.push(*r));
+        assert_eq!(visited.len(), total);
+        // The merge visits in firing order.
+        assert!(visited.windows(2).all(|w| w[0].at_sample <= w[1].at_sample));
         // retunes() stays the primary sensor's log by contract.
         assert!(FusionBackend::retunes(&multi).is_empty());
     }

@@ -17,11 +17,11 @@
 //! concurrent runs or non-default backends.
 
 use crate::estimator::{EstimatorConfig, MisalignmentEstimate};
-use crate::session::{FusionSession, LinkFaultConfig};
+use crate::session::{FusionSession, IntoSharedTrajectory, LinkFaultConfig};
 use crate::spec::TrajectorySpec;
 use mathx::{rad_to_deg, EulerAngles, Vec2};
 use sensors::DmuConfig;
-use vehicle::{Trajectory, VibrationConfig};
+use vehicle::VibrationConfig;
 
 /// Scenario configuration.
 #[derive(Clone, Debug)]
@@ -196,8 +196,10 @@ impl RunResult {
 ///
 /// Compat shim over the session layer: equivalent to building
 /// [`FusionSession::from_scenario`] and collecting
-/// [`FusionSession::into_result`].
-pub fn run(trajectory: &dyn Trajectory, config: &ScenarioConfig) -> RunResult {
+/// [`FusionSession::into_result`]. Takes the trajectory by value,
+/// reference-to-clonable or `Arc` (see
+/// [`IntoSharedTrajectory`]).
+pub fn run(trajectory: impl IntoSharedTrajectory, config: &ScenarioConfig) -> RunResult {
     FusionSession::from_scenario(trajectory, config).into_result()
 }
 
@@ -205,13 +207,13 @@ pub fn run(trajectory: &dyn Trajectory, config: &ScenarioConfig) -> RunResult {
 /// sequence) with the given configuration.
 pub fn run_static(config: &ScenarioConfig) -> RunResult {
     let table = TrajectorySpec::paper_tilt_table().lower(config.duration_s);
-    run(&table, config)
+    run(table, config)
 }
 
 /// Runs the paper's dynamic test procedure (urban drive profile).
 pub fn run_dynamic(config: &ScenarioConfig) -> RunResult {
     let profile = TrajectorySpec::Urban.lower(config.duration_s);
-    run(&profile, config)
+    run(profile, config)
 }
 
 #[cfg(test)]

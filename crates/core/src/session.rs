@@ -27,6 +27,23 @@
 //! `scenario::run`, `run_static`, `run_dynamic` and
 //! `system::run_system` are now thin wrappers over this module.
 //!
+//! # Threading and allocation
+//!
+//! Sessions own everything they touch — sources hold their trajectory
+//! as an [`Arc`] (see [`IntoSharedTrajectory`]), and every source,
+//! backend and sink is `Send` — so a whole `FusionSession` can be
+//! built on one thread and run on another, which is what the parallel
+//! sweep executor ([`crate::spec::ScenarioSuite::run_parallel`], built
+//! on [`crate::exec`]) does per scenario × substrate cell. Sinks that
+//! must be read back after the run are attached as `Arc<Mutex<S>>`.
+//!
+//! The steady-state event path is allocation-free: the per-step event
+//! buffer, the comms-chain byte buffers and the reconstruction decode
+//! buffers are all pooled and reused, trace recorders are pre-sized
+//! from the scenario duration, and retunes flow through a cursor
+//! ([`FusionBackend::for_each_retune_since`]) instead of freshly
+//! allocated `Vec`s (pinned by the allocation-audit integration test).
+//!
 //! ```
 //! use boresight::session::{FusionSession, SyntheticSource};
 //! use boresight::scenario::ScenarioConfig;
@@ -63,13 +80,78 @@ use mathx::{EulerAngles, GaussianSampler, Vec2, Vec3};
 use rand::rngs::StdRng;
 use sensors::{Adxl202, Adxl202Config, Dmu, DmuConfig, DmuSample, Mounting};
 use std::any::Any;
-use std::cell::RefCell;
-use std::rc::Rc;
+use std::sync::{Arc, Mutex};
 use vehicle::{RoadVibration, Trajectory, VibrationConfig};
 
 /// Comparison slack when deciding whether an event at time `t` falls
 /// inside a step ending at `t_to` (guards against `i * dt` round-off).
 const TIME_EPS: f64 = 1e-9;
+
+/// Conversion into the shared, owned trajectory handle sessions carry.
+///
+/// Sources used to borrow `&'a dyn Trajectory`, which pinned a session
+/// to the stack frame that lowered the trajectory and kept it from
+/// crossing threads. They now hold `Arc<dyn Trajectory>`; this trait
+/// keeps every existing call shape working:
+///
+/// * a concrete trajectory by value (`TiltTable`, `DriveProfile`,
+///   [`crate::spec::ScenarioTrajectory`]) is moved into a fresh `Arc`;
+/// * `&T` of a cloneable trajectory (the pre-refactor `&table` call
+///   sites) is cloned into a fresh `Arc`;
+/// * an `Arc<dyn Trajectory>` (or a reference to one) is shared as-is —
+///   the path sweep runners use so every substrate session of one
+///   scenario reads the same lowered trajectory. Custom `Trajectory`
+///   implementations come in through this door: `Arc::new(custom)`.
+///
+/// (Implemented per concrete trajectory type rather than blanket over
+/// `T: Trajectory` — coherence cannot prove a blanket value impl and
+/// the `&T` convenience impl disjoint.)
+pub trait IntoSharedTrajectory {
+    /// The `Arc` the session's source will own.
+    fn into_shared(self) -> Arc<dyn Trajectory>;
+}
+
+/// Implements the conversion for a concrete trajectory type, by value
+/// and by (cloning) reference. Crate-internal: the expansion names the
+/// `vehicle` crate directly, which downstream crates need not depend
+/// on — external trajectories come in as `Arc<dyn Trajectory>`.
+macro_rules! impl_into_shared_trajectory {
+    ($($t:ty),+ $(,)?) => {$(
+        impl $crate::session::IntoSharedTrajectory for $t {
+            fn into_shared(self) -> std::sync::Arc<dyn vehicle::Trajectory> {
+                std::sync::Arc::new(self)
+            }
+        }
+
+        impl $crate::session::IntoSharedTrajectory for &$t {
+            fn into_shared(self) -> std::sync::Arc<dyn vehicle::Trajectory> {
+                std::sync::Arc::new(self.clone())
+            }
+        }
+    )+};
+}
+
+pub(crate) use impl_into_shared_trajectory;
+
+impl_into_shared_trajectory!(vehicle::TiltTable, vehicle::DriveProfile);
+
+impl IntoSharedTrajectory for Arc<dyn Trajectory> {
+    fn into_shared(self) -> Arc<dyn Trajectory> {
+        self
+    }
+}
+
+impl IntoSharedTrajectory for &Arc<dyn Trajectory> {
+    fn into_shared(self) -> Arc<dyn Trajectory> {
+        Arc::clone(self)
+    }
+}
+
+impl IntoSharedTrajectory for Box<dyn Trajectory> {
+    fn into_shared(self) -> Arc<dyn Trajectory> {
+        Arc::from(self)
+    }
+}
 
 /// One timestamped observation flowing through a session.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -101,8 +183,10 @@ impl SensorEvent {
 ///
 /// Sources own their randomness (each carries its own seeded RNG), so
 /// a session's entire event stream is a pure function of its
-/// configuration — the property the determinism tests pin down.
-pub trait SensorSource {
+/// configuration — the property the determinism tests pin down. They
+/// are also `Send` (owning their trajectory and RNG), so a whole
+/// session can run on a worker thread.
+pub trait SensorSource: Send {
     /// The source's natural step, seconds (the default slice used by
     /// [`FusionSession::run_for`]).
     fn dt(&self) -> f64;
@@ -129,10 +213,10 @@ pub trait SensorSource {
 
 /// A consumer of sensor events that maintains a misalignment estimate.
 ///
-/// Backends are `'static` so sessions holding borrowed sources can
-/// still hand their backend back out by type
-/// ([`FusionSession::backend_as`]).
-pub trait FusionBackend: Any {
+/// Backends are `'static + Send`: `'static` so sessions can hand their
+/// backend back out by type ([`FusionSession::backend_as`]), `Send` so
+/// sessions cross threads.
+pub trait FusionBackend: Any + Send {
     /// Ingests a vehicle-fixed IMU sample.
     fn ingest_dmu(&mut self, sample: &DmuSample);
 
@@ -170,11 +254,20 @@ pub trait FusionBackend: Any {
         self.retunes().len()
     }
 
-    /// The retunes after the first `from`, in firing order across all
-    /// sensors (the session calls this only when [`Self::retune_count`]
-    /// grows, so it may allocate).
-    fn retunes_since(&self, from: usize) -> Vec<Retune> {
-        self.retunes()[from..].to_vec()
+    /// Visits the retunes after the first `from`, in firing order
+    /// across all sensors. The session calls this with a cursor only
+    /// when [`Self::retune_count`] grows — i.e. when a retune actually
+    /// fired, never per event — so the steady-state event path stays
+    /// allocation-free. The default reads straight off the
+    /// [`Self::retunes`] slice without allocating; multi-sensor
+    /// implementations may allocate small merge state per *retune*
+    /// (retunes are rare, hold-off-limited events).
+    fn for_each_retune_since(&self, from: usize, visit: &mut dyn FnMut(&Retune)) {
+        if let Some(fresh) = self.retunes().get(from..) {
+            for retune in fresh {
+                visit(retune);
+            }
+        }
     }
 
     /// Short human-readable backend name (shows up in reports).
@@ -326,10 +419,10 @@ impl<A: Arith + 'static> FusionBackend for ArithKf3<A> {
 /// An observer of the event stream.
 ///
 /// All methods default to no-ops so sinks implement only what they
-/// need. Sinks that must be read back after the run are attached as
-/// `Rc<RefCell<S>>` (which also implements `EventSink`), keeping a
-/// handle on the caller's side.
-pub trait EventSink {
+/// need. Sinks are `Send` (sessions cross threads); sinks that must be
+/// read back after the run are attached as `Arc<Mutex<S>>` (which also
+/// implements `EventSink`), keeping a handle on the caller's side.
+pub trait EventSink: Send {
     /// Called for every raw event before the backend ingests it.
     fn on_event(&mut self, event: &SensorEvent) {
         let _ = event;
@@ -359,25 +452,28 @@ pub trait EventSink {
     }
 }
 
-impl<S: EventSink> EventSink for Rc<RefCell<S>> {
+/// The shared-handle sink: attach the clone, keep the original to read
+/// the sink back after the run. Uncontended in practice (a session
+/// runs on one thread at a time), so the lock is a handful of cycles.
+impl<S: EventSink> EventSink for Arc<Mutex<S>> {
     fn on_event(&mut self, event: &SensorEvent) {
-        self.borrow_mut().on_event(event);
+        self.lock().expect("sink lock").on_event(event);
     }
 
     fn on_update(&mut self, update: &KalmanUpdate, estimate: &MisalignmentEstimate) {
-        self.borrow_mut().on_update(update, estimate);
+        self.lock().expect("sink lock").on_update(update, estimate);
     }
 
     fn on_retune(&mut self, retune: &Retune) {
-        self.borrow_mut().on_retune(retune);
+        self.lock().expect("sink lock").on_retune(retune);
     }
 
     fn on_time(&mut self, time_s: f64, estimate: &MisalignmentEstimate) {
-        self.borrow_mut().on_time(time_s, estimate);
+        self.lock().expect("sink lock").on_time(time_s, estimate);
     }
 
     fn on_finish(&mut self, estimate: &MisalignmentEstimate) {
-        self.borrow_mut().on_finish(estimate);
+        self.lock().expect("sink lock").on_finish(estimate);
     }
 }
 
@@ -418,12 +514,18 @@ struct TraceRecorder {
 }
 
 impl TraceRecorder {
-    fn new(decimation: usize) -> Self {
+    /// A recorder with both trace buffers pre-sized for
+    /// `expected_updates` accepted updates — sessions built from a
+    /// scenario know their duration and sample rate, so the steady
+    /// state never regrows these `Vec`s.
+    fn with_capacity(decimation: usize, expected_updates: usize) -> Self {
+        let decimation = decimation.max(1);
+        let points = expected_updates / decimation + 2;
         Self {
-            decimation: decimation.max(1),
+            decimation,
             seen: 0,
-            residuals: Vec::new(),
-            estimates: Vec::new(),
+            residuals: Vec::with_capacity(points),
+            estimates: Vec::with_capacity(points),
         }
     }
 
@@ -555,8 +657,8 @@ impl Channel {
 /// number of ACC channels, with common (rigid-body) and differential
 /// (mount-flexure) road vibration — the source behind `scenario::run`
 /// and the multi-sensor workloads.
-pub struct SyntheticSource<'a> {
-    trajectory: &'a dyn Trajectory,
+pub struct SyntheticSource {
+    trajectory: Arc<dyn Trajectory>,
     rng: StdRng,
     dmu: Dmu,
     common_vib: RoadVibration,
@@ -567,11 +669,11 @@ pub struct SyntheticSource<'a> {
     next_step: usize,
 }
 
-impl<'a> SyntheticSource<'a> {
+impl SyntheticSource {
     /// Creates a source with no ACC channels yet (add them with
     /// [`SyntheticSource::with_channel`]).
     pub fn new(
-        trajectory: &'a dyn Trajectory,
+        trajectory: impl IntoSharedTrajectory,
         dmu: DmuConfig,
         vibration: VibrationConfig,
         acc_rate_hz: f64,
@@ -581,7 +683,7 @@ impl<'a> SyntheticSource<'a> {
         let dmu = Dmu::new(dmu);
         let acc_dt = 1.0 / acc_rate_hz;
         Self {
-            trajectory,
+            trajectory: trajectory.into_shared(),
             rng: mathx::rng::seeded_rng(seed),
             dmu_every: (dmu.dt() / acc_dt).round().max(1.0) as usize,
             dmu,
@@ -603,7 +705,7 @@ impl<'a> SyntheticSource<'a> {
     /// The single-channel source described by a [`ScenarioConfig`] —
     /// event-for-event what the batch `scenario::run` used to simulate
     /// inline.
-    pub fn from_scenario(trajectory: &'a dyn Trajectory, config: &ScenarioConfig) -> Self {
+    pub fn from_scenario(trajectory: impl IntoSharedTrajectory, config: &ScenarioConfig) -> Self {
         Self::new(
             trajectory,
             config.dmu,
@@ -656,7 +758,7 @@ impl<'a> SyntheticSource<'a> {
     }
 }
 
-impl SensorSource for SyntheticSource<'_> {
+impl SensorSource for SyntheticSource {
     fn dt(&self) -> f64 {
         self.acc_dt
     }
@@ -681,8 +783,8 @@ impl SensorSource for SyntheticSource<'_> {
 /// trajectory, DMU packed onto CAN frames through the RS-232 bridge,
 /// the ADXL202 eval packet stream, both UARTs at line rate, and the
 /// reconstruction stage — events are what survives the serial chain.
-pub struct CommsChainSource<'a> {
-    trajectory: &'a dyn Trajectory,
+pub struct CommsChainSource {
+    trajectory: Arc<dyn Trajectory>,
     rng: StdRng,
     gauss: GaussianSampler,
     dmu: Dmu,
@@ -703,12 +805,18 @@ pub struct CommsChainSource<'a> {
     dmu_every: usize,
     steps: usize,
     next_step: usize,
+    /// Reused per-step byte buffers (encode, line delivery, fault
+    /// injection) — the comms chain heap-allocates nothing per sample
+    /// once warmed up.
+    enc_buf: Vec<u8>,
+    link_buf: Vec<u8>,
+    fault_buf: Vec<u8>,
 }
 
-impl<'a> CommsChainSource<'a> {
+impl CommsChainSource {
     /// Builds the chain for a scenario (instrument configs, truth,
     /// vibration and seed all come from `config`).
-    pub fn from_scenario(trajectory: &'a dyn Trajectory, config: &ScenarioConfig) -> Self {
+    pub fn from_scenario(trajectory: impl IntoSharedTrajectory, config: &ScenarioConfig) -> Self {
         let dmu = Dmu::new(config.dmu);
         let mut acc_cfg = Adxl202Config::ideal();
         acc_cfg.sample_rate_hz = config.acc_rate_hz;
@@ -716,7 +824,7 @@ impl<'a> CommsChainSource<'a> {
         acc_cfg.timer_resolution_us = 0.5;
         let acc_dt = 1.0 / config.acc_rate_hz;
         Self {
-            trajectory,
+            trajectory: trajectory.into_shared(),
             rng: mathx::rng::seeded_rng(config.seed),
             gauss: GaussianSampler::new(),
             dmu_every: (dmu.dt() / acc_dt).round().max(1.0) as usize,
@@ -737,6 +845,9 @@ impl<'a> CommsChainSource<'a> {
             acc_dt,
             steps: (config.duration_s / acc_dt).round() as usize,
             next_step: 0,
+            enc_buf: Vec::new(),
+            link_buf: Vec::new(),
+            fault_buf: Vec::new(),
         }
     }
 
@@ -754,7 +865,8 @@ impl<'a> CommsChainSource<'a> {
         if i.is_multiple_of(self.dmu_every) {
             let sample = self.dmu.sample(f_b, w_b, &mut self.rng);
             for frame in DmuCanCodec::encode(&sample) {
-                self.dmu_link.send(&self.bridge_enc.encode(&frame));
+                self.bridge_enc.encode_into(&frame, &mut self.enc_buf);
+                self.dmu_link.send(&self.enc_buf);
             }
         }
         // ACC -> eval packet -> UART (instrument noise lives in the
@@ -775,26 +887,29 @@ impl<'a> CommsChainSource<'a> {
             .send(&AdxlPacket::from_sample(&duty).to_bytes());
 
         // Serial delivery at line rate, wire faults, then
-        // reconstruction. A clean channel skips the injectors entirely
-        // (they would pass the bytes through untouched and draw no
-        // randomness anyway), so the fault-free stream is bit-identical
-        // to the pre-fault-wiring chain and pays no per-poll copy.
-        let dmu_bytes = self.dmu_link.poll(self.acc_dt);
-        if !dmu_bytes.is_empty() {
+        // reconstruction — all through the pooled byte buffers. A clean
+        // channel skips the injectors entirely (they would pass the
+        // bytes through untouched and draw no randomness anyway), so
+        // the fault-free stream is bit-identical to the pre-fault-wiring
+        // chain and pays no per-poll copy.
+        self.dmu_link.poll_into(self.acc_dt, &mut self.link_buf);
+        if !self.link_buf.is_empty() {
             if self.faults_active {
-                let dmu_bytes = self.dmu_fault.apply(&dmu_bytes, &mut self.rng);
-                self.recon.push_dmu_bytes(&dmu_bytes);
+                self.dmu_fault
+                    .apply_into(&self.link_buf, &mut self.rng, &mut self.fault_buf);
+                self.recon.push_dmu_bytes(&self.fault_buf);
             } else {
-                self.recon.push_dmu_bytes(&dmu_bytes);
+                self.recon.push_dmu_bytes(&self.link_buf);
             }
         }
-        let acc_bytes = self.acc_link.poll(self.acc_dt);
-        if !acc_bytes.is_empty() {
+        self.acc_link.poll_into(self.acc_dt, &mut self.link_buf);
+        if !self.link_buf.is_empty() {
             if self.faults_active {
-                let acc_bytes = self.acc_fault.apply(&acc_bytes, &mut self.rng);
-                self.recon.push_acc_bytes(&acc_bytes);
+                self.acc_fault
+                    .apply_into(&self.link_buf, &mut self.rng, &mut self.fault_buf);
+                self.recon.push_acc_bytes(&self.fault_buf);
             } else {
-                self.recon.push_acc_bytes(&acc_bytes);
+                self.recon.push_acc_bytes(&self.link_buf);
             }
         }
         while let Some(msg) = self.recon.pop() {
@@ -810,7 +925,7 @@ impl<'a> CommsChainSource<'a> {
     }
 }
 
-impl SensorSource for CommsChainSource<'_> {
+impl SensorSource for CommsChainSource {
     fn dt(&self) -> f64 {
         self.acc_dt
     }
@@ -953,17 +1068,18 @@ impl SessionStats {
 }
 
 /// Builder for [`FusionSession`].
-pub struct SessionBuilder<'a> {
-    source: Option<Box<dyn SensorSource + 'a>>,
+pub struct SessionBuilder {
+    source: Option<Box<dyn SensorSource>>,
     backend: Option<Box<dyn FusionBackend>>,
-    sinks: Vec<Box<dyn EventSink + 'a>>,
+    sinks: Vec<Box<dyn EventSink>>,
     truth: EulerAngles,
     trace_decimation: Option<usize>,
+    trace_expected_updates: usize,
 }
 
-impl<'a> SessionBuilder<'a> {
+impl SessionBuilder {
     /// Sets the event source (required).
-    pub fn source(mut self, source: impl SensorSource + 'a) -> Self {
+    pub fn source(mut self, source: impl SensorSource + 'static) -> Self {
         self.source = Some(Box::new(source));
         self
     }
@@ -993,8 +1109,8 @@ impl<'a> SessionBuilder<'a> {
         self.backend(ArithKf3::with_defaults(arith))
     }
 
-    /// Attaches an event sink (use `Rc<RefCell<_>>` to keep a handle).
-    pub fn sink(mut self, sink: impl EventSink + 'a) -> Self {
+    /// Attaches an event sink (use `Arc<Mutex<_>>` to keep a handle).
+    pub fn sink(mut self, sink: impl EventSink + 'static) -> Self {
         self.sinks.push(Box::new(sink));
         self
     }
@@ -1003,6 +1119,16 @@ impl<'a> SessionBuilder<'a> {
     /// update.
     pub fn record_traces(mut self, decimation: usize) -> Self {
         self.trace_decimation = Some(decimation);
+        self
+    }
+
+    /// Like [`SessionBuilder::record_traces`], but pre-sizes the trace
+    /// buffers for `expected_updates` accepted updates so the recording
+    /// hot path never reallocates (scenario-built sessions pass
+    /// `duration x rate` here).
+    pub fn record_traces_sized(mut self, decimation: usize, expected_updates: usize) -> Self {
+        self.trace_decimation = Some(decimation);
+        self.trace_expected_updates = expected_updates;
         self
     }
 
@@ -1017,63 +1143,84 @@ impl<'a> SessionBuilder<'a> {
     /// # Panics
     ///
     /// Panics if no source was provided.
-    pub fn build(self) -> FusionSession<'a> {
+    pub fn build(self) -> FusionSession {
+        let expected_updates = self.trace_expected_updates;
         FusionSession {
             source: self.source.expect("FusionSession needs a source"),
             backend: self.backend.unwrap_or_else(|| {
                 Box::new(BoresightEstimator::new(EstimatorConfig::paper_static()))
             }),
             sinks: self.sinks,
-            recorder: self.trace_decimation.map(TraceRecorder::new),
+            recorder: self
+                .trace_decimation
+                .map(|d| TraceRecorder::with_capacity(d, expected_updates)),
             truth: self.truth,
             time_s: 0.0,
             stats: SessionStats::default(),
             retunes_dispatched: 0,
+            retune_log: Vec::with_capacity(32),
             finished: false,
-            scratch: Vec::new(),
+            scratch: Vec::with_capacity(EVENT_SCRATCH_CAPACITY),
         }
     }
 }
+
+/// Initial capacity of the per-step event scratch buffer (a generous
+/// bound on the events one natural step produces; the buffer grows
+/// once and is then reused for the rest of the run).
+const EVENT_SCRATCH_CAPACITY: usize = 64;
 
 /// An incremental fusion run: one source, one backend, any sinks.
 ///
 /// Sessions are stepped by a caller-chosen time slice, so several of
 /// them — different scenarios, different [`Arith`] backends — can be
-/// interleaved on one thread (see [`SessionGroup`]).
-pub struct FusionSession<'a> {
-    source: Box<dyn SensorSource + 'a>,
+/// interleaved on one thread (see [`SessionGroup`]). Sessions own
+/// everything they touch and are `Send`, so whole sessions can also be
+/// fanned out across worker threads
+/// ([`crate::spec::ScenarioSuite::run_parallel`]).
+pub struct FusionSession {
+    source: Box<dyn SensorSource>,
     backend: Box<dyn FusionBackend>,
-    sinks: Vec<Box<dyn EventSink + 'a>>,
+    sinks: Vec<Box<dyn EventSink>>,
     recorder: Option<TraceRecorder>,
     truth: EulerAngles,
     time_s: f64,
     stats: SessionStats,
     retunes_dispatched: usize,
+    retune_log: Vec<Retune>,
     finished: bool,
     scratch: Vec<SensorEvent>,
 }
 
-impl<'a> FusionSession<'a> {
+impl FusionSession {
     /// Starts building a session.
-    pub fn builder() -> SessionBuilder<'a> {
+    pub fn builder() -> SessionBuilder {
         SessionBuilder {
             source: None,
             backend: None,
             sinks: Vec::new(),
             truth: EulerAngles::zero(),
             trace_decimation: None,
+            trace_expected_updates: 0,
         }
+    }
+
+    /// Expected ACC sample count of a scenario — the trace pre-sizing
+    /// hint every scenario-built session passes to
+    /// [`SessionBuilder::record_traces_sized`].
+    pub fn expected_updates(config: &ScenarioConfig) -> usize {
+        (config.duration_s * config.acc_rate_hz).round().max(0.0) as usize
     }
 
     /// The session described by a [`ScenarioConfig`] over `trajectory`:
     /// synthetic source, production estimator, trace recording — the
     /// batch `scenario::run` in streaming form.
-    pub fn from_scenario(trajectory: &'a dyn Trajectory, config: &ScenarioConfig) -> Self {
+    pub fn from_scenario(trajectory: impl IntoSharedTrajectory, config: &ScenarioConfig) -> Self {
         Self::builder()
             .source(SyntheticSource::from_scenario(trajectory, config))
             .estimator(config.estimator)
             .truth(config.true_misalignment)
-            .record_traces(config.trace_decimation)
+            .record_traces_sized(config.trace_decimation, Self::expected_updates(config))
             .build()
     }
 
@@ -1081,7 +1228,7 @@ impl<'a> FusionSession<'a> {
     /// instead of native `f64` — identical source and traces, different
     /// number system.
     pub fn iekf_from_scenario(
-        trajectory: &'a dyn Trajectory,
+        trajectory: impl IntoSharedTrajectory,
         config: &ScenarioConfig,
         arith: impl Arith + Clone + 'static,
     ) -> Self {
@@ -1089,7 +1236,7 @@ impl<'a> FusionSession<'a> {
             .source(SyntheticSource::from_scenario(trajectory, config))
             .iekf(arith, config.estimator)
             .truth(config.true_misalignment)
-            .record_traces(config.trace_decimation)
+            .record_traces_sized(config.trace_decimation, Self::expected_updates(config))
             .build()
     }
 
@@ -1133,9 +1280,11 @@ impl<'a> FusionSession<'a> {
         self.backend.estimate_for(sensor)
     }
 
-    /// Adaptive retunes fired so far, across every sensor.
-    pub fn retunes(&self) -> Vec<Retune> {
-        self.backend.retunes_since(0)
+    /// Adaptive retunes fired so far, across every sensor, in firing
+    /// order — a borrow of the session's incrementally maintained log
+    /// (no allocation per read).
+    pub fn retunes(&self) -> &[Retune] {
+        &self.retune_log
     }
 
     /// Serial-link statistics, if the source runs through a comms chain.
@@ -1212,14 +1361,20 @@ impl<'a> FusionSession<'a> {
             }
         }
         // Surface any retunes the backend's monitors (any sensor)
-        // fired while ingesting this event.
+        // fired while ingesting this event — cursor-based, appending to
+        // the session's own log instead of allocating a fresh Vec
+        // (retunes are rare, but the count check runs per event).
         let count = self.backend.retune_count();
         if count > self.retunes_dispatched {
-            let fresh = self.backend.retunes_since(self.retunes_dispatched);
+            let first_fresh = self.retune_log.len();
+            let log = &mut self.retune_log;
+            self.backend
+                .for_each_retune_since(self.retunes_dispatched, &mut |r| log.push(*r));
             self.retunes_dispatched = count;
-            for retune in &fresh {
+            for i in first_fresh..self.retune_log.len() {
+                let retune = self.retune_log[i];
                 for sink in &mut self.sinks {
-                    sink.on_retune(retune);
+                    sink.on_retune(&retune);
                 }
             }
         }
@@ -1292,11 +1447,11 @@ pub struct ArithDivergence {
 /// A batch of sessions driven together — many scenarios, many
 /// arithmetic backends, one thread.
 #[derive(Default)]
-pub struct SessionGroup<'a> {
-    sessions: Vec<FusionSession<'a>>,
+pub struct SessionGroup {
+    sessions: Vec<FusionSession>,
 }
 
-impl<'a> SessionGroup<'a> {
+impl SessionGroup {
     /// An empty group.
     pub fn new() -> Self {
         Self::default()
@@ -1308,15 +1463,16 @@ impl<'a> SessionGroup<'a> {
     /// (index 1) and Q16.16 fixed point (index 2) — interleave them
     /// with [`SessionGroup::run_interleaved`] and read
     /// [`SessionGroup::divergence_from`]`(0)` at any point.
-    pub fn full_iekf_sweep(trajectory: &'a dyn Trajectory, config: &ScenarioConfig) -> Self {
+    pub fn full_iekf_sweep(trajectory: impl IntoSharedTrajectory, config: &ScenarioConfig) -> Self {
+        let trajectory = trajectory.into_shared();
         let mut group = Self::new();
         group.push(FusionSession::iekf_from_scenario(
-            trajectory,
+            Arc::clone(&trajectory),
             config,
             F64Arith::default(),
         ));
         group.push(FusionSession::iekf_from_scenario(
-            trajectory,
+            Arc::clone(&trajectory),
             config,
             SoftArith::default(),
         ));
@@ -1335,22 +1491,33 @@ impl<'a> SessionGroup<'a> {
     ///
     /// Panics if `reference` is out of range.
     pub fn divergence_from(&self, reference: usize) -> Vec<ArithDivergence> {
+        let mut out = Vec::with_capacity(self.sessions.len());
+        self.divergence_into(reference, &mut out);
+        out
+    }
+
+    /// [`SessionGroup::divergence_from`] into a caller-owned buffer
+    /// (cleared first) — the allocation-free variant for callers that
+    /// poll divergence every few stream seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reference` is out of range.
+    pub fn divergence_into(&self, reference: usize, out: &mut Vec<ArithDivergence>) {
+        out.clear();
         let anchor = self.sessions[reference].estimate().angles;
-        self.sessions
-            .iter()
-            .map(|s| {
-                let estimate = s.estimate();
-                ArithDivergence {
-                    label: s.backend_label(),
-                    max_abs_deg: mathx::rad_to_deg(estimate.angles.error_to(&anchor).max_abs()),
-                    updates: estimate.updates,
-                }
-            })
-            .collect()
+        out.extend(self.sessions.iter().map(|s| {
+            let estimate = s.estimate();
+            ArithDivergence {
+                label: s.backend_label(),
+                max_abs_deg: mathx::rad_to_deg(estimate.angles.error_to(&anchor).max_abs()),
+                updates: estimate.updates,
+            }
+        }));
     }
 
     /// Adds a session and returns its index.
-    pub fn push(&mut self, session: FusionSession<'a>) -> usize {
+    pub fn push(&mut self, session: FusionSession) -> usize {
         self.sessions.push(session);
         self.sessions.len() - 1
     }
@@ -1366,12 +1533,12 @@ impl<'a> SessionGroup<'a> {
     }
 
     /// The sessions, in insertion order.
-    pub fn sessions(&self) -> &[FusionSession<'a>] {
+    pub fn sessions(&self) -> &[FusionSession] {
         &self.sessions
     }
 
     /// One session, mutably.
-    pub fn session_mut(&mut self, index: usize) -> &mut FusionSession<'a> {
+    pub fn session_mut(&mut self, index: usize) -> &mut FusionSession {
         &mut self.sessions[index]
     }
 
@@ -1403,7 +1570,7 @@ impl<'a> SessionGroup<'a> {
     }
 
     /// Consumes the group, yielding the sessions.
-    pub fn into_sessions(self) -> Vec<FusionSession<'a>> {
+    pub fn into_sessions(self) -> Vec<FusionSession> {
         self.sessions
     }
 }
@@ -1555,34 +1722,37 @@ mod tests {
         let mut cfg = short_config(7);
         cfg.duration_s = 10.0;
         let table = TiltTable::level(10.0);
-        let counter = Rc::new(RefCell::new(Counter::default()));
-        let retunes = Rc::new(RefCell::new(RetuneLog::default()));
+        let counter = Arc::new(Mutex::new(Counter::default()));
+        let retunes = Arc::new(Mutex::new(RetuneLog::default()));
         let mut session = FusionSession::builder()
             .source(SyntheticSource::from_scenario(&table, &cfg))
             .estimator(cfg.estimator)
-            .sink(Rc::clone(&counter))
-            .sink(Rc::clone(&retunes))
+            .sink(Arc::clone(&counter))
+            .sink(Arc::clone(&retunes))
             .build();
         session.run_to_end();
-        let c = counter.borrow();
+        let c = counter.lock().unwrap();
         assert!(c.events > 2000, "events {}", c.events);
         assert!(c.updates > 1900, "updates {}", c.updates);
         assert_eq!(c.finishes, 1);
-        assert_eq!(retunes.borrow().retunes.len(), session.retunes().len());
+        assert_eq!(
+            retunes.lock().unwrap().retunes.len(),
+            session.retunes().len()
+        );
     }
 
     #[test]
     fn latest_estimate_sink_tracks_backend() {
         let cfg = short_config(8);
         let table = TiltTable::level(cfg.duration_s);
-        let latest = Rc::new(RefCell::new(LatestEstimateSink::default()));
+        let latest = Arc::new(Mutex::new(LatestEstimateSink::default()));
         let mut session = FusionSession::builder()
             .source(SyntheticSource::from_scenario(&table, &cfg))
             .estimator(cfg.estimator)
-            .sink(Rc::clone(&latest))
+            .sink(Arc::clone(&latest))
             .build();
         session.run_for(5.0);
-        let seen = latest.borrow().latest.expect("updates flowed");
+        let seen = latest.lock().unwrap().latest.expect("updates flowed");
         assert_eq!(seen, session.estimate());
     }
 

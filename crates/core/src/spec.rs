@@ -53,12 +53,15 @@
 
 use crate::arith::{Arith, F64Arith, FixedArith, SoftArith};
 use crate::estimator::{EstimatorConfig, GenericBoresightEstimator, MisalignmentEstimate};
+use crate::exec;
 use crate::scenario::{RunResult, ScenarioConfig};
 use crate::session::{
-    CommsChainSource, FusionSession, LinkFaultConfig, SessionBuilder, SessionGroup, SyntheticSource,
+    CommsChainSource, FusionSession, IntoSharedTrajectory, LinkFaultConfig, SessionBuilder,
+    SessionGroup, SyntheticSource,
 };
 use comms::StreamStats;
 use mathx::{EulerAngles, Vec2};
+use std::sync::Arc;
 use vehicle::{profile::presets, DriveProfile, Segment, TiltTable, Trajectory, VibrationConfig};
 
 /// What the vehicle (or test platform) does during the run.
@@ -120,6 +123,8 @@ pub enum ScenarioTrajectory {
     /// A piecewise drive profile.
     Drive(DriveProfile),
 }
+
+crate::session::impl_into_shared_trajectory!(ScenarioTrajectory);
 
 impl Trajectory for ScenarioTrajectory {
     fn duration_s(&self) -> f64 {
@@ -315,11 +320,11 @@ impl Substrate {
     /// Attaches the full 5-state IEKF over this substrate to a session
     /// builder — the one substrate-dispatch site every lowering path
     /// shares.
-    pub fn attach_iekf<'a>(
+    pub fn attach_iekf(
         self,
-        builder: SessionBuilder<'a>,
+        builder: SessionBuilder,
         estimator: EstimatorConfig,
-    ) -> SessionBuilder<'a> {
+    ) -> SessionBuilder {
         match self {
             Self::F64 => builder.iekf(F64Arith::default(), estimator),
             Self::Softfloat => builder.iekf(SoftArith::default(), estimator),
@@ -329,11 +334,11 @@ impl Substrate {
 
     /// [`FusionSession::iekf_from_scenario`] with the substrate chosen
     /// at run time instead of by type parameter.
-    pub fn iekf_from_scenario<'a>(
+    pub fn iekf_from_scenario(
         self,
-        trajectory: &'a dyn Trajectory,
+        trajectory: impl IntoSharedTrajectory,
         config: &ScenarioConfig,
-    ) -> FusionSession<'a> {
+    ) -> FusionSession {
         match self {
             Self::F64 => FusionSession::iekf_from_scenario(trajectory, config, F64Arith::default()),
             Self::Softfloat => {
@@ -342,6 +347,18 @@ impl Substrate {
             Self::Q16_16 => {
                 FusionSession::iekf_from_scenario(trajectory, config, FixedArith::default())
             }
+        }
+    }
+
+    /// Reads `(total ops, saturations, cycles)` off a session whose
+    /// full-IEKF backend runs over this substrate — the one
+    /// instrumentation-dispatch site the suite and the arithmetic
+    /// ablation share. Returns zeros for a foreign backend.
+    pub fn read_instrumentation(self, session: &FusionSession) -> (u64, u64, u64) {
+        match self {
+            Self::F64 => instrumentation::<F64Arith>(session),
+            Self::Softfloat => instrumentation::<SoftArith>(session),
+            Self::Q16_16 => instrumentation::<FixedArith>(session),
         }
     }
 }
@@ -492,11 +509,12 @@ impl ScenarioSpec {
 
     /// Lowers the spec to a streaming [`FusionSession`] over
     /// `trajectory` (normally the one from
-    /// [`ScenarioSpec::lower_trajectory`], kept on the caller's stack
-    /// so many sessions can share it) — the single path every channel,
-    /// tuning and substrate combination goes through.
-    pub fn into_session<'a>(&self, trajectory: &'a dyn Trajectory) -> FusionSession<'a> {
+    /// [`ScenarioSpec::lower_trajectory`]; pass an `Arc` clone to share
+    /// one lowered trajectory across many sessions) — the single path
+    /// every channel, tuning and substrate combination goes through.
+    pub fn into_session(&self, trajectory: impl IntoSharedTrajectory) -> FusionSession {
         let cfg = self.config();
+        let expected_updates = FusionSession::expected_updates(&cfg);
         let builder =
             match self.channel {
                 ChannelSpec::Ideal => FusionSession::builder()
@@ -507,14 +525,13 @@ impl ScenarioSpec {
         self.substrate
             .attach_iekf(builder, cfg.estimator)
             .truth(cfg.true_misalignment)
-            .record_traces(cfg.trace_decimation)
+            .record_traces_sized(cfg.trace_decimation, expected_updates)
             .build()
     }
 
     /// Lowers and runs the spec to completion (the batch path).
     pub fn run(&self) -> RunResult {
-        let trajectory = self.lower_trajectory();
-        self.into_session(&trajectory).into_result()
+        self.into_session(self.lower_trajectory()).into_result()
     }
 }
 
@@ -569,11 +586,7 @@ pub struct SuiteCell {
 impl SuiteCell {
     fn collect(spec: &ScenarioSpec, session: FusionSession) -> Self {
         let backend = session.backend_label();
-        let (ops, saturations, cycles) = match spec.substrate {
-            Substrate::F64 => instrumentation::<F64Arith>(&session),
-            Substrate::Softfloat => instrumentation::<SoftArith>(&session),
-            Substrate::Q16_16 => instrumentation::<FixedArith>(&session),
-        };
+        let (ops, saturations, cycles) = spec.substrate.read_instrumentation(&session);
         let stream = session.stream_stats();
         let cfg = spec.config();
         let samples = (cfg.duration_s * cfg.acc_rate_hz).round().max(1.0);
@@ -684,29 +697,59 @@ impl ScenarioSuite {
         &self.scenarios
     }
 
-    /// Runs the whole matrix to completion.
+    /// Every scenario × substrate cell spec of the matrix, in
+    /// scenario-major order, with the duration override applied — the
+    /// shared work list behind both [`ScenarioSuite::run`] and
+    /// [`ScenarioSuite::run_parallel`].
+    fn cell_specs(&self) -> Vec<ScenarioSpec> {
+        self.scenarios
+            .iter()
+            .flat_map(|base| {
+                let mut spec = base.clone();
+                if let Some(d) = self.duration_override_s {
+                    spec.duration_s = d;
+                }
+                self.substrates
+                    .iter()
+                    .map(move |&s| spec.clone().with_substrate(s))
+            })
+            .collect()
+    }
+
+    /// Runs the whole matrix to completion on the calling thread, one
+    /// scenario's substrate sessions interleaved at a time.
     pub fn run(&self) -> SuiteReport {
         let mut cells = Vec::with_capacity(self.scenarios.len() * self.substrates.len());
-        for base in &self.scenarios {
-            let mut spec = base.clone();
-            if let Some(d) = self.duration_override_s {
-                spec.duration_s = d;
-            }
-            let trajectory = spec.lower_trajectory();
-            let cell_specs: Vec<ScenarioSpec> = self
-                .substrates
-                .iter()
-                .map(|&s| spec.clone().with_substrate(s))
-                .collect();
+        for scenario_cells in self.cell_specs().chunks(self.substrates.len().max(1)) {
+            // All substrate sessions of one scenario share one lowered
+            // trajectory.
+            let trajectory: Arc<dyn Trajectory> = Arc::new(scenario_cells[0].lower_trajectory());
             let mut group = SessionGroup::new();
-            for cell_spec in &cell_specs {
-                group.push(cell_spec.into_session(&trajectory));
+            for cell_spec in scenario_cells {
+                group.push(cell_spec.into_session(Arc::clone(&trajectory)));
             }
             group.run_interleaved(self.chunk_s);
-            for (cell_spec, session) in cell_specs.iter().zip(group.into_sessions()) {
+            for (cell_spec, session) in scenario_cells.iter().zip(group.into_sessions()) {
                 cells.push(SuiteCell::collect(cell_spec, session));
             }
         }
+        SuiteReport { cells }
+    }
+
+    /// Runs the whole matrix on a pool of `workers` threads (`0` means
+    /// one per core; see [`exec::map_parallel`]).
+    ///
+    /// Each scenario × substrate cell is lowered to an owned
+    /// [`FusionSession`] *inside its worker* and run to completion
+    /// there; per-cell RNG seeding makes every cell independent, so the
+    /// report is bit-identical to [`ScenarioSuite::run`] (pinned by
+    /// test) while the wall clock shrinks with the core count.
+    pub fn run_parallel(&self, workers: usize) -> SuiteReport {
+        let cells = exec::map_parallel(self.cell_specs(), workers, |spec| {
+            let mut session = spec.into_session(spec.lower_trajectory());
+            session.run_to_end();
+            SuiteCell::collect(&spec, session)
+        });
         SuiteReport { cells }
     }
 }

@@ -20,15 +20,15 @@
 use crate::arith::{Kf3, SoftArith};
 use crate::estimator::MisalignmentEstimate;
 use crate::scenario::ScenarioConfig;
-use crate::session::{CommsChainSource, EventSink, FusionSession, SensorEvent};
+use crate::session::{
+    CommsChainSource, EventSink, FusionSession, IntoSharedTrajectory, SensorEvent,
+};
 use comms::StreamStats;
 use fpga::fixed::Q16_16;
 use fpga::pipeline::FrameTiming;
 use fpga::sabre::{assemble, ControlBlock, ControlReg, Sabre, StopReason, CONTROL_BASE};
 use mathx::{rad_to_deg, EulerAngles, Vec3};
-use std::cell::RefCell;
-use std::rc::Rc;
-use vehicle::Trajectory;
+use std::sync::{Arc, Mutex};
 use video::{
     affine::{transform, MappingKind},
     camera::CameraModel,
@@ -311,24 +311,22 @@ impl EventSink for ShadowKf3Sink {
 /// front end, the production estimator, the Sabre publish and shadow
 /// sinks together, then performs the end-of-run video-correction
 /// experiment and assembles the [`SystemReport`].
-pub fn run_system(trajectory: &dyn Trajectory, config: &SystemConfig) -> SystemReport {
+pub fn run_system(trajectory: impl IntoSharedTrajectory, config: &SystemConfig) -> SystemReport {
     let sc = &config.scenario;
-    let sabre = Rc::new(RefCell::new(SabrePublishSink::new(
-        config.publish_interval_s,
-    )));
-    let shadow = Rc::new(RefCell::new(ShadowKf3Sink::new(sc, config.shadow_updates)));
+    let sabre = Arc::new(Mutex::new(SabrePublishSink::new(config.publish_interval_s)));
+    let shadow = Arc::new(Mutex::new(ShadowKf3Sink::new(sc, config.shadow_updates)));
     let mut session = FusionSession::builder()
         .source(CommsChainSource::from_scenario(trajectory, sc))
         .estimator(sc.estimator)
         .truth(sc.true_misalignment)
-        .sink(Rc::clone(&shadow))
-        .sink(Rc::clone(&sabre))
+        .sink(Arc::clone(&shadow))
+        .sink(Arc::clone(&sabre))
         .build();
     session.run_to_end();
 
     let stream = session.stream_stats().expect("comms chain has stats");
     let estimate = session.estimate();
-    let control_angles = sabre.borrow_mut().control_angles();
+    let control_angles = sabre.lock().expect("sabre sink lock").control_angles();
 
     // Video correction experiment with the published (quantized) angles.
     let (w, h) = config.frame_size;
@@ -344,7 +342,8 @@ pub fn run_system(trajectory: &dyn Trajectory, config: &SystemConfig) -> SystemR
     let (_, fwd_stats) = transform(&seen, &correction, MappingKind::FixedForward);
 
     // Kalman software budget.
-    let (cycles_per_update, ops_per_update) = shadow.borrow().cost_per_update();
+    let (cycles_per_update, ops_per_update) =
+        shadow.lock().expect("shadow sink lock").cost_per_update();
     let utilization = cycles_per_update * sc.acc_rate_hz / config.sabre_clock_hz;
 
     let error = estimate.angles.error_to(&sc.true_misalignment);
@@ -353,7 +352,7 @@ pub fn run_system(trajectory: &dyn Trajectory, config: &SystemConfig) -> SystemR
         height: h,
         clock_hz: 65e6,
     };
-    let sabre = sabre.borrow();
+    let sabre = sabre.lock().expect("sabre sink lock");
 
     SystemReport {
         truth: sc.true_misalignment,

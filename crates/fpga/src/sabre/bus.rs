@@ -25,7 +25,11 @@ pub const UART2_BASE: u32 = 0x8000_0050;
 pub const CONTROL_BASE: u32 = 0x8000_0060;
 
 /// A memory-mapped peripheral occupying a small register window.
-pub trait Peripheral {
+///
+/// Peripherals are `Send` so a whole [`crate::sabre::Sabre`] (and any
+/// host-side harness embedding one, such as a fusion-session event
+/// sink) can move to a worker thread.
+pub trait Peripheral: Send {
     /// Human-readable name (diagnostics).
     fn name(&self) -> &'static str;
 

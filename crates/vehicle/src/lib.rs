@@ -42,7 +42,12 @@ pub use tilt::{TiltStep, TiltTable};
 pub use vibration::{RoadVibration, VibrationConfig};
 
 /// A deterministic motion truth source sampled by time.
-pub trait Trajectory {
+///
+/// Trajectories are `Send + Sync`: they are immutable truth shared by
+/// every consumer (the parallel sweep executor hands one `Arc`'d
+/// trajectory to sessions running on worker threads), and every
+/// implementation here is plain data.
+pub trait Trajectory: Send + Sync {
     /// Total duration of the trajectory, seconds.
     fn duration_s(&self) -> f64;
 

@@ -1,0 +1,126 @@
+//! The parallel sweep executor's contract: worker-pool runs are the
+//! *same computation* as the serial interleaved sweep — bit for bit —
+//! and the session layer is actually `Send` (compile-time pinned), so
+//! sessions may be lowered and run inside worker threads.
+
+use sensor_fusion_fpga::fusion::spec::{ScenarioSuite, Substrate};
+use sensor_fusion_fpga::fusion::{
+    catalog, exec, CommsChainSource, FusionSession, SessionGroup, SuiteCell, SyntheticSource,
+};
+
+/// Compile-time `Send` audit of the session layer. If any source,
+/// backend or sink loses its `Send` bound, this stops compiling —
+/// which is exactly the error the parallel executor would otherwise
+/// hit at its call site.
+#[test]
+fn session_layer_is_send() {
+    fn assert_send<T: Send>() {}
+    assert_send::<FusionSession>();
+    assert_send::<SessionGroup>();
+    assert_send::<SyntheticSource>();
+    assert_send::<CommsChainSource>();
+    assert_send::<ScenarioSuite>();
+    assert_send::<SuiteCell>();
+}
+
+/// A session built on one thread runs to completion on another (the
+/// exact movement `run_parallel` performs per cell).
+#[test]
+fn sessions_cross_threads() {
+    let spec = catalog::paper_static().with_duration(10.0);
+    let session = spec.into_session(spec.lower_trajectory());
+    let estimate = std::thread::spawn(move || {
+        let mut session = session;
+        session.run_to_end();
+        session.estimate()
+    })
+    .join()
+    .expect("worker thread");
+    let mut reference = spec.into_session(spec.lower_trajectory());
+    reference.run_to_end();
+    assert_eq!(estimate, reference.estimate());
+}
+
+fn bits(cell: &SuiteCell) -> Vec<u64> {
+    let a = cell.estimate.angles;
+    let s = cell.estimate.one_sigma;
+    vec![
+        a.roll.to_bits(),
+        a.pitch.to_bits(),
+        a.yaw.to_bits(),
+        s[0].to_bits(),
+        s[1].to_bits(),
+        s[2].to_bits(),
+        cell.error_rms_deg.to_bits(),
+        cell.exceed_rate.to_bits(),
+        cell.retune_count as u64,
+        cell.estimate.updates,
+        cell.ops,
+        cell.saturations,
+        cell.cycles,
+    ]
+}
+
+/// Acceptance: the parallel suite report is bit-identical to the
+/// serial one across catalog cells — estimates, confidence, error
+/// metrics, retunes and the per-substrate instrumentation ledgers —
+/// including a comms-chain + fault-injection scenario, whose RNG
+/// stream is the easiest thing to break.
+#[test]
+fn parallel_suite_is_bit_identical_to_serial() {
+    let scenarios = vec![
+        catalog::paper_static(),
+        catalog::paper_dynamic(),
+        catalog::by_name("can-fault-storm").expect("catalog entry"),
+    ];
+    let suite = ScenarioSuite::new(scenarios).with_duration(8.0);
+    let serial = suite.run();
+    let parallel = suite.run_parallel(4);
+    assert_eq!(serial.cells.len(), 3 * Substrate::all().len());
+    assert_eq!(serial.cells.len(), parallel.cells.len());
+    for (s, p) in serial.cells.iter().zip(&parallel.cells) {
+        assert_eq!(s.scenario, p.scenario, "cell order must match");
+        assert_eq!(s.substrate, p.substrate, "cell order must match");
+        assert_eq!(
+            bits(s),
+            bits(p),
+            "parallel diverged from serial on {}/{}",
+            s.scenario,
+            s.substrate
+        );
+        // Comms cells carry their stream stats through both paths.
+        assert_eq!(s.stream, p.stream, "{}/{}", s.scenario, s.substrate);
+    }
+    // The fault-storm cells actually exercised the injected faults.
+    let storm = parallel
+        .cell("can-fault-storm", Substrate::F64)
+        .expect("storm cell");
+    let stream = storm.stream.expect("comms cell has stream stats");
+    assert!(stream.fault_bits_flipped > 0);
+}
+
+/// Worker-count invariance: 1 worker (inline), 2 and 8 all produce the
+/// identical report, so scheduling order cannot leak into results.
+#[test]
+fn worker_count_does_not_change_the_report() {
+    let suite = ScenarioSuite::new(vec![catalog::paper_static()])
+        .with_duration(6.0)
+        .with_substrates(&[Substrate::F64, Substrate::Q16_16]);
+    let one = suite.run_parallel(1);
+    let two = suite.run_parallel(2);
+    let eight = suite.run_parallel(8);
+    for (a, b) in one.cells.iter().zip(&two.cells) {
+        assert_eq!(bits(a), bits(b));
+    }
+    for (a, b) in one.cells.iter().zip(&eight.cells) {
+        assert_eq!(bits(a), bits(b));
+    }
+}
+
+/// The pool itself: order preservation under uneven load is what the
+/// suite's scenario-major report layout relies on.
+#[test]
+fn map_parallel_preserves_input_order() {
+    let out = exec::map_parallel((0..64u64).collect(), 8, |x| x * x);
+    assert_eq!(out, (0..64u64).map(|x| x * x).collect::<Vec<_>>());
+}
