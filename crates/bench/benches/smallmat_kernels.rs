@@ -2,11 +2,16 @@
 //! inner loops every filter update spends its time in: the 5x5
 //! products, the Gauss-Jordan inverse and the Joseph-form covariance
 //! update, on the native-f64 (counted and uncounted) and Q16.16
-//! substrates.
+//! substrates — plus the structure-exploiting kernels that replaced
+//! them on the hot path (packed-symmetric Joseph, closed-form 2x2
+//! solve) and the lockstep lane filter at 1/2/4/8 lanes.
 
 use boresight::arith::{Arith, F64Arith, F64ArithFast, FixedArith};
+use boresight::filter::{FilterConfig, GenericBoresightFilter};
+use boresight::lanes::LaneIekf;
 use boresight::smallmat;
 use criterion::{criterion_group, criterion_main, Criterion};
+use mathx::{Vec2, Vec3, STANDARD_GRAVITY};
 use std::hint::black_box;
 
 /// A well-conditioned 5x5 test matrix in the substrate.
@@ -68,10 +73,85 @@ fn bench_substrate<A: Arith + Default>(c: &mut Criterion, name: &str) {
     });
 }
 
+/// The structure-exploiting kernels the IEKF hot path switched to:
+/// the packed-symmetric rank-2 Joseph update and the closed-form LDL
+/// solve of the 2x2 innovation, benchmarked against the dense kernels
+/// above (same shapes, same substrates).
+fn bench_structured<A: Arith + Default>(c: &mut Criterion, name: &str) {
+    c.bench_function(&format!("smallmat/solve2_closed_{name}"), |bench| {
+        let mut a = A::default();
+        let s = {
+            let mut m = smallmat::identity::<A, 2>(&mut a);
+            let v = a.num(0.25);
+            m[0][1] = v;
+            m[1][0] = v;
+            m
+        };
+        bench.iter(|| black_box(smallmat::inverse2_sym(&mut a, black_box(&s))))
+    });
+    c.bench_function(&format!("smallmat/joseph5_sym_{name}"), |bench| {
+        let mut a = A::default();
+        let p = mat5(&mut a);
+        let h = mat2x5(&mut a);
+        let k = smallmat::transpose(&mut a, &h);
+        let r = a.num(4.9e-5);
+        bench.iter(|| {
+            black_box(smallmat::joseph_update_sym(
+                &mut a,
+                black_box(&p),
+                black_box(&k),
+                black_box(&h),
+                r,
+            ))
+        })
+    });
+}
+
+/// One full predict + update step of the lockstep lane filter at `L`
+/// lanes. Throughput per filter is the reported time divided by `L` —
+/// the lane win is the gap to `L` times the scalar row.
+fn bench_lane_step<const L: usize>(c: &mut Criterion) {
+    c.bench_function(&format!("lanes/iekf_step_x{L}"), |bench| {
+        let mut kf: LaneIekf<F64ArithFast, L> = LaneIekf::new(FilterConfig::paper_static());
+        let f = Vec3::new([1.2, -0.8, STANDARD_GRAVITY]);
+        let z: [Vec2; L] =
+            std::array::from_fn(|lane| Vec2::new([0.01 * lane as f64, -0.005 * lane as f64]));
+        let mut t = 0.0;
+        bench.iter(|| {
+            t += 0.005;
+            kf.predict(0.005);
+            black_box(kf.update_lanes(black_box(&z), &[f; L], t))
+        })
+    });
+}
+
+/// The scalar filter step the lane rows are compared against.
+fn bench_scalar_step(c: &mut Criterion) {
+    c.bench_function("lanes/iekf_step_scalar", |bench| {
+        let mut kf: GenericBoresightFilter<F64ArithFast> =
+            GenericBoresightFilter::new(FilterConfig::paper_static());
+        let f = Vec3::new([1.2, -0.8, STANDARD_GRAVITY]);
+        let z = Vec2::new([0.01, -0.005]);
+        let mut t = 0.0;
+        bench.iter(|| {
+            t += 0.005;
+            kf.predict(0.005);
+            black_box(kf.update(black_box(z), f, t))
+        })
+    });
+}
+
 fn bench_smallmat(c: &mut Criterion) {
     bench_substrate::<F64Arith>(c, "f64");
     bench_substrate::<F64ArithFast>(c, "f64_uncounted");
     bench_substrate::<FixedArith>(c, "q16.16");
+    bench_structured::<F64Arith>(c, "f64");
+    bench_structured::<F64ArithFast>(c, "f64_uncounted");
+    bench_structured::<FixedArith>(c, "q16.16");
+    bench_scalar_step(c);
+    bench_lane_step::<2>(c);
+    bench_lane_step::<4>(c);
+    bench_lane_step::<8>(c);
 }
 
 criterion_group!(benches, bench_smallmat);

@@ -18,8 +18,11 @@
 //! three substrates out over the worker pool (`--workers 1` forces the
 //! old serial sweep, 0 = one per core).
 
-use bench_suite::{print_table, write_json, BenchArgs, Json, SmallAngleSource};
-use boresight::arith::{Arith, F64Arith, FixedArith, OpCounts, SoftArith};
+use bench_suite::{
+    compare_labeled_to_baseline, load_baseline, print_baseline_deltas, print_table, write_json,
+    BenchArgs, Json, SmallAngleSource,
+};
+use boresight::arith::{Arith, F64Arith, FixedArith, OpCounts, PhaseLedger, SoftArith};
 use boresight::estimator::GenericBoresightEstimator;
 use boresight::exec;
 use boresight::scenario::{RunResult, ScenarioConfig};
@@ -52,17 +55,21 @@ struct FullRun {
     result: RunResult,
     counts: OpCounts,
     cycles: u64,
+    phases: PhaseLedger,
 }
 
-/// Reads the full per-op ledger and the cycle model off a finished
-/// full-IEKF session.
-fn read_ledger<A: Arith + Clone + 'static>(session: &FusionSession) -> (OpCounts, u64) {
+/// Reads the full per-op ledger, the cycle model and the per-phase
+/// attribution off a finished full-IEKF session.
+fn read_ledger<A: Arith + Clone + 'static>(
+    session: &FusionSession,
+) -> (OpCounts, u64, PhaseLedger) {
     let backend = session
         .backend_as::<GenericBoresightEstimator<A>>()
         .expect("full-IEKF backend");
     (
         backend.filter().arith().counts(),
         backend.filter().arith().cycles(),
+        *backend.filter().phase_ledger(),
     )
 }
 
@@ -73,7 +80,7 @@ fn run_full(substrate: Substrate, cfg: &ScenarioConfig) -> FullRun {
     let mut session = substrate.iekf_from_scenario(table, cfg);
     session.run_to_end();
     let label = session.backend_label();
-    let (counts, cycles) = match substrate {
+    let (counts, cycles, phases) = match substrate {
         Substrate::F64 => read_ledger::<F64Arith>(&session),
         Substrate::Softfloat => read_ledger::<SoftArith>(&session),
         Substrate::Q16_16 => read_ledger::<FixedArith>(&session),
@@ -83,7 +90,33 @@ fn run_full(substrate: Substrate, cfg: &ScenarioConfig) -> FullRun {
         result: session.into_result(),
         counts,
         cycles,
+        phases,
     }
+}
+
+/// Per-phase attribution: where the substrate's ops and cycles land
+/// inside the filter, plus the `other` remainder (estimator prep,
+/// model math outside tracked phases is zero by construction — the
+/// remainder is the front end).
+fn phases_json(run: &FullRun) -> Json {
+    let phase = |name: &str, ops: u64, cycles: u64| {
+        (
+            name.to_string(),
+            Json::Obj(vec![
+                ("ops".into(), Json::Int(ops)),
+                ("cycles".into(), Json::Int(cycles)),
+            ]),
+        )
+    };
+    let p = &run.phases;
+    let other_ops = run.counts.total() - p.tracked_ops();
+    let other_cycles = run.cycles.saturating_sub(p.tracked_cycles());
+    Json::Obj(vec![
+        phase("predict", p.predict.ops.total(), p.predict.cycles),
+        phase("gate", p.gate.ops.total(), p.gate.cycles),
+        phase("update", p.update.ops.total(), p.update.cycles),
+        phase("other", other_ops, other_cycles),
+    ])
 }
 
 fn ops_json(c: &OpCounts) -> Json {
@@ -242,6 +275,7 @@ fn main() {
             ("sabre_utilization".into(), Json::Num(util)),
             ("divergence_vs_f64_deg".into(), Json::Num(divergence)),
             ("ops".into(), ops_json(&run.counts)),
+            ("phases".into(), phases_json(run)),
         ]));
     }
     print_table(
@@ -261,6 +295,41 @@ fn main() {
             "div vs f64 (deg)",
         ],
         &rows,
+    );
+
+    // Where the cycles land inside the algorithm, per substrate.
+    print_table(
+        "Per-phase attribution (ops / modelled cycles)",
+        &[
+            "substrate",
+            "predict",
+            "gate",
+            "update",
+            "other (front end)",
+        ],
+        &runs
+            .iter()
+            .map(|run| {
+                let p = &run.phases;
+                let cell = |ops: u64, cycles: u64| {
+                    if run.cycles == 0 {
+                        format!("{ops} ops")
+                    } else {
+                        format!("{ops} ops / {cycles} cyc")
+                    }
+                };
+                vec![
+                    run.label.to_string(),
+                    cell(p.predict.ops.total(), p.predict.cycles),
+                    cell(p.gate.ops.total(), p.gate.cycles),
+                    cell(p.update.ops.total(), p.update.cycles),
+                    cell(
+                        run.counts.total() - p.tracked_ops(),
+                        run.cycles.saturating_sub(p.tracked_cycles()),
+                    ),
+                ]
+            })
+            .collect::<Vec<_>>(),
     );
 
     let doc = Json::Obj(vec![
@@ -286,6 +355,23 @@ fn main() {
     ]);
     let path = write_json("BENCH_arith_full_filter.json", &doc);
     println!("\nwrote {}", path.display());
+
+    // Diff against the committed baseline so kernel regressions are
+    // visible in every run (cycles are modelled, so this comparison is
+    // machine-independent).
+    if let Some(baseline) = load_baseline("BENCH_arith_full_filter.json") {
+        let deltas = compare_labeled_to_baseline(
+            &baseline,
+            &doc,
+            "substrates",
+            &[
+                ("iekf5/softfloat", "cycles_per_sample"),
+                ("iekf5/q16.16", "cycles_per_sample"),
+                ("iekf5/f64", "error_rms_deg"),
+            ],
+        );
+        print_baseline_deltas("vs committed bench_baselines/", &deltas);
+    }
 
     // The emulated IEEE run of the real filter is bit-identical to the
     // native reference — same property the 3-state tier pins.

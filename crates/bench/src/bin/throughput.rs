@@ -23,7 +23,10 @@
 //! sustain the 100 Hz fusion budget in real time — the floor every
 //! future perf PR must keep.
 
-use bench_suite::{print_table, write_json, BenchArgs, Json};
+use bench_suite::{
+    compare_labeled_to_baseline, compare_to_baseline, load_baseline, print_baseline_deltas,
+    print_table, write_json, BenchArgs, Json,
+};
 use boresight::arith::F64ArithFast;
 use boresight::exec;
 use boresight::spec::{ScenarioSuite, Substrate, SuiteCell};
@@ -234,6 +237,24 @@ fn main() {
     let path = write_json("BENCH_throughput.json", &doc);
     println!("wrote {}", path.display());
 
+    // --- Baseline comparison ----------------------------------------
+    let baseline = load_baseline("BENCH_throughput.json");
+    if let Some(baseline) = &baseline {
+        let mut deltas = compare_labeled_to_baseline(
+            baseline,
+            &doc,
+            "substrates",
+            &[
+                ("f64", "samples_per_sec"),
+                ("softfloat", "samples_per_sec"),
+                ("q16.16", "samples_per_sec"),
+                ("f64/uncounted", "samples_per_sec"),
+            ],
+        );
+        deltas.extend(compare_to_baseline(baseline, &doc, &["matrix.speedup"]));
+        print_baseline_deltas("vs committed bench_baselines/ (wall clock)", &deltas);
+    }
+
     // --- The real-time gate (the CI smoke contract) -----------------
     let f64_row = &hot[0];
     assert_eq!(f64_row.label, "f64");
@@ -246,4 +267,35 @@ fn main() {
         "real-time gate passed: f64 sustains {:.0}x the {RT_BUDGET_HZ:.0} Hz budget",
         f64_row.realtime_factor()
     );
+
+    // --- Softfloat floor gate (opt-in: `--gate-softfloat-floor`) ----
+    // The structure-exploiting kernels bought the emulated path its
+    // throughput; this gate fails the run if softfloat falls back
+    // under 1.2x the committed baseline's figure. Wall clock is
+    // machine-dependent, so the gate is opt-in for CI (which runs on a
+    // known runner class) rather than always-on for developers.
+    if args.has_flag("gate-softfloat-floor") {
+        let baseline = baseline.expect("--gate-softfloat-floor needs bench_baselines/");
+        let floor = 1.2
+            * baseline
+                .find_labeled("substrates", "softfloat")
+                .and_then(|row| row.lookup("samples_per_sec"))
+                .and_then(Json::as_f64)
+                .expect("baseline softfloat samples_per_sec");
+        let soft = hot
+            .iter()
+            .find(|h| h.label == "softfloat")
+            .expect("softfloat row");
+        assert!(
+            soft.updates_per_sec() >= floor,
+            "softfloat throughput floor violated: {:.0} samples/s < {:.0} (1.2x baseline)",
+            soft.updates_per_sec(),
+            floor
+        );
+        println!(
+            "softfloat floor gate passed: {:.0} samples/s >= {:.0} (1.2x baseline)",
+            soft.updates_per_sec(),
+            floor
+        );
+    }
 }

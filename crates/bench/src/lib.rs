@@ -17,11 +17,14 @@ pub struct BenchArgs {
     pub positional: Vec<String>,
     /// Requested worker count (`0` = auto).
     pub workers: usize,
+    /// Boolean `--flag` switches, stored without the leading dashes.
+    pub flags: Vec<String>,
 }
 
 impl BenchArgs {
     /// Parses the process arguments, accepting `--workers N` (or
-    /// `--workers=N`) anywhere among the positionals.
+    /// `--workers=N`) and boolean `--flag` switches anywhere among the
+    /// positionals.
     ///
     /// # Panics
     ///
@@ -29,6 +32,7 @@ impl BenchArgs {
     pub fn parse() -> Self {
         let mut positional = Vec::new();
         let mut workers = 0usize;
+        let mut flags = Vec::new();
         let mut args = std::env::args().skip(1);
         while let Some(arg) = args.next() {
             if arg == "--workers" {
@@ -36,6 +40,8 @@ impl BenchArgs {
                 workers = v.parse().expect("--workers count must be an integer");
             } else if let Some(v) = arg.strip_prefix("--workers=") {
                 workers = v.parse().expect("--workers count must be an integer");
+            } else if let Some(flag) = arg.strip_prefix("--") {
+                flags.push(flag.to_string());
             } else {
                 positional.push(arg);
             }
@@ -43,6 +49,7 @@ impl BenchArgs {
         Self {
             positional,
             workers,
+            flags,
         }
     }
 
@@ -52,6 +59,11 @@ impl BenchArgs {
             .get(i)
             .and_then(|s| s.parse().ok())
             .unwrap_or(default)
+    }
+
+    /// `true` if the boolean switch `--<name>` was passed.
+    pub fn has_flag(&self, name: &str) -> bool {
+        self.flags.iter().any(|f| f == name)
     }
 }
 
@@ -90,6 +102,7 @@ pub fn write_csv(name: &str, columns: &[(&str, &[f64])]) -> PathBuf {
 
 /// A JSON value for [`write_json`] — just enough structure for the
 /// bench reports (no external serializer in the offline build).
+#[derive(Debug)]
 pub enum Json {
     /// A floating-point number (non-finite values serialize as null).
     Num(f64),
@@ -159,6 +172,309 @@ pub fn write_json(name: &str, value: &Json) -> PathBuf {
     let path = out_dir().join(name);
     fs::write(&path, text).expect("write json");
     path
+}
+
+impl Json {
+    /// Parses a JSON document (the subset [`write_json`] emits:
+    /// objects, arrays, strings with `\uXXXX`/standard escapes,
+    /// numbers, `true`/`false`/`null`; `null` and booleans parse as
+    /// non-finite / 0-or-1 [`Json::Num`]s). Returns `None` on
+    /// malformed input.
+    pub fn parse(text: &str) -> Option<Json> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos == bytes.len() {
+            Some(value)
+        } else {
+            None
+        }
+    }
+
+    /// Walks a `.`-separated path of object keys and array indices
+    /// (e.g. `"matrix.speedup"` or `"substrates.1.samples_per_sec"`).
+    pub fn lookup(&self, path: &str) -> Option<&Json> {
+        let mut node = self;
+        for part in path.split('.') {
+            node = match node {
+                Json::Obj(fields) => fields.iter().find(|(k, _)| k == part).map(|(_, v)| v)?,
+                Json::Arr(items) => items.get(part.parse::<usize>().ok()?)?,
+                _ => return None,
+            };
+        }
+        Some(node)
+    }
+
+    /// The numeric value of this node ([`Json::Num`] or [`Json::Int`]).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            Json::Int(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    /// Finds the element of an array field whose `label` equals
+    /// `label` — the shape every per-substrate bench report uses.
+    pub fn find_labeled(&self, array: &str, label: &str) -> Option<&Json> {
+        let Json::Arr(items) = self.lookup(array)? else {
+            return None;
+        };
+        items
+            .iter()
+            .find(|item| matches!(item.lookup("label"), Some(Json::Str(s)) if s == label))
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Option<Json> {
+    skip_ws(b, pos);
+    match *b.get(*pos)? {
+        b'{' => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Some(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let Json::Str(key) = parse_value(b, pos)? else {
+                    return None;
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return None;
+                }
+                *pos += 1;
+                fields.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos)? {
+                    b',' => *pos += 1,
+                    b'}' => {
+                        *pos += 1;
+                        return Some(Json::Obj(fields));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Some(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos)? {
+                    b',' => *pos += 1,
+                    b']' => {
+                        *pos += 1;
+                        return Some(Json::Arr(items));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        b'"' => {
+            *pos += 1;
+            let mut out = String::new();
+            loop {
+                match *b.get(*pos)? {
+                    b'"' => {
+                        *pos += 1;
+                        return Some(Json::Str(out));
+                    }
+                    b'\\' => {
+                        *pos += 1;
+                        match *b.get(*pos)? {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b't' => out.push('\t'),
+                            b'r' => out.push('\r'),
+                            b'u' => {
+                                let hex = b.get(*pos + 1..*pos + 5)?;
+                                let code =
+                                    u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                                out.push(char::from_u32(code)?);
+                                *pos += 4;
+                            }
+                            _ => return None,
+                        }
+                        *pos += 1;
+                    }
+                    _ => {
+                        // Advance over one UTF-8 scalar.
+                        let rest = std::str::from_utf8(&b[*pos..]).ok()?;
+                        let ch = rest.chars().next()?;
+                        out.push(ch);
+                        *pos += ch.len_utf8();
+                    }
+                }
+            }
+        }
+        b't' => {
+            if b.get(*pos..*pos + 4)? == b"true" {
+                *pos += 4;
+                Some(Json::Num(1.0))
+            } else {
+                None
+            }
+        }
+        b'f' => {
+            if b.get(*pos..*pos + 5)? == b"false" {
+                *pos += 5;
+                Some(Json::Num(0.0))
+            } else {
+                None
+            }
+        }
+        b'n' => {
+            if b.get(*pos..*pos + 4)? == b"null" {
+                *pos += 4;
+                Some(Json::Num(f64::NAN))
+            } else {
+                None
+            }
+        }
+        _ => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&b[start..*pos]).ok()?;
+            if !text.contains(['.', 'e', 'E']) {
+                if let Ok(i) = text.parse::<u64>() {
+                    return Some(Json::Int(i));
+                }
+            }
+            text.parse::<f64>().ok().map(Json::Num)
+        }
+    }
+}
+
+/// Directory holding the committed baseline bench reports the current
+/// `bench_out/` artifacts are diffed against (`bench_baselines/` at
+/// the workspace root).
+pub fn baseline_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join("bench_baselines")
+}
+
+/// Loads and parses a committed baseline report, if present.
+pub fn load_baseline(name: &str) -> Option<Json> {
+    let text = fs::read_to_string(baseline_dir().join(name)).ok()?;
+    Json::parse(&text)
+}
+
+/// One metric's baseline-vs-current comparison.
+pub struct BaselineDelta {
+    /// The metric's `.`-separated path (see [`Json::lookup`]).
+    pub metric: String,
+    /// Committed baseline value.
+    pub baseline: f64,
+    /// Freshly measured value.
+    pub current: f64,
+}
+
+impl BaselineDelta {
+    /// `current / baseline` (infinite when the baseline is zero).
+    pub fn ratio(&self) -> f64 {
+        self.current / self.baseline
+    }
+
+    /// Relative change, signed (`-0.30` = dropped 30 %).
+    pub fn relative_change(&self) -> f64 {
+        self.ratio() - 1.0
+    }
+}
+
+/// Diffs the named metrics between a committed baseline report and a
+/// freshly produced one. Metrics missing from either side are skipped
+/// (a baseline from an older schema must not panic a bench run).
+pub fn compare_to_baseline(
+    baseline: &Json,
+    current: &Json,
+    metrics: &[&str],
+) -> Vec<BaselineDelta> {
+    metrics
+        .iter()
+        .filter_map(|path| {
+            let b = baseline.lookup(path)?.as_f64()?;
+            let c = current.lookup(path)?.as_f64()?;
+            Some(BaselineDelta {
+                metric: (*path).to_string(),
+                baseline: b,
+                current: c,
+            })
+        })
+        .collect()
+}
+
+/// Diffs per-row metrics of a labeled array (the `substrates` shape)
+/// between a baseline and a fresh report, resolving rows by their
+/// `label` key on **both** sides — immune to rows being added or
+/// reordered, unlike positional `array.N.field` paths. Rows or fields
+/// missing from either side are skipped.
+pub fn compare_labeled_to_baseline(
+    baseline: &Json,
+    current: &Json,
+    array: &str,
+    label_fields: &[(&str, &str)],
+) -> Vec<BaselineDelta> {
+    label_fields
+        .iter()
+        .filter_map(|(label, field)| {
+            let b = baseline
+                .find_labeled(array, label)?
+                .lookup(field)?
+                .as_f64()?;
+            let c = current
+                .find_labeled(array, label)?
+                .lookup(field)?
+                .as_f64()?;
+            Some(BaselineDelta {
+                metric: format!("{label} {field}"),
+                baseline: b,
+                current: c,
+            })
+        })
+        .collect()
+}
+
+/// Prints a baseline comparison as an aligned table.
+pub fn print_baseline_deltas(title: &str, deltas: &[BaselineDelta]) {
+    print_table(
+        title,
+        &["metric", "baseline", "current", "change"],
+        &deltas
+            .iter()
+            .map(|d| {
+                vec![
+                    d.metric.clone(),
+                    format!("{:.3}", d.baseline),
+                    format!("{:.3}", d.current),
+                    format!("{:+.1}%", d.relative_change() * 100.0),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
 }
 
 /// Prints an aligned text table: a header row then data rows.
@@ -315,5 +631,102 @@ mod tests {
     #[should_panic(expected = "length mismatch")]
     fn csv_mismatched_columns_panic() {
         let _ = write_csv("bad.csv", &[("a", &[0.0][..]), ("b", &[1.0, 2.0][..])]);
+    }
+
+    #[test]
+    fn json_roundtrips_through_parse() {
+        let doc = Json::Obj(vec![
+            ("bench".into(), Json::Str("x \"quoted\"\n".into())),
+            ("n".into(), Json::Int(42)),
+            ("v".into(), Json::Num(1.5e-3)),
+            ("bad".into(), Json::Num(f64::NAN)),
+            (
+                "rows".into(),
+                Json::Arr(vec![
+                    Json::Obj(vec![
+                        ("label".into(), Json::Str("softfloat".into())),
+                        ("samples_per_sec".into(), Json::Num(26236.13)),
+                    ]),
+                    Json::Obj(vec![
+                        ("label".into(), Json::Str("f64".into())),
+                        ("samples_per_sec".into(), Json::Num(172268.3)),
+                    ]),
+                ]),
+            ),
+        ]);
+        let mut text = String::new();
+        doc.render(&mut text);
+        let parsed = Json::parse(&text).expect("parse");
+        assert_eq!(parsed.lookup("n").unwrap().as_f64(), Some(42.0));
+        assert_eq!(parsed.lookup("v").unwrap().as_f64(), Some(1.5e-3));
+        assert!(parsed.lookup("bad").unwrap().as_f64().unwrap().is_nan());
+        assert_eq!(
+            parsed
+                .lookup("rows.1.samples_per_sec")
+                .unwrap()
+                .as_f64()
+                .unwrap(),
+            172268.3
+        );
+        let soft = parsed.find_labeled("rows", "softfloat").expect("labeled");
+        assert_eq!(
+            soft.lookup("samples_per_sec").unwrap().as_f64().unwrap(),
+            26236.13
+        );
+        match parsed.lookup("bench").unwrap() {
+            Json::Str(s) => assert_eq!(s, "x \"quoted\"\n"),
+            other => panic!("wrong node {other:?}"),
+        }
+        assert!(Json::parse("{\"unterminated\": ").is_none());
+        assert!(Json::parse("[1, 2] trailing").is_none());
+    }
+
+    #[test]
+    fn baseline_deltas_compare_shared_metrics() {
+        let baseline = Json::parse(r#"{"a": 100.0, "nested": {"b": 4}}"#).expect("parse");
+        let current = Json::parse(r#"{"a": 70.0, "nested": {"b": 8}, "new": 1}"#).expect("parse");
+        let deltas = compare_to_baseline(&baseline, &current, &["a", "nested.b", "missing"]);
+        assert_eq!(deltas.len(), 2, "missing metrics are skipped");
+        assert_eq!(deltas[0].metric, "a");
+        assert!((deltas[0].relative_change() + 0.3).abs() < 1e-12);
+        assert!((deltas[1].ratio() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn labeled_baseline_deltas_survive_row_reordering() {
+        let baseline =
+            Json::parse(r#"{"rows": [{"label": "a", "v": 10}, {"label": "b", "v": 100}]}"#)
+                .expect("parse");
+        // Same rows, reordered, plus a new one — positional paths would
+        // silently compare the wrong rows.
+        let current = Json::parse(
+            r#"{"rows": [{"label": "new", "v": 1}, {"label": "b", "v": 50}, {"label": "a", "v": 20}]}"#,
+        )
+        .expect("parse");
+        let deltas = compare_labeled_to_baseline(
+            &baseline,
+            &current,
+            "rows",
+            &[("a", "v"), ("b", "v"), ("gone", "v")],
+        );
+        assert_eq!(deltas.len(), 2);
+        assert!((deltas[0].ratio() - 2.0).abs() < 1e-12, "a doubled");
+        assert!((deltas[1].ratio() - 0.5).abs() < 1e-12, "b halved");
+    }
+
+    #[test]
+    fn committed_baselines_parse() {
+        // The committed baseline snapshots must stay machine-readable —
+        // the CI throughput floor gate depends on them.
+        let throughput = load_baseline("BENCH_throughput.json").expect("committed baseline");
+        let soft = throughput
+            .find_labeled("substrates", "softfloat")
+            .expect("softfloat row");
+        assert!(soft.lookup("samples_per_sec").unwrap().as_f64().unwrap() > 0.0);
+        let ablation = load_baseline("BENCH_arith_full_filter.json").expect("committed baseline");
+        let soft = ablation
+            .find_labeled("substrates", "iekf5/softfloat")
+            .expect("softfloat row");
+        assert!(soft.lookup("cycles_per_sample").unwrap().as_f64().unwrap() > 0.0);
     }
 }

@@ -15,7 +15,11 @@
 //! * emulated IEEE binary64 ([`SoftArith`]) — the paper's
 //!   configuration, with exact operation counts and Sabre cycle costs,
 //! * Q16.16 fixed point ([`FixedArith`]) — the proposed enhancement,
-//!   saturating (never wrapping) with every saturation event counted.
+//!   saturating (never wrapping) with every saturation event counted,
+//! * `L` lockstep lanes of any of the above ([`LaneArith`]) — the
+//!   software mirror of an FPGA's replicated parallel datapath,
+//!   stepping `L` independent filters per instruction stream (see
+//!   [`crate::lanes`]).
 //!
 //! # The widened trait
 //!
@@ -88,6 +92,93 @@ impl OpCounts {
             + self.cmp
             + self.fma
             + self.trig
+    }
+
+    /// The counter growth from an `earlier` snapshot of the same
+    /// ledger to this one — the primitive behind per-phase attribution.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `earlier` is not an earlier snapshot
+    /// (any counter would go negative).
+    pub fn since(&self, earlier: &OpCounts) -> OpCounts {
+        OpCounts {
+            add: self.add - earlier.add,
+            sub: self.sub - earlier.sub,
+            mul: self.mul - earlier.mul,
+            div: self.div - earlier.div,
+            neg: self.neg - earlier.neg,
+            abs: self.abs - earlier.abs,
+            sqrt: self.sqrt - earlier.sqrt,
+            cmp: self.cmp - earlier.cmp,
+            fma: self.fma - earlier.fma,
+            trig: self.trig - earlier.trig,
+            saturations: self.saturations - earlier.saturations,
+        }
+    }
+
+    /// Accumulates another ledger into this one.
+    pub fn accumulate(&mut self, other: &OpCounts) {
+        self.add += other.add;
+        self.sub += other.sub;
+        self.mul += other.mul;
+        self.div += other.div;
+        self.neg += other.neg;
+        self.abs += other.abs;
+        self.sqrt += other.sqrt;
+        self.cmp += other.cmp;
+        self.fma += other.fma;
+        self.trig += other.trig;
+        self.saturations += other.saturations;
+    }
+}
+
+/// The cost a ledger attributes to one algorithm phase: its op counts
+/// plus the substrate's modelled cycles.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseCost {
+    /// Operations charged to the phase.
+    pub ops: OpCounts,
+    /// Modelled cycles charged to the phase (0 on substrates that are
+    /// not cycle-modelled).
+    pub cycles: u64,
+}
+
+impl PhaseCost {
+    /// Charges the growth between two `(counts, cycles)` snapshots.
+    pub fn charge(&mut self, before: (OpCounts, u64), after: (OpCounts, u64)) {
+        self.ops.accumulate(&after.0.since(&before.0));
+        self.cycles += after.1 - before.1;
+    }
+}
+
+/// Per-phase attribution of the filter's arithmetic: where in the
+/// algorithm the substrate's ops and cycles are spent. Maintained by
+/// [`crate::filter::GenericBoresightFilter`] from ledger snapshots at
+/// phase boundaries, so it works unchanged on every substrate
+/// (including [`F64ArithFast`], where every delta is zero).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PhaseLedger {
+    /// Time propagation (`P += Q dt`).
+    pub predict: PhaseCost,
+    /// First-pass innovation, its sigma and the gate decision.
+    pub gate: PhaseCost,
+    /// IEKF iterations, the Joseph covariance update and the trust
+    /// region — only charged for accepted samples.
+    pub update: PhaseCost,
+}
+
+impl PhaseLedger {
+    /// Total ops attributed to a tracked phase (arithmetic outside the
+    /// filter — estimator prep, diagnostics — is the caller's ledger
+    /// total minus this).
+    pub fn tracked_ops(&self) -> u64 {
+        self.predict.ops.total() + self.gate.ops.total() + self.update.ops.total()
+    }
+
+    /// Total cycles attributed to a tracked phase.
+    pub fn tracked_cycles(&self) -> u64 {
+        self.predict.cycles + self.gate.cycles + self.update.cycles
     }
 }
 
@@ -617,6 +708,151 @@ impl Arith for FixedArith {
 
     fn reset_counts(&mut self) {
         self.counts = OpCounts::default();
+    }
+}
+
+/// A multi-lane batched substrate: `L` independent values of an inner
+/// substrate stepped in lockstep, the software mirror of an FPGA's
+/// replicated parallel datapath.
+///
+/// The scalar is `[A::T; L]` and every arithmetic operation applies
+/// the inner substrate's operation to each lane. On native `f64` the
+/// lane loops are trivially unrollable/vectorizable; on emulated
+/// substrates the per-operation dispatch overhead is amortized over
+/// `L` useful results. Each lane's value stream is **bit-identical**
+/// to running the inner substrate alone (the property the lane-parity
+/// tests pin), because a lane never observes its neighbours.
+///
+/// # Collective comparisons
+///
+/// [`Arith::lt`] and [`Arith::eq`] must return one `bool`, so here
+/// they are *collective*: true only when every lane agrees. Lockstep
+/// code that needs per-lane control flow (the gate, the trust region,
+/// IEKF convergence) must use the per-lane probes
+/// ([`LaneArith::lane_lt`], [`LaneArith::lane_to_f64`]) and mask its
+/// own writes — which is exactly what [`crate::lanes::LaneIekf`] does.
+/// [`Arith::max`] and [`Arith::abs`] stay element-wise (they are value
+/// selections, not control flow).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LaneArith<A: Arith, const L: usize> {
+    inner: A,
+}
+
+impl<A: Arith, const L: usize> LaneArith<A, L> {
+    /// Wraps an inner substrate context.
+    pub fn new(inner: A) -> Self {
+        Self { inner }
+    }
+
+    /// The inner substrate context (one shared ledger across lanes).
+    pub fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    /// The inner substrate context, mutably.
+    pub fn inner_mut(&mut self) -> &mut A {
+        &mut self.inner
+    }
+
+    /// Builds a lane value from per-lane `f64`s.
+    pub fn from_lanes(&mut self, xs: [f64; L]) -> [A::T; L] {
+        xs.map(|x| self.inner.num(x))
+    }
+
+    /// Reads one lane back as `f64`.
+    pub fn lane_to_f64(&self, v: &[A::T; L], lane: usize) -> f64 {
+        self.inner.to_f64(v[lane])
+    }
+
+    /// Per-lane strict less-than — the masked-control-flow probe.
+    pub fn lane_lt(&mut self, a: &[A::T; L], b: &[A::T; L]) -> [bool; L] {
+        std::array::from_fn(|i| self.inner.lt(a[i], b[i]))
+    }
+}
+
+impl<A: Arith, const L: usize> Arith for LaneArith<A, L> {
+    type T = [A::T; L];
+
+    fn num(&mut self, x: f64) -> Self::T {
+        [self.inner.num(x); L]
+    }
+
+    fn to_f64(&self, x: Self::T) -> f64 {
+        self.inner.to_f64(x[0])
+    }
+
+    fn add(&mut self, a: Self::T, b: Self::T) -> Self::T {
+        std::array::from_fn(|i| self.inner.add(a[i], b[i]))
+    }
+
+    fn sub(&mut self, a: Self::T, b: Self::T) -> Self::T {
+        std::array::from_fn(|i| self.inner.sub(a[i], b[i]))
+    }
+
+    fn mul(&mut self, a: Self::T, b: Self::T) -> Self::T {
+        std::array::from_fn(|i| self.inner.mul(a[i], b[i]))
+    }
+
+    fn div(&mut self, a: Self::T, b: Self::T) -> Self::T {
+        std::array::from_fn(|i| self.inner.div(a[i], b[i]))
+    }
+
+    fn sqrt(&mut self, a: Self::T) -> Self::T {
+        std::array::from_fn(|i| self.inner.sqrt(a[i]))
+    }
+
+    fn neg(&mut self, a: Self::T) -> Self::T {
+        std::array::from_fn(|i| self.inner.neg(a[i]))
+    }
+
+    fn abs(&mut self, a: Self::T) -> Self::T {
+        std::array::from_fn(|i| self.inner.abs(a[i]))
+    }
+
+    fn lt(&mut self, a: Self::T, b: Self::T) -> bool {
+        (0..L).all(|i| self.inner.lt(a[i], b[i]))
+    }
+
+    fn eq(&mut self, a: Self::T, b: Self::T) -> bool {
+        (0..L).all(|i| self.inner.eq(a[i], b[i]))
+    }
+
+    fn max(&mut self, a: Self::T, b: Self::T) -> Self::T {
+        std::array::from_fn(|i| self.inner.max(a[i], b[i]))
+    }
+
+    fn fma(&mut self, a: Self::T, b: Self::T, c: Self::T) -> Self::T {
+        std::array::from_fn(|i| self.inner.fma(a[i], b[i], c[i]))
+    }
+
+    fn sin_cos(&mut self, a: Self::T) -> (Self::T, Self::T) {
+        let mut cs = [a[0]; L];
+        let sn = std::array::from_fn(|i| {
+            let (s, c) = self.inner.sin_cos(a[i]);
+            cs[i] = c;
+            s
+        });
+        (sn, cs)
+    }
+
+    fn name(&self) -> &'static str {
+        "lanes"
+    }
+
+    fn iekf_label(&self) -> &'static str {
+        "iekf5/lanes"
+    }
+
+    fn counts(&self) -> OpCounts {
+        self.inner.counts()
+    }
+
+    fn cycles(&self) -> u64 {
+        self.inner.cycles()
+    }
+
+    fn reset_counts(&mut self) {
+        self.inner.reset_counts();
     }
 }
 

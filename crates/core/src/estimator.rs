@@ -115,6 +115,19 @@ pub struct GenericBoresightEstimator<A: Arith> {
     config: EstimatorConfig,
     filter: GenericBoresightFilter<A>,
     monitor: Option<ResidualMonitor>,
+    prep: ImuPrep<A>,
+    last_update_time: f64,
+    dropped_no_imu: u64,
+}
+
+/// The IMU-side front end of the fusion algorithm, factored out of the
+/// estimator so lockstep lane backends ([`crate::lanes::LaneBank`])
+/// can share it: slope-limited extrapolation of the asynchronous DMU
+/// stream to ACC timestamps plus gyro differentiation for the
+/// lever-arm compensation. All math runs through the caller's
+/// arithmetic context, so the substrate's ledger covers it.
+#[derive(Clone, Debug)]
+pub struct ImuPrep<A: Arith> {
     last_dmu: Option<DmuSample>,
     prev_dmu: Option<DmuSample>,
     /// Exponentially smoothed d(f_imu)/dt used to extrapolate the IMU
@@ -122,8 +135,6 @@ pub struct GenericBoresightEstimator<A: Arith> {
     f_slope: [A::T; 3],
     prev_gyro: Option<(f64, Vec3)>,
     angular_accel: [A::T; 3],
-    last_update_time: f64,
-    dropped_no_imu: u64,
 }
 
 /// The native-`f64` estimator — the reference instantiation every
@@ -174,16 +185,12 @@ impl<A: Arith> GenericBoresightEstimator<A> {
         let monitor = config
             .monitor
             .map(|m| ResidualMonitor::new(m, config.filter.measurement_sigma));
-        let zero = filter.arith_mut().num(0.0);
+        let prep = ImuPrep::new(filter.arith_mut());
         Self {
             config,
             filter,
             monitor,
-            last_dmu: None,
-            prev_dmu: None,
-            f_slope: [zero; 3],
-            prev_gyro: None,
-            angular_accel: [zero; 3],
+            prep,
             last_update_time: 0.0,
             dropped_no_imu: 0,
         }
@@ -217,7 +224,64 @@ impl<A: Arith> GenericBoresightEstimator<A> {
     /// Ingests a DMU sample (specific force + angular rate in body
     /// axes). Also differentiates the gyro for the lever-arm term.
     pub fn on_dmu(&mut self, sample: &DmuSample) {
-        let a = self.filter.arith_mut();
+        self.prep.on_dmu(self.filter.arith_mut(), sample);
+    }
+
+    /// Ingests a two-axis ACC sample (m/s^2) at time `t`, pairing it
+    /// with the most recent DMU sample (zero-order hold — the two
+    /// streams are asynchronous in the real system). Returns the
+    /// filter update record, or `None` if no DMU sample has arrived.
+    pub fn on_acc(&mut self, time_s: f64, z: Vec2) -> Option<KalmanUpdate> {
+        let lever_arm = self.config.lever_arm;
+        let f_b = self
+            .prep
+            .compensated_force(self.filter.arith_mut(), time_s, lever_arm)?;
+        let dt = (time_s - self.last_update_time).max(0.0);
+        self.last_update_time = time_s;
+        self.filter.predict(dt);
+        let update = self.filter.update_t(z, f_b, time_s);
+        if let Some(monitor) = &mut self.monitor {
+            if let Some(retune) = monitor.observe(&update) {
+                self.filter.set_measurement_sigma(retune.new_sigma);
+            }
+        }
+        Some(update)
+    }
+
+    /// The current estimate with confidence.
+    pub fn estimate(&self) -> MisalignmentEstimate
+    where
+        A: Clone,
+    {
+        MisalignmentEstimate {
+            angles: self.filter.angles(),
+            one_sigma: self.filter.angle_sigma(),
+            updates: self.filter.update_count(),
+        }
+    }
+}
+
+impl<A: Arith> ImuPrep<A> {
+    /// A fresh front end over the given context.
+    pub fn new(a: &mut A) -> Self {
+        let zero = a.num(0.0);
+        Self {
+            last_dmu: None,
+            prev_dmu: None,
+            f_slope: [zero; 3],
+            prev_gyro: None,
+            angular_accel: [zero; 3],
+        }
+    }
+
+    /// The most recent DMU sample, if any has arrived.
+    pub fn last_dmu(&self) -> Option<&DmuSample> {
+        self.last_dmu.as_ref()
+    }
+
+    /// Ingests a DMU sample: differentiates the gyro for the lever-arm
+    /// term and updates the slope-limited specific-force extrapolator.
+    pub fn on_dmu(&mut self, a: &mut A, sample: &DmuSample) {
         if let Some((t_prev, w_prev)) = self.prev_gyro {
             let dt = sample.time_s - t_prev;
             if dt > 1e-6 {
@@ -275,9 +339,8 @@ impl<A: Arith> GenericBoresightEstimator<A> {
     /// forward (the smoothing keeps the IMU noise from being amplified
     /// by differencing; the horizon is clamped to one DMU interval so
     /// outages do not extrapolate wildly).
-    fn specific_force_at(&mut self, t: f64) -> Option<[A::T; 3]> {
+    fn specific_force_at(&mut self, a: &mut A, t: f64) -> Option<[A::T; 3]> {
         let last = self.last_dmu?;
-        let a = self.filter.arith_mut();
         let accel = [
             a.num(last.accel[0]),
             a.num(last.accel[1]),
@@ -296,47 +359,33 @@ impl<A: Arith> GenericBoresightEstimator<A> {
         Some(out)
     }
 
-    /// Ingests a two-axis ACC sample (m/s^2) at time `t`, pairing it
-    /// with the most recent DMU sample (zero-order hold — the two
-    /// streams are asynchronous in the real system). Returns the
-    /// filter update record, or `None` if no DMU sample has arrived.
-    pub fn on_acc(&mut self, time_s: f64, z: Vec2) -> Option<KalmanUpdate> {
+    /// The body-frame specific force at the ACC's location and time:
+    /// the extrapolated IMU stream plus the lever-arm compensation
+    /// terms (tangential + centripetal, from the differentiated gyro).
+    /// `None` until a DMU sample has arrived.
+    pub fn compensated_force(
+        &mut self,
+        a: &mut A,
+        time_s: f64,
+        lever_arm: Vec3,
+    ) -> Option<[A::T; 3]> {
         let dmu = self.last_dmu?;
-        let f_imu = self.specific_force_at(time_s)?;
+        let gyro = dmu.gyro;
+        let f_imu = self.specific_force_at(a, time_s)?;
         // Lever-arm compensation: the ACC sits at r from the IMU, so it
         // senses extra rotational terms we remove using the gyro.
-        let r = self.config.lever_arm;
         let angular_accel = self.angular_accel;
-        let a = self.filter.arith_mut();
-        let r_t = [a.num(r[0]), a.num(r[1]), a.num(r[2])];
-        let w = [a.num(dmu.gyro[0]), a.num(dmu.gyro[1]), a.num(dmu.gyro[2])];
+        let r_t = [
+            a.num(lever_arm[0]),
+            a.num(lever_arm[1]),
+            a.num(lever_arm[2]),
+        ];
+        let w = [a.num(gyro[0]), a.num(gyro[1]), a.num(gyro[2])];
         let tangential = smallmat::cross3(a, &angular_accel, &r_t);
         let wr = smallmat::cross3(a, &w, &r_t);
         let centripetal = smallmat::cross3(a, &w, &wr);
         let extra = smallmat::vec_add(a, &tangential, &centripetal);
-        let f_b = smallmat::vec_add(a, &f_imu, &extra);
-        let dt = (time_s - self.last_update_time).max(0.0);
-        self.last_update_time = time_s;
-        self.filter.predict(dt);
-        let update = self.filter.update_t(z, f_b, time_s);
-        if let Some(monitor) = &mut self.monitor {
-            if let Some(retune) = monitor.observe(&update) {
-                self.filter.set_measurement_sigma(retune.new_sigma);
-            }
-        }
-        Some(update)
-    }
-
-    /// The current estimate with confidence.
-    pub fn estimate(&self) -> MisalignmentEstimate
-    where
-        A: Clone,
-    {
-        MisalignmentEstimate {
-            angles: self.filter.angles(),
-            one_sigma: self.filter.angle_sigma(),
-            updates: self.filter.update_count(),
-        }
+        Some(smallmat::vec_add(a, &f_imu, &extra))
     }
 }
 

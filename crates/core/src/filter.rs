@@ -14,13 +14,22 @@
 //!
 //! Since the generic-arithmetic refactor the whole algorithm runs over
 //! any [`Arith`] number system: [`GenericBoresightFilter<A>`] performs
-//! every scalar operation through the substrate, with the dense linear
+//! every scalar operation through the substrate, with the linear
 //! algebra shared with the 3-state ablation filter via
-//! [`crate::smallmat`]. [`BoresightFilter`] is the native-`f64`
-//! instantiation and reproduces the pre-refactor filter **bit for
-//! bit** (pinned by `tests/arith_full_filter.rs`).
+//! [`crate::smallmat`]. The hot path is *structure-exploiting*: one
+//! fused trig/Jacobian evaluation per linearization point, the gate
+//! pass reused as IEKF iteration 0, an exactly symmetric `P` (so
+//! `P J^T` is a transposition of `J P`), a closed-form 2x2 innovation
+//! solve and a rank-2 packed Joseph update — every saved multiply is a
+//! saved cycle in the Softfloat/fixed-point ledgers, and the
+//! [`crate::arith::PhaseLedger`] attributes where the remaining ops
+//! land (predict / gate / update). [`BoresightFilter`] is the
+//! native-`f64` instantiation, pinned bit-for-bit against the
+//! reference trace in `tests/arith_full_filter.rs` (deliberately
+//! re-pinned for the kernel rewrite; the dense reference kernels stay
+//! compiled and cross-checked by proptest).
 
-use crate::arith::{Arith, F64Arith};
+use crate::arith::{Arith, F64Arith, OpCounts, PhaseLedger};
 use crate::model::{self, Meas, State, StateCov, MEAS_DIM, STATE_DIM};
 use crate::smallmat;
 use mathx::{EulerAngles, Vec2, Vec3};
@@ -137,9 +146,20 @@ pub struct GenericBoresightFilter<A: Arith> {
     config: FilterConfig,
     arith: A,
     x: [A::T; STATE_DIM],
+    /// Kept **exactly symmetric** (bitwise): the update writes only
+    /// unique entries and mirrors them, prediction and the trust
+    /// region touch the diagonal only. The structure-exploiting update
+    /// kernels rely on this invariant (e.g. `P J^T` is read off `J P`
+    /// by transposition instead of a second 50-FMA product).
     p: [[A::T; STATE_DIM]; STATE_DIM],
     updates: u64,
     rejected: u64,
+    phases: PhaseLedger,
+}
+
+/// `(counts, cycles)` snapshot for phase attribution.
+fn ledger_snapshot<A: Arith>(a: &A) -> (OpCounts, u64) {
+    (a.counts(), a.cycles())
 }
 
 /// The native-`f64` filter — the reference instantiation every
@@ -192,6 +212,7 @@ impl<A: Arith> GenericBoresightFilter<A> {
             p,
             updates: 0,
             rejected: 0,
+            phases: PhaseLedger::default(),
         }
     }
 
@@ -284,12 +305,15 @@ impl<A: Arith> GenericBoresightFilter<A> {
         self.rejected
     }
 
-    /// Time propagation over `dt` seconds: the state is constant, the
-    /// covariance grows by the random-walk process noise.
+    /// Time propagation over `dt` seconds: the state transition is the
+    /// identity (a random walk), so the full `F P F^T + Q` collapses
+    /// to the symmetric diagonal bump `P += Q dt` — no dense products,
+    /// no work off the diagonal, symmetry preserved by construction.
     pub fn predict(&mut self, dt: f64) {
         if dt <= 0.0 {
             return;
         }
+        let before = ledger_snapshot(&self.arith);
         let qa = self.config.angle_process_density.powi(2) * dt;
         let qb = if self.config.estimate_bias {
             self.config.bias_process_density.powi(2) * dt
@@ -305,6 +329,17 @@ impl<A: Arith> GenericBoresightFilter<A> {
         for i in 3..STATE_DIM {
             self.p[i][i] = a.add(self.p[i][i], qb_t);
         }
+        let after = ledger_snapshot(&self.arith);
+        self.phases.predict.charge(before, after);
+    }
+
+    /// Where the substrate's ops and cycles were spent, by algorithm
+    /// phase (predict / gate / update). Arithmetic the filter did not
+    /// run — the estimator's sensor prep, diagnostics over cloned
+    /// contexts — is the difference between [`Arith::counts`] and
+    /// [`PhaseLedger::tracked_ops`].
+    pub fn phase_ledger(&self) -> &PhaseLedger {
+        &self.phases
     }
 
     /// Measurement update with the ACC sample `z` (m/s^2, x'/y') given
@@ -328,7 +363,20 @@ impl<A: Arith> GenericBoresightFilter<A> {
     /// [`Self::update`] with the specific force already in the
     /// substrate (the generic estimator's lever-arm and slope math
     /// produces it there).
+    ///
+    /// This is the structure-exploiting hot path: one fused
+    /// trig/Jacobian evaluation per linearization point
+    /// ([`model::h_and_jacobian_generic`]), the gate-pass model reused
+    /// verbatim for IEKF iteration 0 (its linearization point *is* the
+    /// prior), `S` accumulated in packed symmetric form, the 2x2
+    /// innovation solved closed-form ([`smallmat::inverse2_sym`]),
+    /// `P J^T` read off `J P` by transposition (valid because `P` is
+    /// kept exactly symmetric) and the Joseph update specialized to
+    /// the rank-2 measurement ([`smallmat::joseph_update_sym`]). The
+    /// dense reference kernels remain in [`crate::smallmat`] and the
+    /// optimized path is cross-checked against them by proptest.
     pub fn update_t(&mut self, z: Meas, f_b: [A::T; 3], time_s: f64) -> KalmanUpdate {
+        let gate_before = ledger_snapshot(&self.arith);
         let r = self.config.measurement_sigma.powi(2);
         let estimate_bias = self.config.estimate_bias;
         let a = &mut self.arith;
@@ -339,13 +387,10 @@ impl<A: Arith> GenericBoresightFilter<A> {
 
         // First-pass innovation and its sigma: this is what the
         // residual monitor sees (z minus the prior prediction).
-        let h0 = model::h_generic(a, &x_pred, &f_b);
+        let (h0, jac0) = model_at(a, estimate_bias, &x_pred, &f_b);
         let innov_t = [a.sub(zt[0], h0[0]), a.sub(zt[1], h0[1])];
-        let jac0 = jacobian_at(a, estimate_bias, &x_pred, &f_b);
-        let jp = smallmat::mul(a, &jac0, &self.p);
-        let jpj = smallmat::mul_nt(a, &jp, &jac0);
-        let ir = smallmat::scaled_identity::<A, MEAS_DIM>(a, r_t);
-        let s0 = smallmat::add(a, &jpj, &ir);
+        let jp0 = smallmat::mul(a, &jac0, &self.p);
+        let s0 = smallmat::innovation_cov(a, &jp0, &jac0, r_t);
         let m0 = a.max(s0[0][0], zero);
         let sig0 = a.sqrt(m0);
         let m1 = a.max(s0[1][1], zero);
@@ -368,6 +413,9 @@ impl<A: Arith> GenericBoresightFilter<A> {
             };
             if exceeded {
                 self.rejected += 1;
+                self.phases
+                    .gate
+                    .charge(gate_before, ledger_snapshot(&self.arith));
                 return KalmanUpdate {
                     time_s,
                     innovation,
@@ -376,22 +424,36 @@ impl<A: Arith> GenericBoresightFilter<A> {
                 };
             }
         }
+        let update_before = ledger_snapshot(&self.arith);
+        self.phases.gate.charge(gate_before, update_before);
 
+        let a = &mut self.arith;
         let iterations = self.config.iekf_iterations.max(1);
         let eps = a.num(1e-12);
         let mut x_i = x_pred;
+        // Iteration 0 relinearizes at x_i = x_pred — exactly where the
+        // gate pass just evaluated the model — so its h, J, J P and S
+        // are the gate's, reused, not recomputed.
+        let mut h_i = h0;
         let mut jac = jac0;
+        let mut jp = jp0;
+        let mut s = s0;
         let mut gain: Option<[[A::T; MEAS_DIM]; STATE_DIM]> = None;
-        for _ in 0..iterations {
-            jac = jacobian_at(a, estimate_bias, &x_i, &f_b);
-            let jp = smallmat::mul(a, &jac, &self.p);
-            let jpj = smallmat::mul_nt(a, &jp, &jac);
-            let ir = smallmat::scaled_identity::<A, MEAS_DIM>(a, r_t);
-            let s = smallmat::add(a, &jpj, &ir);
-            let s_inv = match smallmat::inverse(a, &s) {
+        for iter in 0..iterations {
+            if iter > 0 {
+                let (h, j) = model_at(a, estimate_bias, &x_i, &f_b);
+                h_i = h;
+                jac = j;
+                jp = smallmat::mul(a, &jac, &self.p);
+                s = smallmat::innovation_cov(a, &jp, &jac, r_t);
+            }
+            let s_inv = match smallmat::inverse2_sym(a, &s) {
                 Some(inv) => inv,
                 None => {
                     self.rejected += 1;
+                    self.phases
+                        .update
+                        .charge(update_before, ledger_snapshot(&self.arith));
                     return KalmanUpdate {
                         time_s,
                         innovation,
@@ -400,11 +462,12 @@ impl<A: Arith> GenericBoresightFilter<A> {
                     };
                 }
             };
-            let pjt = smallmat::mul_nt(a, &self.p, &jac);
+            // P J^T == (J P)^T entry for entry because P is exactly
+            // symmetric — pure data movement instead of 50 FMAs.
+            let pjt = smallmat::transpose(a, &jp);
             let k = smallmat::mul(a, &pjt, &s_inv);
             // IEKF residual: z - h(x_i) - H (x_pred - x_i).
-            let hi = model::h_generic(a, &x_i, &f_b);
-            let zh = [a.sub(zt[0], hi[0]), a.sub(zt[1], hi[1])];
+            let zh = [a.sub(zt[0], h_i[0]), a.sub(zt[1], h_i[1])];
             let dx = smallmat::vec_sub(a, &x_pred, &x_i);
             let jdx = smallmat::mat_vec(a, &jac, &dx);
             let resid = [a.sub(zh[0], jdx[0]), a.sub(zh[1], jdx[1])];
@@ -424,10 +487,15 @@ impl<A: Arith> GenericBoresightFilter<A> {
             self.x[3] = zero;
             self.x[4] = zero;
         }
-        // Joseph-form covariance update at the final linearization.
-        self.p = smallmat::joseph_update(a, &self.p, &k, &jac, r_t);
+        // Rank-2 Joseph-form covariance update at the final
+        // linearization, upper triangle mirrored (keeps P exactly
+        // symmetric for the next update's transposition shortcut).
+        self.p = smallmat::joseph_update_sym(a, &self.p, &k, &jac, r_t);
         self.apply_trust_region();
         self.updates += 1;
+        self.phases
+            .update
+            .charge(update_before, ledger_snapshot(&self.arith));
         KalmanUpdate {
             time_s,
             innovation,
@@ -495,21 +563,24 @@ fn clamp_sym<A: Arith>(a: &mut A, x: A::T, lim: A::T) -> A::T {
     }
 }
 
-/// Jacobian with the bias columns masked when bias estimation is
-/// disabled.
-fn jacobian_at<A: Arith>(
+/// Fused model + Jacobian evaluation with the bias columns masked when
+/// bias estimation is disabled. Shared with the lockstep lane filter
+/// ([`crate::lanes::LaneIekf`]), whose per-lane values must mirror
+/// this exact sequence.
+#[allow(clippy::type_complexity)]
+pub(crate) fn model_at<A: Arith>(
     a: &mut A,
     estimate_bias: bool,
     x: &[A::T; STATE_DIM],
     f_b: &[A::T; 3],
-) -> [[A::T; STATE_DIM]; MEAS_DIM] {
-    let mut jac = model::jacobian_generic(a, x, f_b);
+) -> ([A::T; MEAS_DIM], [[A::T; STATE_DIM]; MEAS_DIM]) {
+    let (h, mut jac) = model::h_and_jacobian_generic(a, x, f_b);
     if !estimate_bias {
         let zero = a.num(0.0);
         jac[0][3] = zero;
         jac[1][4] = zero;
     }
-    jac
+    (h, jac)
 }
 
 #[cfg(test)]
@@ -785,6 +856,70 @@ mod tests {
         let loose = run_with(0.05);
         assert!(loose[0] > tight[0]);
         assert!(loose[1] > tight[1]);
+    }
+
+    #[test]
+    fn covariance_stays_exactly_symmetric_bitwise() {
+        // The structure-exploiting update reads P J^T off J P by
+        // transposition, which is only bit-safe if P is *exactly*
+        // symmetric — not just numerically close.
+        let truth = EulerAngles::from_degrees(2.0, -1.5, 3.0);
+        let kf = run_filter(
+            truth,
+            Vec2::new([0.02, -0.01]),
+            rich_forces(3_000),
+            0.007,
+            FilterConfig::paper_static(),
+            8,
+        );
+        let p = kf.covariance();
+        for r in 0..5 {
+            for c in 0..5 {
+                assert_eq!(
+                    p[(r, c)].to_bits(),
+                    p[(c, r)].to_bits(),
+                    "P[{r}][{c}] not bitwise symmetric"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn phase_ledger_attributes_the_whole_filter() {
+        let truth = EulerAngles::from_degrees(2.0, -1.5, 3.0);
+        let kf = run_filter_over(
+            SoftArith::default(),
+            truth,
+            Vec2::zeros(),
+            rich_forces(500),
+            0.007,
+            FilterConfig::paper_static(),
+            9,
+        );
+        let phases = kf.phase_ledger();
+        assert!(phases.predict.ops.total() > 0, "predict charged");
+        assert!(phases.gate.ops.total() > 0, "gate charged");
+        assert!(phases.update.ops.total() > 0, "update charged");
+        assert!(phases.update.cycles > phases.gate.cycles);
+        // Every filter op lands in exactly one phase: the ledger total
+        // is the sum of the three (this test drives the filter
+        // directly, so there is no front-end remainder).
+        let counts = kf.arith().counts();
+        assert_eq!(counts.total(), phases.tracked_ops());
+        assert_eq!(kf.arith().cycles(), phases.tracked_cycles());
+        // Gate-rejected samples charge the gate but not the update.
+        let mut gated = BoresightFilter::new(FilterConfig::paper_static());
+        let f = Vec3::new([0.0, 0.0, STANDARD_GRAVITY]);
+        for i in 0..50 {
+            gated.predict(0.005);
+            gated.update(Vec2::zeros(), f, i as f64 * 0.005);
+        }
+        let update_before = gated.phase_ledger().update;
+        let gate_before = gated.phase_ledger().gate.ops.total();
+        let upd = gated.update(Vec2::new([9.0, -9.0]), f, 1.0);
+        assert!(!upd.accepted);
+        assert_eq!(gated.phase_ledger().update, update_before);
+        assert!(gated.phase_ledger().gate.ops.total() > gate_before);
     }
 
     #[test]

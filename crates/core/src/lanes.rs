@@ -1,0 +1,795 @@
+//! Multi-lane lockstep fusion: `L` independent 5-state IEKFs stepped
+//! through one shared instruction stream.
+//!
+//! The paper's FPGA argument is that a fixed algorithm earns its
+//! throughput from *replicated datapaths*, not faster sequencers. This
+//! module is the software mirror of that: [`LaneIekf`] keeps `L`
+//! filters' states in structure-of-arrays form and runs every
+//! arithmetic operation once per instruction across all lanes through
+//! [`LaneArith`] — on native `f64` the lane loops vectorize, on
+//! emulated substrates the per-op dispatch overhead is amortized over
+//! `L` results.
+//!
+//! Lanes are *independent filters*, so per-lane control flow (the
+//! innovation gate, IEKF convergence, trust-region clamps, solver
+//! singularity) is handled the way a SIMD/FPGA datapath handles it:
+//! every lane executes every instruction, and diverging lanes have
+//! their writes masked. A masked lane burns its lane slot — exactly
+//! like an idle parallel datapath — but its value stream is
+//! **bit-identical** to a scalar [`crate::filter::GenericBoresightFilter`] run
+//! (pinned per-lane by `tests/lane_parity.rs`).
+//!
+//! [`LaneBank`] packages a lane filter plus the shared IMU front end
+//! ([`ImuPrep`]) and per-lane residual monitors as a
+//! [`FusionBackend`], fusing `L` synchronized ACC channels in one
+//! session — the batched alternative to `L` scalar estimators or a
+//! [`crate::multi::MultiBoresight`] bank.
+
+// Index-based loops are deliberate: they mirror the masked per-lane
+// writes of a SIMD datapath (and the matrix equations behind them).
+#![allow(clippy::needless_range_loop)]
+
+use crate::arith::{Arith, LaneArith};
+use crate::estimator::{EstimatorConfig, ImuPrep, MisalignmentEstimate};
+use crate::filter::{model_at, FilterConfig, KalmanUpdate};
+use crate::model::{MEAS_DIM, STATE_DIM};
+use crate::monitor::{ResidualMonitor, Retune};
+use crate::session::FusionBackend;
+use crate::smallmat;
+use mathx::{EulerAngles, Vec2, Vec3};
+use sensors::DmuSample;
+use std::any::Any;
+
+/// `L` independent 5-state iterated EKFs in lockstep over the inner
+/// substrate `A`.
+///
+/// Mirrors the structure-exploiting scalar update of
+/// [`crate::filter::GenericBoresightFilter`] instruction for instruction; lanes that
+/// diverge in control flow (gate rejection, convergence, singular
+/// innovation) have their state writes masked so each lane's result is
+/// bit-identical to its scalar run.
+///
+/// All lanes share one [`FilterConfig`]; the measurement sigma is
+/// per-lane (adaptive retunes fire independently).
+#[derive(Clone, Debug)]
+pub struct LaneIekf<A: Arith, const L: usize> {
+    config: FilterConfig,
+    arith: LaneArith<A, L>,
+    sigmas: [f64; L],
+    x: [[A::T; L]; STATE_DIM],
+    /// Kept exactly symmetric per lane, like the scalar filter's.
+    p: [[[A::T; L]; STATE_DIM]; STATE_DIM],
+    updates: [u64; L],
+    rejected: [u64; L],
+}
+
+impl<A: Arith, const L: usize> LaneIekf<A, L> {
+    /// Creates the lane filter over the substrate's default context.
+    pub fn new(config: FilterConfig) -> Self
+    where
+        A: Default,
+    {
+        Self::with_arith(A::default(), config)
+    }
+
+    /// Creates the lane filter over an explicit inner context.
+    pub fn with_arith(inner: A, config: FilterConfig) -> Self {
+        let mut arith: LaneArith<A, L> = LaneArith::new(inner);
+        let zero = arith.num(0.0);
+        let a2 = config.initial_angle_sigma * config.initial_angle_sigma;
+        let b2 = if config.estimate_bias {
+            config.initial_bias_sigma * config.initial_bias_sigma
+        } else {
+            0.0
+        };
+        let mut p = [[zero; STATE_DIM]; STATE_DIM];
+        for (i, row) in p.iter_mut().enumerate() {
+            row[i] = if i < 3 { arith.num(a2) } else { arith.num(b2) };
+        }
+        Self {
+            config,
+            arith,
+            sigmas: [config.measurement_sigma; L],
+            x: [zero; STATE_DIM],
+            p,
+            updates: [0; L],
+            rejected: [0; L],
+        }
+    }
+
+    /// Number of lanes.
+    pub const fn lanes(&self) -> usize {
+        L
+    }
+
+    /// The lane arithmetic context (one shared ledger for all lanes).
+    pub fn arith(&self) -> &LaneArith<A, L> {
+        &self.arith
+    }
+
+    /// The configuration shared by every lane.
+    pub fn config(&self) -> &FilterConfig {
+        &self.config
+    }
+
+    /// One lane's measurement noise 1-sigma.
+    pub fn measurement_sigma(&self, lane: usize) -> f64 {
+        self.sigmas[lane]
+    }
+
+    /// Retunes one lane's measurement noise.
+    pub fn set_measurement_sigma(&mut self, lane: usize, sigma: f64) {
+        self.sigmas[lane] = sigma.max(1e-6);
+    }
+
+    /// One lane's estimated misalignment.
+    pub fn angles(&self, lane: usize) -> EulerAngles {
+        EulerAngles::new(
+            self.arith.lane_to_f64(&self.x[0], lane),
+            self.arith.lane_to_f64(&self.x[1], lane),
+            self.arith.lane_to_f64(&self.x[2], lane),
+        )
+    }
+
+    /// One lane's estimated ACC biases, m/s^2.
+    pub fn bias(&self, lane: usize) -> Vec2 {
+        Vec2::new([
+            self.arith.lane_to_f64(&self.x[3], lane),
+            self.arith.lane_to_f64(&self.x[4], lane),
+        ])
+    }
+
+    /// One lane's per-angle 1-sigma, rad (read-out over a cloned
+    /// context, like the scalar filter's).
+    pub fn angle_sigma(&self, lane: usize) -> Vec3
+    where
+        A: Clone,
+    {
+        let mut a = self.arith.inner().clone();
+        let zero = a.num(0.0);
+        let mut out = [0.0; 3];
+        for (i, o) in out.iter_mut().enumerate() {
+            let m = a.max(self.p[i][i][lane], zero);
+            let s = a.sqrt(m);
+            *o = a.to_f64(s);
+        }
+        Vec3::new(out)
+    }
+
+    /// One lane's accepted-update count.
+    pub fn update_count(&self, lane: usize) -> u64 {
+        self.updates[lane]
+    }
+
+    /// One lane's gate-rejected count.
+    pub fn rejected_count(&self, lane: usize) -> u64 {
+        self.rejected[lane]
+    }
+
+    /// One lane's estimate with confidence.
+    pub fn estimate(&self, lane: usize) -> MisalignmentEstimate
+    where
+        A: Clone,
+    {
+        MisalignmentEstimate {
+            angles: self.angles(lane),
+            one_sigma: self.angle_sigma(lane),
+            updates: self.updates[lane],
+        }
+    }
+
+    /// Time propagation, all lanes at once (lanes run in lockstep on a
+    /// common schedule): the symmetric diagonal bump `P += Q dt`.
+    pub fn predict(&mut self, dt: f64) {
+        if dt <= 0.0 {
+            return;
+        }
+        let qa = self.config.angle_process_density.powi(2) * dt;
+        let qb = if self.config.estimate_bias {
+            self.config.bias_process_density.powi(2) * dt
+        } else {
+            0.0
+        };
+        let a = &mut self.arith;
+        let qa_t = a.num(qa);
+        let qb_t = a.num(qb);
+        for i in 0..3 {
+            self.p[i][i] = a.add(self.p[i][i], qa_t);
+        }
+        for i in 3..STATE_DIM {
+            self.p[i][i] = a.add(self.p[i][i], qb_t);
+        }
+    }
+
+    /// Measurement update, all lanes at once: lane `i` fuses `z[i]`
+    /// against the shared body specific force `f_b` (the
+    /// one-IMU-many-sensors configuration). Returns each lane's update
+    /// record.
+    pub fn update_shared_force(
+        &mut self,
+        z: &[Vec2; L],
+        f_b: [A::T; 3],
+        time_s: f64,
+    ) -> [KalmanUpdate; L] {
+        let fb = f_b.map(|v| [v; L]);
+        self.update_lanes_t(z, fb, time_s)
+    }
+
+    /// Measurement update with a distinct specific force per lane
+    /// (independent scenarios in lockstep).
+    pub fn update_lanes(
+        &mut self,
+        z: &[Vec2; L],
+        f_b: &[Vec3; L],
+        time_s: f64,
+    ) -> [KalmanUpdate; L] {
+        let mut fb = [[self.arith.inner_mut().num(0.0); L]; 3];
+        for axis in 0..3 {
+            for lane in 0..L {
+                fb[axis][lane] = self.arith.inner_mut().num(f_b[lane][axis]);
+            }
+        }
+        self.update_lanes_t(z, fb, time_s)
+    }
+
+    /// The lockstep mirror of the scalar filter's `update_t`.
+    fn update_lanes_t(
+        &mut self,
+        z: &[Vec2; L],
+        f_b: [[A::T; L]; 3],
+        time_s: f64,
+    ) -> [KalmanUpdate; L] {
+        let estimate_bias = self.config.estimate_bias;
+        let a = &mut self.arith;
+        let r_t: [A::T; L] = {
+            let sigmas = self.sigmas;
+            a.from_lanes(sigmas.map(|s| s * s))
+        };
+        let zero = a.num(0.0);
+        let zt = [
+            a.from_lanes(std::array::from_fn(|i| z[i][0])),
+            a.from_lanes(std::array::from_fn(|i| z[i][1])),
+        ];
+        let x_pred = self.x;
+
+        // --- Gate pass (identical instruction stream to the scalar
+        // filter; decisions extracted per lane) -----------------------
+        let (h0, jac0) = model_at(a, estimate_bias, &x_pred, &f_b);
+        let innov_t = [a.sub(zt[0], h0[0]), a.sub(zt[1], h0[1])];
+        let jp0 = smallmat::mul(a, &jac0, &self.p);
+        let s0 = smallmat::innovation_cov(a, &jp0, &jac0, r_t);
+        let m0 = a.max(s0[0][0], zero);
+        let sig0 = a.sqrt(m0);
+        let m1 = a.max(s0[1][1], zero);
+        let sig1 = a.sqrt(m1);
+
+        let mut rejectd = [false; L];
+        if self.config.gate_sigmas > 0.0 {
+            let g = a.num(self.config.gate_sigmas);
+            let ai0 = a.abs(innov_t[0]);
+            let gs0 = a.mul(g, sig0);
+            let exceed0 = a.lane_lt(&gs0, &ai0);
+            let ai1 = a.abs(innov_t[1]);
+            let gs1 = a.mul(g, sig1);
+            let exceed1 = a.lane_lt(&gs1, &ai1);
+            for lane in 0..L {
+                rejectd[lane] = exceed0[lane] || exceed1[lane];
+            }
+        }
+
+        // --- IEKF iterations with per-lane freeze masks --------------
+        let iterations = self.config.iekf_iterations.max(1);
+        let eps = a.num(1e-12);
+        let eps_scalar = eps[0];
+        let mut x_i = x_pred;
+        let mut h_i = h0;
+        let mut jac = jac0;
+        let mut jp = jp0;
+        let mut s = s0;
+        // Final per-lane linearization and gain for the Joseph update.
+        let mut jac_fin = jac0;
+        let mut k_fin: [[[A::T; L]; MEAS_DIM]; STATE_DIM] = [[zero; MEAS_DIM]; STATE_DIM];
+        // A frozen lane has finished iterating (converged, rejected or
+        // singular); its x/jac/k writes are masked from then on. When
+        // every lane is already frozen (the whole batch gate-rejected)
+        // the loop — and the Joseph update below — never run at all,
+        // mirroring the scalar early return.
+        let mut frozen = rejectd;
+        for iter in 0..iterations {
+            if frozen.iter().all(|f| *f) {
+                break;
+            }
+            if iter > 0 {
+                let (h, j) = model_at(a, estimate_bias, &x_i, &f_b);
+                h_i = h;
+                jac = j;
+                jp = smallmat::mul(a, &jac, &self.p);
+                s = smallmat::innovation_cov(a, &jp, &jac, r_t);
+            }
+            let active: [bool; L] = std::array::from_fn(|lane| !frozen[lane]);
+            let s_inv = inverse2_sym_lanes(a, &s, &mut rejectd, &mut frozen, &active);
+            let pjt = smallmat::transpose(a, &jp);
+            let k = smallmat::mul(a, &pjt, &s_inv);
+            let zh = [a.sub(zt[0], h_i[0]), a.sub(zt[1], h_i[1])];
+            let dx = smallmat::vec_sub(a, &x_pred, &x_i);
+            let jdx = smallmat::mat_vec(a, &jac, &dx);
+            let resid = [a.sub(zh[0], jdx[0]), a.sub(zh[1], jdx[1])];
+            let kr = smallmat::mat_vec(a, &k, &resid);
+            let x_next = smallmat::vec_add(a, &x_pred, &kr);
+            let dstep = smallmat::vec_sub(a, &x_next, &x_i);
+            let step = smallmat::vec_max_abs(a, &dstep);
+            for lane in 0..L {
+                // A lane newly marked singular this iteration was
+                // active when s_inv ran but must not adopt its garbage.
+                if frozen[lane] {
+                    continue;
+                }
+                for st in 0..STATE_DIM {
+                    x_i[st][lane] = x_next[st][lane];
+                    for m in 0..MEAS_DIM {
+                        k_fin[st][m][lane] = k[st][m][lane];
+                    }
+                }
+                for row in 0..MEAS_DIM {
+                    for col in 0..STATE_DIM {
+                        jac_fin[row][col][lane] = jac[row][col][lane];
+                    }
+                }
+                if a.inner_mut().lt(step[lane], eps_scalar) {
+                    frozen[lane] = true;
+                }
+            }
+        }
+
+        // --- Adopt per lane ------------------------------------------
+        for lane in 0..L {
+            if rejectd[lane] {
+                // Rejected lanes keep prior state and covariance, like
+                // the scalar early return.
+                for st in 0..STATE_DIM {
+                    x_i[st][lane] = x_pred[st][lane];
+                }
+                self.rejected[lane] += 1;
+            } else {
+                self.updates[lane] += 1;
+            }
+        }
+        self.x = x_i;
+        if !estimate_bias {
+            self.x[3] = zero;
+            self.x[4] = zero;
+        }
+        if !rejectd.iter().all(|r| *r) {
+            let p_prior = self.p;
+            let p_next = smallmat::joseph_update_sym(a, &p_prior, &k_fin, &jac_fin, r_t);
+            self.p = p_next;
+            for lane in 0..L {
+                if rejectd[lane] {
+                    for row in 0..STATE_DIM {
+                        for col in 0..STATE_DIM {
+                            self.p[row][col][lane] = p_prior[row][col][lane];
+                        }
+                    }
+                }
+            }
+            self.apply_trust_region(&rejectd);
+        }
+
+        // --- Records -------------------------------------------------
+        std::array::from_fn(|lane| KalmanUpdate {
+            time_s,
+            innovation: Vec2::new([
+                self.arith.lane_to_f64(&innov_t[0], lane),
+                self.arith.lane_to_f64(&innov_t[1], lane),
+            ]),
+            innovation_sigma: Vec2::new([
+                self.arith.lane_to_f64(&sig0, lane),
+                self.arith.lane_to_f64(&sig1, lane),
+            ]),
+            accepted: !rejectd[lane],
+        })
+    }
+
+    /// The per-lane mirror of the scalar trust region: clamp any
+    /// out-of-bounds component and re-open its variance, with both
+    /// writes masked to the offending lanes (rejected lanes saw no
+    /// update and are skipped, like the scalar early return path).
+    fn apply_trust_region(&mut self, rejected: &[bool; L]) {
+        let limits = [
+            (
+                0..3,
+                self.config.angle_limit,
+                self.config.initial_angle_sigma,
+            ),
+            (
+                3..STATE_DIM,
+                if self.config.estimate_bias {
+                    self.config.bias_limit
+                } else {
+                    0.0
+                },
+                self.config.initial_bias_sigma,
+            ),
+        ];
+        for (range, limit, sigma0) in limits {
+            if limit <= 0.0 {
+                continue;
+            }
+            let a = &mut self.arith;
+            let lim = a.num(limit);
+            let lim_s = lim[0];
+            let floor = a.num((sigma0 * 0.5).powi(2));
+            let floor_s = floor[0];
+            for i in range {
+                let ax = a.abs(self.x[i]);
+                let out_of_bounds = a.lane_lt(&lim, &ax);
+                let nlim = a.inner_mut().neg(lim_s);
+                for lane in 0..L {
+                    if rejected[lane] || !out_of_bounds[lane] {
+                        continue;
+                    }
+                    let v = self.x[i][lane];
+                    let inner = a.inner_mut();
+                    self.x[i][lane] = if inner.lt(v, nlim) {
+                        nlim
+                    } else if inner.lt(lim_s, v) {
+                        lim_s
+                    } else {
+                        v
+                    };
+                    if inner.lt(self.p[i][i][lane], floor_s) {
+                        self.p[i][i][lane] = floor_s;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Per-lane mirror of [`smallmat::inverse2_sym`]: the closed-form LDL
+/// solve runs for every lane; a lane whose pivot check fails is marked
+/// rejected + frozen (the scalar filter's singular early return) and
+/// its — possibly non-finite — inverse is masked out by the caller.
+fn inverse2_sym_lanes<A: Arith, const L: usize>(
+    a: &mut LaneArith<A, L>,
+    s: &[[[A::T; L]; 2]; 2],
+    rejected: &mut [bool; L],
+    frozen: &mut [bool; L],
+    active: &[bool; L],
+) -> [[[A::T; L]; 2]; 2] {
+    let zero = a.num(0.0);
+    let tiny = a.num(1e-300);
+    let one = a.num(1.0);
+    let d1 = s[0][0];
+    let flag = |a: &mut LaneArith<A, L>,
+                d: &[A::T; L],
+                rejected: &mut [bool; L],
+                frozen: &mut [bool; L]| {
+        for lane in 0..L {
+            if !active[lane] {
+                continue;
+            }
+            let inner = a.inner_mut();
+            if inner.lt(d[lane], tiny[lane]) || inner.eq(d[lane], zero[lane]) {
+                rejected[lane] = true;
+                frozen[lane] = true;
+            }
+        }
+    };
+    flag(a, &d1, rejected, frozen);
+    let l = a.div(s[1][0], d1);
+    let lt = a.mul(l, s[0][1]);
+    let d2 = a.sub(s[1][1], lt);
+    flag(a, &d2, rejected, frozen);
+    let i11 = a.div(one, d2);
+    let nl = a.neg(l);
+    let i01 = a.mul(nl, i11);
+    let inv_d1 = a.div(one, d1);
+    let li01 = a.mul(l, i01);
+    let i00 = a.sub(inv_d1, li01);
+    [[i00, i01], [i01, i11]]
+}
+
+/// `L` synchronized ACC channels fused against one shared IMU stream
+/// by a lockstep [`LaneIekf`] — the batched-backend counterpart of a
+/// [`crate::multi::MultiBoresight`] bank of scalar estimators.
+///
+/// Channels must arrive in lockstep: every sensor index `0..L` posts a
+/// measurement with the same timestamp before the next time step (the
+/// multi-channel [`crate::session::SyntheticSource`] produces exactly
+/// this). The batched update runs when the last channel of a time
+/// step arrives; that call returns its lane's update record, and
+/// [`LaneBank::last_updates`] exposes the whole batch.
+pub struct LaneBank<A: Arith, const L: usize> {
+    config: EstimatorConfig,
+    filter: LaneIekf<A, L>,
+    monitors: Option<Vec<ResidualMonitor>>,
+    prep: ImuPrep<A>,
+    front: A,
+    pending: [Option<Vec2>; L],
+    pending_time: f64,
+    pending_count: usize,
+    last_update_time: f64,
+    last_updates: [Option<KalmanUpdate>; L],
+    retune_log: Vec<Retune>,
+}
+
+impl<A: Arith + Default, const L: usize> LaneBank<A, L> {
+    /// Creates the bank over the substrate's default context; every
+    /// lane shares the estimator configuration.
+    pub fn new(config: EstimatorConfig) -> Self {
+        let mut front = A::default();
+        let prep = ImuPrep::new(&mut front);
+        Self {
+            config,
+            filter: LaneIekf::new(config.filter),
+            monitors: config.monitor.map(|m| {
+                (0..L)
+                    .map(|_| ResidualMonitor::new(m, config.filter.measurement_sigma))
+                    .collect()
+            }),
+            prep,
+            front,
+            pending: [None; L],
+            pending_time: 0.0,
+            pending_count: 0,
+            last_update_time: 0.0,
+            last_updates: [None; L],
+            retune_log: Vec::new(),
+        }
+    }
+
+    /// The lockstep filter.
+    pub fn filter(&self) -> &LaneIekf<A, L> {
+        &self.filter
+    }
+
+    /// The most recent batch of per-lane update records.
+    pub fn last_updates(&self) -> &[Option<KalmanUpdate>; L] {
+        &self.last_updates
+    }
+}
+
+impl<A: Arith + Clone + 'static, const L: usize> FusionBackend for LaneBank<A, L> {
+    fn ingest_dmu(&mut self, sample: &DmuSample) {
+        self.prep.on_dmu(&mut self.front, sample);
+    }
+
+    fn ingest_acc(&mut self, sensor: usize, time_s: f64, z: Vec2) -> Option<KalmanUpdate> {
+        assert!(sensor < L, "LaneBank fuses {L} sensor channels");
+        self.prep.last_dmu()?;
+        if self.pending_count > 0 && time_s != self.pending_time {
+            // A stale partial batch (lockstep contract violated, e.g. a
+            // faulted channel dropped a sample): discard it.
+            self.pending = [None; L];
+            self.pending_count = 0;
+        }
+        self.pending_time = time_s;
+        if self.pending[sensor].replace(z).is_none() {
+            self.pending_count += 1;
+        }
+        if self.pending_count < L {
+            return None;
+        }
+        let z_batch: [Vec2; L] =
+            std::array::from_fn(|i| self.pending[i].take().expect("full batch"));
+        self.pending_count = 0;
+        let lever_arm = self.config.lever_arm;
+        let f_b = self
+            .prep
+            .compensated_force(&mut self.front, time_s, lever_arm)?;
+        let dt = (time_s - self.last_update_time).max(0.0);
+        self.last_update_time = time_s;
+        self.filter.predict(dt);
+        let updates = self.filter.update_shared_force(&z_batch, f_b, time_s);
+        if let Some(monitors) = &mut self.monitors {
+            for (lane, (monitor, update)) in monitors.iter_mut().zip(&updates).enumerate() {
+                if let Some(retune) = monitor.observe(update) {
+                    self.filter.set_measurement_sigma(lane, retune.new_sigma);
+                    self.retune_log.push(retune);
+                }
+            }
+        }
+        let result = updates[sensor];
+        self.last_updates = updates.map(Some);
+        Some(result)
+    }
+
+    fn current_estimate(&self) -> MisalignmentEstimate {
+        self.filter.estimate(0)
+    }
+
+    fn estimate_for(&self, sensor: usize) -> MisalignmentEstimate {
+        self.filter.estimate(sensor)
+    }
+
+    fn sensor_count(&self) -> usize {
+        L
+    }
+
+    fn measurement_sigma(&self) -> f64 {
+        self.filter.measurement_sigma(0)
+    }
+
+    fn retunes(&self) -> &[Retune] {
+        // The primary lane's log by contract; the merged cross-lane log
+        // drives the session cursor below.
+        self.monitors.as_ref().map_or(&[], |m| m[0].retunes())
+    }
+
+    fn retune_count(&self) -> usize {
+        self.retune_log.len()
+    }
+
+    fn for_each_retune_since(&self, from: usize, visit: &mut dyn FnMut(&Retune)) {
+        if let Some(fresh) = self.retune_log.get(from..) {
+            for retune in fresh {
+                visit(retune);
+            }
+        }
+    }
+
+    fn label(&self) -> &'static str {
+        "iekf5/lanes"
+    }
+
+    fn as_any(&self) -> &dyn Any {
+        self
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn Any {
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::F64Arith;
+    use crate::filter::GenericBoresightFilter;
+    use mathx::STANDARD_GRAVITY;
+
+    /// Which lanes take the outlier sample in the parity harness.
+    #[derive(Clone, Copy, PartialEq)]
+    enum OutlierLanes {
+        First,
+        All,
+    }
+
+    fn scalar_filters<const L: usize>(cfg: FilterConfig) -> Vec<GenericBoresightFilter<F64Arith>> {
+        (0..L).map(|_| GenericBoresightFilter::new(cfg)).collect()
+    }
+
+    /// Drives the lane filter and L scalar filters through the same
+    /// schedule and asserts per-lane bit-identity of state, covariance
+    /// and counters.
+    fn assert_lockstep_parity<const L: usize>(
+        cfg: FilterConfig,
+        steps: usize,
+        outlier: Option<(usize, OutlierLanes)>,
+    ) {
+        let mut lanes: LaneIekf<F64Arith, L> = LaneIekf::new(cfg);
+        let mut scalars = scalar_filters::<L>(cfg);
+        let g = STANDARD_GRAVITY;
+        for i in 0..steps {
+            let t = i as f64 * 0.005;
+            let f = Vec3::new([2.0 * (0.5 * t).sin(), 1.5 * (0.33 * t).cos(), g]);
+            let z: [Vec2; L] = std::array::from_fn(|lane| {
+                let scale = 0.01 * (lane as f64 + 1.0);
+                let hit = match outlier {
+                    Some((step, OutlierLanes::First)) => step == i && lane == 0,
+                    Some((step, OutlierLanes::All)) => step == i,
+                    None => false,
+                };
+                if hit {
+                    Vec2::new([5.0, -5.0])
+                } else {
+                    Vec2::new([
+                        f[0] + scale * (1.1 * t).sin(),
+                        f[1] - scale * (0.9 * t).cos(),
+                    ])
+                }
+            });
+            let fs: [Vec3; L] = [f; L];
+            lanes.predict(0.005);
+            let lane_updates = lanes.update_lanes(&z, &fs, t);
+            for (lane, kf) in scalars.iter_mut().enumerate() {
+                kf.predict(0.005);
+                let upd = kf.update(z[lane], f, t);
+                assert_eq!(
+                    upd.accepted, lane_updates[lane].accepted,
+                    "step {i} lane {lane}"
+                );
+            }
+        }
+        for (lane, kf) in scalars.iter().enumerate() {
+            let a = kf.angles();
+            let b = lanes.angles(lane);
+            assert_eq!(a.roll.to_bits(), b.roll.to_bits(), "lane {lane} roll");
+            assert_eq!(a.pitch.to_bits(), b.pitch.to_bits(), "lane {lane} pitch");
+            assert_eq!(a.yaw.to_bits(), b.yaw.to_bits(), "lane {lane} yaw");
+            assert_eq!(kf.update_count(), lanes.update_count(lane), "lane {lane}");
+            assert_eq!(kf.rejected_count(), lanes.rejected_count(lane));
+            let p = kf.covariance();
+            for r in 0..STATE_DIM {
+                for c in 0..STATE_DIM {
+                    assert_eq!(
+                        p[(r, c)].to_bits(),
+                        lanes.arith().lane_to_f64(&lanes.p[r][c], lane).to_bits(),
+                        "lane {lane} P[{r}][{c}]"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_match_scalar_filters_bitwise() {
+        assert_lockstep_parity::<4>(FilterConfig::paper_static(), 400, None);
+    }
+
+    #[test]
+    fn gate_divergence_is_masked_per_lane() {
+        // Lane 0 takes a wild outlier mid-run: its gate rejection must
+        // not perturb the other lanes, and its own state must match the
+        // scalar filter's rejected-sample behaviour exactly.
+        assert_lockstep_parity::<2>(
+            FilterConfig::paper_static(),
+            300,
+            Some((150, OutlierLanes::First)),
+        );
+    }
+
+    #[test]
+    fn whole_batch_rejection_is_a_no_op_like_the_scalar_early_return() {
+        // Every lane takes the outlier on the same step: the lane
+        // filter skips the iterations and Joseph update entirely
+        // (masked no-op), which must be indistinguishable per lane
+        // from each scalar filter's gate early-return.
+        assert_lockstep_parity::<3>(
+            FilterConfig::paper_static(),
+            200,
+            Some((100, OutlierLanes::All)),
+        );
+    }
+
+    #[test]
+    fn lane_bank_runs_in_a_session() {
+        use crate::scenario::ScenarioConfig;
+        use crate::session::{ChannelConfig, FusionSession, SyntheticSource};
+        use vehicle::TiltTable;
+
+        let truth = EulerAngles::from_degrees(2.0, -1.0, 1.5);
+        let cfg = {
+            let mut c = ScenarioConfig::static_test(truth);
+            c.duration_s = 30.0;
+            c
+        };
+        let channel = ChannelConfig {
+            misalignment: truth,
+            noise_sigma: 0.007,
+            ..ChannelConfig::ideal()
+        };
+        let table = TiltTable::observability_sequence(20.0, cfg.duration_s / 8.0);
+        let source = SyntheticSource::new(
+            &table,
+            cfg.dmu,
+            cfg.vibration,
+            cfg.acc_rate_hz,
+            cfg.duration_s,
+            cfg.seed,
+        )
+        .with_channel(&channel)
+        .with_channel(&channel);
+        let mut session = FusionSession::builder()
+            .source(source)
+            .backend(LaneBank::<F64Arith, 2>::new(EstimatorConfig::paper_static()))
+            .build();
+        session.run_to_end();
+        assert_eq!(session.backend_label(), "iekf5/lanes");
+        for lane in 0..2 {
+            let est = session.estimate_for(lane);
+            assert!(est.updates > 5000, "lane {lane}: {}", est.updates);
+        }
+    }
+}

@@ -118,6 +118,7 @@ pub mod catalog;
 pub mod estimator;
 pub mod exec;
 pub mod filter;
+pub mod lanes;
 pub mod model;
 pub mod monitor;
 pub mod multi;
@@ -127,11 +128,15 @@ pub mod smallmat;
 pub mod spec;
 pub mod system;
 
-pub use arith::{Arith, F64Arith, F64ArithFast, FixedArith, OpCounts, SoftArith};
+pub use arith::{
+    Arith, F64Arith, F64ArithFast, FixedArith, LaneArith, OpCounts, PhaseCost, PhaseLedger,
+    SoftArith,
+};
 pub use estimator::{
-    BoresightEstimator, EstimatorConfig, GenericBoresightEstimator, MisalignmentEstimate,
+    BoresightEstimator, EstimatorConfig, GenericBoresightEstimator, ImuPrep, MisalignmentEstimate,
 };
 pub use filter::{BoresightFilter, FilterConfig, GenericBoresightFilter, KalmanUpdate};
+pub use lanes::{LaneBank, LaneIekf};
 pub use monitor::{MonitorConfig, ResidualMonitor, Retune};
 pub use multi::MultiBoresight;
 pub use scenario::{run, run_dynamic, run_static, RunResult, ScenarioConfig};

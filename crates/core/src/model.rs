@@ -202,6 +202,68 @@ pub fn jacobian_generic<A: Arith>(
     jac
 }
 
+/// Fused model + Jacobian evaluation — the structure-exploiting hot
+/// path of the IEKF measurement update.
+///
+/// [`h_generic`] and [`jacobian_generic`] each rebuild the Euler
+/// rotation factors from scratch: between them one linearization point
+/// costs nine `sin_cos` evaluations of three distinct angles and
+/// re-multiplies the shared `Rz Ry` product. This function evaluates
+/// the trig **once per angle**, builds every factor (and derivative
+/// factor) from the shared `(sin, cos)` pairs, and reuses the `Rz Ry`
+/// product between the model and the `phi` partial — three `sin_cos`
+/// and seven 3x3 products instead of nine and eight.
+///
+/// Every arithmetic value is identical to what the separate functions
+/// compute (the same pure operations on the same inputs, just not
+/// repeated), so the returned pair is **bit-identical** to
+/// `(h_generic(..), jacobian_generic(..))` on every substrate — pinned
+/// by test below.
+#[allow(clippy::type_complexity)]
+pub fn h_and_jacobian_generic<A: Arith>(
+    a: &mut A,
+    x: &[A::T; STATE_DIM],
+    f_b: &[A::T; 3],
+) -> ([A::T; MEAS_DIM], [[A::T; STATE_DIM]; MEAS_DIM]) {
+    let zero = a.num(0.0);
+    let one = a.num(1.0);
+    let (s0, c0) = a.sin_cos(x[0]);
+    let (s1, c1) = a.sin_cos(x[1]);
+    let (s2, c2) = a.sin_cos(x[2]);
+    let (ns0, nc0) = (a.neg(s0), a.neg(c0));
+    let (ns1, nc1) = (a.neg(s1), a.neg(c1));
+    let (ns2, nc2) = (a.neg(s2), a.neg(c2));
+    let cx = [[one, zero, zero], [zero, c0, ns0], [zero, s0, c0]];
+    let by = [[c1, zero, s1], [zero, one, zero], [ns1, zero, c1]];
+    let az = [[c2, ns2, zero], [s2, c2, zero], [zero, zero, one]];
+    let dcx = [[zero, zero, zero], [zero, ns0, nc0], [zero, c0, ns0]];
+    let dby = [[ns1, zero, c1], [zero, zero, zero], [nc1, zero, ns1]];
+    let daz = [[ns2, nc2, zero], [c2, ns2, zero], [zero, zero, zero]];
+    // C_sb = C^T B^T A^T; partials replace one factor by its derivative.
+    let ab = smallmat::mul(a, &az, &by);
+    let m_phi = smallmat::mul(a, &ab, &dcx);
+    let d_phi = smallmat::mat_tvec(a, &m_phi, f_b);
+    let adb = smallmat::mul(a, &az, &dby);
+    let m_theta = smallmat::mul(a, &adb, &cx);
+    let d_theta = smallmat::mat_tvec(a, &m_theta, f_b);
+    let db = smallmat::mul(a, &daz, &by);
+    let m_psi = smallmat::mul(a, &db, &cx);
+    let d_psi = smallmat::mat_tvec(a, &m_psi, f_b);
+    // The model itself shares the Rz Ry product with the phi partial.
+    let prod = smallmat::mul(a, &ab, &cx);
+    let f_s = smallmat::mat_tvec(a, &prod, f_b);
+    let h = [a.add(f_s[0], x[3]), a.add(f_s[1], x[4])];
+    let mut jac = [[zero; STATE_DIM]; MEAS_DIM];
+    for row in 0..MEAS_DIM {
+        jac[row][0] = d_phi[row];
+        jac[row][1] = d_theta[row];
+        jac[row][2] = d_psi[row];
+    }
+    jac[0][3] = one;
+    jac[1][4] = one;
+    (h, jac)
+}
+
 /// First-order (small-angle) approximation of `h`, used by tests and
 /// the fixed-point filter: `z ~ S (f - e x f) + b`.
 pub fn h_small_angle(x: &State, f_b: Vec3) -> Meas {
@@ -308,6 +370,45 @@ mod tests {
                 assert_eq!(jg[r][c].to_bits(), jf[(r, c)].to_bits(), "({r},{c})");
             }
         }
+    }
+
+    #[test]
+    fn fused_model_is_bit_identical_to_separate_evaluations() {
+        use crate::arith::F64Arith;
+        for (roll, pitch, yaw) in [(2.0, -1.5, 3.0), (0.0, 0.0, 0.0), (-4.9, 4.9, 0.3)] {
+            let x0 = state(roll, pitch, yaw, 0.013, -0.027);
+            let f = Vec3::new([0.8, -0.4, STANDARD_GRAVITY]);
+            let mut a = F64Arith::default();
+            let xs = *x0.as_array();
+            let fb = *f.as_array();
+            let (hf, jf) = h_and_jacobian_generic(&mut a, &xs, &fb);
+            let hs = h_generic(&mut a, &xs, &fb);
+            let js = jacobian_generic(&mut a, &xs, &fb);
+            assert_eq!(hf[0].to_bits(), hs[0].to_bits());
+            assert_eq!(hf[1].to_bits(), hs[1].to_bits());
+            for r in 0..MEAS_DIM {
+                for c in 0..STATE_DIM {
+                    assert_eq!(jf[r][c].to_bits(), js[r][c].to_bits(), "({r},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn fused_model_spends_one_trig_pass_per_angle() {
+        use crate::arith::{Arith as _, F64Arith};
+        let x0 = state(2.0, -1.5, 3.0, 0.0, 0.0);
+        let f = Vec3::new([0.8, -0.4, STANDARD_GRAVITY]);
+        let xs = *x0.as_array();
+        let fb = *f.as_array();
+        let mut fused = F64Arith::default();
+        let _ = h_and_jacobian_generic(&mut fused, &xs, &fb);
+        assert_eq!(fused.counts().trig, 3, "one sin_cos per distinct angle");
+        let mut separate = F64Arith::default();
+        let _ = h_generic(&mut separate, &xs, &fb);
+        let _ = jacobian_generic(&mut separate, &xs, &fb);
+        assert_eq!(separate.counts().trig, 9);
+        assert!(fused.counts().total() < separate.counts().total());
     }
 
     #[test]

@@ -25,6 +25,14 @@ use std::any::Any;
 
 /// Joint alignment of several sensors against one IMU.
 ///
+/// Each sensor runs its own scalar [`BoresightEstimator`], so sensors
+/// may carry different configurations and asynchronous channels. When
+/// every sensor shares one configuration and the channels arrive in
+/// lockstep (the multi-channel synthetic source), the SIMD-style
+/// [`crate::lanes::LaneBank`] computes the identical per-sensor
+/// estimates — bit for bit, pinned by `tests/lane_parity.rs` — through
+/// one lane-batched filter instead of `N` scalar ones.
+///
 /// # Examples
 ///
 /// ```

@@ -1569,6 +1569,28 @@ impl SessionGroup {
         }
     }
 
+    /// Runs every unfinished session to completion on the
+    /// [`crate::exec`] worker pool, one session per lane (`0` workers
+    /// means one per core), leaving the group in insertion order. The
+    /// thread-level counterpart of the SIMD-style
+    /// [`crate::lanes::LaneIekf`]: sessions own their sources and
+    /// backends, so lanes never interact and the results are
+    /// bit-identical to a serial [`SessionGroup::run_interleaved`]
+    /// pass (pinned by test).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any unfinished session's source is unbounded.
+    pub fn run_lanes(&mut self, workers: usize) {
+        let sessions = std::mem::take(&mut self.sessions);
+        self.sessions = crate::exec::map_parallel(sessions, workers, |mut s| {
+            if !s.is_finished() {
+                s.run_to_end();
+            }
+            s
+        });
+    }
+
     /// Consumes the group, yielding the sessions.
     pub fn into_sessions(self) -> Vec<FusionSession> {
         self.sessions
@@ -1698,6 +1720,26 @@ mod tests {
             .backend_as::<crate::estimator::GenericBoresightEstimator<FixedArith>>()
             .expect("fixed backend");
         assert!(fixed.filter().arith().counts().total() > 0);
+    }
+
+    #[test]
+    fn run_lanes_matches_interleaved_bitwise() {
+        let cfg = short_config(13);
+        let table = TiltTable::observability_sequence(20.0, cfg.duration_s / 8.0);
+        let build = || SessionGroup::full_iekf_sweep(&table, &cfg);
+        let mut serial = build();
+        serial.run_interleaved(0.5);
+        let mut lanes = build();
+        lanes.run_lanes(4);
+        assert!(lanes.all_finished());
+        for (a, b) in serial.sessions().iter().zip(lanes.sessions()) {
+            assert_eq!(a.backend_label(), b.backend_label());
+            let (ea, eb) = (a.estimate(), b.estimate());
+            assert_eq!(ea.angles.roll.to_bits(), eb.angles.roll.to_bits());
+            assert_eq!(ea.angles.pitch.to_bits(), eb.angles.pitch.to_bits());
+            assert_eq!(ea.angles.yaw.to_bits(), eb.angles.yaw.to_bits());
+            assert_eq!(ea.updates, eb.updates);
+        }
     }
 
     #[test]

@@ -321,6 +321,122 @@ pub fn joseph_update<A: Arith, const N: usize, const M: usize>(
     symmetrized(a, &sum)
 }
 
+/// Innovation covariance `S = (J P) J^T + r I` from the precomputed
+/// product `jp = J P`, exploiting the symmetry of `P`: only the upper
+/// triangle of the `M x M` result is accumulated (same mathx order as
+/// [`mul_nt`] entry by entry) and mirrored, and the diagonal adds `r`
+/// directly instead of multiplying out a scaled identity. For an
+/// exactly symmetric `P` the unique entries are bit-identical to the
+/// dense `mul_nt` + `scaled_identity` + `add` sequence this replaces;
+/// the mirrored strict-lower entries differ from their independently
+/// accumulated dense counterparts by at most the dot-product rounding
+/// spread (~1 scaled ulp).
+pub fn innovation_cov<A: Arith, const N: usize, const M: usize>(
+    a: &mut A,
+    jp: &[[A::T; N]; M],
+    j: &[[A::T; N]; M],
+    r: A::T,
+) -> [[A::T; M]; M] {
+    let zero = a.num(0.0);
+    let mut out = [[zero; M]; M];
+    for row in 0..M {
+        for col in row..M {
+            let mut acc = zero;
+            for c in 0..N {
+                acc = a.fma(jp[row][c], j[col][c], acc);
+            }
+            out[row][col] = acc;
+            out[col][row] = acc;
+        }
+        out[row][row] = a.add(out[row][row], r);
+    }
+    out
+}
+
+/// Closed-form inverse of a symmetric positive-definite 2x2 matrix via
+/// its LDL^T factorization — the structure-exploiting replacement for
+/// running the dense `N x N` Gauss-Jordan kernel on the 2x2 innovation
+/// covariance (3 divisions instead of 8, no pivot search).
+///
+/// Every division is by a factorization pivot (`d1 = s00`, the Schur
+/// complement `d2 = s11 - s10^2/s00`), both of innovation magnitude —
+/// the same property that made pivoting Gauss-Jordan usable in Q16.16
+/// where the adj/det closed form underflows (`det ~ R^2` quantizes to
+/// zero). Returns `None` when a pivot is not strictly positive
+/// (indefinite or singular), mirroring the Gauss-Jordan singularity
+/// guard, including the exact-zero arm for substrates where the
+/// `1e-300` threshold quantizes to zero.
+pub fn inverse2_sym<A: Arith>(a: &mut A, s: &[[A::T; 2]; 2]) -> Option<[[A::T; 2]; 2]> {
+    let zero = a.num(0.0);
+    let tiny = a.num(1e-300);
+    let one = a.num(1.0);
+    let d1 = s[0][0];
+    if a.lt(d1, tiny) || a.eq(d1, zero) {
+        return None;
+    }
+    let l = a.div(s[1][0], d1);
+    let lt = a.mul(l, s[0][1]);
+    let d2 = a.sub(s[1][1], lt);
+    if a.lt(d2, tiny) || a.eq(d2, zero) {
+        return None;
+    }
+    // S^-1 = [[1/d1 + l^2/d2, -l/d2], [-l/d2, 1/d2]].
+    let i11 = a.div(one, d2);
+    let nl = a.neg(l);
+    let i01 = a.mul(nl, i11);
+    let inv_d1 = a.div(one, d1);
+    let li01 = a.mul(l, i01); // -l^2/d2
+    let i00 = a.sub(inv_d1, li01);
+    Some([[i00, i01], [i01, i11]])
+}
+
+/// Joseph-form covariance update specialized to the rank-`M`
+/// measurement with a scalar-`r I` noise: computes only the upper
+/// triangle of `(I - K H) P (I - K H)^T + K (r I) K^T` and mirrors it,
+/// skipping the explicit `r I` matrix, the `K (r I)` product and the
+/// dense re-symmetrization pass of [`joseph_update`].
+///
+/// The result is exactly symmetric by construction (the invariant the
+/// symmetric-`P` fast path of the IEKF relies on). Each unique entry
+/// is accumulated in the same mathx order as the dense kernel's
+/// upper-triangle entry, so the output tracks the dense
+/// `joseph_update` within the re-symmetrization average (~1 ulp scaled
+/// to the covariance magnitude — pinned by proptest in
+/// `tests/arith_full_filter.rs`).
+pub fn joseph_update_sym<A: Arith, const N: usize, const M: usize>(
+    a: &mut A,
+    p: &[[A::T; N]; N],
+    k: &[[A::T; M]; N],
+    h: &[[A::T; N]; M],
+    r: A::T,
+) -> [[A::T; N]; N] {
+    let zero = a.num(0.0);
+    let kh = mul(a, k, h);
+    let id = identity::<A, N>(a);
+    let ikh = sub(a, &id, &kh);
+    let ip = mul(a, &ikh, p);
+    let mut out = [[zero; N]; N];
+    for row in 0..N {
+        for col in row..N {
+            // (I-KH) P (I-KH)^T entry, same accumulation as mul_nt.
+            let mut acc = zero;
+            for c in 0..N {
+                acc = a.fma(ip[row][c], ikh[col][c], acc);
+            }
+            // K (r I) K^T entry: r * <K_row, K_col>.
+            let mut kk = zero;
+            for m in 0..M {
+                kk = a.fma(k[row][m], k[col][m], kk);
+            }
+            let krk = a.mul(kk, r);
+            let v = a.add(acc, krk);
+            out[row][col] = v;
+            out[col][row] = v;
+        }
+    }
+    out
+}
+
 /// `true` if the lower-triangle Cholesky factorization succeeds (every
 /// pivot strictly positive) — the substrate-generic mirror of
 /// `mathx::Cholesky::new(..).is_some()`.
@@ -418,6 +534,100 @@ mod tests {
             vec_max_abs(&mut ar, &v).to_bits(),
             Vector::new(v).max_abs().to_bits()
         );
+    }
+
+    #[test]
+    fn innovation_cov_matches_dense_sequence_on_unique_entries() {
+        let mut ar = F64Arith::default();
+        let j = [[1.5, -2.0, 0.25, 0.0, 3.0], [0.5, 1.0, -0.75, 2.0, -1.0]];
+        // Symmetric P.
+        let mut p = [[0.0; 5]; 5];
+        for r in 0..5 {
+            for c in 0..5 {
+                let v = 0.1 / (1.0 + (r as f64 - c as f64).abs()) + if r == c { 1.0 } else { 0.0 };
+                p[r][c] = v;
+                p[c][r] = v;
+            }
+        }
+        let r_t = 4.9e-5;
+        let jp = mul(&mut ar, &j, &p);
+        let s = innovation_cov(&mut ar, &jp, &j, r_t);
+        // Dense reference: J P J^T + r I.
+        let jpj = mul_nt(&mut ar, &jp, &j);
+        let ir = scaled_identity::<F64Arith, 2>(&mut ar, r_t);
+        let dense = add(&mut ar, &jpj, &ir);
+        assert_eq!(s[0][0].to_bits(), dense[0][0].to_bits());
+        assert_eq!(s[0][1].to_bits(), dense[0][1].to_bits());
+        assert_eq!(s[1][1].to_bits(), dense[1][1].to_bits());
+        // The mirrored entry equals the upper one exactly.
+        assert_eq!(s[1][0].to_bits(), s[0][1].to_bits());
+    }
+
+    #[test]
+    fn inverse2_sym_inverts_spd_and_rejects_indefinite() {
+        let mut ar = F64Arith::default();
+        let s = [[2.0e-4, 0.5e-4], [0.5e-4, 1.0e-4]];
+        let inv = inverse2_sym(&mut ar, &s).expect("SPD");
+        // S * S^-1 ~ I.
+        let prod = mul(&mut ar, &s, &inv);
+        assert!((prod[0][0] - 1.0).abs() < 1e-12);
+        assert!((prod[1][1] - 1.0).abs() < 1e-12);
+        assert!(prod[0][1].abs() < 1e-12);
+        assert!(prod[1][0].abs() < 1e-12);
+        assert_eq!(inv[0][1].to_bits(), inv[1][0].to_bits());
+        // Non-positive leading pivot: rejected.
+        assert!(inverse2_sym(&mut ar, &[[-1.0, 0.0], [0.0, 1.0]]).is_none());
+        assert!(inverse2_sym(&mut ar, &[[0.0, 0.0], [0.0, 1.0]]).is_none());
+        // Indefinite via the Schur complement: rejected.
+        assert!(inverse2_sym(&mut ar, &[[1.0, 2.0], [2.0, 1.0]]).is_none());
+        // The Q16.16-critical case: innovation-scale pivots whose adj/det
+        // determinant would underflow the fixed-point quantum still invert.
+        use crate::arith::FixedArith;
+        let mut q = FixedArith::default();
+        let sq = [[q.num(6.0e-4), q.num(0.0)], [q.num(0.0), q.num(6.0e-4)]];
+        let invq = inverse2_sym(&mut q, &sq).expect("pivot-structured solve survives Q16.16");
+        assert!(q.to_f64(invq[0][0]) > 1000.0, "{}", q.to_f64(invq[0][0]));
+    }
+
+    #[test]
+    fn joseph_update_sym_is_exactly_symmetric_and_tracks_dense() {
+        let mut ar = F64Arith::default();
+        let mut p = [[0.0; 5]; 5];
+        for r in 0..5 {
+            for c in 0..5 {
+                let v = 0.01 / (1.0 + (r as f64 + c as f64));
+                p[r][c] = v;
+                p[c][r] = v;
+            }
+        }
+        for i in 0..5 {
+            p[i][i] += 0.05;
+        }
+        let h = [[1.0, -2.0, 0.5, 1.0, 0.0], [0.0, 1.5, -1.0, 0.0, 1.0]];
+        let k = transpose(&mut ar, &h);
+        let k = scale(&mut ar, &k, 0.01);
+        let r_t = 4.9e-5;
+        let packed = joseph_update_sym(&mut ar, &p, &k, &h, r_t);
+        let dense = joseph_update(&mut ar, &p, &k, &h, r_t);
+        let scale_m = dense
+            .iter()
+            .flatten()
+            .fold(f64::MIN_POSITIVE, |m, v| m.max(v.abs()));
+        for r in 0..5 {
+            for c in 0..5 {
+                assert_eq!(
+                    packed[r][c].to_bits(),
+                    packed[c][r].to_bits(),
+                    "exact symmetry ({r},{c})"
+                );
+                assert!(
+                    (packed[r][c] - dense[r][c]).abs() <= 4.0 * scale_m * f64::EPSILON,
+                    "({r},{c}): packed {} dense {}",
+                    packed[r][c],
+                    dense[r][c]
+                );
+            }
+        }
     }
 
     #[test]

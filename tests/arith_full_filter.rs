@@ -1,16 +1,23 @@
 //! Parity tests for the generic-arithmetic fusion core.
 //!
 //! The `F64Arith` instantiation of the generic 5-state IEKF must
-//! reproduce the pre-refactor native-`f64` filter **bit for bit**.
-//! The expected values below were captured by running the paper
-//! scenarios on the seed (pre-generic) implementation at commit
-//! `45bcf5a`; any rounding-order change in the generic rewrite shows
-//! up here as a one-ulp mismatch.
+//! reproduce a pinned reference trace **bit for bit**. The original
+//! expected values were captured from the pre-generic implementation
+//! at commit `45bcf5a`; they were **deliberately re-pinned** for the
+//! structure-exploiting kernel rewrite (packed-symmetric Joseph
+//! update, closed-form LDL solve of the 2x2 innovation), which
+//! legitimately reorders a handful of roundings. The re-pin was
+//! validated three ways before capture: every updates/rejected/retune
+//! counter and gate decision is unchanged from the old trace, the
+//! final angles moved by less than 1e-12 rad, and the kernel-level
+//! proptests below pin the optimized kernels to the still-compiled
+//! dense reference kernels within the documented ulp bounds.
 
 use proptest::prelude::*;
 use sensor_fusion_fpga::fusion::arith::{Arith, F64Arith, SoftArith};
 use sensor_fusion_fpga::fusion::filter::{FilterConfig, GenericBoresightFilter};
 use sensor_fusion_fpga::fusion::scenario::{run_dynamic, run_static, RunResult, ScenarioConfig};
+use sensor_fusion_fpga::fusion::smallmat;
 use sensor_fusion_fpga::math::{EulerAngles, Vec2, Vec3, STANDARD_GRAVITY};
 
 /// Expected bits for one scenario run of the pre-refactor filter.
@@ -62,10 +69,10 @@ fn static_scenario_is_bit_identical_to_pre_refactor_trace() {
     assert_run_matches(
         &result,
         &PinnedRun {
-            roll: 0x3fa1e28a9ae9023c,
-            pitch: 0xbfaadc26fb487660,
-            yaw: 0x3f9ab0ee5ce276f3,
-            sigma: [0x3f2c9b5563841f1e, 0x3f2d8ff8bc1b2b75, 0x3ef92227b7cea7a3],
+            roll: 0x3fa1e28a9ae98fde,
+            pitch: 0xbfaadc26fb4856e4,
+            yaw: 0x3f9ab0ee5ce27bd9,
+            sigma: [0x3f2c9b5563348193, 0x3f2d8ff8bc123b2a, 0x3ef92227b7cd7d4d],
             updates: 10_000,
             exceed_rate: 0x3f5bda5119ce075f,
             final_sigma: 0x3f82a305532617c2,
@@ -73,10 +80,10 @@ fn static_scenario_is_bit_identical_to_pre_refactor_trace() {
             residuals: 1_000,
             mid_residual: [
                 0x4039000000000000,
-                0xbf6faaa41e2fab80,
-                0x3f95835a7bc4d1a2,
-                0xbf829b0b517ab600,
-                0x3f9581bdaa7e5ad5,
+                0xbf6faaa41e2e1f80,
+                0x3f95835a7bc4d0d0,
+                0xbf829b0b517c1100,
+                0x3f9581bdaa7e56ef,
             ],
         },
     );
@@ -90,10 +97,10 @@ fn dynamic_scenario_is_bit_identical_to_pre_refactor_trace() {
     assert_run_matches(
         &result,
         &PinnedRun {
-            roll: 0x3fad79581fed16c3,
-            pitch: 0xbfa27d24a00839f8,
-            yaw: 0x3fa6222c03ca3b55,
-            sigma: [0x3f5cef55db1ce67c, 0x3f5dd7215b625848, 0x3f223e878726f30f],
+            roll: 0x3fad79581fed2215,
+            pitch: 0xbfa27d24a0084aab,
+            yaw: 0x3fa6222c03ca3aff,
+            sigma: [0x3f5cef55db1cd4b5, 0x3f5dd7215b625de4, 0x3f223e8787271e43],
             updates: 10_000,
             exceed_rate: 0x3f40624dd2f1a9fc,
             final_sigma: 0x3f93f7ced916872b,
@@ -101,10 +108,10 @@ fn dynamic_scenario_is_bit_identical_to_pre_refactor_trace() {
             residuals: 1_000,
             mid_residual: [
                 0x4039000000000000,
-                0x3f7bfc2056650200,
-                0x3fadf51fc5006f44,
-                0xbf9432e4e42600c0,
-                0x3fadf7e697bfaf00,
+                0x3f7bfc2056659000,
+                0x3fadf51fc5006f41,
+                0xbf9432e4e42612c0,
+                0x3fadf7e697bfaf2e,
             ],
         },
     );
@@ -130,28 +137,28 @@ fn filter_trace_is_bit_identical_to_pre_refactor() {
         kf.update(z, f_b, t);
     }
     let expected_x: [u64; 5] = [
-        0x3fa0380044a15aa2,
-        0x3faacde06963fbdd,
-        0xbf96854458705fb5,
+        0x3fa0380044b46e0b,
+        0x3faacde0694fb313,
+        0xbf96854458682fd3,
         0x3fd3333333333333,
-        0xbfce08458e2c70f6,
+        0xbfce08458e594250,
     ];
     let state = kf.state();
     for (i, bits) in expected_x.iter().enumerate() {
         assert_eq!(state[i].to_bits(), *bits, "x[{i}]");
     }
     let expected_p_diag: [u64; 5] = [
-        0x3ef5b1f08250f39e,
-        0x3ef1369ef530768a,
-        0x3e74bd182a6a1ee8,
-        0x3f5a1a7cab685603,
-        0x3f604c30743921a1,
+        0x3ef5b1f0824e1094,
+        0x3ef1369ef52f70f1,
+        0x3e74bd182a67a58f,
+        0x3f5a1a7cab66c404,
+        0x3f604c307436d4bf,
     ];
     let p = kf.covariance();
     for (i, bits) in expected_p_diag.iter().enumerate() {
         assert_eq!(p[(i, i)].to_bits(), *bits, "p[{i}][{i}]");
     }
-    assert_eq!(p[(0, 4)].to_bits(), 0xbf2a974f8665371b, "p[0][4]");
+    assert_eq!(p[(0, 4)].to_bits(), 0xbf2a974f86619221, "p[0][4]");
     assert_eq!(kf.update_count(), 1_096);
     assert_eq!(kf.rejected_count(), 904);
     assert!(kf.covariance_healthy());
@@ -164,7 +171,90 @@ fn within_scaled_ulp(a: f64, b: f64) -> bool {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The packed-symmetric Joseph kernel tracks the still-compiled
+    /// dense reference within a few ulps scaled to the covariance
+    /// magnitude, on the Softfloat substrate (the paper's deployed
+    /// arithmetic). The divergence budget is the dense kernel's own
+    /// re-symmetrization average plus the `K (r I) K^T` reassociation:
+    /// measured worst case ~2.3 matrix-scaled ulps over 50k random
+    /// draws, asserted at 4.
+    #[test]
+    fn packed_joseph_tracks_dense_reference_on_softfloat(
+        m in prop::collection::vec(-0.01_f64..0.01, 25),
+        kv in prop::collection::vec(-0.1_f64..0.1, 10),
+        hv in prop::collection::vec(-10.0_f64..10.0, 10),
+        r in 1e-6_f64..1e-3,
+    ) {
+        let mut a = SoftArith::default();
+        // Symmetric PSD covariance P = M M^T in the substrate.
+        let mut p = [[a.num(0.0); 5]; 5];
+        for row in 0..5 {
+            for col in 0..5 {
+                let mut acc = 0.0;
+                for k in 0..5 {
+                    acc += m[row * 5 + k] * m[col * 5 + k];
+                }
+                let v = a.num(acc);
+                p[row][col] = v;
+                p[col][row] = v;
+            }
+        }
+        let k: [[_; 2]; 5] = std::array::from_fn(|i| std::array::from_fn(|j| a.num(kv[i * 2 + j])));
+        let h: [[_; 5]; 2] = std::array::from_fn(|i| std::array::from_fn(|j| a.num(hv[i * 5 + j])));
+        let r_t = a.num(r);
+        let dense = smallmat::joseph_update(&mut a, &p, &k, &h, r_t);
+        let packed = smallmat::joseph_update_sym(&mut a, &p, &k, &h, r_t);
+        let scale = dense
+            .iter()
+            .flatten()
+            .fold(f64::MIN_POSITIVE, |mx, v| mx.max(a.to_f64(*v).abs()));
+        for row in 0..5 {
+            for col in 0..5 {
+                // The packed result is exactly symmetric by construction.
+                prop_assert_eq!(packed[row][col].to_f64().to_bits(), packed[col][row].to_f64().to_bits());
+                let d = (a.to_f64(dense[row][col]) - a.to_f64(packed[row][col])).abs();
+                prop_assert!(
+                    d <= 4.0 * scale * f64::EPSILON,
+                    "P'[{}][{}]: dense {} packed {} (scale {})",
+                    row, col, a.to_f64(dense[row][col]), a.to_f64(packed[row][col]), scale
+                );
+            }
+        }
+    }
+
+    /// The closed-form LDL solve of the 2x2 innovation tracks the
+    /// still-compiled Gauss-Jordan reference within a few ulps scaled
+    /// to the inverse magnitude on Softfloat (both are backward-stable;
+    /// they differ only in rounding order — measured worst case ~6
+    /// matrix-scaled ulps at condition <= ~20, asserted at 16).
+    #[test]
+    fn closed_form_solve_tracks_gauss_jordan_on_softfloat(
+        d0 in 1e-5_f64..1e-2,
+        d1 in 1e-5_f64..1e-2,
+        corr in -0.9_f64..0.9,
+    ) {
+        let mut a = SoftArith::default();
+        let off = corr * (d0 * d1).sqrt();
+        let s = [[a.num(d0), a.num(off)], [a.num(off), a.num(d1)]];
+        let gj = smallmat::inverse(&mut a, &s).expect("SPD");
+        let ldl = smallmat::inverse2_sym(&mut a, &s).expect("SPD");
+        let scale = gj
+            .iter()
+            .flatten()
+            .fold(f64::MIN_POSITIVE, |mx, v| mx.max(a.to_f64(*v).abs()));
+        for row in 0..2 {
+            for col in 0..2 {
+                let d = (a.to_f64(gj[row][col]) - a.to_f64(ldl[row][col])).abs();
+                prop_assert!(
+                    d <= 16.0 * scale * f64::EPSILON,
+                    "S^-1[{}][{}]: gj {} ldl {}",
+                    row, col, a.to_f64(gj[row][col]), a.to_f64(ldl[row][col])
+                );
+            }
+        }
+    }
 
     /// The Softfloat substrate tracks the native reference within one
     /// scaled ulp over random predict/update sequences of the full
