@@ -1,0 +1,240 @@
+//! Fleet-serving benchmark: sustained vehicles x Hz through the shard
+//! arena, with per-epoch step-latency percentiles.
+//!
+//! A roster of catalog vehicles (distinct seeds, cycling every
+//! scenario) is admitted into a [`Fleet`] and driven for a fixed
+//! number of epochs; each epoch advances every vehicle one 5 ms sensor
+//! tick through the lane-group IEKF. The benchmark reports:
+//!
+//! - **vehicle-ticks/s** — the headline: vehicles x epoch rate, i.e.
+//!   how many 200 Hz vehicles the host sustains in real time is
+//!   `vehicle_ticks_per_sec / 200`;
+//! - **p50 / p99 / max epoch latency** — the fleet's scheduling tail;
+//! - **bytes/session** — arena-resident footprint per vehicle;
+//! - **ingress counters** — backpressure deferrals and lossy drops
+//!   (both must stay zero at these rosters).
+//!
+//! Results land in `bench_out/BENCH_fleet.json` and are compared
+//! against `bench_baselines/` when the committed baseline ran the same
+//! roster. Run with `cargo run --release -p bench_suite --bin
+//! fleet_bench [vehicles] [epochs] [shards] [p99_gate_ms] [--workers
+//! N] [--smoke]`. `--smoke` shrinks the roster for CI and **fails the
+//! run** on any non-finite statistic or a p99 epoch latency above the
+//! gate.
+
+use bench_suite::{
+    compare_to_baseline, load_baseline, print_baseline_deltas, print_table, write_json, BenchArgs,
+    Json,
+};
+use boresight::arith::F64Arith;
+use boresight::catalog;
+use boresight::exec;
+use boresight::fleet::{Fleet, FleetConfig};
+use std::time::Instant;
+
+const TICK_DT: f64 = 0.005;
+
+fn percentile(sorted_us: &[f64], q: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return f64::NAN;
+    }
+    let idx = ((sorted_us.len() - 1) as f64 * q).round() as usize;
+    sorted_us[idx]
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let smoke = args.has_flag("smoke");
+    let (default_vehicles, default_epochs) = if smoke {
+        (512.0, 1200.0)
+    } else {
+        (4096.0, 2000.0)
+    };
+    let vehicles = args.num(0, default_vehicles) as usize;
+    let epochs = args.num(1, default_epochs) as usize;
+    let shards = args.num(2, 16.0) as usize;
+    let p99_gate_ms = args.num(3, 25.0);
+    let workers = exec::resolve_workers(args.workers);
+
+    // Roster: the full catalog, cycled, distinct seeds, durations long
+    // enough that nobody completes mid-measurement.
+    let base = catalog::all();
+    let mut fleet: Fleet<F64Arith, 8> = Fleet::new(FleetConfig {
+        shards,
+        tick_dt: TICK_DT,
+        ..FleetConfig::default()
+    });
+    for i in 0..vehicles {
+        let spec = base[i % base.len()]
+            .clone()
+            .with_duration(epochs as f64 * TICK_DT + 30.0)
+            .with_seed(100_000 + i as u64);
+        fleet.admit(&spec).expect("catalog tuning is compatible");
+    }
+
+    // Warm-up epochs grow every pooled buffer to steady state and are
+    // excluded from the timed window.
+    fleet.run_epochs(5, workers);
+    let warm_stats = fleet.stats();
+
+    let mut laps_us = Vec::with_capacity(epochs);
+    let start = Instant::now();
+    for _ in 0..epochs {
+        let t = Instant::now();
+        fleet.run_epochs(1, workers);
+        laps_us.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let wall_s = start.elapsed().as_secs_f64().max(1e-9);
+    let stats = fleet.stats();
+
+    let mut sorted = laps_us.clone();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite lap"));
+    let p50_us = percentile(&sorted, 0.50);
+    let p99_us = percentile(&sorted, 0.99);
+    let max_us = *sorted.last().unwrap_or(&f64::NAN);
+    let vehicle_ticks_per_sec = (vehicles * epochs) as f64 / wall_s;
+    let realtime_vehicles = vehicle_ticks_per_sec * TICK_DT;
+    let updates_per_sec = (stats.updates - warm_stats.updates) as f64 / wall_s;
+    let bytes_per_vehicle = Fleet::<F64Arith, 8>::bytes_per_vehicle();
+
+    print_table(
+        &format!(
+            "Fleet serving ({vehicles} vehicles x {epochs} epochs, \
+             {shards} shards, {workers} workers, {:.0} Hz ticks)",
+            1.0 / TICK_DT
+        ),
+        &[
+            "vehicle-ticks/s",
+            "200 Hz vehicles (rt)",
+            "updates/s",
+            "p50 epoch",
+            "p99 epoch",
+            "max epoch",
+            "bytes/session",
+        ],
+        &[vec![
+            format!("{vehicle_ticks_per_sec:.0}"),
+            format!("{realtime_vehicles:.0}"),
+            format!("{updates_per_sec:.0}"),
+            format!("{:.0} us", p50_us),
+            format!("{:.0} us", p99_us),
+            format!("{:.0} us", max_us),
+            format!("{bytes_per_vehicle}"),
+        ]],
+    );
+    println!(
+        "ingress: {} enqueued, {} dropped, {} deferred, high water {}; {} evicted",
+        stats.ingress.enqueued,
+        stats.ingress.dropped,
+        stats.ingress.deferred,
+        stats.ingress.high_water,
+        stats.evicted,
+    );
+
+    // --- Artifact (written before the gates, so a failing smoke run
+    // still leaves numbers behind for diagnosis) ---------------------
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("fleet".into())),
+        ("vehicles".into(), Json::Int(vehicles as u64)),
+        ("epochs".into(), Json::Int(epochs as u64)),
+        ("shards".into(), Json::Int(shards as u64)),
+        ("workers".into(), Json::Int(workers as u64)),
+        ("tick_dt_s".into(), Json::Num(TICK_DT)),
+        ("wall_s".into(), Json::Num(wall_s)),
+        (
+            "vehicle_ticks_per_sec".into(),
+            Json::Num(vehicle_ticks_per_sec),
+        ),
+        (
+            "realtime_200hz_vehicles".into(),
+            Json::Num(realtime_vehicles),
+        ),
+        ("updates_per_sec".into(), Json::Num(updates_per_sec)),
+        ("p50_epoch_us".into(), Json::Num(p50_us)),
+        ("p99_epoch_us".into(), Json::Num(p99_us)),
+        ("max_epoch_us".into(), Json::Num(max_us)),
+        (
+            "bytes_per_session".into(),
+            Json::Int(bytes_per_vehicle as u64),
+        ),
+        (
+            "ingress".into(),
+            Json::Obj(vec![
+                ("enqueued".into(), Json::Int(stats.ingress.enqueued)),
+                ("dropped".into(), Json::Int(stats.ingress.dropped)),
+                ("deferred".into(), Json::Int(stats.ingress.deferred)),
+                (
+                    "high_water".into(),
+                    Json::Int(stats.ingress.high_water as u64),
+                ),
+            ]),
+        ),
+        ("evicted".into(), Json::Int(stats.evicted as u64)),
+    ]);
+    let path = write_json("BENCH_fleet.json", &doc);
+    println!("wrote {}", path.display());
+
+    // --- Baseline comparison (same roster only — wall clock does not
+    // compare across differently sized fleets) -----------------------
+    if let Some(baseline) = load_baseline("BENCH_fleet.json") {
+        let same = |key: &str, want: u64| {
+            baseline
+                .lookup(key)
+                .and_then(Json::as_f64)
+                .is_some_and(|v| v as u64 == want)
+        };
+        if same("vehicles", vehicles as u64) && same("epochs", epochs as u64) {
+            let deltas = compare_to_baseline(
+                &baseline,
+                &doc,
+                &[
+                    "vehicle_ticks_per_sec",
+                    "updates_per_sec",
+                    "p50_epoch_us",
+                    "p99_epoch_us",
+                ],
+            );
+            print_baseline_deltas("vs committed bench_baselines/ (wall clock)", &deltas);
+        } else {
+            println!("baseline roster differs; skipping wall-clock deltas");
+        }
+    }
+
+    // --- Health gates (the CI smoke contract) -----------------------
+    for (name, value) in [
+        ("vehicle_ticks_per_sec", vehicle_ticks_per_sec),
+        ("updates_per_sec", updates_per_sec),
+        ("p50_epoch_us", p50_us),
+        ("p99_epoch_us", p99_us),
+        ("max_epoch_us", max_us),
+    ] {
+        assert!(value.is_finite(), "{name} is not finite: {value}");
+    }
+    assert!(updates_per_sec > 0.0, "the fleet did not stream");
+    let sampled: Vec<_> = fleet.resident_ids().into_iter().take(64).collect();
+    assert!(!sampled.is_empty(), "fleet emptied mid-benchmark");
+    for id in sampled {
+        let est = fleet.estimate(id).expect("resident");
+        assert!(
+            est.angles.roll.is_finite()
+                && est.angles.pitch.is_finite()
+                && est.angles.yaw.is_finite(),
+            "vehicle {id} produced a non-finite estimate"
+        );
+    }
+    println!("health gates passed: finite stats, finite sampled estimates");
+
+    if smoke {
+        assert!(
+            p99_us <= p99_gate_ms * 1e3,
+            "p99 epoch latency gate breached: {:.0} us > {:.0} us",
+            p99_us,
+            p99_gate_ms * 1e3
+        );
+        println!(
+            "smoke p99 gate passed: {:.0} us <= {:.0} us",
+            p99_us,
+            p99_gate_ms * 1e3
+        );
+    }
+}

@@ -34,30 +34,37 @@ fn cell_json(cell: &SuiteCell) -> Json {
         (
             "truth_deg".into(),
             Json::Arr(
-                cell.truth
+                cell.summary
+                    .truth
                     .to_degrees()
                     .iter()
                     .map(|d| Json::Num(*d))
                     .collect(),
             ),
         ),
-        ("error_rms_deg".into(), Json::Num(cell.error_rms_deg)),
+        (
+            "error_rms_deg".into(),
+            Json::Num(cell.summary.error_rms_deg),
+        ),
         (
             "final_worst_error_deg".into(),
-            Json::Num(cell.final_worst_error_deg),
+            Json::Num(cell.summary.final_worst_error_deg),
         ),
-        ("exceed_rate".into(), Json::Num(cell.exceed_rate)),
-        ("retune_count".into(), Json::Int(cell.retune_count as u64)),
-        ("updates".into(), Json::Int(cell.estimate.updates)),
+        ("exceed_rate".into(), Json::Num(cell.summary.exceed_rate)),
+        (
+            "retune_count".into(),
+            Json::Int(cell.summary.retune_count as u64),
+        ),
+        ("updates".into(), Json::Int(cell.summary.estimate.updates)),
         ("ops".into(), Json::Int(cell.ops)),
-        ("saturations".into(), Json::Int(cell.saturations)),
+        ("saturations".into(), Json::Int(cell.summary.saturations)),
         ("cycles".into(), Json::Int(cell.cycles)),
         (
             "cycles_per_sample".into(),
             Json::Num(cell.cycles_per_sample),
         ),
     ];
-    if let Some(stream) = &cell.stream {
+    if let Some(stream) = &cell.summary.stream {
         fields.push((
             "stream".into(),
             Json::Obj(vec![
@@ -114,17 +121,18 @@ fn main() {
             vec![
                 c.scenario.clone(),
                 c.substrate.label().into(),
-                format!("{:.4}", c.error_rms_deg),
-                format!("{:.4}", c.final_worst_error_deg),
-                format!("{:.4}", c.exceed_rate),
-                format!("{}", c.retune_count),
-                format!("{}", c.saturations),
+                format!("{:.4}", c.summary.error_rms_deg),
+                format!("{:.4}", c.summary.final_worst_error_deg),
+                format!("{:.4}", c.summary.exceed_rate),
+                format!("{}", c.summary.retune_count),
+                format!("{}", c.summary.saturations),
                 if c.cycles == 0 {
                     "n/a".into()
                 } else {
                     format!("{:.0}", c.cycles_per_sample)
                 },
-                c.stream
+                c.summary
+                    .stream
                     .map(|s| format!("{}", s.fault_bits_flipped + s.fault_bytes_dropped))
                     .unwrap_or_else(|| "-".into()),
             ]

@@ -162,9 +162,9 @@ fn main() {
     for (s, p) in serial.cells.iter().zip(&parallel.cells) {
         let bits = |c: &SuiteCell| {
             [
-                c.estimate.angles.roll.to_bits(),
-                c.estimate.angles.pitch.to_bits(),
-                c.estimate.angles.yaw.to_bits(),
+                c.summary.estimate.angles.roll.to_bits(),
+                c.summary.estimate.angles.pitch.to_bits(),
+                c.summary.estimate.angles.yaw.to_bits(),
             ]
         };
         assert_eq!(s.scenario, p.scenario);

@@ -1,0 +1,407 @@
+//! Fleet-scale session serving: thousands of concurrent vehicles
+//! multiplexed through one process.
+//!
+//! The paper's datapath aligns one vehicle's sensors; the production
+//! problem is a *fleet* — every vehicle on the road running the same
+//! boresight estimator, supervised centrally. This module is that
+//! server. A [`Fleet`] owns a set of shards; each shard packs its
+//! resident vehicles' filter state into lockstep
+//! [`crate::lanes::LaneIekf`] lane groups (structure-of-arrays, `L`
+//! *unrelated vehicles* per group — the fleet twist on the lane
+//! substrate, which PR 5 used for one vehicle's `L` channels) behind a
+//! bounded frame-ingestion queue. Scheduling is epoch-based: one
+//! [`Fleet::run_epochs`] epoch advances every shard one sensor tick,
+//! fanned out over the [`crate::exec`] work-stealing pool.
+//!
+//! The contract that makes the fleet trustworthy is **per-vehicle bit
+//! identity**: a vehicle admitted from a catalog
+//! [`crate::spec::ScenarioSpec`] produces exactly the estimate stream
+//! — to the last bit, including gate decisions, retunes and counters —
+//! that a standalone scalar [`crate::session::FusionSession`] run of
+//! the same spec produces, at any shard count and any worker count
+//! (`tests/fleet.rs` pins this for 1000+ vehicles). Vehicles join
+//! mid-run ([`Fleet::admit`]), leave on completion, divergence,
+//! monitor fault or request ([`EvictionPolicy`], [`Fleet::evict`]),
+//! and their slots are recycled allocation-free; a steady-state epoch
+//! performs zero heap allocations (`tests/alloc_audit.rs`).
+//!
+//! ```
+//! use boresight::arith::F64Arith;
+//! use boresight::catalog;
+//! use boresight::fleet::{Fleet, FleetConfig};
+//!
+//! let mut fleet: Fleet<F64Arith, 4> = Fleet::new(FleetConfig::default());
+//! let mut spec = catalog::paper_static();
+//! spec.duration_s = 2.0;
+//! let id = fleet.admit(&spec).expect("static tuning is lane-compatible");
+//! fleet.run_epochs(100, 1); // 100 ticks at 200 Hz = 0.5 s of stream
+//! assert!(fleet.estimate(id).expect("resident").updates > 0);
+//! ```
+
+mod arena;
+mod ingress;
+mod policy;
+
+pub use arena::VehicleStats;
+pub use ingress::IngressStats;
+pub use policy::{AdmitError, EvictReason, EvictionPolicy};
+
+use crate::arith::Arith;
+use crate::estimator::MisalignmentEstimate;
+use crate::exec;
+use crate::filter::FilterConfig;
+use crate::report::VehicleSummary;
+use crate::spec::ScenarioSpec;
+use arena::Shard;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Mutex;
+
+/// A fleet-unique vehicle handle, stable across slot compaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct VehicleId(pub u64);
+
+impl fmt::Display for VehicleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "v{}", self.0)
+    }
+}
+
+/// Fleet server configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct FleetConfig {
+    /// Number of shards (parallelism grain; vehicle results do not
+    /// depend on it).
+    pub shards: usize,
+    /// Epoch tick, seconds of stream time per epoch (the paper's
+    /// 200 Hz ACC rate makes 5 ms the natural grain).
+    pub tick_dt: f64,
+    /// Per-shard ingress queue capacity, frames.
+    pub ingress_capacity: usize,
+    /// The filter tuning every lane group shares. Admission accepts
+    /// any scenario whose tuning differs only in measurement sigma
+    /// (the one per-lane parameter).
+    pub filter: FilterConfig,
+    /// When the arena evicts vehicles on its own.
+    pub eviction: EvictionPolicy,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        Self {
+            shards: 8,
+            tick_dt: 0.005,
+            ingress_capacity: 4096,
+            filter: FilterConfig::paper_static(),
+            eviction: EvictionPolicy::default(),
+        }
+    }
+}
+
+/// One entry of the fleet's eviction log.
+#[derive(Clone, Debug)]
+pub struct EvictedVehicle {
+    /// The vehicle's fleet handle.
+    pub id: VehicleId,
+    /// The scenario it was admitted from.
+    pub scenario: String,
+    /// Why it left.
+    pub reason: EvictReason,
+    /// Its summary at eviction time.
+    pub summary: VehicleSummary,
+}
+
+/// Aggregate fleet counters.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FleetStats {
+    /// Vehicles currently resident.
+    pub vehicles: usize,
+    /// Epochs run so far.
+    pub epoch: u64,
+    /// Events dispatched across all resident vehicles.
+    pub events: u64,
+    /// Measurement updates returned across all resident vehicles.
+    pub updates: u64,
+    /// Updates beyond 3 sigma across all resident vehicles.
+    pub exceeded: u64,
+    /// Adaptive retunes fired across all resident vehicles.
+    pub retunes: u64,
+    /// ACC frames dropped before the first DMU, across all residents.
+    pub dropped_no_imu: u64,
+    /// Vehicles evicted over the fleet's lifetime (any reason).
+    pub evicted: usize,
+    /// Merged ingress backpressure counters.
+    pub ingress: IngressStats,
+}
+
+/// The fleet session server: vehicle directory, shard set and epoch
+/// scheduler. See the [module docs](self) for the architecture.
+pub struct Fleet<A: Arith + Clone + Default, const L: usize = 8> {
+    config: FleetConfig,
+    shards: Vec<Mutex<Shard<A, L>>>,
+    /// vehicle id → (shard, slot); slots move on compaction, the
+    /// directory is the source of truth.
+    directory: HashMap<u64, (u32, u32)>,
+    next_id: u64,
+    epoch: u64,
+    completed: Vec<EvictedVehicle>,
+}
+
+/// The native-`f64` fleet with the default lane width.
+pub type F64Fleet = Fleet<crate::arith::F64Arith, 8>;
+
+impl<A: Arith + Clone + Default, const L: usize> Fleet<A, L> {
+    /// Creates an empty fleet.
+    pub fn new(config: FleetConfig) -> Self {
+        let shard_count = config.shards.max(1);
+        Self {
+            shards: (0..shard_count)
+                .map(|_| Mutex::new(Shard::new(&config)))
+                .collect(),
+            config,
+            directory: HashMap::new(),
+            next_id: 0,
+            epoch: 0,
+            completed: Vec::new(),
+        }
+    }
+
+    /// The configuration the fleet was built with.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Admits a vehicle running `spec`, joining the fleet mid-run at
+    /// the current epoch with its stream at local time zero. The
+    /// least-loaded shard (ties to the lowest index) receives it, so
+    /// placement is deterministic in admission order.
+    ///
+    /// The spec's substrate field is ignored — the fleet's `A`
+    /// parameter is the substrate authority — but its filter tuning
+    /// must match the fleet's shared lane configuration in everything
+    /// except measurement sigma.
+    pub fn admit(&mut self, spec: &ScenarioSpec) -> Result<VehicleId, AdmitError> {
+        let tuning = spec.tuning.estimator_config().filter;
+        if !lane_compatible(&self.config.filter, &tuning) {
+            return Err(AdmitError::IncompatibleTuning {
+                scenario: spec.name.clone(),
+            });
+        }
+        let mut best = 0;
+        let mut best_load = usize::MAX;
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            let load = shard.get_mut().expect("shard lock").occupied();
+            if load < best_load {
+                best = i;
+                best_load = load;
+            }
+        }
+        let id = VehicleId(self.next_id);
+        self.next_id += 1;
+        let slot = self.shards[best]
+            .get_mut()
+            .expect("shard lock")
+            .admit(id, spec);
+        self.directory.insert(id.0, (best as u32, slot as u32));
+        Ok(id)
+    }
+
+    /// Evicts a vehicle now (reason [`EvictReason::Requested`]),
+    /// returning its final summary. `None` for unknown ids.
+    pub fn evict(&mut self, id: VehicleId) -> Option<VehicleSummary> {
+        let (shard, slot) = *self.directory.get(&id.0)?;
+        self.shards[shard as usize]
+            .get_mut()
+            .expect("shard lock")
+            .queue_eviction(slot as usize, EvictReason::Requested);
+        self.drain_evictions();
+        self.completed
+            .iter()
+            .rev()
+            .find(|c| c.id == id)
+            .map(|c| c.summary.clone())
+    }
+
+    /// Runs `epochs` epochs; each advances every shard one sensor tick
+    /// (`tick_dt` of stream time per resident vehicle), fanning the
+    /// shards over `workers` pool threads (`0` = one per core, `1` =
+    /// inline with no thread machinery). Vehicle results are
+    /// bit-identical at any worker count — shards are independent and
+    /// evictions are applied on the sequential epoch barrier.
+    pub fn run_epochs(&mut self, epochs: usize, workers: usize) {
+        let n = self.shards.len();
+        let workers = exec::resolve_workers(workers).clamp(1, n.max(1));
+        for _ in 0..epochs {
+            if workers <= 1 {
+                for shard in &mut self.shards {
+                    shard.get_mut().expect("shard lock").tick();
+                }
+            } else {
+                let shards = &self.shards;
+                exec::map_parallel((0..n).collect(), workers, |i: usize| {
+                    shards[i].lock().expect("shard lock").tick();
+                });
+            }
+            self.epoch += 1;
+            self.drain_evictions();
+        }
+    }
+
+    /// Applies every shard's queued evictions (completion, divergence,
+    /// monitor faults) and updates the directory for compaction moves.
+    fn drain_evictions(&mut self) {
+        let Self {
+            shards,
+            directory,
+            completed,
+            ..
+        } = self;
+        for (si, shard) in shards.iter_mut().enumerate() {
+            let shard = shard.get_mut().expect("shard lock");
+            if !shard.has_pending_evictions() {
+                continue;
+            }
+            shard.apply_evictions(|record| {
+                directory.remove(&record.id.0);
+                if let Some((moved_id, new_slot)) = record.moved {
+                    directory.insert(moved_id.0, (si as u32, new_slot));
+                }
+                completed.push(EvictedVehicle {
+                    id: record.id,
+                    scenario: record.scenario,
+                    reason: record.reason,
+                    summary: record.summary,
+                });
+            });
+        }
+    }
+
+    /// Vehicles currently resident.
+    pub fn len(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// `true` when no vehicles are resident.
+    pub fn is_empty(&self) -> bool {
+        self.directory.is_empty()
+    }
+
+    /// Epochs run so far.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Where a vehicle currently lives: `(shard, slot)`. Slots move on
+    /// compaction; ids never do.
+    pub fn placement(&self, id: VehicleId) -> Option<(usize, usize)> {
+        self.directory
+            .get(&id.0)
+            .map(|&(s, i)| (s as usize, i as usize))
+    }
+
+    fn with_slot<R>(
+        &self,
+        id: VehicleId,
+        read: impl FnOnce(&Shard<A, L>, usize) -> R,
+    ) -> Option<R> {
+        let (shard, slot) = *self.directory.get(&id.0)?;
+        let shard = self.shards[shard as usize].lock().expect("shard lock");
+        Some(read(&shard, slot as usize))
+    }
+
+    /// A resident vehicle's current estimate with confidence.
+    pub fn estimate(&self, id: VehicleId) -> Option<MisalignmentEstimate> {
+        self.with_slot(id, |shard, slot| shard.estimate_of(slot))
+    }
+
+    /// A resident vehicle's report-shaped summary, as of now.
+    pub fn summary(&self, id: VehicleId) -> Option<VehicleSummary> {
+        self.with_slot(id, |shard, slot| shard.summary_of(slot))
+    }
+
+    /// A resident vehicle's event counters.
+    pub fn vehicle_stats(&self, id: VehicleId) -> Option<VehicleStats> {
+        self.with_slot(id, |shard, slot| shard.vehicle_stats_of(slot))
+    }
+
+    /// A resident vehicle's current (possibly retuned) measurement
+    /// sigma.
+    pub fn measurement_sigma(&self, id: VehicleId) -> Option<f64> {
+        self.with_slot(id, |shard, slot| shard.measurement_sigma_of(slot))
+    }
+
+    /// A resident vehicle's adaptive retune count.
+    pub fn retune_count(&self, id: VehicleId) -> Option<u64> {
+        self.with_slot(id, |shard, slot| shard.retunes_of(slot))
+    }
+
+    /// A resident vehicle's local stream time, seconds (stalls under
+    /// ingress backpressure).
+    pub fn local_time(&self, id: VehicleId) -> Option<f64> {
+        self.with_slot(id, |shard, slot| shard.local_time_of(slot))
+    }
+
+    /// Every resident vehicle's id, in shard/slot order.
+    pub fn resident_ids(&self) -> Vec<VehicleId> {
+        let mut out = Vec::with_capacity(self.directory.len());
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard lock");
+            for slot in 0..shard.occupied() {
+                out.push(shard.id_of(slot));
+            }
+        }
+        out
+    }
+
+    /// The eviction log, in eviction order.
+    pub fn completed(&self) -> &[EvictedVehicle] {
+        &self.completed
+    }
+
+    /// Aggregate counters across shards and residents.
+    pub fn stats(&self) -> FleetStats {
+        let mut stats = FleetStats {
+            vehicles: self.directory.len(),
+            epoch: self.epoch,
+            evicted: self.completed.len(),
+            ..FleetStats::default()
+        };
+        for shard in &self.shards {
+            let shard = shard.lock().expect("shard lock");
+            shard.fold_stats(
+                &mut stats.events,
+                &mut stats.updates,
+                &mut stats.exceeded,
+                &mut stats.retunes,
+                &mut stats.dropped_no_imu,
+            );
+            stats.ingress.merge(&shard.ingress_stats());
+        }
+        stats
+    }
+
+    /// Arena-resident bytes per vehicle (slot record + lane-group
+    /// share + staging cell; excludes the boxed per-vehicle source).
+    pub fn bytes_per_vehicle() -> usize {
+        arena::arena_bytes_per_vehicle::<A, L>()
+    }
+}
+
+/// Whether a scenario's filter tuning can share the fleet's lane
+/// groups: everything but the per-lane measurement sigma must match.
+fn lane_compatible(fleet: &FilterConfig, spec: &FilterConfig) -> bool {
+    fleet.initial_angle_sigma == spec.initial_angle_sigma
+        && fleet.initial_bias_sigma == spec.initial_bias_sigma
+        && fleet.angle_process_density == spec.angle_process_density
+        && fleet.bias_process_density == spec.bias_process_density
+        && fleet.estimate_bias == spec.estimate_bias
+        && fleet.gate_sigmas == spec.gate_sigmas
+        && fleet.angle_limit == spec.angle_limit
+        && fleet.bias_limit == spec.bias_limit
+        && fleet.iekf_iterations == spec.iekf_iterations
+}

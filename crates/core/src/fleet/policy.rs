@@ -1,0 +1,67 @@
+//! Admission and eviction policy for the fleet server.
+
+use std::fmt;
+
+/// Why a vehicle left the fleet.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EvictReason {
+    /// Its sensor source ran to the end of its scenario.
+    Completed,
+    /// Its estimate went non-finite.
+    Diverged,
+    /// Its residual monitor fired more retunes than the policy allows.
+    MonitorFault,
+    /// [`crate::fleet::Fleet::evict`] was called on it.
+    Requested,
+}
+
+/// When the arena evicts a vehicle on its own.
+///
+/// Completion always evicts (an exhausted source will never produce
+/// another event); the health triggers are configurable.
+#[derive(Clone, Copy, Debug)]
+pub struct EvictionPolicy {
+    /// Evict a vehicle whose estimated angles go non-finite (only
+    /// reachable on the float substrates; fixed point saturates).
+    pub evict_nonfinite: bool,
+    /// Evict a vehicle once its adaptive retune count exceeds this —
+    /// the "monitor fault" circuit breaker. `None` disables it.
+    pub max_retunes: Option<u64>,
+}
+
+impl Default for EvictionPolicy {
+    fn default() -> Self {
+        Self {
+            evict_nonfinite: true,
+            max_retunes: None,
+        }
+    }
+}
+
+/// Why [`crate::fleet::Fleet::admit`] refused a scenario.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The scenario's filter tuning differs from the fleet's shared
+    /// lane configuration in more than the measurement sigma (the one
+    /// per-lane parameter). Lanes share one instruction stream, so
+    /// process densities, gates, limits and iteration counts must
+    /// match across every admitted vehicle.
+    IncompatibleTuning {
+        /// The rejected scenario's name.
+        scenario: String,
+    },
+}
+
+impl fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::IncompatibleTuning { scenario } => write!(
+                f,
+                "scenario `{scenario}`: filter tuning differs from the fleet's shared \
+                 lane configuration beyond the per-lane measurement sigma"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}

@@ -107,6 +107,12 @@ impl<A: Arith, const L: usize> LaneIekf<A, L> {
         &self.arith
     }
 
+    /// The lane arithmetic context, mutably (substrate `num`
+    /// conversions mutate the instrumentation ledger).
+    pub fn arith_mut(&mut self) -> &mut LaneArith<A, L> {
+        &mut self.arith
+    }
+
     /// The configuration shared by every lane.
     pub fn config(&self) -> &FilterConfig {
         &self.config
@@ -178,6 +184,65 @@ impl<A: Arith, const L: usize> LaneIekf<A, L> {
         }
     }
 
+    /// Exports one lane's complete filter state (state vector,
+    /// covariance, adaptive sigma, counters) for migration into
+    /// another lane — the primitive behind the fleet arena's
+    /// compact-on-evict slot moves.
+    pub fn export_lane(&self, lane: usize) -> LaneState<A> {
+        LaneState {
+            x: std::array::from_fn(|i| self.x[i][lane]),
+            p: std::array::from_fn(|r| std::array::from_fn(|c| self.p[r][c][lane])),
+            sigma: self.sigmas[lane],
+            updates: self.updates[lane],
+            rejected: self.rejected[lane],
+        }
+    }
+
+    /// Imports a previously exported lane state into `lane`,
+    /// overwriting it bit-for-bit. Other lanes are untouched.
+    pub fn import_lane(&mut self, lane: usize, state: &LaneState<A>) {
+        for i in 0..STATE_DIM {
+            self.x[i][lane] = state.x[i];
+            for j in 0..STATE_DIM {
+                self.p[i][j][lane] = state.p[i][j];
+            }
+        }
+        self.sigmas[lane] = state.sigma;
+        self.updates[lane] = state.updates;
+        self.rejected[lane] = state.rejected;
+    }
+
+    /// Re-initializes one lane to the fresh-filter state (the per-lane
+    /// mirror of [`Self::with_arith`]'s init), so a recycled slot is
+    /// indistinguishable from a newly constructed filter.
+    pub fn reset_lane(&mut self, lane: usize) {
+        let a2 = self.config.initial_angle_sigma * self.config.initial_angle_sigma;
+        let b2 = if self.config.estimate_bias {
+            self.config.initial_bias_sigma * self.config.initial_bias_sigma
+        } else {
+            0.0
+        };
+        let a = self.arith.inner_mut();
+        let zero = a.num(0.0);
+        let a2_t = a.num(a2);
+        let b2_t = a.num(b2);
+        for i in 0..STATE_DIM {
+            self.x[i][lane] = zero;
+            for j in 0..STATE_DIM {
+                self.p[i][j][lane] = if i != j {
+                    zero
+                } else if i < 3 {
+                    a2_t
+                } else {
+                    b2_t
+                };
+            }
+        }
+        self.sigmas[lane] = self.config.measurement_sigma;
+        self.updates[lane] = 0;
+        self.rejected[lane] = 0;
+    }
+
     /// Time propagation, all lanes at once (lanes run in lockstep on a
     /// common schedule): the symmetric diagonal bump `P += Q dt`.
     pub fn predict(&mut self, dt: f64) {
@@ -201,6 +266,43 @@ impl<A: Arith, const L: usize> LaneIekf<A, L> {
         }
     }
 
+    /// Time propagation with a distinct `dt` per lane (fleet lanes hold
+    /// unrelated vehicles on unsynchronized measurement schedules).
+    /// Lanes with `dt <= 0` are untouched — the per-lane mirror of the
+    /// scalar filter's early return — so each lane's covariance stream
+    /// stays bit-identical to a scalar filter run on its own schedule.
+    pub fn predict_lanes(&mut self, dts: &[f64; L]) {
+        if dts.iter().all(|&dt| dt <= 0.0) {
+            return;
+        }
+        let qa: [f64; L] = dts.map(|dt| {
+            if dt > 0.0 {
+                self.config.angle_process_density.powi(2) * dt
+            } else {
+                0.0
+            }
+        });
+        let qb: [f64; L] = dts.map(|dt| {
+            if dt > 0.0 && self.config.estimate_bias {
+                self.config.bias_process_density.powi(2) * dt
+            } else {
+                0.0
+            }
+        });
+        let a = &mut self.arith;
+        let qa_t = a.from_lanes(qa);
+        let qb_t = a.from_lanes(qb);
+        for i in 0..STATE_DIM {
+            let q_t = if i < 3 { qa_t } else { qb_t };
+            let next = a.add(self.p[i][i], q_t);
+            for lane in 0..L {
+                if dts[lane] > 0.0 {
+                    self.p[i][i][lane] = next[lane];
+                }
+            }
+        }
+    }
+
     /// Measurement update, all lanes at once: lane `i` fuses `z[i]`
     /// against the shared body specific force `f_b` (the
     /// one-IMU-many-sensors configuration). Returns each lane's update
@@ -212,7 +314,7 @@ impl<A: Arith, const L: usize> LaneIekf<A, L> {
         time_s: f64,
     ) -> [KalmanUpdate; L] {
         let fb = f_b.map(|v| [v; L]);
-        self.update_lanes_t(z, fb, time_s)
+        self.update_lanes_t(z, fb, &[time_s; L], &[false; L])
     }
 
     /// Measurement update with a distinct specific force per lane
@@ -229,15 +331,43 @@ impl<A: Arith, const L: usize> LaneIekf<A, L> {
                 fb[axis][lane] = self.arith.inner_mut().num(f_b[lane][axis]);
             }
         }
-        self.update_lanes_t(z, fb, time_s)
+        self.update_lanes_t(z, fb, &[time_s; L], &[false; L])
+    }
+
+    /// Measurement update for a subset of lanes: lane `i` participates
+    /// only when `active[i]`; inactive lanes keep their state,
+    /// covariance and counters bit-for-bit and return `None`. Each
+    /// active lane carries its own timestamp (fleet lanes hold
+    /// unrelated vehicles whose measurements merely landed in the same
+    /// batch window).
+    ///
+    /// Inactive lanes still execute the shared instruction stream with
+    /// masked writes — exactly how gate-rejected lanes are handled —
+    /// so every active lane's result stays bit-identical to a scalar
+    /// filter fed only that lane's schedule.
+    pub fn update_lanes_masked(
+        &mut self,
+        z: &[Vec2; L],
+        f_b: [[A::T; L]; 3],
+        times: &[f64; L],
+        active: &[bool; L],
+    ) -> [Option<KalmanUpdate>; L] {
+        let inactive: [bool; L] = std::array::from_fn(|lane| !active[lane]);
+        let updates = self.update_lanes_t(z, f_b, times, &inactive);
+        std::array::from_fn(|lane| active[lane].then(|| updates[lane]))
     }
 
     /// The lockstep mirror of the scalar filter's `update_t`.
+    ///
+    /// `inactive` lanes are frozen from the start: they execute every
+    /// instruction with writes masked (state, covariance, counters all
+    /// untouched) and their returned records are meaningless.
     fn update_lanes_t(
         &mut self,
         z: &[Vec2; L],
         f_b: [[A::T; L]; 3],
-        time_s: f64,
+        times: &[f64; L],
+        inactive: &[bool; L],
     ) -> [KalmanUpdate; L] {
         let estimate_bias = self.config.estimate_bias;
         let a = &mut self.arith;
@@ -273,7 +403,7 @@ impl<A: Arith, const L: usize> LaneIekf<A, L> {
             let gs1 = a.mul(g, sig1);
             let exceed1 = a.lane_lt(&gs1, &ai1);
             for lane in 0..L {
-                rejectd[lane] = exceed0[lane] || exceed1[lane];
+                rejectd[lane] = !inactive[lane] && (exceed0[lane] || exceed1[lane]);
             }
         }
 
@@ -289,12 +419,12 @@ impl<A: Arith, const L: usize> LaneIekf<A, L> {
         // Final per-lane linearization and gain for the Joseph update.
         let mut jac_fin = jac0;
         let mut k_fin: [[[A::T; L]; MEAS_DIM]; STATE_DIM] = [[zero; MEAS_DIM]; STATE_DIM];
-        // A frozen lane has finished iterating (converged, rejected or
-        // singular); its x/jac/k writes are masked from then on. When
-        // every lane is already frozen (the whole batch gate-rejected)
-        // the loop — and the Joseph update below — never run at all,
-        // mirroring the scalar early return.
-        let mut frozen = rejectd;
+        // A frozen lane has finished iterating (converged, rejected,
+        // singular or inactive); its x/jac/k writes are masked from
+        // then on. When every lane is already frozen (the whole batch
+        // gate-rejected or inactive) the loop — and the Joseph update
+        // below — never run at all, mirroring the scalar early return.
+        let mut frozen: [bool; L] = std::array::from_fn(|lane| rejectd[lane] || inactive[lane]);
         for iter in 0..iterations {
             if frozen.iter().all(|f| *f) {
                 break;
@@ -342,10 +472,15 @@ impl<A: Arith, const L: usize> LaneIekf<A, L> {
         }
 
         // --- Adopt per lane ------------------------------------------
+        // Lanes to leave untouched below: inactive lanes took no
+        // measurement at all, rejected lanes keep prior state and
+        // covariance like the scalar early return.
+        let skip: [bool; L] = std::array::from_fn(|lane| rejectd[lane] || inactive[lane]);
         for lane in 0..L {
+            if inactive[lane] {
+                continue;
+            }
             if rejectd[lane] {
-                // Rejected lanes keep prior state and covariance, like
-                // the scalar early return.
                 for st in 0..STATE_DIM {
                     x_i[st][lane] = x_pred[st][lane];
                 }
@@ -359,12 +494,12 @@ impl<A: Arith, const L: usize> LaneIekf<A, L> {
             self.x[3] = zero;
             self.x[4] = zero;
         }
-        if !rejectd.iter().all(|r| *r) {
+        if !skip.iter().all(|s| *s) {
             let p_prior = self.p;
             let p_next = smallmat::joseph_update_sym(a, &p_prior, &k_fin, &jac_fin, r_t);
             self.p = p_next;
             for lane in 0..L {
-                if rejectd[lane] {
+                if skip[lane] {
                     for row in 0..STATE_DIM {
                         for col in 0..STATE_DIM {
                             self.p[row][col][lane] = p_prior[row][col][lane];
@@ -372,12 +507,12 @@ impl<A: Arith, const L: usize> LaneIekf<A, L> {
                     }
                 }
             }
-            self.apply_trust_region(&rejectd);
+            self.apply_trust_region(&skip);
         }
 
         // --- Records -------------------------------------------------
         std::array::from_fn(|lane| KalmanUpdate {
-            time_s,
+            time_s: times[lane],
             innovation: Vec2::new([
                 self.arith.lane_to_f64(&innov_t[0], lane),
                 self.arith.lane_to_f64(&innov_t[1], lane),
@@ -444,6 +579,21 @@ impl<A: Arith, const L: usize> LaneIekf<A, L> {
             }
         }
     }
+}
+
+/// One lane's complete filter state, detached from its lane slot.
+///
+/// Produced by [`LaneIekf::export_lane`] and consumed by
+/// [`LaneIekf::import_lane`]; a round trip through a `LaneState` is
+/// bit-exact, so the fleet arena can move a vehicle between slots
+/// (compaction on eviction) without perturbing its estimate stream.
+#[derive(Clone, Debug)]
+pub struct LaneState<A: Arith> {
+    x: [A::T; STATE_DIM],
+    p: [[A::T; STATE_DIM]; STATE_DIM],
+    sigma: f64,
+    updates: u64,
+    rejected: u64,
 }
 
 /// Per-lane mirror of [`smallmat::inverse2_sym`]: the closed-form LDL
@@ -751,6 +901,119 @@ mod tests {
             200,
             Some((100, OutlierLanes::All)),
         );
+    }
+
+    /// Lanes on disjoint measurement schedules (the fleet
+    /// configuration: unrelated vehicles sharing a lane group) must
+    /// each stay bit-identical to a scalar filter fed only that lane's
+    /// schedule, with per-lane dt propagation and masked updates.
+    #[test]
+    fn masked_lanes_match_scalars_on_disjoint_schedules() {
+        let cfg = FilterConfig::paper_static();
+        let mut lanes: LaneIekf<F64Arith, 3> = LaneIekf::new(cfg);
+        let mut scalars = scalar_filters::<3>(cfg);
+        let mut last_t = [0.0_f64; 3];
+        let g = STANDARD_GRAVITY;
+        for i in 0..300 {
+            let t = i as f64 * 0.005;
+            let f = Vec3::new([2.0 * (0.5 * t).sin(), 1.5 * (0.33 * t).cos(), g]);
+            // Lane 0 updates every step, lane 1 every 2nd, lane 2 every 3rd.
+            let active: [bool; 3] = std::array::from_fn(|lane| i % (lane + 1) == 0);
+            let z: [Vec2; 3] = std::array::from_fn(|lane| {
+                let s = 0.01 * (lane as f64 + 1.0);
+                Vec2::new([f[0] + s * (1.1 * t).sin(), f[1] - s * (0.9 * t).cos()])
+            });
+            let mut dts = [0.0_f64; 3];
+            let mut times = [0.0_f64; 3];
+            for lane in 0..3 {
+                if active[lane] {
+                    dts[lane] = t - last_t[lane];
+                    times[lane] = t;
+                    last_t[lane] = t;
+                }
+            }
+            let fb: [[f64; 3]; 3] = std::array::from_fn(|axis| [f[axis]; 3]);
+            lanes.predict_lanes(&dts);
+            let ups = lanes.update_lanes_masked(&z, fb, &times, &active);
+            for lane in 0..3 {
+                if active[lane] {
+                    let kf = &mut scalars[lane];
+                    kf.predict(dts[lane]);
+                    let u = kf.update(z[lane], f, t);
+                    let lu = ups[lane].expect("active lane returns a record");
+                    assert_eq!(u.accepted, lu.accepted, "step {i} lane {lane}");
+                    assert_eq!(lu.time_s, t);
+                } else {
+                    assert!(ups[lane].is_none(), "step {i} lane {lane}");
+                }
+            }
+        }
+        for (lane, kf) in scalars.iter().enumerate() {
+            let a = kf.angles();
+            let b = lanes.angles(lane);
+            assert_eq!(a.roll.to_bits(), b.roll.to_bits(), "lane {lane} roll");
+            assert_eq!(a.pitch.to_bits(), b.pitch.to_bits(), "lane {lane} pitch");
+            assert_eq!(a.yaw.to_bits(), b.yaw.to_bits(), "lane {lane} yaw");
+            assert_eq!(kf.update_count(), lanes.update_count(lane));
+            assert_eq!(kf.rejected_count(), lanes.rejected_count(lane));
+            let p = kf.covariance();
+            for r in 0..STATE_DIM {
+                for c in 0..STATE_DIM {
+                    assert_eq!(
+                        p[(r, c)].to_bits(),
+                        lanes.arith().lane_to_f64(&lanes.p[r][c], lane).to_bits(),
+                        "lane {lane} P[{r}][{c}]"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Export → reset → import must round-trip a lane bit-exactly, and
+    /// a reset lane must be indistinguishable from a fresh filter.
+    #[test]
+    fn lane_export_import_reset_round_trip() {
+        let cfg = FilterConfig::paper_static();
+        let mut lanes: LaneIekf<F64Arith, 4> = LaneIekf::new(cfg);
+        let g = STANDARD_GRAVITY;
+        for i in 0..120 {
+            let t = i as f64 * 0.005;
+            let f = Vec3::new([1.2 * (0.4 * t).sin(), 0.8 * (0.7 * t).cos(), g]);
+            let z: [Vec2; 4] = std::array::from_fn(|lane| {
+                let s = 0.02 * (lane as f64 + 1.0);
+                Vec2::new([f[0] + s * (1.3 * t).sin(), f[1] + s * (0.6 * t).cos()])
+            });
+            lanes.predict(0.005);
+            lanes.update_lanes(&z, &[f; 4], t);
+        }
+        lanes.set_measurement_sigma(2, 0.042);
+        let snapshot = lanes.export_lane(2);
+        let before_x = lanes.angles(2);
+        let before_updates = lanes.update_count(2);
+        lanes.reset_lane(2);
+        // A reset lane matches a fresh filter's lane 2 bit-for-bit.
+        let fresh: LaneIekf<F64Arith, 4> = LaneIekf::new(cfg);
+        assert_eq!(
+            lanes.angles(2).roll.to_bits(),
+            fresh.angles(2).roll.to_bits()
+        );
+        assert_eq!(lanes.update_count(2), 0);
+        assert_eq!(lanes.measurement_sigma(2), cfg.measurement_sigma);
+        for r in 0..STATE_DIM {
+            for c in 0..STATE_DIM {
+                assert_eq!(
+                    lanes.arith().lane_to_f64(&lanes.p[r][c], 2).to_bits(),
+                    fresh.arith().lane_to_f64(&fresh.p[r][c], 2).to_bits(),
+                    "reset P[{r}][{c}]"
+                );
+            }
+        }
+        lanes.import_lane(2, &snapshot);
+        assert_eq!(lanes.angles(2).roll.to_bits(), before_x.roll.to_bits());
+        assert_eq!(lanes.angles(2).pitch.to_bits(), before_x.pitch.to_bits());
+        assert_eq!(lanes.angles(2).yaw.to_bits(), before_x.yaw.to_bits());
+        assert_eq!(lanes.update_count(2), before_updates);
+        assert_eq!(lanes.measurement_sigma(2), 0.042);
     }
 
     #[test]

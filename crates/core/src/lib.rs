@@ -48,6 +48,15 @@
 //!   ablation filter; the *full* 5-state IEKF runs over any of them
 //!   through [`SessionBuilder::iekf`] or
 //!   [`SessionGroup::full_iekf_sweep`];
+//! * [`fleet`] — the fleet-scale session server: thousands of
+//!   concurrent vehicles packed into struct-of-arrays
+//!   [`lanes::LaneIekf`] shard arenas behind bounded ingress queues,
+//!   advanced in deterministic epochs over the [`exec`] pool, with
+//!   mid-run admission, compacting eviction and per-vehicle bit
+//!   identity to standalone scalar sessions;
+//! * [`report`] — the shared per-vehicle summary type
+//!   ([`report::VehicleSummary`]) the suite matrix and the fleet both
+//!   emit, plus the streaming RMS accumulator behind it;
 //! * [`smallmat`] — the substrate-generic dense kernels (products,
 //!   Gauss-Jordan inverse, Cholesky check) shared by both filters;
 //! * [`system`] — the full Figure-2 system simulation: sensors, CAN,
@@ -118,10 +127,12 @@ pub mod catalog;
 pub mod estimator;
 pub mod exec;
 pub mod filter;
+pub mod fleet;
 pub mod lanes;
 pub mod model;
 pub mod monitor;
 pub mod multi;
+pub mod report;
 pub mod scenario;
 pub mod session;
 pub mod smallmat;
@@ -136,9 +147,13 @@ pub use estimator::{
     BoresightEstimator, EstimatorConfig, GenericBoresightEstimator, ImuPrep, MisalignmentEstimate,
 };
 pub use filter::{BoresightFilter, FilterConfig, GenericBoresightFilter, KalmanUpdate};
-pub use lanes::{LaneBank, LaneIekf};
+pub use fleet::{
+    AdmitError, EvictReason, EvictionPolicy, Fleet, FleetConfig, FleetStats, VehicleId,
+};
+pub use lanes::{LaneBank, LaneIekf, LaneState};
 pub use monitor::{MonitorConfig, ResidualMonitor, Retune};
 pub use multi::MultiBoresight;
+pub use report::{RunningRms, VehicleSummary};
 pub use scenario::{run, run_dynamic, run_static, RunResult, ScenarioConfig};
 pub use session::{
     ArithDivergence, ArithKf3, ChannelConfig, CommsChainSource, EventSink, FusionBackend,

@@ -1084,6 +1084,13 @@ impl SessionBuilder {
         self
     }
 
+    /// Sets the sensor source from an already boxed trait object (the
+    /// form [`crate::spec::ScenarioSpec::into_source`] produces).
+    pub fn source_boxed(mut self, source: Box<dyn SensorSource>) -> Self {
+        self.source = Some(source);
+        self
+    }
+
     /// Sets the fusion backend (defaults to the paper's static-tuned
     /// 5-state estimator).
     pub fn backend(mut self, backend: impl FusionBackend) -> Self {

@@ -52,14 +52,14 @@
 //! ```
 
 use crate::arith::{Arith, F64Arith, FixedArith, SoftArith};
-use crate::estimator::{EstimatorConfig, GenericBoresightEstimator, MisalignmentEstimate};
+use crate::estimator::{EstimatorConfig, GenericBoresightEstimator};
 use crate::exec;
+use crate::report::VehicleSummary;
 use crate::scenario::{RunResult, ScenarioConfig};
 use crate::session::{
-    CommsChainSource, FusionSession, IntoSharedTrajectory, LinkFaultConfig, SessionBuilder,
-    SessionGroup, SyntheticSource,
+    CommsChainSource, FusionSession, IntoSharedTrajectory, LinkFaultConfig, SensorSource,
+    SessionBuilder, SessionGroup, SyntheticSource,
 };
-use comms::StreamStats;
 use mathx::{EulerAngles, Vec2};
 use std::sync::Arc;
 use vehicle::{profile::presets, DriveProfile, Segment, TiltTable, Trajectory, VibrationConfig};
@@ -507,6 +507,21 @@ impl ScenarioSpec {
         self.trajectory.lower(self.duration_s)
     }
 
+    /// Lowers the spec's channel front end to a boxed sensor source —
+    /// the shared lowering step behind [`ScenarioSpec::into_session`]
+    /// and fleet admission ([`crate::fleet::Fleet::admit`]), so a
+    /// fleet vehicle sees byte-for-byte the event stream a standalone
+    /// session would.
+    pub fn into_source(&self, trajectory: impl IntoSharedTrajectory) -> Box<dyn SensorSource> {
+        let cfg = self.config();
+        match self.channel {
+            ChannelSpec::Ideal => Box::new(SyntheticSource::from_scenario(trajectory, &cfg)),
+            ChannelSpec::Comms { .. } => {
+                Box::new(CommsChainSource::from_scenario(trajectory, &cfg))
+            }
+        }
+    }
+
     /// Lowers the spec to a streaming [`FusionSession`] over
     /// `trajectory` (normally the one from
     /// [`ScenarioSpec::lower_trajectory`]; pass an `Arc` clone to share
@@ -515,13 +530,7 @@ impl ScenarioSpec {
     pub fn into_session(&self, trajectory: impl IntoSharedTrajectory) -> FusionSession {
         let cfg = self.config();
         let expected_updates = FusionSession::expected_updates(&cfg);
-        let builder =
-            match self.channel {
-                ChannelSpec::Ideal => FusionSession::builder()
-                    .source(SyntheticSource::from_scenario(trajectory, &cfg)),
-                ChannelSpec::Comms { .. } => FusionSession::builder()
-                    .source(CommsChainSource::from_scenario(trajectory, &cfg)),
-            };
+        let builder = FusionSession::builder().source_boxed(self.into_source(trajectory));
         self.substrate
             .attach_iekf(builder, cfg.estimator)
             .truth(cfg.true_misalignment)
@@ -558,29 +567,17 @@ pub struct SuiteCell {
     pub backend: &'static str,
     /// Run length actually executed, seconds.
     pub duration_s: f64,
-    /// Injected truth.
-    pub truth: EulerAngles,
-    /// Final estimate with confidence.
-    pub estimate: MisalignmentEstimate,
-    /// Converged-half pooled-axis boresight RMS error, degrees.
-    pub error_rms_deg: f64,
-    /// Final worst-axis error, degrees.
-    pub final_worst_error_deg: f64,
-    /// Fraction of residuals beyond 3 sigma.
-    pub exceed_rate: f64,
-    /// Adaptive retunes fired.
-    pub retune_count: usize,
+    /// The per-vehicle verdict (estimate vs. truth, RMS error,
+    /// residual health, retunes, saturations, link-fault counters) —
+    /// the shared [`crate::report::VehicleSummary`] shape the fleet
+    /// layer also reports.
+    pub summary: VehicleSummary,
     /// Substrate arithmetic operations executed.
     pub ops: u64,
-    /// Fixed-point saturation events (0 on float substrates).
-    pub saturations: u64,
     /// Estimated Sabre cycles (0 for the host-FPU reference).
     pub cycles: u64,
     /// Cycle estimate per incoming ACC sample.
     pub cycles_per_sample: f64,
-    /// Serial-link statistics, for comms-channel cells (includes the
-    /// fault-injector counters).
-    pub stream: Option<StreamStats>,
 }
 
 impl SuiteCell {
@@ -596,17 +593,10 @@ impl SuiteCell {
             substrate: spec.substrate,
             backend,
             duration_s: cfg.duration_s,
-            truth: result.truth,
-            estimate: result.estimate,
-            error_rms_deg: result.error_rms_deg(),
-            final_worst_error_deg: result.max_error_deg(),
-            exceed_rate: result.exceed_rate,
-            retune_count: result.retune_count,
+            summary: VehicleSummary::from_result(&result, saturations, stream),
             ops,
-            saturations,
             cycles,
             cycles_per_sample: cycles as f64 / samples,
-            stream,
         }
     }
 
@@ -614,13 +604,7 @@ impl SuiteCell {
     /// covariance never went indefinite (non-negative sigmas) — the
     /// health predicate the CI smoke run gates on.
     pub fn is_healthy(&self) -> bool {
-        let a = self.estimate.angles;
-        let s = self.estimate.one_sigma;
-        a.roll.is_finite()
-            && a.pitch.is_finite()
-            && a.yaw.is_finite()
-            && (0..3).all(|i| s[i].is_finite() && s[i] >= 0.0)
-            && self.error_rms_deg.is_finite()
+        self.summary.is_healthy()
     }
 }
 

@@ -76,11 +76,11 @@ fn main() {
             "  {:>18} {:>9}  rms {:>7.4} deg  retunes {:>2}  saturations {:>3}  cycles/sample {:>7.0}{}",
             cell.scenario,
             cell.substrate.label(),
-            cell.error_rms_deg,
-            cell.retune_count,
-            cell.saturations,
+            cell.summary.error_rms_deg,
+            cell.summary.retune_count,
+            cell.summary.saturations,
             cell.cycles_per_sample,
-            cell.stream
+            cell.summary.stream
                 .map(|s| format!(
                     "  wire: {} flips / {} drops",
                     s.fault_bits_flipped, s.fault_bytes_dropped

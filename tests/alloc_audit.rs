@@ -8,7 +8,9 @@
 //! calls "no per-event heap allocation in `FusionSession::step`
 //! steady state".
 
+use sensor_fusion_fpga::fusion::arith::F64Arith;
 use sensor_fusion_fpga::fusion::catalog;
+use sensor_fusion_fpga::fusion::fleet::{Fleet, FleetConfig};
 use sensor_fusion_fpga::fusion::spec::ChannelSpec;
 use std::alloc::{GlobalAlloc, Layout, System};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -96,4 +98,34 @@ fn comms_chain_steady_state_allocates_nothing() {
     );
     let stream = session.stream_stats().expect("comms chain has stats");
     assert!(stream.acc_samples > 4_000, "the chain actually streamed");
+}
+
+/// The fleet arena at scale: once a 1000-vehicle fleet is warmed up
+/// (slots admitted, lane groups built, ingress scratch grown to burst
+/// size), a steady-state epoch — poll, dispatch, lane-group predict +
+/// masked update for every resident vehicle — performs **zero** heap
+/// allocations on the inline (workers = 1) scheduling path.
+#[test]
+fn fleet_epoch_steady_state_allocates_nothing() {
+    let _guard = AUDIT_SERIALIZER.lock().unwrap();
+    let mut fleet: Fleet<F64Arith, 8> = Fleet::new(FleetConfig::default());
+    for i in 0..1_000u64 {
+        let spec = catalog::paper_static()
+            .with_duration(3_600.0)
+            .with_seed(40_000 + i);
+        fleet.admit(&spec).expect("catalog tuning is compatible");
+    }
+    fleet.run_epochs(5, 1);
+    let before = allocations();
+    fleet.run_epochs(50, 1);
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "fleet epoch loop allocated {} times in steady state",
+        after - before
+    );
+    let stats = fleet.stats();
+    assert_eq!(stats.vehicles, 1_000, "nobody was evicted mid-audit");
+    assert!(stats.updates > 40_000, "the fleet actually streamed");
 }

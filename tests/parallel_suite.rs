@@ -42,8 +42,8 @@ fn sessions_cross_threads() {
 }
 
 fn bits(cell: &SuiteCell) -> Vec<u64> {
-    let a = cell.estimate.angles;
-    let s = cell.estimate.one_sigma;
+    let a = cell.summary.estimate.angles;
+    let s = cell.summary.estimate.one_sigma;
     vec![
         a.roll.to_bits(),
         a.pitch.to_bits(),
@@ -51,12 +51,12 @@ fn bits(cell: &SuiteCell) -> Vec<u64> {
         s[0].to_bits(),
         s[1].to_bits(),
         s[2].to_bits(),
-        cell.error_rms_deg.to_bits(),
-        cell.exceed_rate.to_bits(),
-        cell.retune_count as u64,
-        cell.estimate.updates,
+        cell.summary.error_rms_deg.to_bits(),
+        cell.summary.exceed_rate.to_bits(),
+        cell.summary.retune_count as u64,
+        cell.summary.estimate.updates,
         cell.ops,
-        cell.saturations,
+        cell.summary.saturations,
         cell.cycles,
     ]
 }
@@ -89,13 +89,17 @@ fn parallel_suite_is_bit_identical_to_serial() {
             s.substrate
         );
         // Comms cells carry their stream stats through both paths.
-        assert_eq!(s.stream, p.stream, "{}/{}", s.scenario, s.substrate);
+        assert_eq!(
+            s.summary.stream, p.summary.stream,
+            "{}/{}",
+            s.scenario, s.substrate
+        );
     }
     // The fault-storm cells actually exercised the injected faults.
     let storm = parallel
         .cell("can-fault-storm", Substrate::F64)
         .expect("storm cell");
-    let stream = storm.stream.expect("comms cell has stream stats");
+    let stream = storm.summary.stream.expect("comms cell has stream stats");
     assert!(stream.fault_bits_flipped > 0);
 }
 

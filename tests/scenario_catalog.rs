@@ -74,7 +74,7 @@ fn catalog_matrix_is_healthy_on_all_substrates() {
             }
         }
         assert!(
-            cell.estimate.updates > 0,
+            cell.summary.estimate.updates > 0,
             "{} made no updates",
             cell.scenario
         );
@@ -83,7 +83,7 @@ fn catalog_matrix_is_healthy_on_all_substrates() {
     let storm = report
         .cell("can-fault-storm", Substrate::F64)
         .expect("fault-storm cell");
-    let stream = storm.stream.expect("comms cell has stream stats");
+    let stream = storm.summary.stream.expect("comms cell has stream stats");
     assert!(stream.fault_bits_flipped > 0, "no bits flipped: {stream:?}");
 }
 
@@ -110,12 +110,12 @@ fn paper_cells_match_legacy_scenario_config_bit_for_bit() {
     let cell = report
         .cell("paper-static", Substrate::F64)
         .expect("static cell");
-    assert_eq!(cell.estimate, legacy_static.estimate);
+    assert_eq!(cell.summary.estimate, legacy_static.estimate);
     assert_eq!(
-        cell.exceed_rate.to_bits(),
+        cell.summary.exceed_rate.to_bits(),
         legacy_static.exceed_rate.to_bits()
     );
-    assert_eq!(cell.retune_count, legacy_static.retune_count);
+    assert_eq!(cell.summary.retune_count, legacy_static.retune_count);
 
     let mut dynamic_cfg = ScenarioConfig::dynamic_test(paper[1].truth);
     dynamic_cfg.duration_s = duration;
@@ -124,9 +124,9 @@ fn paper_cells_match_legacy_scenario_config_bit_for_bit() {
     let cell = report
         .cell("paper-dynamic", Substrate::F64)
         .expect("dynamic cell");
-    assert_eq!(cell.estimate, legacy_dynamic.estimate);
+    assert_eq!(cell.summary.estimate, legacy_dynamic.estimate);
     assert_eq!(
-        cell.exceed_rate.to_bits(),
+        cell.summary.exceed_rate.to_bits(),
         legacy_dynamic.exceed_rate.to_bits()
     );
 }
