@@ -11,18 +11,25 @@
 //!   scenario, made possible by the generic-arithmetic core — the real
 //!   algorithm, per-substrate op counts, Sabre cycles and
 //!   boresight-error RMS, written to `bench_out/BENCH_arith_full_filter.json`.
+//!   Beyond the run-time [`Substrate`] trio this tier also measures the
+//!   frontier's cheap substrates — native `f32` and the `Q8.24`/`Q4.28`
+//!   fixed-point points bracketing `Q16.16` — through the direct
+//!   session-builder path.
 //!
 //! Run with `cargo run --release -p bench_suite --bin ablation_arith
 //! [updates] [--workers N]`. The optional update count defaults to
-//! 20000 at 200 Hz (a 100 s scenario); the full-IEKF tier fans its
-//! three substrates out over the worker pool (`--workers 1` forces the
-//! old serial sweep, 0 = one per core).
+//! 20000 at 200 Hz (a 100 s scenario); the full-IEKF tier fans the
+//! enum substrates out over the worker pool (`--workers 1` forces the
+//! old serial sweep, 0 = one per core) and then runs the
+//! builder-path substrates serially.
 
 use bench_suite::{
     compare_labeled_to_baseline, load_baseline, print_baseline_deltas, print_table, write_json,
     BenchArgs, Json, SmallAngleSource,
 };
-use boresight::arith::{Arith, F64Arith, FixedArith, OpCounts, PhaseLedger, SoftArith};
+use boresight::arith::{
+    Arith, F32Arith, F64Arith, FixedArith, OpCounts, PhaseLedger, QArith, SoftArith,
+};
 use boresight::estimator::GenericBoresightEstimator;
 use boresight::exec;
 use boresight::scenario::{RunResult, ScenarioConfig};
@@ -73,24 +80,33 @@ fn read_ledger<A: Arith + Clone + 'static>(
     )
 }
 
-/// Runs the full 5-state IEKF over the paper's static scenario on one
-/// substrate.
-fn run_full(substrate: Substrate, cfg: &ScenarioConfig) -> FullRun {
+/// Runs the full 5-state IEKF over the paper's static scenario on the
+/// type-level substrate `A` — the direct session-builder path, so
+/// substrates outside the run-time [`Substrate`] enum (f32, the
+/// `Q<FRAC>` family) get the same measurement without widening the
+/// enum and every matrix gate built on it.
+fn run_full_arith<A: Arith + Clone + Default + 'static>(cfg: &ScenarioConfig) -> FullRun {
     let table = TrajectorySpec::paper_tilt_table().lower(cfg.duration_s);
-    let mut session = substrate.iekf_from_scenario(table, cfg);
+    let mut session = FusionSession::iekf_from_scenario(table, cfg, A::default());
     session.run_to_end();
     let label = session.backend_label();
-    let (counts, cycles, phases) = match substrate {
-        Substrate::F64 => read_ledger::<F64Arith>(&session),
-        Substrate::Softfloat => read_ledger::<SoftArith>(&session),
-        Substrate::Q16_16 => read_ledger::<FixedArith>(&session),
-    };
+    let (counts, cycles, phases) = read_ledger::<A>(&session);
     FullRun {
         label,
         result: session.into_result(),
         counts,
         cycles,
         phases,
+    }
+}
+
+/// Runs the full 5-state IEKF over the paper's static scenario on one
+/// run-time-selected substrate.
+fn run_full(substrate: Substrate, cfg: &ScenarioConfig) -> FullRun {
+    match substrate {
+        Substrate::F64 => run_full_arith::<F64Arith>(cfg),
+        Substrate::Softfloat => run_full_arith::<SoftArith>(cfg),
+        Substrate::Q16_16 => run_full_arith::<FixedArith>(cfg),
     }
 }
 
@@ -219,9 +235,17 @@ fn main() {
     cfg.duration_s = n as f64 / ACC_RATE_HZ;
     cfg.seed = 7;
 
-    let runs = exec::map_parallel(Substrate::all().to_vec(), args.workers, |substrate| {
+    let mut runs = exec::map_parallel(Substrate::all().to_vec(), args.workers, |substrate| {
         run_full(substrate, &cfg)
     });
+    // The cheap substrates from the frontier sweep, measured on the
+    // same scenario through the direct builder path: native f32 and
+    // two Q-format points bracketing Q16.16 — Q8.24 (more fraction,
+    // less headroom) and Q4.28 (a worked example of a range priced
+    // below the problem; its saturation counter says why).
+    runs.push(run_full_arith::<F32Arith>(&cfg));
+    runs.push(run_full_arith::<QArith<24>>(&cfg));
+    runs.push(run_full_arith::<QArith<28>>(&cfg));
 
     let reference_angles = runs[0].result.estimate.angles;
     // Per-sample, not per-accepted-update: gate-rejected samples still
@@ -368,6 +392,9 @@ fn main() {
                 ("iekf5/softfloat", "cycles_per_sample"),
                 ("iekf5/q16.16", "cycles_per_sample"),
                 ("iekf5/f64", "error_rms_deg"),
+                ("iekf5/f32", "error_rms_deg"),
+                ("iekf5/q8.24", "cycles_per_sample"),
+                ("iekf5/q4.28", "cycles_per_sample"),
             ],
         );
         print_baseline_deltas("vs committed bench_baselines/", &deltas);

@@ -4,7 +4,11 @@
 //! A roster of catalog vehicles (distinct seeds, cycling every
 //! scenario) is admitted into a [`Fleet`] and driven for a fixed
 //! number of epochs; each epoch advances every vehicle one 5 ms sensor
-//! tick through the lane-group IEKF. The benchmark reports:
+//! tick through the lane-group IEKF. The whole measurement runs twice,
+//! once per lane substrate — the autovectorized `F64Arith` lane groups
+//! (the committed baseline) and the explicit-SIMD [`SimdF64`]
+//! substrate — so the frontier's substrate choice is priced at fleet
+//! scale, not just per filter. The benchmark reports, per substrate:
 //!
 //! - **vehicle-ticks/s** — the headline: vehicles x epoch rate, i.e.
 //!   how many 200 Hz vehicles the host sustains in real time is
@@ -14,22 +18,24 @@
 //! - **ingress counters** — backpressure deferrals and lossy drops
 //!   (both must stay zero at these rosters).
 //!
-//! Results land in `bench_out/BENCH_fleet.json` and are compared
-//! against `bench_baselines/` when the committed baseline ran the same
-//! roster. Run with `cargo run --release -p bench_suite --bin
-//! fleet_bench [vehicles] [epochs] [shards] [p99_gate_ms] [--workers
-//! N] [--smoke]`. `--smoke` shrinks the roster for CI and **fails the
-//! run** on any non-finite statistic or a p99 epoch latency above the
-//! gate.
+//! Results land in `bench_out/BENCH_fleet.json` (f64 figures at the
+//! top level, byte-compatible with older baselines; explicit-SIMD
+//! figures under `"simd"`) and are compared against `bench_baselines/`
+//! when the committed baseline ran the same roster. Run with `cargo
+//! run --release -p bench_suite --bin fleet_bench [vehicles] [epochs]
+//! [shards] [p99_gate_ms] [--workers N] [--smoke]`. `--smoke` shrinks
+//! the roster for CI and **fails the run** on any non-finite statistic
+//! or a p99 epoch latency above the gate.
 
 use bench_suite::{
     compare_to_baseline, load_baseline, print_baseline_deltas, print_table, write_json, BenchArgs,
     Json,
 };
-use boresight::arith::F64Arith;
+use boresight::arith::{F64Arith, LaneSpec};
 use boresight::catalog;
 use boresight::exec;
-use boresight::fleet::{Fleet, FleetConfig};
+use boresight::fleet::{Fleet, FleetConfig, FleetStats};
+use boresight::simd::SimdF64;
 use std::time::Instant;
 
 const TICK_DT: f64 = 0.005;
@@ -42,24 +48,37 @@ fn percentile(sorted_us: &[f64], q: f64) -> f64 {
     sorted_us[idx]
 }
 
-fn main() {
-    let args = BenchArgs::parse();
-    let smoke = args.has_flag("smoke");
-    let (default_vehicles, default_epochs) = if smoke {
-        (512.0, 1200.0)
-    } else {
-        (4096.0, 2000.0)
-    };
-    let vehicles = args.num(0, default_vehicles) as usize;
-    let epochs = args.num(1, default_epochs) as usize;
-    let shards = args.num(2, 16.0) as usize;
-    let p99_gate_ms = args.num(3, 25.0);
-    let workers = exec::resolve_workers(args.workers);
+/// One substrate's measured fleet run.
+struct FleetRun {
+    substrate: &'static str,
+    wall_s: f64,
+    vehicle_ticks_per_sec: f64,
+    realtime_vehicles: f64,
+    updates_per_sec: f64,
+    p50_us: f64,
+    p99_us: f64,
+    max_us: f64,
+    bytes_per_vehicle: usize,
+    stats: FleetStats,
+    final_estimates_finite: bool,
+}
 
-    // Roster: the full catalog, cycled, distinct seeds, durations long
-    // enough that nobody completes mid-measurement.
+/// Admits the roster into a fresh [`Fleet`] on substrate `A`, drives it
+/// `epochs` ticks past a warm-up, and reads every statistic off it.
+/// Identical roster, seeds and tick schedule per substrate — only the
+/// lane arithmetic differs.
+fn run_fleet<A>(
+    substrate: &'static str,
+    vehicles: usize,
+    epochs: usize,
+    shards: usize,
+    workers: usize,
+) -> FleetRun
+where
+    A: LaneSpec<8> + Clone + Default,
+{
     let base = catalog::all();
-    let mut fleet: Fleet<F64Arith, 8> = Fleet::new(FleetConfig {
+    let mut fleet: Fleet<A, 8> = Fleet::new(FleetConfig {
         shards,
         tick_dt: TICK_DT,
         ..FleetConfig::default()
@@ -87,15 +106,90 @@ fn main() {
     let wall_s = start.elapsed().as_secs_f64().max(1e-9);
     let stats = fleet.stats();
 
-    let mut sorted = laps_us.clone();
-    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite lap"));
-    let p50_us = percentile(&sorted, 0.50);
-    let p99_us = percentile(&sorted, 0.99);
-    let max_us = *sorted.last().unwrap_or(&f64::NAN);
-    let vehicle_ticks_per_sec = (vehicles * epochs) as f64 / wall_s;
-    let realtime_vehicles = vehicle_ticks_per_sec * TICK_DT;
-    let updates_per_sec = (stats.updates - warm_stats.updates) as f64 / wall_s;
-    let bytes_per_vehicle = Fleet::<F64Arith, 8>::bytes_per_vehicle();
+    laps_us.sort_by(|a, b| a.partial_cmp(b).expect("finite lap"));
+    let final_estimates_finite = {
+        let sampled: Vec<_> = fleet.resident_ids().into_iter().take(64).collect();
+        !sampled.is_empty()
+            && sampled.into_iter().all(|id| {
+                let est = fleet.estimate(id).expect("resident");
+                est.angles.roll.is_finite()
+                    && est.angles.pitch.is_finite()
+                    && est.angles.yaw.is_finite()
+            })
+    };
+    FleetRun {
+        substrate,
+        wall_s,
+        vehicle_ticks_per_sec: (vehicles * epochs) as f64 / wall_s,
+        realtime_vehicles: (vehicles * epochs) as f64 / wall_s * TICK_DT,
+        updates_per_sec: (stats.updates - warm_stats.updates) as f64 / wall_s,
+        p50_us: percentile(&laps_us, 0.50),
+        p99_us: percentile(&laps_us, 0.99),
+        max_us: *laps_us.last().unwrap_or(&f64::NAN),
+        bytes_per_vehicle: Fleet::<A, 8>::bytes_per_vehicle(),
+        stats,
+        final_estimates_finite,
+    }
+}
+
+/// The per-substrate statistics block shared by the legacy top level
+/// (f64) and the `"simd"` sub-object.
+fn run_json(run: &FleetRun) -> Vec<(String, Json)> {
+    vec![
+        ("wall_s".into(), Json::Num(run.wall_s)),
+        (
+            "vehicle_ticks_per_sec".into(),
+            Json::Num(run.vehicle_ticks_per_sec),
+        ),
+        (
+            "realtime_200hz_vehicles".into(),
+            Json::Num(run.realtime_vehicles),
+        ),
+        ("updates_per_sec".into(), Json::Num(run.updates_per_sec)),
+        ("p50_epoch_us".into(), Json::Num(run.p50_us)),
+        ("p99_epoch_us".into(), Json::Num(run.p99_us)),
+        ("max_epoch_us".into(), Json::Num(run.max_us)),
+        (
+            "bytes_per_session".into(),
+            Json::Int(run.bytes_per_vehicle as u64),
+        ),
+        (
+            "ingress".into(),
+            Json::Obj(vec![
+                ("enqueued".into(), Json::Int(run.stats.ingress.enqueued)),
+                ("dropped".into(), Json::Int(run.stats.ingress.dropped)),
+                ("deferred".into(), Json::Int(run.stats.ingress.deferred)),
+                (
+                    "high_water".into(),
+                    Json::Int(run.stats.ingress.high_water as u64),
+                ),
+            ]),
+        ),
+        ("evicted".into(), Json::Int(run.stats.evicted as u64)),
+    ]
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let smoke = args.has_flag("smoke");
+    let (default_vehicles, default_epochs) = if smoke {
+        (512.0, 1200.0)
+    } else {
+        (4096.0, 2000.0)
+    };
+    let vehicles = args.num(0, default_vehicles) as usize;
+    let epochs = args.num(1, default_epochs) as usize;
+    let shards = args.num(2, 16.0) as usize;
+    let p99_gate_ms = args.num(3, 25.0);
+    let workers = exec::resolve_workers(args.workers);
+
+    // Roster: the full catalog, cycled, distinct seeds, durations long
+    // enough that nobody completes mid-measurement. Same roster per
+    // substrate.
+    let runs = [
+        run_fleet::<F64Arith>("f64", vehicles, epochs, shards, workers),
+        run_fleet::<SimdF64>("simd/f64", vehicles, epochs, shards, workers),
+    ];
 
     print_table(
         &format!(
@@ -104,6 +198,7 @@ fn main() {
             1.0 / TICK_DT
         ),
         &[
+            "substrate",
             "vehicle-ticks/s",
             "200 Hz vehicles (rt)",
             "updates/s",
@@ -112,65 +207,49 @@ fn main() {
             "max epoch",
             "bytes/session",
         ],
-        &[vec![
-            format!("{vehicle_ticks_per_sec:.0}"),
-            format!("{realtime_vehicles:.0}"),
-            format!("{updates_per_sec:.0}"),
-            format!("{:.0} us", p50_us),
-            format!("{:.0} us", p99_us),
-            format!("{:.0} us", max_us),
-            format!("{bytes_per_vehicle}"),
-        ]],
+        &runs
+            .iter()
+            .map(|run| {
+                vec![
+                    run.substrate.to_string(),
+                    format!("{:.0}", run.vehicle_ticks_per_sec),
+                    format!("{:.0}", run.realtime_vehicles),
+                    format!("{:.0}", run.updates_per_sec),
+                    format!("{:.0} us", run.p50_us),
+                    format!("{:.0} us", run.p99_us),
+                    format!("{:.0} us", run.max_us),
+                    format!("{}", run.bytes_per_vehicle),
+                ]
+            })
+            .collect::<Vec<_>>(),
     );
-    println!(
-        "ingress: {} enqueued, {} dropped, {} deferred, high water {}; {} evicted",
-        stats.ingress.enqueued,
-        stats.ingress.dropped,
-        stats.ingress.deferred,
-        stats.ingress.high_water,
-        stats.evicted,
-    );
+    for run in &runs {
+        println!(
+            "{}: ingress {} enqueued, {} dropped, {} deferred, high water {}; {} evicted",
+            run.substrate,
+            run.stats.ingress.enqueued,
+            run.stats.ingress.dropped,
+            run.stats.ingress.deferred,
+            run.stats.ingress.high_water,
+            run.stats.evicted,
+        );
+    }
 
     // --- Artifact (written before the gates, so a failing smoke run
-    // still leaves numbers behind for diagnosis) ---------------------
-    let doc = Json::Obj(vec![
+    // still leaves numbers behind for diagnosis). The f64 run keeps
+    // the legacy top-level layout so older baselines stay comparable;
+    // the explicit-SIMD run nests under "simd". --------------------
+    let mut fields = vec![
         ("bench".into(), Json::Str("fleet".into())),
         ("vehicles".into(), Json::Int(vehicles as u64)),
         ("epochs".into(), Json::Int(epochs as u64)),
         ("shards".into(), Json::Int(shards as u64)),
         ("workers".into(), Json::Int(workers as u64)),
         ("tick_dt_s".into(), Json::Num(TICK_DT)),
-        ("wall_s".into(), Json::Num(wall_s)),
-        (
-            "vehicle_ticks_per_sec".into(),
-            Json::Num(vehicle_ticks_per_sec),
-        ),
-        (
-            "realtime_200hz_vehicles".into(),
-            Json::Num(realtime_vehicles),
-        ),
-        ("updates_per_sec".into(), Json::Num(updates_per_sec)),
-        ("p50_epoch_us".into(), Json::Num(p50_us)),
-        ("p99_epoch_us".into(), Json::Num(p99_us)),
-        ("max_epoch_us".into(), Json::Num(max_us)),
-        (
-            "bytes_per_session".into(),
-            Json::Int(bytes_per_vehicle as u64),
-        ),
-        (
-            "ingress".into(),
-            Json::Obj(vec![
-                ("enqueued".into(), Json::Int(stats.ingress.enqueued)),
-                ("dropped".into(), Json::Int(stats.ingress.dropped)),
-                ("deferred".into(), Json::Int(stats.ingress.deferred)),
-                (
-                    "high_water".into(),
-                    Json::Int(stats.ingress.high_water as u64),
-                ),
-            ]),
-        ),
-        ("evicted".into(), Json::Int(stats.evicted as u64)),
-    ]);
+    ];
+    fields.extend(run_json(&runs[0]));
+    fields.push(("simd".into(), Json::Obj(run_json(&runs[1]))));
+    let doc = Json::Obj(fields);
     let path = write_json("BENCH_fleet.json", &doc);
     println!("wrote {}", path.display());
 
@@ -192,6 +271,8 @@ fn main() {
                     "updates_per_sec",
                     "p50_epoch_us",
                     "p99_epoch_us",
+                    "simd.vehicle_ticks_per_sec",
+                    "simd.p99_epoch_us",
                 ],
             );
             print_baseline_deltas("vs committed bench_baselines/ (wall clock)", &deltas);
@@ -201,39 +282,45 @@ fn main() {
     }
 
     // --- Health gates (the CI smoke contract) -----------------------
-    for (name, value) in [
-        ("vehicle_ticks_per_sec", vehicle_ticks_per_sec),
-        ("updates_per_sec", updates_per_sec),
-        ("p50_epoch_us", p50_us),
-        ("p99_epoch_us", p99_us),
-        ("max_epoch_us", max_us),
-    ] {
-        assert!(value.is_finite(), "{name} is not finite: {value}");
-    }
-    assert!(updates_per_sec > 0.0, "the fleet did not stream");
-    let sampled: Vec<_> = fleet.resident_ids().into_iter().take(64).collect();
-    assert!(!sampled.is_empty(), "fleet emptied mid-benchmark");
-    for id in sampled {
-        let est = fleet.estimate(id).expect("resident");
+    for run in &runs {
+        for (name, value) in [
+            ("vehicle_ticks_per_sec", run.vehicle_ticks_per_sec),
+            ("updates_per_sec", run.updates_per_sec),
+            ("p50_epoch_us", run.p50_us),
+            ("p99_epoch_us", run.p99_us),
+            ("max_epoch_us", run.max_us),
+        ] {
+            assert!(
+                value.is_finite(),
+                "{}: {name} is not finite: {value}",
+                run.substrate
+            );
+        }
         assert!(
-            est.angles.roll.is_finite()
-                && est.angles.pitch.is_finite()
-                && est.angles.yaw.is_finite(),
-            "vehicle {id} produced a non-finite estimate"
+            run.updates_per_sec > 0.0,
+            "{}: the fleet did not stream",
+            run.substrate
+        );
+        assert!(
+            run.final_estimates_finite,
+            "{}: fleet emptied mid-benchmark or produced a non-finite estimate",
+            run.substrate
         );
     }
-    println!("health gates passed: finite stats, finite sampled estimates");
+    println!("health gates passed: finite stats, finite sampled estimates on both substrates");
 
     if smoke {
-        assert!(
-            p99_us <= p99_gate_ms * 1e3,
-            "p99 epoch latency gate breached: {:.0} us > {:.0} us",
-            p99_us,
-            p99_gate_ms * 1e3
-        );
+        for run in &runs {
+            assert!(
+                run.p99_us <= p99_gate_ms * 1e3,
+                "{}: p99 epoch latency gate breached: {:.0} us > {:.0} us",
+                run.substrate,
+                run.p99_us,
+                p99_gate_ms * 1e3
+            );
+        }
         println!(
-            "smoke p99 gate passed: {:.0} us <= {:.0} us",
-            p99_us,
+            "smoke p99 gate passed on both substrates: <= {:.0} us",
             p99_gate_ms * 1e3
         );
     }

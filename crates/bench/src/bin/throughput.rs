@@ -27,9 +27,12 @@ use bench_suite::{
     compare_labeled_to_baseline, compare_to_baseline, load_baseline, print_baseline_deltas,
     print_table, write_json, BenchArgs, Json,
 };
-use boresight::arith::F64ArithFast;
+use boresight::arith::{F64ArithFast, LaneSpec};
 use boresight::exec;
-use boresight::spec::{ScenarioSuite, Substrate, SuiteCell};
+use boresight::lanes::LaneBank;
+use boresight::session::ChannelConfig;
+use boresight::simd::SimdF64;
+use boresight::spec::{ScenarioSpec, ScenarioSuite, Substrate, SuiteCell};
 use boresight::{catalog, FusionSession, SyntheticSource};
 use std::time::Instant;
 
@@ -68,6 +71,26 @@ impl HotPath {
     fn realtime_factor(&self) -> f64 {
         self.updates_per_sec() / RT_BUDGET_HZ
     }
+}
+
+/// Builds an eight-channel session over `spec`'s trajectory — the same
+/// scenario sensed by eight identically-configured channels — fused by
+/// a single eight-wide [`LaneBank`] on substrate `A`.
+fn lane_bank_session<A>(spec: &ScenarioSpec) -> FusionSession
+where
+    A: LaneSpec<8> + Clone + Default + 'static,
+{
+    let cfg = spec.config();
+    let channel = ChannelConfig::from_scenario(&cfg);
+    // `from_scenario` installs channel 0; clone it seven more times.
+    let mut source = SyntheticSource::from_scenario(spec.lower_trajectory(), &cfg);
+    for _ in 1..8 {
+        source = source.with_channel(&channel);
+    }
+    FusionSession::builder()
+        .source(source)
+        .backend(LaneBank::<A, 8>::new(cfg.estimator))
+        .build()
 }
 
 /// Streams the paper-dynamic scenario through one session and times
@@ -119,6 +142,19 @@ fn main() {
             .record_traces_sized(cfg.trace_decimation, FusionSession::expected_updates(&cfg))
             .build();
         hot.push(measure("f64/uncounted", session, hot_duration));
+    }
+    // Lane-bank rows: eight channels of the same scenario fused by one
+    // eight-wide filter, on the uncounted autovectorized lanes and on
+    // the explicit-SIMD substrate. One "update" here is a fused
+    // eight-lane batch (x8 for lane-samples), so the lane-parallel
+    // payoff over the scalar rows is updates/s * 8 / scalar updates/s,
+    // and the gap between the two lane rows is explicit vectors vs the
+    // autovectorizer on the full session path.
+    for (label, session) in [
+        ("lanebank/f64x8", lane_bank_session::<F64ArithFast>(&spec)),
+        ("lanebank/simdx8", lane_bank_session::<SimdF64>(&spec)),
+    ] {
+        hot.push(measure(label, session, hot_duration));
     }
 
     print_table(
@@ -249,6 +285,8 @@ fn main() {
                 ("softfloat", "samples_per_sec"),
                 ("q16.16", "samples_per_sec"),
                 ("f64/uncounted", "samples_per_sec"),
+                ("lanebank/f64x8", "samples_per_sec"),
+                ("lanebank/simdx8", "samples_per_sec"),
             ],
         );
         deltas.extend(compare_to_baseline(baseline, &doc, &["matrix.speedup"]));

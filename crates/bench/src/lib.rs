@@ -728,5 +728,25 @@ mod tests {
             .find_labeled("substrates", "iekf5/softfloat")
             .expect("softfloat row");
         assert!(soft.lookup("cycles_per_sample").unwrap().as_f64().unwrap() > 0.0);
+        let fleet = load_baseline("BENCH_fleet.json").expect("committed baseline");
+        assert!(
+            fleet
+                .lookup("simd.vehicle_ticks_per_sec")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
+        let frontier = load_baseline("BENCH_frontier.json").expect("committed baseline");
+        let simd8 = frontier
+            .find_labeled("cells", "paper-static/simd/f64x8")
+            .expect("explicit-SIMD x8 cell");
+        assert!(simd8.lookup("samples_per_sec").unwrap().as_f64().unwrap() > 0.0);
+        assert!(simd8
+            .lookup("rms_deg")
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            .is_finite());
     }
 }

@@ -12,14 +12,20 @@
 //! ([`crate::filter::GenericBoresightFilter`]) — run in
 //!
 //! * native `f64` ([`F64Arith`]) — the reference,
+//! * native `f32` ([`F32Arith`]) — the cheap host float, half the
+//!   mantissa at a fraction of an FPGA multiplier's area,
 //! * emulated IEEE binary64 ([`SoftArith`]) — the paper's
 //!   configuration, with exact operation counts and Sabre cycle costs,
-//! * Q16.16 fixed point ([`FixedArith`]) — the proposed enhancement,
-//!   saturating (never wrapping) with every saturation event counted,
+//! * the saturating fixed-point family ([`QArith`]) — the proposed
+//!   enhancement at any Q-format split (Q16.16 via the [`FixedArith`]
+//!   alias, Q8.24, Q4.28, …), never wrapping, every saturation event
+//!   counted,
 //! * `L` lockstep lanes of any of the above ([`LaneArith`]) — the
 //!   software mirror of an FPGA's replicated parallel datapath,
 //!   stepping `L` independent filters per instruction stream (see
-//!   [`crate::lanes`]).
+//!   [`crate::lanes`]) — or the explicit-vector `f64` lanes of
+//!   [`crate::simd::SimdArith`], selected per scalar substrate through
+//!   [`LaneSpec`].
 //!
 //! # The widened trait
 //!
@@ -38,7 +44,7 @@
 //! [`Arith::counts`], with a substrate cycle model behind
 //! [`Arith::cycles`]: Softfloat charges its [`fpga::softfloat::SoftFpu`]
 //! ledger, fixed point charges the integer-op model in
-//! [`FixedArith::CYCLE_ADD`] and friends, and the native reference
+//! [`QArith::CYCLE_ADD`] and friends, and the native reference
 //! reports zero (host FPU, not cycle-modelled).
 
 // The filter kernel indexes with `for i in 0..3` on purpose: the loops
@@ -46,7 +52,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use crate::smallmat;
-use fpga::fixed::Q16_16;
+use fpga::fixed::Fixed;
 use fpga::softfloat::{Sf64, SoftFpu};
 use mathx::{EulerAngles, Vec2, Vec3};
 
@@ -443,6 +449,140 @@ impl<const COUNTED: bool> Arith for GenericF64Arith<COUNTED> {
     }
 }
 
+/// Native single precision, generic over whether the [`OpCounts`]
+/// ledger is maintained (the `f32` twin of [`GenericF64Arith`]).
+///
+/// Half the mantissa of the reference at a fraction of the hardware
+/// cost: a binary32 multiplier is the cheap, paper-era-realistic FPGA
+/// float option, and on the host it is the densest native SIMD lane.
+/// Values round through `f32` on entry (`num`) and after every
+/// operation, so the divergence the arithmetic ablation measures is
+/// pure precision loss — there is no range saturation to attribute.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct GenericF32Arith<const COUNTED: bool> {
+    counts: OpCounts,
+}
+
+/// Native single precision (counted).
+pub type F32Arith = GenericF32Arith<true>;
+
+/// Native single precision with the ledger compiled out — bit-identical
+/// results to [`F32Arith`] for wall-clock throughput work.
+pub type F32ArithFast = GenericF32Arith<false>;
+
+impl<const COUNTED: bool> Arith for GenericF32Arith<COUNTED> {
+    type T = f32;
+
+    fn num(&mut self, x: f64) -> f32 {
+        x as f32
+    }
+
+    fn to_f64(&self, x: f32) -> f64 {
+        x as f64
+    }
+
+    fn add(&mut self, a: f32, b: f32) -> f32 {
+        if COUNTED {
+            self.counts.add += 1;
+        }
+        a + b
+    }
+
+    fn sub(&mut self, a: f32, b: f32) -> f32 {
+        if COUNTED {
+            self.counts.sub += 1;
+        }
+        a - b
+    }
+
+    fn mul(&mut self, a: f32, b: f32) -> f32 {
+        if COUNTED {
+            self.counts.mul += 1;
+        }
+        a * b
+    }
+
+    fn div(&mut self, a: f32, b: f32) -> f32 {
+        if COUNTED {
+            self.counts.div += 1;
+        }
+        a / b
+    }
+
+    fn sqrt(&mut self, a: f32) -> f32 {
+        if COUNTED {
+            self.counts.sqrt += 1;
+        }
+        a.sqrt()
+    }
+
+    fn neg(&mut self, a: f32) -> f32 {
+        if COUNTED {
+            self.counts.neg += 1;
+        }
+        -a
+    }
+
+    fn abs(&mut self, a: f32) -> f32 {
+        if COUNTED {
+            self.counts.abs += 1;
+        }
+        a.abs()
+    }
+
+    fn lt(&mut self, a: f32, b: f32) -> bool {
+        if COUNTED {
+            self.counts.cmp += 1;
+        }
+        a < b
+    }
+
+    fn eq(&mut self, a: f32, b: f32) -> bool {
+        if COUNTED {
+            self.counts.cmp += 1;
+        }
+        a == b
+    }
+
+    fn max(&mut self, a: f32, b: f32) -> f32 {
+        if COUNTED {
+            self.counts.cmp += 1;
+        }
+        a.max(b)
+    }
+
+    fn sin_cos(&mut self, a: f32) -> (f32, f32) {
+        if COUNTED {
+            self.counts.trig += 1;
+        }
+        // Host-evaluated in f64 then rounded, like every emulated
+        // substrate's trig default: the f32 path measures datapath
+        // precision, not libm's single-precision polynomial choice.
+        let (s, c) = (a as f64).sin_cos();
+        (s as f32, c as f32)
+    }
+
+    fn name(&self) -> &'static str {
+        if COUNTED {
+            "f32"
+        } else {
+            "f32/uncounted"
+        }
+    }
+
+    fn iekf_label(&self) -> &'static str {
+        "iekf5/f32"
+    }
+
+    fn counts(&self) -> OpCounts {
+        self.counts
+    }
+
+    fn reset_counts(&mut self) {
+        self.counts = OpCounts::default();
+    }
+}
+
 /// Softfloat binary64 with Sabre cycle accounting.
 #[derive(Clone, Debug, Default)]
 pub struct SoftArith {
@@ -553,20 +693,35 @@ impl Arith for SoftArith {
     }
 }
 
-/// Q16.16 saturating fixed point.
+/// The saturating fixed-point substrate family, one 32-bit register
+/// split into `32 - FRAC` integer and `FRAC` fractional bits.
 ///
 /// Every operation saturates at the register range instead of silently
 /// wrapping, and each saturation is recorded in
 /// [`OpCounts::saturations`] so fixed-point divergence in the
 /// arithmetic ablation is attributable to overflow vs quantization.
 /// The fused multiply-add keeps the 64-bit product-accumulator wide
-/// (one rounding), as a DSP-slice MAC would.
+/// (one rounding), as a DSP-slice MAC would. The integer cycle model
+/// is format-independent: every Q-split runs the same 32-bit integer
+/// datapath, only the rounding shift constant differs.
+///
+/// Trading integer for fractional bits moves the substrate along the
+/// accuracy-vs-range frontier: [`FixedArith`] (Q16.16) is the balanced
+/// paper-era split, `QArith<24>` (Q8.24) buys 8 more fraction bits at
+/// a ±128 range, `QArith<28>` (Q4.28) resolves 3.7 nano-units but
+/// saturates beyond ±8 — the saturation ledger quantifies exactly what
+/// each narrower range costs on a given scenario.
 #[derive(Clone, Copy, Debug, Default)]
-pub struct FixedArith {
+pub struct QArith<const FRAC: u32> {
     counts: OpCounts,
 }
 
-impl FixedArith {
+/// Q16.16 saturating fixed point — the balanced split the paper's
+/// "obvious enhancement" proposes, and the alias every pre-existing
+/// pin runs through.
+pub type FixedArith = QArith<16>;
+
+impl<const FRAC: u32> QArith<FRAC> {
     /// Integer cycles for add/sub/neg/abs/compare on a 32-bit core.
     pub const CYCLE_ADD: u64 = 1;
     /// Integer cycles for the 32x32->64 multiply with rounding shift.
@@ -602,94 +757,110 @@ fn isqrt_u64(n: u64) -> u64 {
     }
 }
 
-impl Arith for FixedArith {
-    type T = Q16_16;
+impl<const FRAC: u32> Arith for QArith<FRAC> {
+    type T = Fixed<FRAC>;
 
-    fn num(&mut self, x: f64) -> Q16_16 {
-        Q16_16::from_f64(x)
+    fn num(&mut self, x: f64) -> Fixed<FRAC> {
+        Fixed::from_f64(x)
     }
 
-    fn to_f64(&self, x: Q16_16) -> f64 {
+    fn to_f64(&self, x: Fixed<FRAC>) -> f64 {
         x.to_f64()
     }
 
-    fn add(&mut self, a: Q16_16, b: Q16_16) -> Q16_16 {
+    fn add(&mut self, a: Fixed<FRAC>, b: Fixed<FRAC>) -> Fixed<FRAC> {
         self.counts.add += 1;
         let (v, sat) = a.saturating_add_checked(b);
         self.sat(sat);
         v
     }
 
-    fn sub(&mut self, a: Q16_16, b: Q16_16) -> Q16_16 {
+    fn sub(&mut self, a: Fixed<FRAC>, b: Fixed<FRAC>) -> Fixed<FRAC> {
         self.counts.sub += 1;
         let (v, sat) = a.saturating_sub_checked(b);
         self.sat(sat);
         v
     }
 
-    fn mul(&mut self, a: Q16_16, b: Q16_16) -> Q16_16 {
+    fn mul(&mut self, a: Fixed<FRAC>, b: Fixed<FRAC>) -> Fixed<FRAC> {
         self.counts.mul += 1;
         let (v, sat) = a.saturating_mul_checked(b);
         self.sat(sat);
         v
     }
 
-    fn div(&mut self, a: Q16_16, b: Q16_16) -> Q16_16 {
+    fn div(&mut self, a: Fixed<FRAC>, b: Fixed<FRAC>) -> Fixed<FRAC> {
         self.counts.div += 1;
         let (v, sat) = a.saturating_div_checked(b);
         self.sat(sat);
         v
     }
 
-    fn sqrt(&mut self, a: Q16_16) -> Q16_16 {
+    fn sqrt(&mut self, a: Fixed<FRAC>) -> Fixed<FRAC> {
         self.counts.sqrt += 1;
         if a.raw() <= 0 {
-            return Q16_16::ZERO;
+            return Fixed::ZERO;
         }
-        Q16_16::from_raw(isqrt_u64((a.raw() as u64) << 16) as i32)
+        // sqrt(raw / 2^FRAC) * 2^FRAC = sqrt(raw * 2^FRAC): one widening
+        // shift keeps the iteration in integers at full precision. The
+        // result fits i32 for every split up to Q4.28
+        // (sqrt(2^31 * 2^28) < 2^30).
+        Fixed::from_raw(isqrt_u64((a.raw() as u64) << FRAC) as i32)
     }
 
-    fn neg(&mut self, a: Q16_16) -> Q16_16 {
+    fn neg(&mut self, a: Fixed<FRAC>) -> Fixed<FRAC> {
         self.counts.neg += 1;
         self.sat(a.raw() == i32::MIN);
         a.saturating_neg()
     }
 
-    fn abs(&mut self, a: Q16_16) -> Q16_16 {
+    fn abs(&mut self, a: Fixed<FRAC>) -> Fixed<FRAC> {
         self.counts.abs += 1;
         self.sat(a.raw() == i32::MIN);
         a.abs()
     }
 
-    fn lt(&mut self, a: Q16_16, b: Q16_16) -> bool {
+    fn lt(&mut self, a: Fixed<FRAC>, b: Fixed<FRAC>) -> bool {
         self.counts.cmp += 1;
         a < b
     }
 
-    fn eq(&mut self, a: Q16_16, b: Q16_16) -> bool {
+    fn eq(&mut self, a: Fixed<FRAC>, b: Fixed<FRAC>) -> bool {
         self.counts.cmp += 1;
         a == b
     }
 
-    fn fma(&mut self, a: Q16_16, b: Q16_16, c: Q16_16) -> Q16_16 {
+    fn fma(&mut self, a: Fixed<FRAC>, b: Fixed<FRAC>, c: Fixed<FRAC>) -> Fixed<FRAC> {
         self.counts.fma += 1;
         let (v, sat) = a.saturating_mul_add_checked(b, c);
         self.sat(sat);
         v
     }
 
-    fn sin_cos(&mut self, a: Q16_16) -> (Q16_16, Q16_16) {
+    fn sin_cos(&mut self, a: Fixed<FRAC>) -> (Fixed<FRAC>, Fixed<FRAC>) {
         self.counts.trig += 1;
         let (s, c) = a.to_f64().sin_cos();
-        (Q16_16::from_f64(s), Q16_16::from_f64(c))
+        (Fixed::from_f64(s), Fixed::from_f64(c))
     }
 
     fn name(&self) -> &'static str {
-        "q16.16"
+        match FRAC {
+            16 => "q16.16",
+            20 => "q12.20",
+            24 => "q8.24",
+            28 => "q4.28",
+            _ => "q.fixed",
+        }
     }
 
     fn iekf_label(&self) -> &'static str {
-        "iekf5/q16.16"
+        match FRAC {
+            16 => "iekf5/q16.16",
+            20 => "iekf5/q12.20",
+            24 => "iekf5/q8.24",
+            28 => "iekf5/q4.28",
+            _ => "iekf5/q.fixed",
+        }
     }
 
     fn counts(&self) -> OpCounts {
@@ -723,7 +894,7 @@ impl Arith for FixedArith {
 /// to running the inner substrate alone (the property the lane-parity
 /// tests pin), because a lane never observes its neighbours.
 ///
-/// # Collective comparisons
+/// # Collective comparisons vs SIMD masks
 ///
 /// [`Arith::lt`] and [`Arith::eq`] must return one `bool`, so here
 /// they are *collective*: true only when every lane agrees. Lockstep
@@ -733,6 +904,20 @@ impl Arith for FixedArith {
 /// own writes — which is exactly what [`crate::lanes::LaneIekf`] does.
 /// [`Arith::max`] and [`Arith::abs`] stay element-wise (they are value
 /// selections, not control flow).
+///
+/// The explicit-vector substrate [`crate::simd::SimdArith`] honours
+/// the identical contract, but by *mask* semantics: its per-lane probe
+/// ([`LaneOps::lane_lt`]) is a hardware compare producing a lane mask
+/// (`cmppd` + `movemask` on SSE2), and its collective [`Arith::lt`] /
+/// [`Arith::eq`] are the all-lanes reduction of that mask. Divergence
+/// handling is therefore the same on both lane substrates — every lane
+/// executes every instruction and the *caller* masks the writes of
+/// lanes that left the common control path — which is why
+/// [`crate::lanes::LaneIekf`] is generic over [`LaneOps`] and stays
+/// per-lane bit-identical to the scalar filter on either. The two
+/// differ only in how the lanes are computed: a per-lane loop over the
+/// inner substrate here (autovectorized at best), one vector
+/// instruction per op there.
 #[derive(Clone, Copy, Debug, Default)]
 pub struct LaneArith<A: Arith, const L: usize> {
     inner: A,
@@ -854,6 +1039,117 @@ impl<A: Arith, const L: usize> Arith for LaneArith<A, L> {
     fn reset_counts(&mut self) {
         self.inner.reset_counts();
     }
+}
+
+/// A scalar substrate that knows its `L`-lane batched form.
+///
+/// This is the compile-time link [`crate::lanes::LaneIekf`] (and the
+/// fleet arena on top of it) uses to pick a lane substrate per scalar
+/// substrate: every counted/emulated/fixed-point scalar maps to the
+/// generic per-lane loop [`LaneArith<Self, L>`], while the
+/// [`crate::simd::SimdF64`] marker maps to the explicit-vector
+/// [`crate::simd::SimdArith<L>`]. Code written against
+/// `A: LaneSpec<L>` is oblivious to the choice — both lane forms
+/// implement [`LaneOps`] and both keep each lane bit-identical to a
+/// scalar run.
+pub trait LaneSpec<const L: usize>: Arith + Sized
+where
+    <Self::Lanes as Arith>::T: std::ops::IndexMut<usize, Output = Self::T>,
+{
+    /// The lane substrate stepping `L` values of `Self` in lockstep.
+    type Lanes: LaneOps<L, Inner = Self> + Clone + std::fmt::Debug;
+}
+
+/// The operations a lane substrate offers beyond [`Arith`]: lane
+/// construction, per-lane read-out and the per-lane compare probe that
+/// masked control flow is built from.
+///
+/// The `IndexMut` bound is the load-bearing part of the contract: a
+/// lane value must expose its lanes as `value[lane]` scalars of the
+/// inner substrate, so lockstep callers (masked state adoption in
+/// [`crate::lanes::LaneIekf`], staged-measurement scatter in the fleet
+/// arena) write diverged lanes back element-wise regardless of whether
+/// the storage is a plain array ([`LaneArith`]) or an explicit vector
+/// register image ([`crate::simd::F64Lanes`]).
+pub trait LaneOps<const L: usize>: Arith
+where
+    Self::T: std::ops::IndexMut<usize, Output = <Self::Inner as Arith>::T>,
+{
+    /// The scalar substrate a lane holds `L` values of.
+    type Inner: Arith;
+
+    /// Wraps an inner substrate context.
+    fn with_inner(inner: Self::Inner) -> Self;
+
+    /// The inner substrate context (one shared ledger across lanes).
+    fn inner(&self) -> &Self::Inner;
+
+    /// The inner substrate context, mutably.
+    fn inner_mut(&mut self) -> &mut Self::Inner;
+
+    /// Builds a lane value from per-lane `f64`s. Takes `&mut self`
+    /// (unlike the usual `from_*` convention) because substrate
+    /// conversions go through [`Arith::num`], which mutates the
+    /// instrumentation ledger.
+    #[allow(clippy::wrong_self_convention)]
+    fn from_lanes(&mut self, xs: [f64; L]) -> Self::T;
+
+    /// Broadcasts one inner scalar to every lane.
+    fn splat(&mut self, v: <Self::Inner as Arith>::T) -> Self::T;
+
+    /// Reads one lane back as `f64`.
+    fn lane_to_f64(&self, v: &Self::T, lane: usize) -> f64;
+
+    /// Per-lane strict less-than — the masked-control-flow probe.
+    fn lane_lt(&mut self, a: &Self::T, b: &Self::T) -> [bool; L];
+}
+
+impl<A: Arith, const L: usize> LaneOps<L> for LaneArith<A, L> {
+    type Inner = A;
+
+    fn with_inner(inner: A) -> Self {
+        Self { inner }
+    }
+
+    fn inner(&self) -> &A {
+        &self.inner
+    }
+
+    fn inner_mut(&mut self) -> &mut A {
+        &mut self.inner
+    }
+
+    fn from_lanes(&mut self, xs: [f64; L]) -> [A::T; L] {
+        xs.map(|x| self.inner.num(x))
+    }
+
+    fn splat(&mut self, v: A::T) -> [A::T; L] {
+        [v; L]
+    }
+
+    fn lane_to_f64(&self, v: &[A::T; L], lane: usize) -> f64 {
+        self.inner.to_f64(v[lane])
+    }
+
+    fn lane_lt(&mut self, a: &[A::T; L], b: &[A::T; L]) -> [bool; L] {
+        std::array::from_fn(|i| self.inner.lt(a[i], b[i]))
+    }
+}
+
+impl<const COUNTED: bool, const L: usize> LaneSpec<L> for GenericF64Arith<COUNTED> {
+    type Lanes = LaneArith<Self, L>;
+}
+
+impl<const COUNTED: bool, const L: usize> LaneSpec<L> for GenericF32Arith<COUNTED> {
+    type Lanes = LaneArith<Self, L>;
+}
+
+impl<const L: usize> LaneSpec<L> for SoftArith {
+    type Lanes = LaneArith<Self, L>;
+}
+
+impl<const FRAC: u32, const L: usize> LaneSpec<L> for QArith<FRAC> {
+    type Lanes = LaneArith<Self, L>;
 }
 
 /// Three-state small-angle misalignment Kalman filter over an

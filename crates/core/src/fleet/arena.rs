@@ -29,7 +29,7 @@
 use super::ingress::IngressQueue;
 use super::policy::{EvictReason, EvictionPolicy};
 use super::{FleetConfig, VehicleId};
-use crate::arith::Arith;
+use crate::arith::{Arith, LaneOps, LaneSpec};
 use crate::estimator::{ImuPrep, MisalignmentEstimate};
 use crate::lanes::LaneIekf;
 use crate::monitor::ResidualMonitor;
@@ -99,7 +99,7 @@ pub(crate) struct EvictionRecord {
 }
 
 /// One shard of the fleet arena.
-pub(crate) struct Shard<A: Arith, const L: usize> {
+pub(crate) struct Shard<A: LaneSpec<L>, const L: usize> {
     lane_config: crate::filter::FilterConfig,
     tick_dt: f64,
     policy: EvictionPolicy,
@@ -115,7 +115,7 @@ pub(crate) struct Shard<A: Arith, const L: usize> {
     pending_evict: Vec<(usize, EvictReason)>,
 }
 
-impl<A: Arith + Clone + Default, const L: usize> Shard<A, L> {
+impl<A: LaneSpec<L> + Clone + Default, const L: usize> Shard<A, L> {
     pub(crate) fn new(config: &FleetConfig) -> Self {
         Self {
             lane_config: config.filter,
@@ -276,7 +276,7 @@ impl<A: Arith + Clone + Default, const L: usize> Shard<A, L> {
         let mut zs = [Vec2::zeros(); L];
         let mut times = [0.0_f64; L];
         let mut dts = [0.0_f64; L];
-        let mut fbs = [[zero; L]; 3];
+        let mut fbs = [group.arith_mut().splat(zero); 3];
         let mut any = false;
         for (lane, cell) in staged[base..top].iter_mut().enumerate() {
             if let Some(staged_meas) = cell.take() {
@@ -474,7 +474,7 @@ fn exceed_rate(stats: &VehicleStats) -> f64 {
 /// lane group and its staging cell. Excludes the boxed per-vehicle
 /// source front end (scenario-dependent) and the shard-shared ingress
 /// queue.
-pub(crate) fn arena_bytes_per_vehicle<A: Arith, const L: usize>() -> usize {
+pub(crate) fn arena_bytes_per_vehicle<A: LaneSpec<L>, const L: usize>() -> usize {
     std::mem::size_of::<SlotState<A>>()
         + std::mem::size_of::<LaneIekf<A, L>>() / L
         + std::mem::size_of::<Option<StagedMeas<A>>>()

@@ -46,7 +46,7 @@ pub use arena::VehicleStats;
 pub use ingress::IngressStats;
 pub use policy::{AdmitError, EvictReason, EvictionPolicy};
 
-use crate::arith::Arith;
+use crate::arith::LaneSpec;
 use crate::estimator::MisalignmentEstimate;
 use crate::exec;
 use crate::filter::FilterConfig;
@@ -136,7 +136,7 @@ pub struct FleetStats {
 
 /// The fleet session server: vehicle directory, shard set and epoch
 /// scheduler. See the [module docs](self) for the architecture.
-pub struct Fleet<A: Arith + Clone + Default, const L: usize = 8> {
+pub struct Fleet<A: LaneSpec<L> + Clone + Default, const L: usize = 8> {
     config: FleetConfig,
     shards: Vec<Mutex<Shard<A, L>>>,
     /// vehicle id → (shard, slot); slots move on compaction, the
@@ -150,7 +150,7 @@ pub struct Fleet<A: Arith + Clone + Default, const L: usize = 8> {
 /// The native-`f64` fleet with the default lane width.
 pub type F64Fleet = Fleet<crate::arith::F64Arith, 8>;
 
-impl<A: Arith + Clone + Default, const L: usize> Fleet<A, L> {
+impl<A: LaneSpec<L> + Clone + Default, const L: usize> Fleet<A, L> {
     /// Creates an empty fleet.
     pub fn new(config: FleetConfig) -> Self {
         let shard_count = config.shards.max(1);

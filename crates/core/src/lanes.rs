@@ -6,9 +6,12 @@
 //! module is the software mirror of that: [`LaneIekf`] keeps `L`
 //! filters' states in structure-of-arrays form and runs every
 //! arithmetic operation once per instruction across all lanes through
-//! [`LaneArith`] — on native `f64` the lane loops vectorize, on
-//! emulated substrates the per-op dispatch overhead is amortized over
-//! `L` results.
+//! the scalar substrate's [`LaneSpec`] lane form — the per-lane loop
+//! [`crate::arith::LaneArith`] for every counted/emulated/fixed-point
+//! substrate (on native `f64` the loops autovectorize, on emulated
+//! substrates the per-op dispatch overhead is amortized over `L`
+//! results), or the explicit-vector [`crate::simd::SimdArith`] when
+//! the filter is keyed on [`crate::simd::SimdF64`].
 //!
 //! Lanes are *independent filters*, so per-lane control flow (the
 //! innovation gate, IEKF convergence, trust-region clamps, solver
@@ -29,7 +32,7 @@
 // writes of a SIMD datapath (and the matrix equations behind them).
 #![allow(clippy::needless_range_loop)]
 
-use crate::arith::{Arith, LaneArith};
+use crate::arith::{Arith, LaneOps, LaneSpec};
 use crate::estimator::{EstimatorConfig, ImuPrep, MisalignmentEstimate};
 use crate::filter::{model_at, FilterConfig, KalmanUpdate};
 use crate::model::{MEAS_DIM, STATE_DIM};
@@ -39,6 +42,12 @@ use crate::smallmat;
 use mathx::{EulerAngles, Vec2, Vec3};
 use sensors::DmuSample;
 use std::any::Any;
+
+/// The lane value stepping `L` scalars of substrate `A` at once —
+/// `[A::T; L]` for [`crate::arith::LaneArith`] lanes,
+/// [`crate::simd::F64Lanes`] for explicit-vector lanes. Either way it
+/// indexes as `value[lane] -> A::T`.
+type LaneT<A, const L: usize> = <<A as LaneSpec<L>>::Lanes as Arith>::T;
 
 /// `L` independent 5-state iterated EKFs in lockstep over the inner
 /// substrate `A`.
@@ -52,18 +61,18 @@ use std::any::Any;
 /// All lanes share one [`FilterConfig`]; the measurement sigma is
 /// per-lane (adaptive retunes fire independently).
 #[derive(Clone, Debug)]
-pub struct LaneIekf<A: Arith, const L: usize> {
+pub struct LaneIekf<A: LaneSpec<L>, const L: usize> {
     config: FilterConfig,
-    arith: LaneArith<A, L>,
+    arith: A::Lanes,
     sigmas: [f64; L],
-    x: [[A::T; L]; STATE_DIM],
+    x: [LaneT<A, L>; STATE_DIM],
     /// Kept exactly symmetric per lane, like the scalar filter's.
-    p: [[[A::T; L]; STATE_DIM]; STATE_DIM],
+    p: [[LaneT<A, L>; STATE_DIM]; STATE_DIM],
     updates: [u64; L],
     rejected: [u64; L],
 }
 
-impl<A: Arith, const L: usize> LaneIekf<A, L> {
+impl<A: LaneSpec<L>, const L: usize> LaneIekf<A, L> {
     /// Creates the lane filter over the substrate's default context.
     pub fn new(config: FilterConfig) -> Self
     where
@@ -74,7 +83,7 @@ impl<A: Arith, const L: usize> LaneIekf<A, L> {
 
     /// Creates the lane filter over an explicit inner context.
     pub fn with_arith(inner: A, config: FilterConfig) -> Self {
-        let mut arith: LaneArith<A, L> = LaneArith::new(inner);
+        let mut arith = <A::Lanes as LaneOps<L>>::with_inner(inner);
         let zero = arith.num(0.0);
         let a2 = config.initial_angle_sigma * config.initial_angle_sigma;
         let b2 = if config.estimate_bias {
@@ -103,13 +112,13 @@ impl<A: Arith, const L: usize> LaneIekf<A, L> {
     }
 
     /// The lane arithmetic context (one shared ledger for all lanes).
-    pub fn arith(&self) -> &LaneArith<A, L> {
+    pub fn arith(&self) -> &A::Lanes {
         &self.arith
     }
 
     /// The lane arithmetic context, mutably (substrate `num`
     /// conversions mutate the instrumentation ledger).
-    pub fn arith_mut(&mut self) -> &mut LaneArith<A, L> {
+    pub fn arith_mut(&mut self) -> &mut A::Lanes {
         &mut self.arith
     }
 
@@ -313,7 +322,8 @@ impl<A: Arith, const L: usize> LaneIekf<A, L> {
         f_b: [A::T; 3],
         time_s: f64,
     ) -> [KalmanUpdate; L] {
-        let fb = f_b.map(|v| [v; L]);
+        let a = &mut self.arith;
+        let fb = f_b.map(|v| a.splat(v));
         self.update_lanes_t(z, fb, &[time_s; L], &[false; L])
     }
 
@@ -325,7 +335,8 @@ impl<A: Arith, const L: usize> LaneIekf<A, L> {
         f_b: &[Vec3; L],
         time_s: f64,
     ) -> [KalmanUpdate; L] {
-        let mut fb = [[self.arith.inner_mut().num(0.0); L]; 3];
+        let zero = self.arith.inner_mut().num(0.0);
+        let mut fb = [self.arith.splat(zero); 3];
         for axis in 0..3 {
             for lane in 0..L {
                 fb[axis][lane] = self.arith.inner_mut().num(f_b[lane][axis]);
@@ -348,7 +359,7 @@ impl<A: Arith, const L: usize> LaneIekf<A, L> {
     pub fn update_lanes_masked(
         &mut self,
         z: &[Vec2; L],
-        f_b: [[A::T; L]; 3],
+        f_b: [LaneT<A, L>; 3],
         times: &[f64; L],
         active: &[bool; L],
     ) -> [Option<KalmanUpdate>; L] {
@@ -365,13 +376,13 @@ impl<A: Arith, const L: usize> LaneIekf<A, L> {
     fn update_lanes_t(
         &mut self,
         z: &[Vec2; L],
-        f_b: [[A::T; L]; 3],
+        f_b: [LaneT<A, L>; 3],
         times: &[f64; L],
         inactive: &[bool; L],
     ) -> [KalmanUpdate; L] {
         let estimate_bias = self.config.estimate_bias;
         let a = &mut self.arith;
-        let r_t: [A::T; L] = {
+        let r_t = {
             let sigmas = self.sigmas;
             a.from_lanes(sigmas.map(|s| s * s))
         };
@@ -418,7 +429,7 @@ impl<A: Arith, const L: usize> LaneIekf<A, L> {
         let mut s = s0;
         // Final per-lane linearization and gain for the Joseph update.
         let mut jac_fin = jac0;
-        let mut k_fin: [[[A::T; L]; MEAS_DIM]; STATE_DIM] = [[zero; MEAS_DIM]; STATE_DIM];
+        let mut k_fin: [[LaneT<A, L>; MEAS_DIM]; STATE_DIM] = [[zero; MEAS_DIM]; STATE_DIM];
         // A frozen lane has finished iterating (converged, rejected,
         // singular or inactive); its x/jac/k writes are masked from
         // then on. When every lane is already frozen (the whole batch
@@ -600,21 +611,21 @@ pub struct LaneState<A: Arith> {
 /// solve runs for every lane; a lane whose pivot check fails is marked
 /// rejected + frozen (the scalar filter's singular early return) and
 /// its — possibly non-finite — inverse is masked out by the caller.
-fn inverse2_sym_lanes<A: Arith, const L: usize>(
-    a: &mut LaneArith<A, L>,
-    s: &[[[A::T; L]; 2]; 2],
+fn inverse2_sym_lanes<LA: LaneOps<L>, const L: usize>(
+    a: &mut LA,
+    s: &[[LA::T; 2]; 2],
     rejected: &mut [bool; L],
     frozen: &mut [bool; L],
     active: &[bool; L],
-) -> [[[A::T; L]; 2]; 2] {
+) -> [[LA::T; 2]; 2]
+where
+    LA::T: std::ops::IndexMut<usize, Output = <LA::Inner as Arith>::T>,
+{
     let zero = a.num(0.0);
     let tiny = a.num(1e-300);
     let one = a.num(1.0);
     let d1 = s[0][0];
-    let flag = |a: &mut LaneArith<A, L>,
-                d: &[A::T; L],
-                rejected: &mut [bool; L],
-                frozen: &mut [bool; L]| {
+    let flag = |a: &mut LA, d: &LA::T, rejected: &mut [bool; L], frozen: &mut [bool; L]| {
         for lane in 0..L {
             if !active[lane] {
                 continue;
@@ -650,7 +661,7 @@ fn inverse2_sym_lanes<A: Arith, const L: usize>(
 /// this). The batched update runs when the last channel of a time
 /// step arrives; that call returns its lane's update record, and
 /// [`LaneBank::last_updates`] exposes the whole batch.
-pub struct LaneBank<A: Arith, const L: usize> {
+pub struct LaneBank<A: LaneSpec<L>, const L: usize> {
     config: EstimatorConfig,
     filter: LaneIekf<A, L>,
     monitors: Option<Vec<ResidualMonitor>>,
@@ -664,7 +675,7 @@ pub struct LaneBank<A: Arith, const L: usize> {
     retune_log: Vec<Retune>,
 }
 
-impl<A: Arith + Default, const L: usize> LaneBank<A, L> {
+impl<A: LaneSpec<L> + Default, const L: usize> LaneBank<A, L> {
     /// Creates the bank over the substrate's default context; every
     /// lane shares the estimator configuration.
     pub fn new(config: EstimatorConfig) -> Self {
@@ -700,7 +711,7 @@ impl<A: Arith + Default, const L: usize> LaneBank<A, L> {
     }
 }
 
-impl<A: Arith + Clone + 'static, const L: usize> FusionBackend for LaneBank<A, L> {
+impl<A: LaneSpec<L> + Clone + 'static, const L: usize> FusionBackend for LaneBank<A, L> {
     fn ingest_dmu(&mut self, sample: &DmuSample) {
         self.prep.on_dmu(&mut self.front, sample);
     }
@@ -780,7 +791,9 @@ impl<A: Arith + Clone + 'static, const L: usize> FusionBackend for LaneBank<A, L
     }
 
     fn label(&self) -> &'static str {
-        "iekf5/lanes"
+        // "iekf5/lanes" for per-lane-loop substrates, "iekf5/simd" for
+        // explicit-vector lanes.
+        self.filter.arith().iekf_label()
     }
 
     fn as_any(&self) -> &dyn Any {

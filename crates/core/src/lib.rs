@@ -48,6 +48,10 @@
 //!   ablation filter; the *full* 5-state IEKF runs over any of them
 //!   through [`SessionBuilder::iekf`] or
 //!   [`SessionGroup::full_iekf_sweep`];
+//! * [`simd`] — the explicit-vector `f64` lane substrate
+//!   ([`SimdArith`]) behind the same [`arith::Arith`] trait: SSE2
+//!   packed doubles on x86_64 under the `simd` cargo feature, with a
+//!   bit-identical portable fallback;
 //! * [`fleet`] — the fleet-scale session server: thousands of
 //!   concurrent vehicles packed into struct-of-arrays
 //!   [`lanes::LaneIekf`] shard arenas behind bounded ingress queues,
@@ -135,13 +139,14 @@ pub mod multi;
 pub mod report;
 pub mod scenario;
 pub mod session;
+pub mod simd;
 pub mod smallmat;
 pub mod spec;
 pub mod system;
 
 pub use arith::{
-    Arith, F64Arith, F64ArithFast, FixedArith, LaneArith, OpCounts, PhaseCost, PhaseLedger,
-    SoftArith,
+    Arith, F32Arith, F32ArithFast, F64Arith, F64ArithFast, FixedArith, LaneArith, LaneOps,
+    LaneSpec, OpCounts, PhaseCost, PhaseLedger, QArith, SoftArith,
 };
 pub use estimator::{
     BoresightEstimator, EstimatorConfig, GenericBoresightEstimator, ImuPrep, MisalignmentEstimate,
@@ -160,6 +165,7 @@ pub use session::{
     FusionSession, IntoSharedTrajectory, LinkFaultConfig, SensorEvent, SensorSource,
     SessionBuilder, SessionGroup, SessionStats, SyntheticSource, UartReplaySource,
 };
+pub use simd::{F64Lanes, SimdArith, SimdF64};
 pub use spec::{
     ChannelSpec, EnvironmentSpec, ScenarioSpec, ScenarioSuite, ScenarioTrajectory, Substrate,
     SuiteCell, SuiteReport, TrajectorySpec, TuningSpec, VibrationClass,

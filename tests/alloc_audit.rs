@@ -129,3 +129,61 @@ fn fleet_epoch_steady_state_allocates_nothing() {
     assert_eq!(stats.vehicles, 1_000, "nobody was evicted mid-audit");
     assert!(stats.updates > 40_000, "the fleet actually streamed");
 }
+
+/// The explicit-SIMD lane substrate keeps the fleet's zero-allocation
+/// property: a steady-state epoch over `Fleet<SimdF64, 8>` — the same
+/// poll/dispatch/lane-group path, with every filter op lowered through
+/// the packed backend (or its portable fallback) — allocates nothing.
+#[test]
+fn simd_fleet_epoch_steady_state_allocates_nothing() {
+    use sensor_fusion_fpga::fusion::simd::SimdF64;
+
+    let _guard = AUDIT_SERIALIZER.lock().unwrap();
+    let mut fleet: Fleet<SimdF64, 8> = Fleet::new(FleetConfig::default());
+    for i in 0..256u64 {
+        let spec = catalog::paper_static()
+            .with_duration(3_600.0)
+            .with_seed(50_000 + i);
+        fleet.admit(&spec).expect("catalog tuning is compatible");
+    }
+    fleet.run_epochs(5, 1);
+    let before = allocations();
+    fleet.run_epochs(50, 1);
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "SIMD fleet epoch loop allocated {} times in steady state",
+        after - before
+    );
+    let stats = fleet.stats();
+    assert_eq!(stats.vehicles, 256, "nobody was evicted mid-audit");
+    assert!(stats.updates > 10_000, "the fleet actually streamed");
+}
+
+/// The `Q<FRAC>` fixed-point substrates are plain `i32` value types —
+/// a full-filter streaming loop over them (gate rejections, saturation
+/// counting and all) must stay allocation-free after the session's
+/// pooled buffers reach steady state.
+#[test]
+fn q_format_filter_loop_steady_state_allocates_nothing() {
+    use sensor_fusion_fpga::fusion::arith::QArith;
+    use sensor_fusion_fpga::fusion::session::FusionSession;
+
+    let _guard = AUDIT_SERIALIZER.lock().unwrap();
+    let spec = catalog::paper_static().with_duration(30.0);
+    let cfg = spec.config();
+    let mut session =
+        FusionSession::iekf_from_scenario(spec.lower_trajectory(), &cfg, QArith::<24>::default());
+    session.run_for(2.0);
+    let before = allocations();
+    session.run_for(25.0);
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "Q8.24 hot path allocated {} times in steady state",
+        after - before
+    );
+    assert!(session.stats().events > 4_000, "the run actually streamed");
+}

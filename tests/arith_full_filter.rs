@@ -308,3 +308,76 @@ proptest! {
         prop_assert!(soft.arith().cycles() > 0);
     }
 }
+
+/// Saturation count of one fresh `QArith<FRAC>` after a single
+/// (non-chained) operation on operands lowered through `num`.
+fn q_sat_for_op<const FRAC: u32>(op: usize, a: f64, b: f64, c: f64) -> u64 {
+    use sensor_fusion_fpga::fusion::arith::QArith;
+    let mut q = QArith::<FRAC>::default();
+    let (qa, qb, qc) = (q.num(a), q.num(b), q.num(c));
+    match op {
+        0 => {
+            q.add(qa, qb);
+        }
+        1 => {
+            q.sub(qa, qb);
+        }
+        2 => {
+            q.mul(qa, qb);
+        }
+        3 => {
+            q.div(qa, qb);
+        }
+        4 => {
+            q.fma(qa, qb, qc);
+        }
+        5 => {
+            q.neg(qa);
+        }
+        _ => {
+            q.abs(qa);
+        }
+    }
+    q.saturations()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Growing `FRAC` trades headroom for resolution, so on a fixed
+    /// operand domain the saturation counter must be monotone
+    /// non-decreasing across the `Q<FRAC>` family: `Q4.28` saturates at
+    /// least as often as `Q8.24`, which saturates at least as often as
+    /// `Q12.20`, then `Q16.16`. Operands are exact multiples of `2^-8`
+    /// in `[-16, 16]` (representable in every format's fraction field,
+    /// beyond `Q4.28`'s ±8 range), one op per fresh ledger so counts
+    /// are attributable; divisors keep `|b| >= 2^-8`.
+    #[test]
+    fn q_format_saturation_counts_are_monotone_in_fraction_bits(
+        op in 0usize..7,
+        ai in -4096i64..=4096,
+        bi in -4096i64..=4096,
+        ci in -4096i64..=4096,
+    ) {
+        let a = ai as f64 / 256.0;
+        let mut b = bi as f64 / 256.0;
+        let c = ci as f64 / 256.0;
+        if op == 3 && b == 0.0 {
+            b = 1.0 / 256.0;
+        }
+        let sats = [
+            q_sat_for_op::<16>(op, a, b, c),
+            q_sat_for_op::<20>(op, a, b, c),
+            q_sat_for_op::<24>(op, a, b, c),
+            q_sat_for_op::<28>(op, a, b, c),
+        ];
+        for w in sats.windows(2) {
+            prop_assert!(
+                w[0] <= w[1],
+                "saturations not monotone across FRAC sweep: {:?} (op {})",
+                sats,
+                op
+            );
+        }
+    }
+}

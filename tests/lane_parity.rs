@@ -8,23 +8,29 @@
 //! measurements — across random scenarios and seeds, including gate
 //! rejections and trust-region clamps — and a `LaneBank`-backed
 //! session matches the equivalent bank of scalar estimator sessions.
+//! The same contract is pinned for the explicit-SIMD `SimdF64`
+//! substrate under masked stepping (per-lane `dt`, per-lane activity),
+//! on whichever backend the `simd` feature selects.
 
 use proptest::prelude::*;
-use sensor_fusion_fpga::fusion::arith::F64Arith;
+use sensor_fusion_fpga::fusion::arith::{F64Arith, LaneSpec};
 use sensor_fusion_fpga::fusion::filter::{FilterConfig, GenericBoresightFilter};
 use sensor_fusion_fpga::fusion::lanes::{LaneBank, LaneIekf};
 use sensor_fusion_fpga::fusion::scenario::ScenarioConfig;
 use sensor_fusion_fpga::fusion::session::{ChannelConfig, FusionSession, SyntheticSource};
+use sensor_fusion_fpga::fusion::simd::{F64Lanes, SimdF64};
 use sensor_fusion_fpga::fusion::EstimatorConfig;
 use sensor_fusion_fpga::math::{EulerAngles, Vec2, Vec3, STANDARD_GRAVITY};
 use sensor_fusion_fpga::motion::TiltTable;
 
 const LANES: usize = 3;
 
-fn assert_lane_matches_scalar(
-    lanes: &LaneIekf<F64Arith, LANES>,
+fn assert_lane_matches_scalar<A>(
+    lanes: &LaneIekf<A, LANES>,
     scalars: &[GenericBoresightFilter<F64Arith>],
-) {
+) where
+    A: LaneSpec<LANES> + Clone + Default,
+{
     for (lane, kf) in scalars.iter().enumerate() {
         let a = kf.angles();
         let b = lanes.angles(lane);
@@ -222,5 +228,79 @@ fn lane_bank_session_matches_scalar_sessions() {
             "sensor {sensor}: {:?}",
             err.to_degrees()
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The explicit-SIMD substrate under **masked stepping** — per-lane
+    /// `dt` through `predict_lanes` plus `update_lanes_masked` with a
+    /// random activity mask — stays bit-identical, lane for lane, to
+    /// scalar filters that simply skip the inactive steps. Inactive
+    /// lanes carry poisoned measurements (far-outlier values) to prove
+    /// the mask really isolates them.
+    #[test]
+    fn simd_lane_filter_matches_scalar_under_masked_stepping(
+        steps in prop::collection::vec(
+            (
+                prop::array::uniform3((-0.3_f64..0.3, -0.3_f64..0.3)),
+                prop::array::uniform3((-4.0_f64..4.0, -4.0_f64..4.0, 8.0_f64..11.0)),
+                prop::array::uniform3(0.001_f64..0.05),
+                prop::array::uniform3((0.0_f64..1.0).prop_map(|p| p < 0.75)),
+            ),
+            10..60,
+        ),
+    ) {
+        let cfg = FilterConfig::paper_static();
+        let mut lanes: LaneIekf<SimdF64, LANES> = LaneIekf::new(cfg);
+        let mut scalars: Vec<GenericBoresightFilter<F64Arith>> =
+            (0..LANES).map(|_| GenericBoresightFilter::new(cfg)).collect();
+        let mut t = [0.0_f64; LANES];
+        for (i, (zs, fs, dts, active)) in steps.iter().enumerate() {
+            // A lane only advances when it has a sample this tick.
+            let lane_dts: [f64; LANES] =
+                std::array::from_fn(|l| if active[l] { dts[l] } else { 0.0 });
+            for lane in 0..LANES {
+                t[lane] += lane_dts[lane];
+            }
+            let z: [Vec2; LANES] = std::array::from_fn(|lane| {
+                if active[lane] {
+                    Vec2::new([zs[lane].0, zs[lane].1])
+                } else {
+                    Vec2::new([1e6, -1e6]) // must never leak through the mask
+                }
+            });
+            let fb: [F64Lanes<LANES>; 3] = [
+                F64Lanes::new(std::array::from_fn(|l| fs[l].0)),
+                F64Lanes::new(std::array::from_fn(|l| fs[l].1)),
+                F64Lanes::new(std::array::from_fn(|l| fs[l].2)),
+            ];
+            lanes.predict_lanes(&lane_dts);
+            let updates = lanes.update_lanes_masked(&z, fb, &t, active);
+            for (lane, kf) in scalars.iter_mut().enumerate() {
+                if active[lane] {
+                    kf.predict(lane_dts[lane]);
+                    let f = Vec3::new([fs[lane].0, fs[lane].1, fs[lane].2]);
+                    let upd = kf.update(z[lane], f, t[lane]);
+                    let lane_upd = updates[lane]
+                        .as_ref()
+                        .expect("active lane must report an update");
+                    prop_assert_eq!(upd.accepted, lane_upd.accepted,
+                        "step {} lane {}", i, lane);
+                    prop_assert_eq!(
+                        upd.innovation[0].to_bits(),
+                        lane_upd.innovation[0].to_bits()
+                    );
+                    prop_assert_eq!(
+                        upd.innovation_sigma[1].to_bits(),
+                        lane_upd.innovation_sigma[1].to_bits()
+                    );
+                } else {
+                    prop_assert!(updates[lane].is_none(), "masked lane {} updated", lane);
+                }
+            }
+        }
+        assert_lane_matches_scalar(&lanes, &scalars);
     }
 }
