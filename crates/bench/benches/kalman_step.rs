@@ -1,7 +1,7 @@
 //! Filter-core benchmarks: one predict+update of the production
 //! 5-state IEKF and of the 3-state ablation filters.
 
-use boresight::arith::{F64Arith, FixedArith, Kf3};
+use boresight::arith::{F64Arith, Kf3, QArith};
 use boresight::filter::{BoresightFilter, FilterConfig, GenericBoresightFilter};
 use criterion::{criterion_group, criterion_main, Criterion};
 use mathx::{Vec2, Vec3, STANDARD_GRAVITY};
@@ -21,7 +21,7 @@ fn bench_kalman(c: &mut Criterion) {
         })
     });
     c.bench_function("kalman/iekf5_fixed_update", |bench| {
-        let mut kf: GenericBoresightFilter<FixedArith> =
+        let mut kf: GenericBoresightFilter<QArith<16>> =
             GenericBoresightFilter::new(FilterConfig::paper_static());
         let mut t = 0.0;
         bench.iter(|| {
@@ -38,7 +38,7 @@ fn bench_kalman(c: &mut Criterion) {
         })
     });
     c.bench_function("kalman/kf3_fixed_step", |bench| {
-        let mut kf = Kf3::new(FixedArith::default(), 0.1, 0.007);
+        let mut kf = Kf3::new(QArith::<16>::default(), 0.1, 0.007);
         bench.iter(|| {
             kf.step(black_box(z), black_box(f_b), 1e-10);
             black_box(kf.update_count())

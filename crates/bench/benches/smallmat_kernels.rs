@@ -6,7 +6,7 @@
 //! them on the hot path (packed-symmetric Joseph, closed-form 2x2
 //! solve) and the lockstep lane filter at 1/2/4/8 lanes.
 
-use boresight::arith::{Arith, F64Arith, F64ArithFast, FixedArith};
+use boresight::arith::{Arith, F64Arith, F64ArithFast, QArith};
 use boresight::filter::{FilterConfig, GenericBoresightFilter};
 use boresight::lanes::LaneIekf;
 use boresight::smallmat;
@@ -144,10 +144,10 @@ fn bench_scalar_step(c: &mut Criterion) {
 fn bench_smallmat(c: &mut Criterion) {
     bench_substrate::<F64Arith>(c, "f64");
     bench_substrate::<F64ArithFast>(c, "f64_uncounted");
-    bench_substrate::<FixedArith>(c, "q16.16");
+    bench_substrate::<QArith<16>>(c, "q16.16");
     bench_structured::<F64Arith>(c, "f64");
     bench_structured::<F64ArithFast>(c, "f64_uncounted");
-    bench_structured::<FixedArith>(c, "q16.16");
+    bench_structured::<QArith<16>>(c, "q16.16");
     bench_scalar_step(c);
     bench_lane_step::<2>(c);
     bench_lane_step::<4>(c);

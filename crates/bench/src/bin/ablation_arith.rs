@@ -27,9 +27,7 @@ use bench_suite::{
     compare_labeled_to_baseline, load_baseline, print_baseline_deltas, print_table, write_json,
     BenchArgs, Json, SmallAngleSource,
 };
-use boresight::arith::{
-    Arith, F32Arith, F64Arith, FixedArith, OpCounts, PhaseLedger, QArith, SoftArith,
-};
+use boresight::arith::{Arith, F32Arith, F64Arith, OpCounts, PhaseLedger, QArith, SoftArith};
 use boresight::estimator::GenericBoresightEstimator;
 use boresight::exec;
 use boresight::scenario::{RunResult, ScenarioConfig};
@@ -106,7 +104,10 @@ fn run_full(substrate: Substrate, cfg: &ScenarioConfig) -> FullRun {
     match substrate {
         Substrate::F64 => run_full_arith::<F64Arith>(cfg),
         Substrate::Softfloat => run_full_arith::<SoftArith>(cfg),
-        Substrate::Q16_16 => run_full_arith::<FixedArith>(cfg),
+        Substrate::Q16_16 => run_full_arith::<QArith<16>>(cfg),
+        // The ablation measures static substrates; the adaptive
+        // supervisor has its own bench (`adaptive`).
+        Substrate::Adaptive => unreachable!("ablation sweeps static substrates"),
     }
 }
 
@@ -159,7 +160,7 @@ fn main() {
     // ---- Tier 1: the 3-state small-angle ablation -------------------
     let (_, err_f64) = run_kf3(F64Arith::default(), n, 7);
     let (soft_session, err_soft) = run_kf3(SoftArith::default(), n, 7);
-    let (fixed_session, err_fixed) = run_kf3(FixedArith::default(), n, 7);
+    let (fixed_session, err_fixed) = run_kf3(QArith::<16>::default(), n, 7);
 
     let backend: &ArithKf3<SoftArith> = soft_session.backend_as().expect("softfloat backend");
     let stats = backend.kf().arith().fpu.stats();
@@ -167,7 +168,7 @@ fn main() {
     let ops_per_update = stats.total_ops() as f64 / n as f64;
     let soft_util = cycles_per_update * ACC_RATE_HZ / SABRE_CLOCK_HZ;
 
-    let fixed_backend: &ArithKf3<FixedArith> = fixed_session.backend_as().expect("fixed backend");
+    let fixed_backend: &ArithKf3<QArith<16>> = fixed_session.backend_as().expect("fixed backend");
     let fixed_cycles_per_update = fixed_backend.kf().arith().cycles() as f64 / n as f64;
     let fixed_util = fixed_cycles_per_update * ACC_RATE_HZ / SABRE_CLOCK_HZ;
     let fixed_sats = fixed_backend.kf().arith().saturations();
@@ -217,9 +218,9 @@ fn main() {
         costs.add_f64,
         costs.mul_f64,
         costs.div_f64,
-        FixedArith::CYCLE_ADD,
-        FixedArith::CYCLE_MUL,
-        FixedArith::CYCLE_DIV,
+        QArith::<16>::CYCLE_ADD,
+        QArith::<16>::CYCLE_MUL,
+        QArith::<16>::CYCLE_DIV,
     );
     assert_eq!(
         err_f64.to_bits(),

@@ -16,7 +16,11 @@
 //! - **p50 / p99 / max epoch latency** — the fleet's scheduling tail;
 //! - **bytes/session** — arena-resident footprint per vehicle;
 //! - **ingress counters** — backpressure deferrals and lossy drops
-//!   (both must stay zero at these rosters).
+//!   (both must stay zero at these rosters);
+//! - **adaptive sideband** — a handful of supervised
+//!   [`boresight::adaptive::AdaptiveBackend`] sessions ride next to
+//!   the lane arena, and their substrate switches, saturations and
+//!   switch log land in the report.
 //!
 //! Results land in `bench_out/BENCH_fleet.json` (f64 figures at the
 //! top level, byte-compatible with older baselines; explicit-SIMD
@@ -31,10 +35,11 @@ use bench_suite::{
     compare_to_baseline, load_baseline, print_baseline_deltas, print_table, write_json, BenchArgs,
     Json,
 };
+use boresight::adaptive::{HysteresisPolicy, SubstrateId};
 use boresight::arith::{F64Arith, LaneSpec};
 use boresight::catalog;
 use boresight::exec;
-use boresight::fleet::{Fleet, FleetConfig, FleetStats};
+use boresight::fleet::{Fleet, FleetConfig, FleetStats, VehicleId};
 use boresight::simd::SimdF64;
 use std::time::Instant;
 
@@ -61,7 +66,16 @@ struct FleetRun {
     bytes_per_vehicle: usize,
     stats: FleetStats,
     final_estimates_finite: bool,
+    /// Sideband roster: adaptive sessions riding alongside the lane
+    /// arena, and their reconfiguration activity over the run.
+    adaptive_vehicles: usize,
+    adaptive_switch_log: Vec<(f64, String, String)>,
 }
+
+/// Adaptive sideband vehicles admitted next to the lane roster — a
+/// handful is enough to price reconfiguration at fleet scale without
+/// distorting the lane-substrate comparison the benchmark is for.
+const ADAPTIVE_VEHICLES: usize = 8;
 
 /// Admits the roster into a fresh [`Fleet`] on substrate `A`, drives it
 /// `epochs` ticks past a warm-up, and reads every statistic off it.
@@ -90,6 +104,22 @@ where
             .with_seed(100_000 + i as u64);
         fleet.admit(&spec).expect("catalog tuning is compatible");
     }
+    // The adaptive sideband: per-vehicle supervised sessions starting
+    // on Q16.16 under the default hysteresis policy, cycling the same
+    // catalog. Their switches/saturations fold into FleetStats.
+    let adaptive_ids: Vec<VehicleId> = (0..ADAPTIVE_VEHICLES)
+        .map(|i| {
+            let spec = base[i % base.len()]
+                .clone()
+                .with_duration(epochs as f64 * TICK_DT + 30.0)
+                .with_seed(900_000 + i as u64);
+            fleet.admit_adaptive(
+                &spec,
+                SubstrateId::Q16_16,
+                Box::new(HysteresisPolicy::default()),
+            )
+        })
+        .collect();
 
     // Warm-up epochs grow every pooled buffer to steady state and are
     // excluded from the timed window.
@@ -117,6 +147,23 @@ where
                     && est.angles.yaw.is_finite()
             })
     };
+    let adaptive_switch_log: Vec<(f64, String, String)> = adaptive_ids
+        .iter()
+        .filter_map(|&id| fleet.adaptive_ledger(id))
+        .flat_map(|ledger| {
+            ledger
+                .events()
+                .iter()
+                .map(|e| {
+                    (
+                        e.at_time_s,
+                        e.from.label().to_string(),
+                        e.to.label().to_string(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
     FleetRun {
         substrate,
         wall_s,
@@ -129,6 +176,8 @@ where
         bytes_per_vehicle: Fleet::<A, 8>::bytes_per_vehicle(),
         stats,
         final_estimates_finite,
+        adaptive_vehicles: ADAPTIVE_VEHICLES,
+        adaptive_switch_log,
     }
 }
 
@@ -166,6 +215,32 @@ fn run_json(run: &FleetRun) -> Vec<(String, Json)> {
             ]),
         ),
         ("evicted".into(), Json::Int(run.stats.evicted as u64)),
+        (
+            "adaptive".into(),
+            Json::Obj(vec![
+                ("vehicles".into(), Json::Int(run.adaptive_vehicles as u64)),
+                (
+                    "substrate_switches".into(),
+                    Json::Int(run.stats.substrate_switches),
+                ),
+                ("saturations".into(), Json::Int(run.stats.saturations)),
+                (
+                    "switch_log".into(),
+                    Json::Arr(
+                        run.adaptive_switch_log
+                            .iter()
+                            .map(|(t, from, to)| {
+                                Json::Obj(vec![
+                                    ("at_time_s".into(), Json::Num(*t)),
+                                    ("from".into(), Json::Str(from.clone())),
+                                    ("to".into(), Json::Str(to.clone())),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+            ]),
+        ),
     ]
 }
 
@@ -233,6 +308,16 @@ fn main() {
             run.stats.ingress.high_water,
             run.stats.evicted,
         );
+        println!(
+            "{}: adaptive sideband: {} vehicles, {} substrate switches, {} saturations",
+            run.substrate,
+            run.adaptive_vehicles,
+            run.stats.substrate_switches,
+            run.stats.saturations,
+        );
+        for (t, from, to) in run.adaptive_switch_log.iter().take(8) {
+            println!("{}:   t={t:.2}s {from} -> {to}", run.substrate);
+        }
     }
 
     // --- Artifact (written before the gates, so a failing smoke run
@@ -317,6 +402,15 @@ fn main() {
                 run.substrate,
                 run.p99_us,
                 p99_gate_ms * 1e3
+            );
+            // The sideband starts on Q16.16 across the catalog; the
+            // dynamic scenarios stress it within the first decision
+            // window, so a silent zero here means the supervisor
+            // stopped observing context at fleet scale.
+            assert!(
+                run.stats.substrate_switches > 0,
+                "{}: adaptive sideband recorded no substrate switches",
+                run.substrate
             );
         }
         println!(

@@ -1,5 +1,6 @@
 //! Scenario × substrate sweep: every catalog workload over native
-//! f64, Sabre-accounted Softfloat and Q16.16 fixed point.
+//! f64, Sabre-accounted Softfloat, Q16.16 fixed point and the
+//! adaptive reconfiguring supervisor.
 //!
 //! This is the coverage matrix the paper never had — its validation
 //! stops at one static and one dynamic procedure. Each cell reports
@@ -23,7 +24,7 @@
 use bench_suite::{print_table, write_json, BenchArgs, Json};
 use boresight::catalog;
 use boresight::exec;
-use boresight::spec::{ScenarioSuite, SuiteCell};
+use boresight::spec::{ScenarioSuite, Substrate, SuiteCell};
 
 fn cell_json(cell: &SuiteCell) -> Json {
     let mut fields = vec![
@@ -63,6 +64,7 @@ fn cell_json(cell: &SuiteCell) -> Json {
             "cycles_per_sample".into(),
             Json::Num(cell.cycles_per_sample),
         ),
+        ("switches".into(), Json::Int(cell.switches)),
     ];
     if let Some(stream) = &cell.summary.stream {
         fields.push((
@@ -106,7 +108,17 @@ fn main() {
         );
     }
 
-    let suite = ScenarioSuite::full_matrix().with_duration(duration);
+    // The three static substrates plus the adaptive supervisor, which
+    // reconfigures across them mid-run.
+    let substrates = [
+        Substrate::F64,
+        Substrate::Softfloat,
+        Substrate::Q16_16,
+        Substrate::Adaptive,
+    ];
+    let suite = ScenarioSuite::full_matrix()
+        .with_substrates(&substrates)
+        .with_duration(duration);
     let report = if workers <= 1 {
         suite.run()
     } else {
@@ -131,6 +143,7 @@ fn main() {
                 } else {
                     format!("{:.0}", c.cycles_per_sample)
                 },
+                format!("{}", c.switches),
                 c.summary
                     .stream
                     .map(|s| format!("{}", s.fault_bits_flipped + s.fault_bytes_dropped))
@@ -153,6 +166,7 @@ fn main() {
             "retunes",
             "saturations",
             "cycles/sample",
+            "switches",
             "wire faults",
         ],
         &rows,

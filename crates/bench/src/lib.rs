@@ -5,6 +5,7 @@
 //! this library provides the small common pieces: CSV output and
 //! aligned-table printing.
 
+use boresight::adaptive::{FrontierPoint, SubstrateId};
 use std::fs;
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
@@ -383,6 +384,53 @@ pub fn load_baseline(name: &str) -> Option<Json> {
     Json::parse(&text)
 }
 
+/// Loads the accuracy-vs-cycles frontier of one scenario from the
+/// committed `BENCH_frontier.json` baseline, as the
+/// [`boresight::adaptive::FrontierPolicy`] input points.
+///
+/// Only single-lane cells are read (the adaptive supervisor swaps one
+/// scalar estimator), and only substrates the supervisor can actually
+/// switch to ([`SubstrateId::parse`] accepts the frontier's
+/// `softfloat/f64` spelling; `simd/f64` and the `q4.28` extremes are
+/// skipped). `None` when no baseline is committed or the scenario has
+/// no single-lane cells.
+pub fn load_frontier_points(scenario: &str) -> Option<Vec<FrontierPoint>> {
+    let report = load_baseline("BENCH_frontier.json")?;
+    let Json::Arr(cells) = report.lookup("cells")? else {
+        return None;
+    };
+    let mut points = Vec::new();
+    for cell in cells {
+        let (Some(Json::Str(cell_scenario)), Some(Json::Str(substrate))) =
+            (cell.lookup("scenario"), cell.lookup("substrate"))
+        else {
+            continue;
+        };
+        if cell_scenario != scenario || cell.lookup("lanes").and_then(Json::as_f64) != Some(1.0) {
+            continue;
+        }
+        let Some(substrate) = SubstrateId::parse(substrate) else {
+            continue;
+        };
+        let (Some(rms_deg), Some(cycles_per_sample)) = (
+            cell.lookup("rms_deg").and_then(Json::as_f64),
+            cell.lookup("cycles_per_sample").and_then(Json::as_f64),
+        ) else {
+            continue;
+        };
+        points.push(FrontierPoint {
+            substrate,
+            rms_deg,
+            cycles_per_sample,
+        });
+    }
+    if points.is_empty() {
+        None
+    } else {
+        Some(points)
+    }
+}
+
 /// One metric's baseline-vs-current comparison.
 pub struct BaselineDelta {
     /// The metric's `.`-separated path (see [`Json::lookup`]).
@@ -748,5 +796,36 @@ mod tests {
             .as_f64()
             .unwrap()
             .is_finite());
+    }
+
+    #[test]
+    fn frontier_points_load_for_both_swept_scenarios() {
+        for scenario in ["paper-static", "highway-cruise"] {
+            let points = load_frontier_points(scenario).expect("committed frontier");
+            // Exactly the single-lane, switchable-substrate cells:
+            // f64, f32, softfloat, q16.16, q8.24 (simd/f64 and q4.28
+            // are filtered out).
+            assert_eq!(points.len(), 5, "{scenario}: {points:?}");
+            for id in SubstrateId::all() {
+                let point = points
+                    .iter()
+                    .find(|p| p.substrate == id)
+                    .unwrap_or_else(|| panic!("{scenario} missing {id}"));
+                assert!(point.rms_deg.is_finite() && point.rms_deg > 0.0);
+            }
+            // The cycle-modelled substrates carry real costs the
+            // frontier policy can rank.
+            let q16 = points
+                .iter()
+                .find(|p| p.substrate == SubstrateId::Q16_16)
+                .unwrap();
+            let soft = points
+                .iter()
+                .find(|p| p.substrate == SubstrateId::Softfloat)
+                .unwrap();
+            assert!(q16.cycles_per_sample > 0.0);
+            assert!(soft.cycles_per_sample > q16.cycles_per_sample);
+        }
+        assert!(load_frontier_points("no-such-scenario").is_none());
     }
 }

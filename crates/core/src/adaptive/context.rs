@@ -1,0 +1,259 @@
+//! Folding the system's existing health signals into a reconfiguration
+//! context.
+//!
+//! The monitor consumes only `f64`-side records the session already
+//! produces — the [`KalmanUpdate`] each ACC sample returns, the
+//! substrate's cumulative saturation counter, the residual monitor's
+//! retune count and the ACC inter-arrival times (link-fault storms
+//! show up as gaps: dropped or garbled frames never reach the
+//! backend). Nothing is read *through* the substrate, so observing
+//! context cannot perturb the filter — the property the zero-switch
+//! bit-identity pin relies on. Everything is plain counters: the
+//! steady-state event path allocates nothing.
+
+use crate::filter::KalmanUpdate;
+
+/// Context-window configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ContextConfig {
+    /// ACC samples per decision window (the policy is consulted once
+    /// per window).
+    pub decision_interval: u64,
+    /// An inter-ACC interval longer than this factor times the
+    /// learned nominal period counts as a link gap.
+    pub gap_factor: f64,
+}
+
+impl Default for ContextConfig {
+    fn default() -> Self {
+        Self {
+            decision_interval: 200,
+            gap_factor: 1.5,
+        }
+    }
+}
+
+/// One decision window's folded context — the policy's whole world.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ContextState {
+    /// Timestamp of the window's last ACC sample, seconds.
+    pub time_s: f64,
+    /// ACC samples observed in the window.
+    pub acc_samples: u64,
+    /// Accepted measurement updates in the window.
+    pub updates: u64,
+    /// Fraction of the window's measurement *attempts* (accepted or
+    /// gated out) whose innovation exceeded its 3-sigma bound. Always
+    /// in `[0, 1]` — unlike the per-accepted-update ratio
+    /// [`crate::session::SessionStats::exceed_rate`] reports, which
+    /// degenerates when the gate rejects nearly everything (the
+    /// exact regime a reconfiguration policy must act in).
+    pub exceed_rate: f64,
+    /// Substrate range-saturation events per ACC sample in the window
+    /// (fixed point only; 0 elsewhere). Per sample, not per accepted
+    /// update: saturations mostly fire in propagation, which runs
+    /// whether or not the gate accepts.
+    pub saturation_rate: f64,
+    /// Fraction of ACC inter-arrival intervals that were link gaps.
+    pub gap_rate: f64,
+    /// Residual-monitor retunes fired during the window.
+    pub retunes: u64,
+}
+
+/// Streaming accumulator for [`ContextState`], reset per decision
+/// window. The nominal ACC period is learned as the smallest interval
+/// seen, so gap detection needs no configuration of the sensor rate.
+#[derive(Clone, Debug)]
+pub struct ContextMonitor {
+    config: ContextConfig,
+    acc_samples: u64,
+    attempts: u64,
+    updates: u64,
+    exceeds: u64,
+    intervals: u64,
+    gaps: u64,
+    last_acc_time: Option<f64>,
+    nominal_dt: f64,
+    last_time: f64,
+    saturations_at_window_start: u64,
+    last_saturations: u64,
+    retunes_at_window_start: u64,
+    last_retunes: u64,
+}
+
+impl ContextMonitor {
+    /// A fresh monitor.
+    pub fn new(config: ContextConfig) -> Self {
+        Self {
+            config,
+            acc_samples: 0,
+            attempts: 0,
+            updates: 0,
+            exceeds: 0,
+            intervals: 0,
+            gaps: 0,
+            last_acc_time: None,
+            nominal_dt: f64::INFINITY,
+            last_time: 0.0,
+            saturations_at_window_start: 0,
+            last_saturations: 0,
+            retunes_at_window_start: 0,
+            last_retunes: 0,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ContextConfig {
+        &self.config
+    }
+
+    /// Folds one ACC sample's outcome plus the backend's cumulative
+    /// saturation and retune counters into the current window.
+    pub fn observe_acc(
+        &mut self,
+        time_s: f64,
+        update: Option<&KalmanUpdate>,
+        saturations_total: u64,
+        retunes_total: u64,
+    ) {
+        self.acc_samples += 1;
+        self.last_time = time_s;
+        if let Some(last) = self.last_acc_time {
+            let dt = time_s - last;
+            if dt > 1e-9 {
+                self.intervals += 1;
+                if dt < self.nominal_dt {
+                    self.nominal_dt = dt;
+                }
+                if self.nominal_dt.is_finite() && dt > self.config.gap_factor * self.nominal_dt {
+                    self.gaps += 1;
+                }
+            }
+        }
+        self.last_acc_time = Some(time_s);
+        if let Some(update) = update {
+            self.attempts += 1;
+            if update.accepted {
+                self.updates += 1;
+            }
+            if update.exceeds_three_sigma() {
+                self.exceeds += 1;
+            }
+        }
+        self.last_saturations = saturations_total;
+        self.last_retunes = retunes_total;
+    }
+
+    /// `true` once the current window holds a full decision interval.
+    pub fn decision_due(&self) -> bool {
+        self.acc_samples >= self.config.decision_interval
+    }
+
+    /// Returns the folded window and starts the next one. The nominal
+    /// ACC period and the cumulative-counter baselines persist across
+    /// windows.
+    pub fn take_state(&mut self) -> ContextState {
+        let state = ContextState {
+            time_s: self.last_time,
+            acc_samples: self.acc_samples,
+            updates: self.updates,
+            exceed_rate: if self.attempts > 0 {
+                self.exceeds as f64 / self.attempts as f64
+            } else {
+                0.0
+            },
+            saturation_rate: if self.acc_samples > 0 {
+                (self.last_saturations - self.saturations_at_window_start) as f64
+                    / self.acc_samples as f64
+            } else {
+                0.0
+            },
+            gap_rate: if self.intervals > 0 {
+                self.gaps as f64 / self.intervals as f64
+            } else {
+                0.0
+            },
+            retunes: self.last_retunes - self.retunes_at_window_start,
+        };
+        self.acc_samples = 0;
+        self.attempts = 0;
+        self.updates = 0;
+        self.exceeds = 0;
+        self.intervals = 0;
+        self.gaps = 0;
+        self.saturations_at_window_start = self.last_saturations;
+        self.retunes_at_window_start = self.last_retunes;
+        state
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mathx::Vec2;
+
+    fn update(accepted: bool, exceeded: bool) -> KalmanUpdate {
+        // innovation 3.5x sigma when exceeded, well inside otherwise.
+        let innovation = if exceeded { 0.35 } else { 0.01 };
+        KalmanUpdate {
+            time_s: 0.0,
+            innovation: Vec2::new([innovation, 0.0]),
+            innovation_sigma: Vec2::new([0.1, 0.1]),
+            accepted,
+        }
+    }
+
+    #[test]
+    fn folds_exceed_gap_and_saturation_rates() {
+        let mut monitor = ContextMonitor::new(ContextConfig {
+            decision_interval: 4,
+            gap_factor: 1.5,
+        });
+        // Nominal 5 ms cadence with one dropped sample (10 ms gap).
+        monitor.observe_acc(0.005, Some(&update(true, false)), 0, 0);
+        monitor.observe_acc(0.010, Some(&update(true, false)), 2, 0);
+        monitor.observe_acc(0.020, Some(&update(false, true)), 4, 1);
+        assert!(!monitor.decision_due());
+        monitor.observe_acc(0.025, Some(&update(true, false)), 4, 1);
+        assert!(monitor.decision_due());
+        let state = monitor.take_state();
+        assert_eq!(state.acc_samples, 4);
+        assert_eq!(state.updates, 3);
+        // One exceed over four attempts (the gated-out sample counts
+        // as an attempt — the rate stays bounded even when the gate
+        // rejects a whole window).
+        assert!((state.exceed_rate - 1.0 / 4.0).abs() < 1e-12);
+        assert!((state.gap_rate - 1.0 / 3.0).abs() < 1e-12);
+        assert!((state.saturation_rate - 4.0 / 4.0).abs() < 1e-12);
+        assert_eq!(state.retunes, 1);
+
+        // The next window starts clean but keeps the learned cadence
+        // and counter baselines.
+        monitor.observe_acc(0.030, Some(&update(true, false)), 4, 1);
+        monitor.observe_acc(0.035, Some(&update(true, false)), 4, 1);
+        monitor.observe_acc(0.040, Some(&update(true, false)), 4, 1);
+        monitor.observe_acc(0.045, Some(&update(true, false)), 4, 1);
+        let calm = monitor.take_state();
+        assert_eq!(calm.retunes, 0);
+        assert_eq!(calm.saturation_rate, 0.0);
+        assert_eq!(calm.gap_rate, 0.0);
+        assert_eq!(calm.exceed_rate, 0.0);
+    }
+
+    #[test]
+    fn exceed_rate_stays_bounded_when_the_gate_rejects_everything() {
+        // A collapsed-covariance substrate can gate out an entire
+        // window; the rate must saturate at 1.0, not divide by the
+        // (zero) accepted-update count.
+        let mut monitor = ContextMonitor::new(ContextConfig {
+            decision_interval: 3,
+            gap_factor: 1.5,
+        });
+        for i in 0..3 {
+            monitor.observe_acc(0.005 * (i + 1) as f64, Some(&update(false, true)), 0, 0);
+        }
+        let state = monitor.take_state();
+        assert_eq!(state.updates, 0);
+        assert_eq!(state.exceed_rate, 1.0);
+    }
+}

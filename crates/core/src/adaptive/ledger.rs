@@ -1,0 +1,196 @@
+//! The reconfiguration ledger: when, why, and at what cost.
+
+use super::context::ContextState;
+use super::policy::SubstrateId;
+use super::snapshot::PACKED_COV;
+use crate::model::STATE_DIM;
+
+/// Modelled cycles to move one 32-bit word of snapshot state between
+/// substrates — same spirit as the `QArith` per-op cycle model: a
+/// load/store pair through the reconfiguration buffer.
+pub const TRANSFER_CYCLES_PER_WORD: u64 = 2;
+
+/// 32-bit words a snapshot transfer moves: every `f64` quantity is two
+/// words (state vector, packed covariance, the six IMU front-end
+/// values, the measurement sigma and the last-update timestamp), plus
+/// two words each for the update/rejection counters.
+pub const TRANSFER_WORDS: u64 = 2 * (STATE_DIM as u64 + PACKED_COV as u64 + 6 + 2) + 2 * 2;
+
+/// Modelled cost of one snapshot transfer, charged to the supervisor's
+/// cumulative cycle ledger at every switch and recorded per event.
+pub const fn snapshot_transfer_cycles() -> u64 {
+    TRANSFER_WORDS * TRANSFER_CYCLES_PER_WORD
+}
+
+/// One substrate switch, as recorded by the supervisor.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ReconfigEvent {
+    /// Stream time of the decision, seconds.
+    pub at_time_s: f64,
+    /// Accepted updates completed when the switch happened.
+    pub at_update: u64,
+    /// The outgoing substrate.
+    pub from: SubstrateId,
+    /// The incoming substrate.
+    pub to: SubstrateId,
+    /// The policy that fired ([`super::policy::ReconfigPolicy::name`]).
+    pub reason: &'static str,
+    /// The context window that triggered the decision — the *why* in
+    /// numbers.
+    pub context: ContextState,
+    /// Modelled snapshot-transfer cycles charged for this switch.
+    pub transfer_cycles: u64,
+}
+
+/// The append-only switch log. Capacity is reserved up front
+/// (switches are rare, hold-off-limited events); past the cap the
+/// count keeps growing but events are dropped rather than reallocating
+/// mid-stream.
+#[derive(Debug)]
+pub struct ReconfigLedger {
+    events: Vec<ReconfigEvent>,
+    dropped: u64,
+}
+
+/// Retained-event capacity of a ledger.
+const LEDGER_CAPACITY: usize = 64;
+
+impl ReconfigLedger {
+    /// An empty ledger with its capacity pre-reserved.
+    pub fn new() -> Self {
+        Self {
+            events: Vec::with_capacity(LEDGER_CAPACITY),
+            dropped: 0,
+        }
+    }
+
+    /// Appends one switch.
+    pub fn record(&mut self, event: ReconfigEvent) {
+        if self.events.len() < self.events.capacity() {
+            self.events.push(event);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// The retained events, in switch order.
+    pub fn events(&self) -> &[ReconfigEvent] {
+        &self.events
+    }
+
+    /// Total switches over the session (including any past capacity).
+    pub fn total_switches(&self) -> u64 {
+        self.events.len() as u64 + self.dropped
+    }
+
+    /// Events dropped past capacity (0 in any sane run).
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// `true` when no switch ever fired.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty() && self.dropped == 0
+    }
+
+    /// Total modelled transfer cycles across retained events.
+    pub fn transfer_cycles(&self) -> u64 {
+        self.events.iter().map(|e| e.transfer_cycles).sum()
+    }
+
+    /// Structural well-formedness — the property the CI smoke gate
+    /// asserts: the chain starts at `initial`, every event actually
+    /// changes substrate, consecutive events are continuous
+    /// (`from == previous.to`) and time/update stamps never go
+    /// backwards.
+    pub fn validate(&self, initial: SubstrateId) -> Result<(), String> {
+        let mut expected_from = initial;
+        let mut last_time = f64::NEG_INFINITY;
+        let mut last_update = 0u64;
+        for (i, event) in self.events.iter().enumerate() {
+            if event.from == event.to {
+                return Err(format!(
+                    "event {i}: switch to the same substrate {}",
+                    event.to
+                ));
+            }
+            if event.from != expected_from {
+                return Err(format!(
+                    "event {i}: chain break — from {} but the previous substrate was {}",
+                    event.from, expected_from
+                ));
+            }
+            if event.at_time_s < last_time {
+                return Err(format!("event {i}: time went backwards"));
+            }
+            if event.at_update < last_update {
+                return Err(format!("event {i}: update counter went backwards"));
+            }
+            if event.transfer_cycles != snapshot_transfer_cycles() {
+                return Err(format!("event {i}: unexpected transfer cost"));
+            }
+            expected_from = event.to;
+            last_time = event.at_time_s;
+            last_update = event.at_update;
+        }
+        Ok(())
+    }
+}
+
+impl Default for ReconfigLedger {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn event(t: f64, from: SubstrateId, to: SubstrateId) -> ReconfigEvent {
+        ReconfigEvent {
+            at_time_s: t,
+            at_update: (t * 100.0) as u64,
+            from,
+            to,
+            reason: "hysteresis",
+            context: ContextState::default(),
+            transfer_cycles: snapshot_transfer_cycles(),
+        }
+    }
+
+    #[test]
+    fn validates_a_continuous_chain_and_rejects_breaks() {
+        let mut ledger = ReconfigLedger::new();
+        ledger.record(event(1.0, SubstrateId::Q16_16, SubstrateId::Softfloat));
+        ledger.record(event(4.0, SubstrateId::Softfloat, SubstrateId::Q16_16));
+        assert!(ledger.validate(SubstrateId::Q16_16).is_ok());
+        assert_eq!(ledger.total_switches(), 2);
+        assert_eq!(ledger.transfer_cycles(), 2 * snapshot_transfer_cycles());
+
+        // Wrong starting substrate.
+        assert!(ledger.validate(SubstrateId::F64).is_err());
+
+        // Chain break.
+        ledger.record(event(5.0, SubstrateId::F32, SubstrateId::F64));
+        assert!(ledger.validate(SubstrateId::Q16_16).is_err());
+    }
+
+    #[test]
+    fn capacity_overflow_counts_instead_of_reallocating() {
+        let mut ledger = ReconfigLedger::new();
+        let cap = ledger.events.capacity();
+        for i in 0..(cap + 3) {
+            let (from, to) = if i % 2 == 0 {
+                (SubstrateId::Q16_16, SubstrateId::Softfloat)
+            } else {
+                (SubstrateId::Softfloat, SubstrateId::Q16_16)
+            };
+            ledger.record(event(i as f64, from, to));
+        }
+        assert_eq!(ledger.events().len(), cap);
+        assert_eq!(ledger.dropped(), 3);
+        assert_eq!(ledger.total_switches(), cap as u64 + 3);
+        assert_eq!(ledger.events.capacity(), cap, "no reallocation");
+    }
+}

@@ -1,0 +1,81 @@
+//! Context-aware runtime substrate reconfiguration — the paper's
+//! *adaptive* FPGA thesis applied to the arithmetic datapath.
+//!
+//! Chappell et al. built the boresight filter on an FPGA precisely so
+//! the datapath could be *reconfigured at runtime*: swap in a cheaper
+//! number system when conditions are benign, swap precision back in
+//! when they are not, and bank the saved cycles (or energy) the rest
+//! of the time. The repo's frontier benchmark measures exactly that
+//! trade — per-substrate accuracy vs modelled Sabre cycles — but until
+//! this module the substrate was frozen when the session was built.
+//!
+//! [`AdaptiveBackend`] closes the loop. It is an ordinary
+//! [`crate::session::FusionBackend`] (usable from
+//! [`crate::session::FusionSession`], [`crate::spec::ScenarioSuite`]
+//! via [`crate::spec::Substrate::Adaptive`], and per-slot in
+//! [`crate::fleet::Fleet::admit_adaptive`]) that hot-swaps the
+//! arithmetic substrate of the running 5-state IEKF mid-session:
+//!
+//! * [`snapshot`] — the substrate-agnostic state transfer:
+//!   [`FilterSnapshot`] / [`EstimatorSnapshot`] export the full filter
+//!   state (state vector, packed-symmetric covariance, gate and
+//!   iteration counters, IMU front-end state, monitor state) through
+//!   `f64` and import it into any other [`crate::arith::Arith`]
+//!   context, with a documented, tested conversion bound;
+//! * [`context`] — [`ContextMonitor`] folds the signals the system
+//!   already produces (innovation-gate exceed rate, Q-format
+//!   saturation counters, monitor retunes, link-fault gaps in the ACC
+//!   stream) into a small [`ContextState`], allocation-free;
+//! * [`policy`] — the pluggable [`ReconfigPolicy`]:
+//!   [`HysteresisPolicy`] (threshold + hold-off, the default),
+//!   [`FrontierPolicy`] (driven by measured
+//!   `bench_baselines/BENCH_frontier.json` points, picks the cheapest
+//!   substrate meeting an RMS target) and [`PinnedPolicy`] (never
+//!   fires — the bit-identity reference);
+//! * [`ledger`] — [`ReconfigLedger`]: when, why and at what cost every
+//!   switch happened, including the modelled snapshot-transfer cycles.
+//!
+//! # Conversion bounds
+//!
+//! Export always goes through `f64` (every substrate's
+//! [`crate::arith::Arith::to_f64`] is exact for the values it can
+//! hold), so one hop `A -> f64 -> B` costs only B's quantization:
+//!
+//! | target      | absolute round-trip error for magnitude `m`         |
+//! |-------------|-----------------------------------------------------|
+//! | `f64`       | 0 (identity)                                        |
+//! | `softfloat` | 0 (same binary64 format, bit-identical by test)     |
+//! | `f32`       | `m * 2^-24` (half-ulp, + `2^-149` below normal)     |
+//! | `q16.16`    | `2^-17` (half LSB) while `|x| < 2^15`, saturating   |
+//! | `q8.24`     | `2^-25` (half LSB) while `|x| < 2^7`, saturating    |
+//!
+//! [`SubstrateId::conversion_bound`] is that table as code; the
+//! snapshot proptests pin it for every substrate pair. On import the
+//! covariance diagonal is floored at the target's smallest positive
+//! representable value ([`positive_quantum`]) so a healthy covariance
+//! stays positive-definite after quantization.
+//!
+//! # Pinned properties
+//!
+//! * A session whose policy never fires is **bit-identical** to the
+//!   static session over the same substrate: the wrapper feeds the
+//!   inner estimator the exact event sequence and reads context only
+//!   from `f64`-side records, never through the substrate.
+//! * Steady state between switches is allocation-free (alloc_audit);
+//!   a switch itself may allocate (it builds the successor estimator).
+//! * Every switch appears in the ledger, with chain continuity
+//!   (`from` of each event equals `to` of the previous one).
+
+pub mod backend;
+pub mod context;
+pub mod ledger;
+pub mod policy;
+pub mod snapshot;
+
+pub use backend::AdaptiveBackend;
+pub use context::{ContextConfig, ContextMonitor, ContextState};
+pub use ledger::{ReconfigEvent, ReconfigLedger, TRANSFER_CYCLES_PER_WORD};
+pub use policy::{
+    FrontierPoint, FrontierPolicy, HysteresisPolicy, PinnedPolicy, ReconfigPolicy, SubstrateId,
+};
+pub use snapshot::{positive_quantum, EstimatorSnapshot, FilterSnapshot, ImuPrepSnapshot};

@@ -1,0 +1,190 @@
+//! Substrate-agnostic filter state transfer.
+//!
+//! A snapshot is the filter's full algorithmic state expressed in
+//! `f64` — the one format every [`Arith`] converts to exactly for the
+//! values it can represent. Export reads each unique quantity once
+//! through [`Arith::to_f64`]; import writes each unique quantity once
+//! through [`Arith::num`] and mirrors the covariance, preserving the
+//! filter's exact-bitwise-symmetry invariant on `P`. Neither
+//! conversion is a counted operation, so a snapshot never perturbs the
+//! substrate's op or cycle ledger (the supervisor charges a separate,
+//! documented transfer cost per switch — see
+//! [`crate::adaptive::ledger`]).
+
+use crate::arith::Arith;
+use crate::model::STATE_DIM;
+use crate::monitor::ResidualMonitor;
+use mathx::Vec3;
+use sensors::DmuSample;
+
+/// Unique entries of the symmetric `STATE_DIM x STATE_DIM` covariance
+/// (upper triangle, row-major).
+pub const PACKED_COV: usize = STATE_DIM * (STATE_DIM + 1) / 2;
+
+/// The filter's algorithmic state, independent of the substrate it
+/// was running on: state vector, packed-symmetric covariance, the
+/// gate/iteration counters and the retunable measurement sigma.
+///
+/// The per-phase op/cycle attribution ([`crate::arith::PhaseLedger`])
+/// rides along so accounting survives a substrate swap; the substrate
+/// op ledger itself stays with the outgoing context (the supervisor
+/// folds it into its cumulative totals instead).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct FilterSnapshot {
+    /// State vector (misalignment angles + ACC biases), `f64`.
+    pub x: [f64; STATE_DIM],
+    /// Upper triangle of the covariance, row-major, `f64`.
+    pub p_upper: [f64; PACKED_COV],
+    /// Accepted measurement updates so far.
+    pub updates: u64,
+    /// Gate-rejected measurements so far.
+    pub rejected: u64,
+    /// Measurement noise 1-sigma currently in force (retunes carry
+    /// over the swap).
+    pub measurement_sigma: f64,
+    /// Per-phase op/cycle attribution accumulated so far.
+    pub phases: crate::arith::PhaseLedger,
+}
+
+impl FilterSnapshot {
+    /// Floors the covariance diagonal — angle states at
+    /// `angle_floor`, bias states at `bias_floor` (both variances,
+    /// not sigmas). Adds a non-negative diagonal matrix, so a
+    /// positive-(semi)definite covariance stays that way.
+    ///
+    /// The supervisor applies this when a stress switch carries a
+    /// covariance the gate evidence says is lying — collapsed to a
+    /// coarse substrate's quantization floor while the estimate is
+    /// still far off. Importing such a covariance verbatim freezes
+    /// the incoming substrate: the gate keeps rejecting, so the
+    /// better arithmetic never gets to correct the state.
+    pub fn recondition_diagonal(&mut self, angle_floor: f64, bias_floor: f64) {
+        let mut k = 0;
+        for i in 0..STATE_DIM {
+            let floor = if i < 3 { angle_floor } else { bias_floor };
+            self.p_upper[k] = self.p_upper[k].max(floor);
+            // Skip the rest of row i (off-diagonals stay put).
+            k += STATE_DIM - i;
+        }
+    }
+}
+
+/// The IMU front end's state ([`crate::estimator::ImuPrep`]): the
+/// sample history lives in `f64` sensor types already; the smoothed
+/// force slope and differentiated angular acceleration are the only
+/// in-substrate values and cross through `f64`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ImuPrepSnapshot {
+    /// Most recent DMU sample (zero-order-hold source).
+    pub last_dmu: Option<DmuSample>,
+    /// The DMU sample before it (slope differentiation).
+    pub prev_dmu: Option<DmuSample>,
+    /// Smoothed d(f_imu)/dt, m/s^3.
+    pub f_slope: [f64; 3],
+    /// Previous gyro sample and its timestamp (lever-arm term).
+    pub prev_gyro: Option<(f64, Vec3)>,
+    /// Differentiated angular acceleration, rad/s^2.
+    pub angular_accel: [f64; 3],
+}
+
+/// Everything a running estimator is, minus the substrate: the filter
+/// snapshot, the IMU front end, the residual monitor (plain `f64`
+/// state — cloned, so the retune history and hold-off survive the
+/// swap) and the stream bookkeeping.
+#[derive(Clone, Debug)]
+pub struct EstimatorSnapshot {
+    /// The filter core.
+    pub filter: FilterSnapshot,
+    /// The IMU front end.
+    pub prep: ImuPrepSnapshot,
+    /// The residual monitor, verbatim (`None` if tuning is disabled).
+    pub monitor: Option<ResidualMonitor>,
+    /// Timestamp of the last accepted ACC sample, seconds.
+    pub last_update_time: f64,
+    /// ACC samples dropped before the first DMU sample.
+    pub dropped_no_imu: u64,
+}
+
+/// The smallest `f64` that converts to a strictly positive value in
+/// `a` — the substrate's positive quantum.
+///
+/// Found by halving from 1.0 until the substrate rounds to zero (or
+/// the probe leaves any realistic representable range at `2^-200`).
+/// Conversions are not counted operations, so probing is free on the
+/// op and cycle ledgers. Import floors the covariance diagonal here,
+/// which keeps a healthy covariance positive-definite through
+/// quantization: a diagonal entry may round to zero on a coarse
+/// substrate while its row survives, and Cholesky would then reject a
+/// matrix the `f64` filter considered fine.
+pub fn positive_quantum<A: Arith>(a: &mut A) -> f64 {
+    let mut quantum = 1.0f64;
+    for _ in 0..200 {
+        let half = quantum * 0.5;
+        let probe = a.num(half);
+        if a.to_f64(probe) > 0.0 {
+            quantum = half;
+        } else {
+            break;
+        }
+    }
+    quantum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::{F32Arith, F64Arith, QArith, SoftArith};
+
+    #[test]
+    fn positive_quantum_matches_each_substrate() {
+        // Native f64 and emulated binary64 both keep halving to the
+        // probe floor; fixed point stops at its LSB scale (from_f64
+        // rounds to nearest, so 2^-(FRAC+1) still maps to raw 1).
+        assert!(positive_quantum(&mut F64Arith::default()) <= 2f64.powi(-190));
+        assert!(positive_quantum(&mut SoftArith::default()) <= 2f64.powi(-190));
+        assert_eq!(
+            positive_quantum(&mut QArith::<16>::default()),
+            2f64.powi(-17)
+        );
+        assert_eq!(
+            positive_quantum(&mut QArith::<24>::default()),
+            2f64.powi(-25)
+        );
+        let q32 = positive_quantum(&mut F32Arith::default());
+        assert!(q32 > 0.0 && q32 < f32::MIN_POSITIVE as f64);
+    }
+
+    #[test]
+    fn recondition_floors_only_the_diagonal() {
+        let mut snapshot = FilterSnapshot {
+            x: [0.0; STATE_DIM],
+            p_upper: [1e-9; PACKED_COV],
+            updates: 0,
+            rejected: 0,
+            measurement_sigma: 0.02,
+            phases: crate::arith::PhaseLedger::default(),
+        };
+        snapshot.recondition_diagonal(4e-3, 6e-4);
+        // Diagonal entries sit at packed offsets 0, 5, 9, 12, 14 for
+        // STATE_DIM == 5 (row-major upper triangle).
+        for (k, value) in snapshot.p_upper.iter().enumerate() {
+            match k {
+                0 | 5 | 9 => assert_eq!(*value, 4e-3, "angle diagonal at {k}"),
+                12 | 14 => assert_eq!(*value, 6e-4, "bias diagonal at {k}"),
+                _ => assert_eq!(*value, 1e-9, "off-diagonal at {k}"),
+            }
+        }
+        // A diagonal already above the floor is untouched.
+        snapshot.p_upper[0] = 0.5;
+        snapshot.recondition_diagonal(4e-3, 6e-4);
+        assert_eq!(snapshot.p_upper[0], 0.5);
+    }
+
+    #[test]
+    fn quantum_probe_leaves_ledgers_untouched() {
+        let mut a = QArith::<16>::default();
+        positive_quantum(&mut a);
+        assert_eq!(a.counts().total(), 0);
+        assert_eq!(a.cycles(), 0);
+    }
+}

@@ -17,9 +17,8 @@
 //! * emulated IEEE binary64 ([`SoftArith`]) — the paper's
 //!   configuration, with exact operation counts and Sabre cycle costs,
 //! * the saturating fixed-point family ([`QArith`]) — the proposed
-//!   enhancement at any Q-format split (Q16.16 via the [`FixedArith`]
-//!   alias, Q8.24, Q4.28, …), never wrapping, every saturation event
-//!   counted,
+//!   enhancement at any Q-format split (Q16.16, Q8.24, Q4.28, …),
+//!   never wrapping, every saturation event counted,
 //! * `L` lockstep lanes of any of the above ([`LaneArith`]) — the
 //!   software mirror of an FPGA's replicated parallel datapath,
 //!   stepping `L` independent filters per instruction stream (see
@@ -306,6 +305,13 @@ pub trait Arith: Send {
 
     /// Clears the operation ledger (and any cycle model behind it).
     fn reset_counts(&mut self) {}
+
+    /// Clears *only* the range-saturation tally, leaving the op and
+    /// cycle ledgers intact. Windowed saturation-rate consumers (the
+    /// adaptive context monitor, fleet summaries) previously had no
+    /// way to zero the tally without also destroying the cycle model;
+    /// a no-op on substrates that cannot saturate.
+    fn reset_saturation_counts(&mut self) {}
 }
 
 /// Native double precision, generic over whether the [`OpCounts`]
@@ -706,7 +712,7 @@ impl Arith for SoftArith {
 /// datapath, only the rounding shift constant differs.
 ///
 /// Trading integer for fractional bits moves the substrate along the
-/// accuracy-vs-range frontier: [`FixedArith`] (Q16.16) is the balanced
+/// accuracy-vs-range frontier: `QArith<16>` (Q16.16) is the balanced
 /// paper-era split, `QArith<24>` (Q8.24) buys 8 more fraction bits at
 /// a ±128 range, `QArith<28>` (Q4.28) resolves 3.7 nano-units but
 /// saturates beyond ±8 — the saturation ledger quantifies exactly what
@@ -717,8 +723,15 @@ pub struct QArith<const FRAC: u32> {
 }
 
 /// Q16.16 saturating fixed point — the balanced split the paper's
-/// "obvious enhancement" proposes, and the alias every pre-existing
-/// pin runs through.
+/// "obvious enhancement" proposes.
+///
+/// Deprecated: the alias predates the [`QArith`] format family and
+/// hides the fraction split that now matters everywhere (frontier
+/// sweeps, adaptive reconfiguration). Name the split explicitly.
+#[deprecated(
+    since = "0.8.0",
+    note = "use QArith<16> — the alias hides the Q-format split"
+)]
 pub type FixedArith = QArith<16>;
 
 impl<const FRAC: u32> QArith<FRAC> {
@@ -880,6 +893,10 @@ impl<const FRAC: u32> Arith for QArith<FRAC> {
     fn reset_counts(&mut self) {
         self.counts = OpCounts::default();
     }
+
+    fn reset_saturation_counts(&mut self) {
+        self.counts.saturations = 0;
+    }
 }
 
 /// A multi-lane batched substrate: `L` independent values of an inner
@@ -1038,6 +1055,10 @@ impl<A: Arith, const L: usize> Arith for LaneArith<A, L> {
 
     fn reset_counts(&mut self) {
         self.inner.reset_counts();
+    }
+
+    fn reset_saturation_counts(&mut self) {
+        self.inner.reset_saturation_counts();
     }
 }
 
@@ -1356,7 +1377,7 @@ mod tests {
     #[test]
     fn fixed_point_filter_converges_with_degraded_accuracy() {
         let truth = EulerAngles::from_degrees(1.5, -1.0, 2.0);
-        let fixed = simulate(FixedArith::default(), 10_000, 0.007, 4);
+        let fixed = simulate(QArith::<16>::default(), 10_000, 0.007, 4);
         let err_fixed = rad_to_deg(fixed.angles().error_to(&truth).max_abs());
         let native = simulate(F64Arith::default(), 10_000, 0.007, 4);
         let err_native = rad_to_deg(native.angles().error_to(&truth).max_abs());
@@ -1372,7 +1393,7 @@ mod tests {
 
     #[test]
     fn fixed_point_saturation_is_counted_not_wrapped() {
-        let mut a = FixedArith::default();
+        let mut a = QArith::<16>::default();
         let big = a.num(30000.0);
         let sum = a.add(big, big);
         // Saturates at the register maximum instead of wrapping
@@ -1388,6 +1409,12 @@ mod tests {
         assert_eq!(a.counts().mul, 1);
         assert_eq!(a.counts().div, 1);
         assert!(a.cycles() > 0);
+        // The explicit saturation reset zeroes only the tally,
+        // leaving the op ledger (and the cycle model) intact.
+        a.reset_saturation_counts();
+        assert_eq!(a.saturations(), 0);
+        assert_eq!(a.counts().add, 1);
+        assert!(a.cycles() > 0);
         a.reset_counts();
         assert_eq!(a.counts().total(), 0);
     }
@@ -1396,7 +1423,7 @@ mod tests {
     fn widened_ops_are_consistent_across_substrates() {
         let mut f = F64Arith::default();
         let mut s = SoftArith::default();
-        let mut q = FixedArith::default();
+        let mut q = QArith::<16>::default();
         for x in [-2.5, -0.25, 0.5, 3.75] {
             let (vf, vs, vq) = (f.num(x), s.num(x), q.num(x));
             let xf = f.neg(vf);

@@ -259,6 +259,32 @@ impl<A: Arith> GenericBoresightEstimator<A> {
             updates: self.filter.update_count(),
         }
     }
+
+    /// Exports the estimator's full algorithmic state through `f64`
+    /// (filter core, IMU front end, residual monitor, stream
+    /// bookkeeping) — the adaptive supervisor's transfer format
+    /// ([`crate::adaptive`]).
+    pub fn export_snapshot(&self) -> crate::adaptive::EstimatorSnapshot {
+        crate::adaptive::EstimatorSnapshot {
+            filter: self.filter.export_snapshot(),
+            prep: self.prep.snapshot(self.filter.arith()),
+            monitor: self.monitor.clone(),
+            last_update_time: self.last_update_time,
+            dropped_no_imu: self.dropped_no_imu,
+        }
+    }
+
+    /// Imports a snapshot, replacing this estimator's state (the
+    /// substrate keeps its own op/cycle ledger). The residual monitor
+    /// transfers verbatim, so the retune history, window and hold-off
+    /// continue across a substrate swap.
+    pub fn import_snapshot(&mut self, snapshot: &crate::adaptive::EstimatorSnapshot) {
+        self.filter.import_snapshot(&snapshot.filter);
+        self.prep.restore(self.filter.arith_mut(), &snapshot.prep);
+        self.monitor = snapshot.monitor.clone();
+        self.last_update_time = snapshot.last_update_time;
+        self.dropped_no_imu = snapshot.dropped_no_imu;
+    }
 }
 
 impl<A: Arith> ImuPrep<A> {
@@ -277,6 +303,45 @@ impl<A: Arith> ImuPrep<A> {
     /// The most recent DMU sample, if any has arrived.
     pub fn last_dmu(&self) -> Option<&DmuSample> {
         self.last_dmu.as_ref()
+    }
+
+    /// Exports the front end's state through `f64`. The sample history
+    /// is `f64` sensor data already; only the smoothed force slope and
+    /// the differentiated angular acceleration live in the substrate.
+    pub fn snapshot(&self, a: &A) -> crate::adaptive::ImuPrepSnapshot {
+        crate::adaptive::ImuPrepSnapshot {
+            last_dmu: self.last_dmu,
+            prev_dmu: self.prev_dmu,
+            f_slope: [
+                a.to_f64(self.f_slope[0]),
+                a.to_f64(self.f_slope[1]),
+                a.to_f64(self.f_slope[2]),
+            ],
+            prev_gyro: self.prev_gyro,
+            angular_accel: [
+                a.to_f64(self.angular_accel[0]),
+                a.to_f64(self.angular_accel[1]),
+                a.to_f64(self.angular_accel[2]),
+            ],
+        }
+    }
+
+    /// Restores the front end from a snapshot, converting the
+    /// in-substrate values through the target context.
+    pub fn restore(&mut self, a: &mut A, snapshot: &crate::adaptive::ImuPrepSnapshot) {
+        self.last_dmu = snapshot.last_dmu;
+        self.prev_dmu = snapshot.prev_dmu;
+        self.f_slope = [
+            a.num(snapshot.f_slope[0]),
+            a.num(snapshot.f_slope[1]),
+            a.num(snapshot.f_slope[2]),
+        ];
+        self.prev_gyro = snapshot.prev_gyro;
+        self.angular_accel = [
+            a.num(snapshot.angular_accel[0]),
+            a.num(snapshot.angular_accel[1]),
+            a.num(snapshot.angular_accel[2]),
+        ];
     }
 
     /// Ingests a DMU sample: differentiates the gyro for the lever-arm
@@ -514,10 +579,10 @@ mod tests {
 
     #[test]
     fn generic_estimator_runs_the_full_path_in_fixed_point() {
-        use crate::arith::FixedArith;
+        use crate::arith::QArith;
         let truth = EulerAngles::from_degrees(2.0, -1.0, 1.5);
         let c_sb = truth.dcm().transpose();
-        let mut est: GenericBoresightEstimator<FixedArith> =
+        let mut est: GenericBoresightEstimator<QArith<16>> =
             GenericBoresightEstimator::new(EstimatorConfig::paper_static());
         let g = STANDARD_GRAVITY;
         for i in 0..4000 {

@@ -129,12 +129,12 @@ impl KalmanUpdate {
 /// # Examples
 ///
 /// ```
-/// use boresight::arith::FixedArith;
+/// use boresight::arith::QArith;
 /// use boresight::filter::{FilterConfig, GenericBoresightFilter};
 /// use mathx::{Vec2, Vec3, STANDARD_GRAVITY};
 ///
 /// // The identical 5-state IEKF, in Q16.16 fixed point.
-/// let mut kf: GenericBoresightFilter<FixedArith> =
+/// let mut kf: GenericBoresightFilter<QArith<16>> =
 ///     GenericBoresightFilter::new(FilterConfig::default());
 /// kf.predict(0.01);
 /// let f_b = Vec3::new([0.0, 0.0, STANDARD_GRAVITY]);
@@ -547,7 +547,72 @@ impl<A: Arith> GenericBoresightFilter<A> {
         let mut a = self.arith.clone();
         let asym = smallmat::asymmetry(&mut a, &self.p);
         let tol = a.num(1e-9);
-        a.lt(asym, tol) && smallmat::cholesky_ok(&mut a, &self.p)
+        // "Not above tolerance" rather than "below": on a fixed-point
+        // substrate the tolerance itself quantizes to zero, and the
+        // exactly-mirrored covariance (asymmetry exactly zero) must
+        // still count as symmetric.
+        !a.lt(tol, asym) && smallmat::cholesky_ok(&mut a, &self.p)
+    }
+
+    /// Exports the filter's algorithmic state through `f64` — the
+    /// substrate-agnostic half of the adaptive supervisor's state
+    /// transfer ([`crate::adaptive`]). Reads each unique covariance
+    /// entry once (conversions are uncounted, so the op and cycle
+    /// ledgers are untouched).
+    pub fn export_snapshot(&self) -> crate::adaptive::FilterSnapshot {
+        let mut x = [0.0; STATE_DIM];
+        for (out, value) in x.iter_mut().zip(self.x.iter()) {
+            *out = self.arith.to_f64(*value);
+        }
+        let mut p_upper = [0.0; crate::adaptive::snapshot::PACKED_COV];
+        let mut k = 0;
+        for i in 0..STATE_DIM {
+            for j in i..STATE_DIM {
+                p_upper[k] = self.arith.to_f64(self.p[i][j]);
+                k += 1;
+            }
+        }
+        crate::adaptive::FilterSnapshot {
+            x,
+            p_upper,
+            updates: self.updates,
+            rejected: self.rejected,
+            measurement_sigma: self.config.measurement_sigma,
+            phases: self.phases,
+        }
+    }
+
+    /// Imports a snapshot into this filter's substrate, replacing its
+    /// state. Each unique covariance entry converts once and is
+    /// mirrored, preserving the exact-bitwise-symmetry invariant on
+    /// `P`; diagonal entries are floored at the substrate's
+    /// [`crate::adaptive::positive_quantum`] so a healthy covariance
+    /// stays positive-definite through quantization. The accepted /
+    /// rejected counters, the retuned measurement sigma and the
+    /// per-phase attribution carry over; the substrate's own op
+    /// ledger is left untouched.
+    pub fn import_snapshot(&mut self, snapshot: &crate::adaptive::FilterSnapshot) {
+        let quantum = crate::adaptive::positive_quantum(&mut self.arith);
+        for (slot, value) in self.x.iter_mut().zip(snapshot.x.iter()) {
+            *slot = self.arith.num(*value);
+        }
+        let mut k = 0;
+        for i in 0..STATE_DIM {
+            for j in i..STATE_DIM {
+                let mut value = snapshot.p_upper[k];
+                if i == j {
+                    value = value.max(quantum);
+                }
+                let converted = self.arith.num(value);
+                self.p[i][j] = converted;
+                self.p[j][i] = converted;
+                k += 1;
+            }
+        }
+        self.updates = snapshot.updates;
+        self.rejected = snapshot.rejected;
+        self.config.measurement_sigma = snapshot.measurement_sigma.max(1e-6);
+        self.phases = snapshot.phases;
     }
 }
 
@@ -586,7 +651,7 @@ pub(crate) fn model_at<A: Arith>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::arith::{FixedArith, SoftArith};
+    use crate::arith::{QArith, SoftArith};
     use mathx::rng::seeded_rng;
     use mathx::{deg_to_rad, rad_to_deg, GaussianSampler, STANDARD_GRAVITY};
 
@@ -695,7 +760,7 @@ mod tests {
         let truth = EulerAngles::from_degrees(2.0, -1.5, 3.0);
         let cfg = FilterConfig::paper_static();
         let kf = run_filter_over(
-            FixedArith::default(),
+            QArith::<16>::default(),
             truth,
             Vec2::zeros(),
             rich_forces(5_000),

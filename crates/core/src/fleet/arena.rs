@@ -408,6 +408,8 @@ impl<A: LaneSpec<L> + Clone + Default, const L: usize> Shard<A, L> {
             // attributed per vehicle.
             saturations: 0,
             stream: slot.source.stream_stats(),
+            // Lane vehicles run one static substrate for life.
+            substrate_switches: 0,
         }
     }
 

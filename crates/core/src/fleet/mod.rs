@@ -46,11 +46,13 @@ pub use arena::VehicleStats;
 pub use ingress::IngressStats;
 pub use policy::{AdmitError, EvictReason, EvictionPolicy};
 
+use crate::adaptive::{AdaptiveBackend, ReconfigLedger, ReconfigPolicy, SubstrateId};
 use crate::arith::LaneSpec;
 use crate::estimator::MisalignmentEstimate;
 use crate::exec;
 use crate::filter::FilterConfig;
 use crate::report::VehicleSummary;
+use crate::session::{FusionBackend, FusionSession};
 use crate::spec::ScenarioSpec;
 use arena::Shard;
 use std::collections::HashMap;
@@ -130,8 +132,26 @@ pub struct FleetStats {
     pub dropped_no_imu: u64,
     /// Vehicles evicted over the fleet's lifetime (any reason).
     pub evicted: usize,
+    /// Range-saturation events across resident adaptive vehicles
+    /// (lane vehicles share one substrate context and cannot
+    /// attribute saturations per vehicle).
+    pub saturations: u64,
+    /// Substrate reconfigurations across resident adaptive vehicles.
+    pub substrate_switches: u64,
     /// Merged ingress backpressure counters.
     pub ingress: IngressStats,
+}
+
+/// One vehicle of the adaptive sideband: a full scalar
+/// [`FusionSession`] under an [`AdaptiveBackend`], advanced on the
+/// same epoch clock as the lane shards but outside the lane arenas
+/// (a reconfiguring substrate cannot share a lockstep lane group).
+struct AdaptiveVehicle {
+    id: VehicleId,
+    scenario: String,
+    session: FusionSession,
+    duration_s: f64,
+    clock: f64,
 }
 
 /// The fleet session server: vehicle directory, shard set and epoch
@@ -142,6 +162,12 @@ pub struct Fleet<A: LaneSpec<L> + Clone + Default, const L: usize = 8> {
     /// vehicle id → (shard, slot); slots move on compaction, the
     /// directory is the source of truth.
     directory: HashMap<u64, (u32, u32)>,
+    /// The adaptive sideband: per-vehicle scalar sessions whose
+    /// substrate reconfigures mid-run.
+    adaptive: Vec<AdaptiveVehicle>,
+    /// vehicle id → index into `adaptive` (indices move on
+    /// swap-remove retirement).
+    adaptive_index: HashMap<u64, usize>,
     next_id: u64,
     epoch: u64,
     completed: Vec<EvictedVehicle>,
@@ -160,6 +186,8 @@ impl<A: LaneSpec<L> + Clone + Default, const L: usize> Fleet<A, L> {
                 .collect(),
             config,
             directory: HashMap::new(),
+            adaptive: Vec::new(),
+            adaptive_index: HashMap::new(),
             next_id: 0,
             epoch: 0,
             completed: Vec::new(),
@@ -206,9 +234,37 @@ impl<A: LaneSpec<L> + Clone + Default, const L: usize> Fleet<A, L> {
         Ok(id)
     }
 
+    /// Admits a vehicle on the adaptive sideband: a scalar session
+    /// whose [`AdaptiveBackend`] starts on `initial` and reconfigures
+    /// under `policy`, sharing the fleet's epoch clock but not the
+    /// lockstep lane groups (so no lane-compatibility constraint
+    /// applies — the sideband is per-vehicle).
+    pub fn admit_adaptive(
+        &mut self,
+        spec: &ScenarioSpec,
+        initial: SubstrateId,
+        policy: Box<dyn ReconfigPolicy>,
+    ) -> VehicleId {
+        let id = VehicleId(self.next_id);
+        self.next_id += 1;
+        let session = spec.into_adaptive_session(spec.lower_trajectory(), initial, policy);
+        self.adaptive_index.insert(id.0, self.adaptive.len());
+        self.adaptive.push(AdaptiveVehicle {
+            id,
+            scenario: spec.name.clone(),
+            session,
+            duration_s: spec.duration_s,
+            clock: 0.0,
+        });
+        id
+    }
+
     /// Evicts a vehicle now (reason [`EvictReason::Requested`]),
     /// returning its final summary. `None` for unknown ids.
     pub fn evict(&mut self, id: VehicleId) -> Option<VehicleSummary> {
+        if let Some(&idx) = self.adaptive_index.get(&id.0) {
+            return Some(self.retire_adaptive(idx, EvictReason::Requested));
+        }
         let (shard, slot) = *self.directory.get(&id.0)?;
         self.shards[shard as usize]
             .get_mut()
@@ -242,9 +298,56 @@ impl<A: LaneSpec<L> + Clone + Default, const L: usize> Fleet<A, L> {
                     shards[i].lock().expect("shard lock").tick();
                 });
             }
+            // The adaptive sideband advances on the same clock,
+            // inline: a handful of reconfiguring vehicles per fleet,
+            // each a plain scalar session.
+            let tick_dt = self.config.tick_dt;
+            for vehicle in &mut self.adaptive {
+                vehicle.session.run_for(tick_dt);
+                vehicle.clock += tick_dt;
+            }
             self.epoch += 1;
             self.drain_evictions();
+            self.drain_adaptive_completed();
         }
+    }
+
+    /// Retires every sideband vehicle whose stream has run out.
+    fn drain_adaptive_completed(&mut self) {
+        let mut idx = 0;
+        while idx < self.adaptive.len() {
+            if self.adaptive[idx].clock >= self.adaptive[idx].duration_s {
+                self.retire_adaptive(idx, EvictReason::Completed);
+            } else {
+                idx += 1;
+            }
+        }
+    }
+
+    /// Removes sideband vehicle `idx`, logs it to the eviction log and
+    /// returns its final summary (swap-remove; the moved vehicle's
+    /// directory entry is patched).
+    fn retire_adaptive(&mut self, idx: usize, reason: EvictReason) -> VehicleSummary {
+        let vehicle = self.adaptive.swap_remove(idx);
+        self.adaptive_index.remove(&vehicle.id.0);
+        if let Some(moved) = self.adaptive.get(idx) {
+            self.adaptive_index.insert(moved.id.0, idx);
+        }
+        let session = vehicle.session;
+        let (switches, saturations) = session
+            .backend_as::<AdaptiveBackend>()
+            .map_or((0, 0), |b| (b.switch_count(), b.total_saturations()));
+        let stream = session.stream_stats();
+        let result = session.into_result();
+        let summary = VehicleSummary::from_result(&result, saturations, stream)
+            .with_substrate_switches(switches);
+        self.completed.push(EvictedVehicle {
+            id: vehicle.id,
+            scenario: vehicle.scenario,
+            reason,
+            summary: summary.clone(),
+        });
+        summary
     }
 
     /// Applies every shard's queued evictions (completion, divergence,
@@ -276,14 +379,42 @@ impl<A: LaneSpec<L> + Clone + Default, const L: usize> Fleet<A, L> {
         }
     }
 
-    /// Vehicles currently resident.
+    /// Vehicles currently resident (lane arenas plus the adaptive
+    /// sideband).
     pub fn len(&self) -> usize {
-        self.directory.len()
+        self.directory.len() + self.adaptive.len()
     }
 
     /// `true` when no vehicles are resident.
     pub fn is_empty(&self) -> bool {
-        self.directory.is_empty()
+        self.directory.is_empty() && self.adaptive.is_empty()
+    }
+
+    /// Sideband vehicles currently resident.
+    pub fn adaptive_len(&self) -> usize {
+        self.adaptive.len()
+    }
+
+    fn adaptive_vehicle(&self, id: VehicleId) -> Option<&AdaptiveVehicle> {
+        self.adaptive_index.get(&id.0).map(|&i| &self.adaptive[i])
+    }
+
+    /// A resident sideband vehicle's reconfiguration ledger.
+    pub fn adaptive_ledger(&self, id: VehicleId) -> Option<&ReconfigLedger> {
+        self.adaptive_vehicle(id).and_then(|v| {
+            v.session
+                .backend_as::<AdaptiveBackend>()
+                .map(|b| b.ledger())
+        })
+    }
+
+    /// A resident sideband vehicle's currently active substrate.
+    pub fn adaptive_substrate(&self, id: VehicleId) -> Option<SubstrateId> {
+        self.adaptive_vehicle(id).and_then(|v| {
+            v.session
+                .backend_as::<AdaptiveBackend>()
+                .map(|b| b.active_substrate())
+        })
     }
 
     /// Epochs run so far.
@@ -316,6 +447,9 @@ impl<A: LaneSpec<L> + Clone + Default, const L: usize> Fleet<A, L> {
 
     /// A resident vehicle's current estimate with confidence.
     pub fn estimate(&self, id: VehicleId) -> Option<MisalignmentEstimate> {
+        if let Some(vehicle) = self.adaptive_vehicle(id) {
+            return Some(vehicle.session.estimate());
+        }
         self.with_slot(id, |shard, slot| shard.estimate_of(slot))
     }
 
@@ -343,18 +477,23 @@ impl<A: LaneSpec<L> + Clone + Default, const L: usize> Fleet<A, L> {
     /// A resident vehicle's local stream time, seconds (stalls under
     /// ingress backpressure).
     pub fn local_time(&self, id: VehicleId) -> Option<f64> {
+        if let Some(vehicle) = self.adaptive_vehicle(id) {
+            return Some(vehicle.clock);
+        }
         self.with_slot(id, |shard, slot| shard.local_time_of(slot))
     }
 
-    /// Every resident vehicle's id, in shard/slot order.
+    /// Every resident vehicle's id, in shard/slot order, the adaptive
+    /// sideband last.
     pub fn resident_ids(&self) -> Vec<VehicleId> {
-        let mut out = Vec::with_capacity(self.directory.len());
+        let mut out = Vec::with_capacity(self.directory.len() + self.adaptive.len());
         for shard in &self.shards {
             let shard = shard.lock().expect("shard lock");
             for slot in 0..shard.occupied() {
                 out.push(shard.id_of(slot));
             }
         }
+        out.extend(self.adaptive.iter().map(|v| v.id));
         out
     }
 
@@ -363,10 +502,11 @@ impl<A: LaneSpec<L> + Clone + Default, const L: usize> Fleet<A, L> {
         &self.completed
     }
 
-    /// Aggregate counters across shards and residents.
+    /// Aggregate counters across shards and residents (including the
+    /// adaptive sideband).
     pub fn stats(&self) -> FleetStats {
         let mut stats = FleetStats {
-            vehicles: self.directory.len(),
+            vehicles: self.directory.len() + self.adaptive.len(),
             epoch: self.epoch,
             evicted: self.completed.len(),
             ..FleetStats::default()
@@ -381,6 +521,17 @@ impl<A: LaneSpec<L> + Clone + Default, const L: usize> Fleet<A, L> {
                 &mut stats.dropped_no_imu,
             );
             stats.ingress.merge(&shard.ingress_stats());
+        }
+        for vehicle in &self.adaptive {
+            let s = vehicle.session.stats();
+            stats.events += s.events;
+            stats.updates += s.updates;
+            stats.exceeded += s.exceeded;
+            stats.saturations += s.saturations;
+            if let Some(backend) = vehicle.session.backend_as::<AdaptiveBackend>() {
+                stats.retunes += backend.retunes().len() as u64;
+                stats.substrate_switches += backend.switch_count();
+            }
         }
         stats
     }

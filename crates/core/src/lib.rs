@@ -126,6 +126,7 @@
 //! [`spec::ScenarioSuite::run_parallel`] — sessions are `Send` and own
 //! their trajectories, so whole cells run inside worker threads.
 
+pub mod adaptive;
 pub mod arith;
 pub mod catalog;
 pub mod estimator;
@@ -144,9 +145,15 @@ pub mod smallmat;
 pub mod spec;
 pub mod system;
 
+pub use adaptive::{
+    AdaptiveBackend, ContextMonitor, ContextState, FrontierPoint, FrontierPolicy, HysteresisPolicy,
+    PinnedPolicy, ReconfigEvent, ReconfigLedger, ReconfigPolicy, SubstrateId,
+};
+#[allow(deprecated)]
+pub use arith::FixedArith;
 pub use arith::{
-    Arith, F32Arith, F32ArithFast, F64Arith, F64ArithFast, FixedArith, LaneArith, LaneOps,
-    LaneSpec, OpCounts, PhaseCost, PhaseLedger, QArith, SoftArith,
+    Arith, F32Arith, F32ArithFast, F64Arith, F64ArithFast, LaneArith, LaneOps, LaneSpec, OpCounts,
+    PhaseCost, PhaseLedger, QArith, SoftArith,
 };
 pub use estimator::{
     BoresightEstimator, EstimatorConfig, GenericBoresightEstimator, ImuPrep, MisalignmentEstimate,

@@ -39,6 +39,10 @@ pub struct VehicleSummary {
     /// Serial-link statistics, for comms-channel runs (includes the
     /// fault-injector counters).
     pub stream: Option<StreamStats>,
+    /// Substrate reconfigurations performed mid-run (0 for every
+    /// static substrate; populated when the vehicle ran under an
+    /// [`crate::adaptive::AdaptiveBackend`]).
+    pub substrate_switches: u64,
 }
 
 impl VehicleSummary {
@@ -53,7 +57,14 @@ impl VehicleSummary {
             retune_count: result.retune_count,
             saturations,
             stream,
+            substrate_switches: 0,
         }
+    }
+
+    /// Stamps the adaptive reconfiguration count onto the summary.
+    pub fn with_substrate_switches(mut self, switches: u64) -> Self {
+        self.substrate_switches = switches;
+        self
     }
 
     /// Per-axis estimation error, degrees.

@@ -65,7 +65,7 @@
 //! assert!(session.into_result().max_error_deg() < 0.5);
 //! ```
 
-use crate::arith::{Arith, F64Arith, FixedArith, Kf3, SoftArith};
+use crate::arith::{Arith, F64Arith, Kf3, QArith, SoftArith};
 use crate::estimator::{
     BoresightEstimator, EstimatorConfig, GenericBoresightEstimator, MisalignmentEstimate,
 };
@@ -270,6 +270,15 @@ pub trait FusionBackend: Any + Send {
         }
     }
 
+    /// Substrate range-saturation events so far (fixed-point
+    /// overflow). Default 0 for backends whose arithmetic cannot
+    /// saturate; estimator backends report their substrate's counter,
+    /// so sessions and fleets surface it without poking filter
+    /// internals.
+    fn saturations(&self) -> u64 {
+        0
+    }
+
     /// Short human-readable backend name (shows up in reports).
     fn label(&self) -> &'static str;
 
@@ -304,6 +313,10 @@ impl<A: Arith + Clone + 'static> FusionBackend for GenericBoresightEstimator<A> 
 
     fn retunes(&self) -> &[Retune] {
         GenericBoresightEstimator::retunes(self)
+    }
+
+    fn saturations(&self) -> u64 {
+        self.filter().arith().saturations()
     }
 
     fn label(&self) -> &'static str {
@@ -1054,6 +1067,10 @@ pub struct SessionStats {
     pub updates: u64,
     /// Updates whose innovation exceeded its 3-sigma bound.
     pub exceeded: u64,
+    /// Substrate range-saturation events, read off the backend
+    /// ([`FusionBackend::saturations`]) — 0 for substrates that cannot
+    /// saturate.
+    pub saturations: u64,
 }
 
 impl SessionStats {
@@ -1262,9 +1279,12 @@ impl FusionSession {
         self.finished
     }
 
-    /// Aggregate stream counters.
+    /// Aggregate stream counters. The saturation counter is read off
+    /// the backend at call time, so it is always current.
     pub fn stats(&self) -> SessionStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.saturations = self.backend.saturations();
+        stats
     }
 
     /// The injected truth this session reports errors against.
@@ -1486,7 +1506,7 @@ impl SessionGroup {
         group.push(FusionSession::iekf_from_scenario(
             trajectory,
             config,
-            FixedArith::default(),
+            QArith::<16>::default(),
         ));
         group
     }
@@ -1607,7 +1627,7 @@ impl SessionGroup {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::arith::{F64Arith, FixedArith, SoftArith};
+    use crate::arith::{F64Arith, QArith, SoftArith};
     use crate::scenario::{run_static, ScenarioConfig};
     use mathx::rad_to_deg;
     use vehicle::TiltTable;
@@ -1663,7 +1683,7 @@ mod tests {
         group.push(
             FusionSession::builder()
                 .source(SyntheticSource::from_scenario(&table, &cfg))
-                .arith_backend(FixedArith::default())
+                .arith_backend(QArith::<16>::default())
                 .truth(cfg.true_misalignment)
                 .build(),
         );
@@ -1724,7 +1744,7 @@ mod tests {
             .expect("softfloat backend");
         assert!(soft.filter().arith().cycles() > 0);
         let fixed = group.sessions()[2]
-            .backend_as::<crate::estimator::GenericBoresightEstimator<FixedArith>>()
+            .backend_as::<crate::estimator::GenericBoresightEstimator<QArith<16>>>()
             .expect("fixed backend");
         assert!(fixed.filter().arith().counts().total() > 0);
     }

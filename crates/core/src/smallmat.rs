@@ -582,8 +582,8 @@ mod tests {
         assert!(inverse2_sym(&mut ar, &[[1.0, 2.0], [2.0, 1.0]]).is_none());
         // The Q16.16-critical case: innovation-scale pivots whose adj/det
         // determinant would underflow the fixed-point quantum still invert.
-        use crate::arith::FixedArith;
-        let mut q = FixedArith::default();
+        use crate::arith::QArith;
+        let mut q = QArith::<16>::default();
         let sq = [[q.num(6.0e-4), q.num(0.0)], [q.num(0.0), q.num(6.0e-4)]];
         let invq = inverse2_sym(&mut q, &sq).expect("pivot-structured solve survives Q16.16");
         assert!(q.to_f64(invq[0][0]) > 1000.0, "{}", q.to_f64(invq[0][0]));

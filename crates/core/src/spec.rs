@@ -51,7 +51,8 @@
 //! assert!(result.max_error_deg().is_finite());
 //! ```
 
-use crate::arith::{Arith, F64Arith, FixedArith, SoftArith};
+use crate::adaptive::AdaptiveBackend;
+use crate::arith::{Arith, F64Arith, QArith, SoftArith};
 use crate::estimator::{EstimatorConfig, GenericBoresightEstimator};
 use crate::exec;
 use crate::report::VehicleSummary;
@@ -290,20 +291,28 @@ pub enum Substrate {
     /// Saturating Q16.16 fixed point (the paper's proposed
     /// enhancement).
     Q16_16,
+    /// The context-aware supervisor ([`crate::adaptive::AdaptiveBackend`]):
+    /// starts on Q16.16 and hot-swaps substrates under the default
+    /// hysteresis policy, logging every switch to its reconfiguration
+    /// ledger.
+    Adaptive,
 }
 
 impl Substrate {
-    /// Every substrate, in reference-first order.
+    /// Every *static* substrate, in reference-first order. The
+    /// adaptive supervisor is not listed — it reconfigures across
+    /// these and is opted into per scenario or per suite axis.
     pub fn all() -> [Self; 3] {
         [Self::F64, Self::Softfloat, Self::Q16_16]
     }
 
-    /// Short name (`f64`, `softfloat`, `q16.16`).
+    /// Short name (`f64`, `softfloat`, `q16.16`, `adaptive`).
     pub fn label(self) -> &'static str {
         match self {
             Self::F64 => "f64",
             Self::Softfloat => "softfloat",
             Self::Q16_16 => "q16.16",
+            Self::Adaptive => "adaptive",
         }
     }
 
@@ -313,6 +322,7 @@ impl Substrate {
             "f64" => Some(Self::F64),
             "softfloat" => Some(Self::Softfloat),
             "q16.16" | "fixed" => Some(Self::Q16_16),
+            "adaptive" => Some(Self::Adaptive),
             _ => None,
         }
     }
@@ -328,7 +338,8 @@ impl Substrate {
         match self {
             Self::F64 => builder.iekf(F64Arith::default(), estimator),
             Self::Softfloat => builder.iekf(SoftArith::default(), estimator),
-            Self::Q16_16 => builder.iekf(FixedArith::default(), estimator),
+            Self::Q16_16 => builder.iekf(QArith::<16>::default(), estimator),
+            Self::Adaptive => builder.backend(AdaptiveBackend::default_for(estimator)),
         }
     }
 
@@ -345,7 +356,16 @@ impl Substrate {
                 FusionSession::iekf_from_scenario(trajectory, config, SoftArith::default())
             }
             Self::Q16_16 => {
-                FusionSession::iekf_from_scenario(trajectory, config, FixedArith::default())
+                FusionSession::iekf_from_scenario(trajectory, config, QArith::<16>::default())
+            }
+            Self::Adaptive => {
+                let expected = FusionSession::expected_updates(config);
+                FusionSession::builder()
+                    .source(SyntheticSource::from_scenario(trajectory, config))
+                    .backend(AdaptiveBackend::default_for(config.estimator))
+                    .truth(config.true_misalignment)
+                    .record_traces_sized(config.trace_decimation, expected)
+                    .build()
             }
         }
     }
@@ -358,7 +378,17 @@ impl Substrate {
         match self {
             Self::F64 => instrumentation::<F64Arith>(session),
             Self::Softfloat => instrumentation::<SoftArith>(session),
-            Self::Q16_16 => instrumentation::<FixedArith>(session),
+            Self::Q16_16 => instrumentation::<QArith<16>>(session),
+            Self::Adaptive => session
+                .backend_as::<AdaptiveBackend>()
+                .map(|b| {
+                    (
+                        b.total_ops().total(),
+                        b.total_saturations(),
+                        b.total_cycles(),
+                    )
+                })
+                .unwrap_or((0, 0, 0)),
         }
     }
 }
@@ -542,6 +572,26 @@ impl ScenarioSpec {
     pub fn run(&self) -> RunResult {
         self.into_session(self.lower_trajectory()).into_result()
     }
+
+    /// [`ScenarioSpec::into_session`] with an explicit adaptive
+    /// supervisor instead of the spec's static substrate: same source
+    /// lowering, same trace recording, but the backend starts on
+    /// `initial` and reconfigures under `policy`.
+    pub fn into_adaptive_session(
+        &self,
+        trajectory: impl IntoSharedTrajectory,
+        initial: crate::adaptive::SubstrateId,
+        policy: Box<dyn crate::adaptive::ReconfigPolicy>,
+    ) -> FusionSession {
+        let cfg = self.config();
+        let expected_updates = FusionSession::expected_updates(&cfg);
+        FusionSession::builder()
+            .source_boxed(self.into_source(trajectory))
+            .backend(AdaptiveBackend::new(cfg.estimator, initial, policy))
+            .truth(cfg.true_misalignment)
+            .record_traces_sized(cfg.trace_decimation, expected_updates)
+            .build()
+    }
 }
 
 /// Reads the per-substrate instrumentation off a finished session.
@@ -578,12 +628,18 @@ pub struct SuiteCell {
     pub cycles: u64,
     /// Cycle estimate per incoming ACC sample.
     pub cycles_per_sample: f64,
+    /// Substrate reconfigurations the backend performed (0 for every
+    /// static substrate).
+    pub switches: u64,
 }
 
 impl SuiteCell {
     fn collect(spec: &ScenarioSpec, session: FusionSession) -> Self {
         let backend = session.backend_label();
         let (ops, saturations, cycles) = spec.substrate.read_instrumentation(&session);
+        let switches = session
+            .backend_as::<AdaptiveBackend>()
+            .map_or(0, |b| b.switch_count());
         let stream = session.stream_stats();
         let cfg = spec.config();
         let samples = (cfg.duration_s * cfg.acc_rate_hz).round().max(1.0);
@@ -593,10 +649,12 @@ impl SuiteCell {
             substrate: spec.substrate,
             backend,
             duration_s: cfg.duration_s,
-            summary: VehicleSummary::from_result(&result, saturations, stream),
+            summary: VehicleSummary::from_result(&result, saturations, stream)
+                .with_substrate_switches(switches),
             ops,
             cycles,
             cycles_per_sample: cycles as f64 / samples,
+            switches,
         }
     }
 

@@ -11,7 +11,7 @@
 //!
 //! Run with `cargo run --release --example streaming_sessions`.
 
-use sensor_fusion_fpga::fusion::arith::{Arith, F64Arith, FixedArith, SoftArith};
+use sensor_fusion_fpga::fusion::arith::{Arith, F64Arith, QArith, SoftArith};
 use sensor_fusion_fpga::fusion::estimator::GenericBoresightEstimator;
 use sensor_fusion_fpga::fusion::scenario::ScenarioConfig;
 use sensor_fusion_fpga::fusion::{ArithKf3, FusionSession, SessionGroup, SyntheticSource};
@@ -43,7 +43,7 @@ fn main() {
     group.push(
         FusionSession::builder()
             .source(SyntheticSource::from_scenario(&table, &config))
-            .backend(ArithKf3::with_defaults(FixedArith::default()))
+            .backend(ArithKf3::with_defaults(QArith::<16>::default()))
             .truth(truth)
             .build(),
     );
@@ -114,7 +114,7 @@ fn main() {
         .backend_as::<GenericBoresightEstimator<SoftArith>>()
         .expect("softfloat backend");
     let fixed = sweep.sessions()[2]
-        .backend_as::<GenericBoresightEstimator<FixedArith>>()
+        .backend_as::<GenericBoresightEstimator<QArith<16>>>()
         .expect("fixed backend");
     // Per incoming ACC sample, not per accepted update: rejected
     // samples still pay their model/Jacobian/gating arithmetic (the

@@ -1,0 +1,340 @@
+//! Integration pins for `boresight::adaptive` — the context-aware
+//! substrate supervisor.
+//!
+//! Three of these are the subsystem's contract pins: a zero-switch
+//! adaptive session is **bit-identical** to the static session over
+//! the same substrate; a switching run's accuracy stays inside the
+//! documented divergence bound relative to the all-`f64` reference;
+//! and the reconfiguration ledger records **every** switch with a
+//! valid from/to chain. The property tests pin the state-transfer
+//! layer itself: a snapshot exported from any substrate and imported
+//! into any other round-trips within the target's documented
+//! [`SubstrateId::conversion_bound`], and the covariance stays
+//! positive-definite through quantization.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use proptest::prelude::*;
+use sensor_fusion_fpga::fusion::adaptive::ledger::snapshot_transfer_cycles;
+use sensor_fusion_fpga::fusion::adaptive::{
+    AdaptiveBackend, ContextState, FilterSnapshot, HysteresisPolicy, PinnedPolicy, ReconfigPolicy,
+    SubstrateId,
+};
+use sensor_fusion_fpga::fusion::arith::{
+    Arith, F32Arith, F64Arith, PhaseLedger, QArith, SoftArith,
+};
+use sensor_fusion_fpga::fusion::catalog;
+use sensor_fusion_fpga::fusion::filter::{FilterConfig, GenericBoresightFilter};
+use sensor_fusion_fpga::fusion::session::FusionSession;
+use sensor_fusion_fpga::fusion::spec::Substrate;
+
+/// The estimate's full bit pattern (angles + 1-sigma), for exact
+/// bit-identity comparisons.
+fn estimate_bits(session: &FusionSession) -> [u64; 6] {
+    let e = session.estimate();
+    [
+        e.angles.roll.to_bits(),
+        e.angles.pitch.to_bits(),
+        e.angles.yaw.to_bits(),
+        e.one_sigma[0].to_bits(),
+        e.one_sigma[1].to_bits(),
+        e.one_sigma[2].to_bits(),
+    ]
+}
+
+/// Zero-switch pin: the supervisor under [`PinnedPolicy`] must be a
+/// perfect bystander — observing context happens entirely on the
+/// `f64` side, so the estimate, the stats and the final RMS of a
+/// pinned adaptive session are bit-identical to the static session
+/// over the same substrate.
+#[test]
+fn pinned_adaptive_session_is_bit_identical_to_static_q16() {
+    let spec = catalog::by_name("can-fault-storm")
+        .expect("catalog scenario")
+        .with_duration(10.0);
+    let mut fixed = spec
+        .clone()
+        .with_substrate(Substrate::Q16_16)
+        .into_session(spec.lower_trajectory());
+    let mut pinned = spec.into_adaptive_session(
+        spec.lower_trajectory(),
+        SubstrateId::Q16_16,
+        Box::new(PinnedPolicy),
+    );
+    fixed.run_to_end();
+    pinned.run_to_end();
+
+    assert_eq!(estimate_bits(&fixed), estimate_bits(&pinned));
+    let (fs, ps) = (fixed.stats(), pinned.stats());
+    assert_eq!(fs.updates, ps.updates);
+    assert_eq!(fs.exceeded, ps.exceeded);
+    assert_eq!(fs.saturations, ps.saturations);
+
+    let backend = pinned
+        .backend_as::<AdaptiveBackend>()
+        .expect("adaptive backend");
+    assert_eq!(backend.switch_count(), 0);
+    assert_eq!(backend.vetoed_switches(), 0);
+    assert!(backend.ledger().is_empty());
+    assert_eq!(backend.active_substrate(), SubstrateId::Q16_16);
+
+    let fixed_rms = fixed.into_result().error_rms_deg();
+    let pinned_rms = pinned.into_result().error_rms_deg();
+    assert_eq!(fixed_rms.to_bits(), pinned_rms.to_bits());
+}
+
+/// Switching-run pin: on the CAN-fault-storm scenario the default
+/// hysteresis supervisor (starting on the collapsing Q16.16
+/// substrate) must escape to softfloat, log a valid ledger, and land
+/// within the documented divergence bound of the all-`f64` reference
+/// (the same margin `bench --bin adaptive` gates on).
+#[test]
+fn switching_run_stays_inside_the_documented_divergence_bound() {
+    let spec = catalog::by_name("can-fault-storm")
+        .expect("catalog scenario")
+        .with_duration(20.0);
+    let f64_rms = spec
+        .clone()
+        .with_substrate(Substrate::F64)
+        .run()
+        .error_rms_deg();
+
+    let mut adaptive = spec.into_adaptive_session(
+        spec.lower_trajectory(),
+        SubstrateId::Q16_16,
+        Box::new(HysteresisPolicy::default()),
+    );
+    adaptive.run_to_end();
+    let backend = adaptive
+        .backend_as::<AdaptiveBackend>()
+        .expect("adaptive backend");
+    assert!(backend.switch_count() >= 1, "the storm forced no escape");
+    assert_eq!(backend.active_substrate(), SubstrateId::Softfloat);
+    backend
+        .ledger()
+        .validate(SubstrateId::Q16_16)
+        .expect("ledger chain is well formed");
+    for event in backend.ledger().events() {
+        assert_ne!(event.from, event.to);
+        assert_eq!(event.transfer_cycles, snapshot_transfer_cycles());
+    }
+
+    let adaptive_rms = adaptive.into_result().error_rms_deg();
+    assert!(
+        adaptive_rms <= f64_rms + 0.5,
+        "switching run diverged: adaptive {adaptive_rms:.4} deg vs f64 {f64_rms:.4} deg + 0.5 margin"
+    );
+}
+
+/// A policy that demands a switch at every decision window,
+/// alternating between the two always-admissible binary64 substrates,
+/// and counts how many verdicts it issued.
+struct AlternatingPolicy {
+    decisions: Arc<AtomicU64>,
+}
+
+impl ReconfigPolicy for AlternatingPolicy {
+    fn name(&self) -> &'static str {
+        "alternate"
+    }
+
+    fn decide(&mut self, _ctx: &ContextState, active: SubstrateId) -> Option<SubstrateId> {
+        self.decisions.fetch_add(1, Ordering::Relaxed);
+        Some(if active == SubstrateId::Softfloat {
+            SubstrateId::F64
+        } else {
+            SubstrateId::Softfloat
+        })
+    }
+}
+
+/// Ledger pin: every switch the supervisor performs lands in the
+/// ledger, in order, with a continuous from/to chain and strictly
+/// increasing timestamps — checked by forcing a switch at every
+/// decision window and comparing against the policy's own count.
+#[test]
+fn forced_switches_all_land_in_the_ledger() {
+    let decisions = Arc::new(AtomicU64::new(0));
+    let spec = catalog::by_name("paper-static")
+        .expect("catalog scenario")
+        .with_duration(6.0);
+    let mut session = spec.into_adaptive_session(
+        spec.lower_trajectory(),
+        SubstrateId::F64,
+        Box::new(AlternatingPolicy {
+            decisions: Arc::clone(&decisions),
+        }),
+    );
+    session.run_to_end();
+
+    let backend = session
+        .backend_as::<AdaptiveBackend>()
+        .expect("adaptive backend");
+    let decided = decisions.load(Ordering::Relaxed);
+    assert!(decided >= 4, "only {decided} decision windows elapsed");
+    assert_eq!(backend.switch_count(), decided, "a switch went unrecorded");
+    assert_eq!(backend.ledger().events().len() as u64, decided);
+    assert_eq!(backend.vetoed_switches(), 0);
+    backend
+        .ledger()
+        .validate(SubstrateId::F64)
+        .expect("ledger chain is well formed");
+
+    let events = backend.ledger().events();
+    assert_eq!(events[0].from, SubstrateId::F64);
+    for pair in events.windows(2) {
+        assert!(pair[0].at_time_s < pair[1].at_time_s);
+        assert_eq!(pair[0].to, pair[1].from, "ledger chain broke");
+    }
+}
+
+/// Admission pin: a calm scenario tempts the default hysteresis
+/// policy into downshifting to Q16.16, but the supervisor's admission
+/// check knows the filter's converged innovation covariance
+/// (`sigma^4 ~ 1e-10`) underflows the Q16.16 quantum and vetoes the
+/// destructive switch instead of performing it.
+#[test]
+fn admission_check_vetoes_destructive_calm_downshifts() {
+    let spec = catalog::by_name("paper-static")
+        .expect("catalog scenario")
+        .with_duration(8.0);
+    let mut session = spec.into_adaptive_session(
+        spec.lower_trajectory(),
+        SubstrateId::Softfloat,
+        Box::new(HysteresisPolicy::default()),
+    );
+    session.run_to_end();
+
+    let backend = session
+        .backend_as::<AdaptiveBackend>()
+        .expect("adaptive backend");
+    assert_eq!(
+        backend.switch_count(),
+        0,
+        "a destructive downshift went through"
+    );
+    assert!(
+        backend.vetoed_switches() >= 1,
+        "the calm scenario never even proposed a downshift"
+    );
+    assert!(backend.ledger().is_empty());
+    assert_eq!(backend.active_substrate(), SubstrateId::Softfloat);
+}
+
+/// Imports `snap` into a fresh filter on substrate `A` and exports it
+/// back, returning the round-tripped snapshot and whether the
+/// covariance survived quantization positive-definite.
+fn roundtrip<A: Arith + Clone + Default>(snap: &FilterSnapshot) -> (FilterSnapshot, bool) {
+    let mut filter = GenericBoresightFilter::with_arith(A::default(), FilterConfig::default());
+    filter.import_snapshot(snap);
+    (filter.export_snapshot(), filter.covariance_healthy())
+}
+
+fn roundtrip_on(id: SubstrateId, snap: &FilterSnapshot) -> (FilterSnapshot, bool) {
+    match id {
+        SubstrateId::F64 => roundtrip::<F64Arith>(snap),
+        SubstrateId::F32 => roundtrip::<F32Arith>(snap),
+        SubstrateId::Softfloat => roundtrip::<SoftArith>(snap),
+        SubstrateId::Q16_16 => roundtrip::<QArith<16>>(snap),
+        SubstrateId::Q8_24 => roundtrip::<QArith<24>>(snap),
+    }
+}
+
+/// Every state and covariance entry of `converted` within the
+/// target's documented conversion bound of `reference` (exact when
+/// the bound is zero, i.e. f64 and softfloat).
+fn assert_snapshot_close(
+    reference: &FilterSnapshot,
+    converted: &FilterSnapshot,
+    target: SubstrateId,
+) {
+    for (i, (r, c)) in reference.x.iter().zip(converted.x.iter()).enumerate() {
+        let bound = target.conversion_bound(r.abs());
+        assert!(
+            (r - c).abs() <= bound,
+            "x[{i}] through {target}: {r} -> {c} (bound {bound:e})"
+        );
+    }
+    for (k, (r, c)) in reference
+        .p_upper
+        .iter()
+        .zip(converted.p_upper.iter())
+        .enumerate()
+    {
+        let bound = target.conversion_bound(r.abs());
+        assert!(
+            (r - c).abs() <= bound,
+            "p_upper[{k}] through {target}: {r} -> {c} (bound {bound:e})"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Snapshot transfer over every ordered substrate pair: export
+    /// from `a`, import into `b`, and each unique value moves by at
+    /// most `b`'s documented conversion bound; the covariance stays
+    /// positive-definite on both sides; the counters, the retuned
+    /// sigma and the phase attribution cross bit-exactly; and the
+    /// binary64 substrates (f64, softfloat) round-trip perfectly.
+    #[test]
+    fn snapshot_round_trips_every_substrate_pair_within_bounds(
+        diag in prop::collection::vec(0.2_f64..0.6, 5),
+        off in prop::collection::vec(-0.03_f64..0.03, 10),
+        xs in prop::collection::vec(-0.05_f64..0.05, 5),
+        sigma in 0.005_f64..0.05,
+    ) {
+        // A well-conditioned covariance P = L L^T from a diagonally
+        // dominant lower-triangular factor: diagonal >= 0.04, every
+        // entry well inside even Q8.24's +/-128 range.
+        let mut l = [[0.0_f64; 5]; 5];
+        let mut k = 0;
+        for (i, row) in l.iter_mut().enumerate() {
+            for slot in row.iter_mut().take(i) {
+                *slot = off[k];
+                k += 1;
+            }
+            row[i] = diag[i];
+        }
+        let mut p_upper = [0.0_f64; 15];
+        let mut k = 0;
+        for i in 0..5 {
+            for j in i..5 {
+                p_upper[k] = (0..5).map(|t| l[i][t] * l[j][t]).sum();
+                k += 1;
+            }
+        }
+        let mut x = [0.0_f64; 5];
+        x.copy_from_slice(&xs);
+        let original = FilterSnapshot {
+            x,
+            p_upper,
+            updates: 1_234,
+            rejected: 56,
+            measurement_sigma: sigma,
+            phases: PhaseLedger::default(),
+        };
+
+        for a in SubstrateId::all() {
+            let (first, healthy_a) = roundtrip_on(a, &original);
+            prop_assert!(healthy_a, "covariance not PD after import into {}", a);
+            assert_snapshot_close(&original, &first, a);
+            prop_assert_eq!(first.updates, original.updates);
+            prop_assert_eq!(first.rejected, original.rejected);
+            prop_assert_eq!(
+                first.measurement_sigma.to_bits(),
+                original.measurement_sigma.to_bits()
+            );
+            for b in SubstrateId::all() {
+                let (second, healthy_b) = roundtrip_on(b, &first);
+                prop_assert!(healthy_b, "covariance not PD after {} -> {}", a, b);
+                assert_snapshot_close(&first, &second, b);
+                if matches!(b, SubstrateId::F64 | SubstrateId::Softfloat) {
+                    prop_assert_eq!(&second, &first, "binary64 round-trip not exact");
+                }
+            }
+        }
+    }
+}

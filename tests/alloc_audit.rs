@@ -161,6 +161,46 @@ fn simd_fleet_epoch_steady_state_allocates_nothing() {
     assert!(stats.updates > 10_000, "the fleet actually streamed");
 }
 
+/// The adaptive supervisor between switches: the context monitor is
+/// plain counters and the policy verdict is a stack value, so once
+/// the hysteresis supervisor has escaped the collapsing Q16.16
+/// substrate (q16's gated-out windows force the upshift inside the
+/// warm-up, before the measurement window opens) a further 25 s of
+/// streaming — context folding, per-window policy consultations and
+/// vetoed admission checks included — allocates nothing.
+#[test]
+fn adaptive_session_steady_state_allocates_nothing() {
+    use sensor_fusion_fpga::fusion::adaptive::{AdaptiveBackend, HysteresisPolicy, SubstrateId};
+
+    let _guard = AUDIT_SERIALIZER.lock().unwrap();
+    let spec = catalog::paper_static().with_duration(30.0);
+    let mut session = spec.into_adaptive_session(
+        spec.lower_trajectory(),
+        SubstrateId::Q16_16,
+        Box::new(HysteresisPolicy::default()),
+    );
+    session.run_for(3.0);
+    let before = allocations();
+    session.run_for(25.0);
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "adaptive hot path allocated {} times in steady state",
+        after - before
+    );
+    let backend = session
+        .backend_as::<AdaptiveBackend>()
+        .expect("adaptive backend");
+    assert_eq!(backend.switch_count(), 1, "the warm-up escape happened");
+    assert_eq!(backend.active_substrate(), SubstrateId::Softfloat);
+    assert!(
+        backend.vetoed_switches() >= 1,
+        "the admission check ran inside the measurement window"
+    );
+    assert!(session.stats().events > 4_000, "the run actually streamed");
+}
+
 /// The `Q<FRAC>` fixed-point substrates are plain `i32` value types —
 /// a full-filter streaming loop over them (gate rejections, saturation
 /// counting and all) must stay allocation-free after the session's

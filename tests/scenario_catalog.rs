@@ -58,7 +58,7 @@ fn catalog_matrix_is_healthy_on_all_substrates() {
     for cell in &report.cells {
         match cell.substrate {
             Substrate::F64 => assert_eq!(cell.cycles, 0, "{}: host FPU", cell.scenario),
-            Substrate::Softfloat | Substrate::Q16_16 => {
+            Substrate::Softfloat | Substrate::Q16_16 | Substrate::Adaptive => {
                 assert!(
                     cell.ops > 0,
                     "{}/{} counted no ops",

@@ -2,7 +2,7 @@
 //! the facade crate: determinism regression, batch/stream parity, and
 //! interleaved multi-backend groups.
 
-use sensor_fusion_fpga::fusion::arith::{FixedArith, SoftArith};
+use sensor_fusion_fpga::fusion::arith::{QArith, SoftArith};
 use sensor_fusion_fpga::fusion::scenario::{run_static, ScenarioConfig};
 use sensor_fusion_fpga::fusion::{ArithKf3, FusionSession, SessionGroup, SyntheticSource};
 use sensor_fusion_fpga::math::{rad_to_deg, EulerAngles};
@@ -75,7 +75,7 @@ fn concurrent_sessions_with_different_arith_backends_interleave() {
     let fixed = group.push(
         FusionSession::builder()
             .source(SyntheticSource::from_scenario(&table, &cfg))
-            .backend(ArithKf3::with_defaults(FixedArith::default()))
+            .backend(ArithKf3::with_defaults(QArith::<16>::default()))
             .truth(truth)
             .build(),
     );
@@ -119,7 +119,7 @@ fn mixed_production_and_ablation_backends_share_a_group() {
     group.push(
         FusionSession::builder()
             .source(SyntheticSource::from_scenario(&table, &cfg))
-            .backend(ArithKf3::with_defaults(FixedArith::default()))
+            .backend(ArithKf3::with_defaults(QArith::<16>::default()))
             .truth(cfg.true_misalignment)
             .build(),
     );
