@@ -31,6 +31,7 @@ use boresight::adaptive::{
     ReconfigPolicy, SubstrateId,
 };
 use boresight::catalog;
+use boresight::oracle::{FusionOracle, OracleVerdict};
 use boresight::session::FusionSession;
 use boresight::spec::{ScenarioSpec, Substrate};
 
@@ -72,14 +73,15 @@ struct RunReport {
 struct LedgerOut {
     events: Vec<ReconfigEvent>,
     transfer_cycles: u64,
-    valid: Result<(), String>,
+    /// The shared oracle's chain-walk verdict (`None` = well-formed).
+    verdict: Option<OracleVerdict>,
 }
 
-fn ledger_out(ledger: &ReconfigLedger, initial: SubstrateId) -> LedgerOut {
+fn ledger_out(ledger: &ReconfigLedger, initial: SubstrateId, at_update: u64) -> LedgerOut {
     LedgerOut {
         events: ledger.events().to_vec(),
         transfer_cycles: ledger.transfer_cycles(),
-        valid: ledger.validate(initial),
+        verdict: FusionOracle::default().check_ledger(ledger, initial, at_update),
     }
 }
 
@@ -112,7 +114,11 @@ fn finish(label: String, spec: &ScenarioSpec, mut session: FusionSession) -> Run
                 b.switch_count(),
                 b.vetoed_switches(),
                 Some(b.active_substrate()),
-                Some(ledger_out(b.ledger(), b.initial_substrate())),
+                Some(ledger_out(
+                    b.ledger(),
+                    b.initial_substrate(),
+                    session.stats().updates,
+                )),
             ),
             None => (ops, saturations, cycles, 0, 0, None, None),
         };
@@ -263,14 +269,15 @@ fn main() {
         );
         println!("{name}: pinned adaptive run bit-identical to static q16.16");
 
-        // --- Gate 2: ledger well-formedness ------------------------
+        // --- Gate 2: ledger well-formedness (the shared oracle's
+        // chain walk) -----------------------------------------------
         for run in [&pinned, &hysteresis, &frontier] {
             let ledger = run.ledger.as_ref().expect("adaptive run has a ledger");
-            if let Err(why) = &ledger.valid {
-                panic!("{name}/{}: malformed ledger: {why}", run.label);
+            if let Some(verdict) = &ledger.verdict {
+                panic!("{name}/{}: {verdict}", run.label);
             }
         }
-        println!("{name}: all ledgers well-formed");
+        println!("{name}: all ledgers pass the oracle chain walk");
 
         // --- Gate 3: accuracy within the documented bound ----------
         for run in [&hysteresis, &frontier] {

@@ -40,7 +40,9 @@ use boresight::arith::{F64Arith, LaneSpec};
 use boresight::catalog;
 use boresight::exec;
 use boresight::fleet::{Fleet, FleetConfig, FleetStats, VehicleId};
+use boresight::oracle::FusionOracle;
 use boresight::simd::SimdF64;
+use boresight::spec::Substrate;
 use std::time::Instant;
 
 const TICK_DT: f64 = 0.005;
@@ -65,7 +67,11 @@ struct FleetRun {
     max_us: f64,
     bytes_per_vehicle: usize,
     stats: FleetStats,
-    final_estimates_finite: bool,
+    /// Oracle verdicts over a 64-vehicle sample of resident final
+    /// estimates plus every sideband reconfiguration ledger (empty =
+    /// healthy; `None` estimates mean the fleet emptied mid-run).
+    oracle_findings: Vec<String>,
+    sampled_estimates: usize,
     /// Sideband roster: adaptive sessions riding alongside the lane
     /// arena, and their reconfiguration activity over the run.
     adaptive_vehicles: usize,
@@ -87,6 +93,7 @@ fn run_fleet<A>(
     epochs: usize,
     shards: usize,
     workers: usize,
+    seed_base: u64,
 ) -> FleetRun
 where
     A: LaneSpec<8> + Clone + Default,
@@ -101,7 +108,7 @@ where
         let spec = base[i % base.len()]
             .clone()
             .with_duration(epochs as f64 * TICK_DT + 30.0)
-            .with_seed(100_000 + i as u64);
+            .with_seed(seed_base + i as u64);
         fleet.admit(&spec).expect("catalog tuning is compatible");
     }
     // The adaptive sideband: per-vehicle supervised sessions starting
@@ -112,7 +119,7 @@ where
             let spec = base[i % base.len()]
                 .clone()
                 .with_duration(epochs as f64 * TICK_DT + 30.0)
-                .with_seed(900_000 + i as u64);
+                .with_seed(seed_base + 800_000 + i as u64);
             fleet.admit_adaptive(
                 &spec,
                 SubstrateId::Q16_16,
@@ -137,16 +144,30 @@ where
     let stats = fleet.stats();
 
     laps_us.sort_by(|a, b| a.partial_cmp(b).expect("finite lap"));
-    let final_estimates_finite = {
-        let sampled: Vec<_> = fleet.resident_ids().into_iter().take(64).collect();
-        !sampled.is_empty()
-            && sampled.into_iter().all(|id| {
-                let est = fleet.estimate(id).expect("resident");
-                est.angles.roll.is_finite()
-                    && est.angles.pitch.is_finite()
-                    && est.angles.yaw.is_finite()
-            })
-    };
+    // Final-estimate and sideband-ledger health through the shared
+    // fusion oracle. The lane arena runs f64-family substrates, so the
+    // float-substrate covariance checks apply; the sideband starts on
+    // Q16.16, whose ledger must chain from that initial substrate.
+    let oracle = FusionOracle::default();
+    let sampled: Vec<_> = fleet.resident_ids().into_iter().take(64).collect();
+    let sampled_estimates = sampled.len();
+    let mut oracle_findings: Vec<String> = sampled
+        .into_iter()
+        .flat_map(|id| {
+            let est = fleet.estimate(id).expect("resident");
+            oracle
+                .check_estimate(&est, Substrate::F64)
+                .into_iter()
+                .map(move |v| format!("vehicle {id:?}: {v}"))
+        })
+        .collect();
+    for &id in &adaptive_ids {
+        if let Some(ledger) = fleet.adaptive_ledger(id) {
+            if let Some(v) = oracle.check_ledger(ledger, SubstrateId::Q16_16, 0) {
+                oracle_findings.push(format!("sideband {id:?}: {v}"));
+            }
+        }
+    }
     let adaptive_switch_log: Vec<(f64, String, String)> = adaptive_ids
         .iter()
         .filter_map(|&id| fleet.adaptive_ledger(id))
@@ -175,7 +196,8 @@ where
         max_us: *laps_us.last().unwrap_or(&f64::NAN),
         bytes_per_vehicle: Fleet::<A, 8>::bytes_per_vehicle(),
         stats,
-        final_estimates_finite,
+        oracle_findings,
+        sampled_estimates,
         adaptive_vehicles: ADAPTIVE_VEHICLES,
         adaptive_switch_log,
     }
@@ -257,19 +279,21 @@ fn main() {
     let shards = args.num(2, 16.0) as usize;
     let p99_gate_ms = args.num(3, 25.0);
     let workers = exec::resolve_workers(args.workers);
+    let seed_base = args.seed.unwrap_or(100_000);
+    println!("effective seed: {seed_base} (vehicle i runs seed {seed_base}+i)");
 
     // Roster: the full catalog, cycled, distinct seeds, durations long
     // enough that nobody completes mid-measurement. Same roster per
     // substrate.
     let runs = [
-        run_fleet::<F64Arith>("f64", vehicles, epochs, shards, workers),
-        run_fleet::<SimdF64>("simd/f64", vehicles, epochs, shards, workers),
+        run_fleet::<F64Arith>("f64", vehicles, epochs, shards, workers, seed_base),
+        run_fleet::<SimdF64>("simd/f64", vehicles, epochs, shards, workers, seed_base),
     ];
 
     print_table(
         &format!(
             "Fleet serving ({vehicles} vehicles x {epochs} epochs, \
-             {shards} shards, {workers} workers, {:.0} Hz ticks)",
+             {shards} shards, {workers} workers, {:.0} Hz ticks, seed {seed_base})",
             1.0 / TICK_DT
         ),
         &[
@@ -330,6 +354,7 @@ fn main() {
         ("epochs".into(), Json::Int(epochs as u64)),
         ("shards".into(), Json::Int(shards as u64)),
         ("workers".into(), Json::Int(workers as u64)),
+        ("seed".into(), Json::Int(seed_base)),
         ("tick_dt_s".into(), Json::Num(TICK_DT)),
     ];
     fields.extend(run_json(&runs[0]));
@@ -387,12 +412,20 @@ fn main() {
             run.substrate
         );
         assert!(
-            run.final_estimates_finite,
-            "{}: fleet emptied mid-benchmark or produced a non-finite estimate",
+            run.sampled_estimates > 0,
+            "{}: fleet emptied mid-benchmark",
             run.substrate
         );
+        assert!(
+            run.oracle_findings.is_empty(),
+            "{}: oracle-flagged estimates/ledgers: {:#?}",
+            run.substrate,
+            run.oracle_findings
+        );
     }
-    println!("health gates passed: finite stats, finite sampled estimates on both substrates");
+    println!(
+        "health gates passed: finite stats, sampled estimates and sideband ledgers pass the oracle"
+    );
 
     if smoke {
         for run in &runs {

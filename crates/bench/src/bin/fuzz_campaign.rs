@@ -1,0 +1,277 @@
+//! Seeded scenario-fuzzing campaign: random [`ScenarioSpec`]s through
+//! the shared [`FusionOracle`], failures shrunk to minimal reproducers
+//! and packaged as record/replay regression cases.
+//!
+//! Each case is a pure function of `(campaign seed, case index)`: the
+//! fuzzer composes a spec across every axis of the declarative layer
+//! (trajectory shape, environment, link faults, tuning — including
+//! deliberately hostile tight gates and aggressive monitors — and all
+//! four substrates), the oracle interleaves it against an `f64`
+//! reference, and any verdict kicks off greedy shrinking toward the
+//! smallest spec still tripping the same verdict kind. Every shrunk
+//! failure is recorded ([`boresight::replay`]) and replayed once to
+//! prove the verdict reproduces deterministically from the recording
+//! alone; a failure that does **not** reproduce is an *unshrunk
+//! violation* and fails the run — that is the campaign's own health
+//! contract (violations themselves are the campaign's *product*, not
+//! its failure: the generator explores hostile regions on purpose).
+//!
+//! Run with `cargo run --release -p bench_suite --bin fuzz_campaign
+//! [cases] [max_duration_s] [--seed N] [--workers N] [--smoke]
+//! [--promote]`. Defaults: 48 cases (`--smoke`: 16), no duration cap
+//! (`--smoke`: 12 s), seed `0xB0B5F00D`. The effective seed is
+//! printed in the report header and recorded in the artifact. Shrunk
+//! reproducers land under `bench_out/fuzz_cases/<name>/` (`case.json`
+//! plus `recording.bin`); `--promote` writes them to the committed
+//! `corpus/` instead, where `tests/corpus.rs` auto-discovers them.
+//! The campaign summary lands in `bench_out/BENCH_fuzz_campaign.json`.
+//!
+//! Live-only verdict kinds (`link-fault-storm` needs the in-flight
+//! wire counters a recording does not carry) are reported in the
+//! summary but not corpus-packaged.
+
+use bench_suite::{out_dir, print_table, write_json, BenchArgs, Json};
+use boresight::exec;
+use boresight::fuzz::{self, CorpusEntry};
+use boresight::oracle::FusionOracle;
+use boresight::replay::{record_spec, Recording};
+use boresight::spec::ScenarioSpec;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+const DEFAULT_SEED: u64 = 0xB0B5_F00D;
+/// Oracle runs the shrinker may spend per failing case.
+const SHRINK_ATTEMPTS: usize = 120;
+
+/// What one fuzz case produced.
+struct CaseOutcome {
+    index: u64,
+    name: String,
+    /// Every verdict kind the live oracle run reported.
+    kinds: Vec<String>,
+    /// The shrunk reproducer, when a replayable kind was found.
+    shrunk: Option<ShrunkCase>,
+    /// `Some(reason)` when a violation could not be shrunk into a
+    /// deterministically replaying reproducer — fails the campaign.
+    unshrunk: Option<String>,
+}
+
+struct ShrunkCase {
+    entry: CorpusEntry,
+    recording: Recording,
+    steps: usize,
+    attempts: usize,
+}
+
+/// Runs one case end to end: generate, judge, shrink, record, replay.
+fn run_case(
+    campaign_seed: u64,
+    index: u64,
+    duration_cap_s: f64,
+    oracle: &FusionOracle,
+) -> CaseOutcome {
+    let mut spec = fuzz::generate_spec(campaign_seed, index);
+    if duration_cap_s > 0.0 {
+        spec.duration_s = spec.duration_s.min(duration_cap_s);
+    }
+    let name = spec.name.clone();
+    let report = oracle.check_spec(&spec);
+    let kinds: Vec<String> = report
+        .verdicts
+        .iter()
+        .map(|v| v.kind().to_string())
+        .collect();
+    if kinds.is_empty() {
+        return CaseOutcome {
+            index,
+            name,
+            kinds,
+            shrunk: None,
+            unshrunk: None,
+        };
+    }
+    // Shrink the first kind a recording can reproduce; a case whose
+    // only finding is live-only is reported but not corpus-packaged.
+    let Some(kind) = kinds
+        .iter()
+        .find(|k| k.as_str() != "link-fault-storm")
+        .cloned()
+    else {
+        return CaseOutcome {
+            index,
+            name,
+            kinds,
+            shrunk: None,
+            unshrunk: None,
+        };
+    };
+    let outcome = fuzz::shrink(&spec, &kind, oracle, SHRINK_ATTEMPTS);
+    let (_, recording) = record_spec(&outcome.spec);
+    let replayed = oracle.check_recording(&outcome.spec, &recording);
+    if !replayed.has_kind(&kind) {
+        return CaseOutcome {
+            index,
+            name,
+            kinds,
+            shrunk: None,
+            unshrunk: Some(format!(
+                "shrunk `{kind}` case did not reproduce from its recording (replay reported {:?})",
+                replayed.verdicts
+            )),
+        };
+    }
+    CaseOutcome {
+        index,
+        name,
+        kinds,
+        shrunk: Some(ShrunkCase {
+            entry: CorpusEntry {
+                campaign_seed,
+                case_index: index,
+                verdict: kind,
+                spec: outcome.spec,
+            },
+            recording,
+            steps: outcome.steps,
+            attempts: outcome.attempts,
+        }),
+        unshrunk: None,
+    }
+}
+
+/// Writes one shrunk reproducer as a `case.json` + `recording.bin`
+/// directory and returns its path.
+fn write_case(root: &Path, case: &ShrunkCase) -> PathBuf {
+    let dir = root.join(&case.entry.spec.name);
+    fs::create_dir_all(&dir).expect("create case dir");
+    let doc = case.entry.to_json().expect("fuzz specs always serialize");
+    let mut text = doc.render_to_string();
+    text.push('\n');
+    fs::write(dir.join("case.json"), text).expect("write case.json");
+    case.recording
+        .write_to(dir.join("recording.bin"))
+        .expect("write recording.bin");
+    dir
+}
+
+fn spec_axes(spec: &ScenarioSpec) -> String {
+    format!("{}/{}", spec.substrate.label(), spec.duration_s)
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let smoke = args.has_flag("smoke");
+    let promote = args.has_flag("promote");
+    let cases = args.num(0, if smoke { 16.0 } else { 48.0 }) as u64;
+    let duration_cap_s = args.num(1, if smoke { 12.0 } else { 0.0 });
+    let campaign_seed = args.seed.unwrap_or(DEFAULT_SEED);
+    let workers = exec::resolve_workers(args.workers);
+    println!(
+        "fuzz campaign: {cases} cases, effective seed {campaign_seed:#018x}, \
+         duration cap {}, {workers} worker(s)",
+        if duration_cap_s > 0.0 {
+            format!("{duration_cap_s} s")
+        } else {
+            "none".to_string()
+        }
+    );
+
+    let oracle = FusionOracle::default();
+    let outcomes = exec::map_parallel((0..cases).collect(), workers, |index| {
+        run_case(campaign_seed, index, duration_cap_s, &oracle)
+    });
+
+    let case_root = if promote {
+        out_dir()
+            .parent()
+            .expect("bench_out has a parent")
+            .join("corpus")
+    } else {
+        out_dir().join("fuzz_cases")
+    };
+    fs::create_dir_all(&case_root).expect("create case root");
+
+    let mut rows = Vec::new();
+    let mut violation_docs = Vec::new();
+    let mut healthy = 0u64;
+    let mut unshrunk = Vec::new();
+    for outcome in &outcomes {
+        if outcome.kinds.is_empty() {
+            healthy += 1;
+            continue;
+        }
+        let (shrunk_to, steps) = match &outcome.shrunk {
+            Some(case) => {
+                let dir = write_case(&case_root, case);
+                println!("case {:04}: wrote {}", outcome.index, dir.display());
+                (spec_axes(&case.entry.spec), format!("{}", case.steps))
+            }
+            None => ("(live-only)".to_string(), "-".to_string()),
+        };
+        if let Some(reason) = &outcome.unshrunk {
+            unshrunk.push(format!("case {:04}: {reason}", outcome.index));
+        }
+        rows.push(vec![
+            format!("{:04}", outcome.index),
+            outcome.kinds.join(","),
+            shrunk_to,
+            steps,
+        ]);
+        let mut fields = vec![
+            ("case_index".into(), Json::Int(outcome.index)),
+            ("name".into(), Json::Str(outcome.name.clone())),
+            (
+                "kinds".into(),
+                Json::Arr(outcome.kinds.iter().map(|k| Json::Str(k.clone())).collect()),
+            ),
+            (
+                "reproduced".into(),
+                Json::Int(u64::from(outcome.unshrunk.is_none())),
+            ),
+        ];
+        if let Some(case) = &outcome.shrunk {
+            fields.push((
+                "shrunk_verdict".into(),
+                Json::Str(case.entry.verdict.clone()),
+            ));
+            fields.push(("shrink_steps".into(), Json::Int(case.steps as u64)));
+            fields.push(("shrink_attempts".into(), Json::Int(case.attempts as u64)));
+            fields.push((
+                "shrunk_spec".into(),
+                fuzz::spec_to_json(&case.entry.spec).expect("fuzz specs always serialize"),
+            ));
+        }
+        violation_docs.push(Json::Obj(fields));
+    }
+
+    print_table(
+        &format!(
+            "Fuzz campaign (seed {campaign_seed:#018x}): {healthy}/{cases} healthy, {} violations, {} unshrunk",
+            violation_docs.len(),
+            unshrunk.len()
+        ),
+        &["case", "verdicts", "shrunk to", "steps"],
+        &rows,
+    );
+
+    let doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("fuzz_campaign".into())),
+        ("seed".into(), Json::Int(campaign_seed)),
+        ("cases".into(), Json::Int(cases)),
+        ("duration_cap_s".into(), Json::Num(duration_cap_s)),
+        ("healthy".into(), Json::Int(healthy)),
+        ("violations".into(), Json::Arr(violation_docs)),
+        (
+            "unshrunk".into(),
+            Json::Arr(unshrunk.iter().map(|u| Json::Str(u.clone())).collect()),
+        ),
+    ]);
+    let path = write_json("BENCH_fuzz_campaign.json", &doc);
+    println!("wrote {}", path.display());
+
+    assert!(
+        unshrunk.is_empty(),
+        "unshrunk violations (failures that do not replay deterministically): {unshrunk:#?}"
+    );
+    println!("campaign clean: every violation shrunk to a deterministic record/replay reproducer");
+}

@@ -24,6 +24,9 @@ pub struct FaultInjector {
     bits_flipped: u64,
     bytes_dropped: u64,
     bursts: u64,
+    window_bits_flipped: u64,
+    window_bytes_dropped: u64,
+    window_bursts: u64,
 }
 
 impl FaultInjector {
@@ -44,6 +47,9 @@ impl FaultInjector {
             bits_flipped: 0,
             bytes_dropped: 0,
             bursts: 0,
+            window_bits_flipped: 0,
+            window_bytes_dropped: 0,
+            window_bursts: 0,
         }
     }
 
@@ -81,12 +87,14 @@ impl FaultInjector {
             }
             if self.burst_prob > 0.0 && rng.random::<f64>() < self.burst_prob {
                 self.bursts += 1;
+                self.window_bursts += 1;
                 burst_remaining = self.burst_len.saturating_sub(1);
                 out.push(rng.random::<u8>());
                 continue;
             }
             if self.drop_prob > 0.0 && rng.random::<f64>() < self.drop_prob {
                 self.bytes_dropped += 1;
+                self.window_bytes_dropped += 1;
                 continue;
             }
             let mut byte = b;
@@ -94,6 +102,7 @@ impl FaultInjector {
                 let bit = rng.random_range(0..8);
                 byte ^= 1u8 << bit;
                 self.bits_flipped += 1;
+                self.window_bits_flipped += 1;
             }
             out.push(byte);
         }
@@ -112,6 +121,33 @@ impl FaultInjector {
     /// Total burst events started.
     pub fn bursts(&self) -> u64 {
         self.bursts
+    }
+
+    /// Single-bit flips injected since the last
+    /// [`FaultInjector::reset_window`].
+    pub fn window_bits_flipped(&self) -> u64 {
+        self.window_bits_flipped
+    }
+
+    /// Bytes dropped since the last [`FaultInjector::reset_window`].
+    pub fn window_bytes_dropped(&self) -> u64 {
+        self.window_bytes_dropped
+    }
+
+    /// Burst events started since the last
+    /// [`FaultInjector::reset_window`].
+    pub fn window_bursts(&self) -> u64 {
+        self.window_bursts
+    }
+
+    /// Zeroes the per-window counters (the cumulative totals are
+    /// untouched) — callers polling link health per time window reset
+    /// at each window boundary and read the deltas off
+    /// [`FaultInjector::window_bits_flipped`] and friends.
+    pub fn reset_window(&mut self) {
+        self.window_bits_flipped = 0;
+        self.window_bytes_dropped = 0;
+        self.window_bursts = 0;
     }
 }
 
@@ -171,5 +207,34 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn invalid_probability_panics() {
         let _ = FaultInjector::new(1.5, 0.0);
+    }
+
+    #[test]
+    fn window_counters_reset_without_touching_totals() {
+        let mut fi = FaultInjector::new(0.05, 0.05).with_bursts(0.01, 4);
+        let mut rng = seeded_rng(5);
+        let data = vec![0u8; 10_000];
+        let _ = fi.apply(&data, &mut rng);
+        let first = (
+            fi.window_bits_flipped(),
+            fi.window_bytes_dropped(),
+            fi.window_bursts(),
+        );
+        assert_eq!(first.0, fi.bits_flipped());
+        assert_eq!(first.1, fi.bytes_dropped());
+        assert_eq!(first.2, fi.bursts());
+        assert!(first.0 > 0 && first.1 > 0 && first.2 > 0);
+
+        fi.reset_window();
+        assert_eq!(fi.window_bits_flipped(), 0);
+        assert_eq!(fi.bits_flipped(), first.0, "cumulative totals survive");
+
+        let _ = fi.apply(&data, &mut rng);
+        assert!(fi.window_bits_flipped() > 0);
+        assert_eq!(
+            fi.bits_flipped(),
+            first.0 + fi.window_bits_flipped(),
+            "totals are the sum of the windows"
+        );
     }
 }

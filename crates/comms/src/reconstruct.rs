@@ -63,6 +63,14 @@ pub struct StreamStats {
     pub fault_bytes_dropped: u64,
     /// Burst-error events a fault injector started on the wire.
     pub fault_bursts: u64,
+    /// Bit flips injected in the current stats window (resettable via
+    /// [`crate::FaultInjector::reset_window`]; filled in by the
+    /// injector owner like the cumulative fault counters).
+    pub window_fault_bits_flipped: u64,
+    /// Bytes dropped in the current stats window.
+    pub window_fault_bytes_dropped: u64,
+    /// Burst events started in the current stats window.
+    pub window_fault_bursts: u64,
 }
 
 /// Reconstructs the two sensor streams of the boresighting system.
@@ -180,6 +188,9 @@ impl Reconstructor {
             fault_bits_flipped: 0,
             fault_bytes_dropped: 0,
             fault_bursts: 0,
+            window_fault_bits_flipped: 0,
+            window_fault_bytes_dropped: 0,
+            window_fault_bursts: 0,
         }
     }
 

@@ -1,0 +1,822 @@
+//! Scenario fuzzing: a seeded random composer of [`ScenarioSpec`]s, a
+//! proptest-style shrinker, and a lossless JSON codec for specs — the
+//! generator side of the robustness campaign.
+//!
+//! * [`generate_spec`] draws one scenario from the full cross product
+//!   the spec layer can express (trajectory blocks x environments x
+//!   link-fault configs x tunings x substrates, including
+//!   [`Substrate::Adaptive`]). The draw is a pure function of
+//!   `(campaign_seed, case_index)`, so any case from any campaign
+//!   replays from two integers.
+//! * [`shrink`] greedily minimizes a failing spec while preserving the
+//!   oracle verdict that made it fail: halve the duration, drop drive
+//!   segments, calm the environment, zero fault rates one at a time,
+//!   relax custom tunings, zero the ACC bias — repeated to a fixed
+//!   point under an oracle-run budget. The result is the minimal spec
+//!   the regression corpus stores.
+//! * [`spec_to_json`] / [`spec_from_json`] round-trip a spec through
+//!   the [`Json`] tree **losslessly** (finite `f64`s reproduce their
+//!   exact bits — see [`crate::json`]), and
+//!   [`CorpusEntry`] packages a shrunk failure (spec + expected
+//!   verdict + provenance) as the `corpus/<name>/case.json` file
+//!   `tests/corpus.rs` auto-discovers.
+
+use crate::estimator::EstimatorConfig;
+use crate::filter::FilterConfig;
+use crate::json::Json;
+use crate::monitor::MonitorConfig;
+use crate::oracle::FusionOracle;
+use crate::session::LinkFaultConfig;
+use crate::spec::{
+    ChannelSpec, EnvironmentSpec, ScenarioSpec, Substrate, TrajectorySpec, TuningSpec,
+    VibrationClass,
+};
+use mathx::rng::seeded_rng;
+use mathx::{EulerAngles, Vec2, Vec3};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use vehicle::Segment;
+
+/// Draws the `case_index`-th scenario of a fuzz campaign. The same
+/// `(campaign_seed, case_index)` pair always yields the same spec.
+pub fn generate_spec(campaign_seed: u64, case_index: u64) -> ScenarioSpec {
+    // Golden-ratio mix so neighbouring case indices land in unrelated
+    // RNG streams even for small campaign seeds.
+    let mut rng = seeded_rng(
+        campaign_seed
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add(case_index),
+    );
+    let truth = EulerAngles::from_degrees(
+        rng.random_range(-4.0..4.0),
+        rng.random_range(-4.0..4.0),
+        rng.random_range(-4.0..4.0),
+    );
+    let acc_bias = Vec2::new([rng.random_range(-0.05..0.05), rng.random_range(-0.05..0.05)]);
+    let spec = ScenarioSpec::named(format!("fuzz-{campaign_seed:016x}-{case_index:04}"))
+        .with_truth(truth)
+        .with_acc_bias(acc_bias)
+        .with_duration(rng.random_range(16.0..40.0))
+        .with_seed(rng.random::<u64>())
+        .with_trajectory(random_trajectory(&mut rng))
+        .with_environment(random_environment(&mut rng))
+        .with_channel(random_channel(&mut rng))
+        .with_tuning(random_tuning(&mut rng));
+    let substrate = match rng.random_range(0u32..4) {
+        0 => Substrate::F64,
+        1 => Substrate::Softfloat,
+        2 => Substrate::Q16_16,
+        _ => Substrate::Adaptive,
+    };
+    spec.with_substrate(substrate)
+}
+
+fn random_trajectory(rng: &mut StdRng) -> TrajectorySpec {
+    match rng.random_range(0u32..5) {
+        0 => TrajectorySpec::TiltSequence {
+            tilt_deg: rng.random_range(10.0..30.0),
+        },
+        1 => TrajectorySpec::Level,
+        2 => TrajectorySpec::Urban,
+        3 => TrajectorySpec::Highway,
+        _ => {
+            let len = rng.random_range(2u32..6) as usize;
+            let block = (0..len).map(|_| random_segment(rng)).collect();
+            TrajectorySpec::Segments { block }
+        }
+    }
+}
+
+fn random_segment(rng: &mut StdRng) -> Segment {
+    match rng.random_range(0u32..7) {
+        0 => Segment::Idle {
+            duration_s: rng.random_range(1.0..6.0),
+        },
+        1 => Segment::Cruise {
+            duration_s: rng.random_range(1.0..6.0),
+        },
+        2 => Segment::Accelerate {
+            duration_s: rng.random_range(1.0..5.0),
+            accel: rng.random_range(0.5..4.0),
+        },
+        3 => Segment::Brake {
+            duration_s: rng.random_range(1.0..5.0),
+            decel: rng.random_range(0.5..8.0),
+        },
+        4 => Segment::Turn {
+            duration_s: rng.random_range(1.0..6.0),
+            yaw_rate: rng.random_range(-0.6..0.6),
+        },
+        5 => Segment::LaneChange {
+            duration_s: rng.random_range(1.0..4.0),
+            peak_lateral_accel: rng.random_range(0.5..4.0),
+        },
+        _ => Segment::Grade {
+            duration_s: rng.random_range(1.0..6.0),
+            pitch_rad: rng.random_range(-0.1..0.1),
+        },
+    }
+}
+
+fn random_environment(rng: &mut StdRng) -> EnvironmentSpec {
+    let mut env = match rng.random_range(0u32..4) {
+        0 => EnvironmentSpec::laboratory(),
+        1 => EnvironmentSpec::passenger_car(),
+        2 => EnvironmentSpec::truck(),
+        _ => EnvironmentSpec::rough_road(),
+    };
+    if rng.random_bool(0.3) {
+        env.road_roughness = rng.random_range(0.5..3.0);
+    }
+    if rng.random_bool(0.3) {
+        env.differential_vibration = rng.random_range(0.0..0.4);
+    }
+    env
+}
+
+fn random_channel(rng: &mut StdRng) -> ChannelSpec {
+    if rng.random_bool(0.45) {
+        return ChannelSpec::Ideal;
+    }
+    // Log-uniform fault rates from "barely there" up to storm level.
+    let mut rate = |hi_exp: f64| -> f64 {
+        if rng.random_bool(0.25) {
+            0.0
+        } else {
+            10f64.powf(rng.random_range(-5.0..hi_exp))
+        }
+    };
+    ChannelSpec::Comms {
+        faults: LinkFaultConfig {
+            bit_flip_prob: rate(-1.3),
+            drop_prob: rate(-1.3),
+            burst_prob: rate(-2.0),
+            burst_len: rng.random_range(2u32..10) as usize,
+        },
+    }
+}
+
+fn random_tuning(rng: &mut StdRng) -> TuningSpec {
+    match rng.random_range(0u32..4) {
+        0 => TuningSpec::Static,
+        1 => TuningSpec::Dynamic,
+        2 => {
+            // A tight innovation gate — the classic livelock shape.
+            let mut filter = FilterConfig::paper_dynamic();
+            filter.gate_sigmas = rng.random_range(0.05..2.0);
+            TuningSpec::Custom(EstimatorConfig {
+                filter,
+                monitor: rng.random_bool(0.5).then(MonitorConfig::default),
+                lever_arm: Vec3::zeros(),
+            })
+        }
+        _ => {
+            // An aggressive monitor — scale hard, re-fire fast.
+            let monitor = MonitorConfig {
+                window: rng.random_range(20usize..80),
+                holdoff: rng.random_range(5usize..40),
+                scale_up: rng.random_range(1.5..4.0),
+                scale_down: rng.random_range(0.3..1.0),
+                target_exceed_rate: rng.random_range(0.0005..0.01),
+                ..MonitorConfig::default()
+            };
+            TuningSpec::Custom(EstimatorConfig {
+                filter: FilterConfig::paper_dynamic(),
+                monitor: Some(monitor),
+                lever_arm: Vec3::zeros(),
+            })
+        }
+    }
+}
+
+/// The result of shrinking a failing spec.
+#[derive(Clone, Debug)]
+pub struct ShrinkOutcome {
+    /// The minimal spec still tripping the original verdict kind.
+    pub spec: ScenarioSpec,
+    /// Accepted shrink steps.
+    pub steps: usize,
+    /// Oracle runs spent (each candidate costs one).
+    pub attempts: usize,
+}
+
+/// Greedily minimizes `spec` while the oracle keeps reporting a
+/// verdict of kind `kind`, spending at most `max_attempts` oracle
+/// runs. Each round proposes, in order: halving the duration, dropping
+/// one drive segment, flattening the trajectory, calming the
+/// environment, zeroing individual link-fault rates, removing the
+/// comms chain, relaxing a custom tuning to a paper preset, and
+/// zeroing the ACC bias; rounds repeat until none of them reproduces
+/// the verdict (a fixed point) or the budget runs out.
+pub fn shrink(
+    spec: &ScenarioSpec,
+    kind: &str,
+    oracle: &FusionOracle,
+    max_attempts: usize,
+) -> ShrinkOutcome {
+    let mut best = spec.clone();
+    let mut steps = 0usize;
+    let mut attempts = 0usize;
+    loop {
+        let mut progressed = false;
+        for candidate in shrink_candidates(&best) {
+            if attempts >= max_attempts {
+                return ShrinkOutcome {
+                    spec: best,
+                    steps,
+                    attempts,
+                };
+            }
+            attempts += 1;
+            if oracle.check_spec(&candidate).has_kind(kind) {
+                best = candidate;
+                steps += 1;
+                progressed = true;
+                break; // restart the transformation ladder on the smaller spec
+            }
+        }
+        if !progressed {
+            return ShrinkOutcome {
+                spec: best,
+                steps,
+                attempts,
+            };
+        }
+    }
+}
+
+/// The ordered shrink proposals for one round (each a single
+/// transformation of `spec`). Proposals that would not change the
+/// spec are skipped.
+pub fn shrink_candidates(spec: &ScenarioSpec) -> Vec<ScenarioSpec> {
+    let mut out = Vec::new();
+    // 1. Halve the duration (floor 8 s — enough for convergence).
+    if spec.duration_s > 8.0 {
+        out.push(spec.clone().with_duration((spec.duration_s / 2.0).max(8.0)));
+    }
+    // 2. Drop one segment from an explicit block.
+    if let TrajectorySpec::Segments { block } = &spec.trajectory {
+        if block.len() > 1 {
+            for drop in 0..block.len() {
+                let mut smaller = block.clone();
+                smaller.remove(drop);
+                out.push(
+                    spec.clone()
+                        .with_trajectory(TrajectorySpec::Segments { block: smaller }),
+                );
+            }
+        }
+    }
+    // 3. Flatten the trajectory entirely.
+    if !matches!(spec.trajectory, TrajectorySpec::Level) {
+        out.push(spec.clone().with_trajectory(TrajectorySpec::Level));
+    }
+    // 4. Calm the environment, one knob at a time.
+    if spec.environment.road_roughness != 1.0 {
+        let mut env = spec.environment;
+        env.road_roughness = 1.0;
+        out.push(spec.clone().with_environment(env));
+    }
+    if spec.environment.differential_vibration != 0.0 {
+        let mut env = spec.environment;
+        env.differential_vibration = 0.0;
+        out.push(spec.clone().with_environment(env));
+    }
+    if !matches!(spec.environment.vibration, VibrationClass::None) {
+        let mut env = spec.environment;
+        env.vibration = VibrationClass::None;
+        out.push(spec.clone().with_environment(env));
+    }
+    // 5. Zero link-fault rates individually, then drop the chain.
+    if let ChannelSpec::Comms { faults } = spec.channel {
+        for zeroed in [
+            LinkFaultConfig {
+                bit_flip_prob: 0.0,
+                ..faults
+            },
+            LinkFaultConfig {
+                drop_prob: 0.0,
+                ..faults
+            },
+            LinkFaultConfig {
+                burst_prob: 0.0,
+                ..faults
+            },
+        ] {
+            if zeroed != faults {
+                out.push(
+                    spec.clone()
+                        .with_channel(ChannelSpec::Comms { faults: zeroed }),
+                );
+            }
+        }
+        out.push(spec.clone().with_channel(ChannelSpec::Ideal));
+    }
+    // 6. Relax a custom tuning to the paper presets.
+    if matches!(spec.tuning, TuningSpec::Custom(_)) {
+        out.push(spec.clone().with_tuning(TuningSpec::Dynamic));
+        out.push(spec.clone().with_tuning(TuningSpec::Static));
+    }
+    // 7. Zero the injected ACC bias.
+    if spec.acc_bias != Vec2::zeros() {
+        out.push(spec.clone().with_acc_bias(Vec2::zeros()));
+    }
+    out
+}
+
+/// A shrunk fuzz failure packaged for the regression corpus: the
+/// minimal spec, the oracle verdict it trips, and the campaign
+/// coordinates it was found at.
+#[derive(Clone, Debug)]
+pub struct CorpusEntry {
+    /// Campaign seed the case was drawn from.
+    pub campaign_seed: u64,
+    /// Case index within the campaign.
+    pub case_index: u64,
+    /// The [`crate::oracle::OracleVerdict::kind`] the spec trips.
+    pub verdict: String,
+    /// The (shrunk) failing spec.
+    pub spec: ScenarioSpec,
+}
+
+/// Corpus file format version.
+pub const CORPUS_FORMAT: u64 = 1;
+
+impl CorpusEntry {
+    /// Serializes the entry as the `case.json` document.
+    pub fn to_json(&self) -> Result<Json, String> {
+        Ok(Json::Obj(vec![
+            ("format".into(), Json::Int(CORPUS_FORMAT)),
+            ("campaign_seed".into(), Json::Int(self.campaign_seed)),
+            ("case_index".into(), Json::Int(self.case_index)),
+            ("verdict".into(), Json::Str(self.verdict.clone())),
+            ("spec".into(), spec_to_json(&self.spec)?),
+        ]))
+    }
+
+    /// Parses a `case.json` document.
+    pub fn from_json(doc: &Json) -> Result<Self, String> {
+        let format = lookup_u64(doc, "format")?;
+        if format != CORPUS_FORMAT {
+            return Err(format!("unsupported corpus format {format}"));
+        }
+        Ok(Self {
+            campaign_seed: lookup_u64(doc, "campaign_seed")?,
+            case_index: lookup_u64(doc, "case_index")?,
+            verdict: lookup_str(doc, "verdict")?.to_string(),
+            spec: spec_from_json(doc.lookup("spec").ok_or("missing spec")?)?,
+        })
+    }
+}
+
+/// Serializes a [`ScenarioSpec`] to a [`Json`] tree. Every scalar
+/// survives bit-exactly (see [`crate::json`]). Fails only for
+/// [`VibrationClass::Custom`], which the generator never produces.
+pub fn spec_to_json(spec: &ScenarioSpec) -> Result<Json, String> {
+    let trajectory = match &spec.trajectory {
+        TrajectorySpec::TiltSequence { tilt_deg } => Json::Obj(vec![
+            ("type".into(), Json::Str("tilt-sequence".into())),
+            ("tilt_deg".into(), Json::Num(*tilt_deg)),
+        ]),
+        TrajectorySpec::Level => Json::Obj(vec![("type".into(), Json::Str("level".into()))]),
+        TrajectorySpec::Urban => Json::Obj(vec![("type".into(), Json::Str("urban".into()))]),
+        TrajectorySpec::Highway => Json::Obj(vec![("type".into(), Json::Str("highway".into()))]),
+        TrajectorySpec::Segments { block } => Json::Obj(vec![
+            ("type".into(), Json::Str("segments".into())),
+            (
+                "block".into(),
+                Json::Arr(block.iter().map(segment_to_json).collect()),
+            ),
+        ]),
+    };
+    let vibration = match spec.environment.vibration {
+        VibrationClass::None => "none",
+        VibrationClass::PassengerCar => "passenger-car",
+        VibrationClass::Truck => "truck",
+        VibrationClass::Custom(_) => {
+            return Err("custom vibration models are not serializable".into())
+        }
+    };
+    let channel = match spec.channel {
+        ChannelSpec::Ideal => Json::Obj(vec![("type".into(), Json::Str("ideal".into()))]),
+        ChannelSpec::Comms { faults } => Json::Obj(vec![
+            ("type".into(), Json::Str("comms".into())),
+            ("bit_flip_prob".into(), Json::Num(faults.bit_flip_prob)),
+            ("drop_prob".into(), Json::Num(faults.drop_prob)),
+            ("burst_prob".into(), Json::Num(faults.burst_prob)),
+            ("burst_len".into(), Json::Int(faults.burst_len as u64)),
+        ]),
+    };
+    let tuning = match &spec.tuning {
+        TuningSpec::Static => Json::Obj(vec![("type".into(), Json::Str("static".into()))]),
+        TuningSpec::Dynamic => Json::Obj(vec![("type".into(), Json::Str("dynamic".into()))]),
+        TuningSpec::Custom(cfg) => {
+            let mut fields = vec![
+                ("type".into(), Json::Str("custom".into())),
+                ("filter".into(), filter_to_json(&cfg.filter)),
+                (
+                    "lever_arm".into(),
+                    Json::Arr(vec![
+                        Json::Num(cfg.lever_arm[0]),
+                        Json::Num(cfg.lever_arm[1]),
+                        Json::Num(cfg.lever_arm[2]),
+                    ]),
+                ),
+            ];
+            if let Some(monitor) = &cfg.monitor {
+                fields.push(("monitor".into(), monitor_to_json(monitor)));
+            }
+            Json::Obj(fields)
+        }
+    };
+    Ok(Json::Obj(vec![
+        ("name".into(), Json::Str(spec.name.clone())),
+        (
+            "truth_rad".into(),
+            Json::Arr(vec![
+                Json::Num(spec.truth.roll),
+                Json::Num(spec.truth.pitch),
+                Json::Num(spec.truth.yaw),
+            ]),
+        ),
+        (
+            "acc_bias".into(),
+            Json::Arr(vec![
+                Json::Num(spec.acc_bias[0]),
+                Json::Num(spec.acc_bias[1]),
+            ]),
+        ),
+        ("duration_s".into(), Json::Num(spec.duration_s)),
+        ("seed".into(), Json::Int(spec.seed)),
+        (
+            "trace_decimation".into(),
+            Json::Int(spec.trace_decimation as u64),
+        ),
+        ("trajectory".into(), trajectory),
+        (
+            "environment".into(),
+            Json::Obj(vec![
+                ("vibration".into(), Json::Str(vibration.into())),
+                (
+                    "road_roughness".into(),
+                    Json::Num(spec.environment.road_roughness),
+                ),
+                (
+                    "differential_vibration".into(),
+                    Json::Num(spec.environment.differential_vibration),
+                ),
+            ]),
+        ),
+        ("channel".into(), channel),
+        ("tuning".into(), tuning),
+        ("substrate".into(), Json::Str(spec.substrate.label().into())),
+    ]))
+}
+
+fn segment_to_json(segment: &Segment) -> Json {
+    let (kind, duration_s, param): (&str, f64, Option<(&str, f64)>) = match *segment {
+        Segment::Idle { duration_s } => ("idle", duration_s, None),
+        Segment::Cruise { duration_s } => ("cruise", duration_s, None),
+        Segment::Accelerate { duration_s, accel } => {
+            ("accelerate", duration_s, Some(("accel", accel)))
+        }
+        Segment::Brake { duration_s, decel } => ("brake", duration_s, Some(("decel", decel))),
+        Segment::Turn {
+            duration_s,
+            yaw_rate,
+        } => ("turn", duration_s, Some(("yaw_rate", yaw_rate))),
+        Segment::LaneChange {
+            duration_s,
+            peak_lateral_accel,
+        } => (
+            "lane-change",
+            duration_s,
+            Some(("peak_lateral_accel", peak_lateral_accel)),
+        ),
+        Segment::Grade {
+            duration_s,
+            pitch_rad,
+        } => ("grade", duration_s, Some(("pitch_rad", pitch_rad))),
+    };
+    let mut fields = vec![
+        ("type".into(), Json::Str(kind.into())),
+        ("duration_s".into(), Json::Num(duration_s)),
+    ];
+    if let Some((key, value)) = param {
+        fields.push((key.into(), Json::Num(value)));
+    }
+    Json::Obj(fields)
+}
+
+fn filter_to_json(filter: &FilterConfig) -> Json {
+    Json::Obj(vec![
+        (
+            "initial_angle_sigma".into(),
+            Json::Num(filter.initial_angle_sigma),
+        ),
+        (
+            "initial_bias_sigma".into(),
+            Json::Num(filter.initial_bias_sigma),
+        ),
+        (
+            "angle_process_density".into(),
+            Json::Num(filter.angle_process_density),
+        ),
+        (
+            "bias_process_density".into(),
+            Json::Num(filter.bias_process_density),
+        ),
+        (
+            "measurement_sigma".into(),
+            Json::Num(filter.measurement_sigma),
+        ),
+        (
+            "estimate_bias".into(),
+            Json::Int(u64::from(filter.estimate_bias)),
+        ),
+        ("gate_sigmas".into(), Json::Num(filter.gate_sigmas)),
+        ("angle_limit".into(), Json::Num(filter.angle_limit)),
+        ("bias_limit".into(), Json::Num(filter.bias_limit)),
+        (
+            "iekf_iterations".into(),
+            Json::Int(filter.iekf_iterations as u64),
+        ),
+    ])
+}
+
+fn monitor_to_json(monitor: &MonitorConfig) -> Json {
+    Json::Obj(vec![
+        ("window".into(), Json::Int(monitor.window as u64)),
+        (
+            "target_exceed_rate".into(),
+            Json::Num(monitor.target_exceed_rate),
+        ),
+        ("scale_up".into(), Json::Num(monitor.scale_up)),
+        ("scale_down".into(), Json::Num(monitor.scale_down)),
+        ("sigma_min".into(), Json::Num(monitor.sigma_min)),
+        ("sigma_max".into(), Json::Num(monitor.sigma_max)),
+        ("holdoff".into(), Json::Int(monitor.holdoff as u64)),
+    ])
+}
+
+/// Parses a spec serialized by [`spec_to_json`].
+pub fn spec_from_json(doc: &Json) -> Result<ScenarioSpec, String> {
+    let truth = match doc.lookup("truth_rad") {
+        Some(Json::Arr(items)) if items.len() == 3 => EulerAngles::new(
+            items[0].as_f64().ok_or("truth_rad[0]")?,
+            items[1].as_f64().ok_or("truth_rad[1]")?,
+            items[2].as_f64().ok_or("truth_rad[2]")?,
+        ),
+        _ => return Err("missing truth_rad[3]".into()),
+    };
+    let acc_bias = match doc.lookup("acc_bias") {
+        Some(Json::Arr(items)) if items.len() == 2 => Vec2::new([
+            items[0].as_f64().ok_or("acc_bias[0]")?,
+            items[1].as_f64().ok_or("acc_bias[1]")?,
+        ]),
+        _ => return Err("missing acc_bias[2]".into()),
+    };
+    let trajectory_doc = doc.lookup("trajectory").ok_or("missing trajectory")?;
+    let trajectory = match lookup_str(trajectory_doc, "type")? {
+        "tilt-sequence" => TrajectorySpec::TiltSequence {
+            tilt_deg: lookup_f64(trajectory_doc, "tilt_deg")?,
+        },
+        "level" => TrajectorySpec::Level,
+        "urban" => TrajectorySpec::Urban,
+        "highway" => TrajectorySpec::Highway,
+        "segments" => {
+            let Some(Json::Arr(items)) = trajectory_doc.lookup("block") else {
+                return Err("missing segments block".into());
+            };
+            let block = items
+                .iter()
+                .map(segment_from_json)
+                .collect::<Result<Vec<_>, _>>()?;
+            TrajectorySpec::Segments { block }
+        }
+        other => return Err(format!("unknown trajectory type {other:?}")),
+    };
+    let env_doc = doc.lookup("environment").ok_or("missing environment")?;
+    let environment = EnvironmentSpec {
+        vibration: match lookup_str(env_doc, "vibration")? {
+            "none" => VibrationClass::None,
+            "passenger-car" => VibrationClass::PassengerCar,
+            "truck" => VibrationClass::Truck,
+            other => return Err(format!("unknown vibration class {other:?}")),
+        },
+        road_roughness: lookup_f64(env_doc, "road_roughness")?,
+        differential_vibration: lookup_f64(env_doc, "differential_vibration")?,
+    };
+    let channel_doc = doc.lookup("channel").ok_or("missing channel")?;
+    let channel = match lookup_str(channel_doc, "type")? {
+        "ideal" => ChannelSpec::Ideal,
+        "comms" => ChannelSpec::Comms {
+            faults: LinkFaultConfig {
+                bit_flip_prob: lookup_f64(channel_doc, "bit_flip_prob")?,
+                drop_prob: lookup_f64(channel_doc, "drop_prob")?,
+                burst_prob: lookup_f64(channel_doc, "burst_prob")?,
+                burst_len: lookup_u64(channel_doc, "burst_len")? as usize,
+            },
+        },
+        other => return Err(format!("unknown channel type {other:?}")),
+    };
+    let tuning_doc = doc.lookup("tuning").ok_or("missing tuning")?;
+    let tuning = match lookup_str(tuning_doc, "type")? {
+        "static" => TuningSpec::Static,
+        "dynamic" => TuningSpec::Dynamic,
+        "custom" => {
+            let filter_doc = tuning_doc.lookup("filter").ok_or("missing filter")?;
+            let filter = FilterConfig {
+                initial_angle_sigma: lookup_f64(filter_doc, "initial_angle_sigma")?,
+                initial_bias_sigma: lookup_f64(filter_doc, "initial_bias_sigma")?,
+                angle_process_density: lookup_f64(filter_doc, "angle_process_density")?,
+                bias_process_density: lookup_f64(filter_doc, "bias_process_density")?,
+                measurement_sigma: lookup_f64(filter_doc, "measurement_sigma")?,
+                estimate_bias: lookup_u64(filter_doc, "estimate_bias")? != 0,
+                gate_sigmas: lookup_f64(filter_doc, "gate_sigmas")?,
+                angle_limit: lookup_f64(filter_doc, "angle_limit")?,
+                bias_limit: lookup_f64(filter_doc, "bias_limit")?,
+                iekf_iterations: lookup_u64(filter_doc, "iekf_iterations")? as usize,
+            };
+            let monitor = match tuning_doc.lookup("monitor") {
+                Some(monitor_doc) => Some(MonitorConfig {
+                    window: lookup_u64(monitor_doc, "window")? as usize,
+                    target_exceed_rate: lookup_f64(monitor_doc, "target_exceed_rate")?,
+                    scale_up: lookup_f64(monitor_doc, "scale_up")?,
+                    scale_down: lookup_f64(monitor_doc, "scale_down")?,
+                    sigma_min: lookup_f64(monitor_doc, "sigma_min")?,
+                    sigma_max: lookup_f64(monitor_doc, "sigma_max")?,
+                    holdoff: lookup_u64(monitor_doc, "holdoff")? as usize,
+                }),
+                None => None,
+            };
+            let lever_arm = match tuning_doc.lookup("lever_arm") {
+                Some(Json::Arr(items)) if items.len() == 3 => Vec3::new([
+                    items[0].as_f64().ok_or("lever_arm[0]")?,
+                    items[1].as_f64().ok_or("lever_arm[1]")?,
+                    items[2].as_f64().ok_or("lever_arm[2]")?,
+                ]),
+                _ => return Err("missing lever_arm[3]".into()),
+            };
+            TuningSpec::Custom(EstimatorConfig {
+                filter,
+                monitor,
+                lever_arm,
+            })
+        }
+        other => return Err(format!("unknown tuning type {other:?}")),
+    };
+    let substrate_label = lookup_str(doc, "substrate")?;
+    let substrate = Substrate::parse(substrate_label)
+        .ok_or_else(|| format!("unknown substrate {substrate_label:?}"))?;
+    Ok(ScenarioSpec::named(lookup_str(doc, "name")?)
+        .with_truth(truth)
+        .with_acc_bias(acc_bias)
+        .with_duration(lookup_f64(doc, "duration_s")?)
+        .with_seed(lookup_u64(doc, "seed")?)
+        .with_trace_decimation(lookup_u64(doc, "trace_decimation")? as usize)
+        .with_trajectory(trajectory)
+        .with_environment(environment)
+        .with_channel(channel)
+        .with_tuning(tuning)
+        .with_substrate(substrate))
+}
+
+fn segment_from_json(doc: &Json) -> Result<Segment, String> {
+    let duration_s = lookup_f64(doc, "duration_s")?;
+    Ok(match lookup_str(doc, "type")? {
+        "idle" => Segment::Idle { duration_s },
+        "cruise" => Segment::Cruise { duration_s },
+        "accelerate" => Segment::Accelerate {
+            duration_s,
+            accel: lookup_f64(doc, "accel")?,
+        },
+        "brake" => Segment::Brake {
+            duration_s,
+            decel: lookup_f64(doc, "decel")?,
+        },
+        "turn" => Segment::Turn {
+            duration_s,
+            yaw_rate: lookup_f64(doc, "yaw_rate")?,
+        },
+        "lane-change" => Segment::LaneChange {
+            duration_s,
+            peak_lateral_accel: lookup_f64(doc, "peak_lateral_accel")?,
+        },
+        "grade" => Segment::Grade {
+            duration_s,
+            pitch_rad: lookup_f64(doc, "pitch_rad")?,
+        },
+        other => return Err(format!("unknown segment type {other:?}")),
+    })
+}
+
+fn lookup_f64(doc: &Json, key: &str) -> Result<f64, String> {
+    doc.lookup(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("missing number {key:?}"))
+}
+
+fn lookup_u64(doc: &Json, key: &str) -> Result<u64, String> {
+    doc.lookup(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("missing integer {key:?}"))
+}
+
+fn lookup_str<'a>(doc: &'a Json, key: &str) -> Result<&'a str, String> {
+    doc.lookup(key)
+        .and_then(Json::as_str)
+        .ok_or_else(|| format!("missing string {key:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canonical(spec: &ScenarioSpec) -> String {
+        spec_to_json(spec).expect("serialize").render_to_string()
+    }
+
+    #[test]
+    fn generation_is_a_pure_function_of_seed_and_index() {
+        for case in 0..8 {
+            let a = generate_spec(0xFACE, case);
+            let b = generate_spec(0xFACE, case);
+            assert_eq!(canonical(&a), canonical(&b));
+        }
+        assert_ne!(
+            canonical(&generate_spec(1, 0)),
+            canonical(&generate_spec(2, 0))
+        );
+        assert_ne!(
+            canonical(&generate_spec(1, 0)),
+            canonical(&generate_spec(1, 1))
+        );
+    }
+
+    #[test]
+    fn specs_round_trip_through_json_losslessly() {
+        for case in 0..32 {
+            let spec = generate_spec(0xC0FFEE, case);
+            let text = canonical(&spec);
+            let parsed = Json::parse(&text).expect("parse json");
+            let back = spec_from_json(&parsed).expect("decode spec");
+            assert_eq!(canonical(&back), text, "case {case}");
+        }
+    }
+
+    #[test]
+    fn corpus_entries_round_trip() {
+        let entry = CorpusEntry {
+            campaign_seed: 7,
+            case_index: 3,
+            verdict: "gate-livelock".into(),
+            spec: generate_spec(7, 3),
+        };
+        let doc = entry.to_json().expect("serialize");
+        let back = CorpusEntry::from_json(&doc).expect("decode");
+        assert_eq!(back.campaign_seed, 7);
+        assert_eq!(back.case_index, 3);
+        assert_eq!(back.verdict, "gate-livelock");
+        assert_eq!(canonical(&back.spec), canonical(&entry.spec));
+    }
+
+    #[test]
+    fn the_generator_covers_every_axis() {
+        // Over a modest campaign, every substrate, both channel kinds
+        // and at least one custom tuning must appear — the cross
+        // product is actually being explored.
+        let mut substrates = std::collections::HashSet::new();
+        let mut comms = 0;
+        let mut ideal = 0;
+        let mut custom_tunings = 0;
+        for case in 0..64 {
+            let spec = generate_spec(0xBEEF, case);
+            substrates.insert(spec.substrate.label());
+            match spec.channel {
+                ChannelSpec::Ideal => ideal += 1,
+                ChannelSpec::Comms { .. } => comms += 1,
+            }
+            if matches!(spec.tuning, TuningSpec::Custom(_)) {
+                custom_tunings += 1;
+            }
+        }
+        assert_eq!(substrates.len(), 4, "{substrates:?}");
+        assert!(comms > 8 && ideal > 8, "comms {comms} ideal {ideal}");
+        assert!(custom_tunings > 4);
+    }
+
+    #[test]
+    fn shrink_candidates_only_propose_changed_specs() {
+        let minimal = ScenarioSpec::named("already-minimal")
+            .with_duration(8.0)
+            .with_trajectory(TrajectorySpec::Level)
+            .with_environment(EnvironmentSpec::laboratory())
+            .with_acc_bias(Vec2::zeros());
+        // Level trajectory, lab environment, ideal channel, static
+        // tuning, floor duration, zero bias: nothing left to try.
+        assert!(shrink_candidates(&minimal).is_empty());
+        let storm = generate_spec(0xD00D, 0);
+        assert!(!shrink_candidates(&storm).is_empty());
+    }
+}

@@ -1,0 +1,359 @@
+//! A minimal JSON tree — just enough structure for the bench reports
+//! and the fuzz corpus (no external serializer in the offline build).
+//!
+//! Grew up in the bench crate as the report writer; promoted here so
+//! the core fuzz layer can serialize [`crate::spec::ScenarioSpec`]s to
+//! corpus files ([`crate::fuzz::spec_to_json`]) and the test harness
+//! can parse them back without depending on the bench binaries.
+//!
+//! Finite `f64`s round-trip **bit-exactly**: rendering uses Rust's
+//! shortest-round-trip float formatting and parsing uses
+//! `str::parse::<f64>`, which together reproduce the original bits —
+//! the property the deterministic-replay corpus relies on.
+
+/// A JSON value.
+#[derive(Debug)]
+pub enum Json {
+    /// A floating-point number (non-finite values serialize as null).
+    Num(f64),
+    /// An unsigned integer.
+    Int(u64),
+    /// A string.
+    Str(String),
+    /// An object with ordered keys.
+    Obj(Vec<(String, Json)>),
+    /// An array.
+    Arr(Vec<Json>),
+}
+
+impl Json {
+    /// Renders the document to its serialized text.
+    pub fn render_to_string(&self) -> String {
+        let mut out = String::new();
+        self.render(&mut out);
+        out
+    }
+
+    /// Renders into a caller-owned buffer.
+    pub fn render(&self, out: &mut String) {
+        match self {
+            Json::Num(x) if x.is_finite() => out.push_str(&format!("{x}")),
+            Json::Num(_) => out.push_str("null"),
+            Json::Int(x) => out.push_str(&format!("{x}")),
+            Json::Str(s) => {
+                out.push('"');
+                for ch in s.chars() {
+                    match ch {
+                        '"' => out.push_str("\\\""),
+                        '\\' => out.push_str("\\\\"),
+                        c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                        c => out.push(c),
+                    }
+                }
+                out.push('"');
+            }
+            Json::Obj(fields) => {
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    Json::Str(k.clone()).render(out);
+                    out.push(':');
+                    v.render(out);
+                }
+                out.push('}');
+            }
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.render(out);
+                }
+                out.push(']');
+            }
+        }
+    }
+
+    /// Parses a JSON document (the subset [`Json::render`] emits:
+    /// objects, arrays, strings with `\uXXXX`/standard escapes,
+    /// numbers, `true`/`false`/`null`; `null` and booleans parse as
+    /// non-finite / 0-or-1 [`Json::Num`]s). Returns `None` on
+    /// malformed input.
+    pub fn parse(text: &str) -> Option<Json> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos == bytes.len() {
+            Some(value)
+        } else {
+            None
+        }
+    }
+
+    /// Walks a `.`-separated path of object keys and array indices
+    /// (e.g. `"matrix.speedup"` or `"substrates.1.samples_per_sec"`).
+    pub fn lookup(&self, path: &str) -> Option<&Json> {
+        let mut node = self;
+        for part in path.split('.') {
+            node = match node {
+                Json::Obj(fields) => fields.iter().find(|(k, _)| k == part).map(|(_, v)| v)?,
+                Json::Arr(items) => items.get(part.parse::<usize>().ok()?)?,
+                _ => return None,
+            };
+        }
+        Some(node)
+    }
+
+    /// The numeric value of this node ([`Json::Num`] or [`Json::Int`]).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            Json::Int(x) => Some(*x as f64),
+            _ => None,
+        }
+    }
+
+    /// The string value of this node, if it is a [`Json::Str`].
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The integer value of this node, if it is a [`Json::Int`].
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Int(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// Finds the element of an array field whose `label` equals
+    /// `label` — the shape every per-substrate bench report uses.
+    pub fn find_labeled(&self, array: &str, label: &str) -> Option<&Json> {
+        let Json::Arr(items) = self.lookup(array)? else {
+            return None;
+        };
+        items
+            .iter()
+            .find(|item| matches!(item.lookup("label"), Some(Json::Str(s)) if s == label))
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Option<Json> {
+    skip_ws(b, pos);
+    match *b.get(*pos)? {
+        b'{' => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Some(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let Json::Str(key) = parse_value(b, pos)? else {
+                    return None;
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return None;
+                }
+                *pos += 1;
+                fields.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos)? {
+                    b',' => *pos += 1,
+                    b'}' => {
+                        *pos += 1;
+                        return Some(Json::Obj(fields));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        b'[' => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Some(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos)? {
+                    b',' => *pos += 1,
+                    b']' => {
+                        *pos += 1;
+                        return Some(Json::Arr(items));
+                    }
+                    _ => return None,
+                }
+            }
+        }
+        b'"' => {
+            *pos += 1;
+            let mut out = String::new();
+            loop {
+                match *b.get(*pos)? {
+                    b'"' => {
+                        *pos += 1;
+                        return Some(Json::Str(out));
+                    }
+                    b'\\' => {
+                        *pos += 1;
+                        match *b.get(*pos)? {
+                            b'"' => out.push('"'),
+                            b'\\' => out.push('\\'),
+                            b'/' => out.push('/'),
+                            b'n' => out.push('\n'),
+                            b't' => out.push('\t'),
+                            b'r' => out.push('\r'),
+                            b'u' => {
+                                let hex = b.get(*pos + 1..*pos + 5)?;
+                                let code =
+                                    u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                                out.push(char::from_u32(code)?);
+                                *pos += 4;
+                            }
+                            _ => return None,
+                        }
+                        *pos += 1;
+                    }
+                    _ => {
+                        // Advance over one UTF-8 scalar.
+                        let rest = std::str::from_utf8(&b[*pos..]).ok()?;
+                        let ch = rest.chars().next()?;
+                        out.push(ch);
+                        *pos += ch.len_utf8();
+                    }
+                }
+            }
+        }
+        b't' => {
+            if b.get(*pos..*pos + 4)? == b"true" {
+                *pos += 4;
+                Some(Json::Num(1.0))
+            } else {
+                None
+            }
+        }
+        b'f' => {
+            if b.get(*pos..*pos + 5)? == b"false" {
+                *pos += 5;
+                Some(Json::Num(0.0))
+            } else {
+                None
+            }
+        }
+        b'n' => {
+            if b.get(*pos..*pos + 4)? == b"null" {
+                *pos += 4;
+                Some(Json::Num(f64::NAN))
+            } else {
+                None
+            }
+        }
+        _ => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&b[start..*pos]).ok()?;
+            if !text.contains(['.', 'e', 'E']) {
+                if let Ok(i) = text.parse::<u64>() {
+                    return Some(Json::Int(i));
+                }
+            }
+            text.parse::<f64>().ok().map(Json::Num)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_roundtrips_through_parse() {
+        let doc = Json::Obj(vec![
+            ("bench".into(), Json::Str("x \"quoted\"\n".into())),
+            ("n".into(), Json::Int(42)),
+            ("v".into(), Json::Num(1.5e-3)),
+            ("bad".into(), Json::Num(f64::NAN)),
+            (
+                "rows".into(),
+                Json::Arr(vec![
+                    Json::Obj(vec![
+                        ("label".into(), Json::Str("softfloat".into())),
+                        ("samples_per_sec".into(), Json::Num(26236.13)),
+                    ]),
+                    Json::Obj(vec![
+                        ("label".into(), Json::Str("f64".into())),
+                        ("samples_per_sec".into(), Json::Num(172268.3)),
+                    ]),
+                ]),
+            ),
+        ]);
+        let text = doc.render_to_string();
+        let parsed = Json::parse(&text).expect("parse");
+        assert_eq!(parsed.lookup("n").unwrap().as_f64(), Some(42.0));
+        assert_eq!(parsed.lookup("n").unwrap().as_u64(), Some(42));
+        assert_eq!(parsed.lookup("v").unwrap().as_f64(), Some(1.5e-3));
+        assert!(parsed.lookup("bad").unwrap().as_f64().unwrap().is_nan());
+        assert_eq!(
+            parsed
+                .lookup("rows.1.samples_per_sec")
+                .unwrap()
+                .as_f64()
+                .unwrap(),
+            172268.3
+        );
+        let soft = parsed.find_labeled("rows", "softfloat").expect("labeled");
+        assert_eq!(
+            soft.lookup("samples_per_sec").unwrap().as_f64().unwrap(),
+            26236.13
+        );
+        assert_eq!(
+            parsed.lookup("bench").unwrap().as_str(),
+            Some("x \"quoted\"\n")
+        );
+        assert!(Json::parse("{\"unterminated\": ").is_none());
+        assert!(Json::parse("[1, 2] trailing").is_none());
+    }
+
+    #[test]
+    fn finite_floats_roundtrip_bit_exactly() {
+        // The corpus format stores spec scalars as JSON numbers; the
+        // shortest-round-trip renderer must reproduce the exact bits.
+        for &x in &[
+            0.1,
+            -3.0e-17,
+            std::f64::consts::PI,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            2.225073858507201e-308, // subnormal-boundary stress value
+            1.7976931348623157e308,
+        ] {
+            let text = Json::Num(x).render_to_string();
+            let back = Json::parse(&text).expect("parse").as_f64().expect("num");
+            assert_eq!(back.to_bits(), x.to_bits(), "{x} -> {text} -> {back}");
+        }
+    }
+}

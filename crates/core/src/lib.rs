@@ -38,6 +38,24 @@
 //!   [`spec::ScenarioSuite::run_parallel`]: whole sessions are `Send`,
 //!   so every scenario × substrate cell lowers and runs inside its
 //!   worker thread, bit-identical to the serial sweep;
+//! * [`fuzz`] — the seeded scenario fuzzer: a replayable random
+//!   composer of [`ScenarioSpec`]s over every axis the declarative
+//!   layer exposes, with greedy shrinking toward the minimal spec
+//!   still tripping a given [`oracle`] verdict, and the lossless
+//!   spec JSON codec behind the committed `corpus/` regression cases;
+//! * [`oracle`] — [`oracle::FusionOracle`], the shared fusion-health
+//!   oracle: covariance collapse/indefiniteness, divergence against
+//!   an interleaved `f64` reference, innovation-gate livelock, retune
+//!   thrash, saturation storms, link-fault storms and reconfiguration
+//!   ledger violations, each a typed [`oracle::OracleVerdict`] with
+//!   the first offending update index;
+//! * [`replay`] — the deterministic record/replay layer: a
+//!   [`replay::RecordingSink`] captures a session's event stream into
+//!   a compact versioned [`replay::Recording`], and a
+//!   [`replay::ReplaySource`] feeds it back bit-identically on every
+//!   substrate (pinned by test);
+//! * [`json`] — the dependency-free JSON tree shared by the bench
+//!   reports and the fuzz corpus codec;
 //! * [`scenario`] — the static (tilt-table) and dynamic (drive)
 //!   test procedures producing Table-1/Figure-8/Figure-9 data, as thin
 //!   wrappers over [`session`] (and the lowering target [`spec`]
@@ -133,10 +151,14 @@ pub mod estimator;
 pub mod exec;
 pub mod filter;
 pub mod fleet;
+pub mod fuzz;
+pub mod json;
 pub mod lanes;
 pub mod model;
 pub mod monitor;
 pub mod multi;
+pub mod oracle;
+pub mod replay;
 pub mod report;
 pub mod scenario;
 pub mod session;
@@ -162,9 +184,15 @@ pub use filter::{BoresightFilter, FilterConfig, GenericBoresightFilter, KalmanUp
 pub use fleet::{
     AdmitError, EvictReason, EvictionPolicy, Fleet, FleetConfig, FleetStats, VehicleId,
 };
+pub use fuzz::{generate_spec, shrink, CorpusEntry, ShrinkOutcome};
+pub use json::Json;
 pub use lanes::{LaneBank, LaneIekf, LaneState};
 pub use monitor::{MonitorConfig, ResidualMonitor, Retune};
 pub use multi::MultiBoresight;
+pub use oracle::{FusionOracle, OracleConfig, OracleReport, OracleVerdict};
+pub use replay::{
+    record_spec, replay_spec_session, Recording, RecordingSink, ReplayRecord, ReplaySource,
+};
 pub use report::{RunningRms, VehicleSummary};
 pub use scenario::{run, run_dynamic, run_static, RunResult, ScenarioConfig};
 pub use session::{

@@ -1,0 +1,723 @@
+//! Fusion-error oracles — one shared set of health checks over a run.
+//!
+//! The bench bins and integration tests had each grown their own
+//! ad-hoc notion of "healthy" (finite angles here, an exceed-rate cap
+//! there). [`FusionOracle`] consolidates them: it drives a session in
+//! fixed stream-time windows alongside an interleaved native-`f64`
+//! reference fed the same scenario, and emits a typed
+//! [`OracleVerdict`] — with the update index where the condition first
+//! held — for every failure class the repo knows how to detect:
+//!
+//! * [`OracleVerdict::NonFiniteState`] — NaN/inf misalignment angles;
+//! * [`OracleVerdict::CovarianceIndefinite`] — a 1-sigma readout gone
+//!   NaN or negative (a covariance diagonal driven below zero);
+//! * [`OracleVerdict::CovarianceCollapse`] — reported 1-sigma at
+//!   effectively zero while updates keep streaming (overconfidence);
+//! * [`OracleVerdict::Divergence`] — worst-axis disagreement with the
+//!   `f64` reference beyond a bound, after warm-up;
+//! * [`OracleVerdict::GateLivelock`] — the innovation gate rejecting
+//!   every sample for a long stretch (the filter can never recover
+//!   because it never accepts the evidence that would fix it);
+//! * [`OracleVerdict::RetuneThrash`] — the adaptive monitor slewing
+//!   sigma back and forth many times within a short update span;
+//! * [`OracleVerdict::SaturationStorm`] — fixed-point range clips
+//!   arriving faster than the filter accepts updates;
+//! * [`OracleVerdict::LinkFaultStorm`] — injected channel faults per
+//!   second beyond the configured ceiling (live runs only: a replayed
+//!   recording carries endpoint stats, not a live injector);
+//! * [`OracleVerdict::LedgerViolation`] — an adaptive run whose
+//!   reconfiguration ledger fails its chain validation.
+//!
+//! One oracle pass serves the fuzz campaign ([`crate::fuzz`]), the
+//! regression corpus (`tests/corpus.rs`), and — via
+//! [`FusionOracle::check_summary`] — the scenario-matrix, adaptive and
+//! fleet bench bins that previously hand-rolled these gates.
+
+use crate::adaptive::AdaptiveBackend;
+use crate::estimator::MisalignmentEstimate;
+use crate::replay::{replay_spec_session, Recording};
+use crate::report::VehicleSummary;
+use crate::session::FusionSession;
+use crate::spec::{ScenarioSpec, Substrate};
+use mathx::rad_to_deg;
+
+/// Thresholds for every oracle check. The defaults are calibrated so
+/// the full healthy scenario catalog passes on every substrate while
+/// the fuzz campaign's genuine failures still trip (pinned by tests).
+#[derive(Clone, Copy, Debug)]
+pub struct OracleConfig {
+    /// Stream-time window between check points, seconds.
+    pub check_interval_s: f64,
+    /// Worst-axis disagreement with the `f64` reference that counts as
+    /// divergence, degrees.
+    pub divergence_bound_deg: f64,
+    /// Accepted updates both subject and reference must reach before
+    /// the divergence check arms (transient disagreement during
+    /// convergence is expected).
+    pub divergence_warmup_updates: u64,
+    /// Consecutive gate-rejected measurements (with no acceptance in
+    /// between) that count as livelock...
+    pub livelock_rejections: u64,
+    /// ...provided the filter is still materially uncertain: worst-axis
+    /// 1-sigma above this (radians) while the streak runs. Converged
+    /// fixed-point filters go benignly deaf once their covariance
+    /// quantizes to zero (measured healthy deaf-phase worst sigma is
+    /// 2.3e-2 rad); a genuinely livelocked gate never converges and
+    /// holds its initial sigma (8.7e-2 rad for the default 5-degree
+    /// prior). The ceiling sits between the two.
+    pub livelock_sigma_ceiling_rad: f64,
+    /// Number of retunes within [`OracleConfig::thrash_span_updates`]
+    /// that counts as thrash.
+    pub thrash_retunes: usize,
+    /// Update-index span the thrash counter slides over.
+    pub thrash_span_updates: u64,
+    /// Mean fixed-point saturations per measurement within one window
+    /// that counts as a storm...
+    pub saturation_per_update: f64,
+    /// ...provided at least this many saturations landed in the window
+    /// (so a quiet window cannot trip on a tiny denominator).
+    pub saturation_min_burst: u64,
+    /// Reported 1-sigma below this (radians) is covariance collapse.
+    /// Checked on float substrates only: q16.16 (and the adaptive
+    /// supervisor, which idles there) quantizes healthy steady-state
+    /// sigma to exactly zero, so zero is not evidence of a defect
+    /// for them.
+    pub sigma_floor_rad: f64,
+    /// Injected link-fault events (flips + drops + bursts) per second
+    /// that count as a fault storm.
+    pub fault_events_per_s: f64,
+}
+
+impl Default for OracleConfig {
+    fn default() -> Self {
+        Self {
+            check_interval_s: 1.0,
+            divergence_bound_deg: 5.0,
+            divergence_warmup_updates: 500,
+            livelock_rejections: 400,
+            livelock_sigma_ceiling_rad: 4e-2,
+            thrash_retunes: 16,
+            thrash_span_updates: 1000,
+            saturation_per_update: 16.0,
+            saturation_min_burst: 1000,
+            sigma_floor_rad: 1e-9,
+            fault_events_per_s: 500.0,
+        }
+    }
+}
+
+/// One detected failure, with the update index (counting every
+/// measurement the filter saw, accepted or gated) at which the
+/// offending condition was first observed.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OracleVerdict {
+    /// Misalignment angles went NaN or infinite.
+    NonFiniteState {
+        /// Update index at first detection.
+        at_update: u64,
+    },
+    /// A 1-sigma readout went NaN or negative — the covariance
+    /// diagonal is no longer positive.
+    CovarianceIndefinite {
+        /// Update index at first detection.
+        at_update: u64,
+        /// The offending per-axis 1-sigma readout, radians.
+        sigma: [f64; 3],
+    },
+    /// Reported 1-sigma collapsed to (effectively) zero.
+    CovarianceCollapse {
+        /// Update index at first detection.
+        at_update: u64,
+        /// Smallest per-axis 1-sigma observed, radians.
+        sigma_min: f64,
+    },
+    /// Worst-axis disagreement with the interleaved `f64` reference
+    /// exceeded the bound.
+    Divergence {
+        /// Update index at first detection.
+        at_update: u64,
+        /// Worst-axis disagreement at detection, degrees.
+        error_deg: f64,
+    },
+    /// The innovation gate rejected every measurement for a long
+    /// stretch.
+    GateLivelock {
+        /// Update index at first detection.
+        at_update: u64,
+        /// Consecutive rejections at detection.
+        rejected: u64,
+    },
+    /// The adaptive monitor retuned too often within a short span.
+    RetuneThrash {
+        /// Update index at first detection.
+        at_update: u64,
+        /// Retunes inside the offending span.
+        retunes: usize,
+        /// The span they landed in, update indices.
+        span: u64,
+    },
+    /// Fixed-point saturations swamped the measurement stream.
+    SaturationStorm {
+        /// Update index at first detection.
+        at_update: u64,
+        /// Saturations within the offending window.
+        saturations: u64,
+        /// Measurements within the same window.
+        updates: u64,
+    },
+    /// Injected link faults exceeded the per-second ceiling.
+    LinkFaultStorm {
+        /// Update index at first detection.
+        at_update: u64,
+        /// Observed fault events (flips + drops + bursts) per second.
+        events_per_s: f64,
+    },
+    /// The adaptive reconfiguration ledger failed chain validation.
+    LedgerViolation {
+        /// Update index at detection (end of run).
+        at_update: u64,
+        /// The validator's complaint.
+        detail: String,
+    },
+}
+
+impl OracleVerdict {
+    /// Stable machine-readable name of this failure class (the key the
+    /// corpus files and campaign summaries store).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::NonFiniteState { .. } => "non-finite-state",
+            Self::CovarianceIndefinite { .. } => "covariance-indefinite",
+            Self::CovarianceCollapse { .. } => "covariance-collapse",
+            Self::Divergence { .. } => "divergence",
+            Self::GateLivelock { .. } => "gate-livelock",
+            Self::RetuneThrash { .. } => "retune-thrash",
+            Self::SaturationStorm { .. } => "saturation-storm",
+            Self::LinkFaultStorm { .. } => "link-fault-storm",
+            Self::LedgerViolation { .. } => "ledger-violation",
+        }
+    }
+
+    /// The update index at which the condition was first observed.
+    pub fn at_update(&self) -> u64 {
+        match self {
+            Self::NonFiniteState { at_update }
+            | Self::CovarianceIndefinite { at_update, .. }
+            | Self::CovarianceCollapse { at_update, .. }
+            | Self::Divergence { at_update, .. }
+            | Self::GateLivelock { at_update, .. }
+            | Self::RetuneThrash { at_update, .. }
+            | Self::SaturationStorm { at_update, .. }
+            | Self::LinkFaultStorm { at_update, .. }
+            | Self::LedgerViolation { at_update, .. } => *at_update,
+        }
+    }
+}
+
+impl std::fmt::Display for OracleVerdict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} @ update {}", self.kind(), self.at_update())?;
+        match self {
+            Self::CovarianceIndefinite { sigma, .. } => {
+                write!(f, " (sigma {:?})", sigma)
+            }
+            Self::CovarianceCollapse { sigma_min, .. } => {
+                write!(f, " (sigma_min {sigma_min:.3e} rad)")
+            }
+            Self::Divergence { error_deg, .. } => write!(f, " ({error_deg:.2} deg vs f64)"),
+            Self::GateLivelock { rejected, .. } => write!(f, " ({rejected} consecutive rejects)"),
+            Self::RetuneThrash { retunes, span, .. } => {
+                write!(f, " ({retunes} retunes in {span} updates)")
+            }
+            Self::SaturationStorm {
+                saturations,
+                updates,
+                ..
+            } => write!(f, " ({saturations} saturations / {updates} updates)"),
+            Self::LinkFaultStorm { events_per_s, .. } => {
+                write!(f, " ({events_per_s:.0} fault events/s)")
+            }
+            Self::LedgerViolation { detail, .. } => write!(f, " ({detail})"),
+            _ => Ok(()),
+        }
+    }
+}
+
+/// The oracle's findings over one run. Each failure class is reported
+/// at most once, at its first occurrence, in detection order.
+#[derive(Clone, Debug, Default)]
+pub struct OracleReport {
+    /// Scenario name.
+    pub scenario: String,
+    /// Substrate label of the checked session.
+    pub substrate: String,
+    /// Every distinct failure class detected, in detection order.
+    pub verdicts: Vec<OracleVerdict>,
+    /// Measurements the subject saw (accepted + gated).
+    pub updates: u64,
+    /// Measurements the subject accepted.
+    pub accepted: u64,
+}
+
+impl OracleReport {
+    /// `true` when no check tripped.
+    pub fn is_healthy(&self) -> bool {
+        self.verdicts.is_empty()
+    }
+
+    /// The earliest-detected verdict, if any.
+    pub fn first(&self) -> Option<&OracleVerdict> {
+        self.verdicts.first()
+    }
+
+    /// `true` if a verdict of the given [`OracleVerdict::kind`] was
+    /// detected.
+    pub fn has_kind(&self, kind: &str) -> bool {
+        self.verdicts.iter().any(|v| v.kind() == kind)
+    }
+}
+
+/// The consolidated health-check pass. See the module docs for the
+/// checks; construct with a tuned [`OracleConfig`] or use `Default`.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FusionOracle {
+    /// The thresholds in force.
+    pub config: OracleConfig,
+}
+
+impl FusionOracle {
+    /// An oracle with explicit thresholds.
+    pub fn new(config: OracleConfig) -> Self {
+        Self { config }
+    }
+
+    /// Runs `spec` from scratch next to an interleaved `f64` reference
+    /// over the same scenario (same trajectory, same seeds, same
+    /// channel) and checks every window.
+    pub fn check_spec(&self, spec: &ScenarioSpec) -> OracleReport {
+        let trajectory = std::sync::Arc::new(spec.lower_trajectory());
+        let shared: std::sync::Arc<dyn vehicle::Trajectory> = trajectory;
+        let subject = spec.into_session(std::sync::Arc::clone(&shared));
+        let reference = (spec.substrate != Substrate::F64).then(|| {
+            spec.clone()
+                .with_substrate(Substrate::F64)
+                .into_session(shared)
+        });
+        self.check_sessions(spec, subject, reference, spec.duration_s, true)
+    }
+
+    /// Replays a recorded run of `spec` (subject and `f64` reference
+    /// both fed from the recording) and checks every window. The
+    /// link-fault-storm check is skipped: a recording carries the
+    /// original run's endpoint stats, not a live injector.
+    pub fn check_recording(&self, spec: &ScenarioSpec, recording: &Recording) -> OracleReport {
+        let subject = replay_spec_session(spec, recording);
+        let reference = (spec.substrate != Substrate::F64)
+            .then(|| replay_spec_session(&spec.clone().with_substrate(Substrate::F64), recording));
+        self.check_sessions(spec, subject, reference, recording.duration_s, false)
+    }
+
+    /// The shared windowed loop behind [`FusionOracle::check_spec`]
+    /// and [`FusionOracle::check_recording`].
+    fn check_sessions(
+        &self,
+        spec: &ScenarioSpec,
+        mut subject: FusionSession,
+        mut reference: Option<FusionSession>,
+        duration_s: f64,
+        live: bool,
+    ) -> OracleReport {
+        let cfg = &self.config;
+        let mut report = OracleReport {
+            scenario: spec.name.clone(),
+            substrate: spec.substrate.label().to_string(),
+            ..OracleReport::default()
+        };
+        let quantized = spec.substrate.quantizes_sigma();
+        let mut state = CheckState::default();
+        let mut elapsed = 0.0;
+        while elapsed < duration_s && !subject.is_finished() {
+            let chunk = cfg.check_interval_s.min(duration_s - elapsed);
+            if live {
+                subject.begin_stats_window();
+            }
+            subject.run_for(chunk);
+            if let Some(reference) = reference.as_mut() {
+                reference.run_for(chunk);
+            }
+            elapsed += chunk;
+            self.check_window(
+                &subject,
+                reference.as_ref(),
+                chunk,
+                live,
+                quantized,
+                &mut state,
+                &mut report,
+            );
+        }
+        // Post-run: the reconfiguration ledger must chain.
+        if let Some(backend) = subject.backend_as::<AdaptiveBackend>() {
+            if let Err(detail) = backend.ledger().validate(backend.initial_substrate()) {
+                push_once(
+                    &mut report,
+                    OracleVerdict::LedgerViolation {
+                        at_update: subject.stats().updates,
+                        detail,
+                    },
+                );
+            }
+        }
+        report.updates = subject.stats().updates;
+        report.accepted = subject.estimate().updates;
+        report
+    }
+
+    /// One window's worth of incremental checks.
+    #[allow(clippy::too_many_arguments)]
+    fn check_window(
+        &self,
+        subject: &FusionSession,
+        reference: Option<&FusionSession>,
+        window_s: f64,
+        live: bool,
+        quantized: bool,
+        state: &mut CheckState,
+        report: &mut OracleReport,
+    ) {
+        let cfg = &self.config;
+        let stats = subject.stats();
+        let estimate = subject.estimate();
+        let at_update = stats.updates;
+
+        // State and covariance health.
+        let angles = [
+            estimate.angles.roll,
+            estimate.angles.pitch,
+            estimate.angles.yaw,
+        ];
+        if angles.iter().any(|x| !x.is_finite()) {
+            push_once(report, OracleVerdict::NonFiniteState { at_update });
+        }
+        let sigma = [
+            estimate.one_sigma[0],
+            estimate.one_sigma[1],
+            estimate.one_sigma[2],
+        ];
+        if sigma.iter().any(|x| x.is_nan() || *x < 0.0) {
+            push_once(
+                report,
+                OracleVerdict::CovarianceIndefinite { at_update, sigma },
+            );
+        } else if estimate.updates > 0 && !quantized {
+            let sigma_min = sigma.iter().cloned().fold(f64::INFINITY, f64::min);
+            if sigma_min < cfg.sigma_floor_rad {
+                push_once(
+                    report,
+                    OracleVerdict::CovarianceCollapse {
+                        at_update,
+                        sigma_min,
+                    },
+                );
+            }
+        }
+
+        // Divergence against the interleaved f64 reference.
+        if let Some(reference) = reference {
+            let ref_estimate = reference.estimate();
+            if estimate.updates >= cfg.divergence_warmup_updates
+                && ref_estimate.updates >= cfg.divergence_warmup_updates
+            {
+                let err = estimate.angles.error_to(&ref_estimate.angles);
+                let worst_deg = rad_to_deg(err.roll.abs().max(err.pitch.abs()).max(err.yaw.abs()));
+                if !worst_deg.is_finite() || worst_deg > cfg.divergence_bound_deg {
+                    push_once(
+                        report,
+                        OracleVerdict::Divergence {
+                            at_update,
+                            error_deg: worst_deg,
+                        },
+                    );
+                }
+            }
+        }
+
+        // Gate livelock: measurements keep arriving, none accepted.
+        let accepted_delta = estimate.updates.saturating_sub(state.last_accepted);
+        let seen_delta = stats.updates.saturating_sub(state.last_seen);
+        if accepted_delta > 0 {
+            state.consecutive_rejected = 0;
+        } else {
+            state.consecutive_rejected += seen_delta;
+        }
+        state.last_accepted = estimate.updates;
+        state.last_seen = stats.updates;
+        let sigma_max = sigma.iter().cloned().fold(0.0_f64, f64::max);
+        if state.consecutive_rejected >= cfg.livelock_rejections
+            && sigma_max > cfg.livelock_sigma_ceiling_rad
+        {
+            push_once(
+                report,
+                OracleVerdict::GateLivelock {
+                    at_update,
+                    rejected: state.consecutive_rejected,
+                },
+            );
+        }
+
+        // Retune thrash: a sliding span over the retune log.
+        let retunes = subject.retunes();
+        while state.retunes_checked < retunes.len() {
+            let i = state.retunes_checked;
+            if i + 1 >= cfg.thrash_retunes {
+                let first = retunes[i + 1 - cfg.thrash_retunes].at_sample;
+                let span = retunes[i].at_sample.saturating_sub(first);
+                if span <= cfg.thrash_span_updates {
+                    push_once(
+                        report,
+                        OracleVerdict::RetuneThrash {
+                            at_update,
+                            retunes: cfg.thrash_retunes,
+                            span,
+                        },
+                    );
+                }
+            }
+            state.retunes_checked += 1;
+        }
+
+        // Saturation storm: clips per measurement within this window.
+        let sat_delta = stats.saturations.saturating_sub(state.last_saturations);
+        state.last_saturations = stats.saturations;
+        if sat_delta >= cfg.saturation_min_burst
+            && sat_delta as f64 > cfg.saturation_per_update * seen_delta.max(1) as f64
+        {
+            push_once(
+                report,
+                OracleVerdict::SaturationStorm {
+                    at_update,
+                    saturations: sat_delta,
+                    updates: seen_delta,
+                },
+            );
+        }
+
+        // Link-fault storm (live sources only — see module docs).
+        if live {
+            if let Some(stream) = subject.stream_stats() {
+                let events = stream.window_fault_bits_flipped
+                    + stream.window_fault_bytes_dropped
+                    + stream.window_fault_bursts;
+                let events_per_s = events as f64 / window_s.max(1e-9);
+                if events_per_s > cfg.fault_events_per_s {
+                    push_once(
+                        report,
+                        OracleVerdict::LinkFaultStorm {
+                            at_update,
+                            events_per_s,
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    /// The post-hoc subset of checks a finished run's summary still
+    /// supports — the shared replacement for the ad-hoc
+    /// `is_healthy()`-style gates in the bench bins. Returns every
+    /// verdict the summary evidences (state health, covariance health,
+    /// and — when the summary carries stream stats — cumulative fault
+    /// counters vs the whole-run budget implied by `duration_s`).
+    pub fn check_summary(
+        &self,
+        summary: &VehicleSummary,
+        duration_s: f64,
+        substrate: Substrate,
+    ) -> Vec<OracleVerdict> {
+        let mut verdicts = self.check_estimate(&summary.estimate, substrate);
+        let at_update = summary.estimate.updates;
+        if !summary.final_worst_error_deg.is_finite()
+            && !verdicts.iter().any(|v| v.kind() == "non-finite-state")
+        {
+            verdicts.push(OracleVerdict::NonFiniteState { at_update });
+        }
+        if let Some(stream) = &summary.stream {
+            let events =
+                stream.fault_bits_flipped + stream.fault_bytes_dropped + stream.fault_bursts;
+            let events_per_s = events as f64 / duration_s.max(1e-9);
+            if events_per_s > self.config.fault_events_per_s {
+                verdicts.push(OracleVerdict::LinkFaultStorm {
+                    at_update,
+                    events_per_s,
+                });
+            }
+        }
+        verdicts
+    }
+
+    /// State and covariance health of one bare estimate — the first
+    /// half of [`FusionOracle::check_summary`], and the shared
+    /// replacement for the hand-rolled `is_finite()` sampling over
+    /// resident vehicles in the fleet bench bin.
+    pub fn check_estimate(
+        &self,
+        estimate: &MisalignmentEstimate,
+        substrate: Substrate,
+    ) -> Vec<OracleVerdict> {
+        let mut verdicts = Vec::new();
+        let at_update = estimate.updates;
+        let angles = [
+            estimate.angles.roll,
+            estimate.angles.pitch,
+            estimate.angles.yaw,
+        ];
+        if angles.iter().any(|x| !x.is_finite()) {
+            verdicts.push(OracleVerdict::NonFiniteState { at_update });
+        }
+        let sigma = [
+            estimate.one_sigma[0],
+            estimate.one_sigma[1],
+            estimate.one_sigma[2],
+        ];
+        if sigma.iter().any(|x| x.is_nan() || *x < 0.0) {
+            verdicts.push(OracleVerdict::CovarianceIndefinite { at_update, sigma });
+        } else if estimate.updates > 0 && !substrate.quantizes_sigma() {
+            let sigma_min = sigma.iter().cloned().fold(f64::INFINITY, f64::min);
+            if sigma_min < self.config.sigma_floor_rad {
+                verdicts.push(OracleVerdict::CovarianceCollapse {
+                    at_update,
+                    sigma_min,
+                });
+            }
+        }
+        verdicts
+    }
+
+    /// Validates an adaptive run's reconfiguration ledger — the shared
+    /// replacement for the hand-rolled chain walk in the adaptive
+    /// bench bin.
+    pub fn check_ledger(
+        &self,
+        ledger: &crate::adaptive::ReconfigLedger,
+        initial: crate::adaptive::SubstrateId,
+        at_update: u64,
+    ) -> Option<OracleVerdict> {
+        ledger
+            .validate(initial)
+            .err()
+            .map(|detail| OracleVerdict::LedgerViolation { at_update, detail })
+    }
+}
+
+/// Incremental bookkeeping carried across check windows.
+#[derive(Default)]
+struct CheckState {
+    last_accepted: u64,
+    last_seen: u64,
+    last_saturations: u64,
+    consecutive_rejected: u64,
+    retunes_checked: usize,
+}
+
+fn push_once(report: &mut OracleReport, verdict: OracleVerdict) {
+    if !report.has_kind(verdict.kind()) {
+        report.verdicts.push(verdict);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimator::EstimatorConfig;
+    use crate::filter::FilterConfig;
+    use crate::session::LinkFaultConfig;
+    use crate::spec::{ChannelSpec, EnvironmentSpec, TuningSpec};
+    use mathx::EulerAngles;
+
+    fn healthy_spec(substrate: Substrate) -> ScenarioSpec {
+        ScenarioSpec::named("oracle-unit")
+            .with_truth(EulerAngles::from_degrees(2.0, -1.0, 1.5))
+            .with_duration(15.0)
+            .with_substrate(substrate)
+    }
+
+    #[test]
+    fn healthy_runs_pass_on_every_substrate() {
+        for substrate in [
+            Substrate::F64,
+            Substrate::Softfloat,
+            Substrate::Q16_16,
+            Substrate::Adaptive,
+        ] {
+            let report = FusionOracle::default().check_spec(&healthy_spec(substrate));
+            assert!(report.is_healthy(), "{substrate}: {:?}", report.verdicts);
+            assert!(report.accepted > 0, "{substrate}");
+        }
+    }
+
+    #[test]
+    fn tight_gate_under_fault_storm_trips_the_oracle() {
+        // The known-bad shape the shrinking test also uses: heavy
+        // channel faults into a q16.16 filter whose innovation gate is
+        // clamped so tight it can never accept the (noisier) stream.
+        let mut filter = FilterConfig::paper_dynamic();
+        filter.gate_sigmas = 0.05;
+        let spec = healthy_spec(Substrate::Q16_16)
+            .with_environment(EnvironmentSpec::rough_road())
+            .with_tuning(TuningSpec::Custom(EstimatorConfig {
+                filter,
+                monitor: None,
+                lever_arm: mathx::Vec3::zeros(),
+            }))
+            .with_channel(ChannelSpec::Comms {
+                faults: LinkFaultConfig {
+                    bit_flip_prob: 0.01,
+                    drop_prob: 0.01,
+                    burst_prob: 0.002,
+                    burst_len: 8,
+                },
+            });
+        let report = FusionOracle::default().check_spec(&spec);
+        assert!(
+            report.has_kind("gate-livelock"),
+            "expected livelock, got {:?}",
+            report.verdicts
+        );
+        let verdict = report.first().expect("at least one verdict");
+        assert!(verdict.at_update() > 0);
+    }
+
+    #[test]
+    fn summary_checks_flag_non_finite_and_collapsed_runs() {
+        let oracle = FusionOracle::default();
+        let spec = healthy_spec(Substrate::F64);
+        let result = spec.run();
+        let mut summary = VehicleSummary::from_result(&result, 0, None);
+        assert!(oracle
+            .check_summary(&summary, spec.duration_s, Substrate::F64)
+            .is_empty());
+
+        summary.estimate.angles.roll = f64::NAN;
+        let verdicts = oracle.check_summary(&summary, spec.duration_s, Substrate::F64);
+        assert!(verdicts.iter().any(|v| v.kind() == "non-finite-state"));
+
+        let mut collapsed = VehicleSummary::from_result(&result, 0, None);
+        collapsed.estimate.one_sigma = mathx::Vec3::zeros();
+        let verdicts = oracle.check_summary(&collapsed, spec.duration_s, Substrate::F64);
+        assert!(verdicts.iter().any(|v| v.kind() == "covariance-collapse"));
+
+        let mut indefinite = VehicleSummary::from_result(&result, 0, None);
+        indefinite.estimate.one_sigma[1] = -1.0e-3;
+        let verdicts = oracle.check_summary(&indefinite, spec.duration_s, Substrate::F64);
+        assert!(verdicts.iter().any(|v| v.kind() == "covariance-indefinite"));
+    }
+
+    #[test]
+    fn recording_checks_reproduce_live_verdict_kinds() {
+        let spec = healthy_spec(Substrate::Softfloat);
+        let (_, recording) = crate::replay::record_spec(&spec);
+        let report = FusionOracle::default().check_recording(&spec, &recording);
+        assert!(report.is_healthy(), "{:?}", report.verdicts);
+        assert!(report.updates > 0);
+    }
+}

@@ -85,7 +85,9 @@ use vehicle::{RoadVibration, Trajectory, VibrationConfig};
 
 /// Comparison slack when deciding whether an event at time `t` falls
 /// inside a step ending at `t_to` (guards against `i * dt` round-off).
-const TIME_EPS: f64 = 1e-9;
+/// Shared with [`crate::replay::ReplaySource`], whose head-gated poll
+/// must make the identical in-window decisions.
+pub(crate) const TIME_EPS: f64 = 1e-9;
 
 /// Conversion into the shared, owned trajectory handle sessions carry.
 ///
@@ -209,6 +211,14 @@ pub trait SensorSource: Send {
     fn stream_stats(&self) -> Option<StreamStats> {
         None
     }
+
+    /// Starts a fresh stats window: zeroes the per-window fault
+    /// counters surfaced through [`StreamStats`] (the cumulative
+    /// totals are untouched). A no-op for sources without fault
+    /// injection. Health monitors (the fault-storm oracle) call this
+    /// at each observation-window boundary and read the deltas off
+    /// the next [`SensorSource::stream_stats`] snapshot.
+    fn reset_stats_window(&mut self) {}
 }
 
 /// A consumer of sensor events that maintains a misalignment estimate.
@@ -963,7 +973,17 @@ impl SensorSource for CommsChainSource {
         stats.fault_bits_flipped = self.dmu_fault.bits_flipped() + self.acc_fault.bits_flipped();
         stats.fault_bytes_dropped = self.dmu_fault.bytes_dropped() + self.acc_fault.bytes_dropped();
         stats.fault_bursts = self.dmu_fault.bursts() + self.acc_fault.bursts();
+        stats.window_fault_bits_flipped =
+            self.dmu_fault.window_bits_flipped() + self.acc_fault.window_bits_flipped();
+        stats.window_fault_bytes_dropped =
+            self.dmu_fault.window_bytes_dropped() + self.acc_fault.window_bytes_dropped();
+        stats.window_fault_bursts = self.dmu_fault.window_bursts() + self.acc_fault.window_bursts();
         Some(stats)
+    }
+
+    fn reset_stats_window(&mut self) {
+        self.dmu_fault.reset_window();
+        self.acc_fault.reset_window();
     }
 }
 
@@ -1317,6 +1337,14 @@ impl FusionSession {
     /// Serial-link statistics, if the source runs through a comms chain.
     pub fn stream_stats(&self) -> Option<StreamStats> {
         self.source.stream_stats()
+    }
+
+    /// Starts a fresh link-stats window on the source (see
+    /// [`SensorSource::reset_stats_window`]): the `window_fault_*`
+    /// fields of subsequent [`FusionSession::stream_stats`] snapshots
+    /// count from here.
+    pub fn begin_stats_window(&mut self) {
+        self.source.reset_stats_window();
     }
 
     /// The backend, by concrete type.

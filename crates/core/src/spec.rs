@@ -316,6 +316,17 @@ impl Substrate {
         }
     }
 
+    /// Whether this substrate can quantize a healthy steady-state
+    /// covariance to exactly zero. Q16.16's resolution (1/65536) is
+    /// coarser than the converged angle variances, so its reported
+    /// sigma legitimately reads 0.0 after convergence; the adaptive
+    /// supervisor idles on q16.16 and inherits the same behavior.
+    /// Health checks that treat a zero sigma as a defect must skip
+    /// these substrates.
+    pub fn quantizes_sigma(self) -> bool {
+        matches!(self, Self::Q16_16 | Self::Adaptive)
+    }
+
     /// Parses a short name (`fixed` is accepted for `q16.16`).
     pub fn parse(name: &str) -> Option<Self> {
         match name {
@@ -558,6 +569,15 @@ impl ScenarioSpec {
     /// one lowered trajectory across many sessions) — the single path
     /// every channel, tuning and substrate combination goes through.
     pub fn into_session(&self, trajectory: impl IntoSharedTrajectory) -> FusionSession {
+        self.session_builder(trajectory).build()
+    }
+
+    /// The configured [`SessionBuilder`] behind
+    /// [`ScenarioSpec::into_session`]: source, substrate backend,
+    /// truth and trace recording attached, but not yet built — so
+    /// callers can hang extra [`crate::session::EventSink`]s (e.g. a
+    /// [`crate::replay::RecordingSink`]) on the session first.
+    pub fn session_builder(&self, trajectory: impl IntoSharedTrajectory) -> SessionBuilder {
         let cfg = self.config();
         let expected_updates = FusionSession::expected_updates(&cfg);
         let builder = FusionSession::builder().source_boxed(self.into_source(trajectory));
@@ -565,7 +585,6 @@ impl ScenarioSpec {
             .attach_iekf(builder, cfg.estimator)
             .truth(cfg.true_misalignment)
             .record_traces_sized(cfg.trace_decimation, expected_updates)
-            .build()
     }
 
     /// Lowers and runs the spec to completion (the batch path).

@@ -1,0 +1,80 @@
+//! The shrinker's contract on a known-bad shape: a catalog-sized
+//! `can-fault-storm` scenario on Q16.16 with a pathologically tight
+//! innovation gate livelocks, and greedy shrinking must converge to a
+//! *minimal* spec still tripping the same verdict — which then
+//! replays deterministically from its recording.
+
+use sensor_fusion_fpga::fusion::catalog;
+use sensor_fusion_fpga::fusion::estimator::EstimatorConfig;
+use sensor_fusion_fpga::fusion::filter::FilterConfig;
+use sensor_fusion_fpga::fusion::fuzz;
+use sensor_fusion_fpga::fusion::oracle::FusionOracle;
+use sensor_fusion_fpga::fusion::replay::record_spec;
+use sensor_fusion_fpga::fusion::spec::{EnvironmentSpec, Substrate, TuningSpec};
+use sensor_fusion_fpga::math::Vec3;
+
+/// The known-bad spec: heavy channel faults into a q16.16 filter whose
+/// gate is clamped so tight it can never accept the noisier stream —
+/// the filter stays at its initial uncertainty forever.
+fn known_bad() -> sensor_fusion_fpga::fusion::spec::ScenarioSpec {
+    let mut filter = FilterConfig::paper_dynamic();
+    filter.gate_sigmas = 0.05;
+    catalog::by_name("can-fault-storm")
+        .expect("catalog entry")
+        .with_duration(24.0)
+        .with_substrate(Substrate::Q16_16)
+        .with_environment(EnvironmentSpec::rough_road())
+        .with_tuning(TuningSpec::Custom(EstimatorConfig {
+            filter,
+            monitor: None,
+            lever_arm: Vec3::zeros(),
+        }))
+}
+
+#[test]
+fn known_bad_spec_shrinks_to_a_minimal_livelock_reproducer() {
+    let oracle = FusionOracle::default();
+    let spec = known_bad();
+    let report = oracle.check_spec(&spec);
+    assert!(
+        report.has_kind("gate-livelock"),
+        "the known-bad spec must livelock, got {:?}",
+        report.verdicts
+    );
+
+    let outcome = fuzz::shrink(&spec, "gate-livelock", &oracle, 80);
+    assert!(outcome.steps > 0, "shrinking made no progress");
+    assert!(
+        outcome.spec.duration_s < spec.duration_s,
+        "duration was not reduced ({} s)",
+        outcome.spec.duration_s
+    );
+
+    // The shrunk spec still trips the same verdict...
+    let report = oracle.check_spec(&outcome.spec);
+    assert!(
+        report.has_kind("gate-livelock"),
+        "shrunk spec lost the verdict: {:?}",
+        report.verdicts
+    );
+
+    // ...and is a fixed point: no candidate shrinks it further.
+    for candidate in fuzz::shrink_candidates(&outcome.spec) {
+        assert!(
+            !oracle.check_spec(&candidate).has_kind("gate-livelock"),
+            "shrunk spec is not minimal: a further candidate still livelocks"
+        );
+    }
+
+    // The minimal reproducer replays deterministically: the recording
+    // reproduces the verdict, twice over.
+    let (_, recording) = record_spec(&outcome.spec);
+    for round in 0..2 {
+        let replayed = oracle.check_recording(&outcome.spec, &recording);
+        assert!(
+            replayed.has_kind("gate-livelock"),
+            "replay round {round} lost the verdict: {:?}",
+            replayed.verdicts
+        );
+    }
+}

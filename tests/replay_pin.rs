@@ -1,0 +1,114 @@
+//! Record/replay bit-identity, pinned for the whole catalog: a
+//! session recorded through [`RecordingSink`] and fed back through
+//! [`ReplaySource`] must reproduce the live run *exactly* — the same
+//! estimate trace bit for bit, the same final estimate and confidence,
+//! and the same `StreamStats` — on every static substrate.
+//!
+//! The backends are wall-time independent (behavior is a pure function
+//! of event order and content), so this holds even for comms-chain
+//! scenarios where reconstruction latency reorders samples across
+//! sensor streams: the recording preserves delivery order, not
+//! nominal timestamps.
+
+use sensor_fusion_fpga::fusion::catalog;
+use sensor_fusion_fpga::fusion::replay::record_spec;
+use sensor_fusion_fpga::fusion::replay::replay_spec_session;
+use sensor_fusion_fpga::fusion::spec::Substrate;
+
+/// Reduced duration: the catalog's long-haul entry is 3600 s at full
+/// length, and this pin runs 11 scenarios x 3 substrates in debug CI.
+const PIN_DURATION_S: f64 = 6.0;
+
+#[test]
+fn every_catalog_scenario_replays_bit_identically_on_every_substrate() {
+    for base in catalog::all() {
+        for substrate in Substrate::all() {
+            let spec = base
+                .clone()
+                .with_duration(PIN_DURATION_S)
+                .with_substrate(substrate);
+            let (live, recording) = record_spec(&spec);
+
+            let mut replayed = replay_spec_session(&spec, &recording);
+            replayed.run_to_end();
+            let replay_stream = replayed.stream_stats();
+            let replay = replayed.into_result();
+
+            let label = format!("{}/{}", spec.name, substrate.label());
+
+            // Estimate trace, bit for bit.
+            assert_eq!(
+                live.estimates.len(),
+                replay.estimates.len(),
+                "{label}: trace length diverged"
+            );
+            for (i, (a, b)) in live.estimates.iter().zip(&replay.estimates).enumerate() {
+                let bits = |p: &sensor_fusion_fpga::fusion::scenario::EstimatePoint| {
+                    (
+                        p.time_s.to_bits(),
+                        p.angles_deg.map(f64::to_bits),
+                        p.three_sigma_deg.map(f64::to_bits),
+                    )
+                };
+                assert_eq!(
+                    bits(a),
+                    bits(b),
+                    "{label}: estimate trace diverged at sample {i}"
+                );
+            }
+
+            // Final estimate, confidence and acceptance count.
+            assert_eq!(
+                live.estimate.updates, replay.estimate.updates,
+                "{label}: accepted-update count diverged"
+            );
+            for axis in 0..3 {
+                assert_eq!(
+                    live.estimate.one_sigma[axis].to_bits(),
+                    replay.estimate.one_sigma[axis].to_bits(),
+                    "{label}: final sigma diverged on axis {axis}"
+                );
+            }
+            assert_eq!(
+                live.exceed_rate.to_bits(),
+                replay.exceed_rate.to_bits(),
+                "{label}: exceed rate diverged"
+            );
+            assert_eq!(
+                live.retune_count, replay.retune_count,
+                "{label}: retune count diverged"
+            );
+
+            // Stream stats: what the recording captured is what the
+            // replayed session reports.
+            assert_eq!(
+                recording.stream_stats, replay_stream,
+                "{label}: stream stats diverged"
+            );
+        }
+    }
+}
+
+/// Replaying the same recording twice is itself deterministic — the
+/// `ReplaySource` has no hidden state surviving a rebuild.
+#[test]
+fn replaying_twice_is_deterministic() {
+    let spec = catalog::by_name("can-fault-storm")
+        .expect("catalog entry")
+        .with_duration(PIN_DURATION_S)
+        .with_substrate(Substrate::Q16_16);
+    let (_, recording) = record_spec(&spec);
+    let run = |recording| {
+        let mut session = replay_spec_session(&spec, recording);
+        session.run_to_end();
+        session.into_result()
+    };
+    let first = run(&recording);
+    let second = run(&recording);
+    assert_eq!(first.estimate.updates, second.estimate.updates);
+    assert_eq!(
+        first.estimate.angles.roll.to_bits(),
+        second.estimate.angles.roll.to_bits()
+    );
+    assert_eq!(first.estimates.len(), second.estimates.len());
+}
