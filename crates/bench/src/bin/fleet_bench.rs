@@ -22,14 +22,30 @@
 //!   the lane arena, and their substrate switches, saturations and
 //!   switch log land in the report.
 //!
+//! The measurement runs as **one** `run_epochs` call on the fleet's
+//! persistent executor — so the pipelined ingest path, the shard-affine
+//! claim scheduling and the parked-worker wake-up are all inside the
+//! timed window — and per-epoch latencies are read back from the
+//! fleet's [`boresight::fleet::EpochProfiler`], whose per-phase
+//! attribution (ingest / compute / sideband / steal / barrier) is
+//! printed as a table and written to the reports.
+//!
 //! Results land in `bench_out/BENCH_fleet.json` (f64 figures at the
 //! top level, byte-compatible with older baselines; explicit-SIMD
-//! figures under `"simd"`) and are compared against `bench_baselines/`
-//! when the committed baseline ran the same roster. Run with `cargo
-//! run --release -p bench_suite --bin fleet_bench [vehicles] [epochs]
-//! [shards] [p99_gate_ms] [--workers N] [--smoke]`. `--smoke` shrinks
-//! the roster for CI and **fails the run** on any non-finite statistic
-//! or a p99 epoch latency above the gate.
+//! figures under `"simd"`; scheduling attribution under
+//! `"epoch_profile"`) plus a standalone
+//! `bench_out/BENCH_epoch_profile.json` for CI artifact upload, and
+//! are compared against `bench_baselines/` when the committed baseline
+//! ran the same roster. Run with `cargo run --release -p bench_suite
+//! --bin fleet_bench [vehicles] [epochs] [shards] [p99_gate_ms]
+//! [--workers N] [--smoke] [--gate-ticks-floor[=frac]]
+//! [--gate-scaling]`. `--smoke` shrinks the roster for CI and **fails
+//! the run** on any non-finite statistic or a p99 epoch latency above
+//! the gate; `--gate-ticks-floor` fails it when f64 vehicle-ticks/s
+//! falls below `frac` (default 0.5) of the committed baseline;
+//! `--gate-scaling` (on hosts with >= 4 cores) fails it unless the
+//! multi-worker run beats a single-worker reference by >= 1.4x with
+//! scheduling overhead below 5 % of worker wall time.
 
 use bench_suite::{
     compare_to_baseline, load_baseline, print_baseline_deltas, print_table, write_json, BenchArgs,
@@ -39,7 +55,7 @@ use boresight::adaptive::{HysteresisPolicy, SubstrateId};
 use boresight::arith::{F64Arith, LaneSpec};
 use boresight::catalog;
 use boresight::exec;
-use boresight::fleet::{Fleet, FleetConfig, FleetStats, VehicleId};
+use boresight::fleet::{EpochProfile, Fleet, FleetConfig, FleetStats, PhaseStats, VehicleId};
 use boresight::oracle::FusionOracle;
 use boresight::simd::SimdF64;
 use boresight::spec::Substrate;
@@ -67,6 +83,8 @@ struct FleetRun {
     max_us: f64,
     bytes_per_vehicle: usize,
     stats: FleetStats,
+    /// The scheduler's wall-time attribution over the measured window.
+    profile: EpochProfile,
     /// Oracle verdicts over a 64-vehicle sample of resident final
     /// estimates plus every sideband reconfiguration ledger (empty =
     /// healthy; `None` estimates mean the fleet emptied mid-run).
@@ -128,20 +146,24 @@ where
         })
         .collect();
 
-    // Warm-up epochs grow every pooled buffer to steady state and are
-    // excluded from the timed window.
+    // Warm-up epochs grow every pooled buffer — including the
+    // persistent worker pool, its lap scratch and the profiler ring —
+    // to steady state; the profile window is then reset so only the
+    // timed epochs are attributed.
     fleet.run_epochs(5, workers);
     let warm_stats = fleet.stats();
+    fleet.reset_epoch_profile();
 
-    let mut laps_us = Vec::with_capacity(epochs);
+    // One scheduling call for the whole measurement: per-epoch wall
+    // times come from the profiler, so the pipelined ingest path
+    // (epoch N+1 pre-ingested behind epoch N's compute) stays engaged
+    // across the window instead of being broken per lap.
     let start = Instant::now();
-    for _ in 0..epochs {
-        let t = Instant::now();
-        fleet.run_epochs(1, workers);
-        laps_us.push(t.elapsed().as_secs_f64() * 1e6);
-    }
+    fleet.run_epochs(epochs, workers);
     let wall_s = start.elapsed().as_secs_f64().max(1e-9);
     let stats = fleet.stats();
+    let profile = fleet.epoch_profile().expect("epochs were run");
+    let mut laps_us: Vec<f64> = fleet.epoch_samples().iter().map(|s| s.wall_us).collect();
 
     laps_us.sort_by(|a, b| a.partial_cmp(b).expect("finite lap"));
     // Final-estimate and sideband-ledger health through the shared
@@ -196,11 +218,76 @@ where
         max_us: *laps_us.last().unwrap_or(&f64::NAN),
         bytes_per_vehicle: Fleet::<A, 8>::bytes_per_vehicle(),
         stats,
+        profile,
         oracle_findings,
         sampled_estimates,
         adaptive_vehicles: ADAPTIVE_VEHICLES,
         adaptive_switch_log,
     }
+}
+
+fn phase_json(stats: &PhaseStats) -> Json {
+    Json::Obj(vec![
+        ("total_us".into(), Json::Num(stats.total_us)),
+        ("p50_us".into(), Json::Num(stats.p50_us)),
+        ("p99_us".into(), Json::Num(stats.p99_us)),
+    ])
+}
+
+/// The scheduler attribution block: per-phase totals/percentiles and
+/// the overhead fraction the `--gate-scaling` gate bounds.
+fn profile_json(profile: &EpochProfile) -> Json {
+    let mut fields = vec![
+        ("epochs".into(), Json::Int(profile.epochs as u64)),
+        ("workers".into(), Json::Int(u64::from(profile.workers))),
+        ("steals".into(), Json::Int(profile.steals)),
+        (
+            "overhead_fraction".into(),
+            Json::Num(profile.overhead_fraction()),
+        ),
+        ("wall".into(), phase_json(&profile.wall)),
+    ];
+    fields.extend(
+        profile
+            .rows()
+            .into_iter()
+            .map(|(label, stats, _)| (label.to_string(), phase_json(&stats))),
+    );
+    Json::Obj(fields)
+}
+
+/// Prints the epoch-scheduling attribution table: where the epoch's
+/// worker wall time went, phase by phase, with each phase's share of
+/// total busy time (the `share` column sums to 1 across the rows).
+fn print_profile(substrate: &str, profile: &EpochProfile) {
+    let mut rows = vec![vec![
+        "wall (per epoch)".to_string(),
+        format!("{:.0} us", profile.wall.total_us),
+        format!("{:.0} us", profile.wall.p50_us),
+        format!("{:.0} us", profile.wall.p99_us),
+        String::new(),
+    ]];
+    rows.extend(profile.rows().into_iter().map(|(label, stats, share)| {
+        vec![
+            label.to_string(),
+            format!("{:.0} us", stats.total_us),
+            format!("{:.0} us", stats.p50_us),
+            format!("{:.0} us", stats.p99_us),
+            format!("{:.1}%", share * 100.0),
+        ]
+    }));
+    print_table(
+        &format!(
+            "{substrate} epoch profile ({} epochs, {} workers, {} steals, \
+             scheduling overhead {:.2}% of worker wall time)",
+            profile.epochs,
+            profile.workers,
+            profile.steals,
+            profile.overhead_fraction() * 100.0
+        ),
+        &["phase", "total", "p50", "p99", "share of busy"],
+        &rows,
+    );
 }
 
 /// The per-substrate statistics block shared by the legacy top level
@@ -263,6 +350,7 @@ fn run_json(run: &FleetRun) -> Vec<(String, Json)> {
                 ),
             ]),
         ),
+        ("epoch_profile".into(), profile_json(&run.profile)),
     ]
 }
 
@@ -278,9 +366,14 @@ fn main() {
     let epochs = args.num(1, default_epochs) as usize;
     let shards = args.num(2, 16.0) as usize;
     let p99_gate_ms = args.num(3, 25.0);
+    let cores = exec::default_workers();
     let workers = exec::resolve_workers(args.workers);
     let seed_base = args.seed.unwrap_or(100_000);
     println!("effective seed: {seed_base} (vehicle i runs seed {seed_base}+i)");
+    println!(
+        "host: {cores} cores; resolved workers: {workers} (requested {})",
+        args.workers
+    );
 
     // Roster: the full catalog, cycled, distinct seeds, durations long
     // enough that nobody completes mid-measurement. Same roster per
@@ -343,6 +436,9 @@ fn main() {
             println!("{}:   t={t:.2}s {from} -> {to}", run.substrate);
         }
     }
+    for run in &runs {
+        print_profile(run.substrate, &run.profile);
+    }
 
     // --- Artifact (written before the gates, so a failing smoke run
     // still leaves numbers behind for diagnosis). The f64 run keeps
@@ -354,6 +450,7 @@ fn main() {
         ("epochs".into(), Json::Int(epochs as u64)),
         ("shards".into(), Json::Int(shards as u64)),
         ("workers".into(), Json::Int(workers as u64)),
+        ("cores".into(), Json::Int(cores as u64)),
         ("seed".into(), Json::Int(seed_base)),
         ("tick_dt_s".into(), Json::Num(TICK_DT)),
     ];
@@ -362,6 +459,22 @@ fn main() {
     let doc = Json::Obj(fields);
     let path = write_json("BENCH_fleet.json", &doc);
     println!("wrote {}", path.display());
+
+    // The scheduling attribution also lands in a standalone document —
+    // the artifact CI uploads per run, so epoch-profile history can be
+    // compared across commits without digging through the full report.
+    let profile_doc = Json::Obj(vec![
+        ("bench".into(), Json::Str("fleet_epoch_profile".into())),
+        ("vehicles".into(), Json::Int(vehicles as u64)),
+        ("epochs".into(), Json::Int(epochs as u64)),
+        ("shards".into(), Json::Int(shards as u64)),
+        ("workers".into(), Json::Int(workers as u64)),
+        ("cores".into(), Json::Int(cores as u64)),
+        ("f64".into(), profile_json(&runs[0].profile)),
+        ("simd".into(), profile_json(&runs[1].profile)),
+    ]);
+    let profile_path = write_json("BENCH_epoch_profile.json", &profile_doc);
+    println!("wrote {}", profile_path.display());
 
     // --- Baseline comparison (same roster only — wall clock does not
     // compare across differently sized fleets) -----------------------
@@ -381,13 +494,78 @@ fn main() {
                     "updates_per_sec",
                     "p50_epoch_us",
                     "p99_epoch_us",
+                    "epoch_profile.overhead_fraction",
                     "simd.vehicle_ticks_per_sec",
                     "simd.p99_epoch_us",
+                    "simd.epoch_profile.overhead_fraction",
                 ],
             );
             print_baseline_deltas("vs committed bench_baselines/ (wall clock)", &deltas);
         } else {
             println!("baseline roster differs; skipping wall-clock deltas");
+        }
+    }
+
+    // --- Throughput floor vs the committed baseline (CI's fleet
+    // counterpart of the softfloat throughput floor). Wall clock is
+    // noisy across runner generations, so the floor is a fraction of
+    // the baseline, not a match. -------------------------------------
+    if let Some(floor_frac) = args.flag_num("gate-ticks-floor", 0.5) {
+        let baseline_ticks = load_baseline("BENCH_fleet.json")
+            .and_then(|b| b.lookup("vehicle_ticks_per_sec").and_then(Json::as_f64));
+        match baseline_ticks {
+            Some(baseline_ticks) => {
+                let floor = baseline_ticks * floor_frac;
+                assert!(
+                    runs[0].vehicle_ticks_per_sec >= floor,
+                    "vehicle-ticks/s floor breached: {:.0} < {:.0} \
+                     ({:.0}% of the committed baseline {:.0})",
+                    runs[0].vehicle_ticks_per_sec,
+                    floor,
+                    floor_frac * 100.0,
+                    baseline_ticks
+                );
+                println!(
+                    "ticks-floor gate passed: {:.0} >= {:.0} ({:.0}% of baseline)",
+                    runs[0].vehicle_ticks_per_sec,
+                    floor,
+                    floor_frac * 100.0
+                );
+            }
+            None => println!("no committed baseline; skipping ticks-floor gate"),
+        }
+    }
+
+    // --- Scaling gate: the persistent executor must actually buy
+    // multi-worker throughput. Only meaningful on hosts with cores to
+    // scale onto; smaller runners skip it loudly rather than fail. ----
+    if args.has_flag("gate-scaling") {
+        if cores >= 4 && workers >= 2 {
+            let single = run_fleet::<F64Arith>("f64/1w", vehicles, epochs, shards, 1, seed_base);
+            let ratio = runs[0].vehicle_ticks_per_sec / single.vehicle_ticks_per_sec;
+            let overhead = runs[0].profile.overhead_fraction();
+            println!(
+                "scaling: {workers} workers {:.0} ticks/s vs 1 worker {:.0} ticks/s \
+                 = {ratio:.2}x; scheduling overhead {:.2}%",
+                runs[0].vehicle_ticks_per_sec,
+                single.vehicle_ticks_per_sec,
+                overhead * 100.0
+            );
+            assert!(
+                ratio >= 1.4,
+                "scaling gate breached: {workers} workers only {ratio:.2}x a single worker"
+            );
+            assert!(
+                overhead < 0.05,
+                "scheduling overhead gate breached: {:.2}% >= 5% of worker wall time",
+                overhead * 100.0
+            );
+            println!("scaling gate passed: >= 1.4x and < 5% scheduling overhead");
+        } else {
+            println!(
+                "scaling gate skipped: {cores} cores / {workers} workers \
+                 (needs >= 4 cores and >= 2 workers)"
+            );
         }
     }
 

@@ -78,6 +78,28 @@ impl BenchArgs {
     pub fn has_flag(&self, name: &str) -> bool {
         self.flags.iter().any(|f| f == name)
     }
+
+    /// A flag that optionally carries a number: `--<name>=<v>` returns
+    /// `Some(v)`, the bare `--<name>` returns `Some(default)`, absence
+    /// returns `None`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the `=`-suffixed value does not parse as a number.
+    pub fn flag_num(&self, name: &str, default: f64) -> Option<f64> {
+        self.flags.iter().find_map(|f| {
+            if f == name {
+                Some(default)
+            } else {
+                f.strip_prefix(name)
+                    .and_then(|rest| rest.strip_prefix('='))
+                    .map(|v| {
+                        v.parse()
+                            .unwrap_or_else(|_| panic!("--{name}= needs a number"))
+                    })
+            }
+        })
+    }
 }
 
 /// Output directory for generated CSV series (`bench_out/` at the
@@ -491,6 +513,19 @@ mod tests {
     }
 
     #[test]
+    fn flag_num_parses_bare_and_valued_forms() {
+        let args = BenchArgs {
+            positional: vec![],
+            workers: 0,
+            seed: None,
+            flags: vec!["gate-ticks-floor=0.25".into(), "gate-scaling".into()],
+        };
+        assert_eq!(args.flag_num("gate-ticks-floor", 0.5), Some(0.25));
+        assert_eq!(args.flag_num("gate-scaling", 1.4), Some(1.4));
+        assert_eq!(args.flag_num("absent", 1.0), None);
+    }
+
+    #[test]
     fn committed_baselines_parse() {
         // The committed baseline snapshots must stay machine-readable —
         // the CI throughput floor gate depends on them.
@@ -508,6 +543,24 @@ mod tests {
         assert!(
             fleet
                 .lookup("simd.vehicle_ticks_per_sec")
+                .unwrap()
+                .as_f64()
+                .unwrap()
+                > 0.0
+        );
+        // The persistent-executor schema: resolved worker + core
+        // counts and the scheduling attribution the overhead gate and
+        // ticks floor read.
+        assert!(fleet.lookup("cores").unwrap().as_f64().unwrap() >= 1.0);
+        let overhead = fleet
+            .lookup("epoch_profile.overhead_fraction")
+            .expect("scheduling attribution committed")
+            .as_f64()
+            .unwrap();
+        assert!((0.0..=1.0).contains(&overhead));
+        assert!(
+            fleet
+                .lookup("simd.epoch_profile.compute.p50_us")
                 .unwrap()
                 .as_f64()
                 .unwrap()

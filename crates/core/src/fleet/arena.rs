@@ -12,10 +12,18 @@
 //! are always full except the last and freed capacity is recycled
 //! without allocation.
 //!
-//! One epoch ([`Shard::tick`]) is: poll every live vehicle one sensor
-//! tick into the bounded ingress queue (backpressure defers vehicles,
-//! never reorders one vehicle's events), then dispatch slot-major —
-//! DMU frames feed each vehicle's own [`ImuPrep`]; ACC frames are
+//! One epoch is two explicitly split phases the scheduler can
+//! pipeline. [`Shard::ingest`] polls every live vehicle one sensor
+//! tick into one of two bounded ingress queues (backpressure defers
+//! vehicles, never reorders one vehicle's events); [`Shard::compute`]
+//! drains the primed queue and dispatches slot-major — the queues are
+//! double-buffered so epoch `N+1`'s ingest fills a different buffer
+//! than the one epoch `N`'s compute drained, letting the fleet
+//! scheduler run a shard's next-epoch ingest immediately after its
+//! compute (and overlap it with *other* shards' compute on other
+//! workers) without the two phases ever contending on one ring.
+//! Dispatch order within compute is unchanged from the original fused
+//! tick —
 //! *staged* with the specific force, per-vehicle `dt` and timestamp
 //! captured at dispatch point; a group's staged lanes flush through
 //! one masked [`LaneIekf::predict_lanes`] +
@@ -110,9 +118,21 @@ pub(crate) struct Shard<A: LaneSpec<L>, const L: usize> {
     /// are identical whichever context instance computes them; context
     /// state is instrumentation only).
     front: A,
-    ingress: IngressQueue,
+    /// Double-buffered ingress: [`Shard::ingest`] fills
+    /// `queues[active]`, [`Shard::compute`] drains it and flips
+    /// `active`, so the next ingest lands in the other buffer.
+    queues: [IngressQueue; 2],
+    /// Which queue the next ingest fills / the next compute drains.
+    active: usize,
+    /// `true` between an ingest and its compute: the active queue
+    /// holds one undispatched epoch of frames.
+    primed: bool,
     staged: Vec<Option<StagedMeas<A>>>,
     pending_evict: Vec<(usize, EvictReason)>,
+    /// Evictions applied shard-locally during an epoch, drained by the
+    /// fleet on the barrier for directory/log upkeep. The buffer keeps
+    /// its capacity across drains.
+    records: Vec<EvictionRecord>,
 }
 
 impl<A: LaneSpec<L> + Clone + Default, const L: usize> Shard<A, L> {
@@ -124,9 +144,15 @@ impl<A: LaneSpec<L> + Clone + Default, const L: usize> Shard<A, L> {
             groups: Vec::new(),
             slots: Vec::new(),
             front: A::default(),
-            ingress: IngressQueue::new(config.ingress_capacity),
+            queues: [
+                IngressQueue::new(config.ingress_capacity),
+                IngressQueue::new(config.ingress_capacity),
+            ],
+            active: 0,
+            primed: false,
             staged: Vec::new(),
             pending_evict: Vec::with_capacity(16),
+            records: Vec::with_capacity(16),
         }
     }
 
@@ -137,6 +163,10 @@ impl<A: LaneSpec<L> + Clone + Default, const L: usize> Shard<A, L> {
     /// Admits a vehicle into the next dense slot, recycling a retained
     /// lane group when one has spare capacity. Returns the slot index.
     pub(crate) fn admit(&mut self, id: VehicleId, spec: &ScenarioSpec) -> usize {
+        // Admission is control-plane work: it must happen on the epoch
+        // barrier, never while a pipelined ingest is in flight (the
+        // primed buffer's slot tags would go stale).
+        debug_assert!(!self.primed, "admit with a primed ingress buffer");
         let slot = self.slots.len();
         let (g, lane) = (slot / L, slot % L);
         if g == self.groups.len() {
@@ -174,34 +204,50 @@ impl<A: LaneSpec<L> + Clone + Default, const L: usize> Shard<A, L> {
         slot
     }
 
-    /// Advances every resident vehicle one sensor tick: poll into the
-    /// bounded ingress queue, dispatch slot-major with batched lane
-    /// flushes, then queue completions and health evictions.
-    pub(crate) fn tick(&mut self) {
-        // ---- Poll phase: one tick of frames per vehicle ------------
-        for s in 0..self.slots.len() {
-            if self.slots[s].exhausted {
+    /// `true` between an [`Shard::ingest`] and its [`Shard::compute`]:
+    /// the active queue holds one undispatched epoch of frames.
+    pub(crate) fn is_primed(&self) -> bool {
+        self.primed
+    }
+
+    /// The ingest phase of one epoch: advances every live vehicle's
+    /// local clock one sensor tick and polls its source into the
+    /// active (empty) ingress buffer. Exactly one [`Shard::compute`]
+    /// must drain it before the next ingest.
+    pub(crate) fn ingest(&mut self) {
+        debug_assert!(!self.primed, "ingest without an intervening compute");
+        let queue = &mut self.queues[self.active];
+        for (s, slot) in self.slots.iter_mut().enumerate() {
+            if slot.exhausted {
                 continue;
             }
-            if !self.ingress.has_headroom() {
+            if !queue.has_headroom() {
                 // Lossless backpressure: the clock stalls, the vehicle
                 // catches up on a later, less-loaded epoch.
-                self.ingress.stats.deferred += 1;
+                queue.stats.deferred += 1;
                 continue;
             }
-            let slot = &mut self.slots[s];
             slot.clock += self.tick_dt;
-            self.ingress
-                .poll_from(s as u32, slot.source.as_mut(), slot.clock);
+            queue.poll_from(s as u32, slot.source.as_mut(), slot.clock);
             if slot.source.is_exhausted() {
                 slot.exhausted = true;
             }
         }
+        self.primed = true;
+    }
+
+    /// The compute phase of one epoch: drains the primed ingress
+    /// buffer slot-major with batched lane flushes, then queues
+    /// completions and health evictions. Flips the active buffer so
+    /// the next ingest fills the other one.
+    pub(crate) fn compute(&mut self) {
+        debug_assert!(self.primed, "compute without a primed ingest");
+        let q = self.active;
 
         // ---- Dispatch phase: slot-major, flush per lane group ------
         let mut cur_group = usize::MAX;
-        for i in 0..self.ingress.len() {
-            let (slot32, event) = self.ingress.frame(i);
+        for i in 0..self.queues[q].len() {
+            let (slot32, event) = self.queues[q].frame(i);
             let s = slot32 as usize;
             let g = s / L;
             if g != cur_group {
@@ -240,7 +286,9 @@ impl<A: LaneSpec<L> + Clone + Default, const L: usize> Shard<A, L> {
         if cur_group != usize::MAX {
             self.flush_group(cur_group);
         }
-        self.ingress.clear();
+        self.queues[q].clear();
+        self.primed = false;
+        self.active ^= 1;
 
         // ---- Completion phase --------------------------------------
         let Self {
@@ -342,16 +390,16 @@ impl<A: LaneSpec<L> + Clone + Default, const L: usize> Shard<A, L> {
         }
     }
 
-    pub(crate) fn has_pending_evictions(&self) -> bool {
-        !self.pending_evict.is_empty()
-    }
-
-    /// Applies every queued eviction: summarizes the leaving vehicle,
-    /// swap-removes its slot, migrates the last vehicle's lane state
-    /// into the hole bit-for-bit and reports each move through
-    /// `on_evict`. Processes highest slots first so queued indices
-    /// stay valid as the dense prefix shrinks.
-    pub(crate) fn apply_evictions(&mut self, mut on_evict: impl FnMut(EvictionRecord)) {
+    /// Applies every queued eviction shard-locally: summarizes the
+    /// leaving vehicle, swap-removes its slot, migrates the last
+    /// vehicle's lane state into the hole bit-for-bit and logs each
+    /// move into the shard's record buffer (the fleet drains it on the
+    /// epoch barrier via [`Shard::drain_records`]). Processes highest
+    /// slots first so queued indices stay valid as the dense prefix
+    /// shrinks. Runs inside the worker's epoch task — the control
+    /// plane it needs (directory, eviction log) is touched only at
+    /// drain time, on the barrier.
+    pub(crate) fn apply_evictions(&mut self) {
         if self.pending_evict.is_empty() {
             return;
         }
@@ -372,7 +420,7 @@ impl<A: LaneSpec<L> + Clone + Default, const L: usize> Shard<A, L> {
             // Park the vacated lane on benign fresh-filter values; it
             // is masked until the slot is reoccupied.
             self.groups[last / L].reset_lane(last % L);
-            on_evict(EvictionRecord {
+            self.records.push(EvictionRecord {
                 id: state.id,
                 scenario: state.scenario,
                 reason,
@@ -382,6 +430,18 @@ impl<A: LaneSpec<L> + Clone + Default, const L: usize> Shard<A, L> {
         }
         // Hand the drained buffer's capacity back.
         self.pending_evict = pending;
+    }
+
+    pub(crate) fn has_records(&self) -> bool {
+        !self.records.is_empty()
+    }
+
+    /// Hands the epoch's eviction records to the fleet, in application
+    /// order, keeping the buffer's capacity.
+    pub(crate) fn drain_records(&mut self, mut on_evict: impl FnMut(EvictionRecord)) {
+        for record in self.records.drain(..) {
+            on_evict(record);
+        }
     }
 
     /// One vehicle's report-shaped summary, as of now.
@@ -441,7 +501,9 @@ impl<A: LaneSpec<L> + Clone + Default, const L: usize> Shard<A, L> {
     }
 
     pub(crate) fn ingress_stats(&self) -> super::ingress::IngressStats {
-        self.ingress.stats
+        let mut stats = self.queues[0].stats;
+        stats.merge(&self.queues[1].stats);
+        stats
     }
 
     /// Sums this shard's per-vehicle counters.

@@ -182,7 +182,8 @@ pub use estimator::{
 };
 pub use filter::{BoresightFilter, FilterConfig, GenericBoresightFilter, KalmanUpdate};
 pub use fleet::{
-    AdmitError, EvictReason, EvictionPolicy, Fleet, FleetConfig, FleetStats, VehicleId,
+    AdmitError, EpochProfile, EpochSample, EvictReason, EvictionPolicy, Fleet, FleetConfig,
+    FleetStats, VehicleId,
 };
 pub use fuzz::{generate_spec, shrink, CorpusEntry, ShrinkOutcome};
 pub use json::Json;

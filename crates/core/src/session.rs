@@ -1646,6 +1646,24 @@ impl SessionGroup {
         });
     }
 
+    /// [`SessionGroup::run_lanes`] on a caller-owned persistent
+    /// [`crate::exec::Pool`] — for hosts that amortize one warm pool
+    /// across many sweeps instead of paying spawn/join per call.
+    /// Results are bit-identical to [`SessionGroup::run_lanes`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if any unfinished session's source is unbounded.
+    pub fn run_lanes_on(&mut self, pool: &crate::exec::Pool) {
+        let sessions = std::mem::take(&mut self.sessions);
+        self.sessions = pool.map(sessions, |mut s| {
+            if !s.is_finished() {
+                s.run_to_end();
+            }
+            s
+        });
+    }
+
     /// Consumes the group, yielding the sessions.
     pub fn into_sessions(self) -> Vec<FusionSession> {
         self.sessions

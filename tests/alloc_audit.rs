@@ -130,6 +130,37 @@ fn fleet_epoch_steady_state_allocates_nothing() {
     assert!(stats.updates > 40_000, "the fleet actually streamed");
 }
 
+/// The persistent executor keeps the fleet's zero-allocation property
+/// at **multi-worker** counts: the warm-up builds and caches the
+/// `exec::Pool` (thread spawn, lap scratch, profiler ring), after
+/// which a steady-state epoch — claim CAS per shard, parked-thread
+/// wake, fused ingest/compute task, barrier, profile sample — performs
+/// zero heap allocations on any thread.
+#[test]
+fn multi_worker_fleet_epoch_steady_state_allocates_nothing() {
+    let _guard = AUDIT_SERIALIZER.lock().unwrap();
+    let mut fleet: Fleet<F64Arith, 8> = Fleet::new(FleetConfig::default());
+    for i in 0..1_000u64 {
+        let spec = catalog::paper_static()
+            .with_duration(3_600.0)
+            .with_seed(60_000 + i);
+        fleet.admit(&spec).expect("catalog tuning is compatible");
+    }
+    fleet.run_epochs(5, 4);
+    let before = allocations();
+    fleet.run_epochs(50, 4);
+    let after = allocations();
+    assert_eq!(
+        after - before,
+        0,
+        "multi-worker fleet epoch loop allocated {} times in steady state",
+        after - before
+    );
+    let stats = fleet.stats();
+    assert_eq!(stats.vehicles, 1_000, "nobody was evicted mid-audit");
+    assert!(stats.updates > 40_000, "the fleet actually streamed");
+}
+
 /// The explicit-SIMD lane substrate keeps the fleet's zero-allocation
 /// property: a steady-state epoch over `Fleet<SimdF64, 8>` — the same
 /// poll/dispatch/lane-group path, with every filter op lowered through

@@ -116,7 +116,7 @@ fn thousand_vehicle_fleet_matches_scalar_sessions() {
         })
         .collect();
 
-    for (shards, workers) in [(8, 1), (8, 2), (8, 4), (3, 4)] {
+    for (shards, workers) in [(8, 1), (8, 2), (8, 4), (3, 4), (16, 5)] {
         let (mut fleet, ids) = build_fleet(&specs, shards);
         assert_eq!(fleet.len(), VEHICLES);
         fleet.run_epochs(EPOCHS, workers);

@@ -128,3 +128,34 @@ fn map_parallel_preserves_input_order() {
     let out = exec::map_parallel((0..64u64).collect(), 8, |x| x * x);
     assert_eq!(out, (0..64u64).map(|x| x * x).collect::<Vec<_>>());
 }
+
+/// The persistent-pool variant: one warm `exec::Pool` serves repeated
+/// `run_lanes_on` sweeps with results bit-identical to the one-shot
+/// `run_lanes` path (order preserved, every session finished).
+#[test]
+fn run_lanes_on_persistent_pool_matches_one_shot() {
+    let build = || {
+        let mut group = SessionGroup::new();
+        for (i, spec) in catalog::all().into_iter().enumerate() {
+            let spec = spec.with_duration(4.0).with_seed(600 + i as u64);
+            group.push(spec.into_session(spec.lower_trajectory()));
+        }
+        group
+    };
+    let mut reference = build();
+    reference.run_lanes(2);
+
+    let pool = exec::Pool::new(2);
+    for _ in 0..2 {
+        let mut group = build();
+        group.run_lanes_on(&pool);
+        assert!(group.all_finished());
+        for (a, b) in group.sessions().iter().zip(reference.sessions()) {
+            let (ea, eb) = (a.estimate(), b.estimate());
+            assert_eq!(ea.angles.roll.to_bits(), eb.angles.roll.to_bits());
+            assert_eq!(ea.angles.pitch.to_bits(), eb.angles.pitch.to_bits());
+            assert_eq!(ea.angles.yaw.to_bits(), eb.angles.yaw.to_bits());
+            assert_eq!(ea.updates, eb.updates);
+        }
+    }
+}
